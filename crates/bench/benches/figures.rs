@@ -1,0 +1,117 @@
+//! One Criterion bench per paper table/figure: each target executes the
+//! corresponding figure's pipeline at test scale, so `cargo bench`
+//! exercises every experiment end-to-end and tracks its cost over time.
+//! (The paper-scale numbers themselves are produced by the `repro`
+//! binary; see EXPERIMENTS.md.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stride_bench::{
+    fig15_table, fig16_speedups, fig17_load_mix, fig18_19_distributions, fig20_22_overheads,
+    fig23_25_sensitivity,
+};
+use stride_core::{PipelineConfig, PrefetchConfig, ProfilingVariant};
+use stride_workloads::Scale;
+
+fn test_config() -> PipelineConfig {
+    PipelineConfig {
+        prefetch: PrefetchConfig {
+            frequency_threshold: 200, // test-scale inputs
+            ..PrefetchConfig::paper()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    c.bench_function("fig15_benchmark_table", |b| {
+        b.iter(|| fig15_table(Scale::Test).len());
+    });
+}
+
+fn bench_fig16(c: &mut Criterion) {
+    let config = test_config();
+    let mut group = c.benchmark_group("fig16_speedup");
+    group.sample_size(10);
+    group.bench_function("suite_edge_check", |b| {
+        b.iter(|| {
+            fig16_speedups(Scale::Test, &[ProfilingVariant::EdgeCheck], &config)
+                .expect("pipeline")
+                .len()
+        });
+    });
+    group.bench_function("suite_sample_edge_check", |b| {
+        b.iter(|| {
+            fig16_speedups(Scale::Test, &[ProfilingVariant::SampleEdgeCheck], &config)
+                .expect("pipeline")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig17(c: &mut Criterion) {
+    let config = test_config();
+    let mut group = c.benchmark_group("fig17_load_mix");
+    group.sample_size(10);
+    group.bench_function("suite", |b| {
+        b.iter(|| fig17_load_mix(Scale::Test, &config).expect("pipeline").len());
+    });
+    group.finish();
+}
+
+fn bench_fig18_19(c: &mut Criterion) {
+    let config = test_config();
+    let mut group = c.benchmark_group("fig18_19_distributions");
+    group.sample_size(10);
+    group.bench_function("suite_naive_all", |b| {
+        b.iter(|| {
+            fig18_19_distributions(Scale::Test, &config)
+                .expect("pipeline")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig20_22(c: &mut Criterion) {
+    let config = test_config();
+    let mut group = c.benchmark_group("fig20_22_overhead");
+    group.sample_size(10);
+    group.bench_function("suite_edge_check_vs_naive", |b| {
+        b.iter(|| {
+            fig20_22_overheads(
+                Scale::Test,
+                &[ProfilingVariant::EdgeCheck, ProfilingVariant::NaiveLoop],
+                &config,
+            )
+            .expect("pipeline")
+            .len()
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig23_25(c: &mut Criterion) {
+    let config = test_config();
+    let mut group = c.benchmark_group("fig23_25_sensitivity");
+    group.sample_size(10);
+    group.bench_function("suite_sample_edge_check", |b| {
+        b.iter(|| {
+            fig23_25_sensitivity(Scale::Test, &config)
+                .expect("pipeline")
+                .len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig15,
+    bench_fig16,
+    bench_fig17,
+    bench_fig18_19,
+    bench_fig20_22,
+    bench_fig23_25
+);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Component-level benches of the compiler passes themselves:
+//! instrumentation, classification, prefetch insertion, and raw VM
+//! interpretation throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stride_core::{
+    apply_prefetching, classify, instrument, run_profiling, PipelineConfig, PrefetchConfig,
+    ProfilingMethod, ProfilingVariant,
+};
+use stride_memsim::{CacheHierarchy, HierarchyConfig};
+use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+use stride_workloads::{workload_by_name, Scale};
+
+fn bench_instrumentation(c: &mut Criterion) {
+    let w = workload_by_name("parser", Scale::Test).unwrap();
+    let config = PrefetchConfig::paper();
+    let mut group = c.benchmark_group("pass_instrument");
+    for method in [ProfilingMethod::EdgeCheck, ProfilingMethod::NaiveAll] {
+        group.bench_function(method.to_string(), |b| {
+            b.iter(|| instrument(&w.module, method, &config).module.instr_count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_feedback_passes(c: &mut Criterion) {
+    let w = workload_by_name("parser", Scale::Test).unwrap();
+    let pipeline = PipelineConfig {
+        prefetch: PrefetchConfig {
+            frequency_threshold: 100,
+            ..PrefetchConfig::paper()
+        },
+        ..PipelineConfig::default()
+    };
+    let outcome = run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, &pipeline)
+        .expect("profiling");
+
+    c.bench_function("pass_classify", |b| {
+        b.iter(|| {
+            classify(
+                &w.module,
+                &outcome.stride,
+                &outcome.edge,
+                outcome.source,
+                &pipeline.prefetch,
+            )
+            .loads
+            .len()
+        });
+    });
+
+    let classification = classify(
+        &w.module,
+        &outcome.stride,
+        &outcome.edge,
+        outcome.source,
+        &pipeline.prefetch,
+    );
+    c.bench_function("pass_apply_prefetching", |b| {
+        b.iter(|| {
+            apply_prefetching(&w.module, &classification, &pipeline.prefetch)
+                .1
+                .prefetches_inserted
+        });
+    });
+}
+
+fn bench_vm_throughput(c: &mut Criterion) {
+    let w = workload_by_name("gzip", Scale::Test).unwrap();
+    // Count instructions once for throughput reporting.
+    let mut vm = Vm::new(&w.module, VmConfig::default());
+    let instrs = vm
+        .run(&w.train_args, &mut FlatTiming, &mut NullRuntime)
+        .unwrap()
+        .instructions;
+
+    let mut group = c.benchmark_group("vm_interpret");
+    group.throughput(Throughput::Elements(instrs));
+    group.bench_function("flat_memory", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&w.module, VmConfig::default());
+            vm.run(&w.train_args, &mut FlatTiming, &mut NullRuntime)
+                .unwrap()
+                .cycles
+        });
+    });
+    group.bench_function("cache_hierarchy", |b| {
+        b.iter(|| {
+            let mut vm = Vm::new(&w.module, VmConfig::default());
+            let mut h = CacheHierarchy::new(HierarchyConfig::itanium733());
+            vm.run(&w.train_args, &mut h, &mut NullRuntime)
+                .unwrap()
+                .cycles
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_instrumentation,
+    bench_feedback_passes,
+    bench_vm_throughput
+);
+criterion_main!(benches);

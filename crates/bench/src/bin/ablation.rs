@@ -1,0 +1,157 @@
+//! Ablation sweeps over the design choices DESIGN.md calls out: the
+//! classification thresholds, the prefetch-distance cap, the sampling
+//! parameters, and the trip-count threshold. Each sweep reports the
+//! geometric-mean speedup (and, for sampling, the profiling overhead) on
+//! the three headline benchmarks.
+//!
+//! ```text
+//! ablation [--scale test|paper]
+//! ```
+
+use stride_bench::geomean;
+use stride_core::{
+    measure_overhead, measure_speedup, PipelineConfig, PrefetchConfig, ProfilingVariant,
+};
+use stride_workloads::{workload_by_name, Scale, Workload};
+
+fn headline(scale: Scale) -> Vec<Workload> {
+    ["mcf", "gap", "parser"]
+        .iter()
+        .map(|n| workload_by_name(n, scale).expect("known benchmark"))
+        .collect()
+}
+
+fn suite_speedup(workloads: &[Workload], config: &PipelineConfig) -> f64 {
+    let speedups: Vec<f64> = workloads
+        .iter()
+        .map(|w| {
+            measure_speedup(
+                &w.module,
+                &w.train_args,
+                &w.ref_args,
+                ProfilingVariant::EdgeCheck,
+                config,
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
+            .speedup
+        })
+        .collect();
+    geomean(&speedups)
+}
+
+fn main() {
+    let scale = match std::env::args().nth(2).as_deref() {
+        Some("test") => Scale::Test,
+        _ => Scale::Paper,
+    };
+    let workloads = headline(scale);
+    let base = PipelineConfig::default();
+
+    println!("== Ablation: SSST threshold (paper: 0.70) ==");
+    for t in [0.5, 0.6, 0.7, 0.8, 0.9, 0.99] {
+        let config = PipelineConfig {
+            prefetch: PrefetchConfig {
+                ssst_threshold: t,
+                ..base.prefetch
+            },
+            ..base
+        };
+        println!("  SSST_threshold {t:<5}: geomean speedup {:.3}", suite_speedup(&workloads, &config));
+    }
+
+    println!("\n== Ablation: max prefetch distance C (paper: 8) ==");
+    for c in [1, 2, 4, 8, 16, 32] {
+        let config = PipelineConfig {
+            prefetch: PrefetchConfig {
+                max_prefetch_distance: c,
+                ..base.prefetch
+            },
+            ..base
+        };
+        println!("  C = {c:<3}: geomean speedup {:.3}", suite_speedup(&workloads, &config));
+    }
+
+    println!("\n== Ablation: trip-count threshold TT (paper: 128) ==");
+    for tt in [16, 64, 128, 512, 2048] {
+        let config = PipelineConfig {
+            prefetch: PrefetchConfig {
+                trip_count_threshold: tt,
+                ..base.prefetch
+            },
+            ..base
+        };
+        println!("  TT = {tt:<5}: geomean speedup {:.3}", suite_speedup(&workloads, &config));
+    }
+
+    println!("\n== Ablation: WSST prefetching (paper: disabled) ==");
+    for enabled in [false, true] {
+        let config = PipelineConfig {
+            prefetch: PrefetchConfig {
+                enable_wsst_prefetch: enabled,
+                ..base.prefetch
+            },
+            ..base
+        };
+        println!(
+            "  WSST prefetch {}: geomean speedup {:.3}",
+            if enabled { "on " } else { "off" },
+            suite_speedup(&workloads, &config)
+        );
+    }
+
+    println!("\n== Ablation: dependent-load prefetching (§6 future work #2) ==");
+    for enabled in [false, true] {
+        let config = PipelineConfig {
+            prefetch: PrefetchConfig {
+                enable_dependent_prefetch: enabled,
+                ..base.prefetch
+            },
+            ..base
+        };
+        // perlbmk is the interesting case: its churned op chain defeats
+        // stride prefetching but not dependence-based prefetching.
+        let perl = workload_by_name("perlbmk", scale).unwrap();
+        let s = measure_speedup(
+            &perl.module,
+            &perl.train_args,
+            &perl.ref_args,
+            ProfilingVariant::EdgeCheck,
+            &config,
+        )
+        .expect("perlbmk");
+        println!(
+            "  dependent prefetch {}: headline geomean {:.3}, perlbmk {:.3}",
+            if enabled { "on " } else { "off" },
+            suite_speedup(&workloads, &config),
+            s.speedup
+        );
+    }
+
+    println!("\n== Ablation: profiling variant overhead vs. speedup ==");
+    for variant in [
+        ProfilingVariant::EdgeCheck,
+        ProfilingVariant::SampleEdgeCheck,
+        ProfilingVariant::NaiveLoop,
+        ProfilingVariant::SampleNaiveLoop,
+        ProfilingVariant::NaiveAll,
+        ProfilingVariant::SampleNaiveAll,
+        ProfilingVariant::BlockCheck,
+        ProfilingVariant::TwoPass,
+    ] {
+        let mut speedups = Vec::new();
+        let mut overheads = Vec::new();
+        for w in &workloads {
+            let s = measure_speedup(&w.module, &w.train_args, &w.ref_args, variant, &base)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            let o = measure_overhead(&w.module, &w.train_args, variant, &base)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+            speedups.push(s.speedup);
+            overheads.push(o.overhead);
+        }
+        println!(
+            "  {variant:<20} geomean speedup {:.3}, mean overhead {:>6.1}%",
+            geomean(&speedups),
+            overheads.iter().sum::<f64>() / overheads.len() as f64 * 100.0
+        );
+    }
+}

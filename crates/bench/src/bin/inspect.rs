@@ -1,0 +1,113 @@
+//! Developer tool: inspect a benchmark's IR, its collected profiles, or
+//! its feedback classification.
+//!
+//! ```text
+//! inspect ir <benchmark>                    print the module's textual IR
+//! inspect profile <benchmark> [variant]     run train profiling, dump profiles
+//! inspect classify <benchmark> [variant]    print the Fig. 5 classification
+//! ```
+//!
+//! `benchmark` is a Fig. 15 name (`181.mcf` or just `mcf`); `variant`
+//! defaults to `edge-check`.
+
+use stride_core::{prefetch_with_profiles, run_profiling, PipelineConfig, ProfilingVariant};
+use stride_profiling::{edge_profile_to_text, stride_profile_to_text};
+use stride_workloads::{workload_by_name, Scale, Workload};
+
+fn usage() -> ! {
+    eprintln!("usage: inspect <ir|profile|classify> <benchmark> [variant]");
+    std::process::exit(2);
+}
+
+fn variant_arg(args: &[String]) -> ProfilingVariant {
+    let name = args.get(3).map(String::as_str).unwrap_or("edge-check");
+    for v in [
+        ProfilingVariant::EdgeCheck,
+        ProfilingVariant::NaiveLoop,
+        ProfilingVariant::NaiveAll,
+        ProfilingVariant::SampleEdgeCheck,
+        ProfilingVariant::SampleNaiveLoop,
+        ProfilingVariant::SampleNaiveAll,
+        ProfilingVariant::BlockCheck,
+        ProfilingVariant::SampleBlockCheck,
+        ProfilingVariant::TwoPass,
+    ] {
+        if v.to_string() == name {
+            return v;
+        }
+    }
+    eprintln!("unknown variant `{name}`");
+    std::process::exit(2);
+}
+
+fn workload_arg(args: &[String]) -> Workload {
+    let Some(name) = args.get(2) else { usage() };
+    match workload_by_name(name, Scale::Paper) {
+        Some(w) => w,
+        None => {
+            eprintln!("unknown benchmark `{name}` (use a Fig. 15 name, e.g. 181.mcf)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("ir") => {
+            let w = workload_arg(&args);
+            print!("{}", stride_ir::module_to_string(&w.module));
+        }
+        Some("profile") => {
+            let w = workload_arg(&args);
+            let variant = variant_arg(&args);
+            let config = PipelineConfig::default();
+            let outcome = run_profiling(&w.module, &w.train_args, variant, &config)
+                .expect("profiling run");
+            println!(
+                "# {} under {variant}: {} cycles ({} in the profiling runtime), \
+                 {} strideProf calls / {} processed / {} LFU inserts",
+                w.name,
+                outcome.run.cycles,
+                outcome.run.profiling_cycles,
+                outcome.stats.calls,
+                outcome.stats.processed,
+                outcome.stats.lfu_inserts,
+            );
+            print!("{}", edge_profile_to_text(&outcome.edge, &w.module));
+            print!("{}", stride_profile_to_text(&outcome.stride));
+        }
+        Some("classify") => {
+            let w = workload_arg(&args);
+            let variant = variant_arg(&args);
+            let config = PipelineConfig::default();
+            let outcome = run_profiling(&w.module, &w.train_args, variant, &config)
+                .expect("profiling run");
+            let (_, classification, report) = prefetch_with_profiles(
+                &w.module,
+                &outcome.edge,
+                outcome.source,
+                &outcome.stride,
+                &config,
+            );
+            println!(
+                "{}: {} profiled, {} classified ({} low-freq, {} low-trip, {} no-pattern)",
+                w.name,
+                outcome.stride.len(),
+                classification.loads.len(),
+                classification.filtered_low_freq,
+                classification.filtered_low_trip,
+                classification.no_pattern,
+            );
+            for l in &classification.loads {
+                println!(
+                    "  {} {} {:<4} stride {:>6}B  trip {:>9.0}  freq {:>9}  cover {}",
+                    l.func, l.site, l.class.to_string(), l.dominant_stride, l.trip_count,
+                    l.freq, l.cover.len(),
+                );
+            }
+            println!("{report:?}");
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,108 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! repro [--figure N] [--scale test|paper]
+//! ```
+//!
+//! Without `--figure`, every figure (15–25) is produced. `--scale test`
+//! runs tiny inputs for a quick smoke pass; the default `paper` scale
+//! produces the numbers recorded in EXPERIMENTS.md.
+
+use stride_bench::*;
+use stride_core::{PipelineConfig, ProfilingVariant};
+use stride_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut figure: Option<u32> = None;
+    let mut scale = Scale::Paper;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--figure" => {
+                i += 1;
+                figure = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                };
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let config = PipelineConfig::default();
+    let wanted = |n: u32| figure.is_none() || figure == Some(n);
+
+    if wanted(15) {
+        println!("== Figure 15: SPECINT2000 benchmarks ==");
+        println!("{}", fig15_table(scale));
+    }
+    if wanted(16) {
+        println!("== Figure 16: speedup of stride prefetching ==");
+        let rows = fig16_speedups(scale, &ProfilingVariant::EVALUATED, &config)
+            .expect("fig16 pipeline");
+        println!("{}", render_speedups(&rows));
+    }
+    if wanted(17) {
+        println!("== Figure 17: in-loop vs out-loop load references ==");
+        println!("{:<14}{:>10}{:>10}", "benchmark", "in-loop", "out-loop");
+        let mut avg = (0.0, 0.0);
+        let rows = fig17_load_mix(scale, &config).expect("fig17 pipeline");
+        let n = rows.len() as f64;
+        for (name, inf, outf) in rows {
+            println!("{name:<14}{:>9.1}%{:>9.1}%", inf * 100.0, outf * 100.0);
+            avg.0 += inf;
+            avg.1 += outf;
+        }
+        println!("{:<14}{:>9.1}%{:>9.1}%\n", "average", avg.0 / n * 100.0, avg.1 / n * 100.0);
+    }
+    if wanted(18) || wanted(19) {
+        let rows = fig18_19_distributions(scale, &config).expect("fig18/19 pipeline");
+        if wanted(18) {
+            println!("== Figure 18: out-loop loads by stride property ==");
+            let out_rows: Vec<_> = rows.iter().map(|(n, o, _)| (*n, *o)).collect();
+            println!("{}", render_distribution(&out_rows));
+        }
+        if wanted(19) {
+            println!("== Figure 19: in-loop loads by stride property ==");
+            let in_rows: Vec<_> = rows.iter().map(|(n, _, i)| (*n, *i)).collect();
+            println!("{}", render_distribution(&in_rows));
+        }
+    }
+    if wanted(20) || wanted(21) || wanted(22) {
+        let rows = fig20_22_overheads(scale, &ProfilingVariant::EVALUATED, &config)
+            .expect("fig20-22 pipeline");
+        if wanted(20) {
+            println!("== Figure 20: profiling overhead over edge profiling alone ==");
+            println!("{}", render_overheads(&rows, 0));
+        }
+        if wanted(21) {
+            println!("== Figure 21: % load references processed by strideProf ==");
+            println!("{}", render_overheads(&rows, 1));
+        }
+        if wanted(22) {
+            println!("== Figure 22: % load references processed by LFU ==");
+            println!("{}", render_overheads(&rows, 2));
+        }
+    }
+    if wanted(23) || wanted(24) || wanted(25) {
+        println!("== Figures 23-25: sensitivity to input data sets (sample-edge-check) ==");
+        let rows = fig23_25_sensitivity(scale, &config).expect("fig23-25 pipeline");
+        println!("{}", render_sensitivity(&rows));
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: repro [--figure N] [--scale test|paper]");
+    std::process::exit(2);
+}

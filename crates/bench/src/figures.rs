@@ -1,0 +1,345 @@
+//! One generator per table/figure of the paper's evaluation (§4).
+//!
+//! Each generator runs the full pipeline over the synthetic SPECINT2000
+//! suite and returns structured rows; `render_*` helpers print them in the
+//! layout of the corresponding figure. The `repro` binary drives these.
+
+use stride_core::{
+    class_distribution, load_mix, measure_overhead, measure_speedup, prefetch_with_profiles,
+    run_profiling, run_uninstrumented, ClassDistribution, LoadPopulation, OverheadOutcome,
+    PipelineConfig, ProfilingVariant,
+};
+use stride_vm::VmError;
+use stride_workloads::{all_workloads, Scale, Workload};
+
+/// Geometric mean of a slice of ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Fig. 15: the benchmark table.
+pub fn fig15_table(scale: Scale) -> String {
+    let mut out = String::from("| Program | Lang | Description |\n|---|---|---|\n");
+    for w in all_workloads(scale) {
+        out.push_str(&format!("| {} | {} | {} |\n", w.name, w.lang, w.description));
+    }
+    out
+}
+
+/// One benchmark's speedups under every requested variant (Fig. 16 row).
+#[derive(Clone, Debug)]
+pub struct SpeedupRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// `(variant, speedup)` pairs in request order.
+    pub speedups: Vec<(ProfilingVariant, f64)>,
+}
+
+/// Fig. 16: speedup of stride prefetching per profiling method.
+///
+/// # Errors
+///
+/// Propagates [`VmError`] from any run.
+pub fn fig16_speedups(
+    scale: Scale,
+    variants: &[ProfilingVariant],
+    config: &PipelineConfig,
+) -> Result<Vec<SpeedupRow>, VmError> {
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let mut speedups = Vec::new();
+        for &v in variants {
+            let out = measure_speedup(&w.module, &w.train_args, &w.ref_args, v, config)?;
+            speedups.push((v, out.speedup));
+        }
+        rows.push(SpeedupRow {
+            name: w.name,
+            speedups,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders Fig. 16 rows (plus a geometric-mean line per variant).
+pub fn render_speedups(rows: &[SpeedupRow]) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("{:<14}", "benchmark"));
+    for (v, _) in &rows[0].speedups {
+        out.push_str(&format!("{:>20}", v.to_string()));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:<14}", row.name));
+        for (_, s) in &row.speedups {
+            out.push_str(&format!("{s:>20.3}"));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<14}", "geomean"));
+    for i in 0..rows[0].speedups.len() {
+        let col: Vec<f64> = rows.iter().map(|r| r.speedups[i].1).collect();
+        out.push_str(&format!("{:>20.3}", geomean(&col)));
+    }
+    out.push('\n');
+    out
+}
+
+/// Fig. 17: percentage of in-loop vs out-loop load references per
+/// benchmark (dynamic counts on the reference input).
+///
+/// # Errors
+///
+/// Propagates [`VmError`].
+pub fn fig17_load_mix(
+    scale: Scale,
+    config: &PipelineConfig,
+) -> Result<Vec<(&'static str, f64, f64)>, VmError> {
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let (run, _) = run_uninstrumented(&w.module, &w.ref_args, config)?;
+        let mix = load_mix(&w.module, &run);
+        let f = mix.in_loop_fraction();
+        rows.push((w.name, f, 1.0 - f));
+    }
+    Ok(rows)
+}
+
+/// Figs. 18/19: distribution of (out-loop / in-loop) load references by
+/// stride property, from a naive-all profile on the train input.
+///
+/// # Errors
+///
+/// Propagates [`VmError`].
+pub fn fig18_19_distributions(
+    scale: Scale,
+    config: &PipelineConfig,
+) -> Result<Vec<(&'static str, ClassDistribution, ClassDistribution)>, VmError> {
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let outcome = run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, config)?;
+        let (run, _) = run_uninstrumented(&w.module, &w.train_args, config)?;
+        let out_loop = class_distribution(
+            &w.module,
+            &outcome.stride,
+            &run,
+            LoadPopulation::OutLoop,
+            &config.prefetch,
+        );
+        let in_loop = class_distribution(
+            &w.module,
+            &outcome.stride,
+            &run,
+            LoadPopulation::InLoop,
+            &config.prefetch,
+        );
+        rows.push((w.name, out_loop, in_loop));
+    }
+    Ok(rows)
+}
+
+/// Renders a Figs. 18/19 distribution table.
+pub fn render_distribution(rows: &[(&'static str, ClassDistribution)]) -> String {
+    let mut out = format!(
+        "{:<14}{:>8}{:>8}{:>8}{:>10}\n",
+        "benchmark", "SSST", "PMST", "WSST", "no-stride"
+    );
+    for (name, d) in rows {
+        out.push_str(&format!(
+            "{:<14}{:>7.1}%{:>7.1}%{:>7.1}%{:>9.1}%\n",
+            name,
+            d.ssst * 100.0,
+            d.pmst * 100.0,
+            d.wsst * 100.0,
+            d.none * 100.0
+        ));
+    }
+    out
+}
+
+/// Figs. 20–22: profiling overhead and strideProf/LFU processing rates,
+/// per benchmark and variant, on the train input.
+///
+/// # Errors
+///
+/// Propagates [`VmError`].
+pub fn fig20_22_overheads(
+    scale: Scale,
+    variants: &[ProfilingVariant],
+    config: &PipelineConfig,
+) -> Result<Vec<(&'static str, Vec<(ProfilingVariant, OverheadOutcome)>)>, VmError> {
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let mut cols = Vec::new();
+        for &v in variants {
+            let o = measure_overhead(&w.module, &w.train_args, v, config)?;
+            cols.push((v, o));
+        }
+        rows.push((w.name, cols));
+    }
+    Ok(rows)
+}
+
+/// Renders one of Figs. 20–22 from the overhead data: `field` selects the
+/// quantity (0 = overhead ratio, 1 = strideProf fraction, 2 = LFU
+/// fraction).
+pub fn render_overheads(
+    rows: &[(&'static str, Vec<(ProfilingVariant, OverheadOutcome)>)],
+    field: usize,
+) -> String {
+    let mut out = String::new();
+    if rows.is_empty() {
+        return out;
+    }
+    out.push_str(&format!("{:<14}", "benchmark"));
+    for (v, _) in &rows[0].1 {
+        out.push_str(&format!("{:>20}", v.to_string()));
+    }
+    out.push('\n');
+    let mut sums = vec![0.0; rows[0].1.len()];
+    for (name, cols) in rows {
+        out.push_str(&format!("{name:<14}"));
+        for (i, (_, o)) in cols.iter().enumerate() {
+            let x = match field {
+                0 => o.overhead,
+                1 => o.strideprof_fraction,
+                2 => o.lfu_fraction,
+                _ => panic!("field out of range"),
+            };
+            sums[i] += x;
+            out.push_str(&format!("{:>19.1}%", x * 100.0));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!("{:<14}", "average"));
+    for s in &sums {
+        out.push_str(&format!("{:>19.1}%", s / rows.len() as f64 * 100.0));
+    }
+    out.push('\n');
+    out
+}
+
+/// One benchmark's input-sensitivity results (Figs. 23–25).
+#[derive(Clone, Debug)]
+pub struct SensitivityRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Profiles from the train input (Fig. 23's "train").
+    pub train: f64,
+    /// Profiles from the reference input (Fig. 23's "ref").
+    pub reference: f64,
+    /// Edge profile from ref, stride profile from train (Fig. 24).
+    pub edge_ref_stride_train: f64,
+    /// Edge profile from train, stride profile from ref (Fig. 25).
+    pub edge_train_stride_ref: f64,
+}
+
+/// Figs. 23–25: sensitivity of the speedup to the profiling input, with
+/// sample-edge-check profiling (§4.3). All four binaries run on the
+/// reference input.
+///
+/// # Errors
+///
+/// Propagates [`VmError`].
+pub fn fig23_25_sensitivity(
+    scale: Scale,
+    config: &PipelineConfig,
+) -> Result<Vec<SensitivityRow>, VmError> {
+    let variant = ProfilingVariant::SampleEdgeCheck;
+    let mut rows = Vec::new();
+    for w in all_workloads(scale) {
+        let train_prof = run_profiling(&w.module, &w.train_args, variant, config)?;
+        let ref_prof = run_profiling(&w.module, &w.ref_args, variant, config)?;
+        let (baseline, _) = run_uninstrumented(&w.module, &w.ref_args, config)?;
+        let speedup_with = |edge: &stride_profiling::EdgeProfile,
+                                stride: &stride_profiling::StrideProfile|
+         -> Result<f64, VmError> {
+            let (m, _, _) =
+                prefetch_with_profiles(&w.module, edge, train_prof.source, stride, config);
+            let (run, _) = run_uninstrumented(&m, &w.ref_args, config)?;
+            Ok(baseline.cycles as f64 / run.cycles.max(1) as f64)
+        };
+        rows.push(SensitivityRow {
+            name: w.name,
+            train: speedup_with(&train_prof.edge, &train_prof.stride)?,
+            reference: speedup_with(&ref_prof.edge, &ref_prof.stride)?,
+            edge_ref_stride_train: speedup_with(&ref_prof.edge, &train_prof.stride)?,
+            edge_train_stride_ref: speedup_with(&train_prof.edge, &ref_prof.stride)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the Figs. 23–25 sensitivity table.
+pub fn render_sensitivity(rows: &[SensitivityRow]) -> String {
+    let mut out = format!(
+        "{:<14}{:>10}{:>10}{:>24}{:>24}\n",
+        "benchmark", "train", "ref", "edge.ref-stride.train", "edge.train-stride.ref"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14}{:>10.3}{:>10.3}{:>24.3}{:>24.3}\n",
+            r.name, r.train, r.reference, r.edge_ref_stride_train, r.edge_train_stride_ref
+        ));
+    }
+    out
+}
+
+/// Convenience: a single benchmark's full speedup pipeline (used by tests
+/// and Criterion benches).
+///
+/// # Errors
+///
+/// Propagates [`VmError`].
+pub fn speedup_of(
+    w: &Workload,
+    variant: ProfilingVariant,
+    config: &PipelineConfig,
+) -> Result<f64, VmError> {
+    Ok(measure_speedup(&w.module, &w.train_args, &w.ref_args, variant, config)?.speedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[1.59]) - 1.59).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig15_lists_all_twelve() {
+        let t = fig15_table(Scale::Test);
+        assert_eq!(t.lines().count(), 14); // header + separator + 12
+        assert!(t.contains("181.mcf"));
+        assert!(t.contains("Combinatorial Optimization"));
+    }
+
+    #[test]
+    fn render_speedups_includes_geomean() {
+        let rows = vec![SpeedupRow {
+            name: "181.mcf",
+            speedups: vec![(ProfilingVariant::EdgeCheck, 1.5)],
+        }];
+        let s = render_speedups(&rows);
+        assert!(s.contains("geomean"));
+        assert!(s.contains("1.500"));
+    }
+
+    #[test]
+    fn fig17_runs_at_test_scale() {
+        let rows = fig17_load_mix(Scale::Test, &PipelineConfig::default()).unwrap();
+        assert_eq!(rows.len(), 12);
+        for (name, in_f, out_f) in rows {
+            assert!((in_f + out_f - 1.0).abs() < 1e-9, "{name}: fractions");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! Reproduction harness: figure/table generators (driven by the `repro`
+//! binary) and shared helpers for the Criterion benches.
+
+pub mod figures;
+
+pub use figures::{
+    fig15_table, fig16_speedups, fig17_load_mix, fig18_19_distributions, fig20_22_overheads,
+    fig23_25_sensitivity, geomean, render_distribution, render_overheads, render_sensitivity,
+    render_speedups, speedup_of, SensitivityRow, SpeedupRow,
+};

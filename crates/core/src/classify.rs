@@ -1,0 +1,387 @@
+//! Profile-feedback classification of profiled loads (Fig. 5): filter by
+//! frequency and trip count, then sort into SSST / PMST / WSST, and expand
+//! each surviving representative into the *cover loads* that must be
+//! prefetched to span the cache lines its equivalence class touches.
+
+use crate::config::PrefetchConfig;
+use std::collections::HashMap;
+use stride_ir::{
+    equivalent_load_classes, BlockId, EquivClass, FuncAnalysis, FuncId, InstrId, LoopId, Module,
+};
+use stride_profiling::{EdgeProfile, FreqSource, LoadStrideProfile, StrideProfile};
+
+/// The stride classes of §2.2.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum StrideClass {
+    /// Strong single stride: one dominant non-zero stride.
+    Ssst,
+    /// Phased multi-stride: several strides, phase-wise constant.
+    Pmst,
+    /// Weak single stride: one stride, occasionally.
+    Wsst,
+}
+
+impl std::fmt::Display for StrideClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            StrideClass::Ssst => "SSST",
+            StrideClass::Pmst => "PMST",
+            StrideClass::Wsst => "WSST",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies a single load's stride profile against the thresholds,
+/// ignoring the frequency/trip-count filters (used both by Fig. 5 and by
+/// the Figs. 18/19 distribution reports).
+pub fn classify_profile(p: &LoadStrideProfile, config: &PrefetchConfig) -> Option<StrideClass> {
+    if p.total_freq == 0 {
+        return None;
+    }
+    if p.top1_ratio() > config.ssst_threshold {
+        Some(StrideClass::Ssst)
+    } else if p.top4_ratio() > config.pmst_threshold
+        && p.zero_diff_ratio() > config.pmst_diff_threshold
+    {
+        Some(StrideClass::Pmst)
+    } else if p.top1_ratio() > config.wsst_threshold
+        && p.zero_diff_ratio() > config.wsst_diff_threshold
+    {
+        Some(StrideClass::Wsst)
+    } else {
+        None
+    }
+}
+
+/// A load that survived Fig. 5 and will be prefetched.
+#[derive(Clone, Debug)]
+pub struct ClassifiedLoad {
+    /// Containing function.
+    pub func: FuncId,
+    /// The profiled representative.
+    pub site: InstrId,
+    /// The representative's block.
+    pub block: BlockId,
+    /// Innermost reducible loop (`None` = out-loop).
+    pub loop_id: Option<LoopId>,
+    /// The assigned class.
+    pub class: StrideClass,
+    /// The dominant (top-1) stride in bytes.
+    pub dominant_stride: i64,
+    /// Profiled trip count of the containing loop (0 for out-loop).
+    pub trip_count: f64,
+    /// Block frequency of the load.
+    pub freq: u64,
+    /// The cover loads: one member per distinct cache line the
+    /// equivalence class touches (always includes the representative).
+    pub cover: Vec<InstrId>,
+}
+
+/// Outcome of the Fig. 5 feedback pass.
+#[derive(Clone, Debug, Default)]
+pub struct Classification {
+    /// Loads to prefetch, in deterministic order.
+    pub loads: Vec<ClassifiedLoad>,
+    /// Profiled loads dropped by the frequency filter (`freq <= FT`).
+    pub filtered_low_freq: usize,
+    /// In-loop profiled loads dropped by the trip-count filter
+    /// (`TC <= TT`).
+    pub filtered_low_trip: usize,
+    /// Profiled loads with no qualifying stride pattern.
+    pub no_pattern: usize,
+}
+
+impl Classification {
+    /// Loads of one class.
+    pub fn of_class(&self, class: StrideClass) -> impl Iterator<Item = &ClassifiedLoad> {
+        self.loads.iter().filter(move |l| l.class == class)
+    }
+}
+
+/// Selects the cover loads of `class`: the first member on each distinct
+/// cache line of the class's offset range (§2.2: "enough loads will be
+/// prefetched to cover the cache lines in that range").
+fn cover_loads(class: &EquivClass, line_size: u64) -> Vec<InstrId> {
+    let mut seen_lines: Vec<i64> = Vec::new();
+    let mut cover = Vec::new();
+    for &(site, _, offset) in &class.members {
+        let line = offset.div_euclid(line_size as i64);
+        if !seen_lines.contains(&line) {
+            seen_lines.push(line);
+            cover.push(site);
+        }
+    }
+    cover
+}
+
+/// Runs the Fig. 5 feedback pass over every profiled load.
+///
+/// `source` names the counter space the frequency quantities come from
+/// (edge counters for edge-check/naïve methods, block counters for
+/// block-check).
+pub fn classify(
+    module: &Module,
+    stride: &StrideProfile,
+    freq: &EdgeProfile,
+    source: FreqSource,
+    config: &PrefetchConfig,
+) -> Classification {
+    let mut out = Classification::default();
+
+    // Per-function caches.
+    let mut analyses: HashMap<FuncId, FuncAnalysis> = HashMap::new();
+    let mut classes_by_func: HashMap<FuncId, Vec<EquivClass>> = HashMap::new();
+
+    // Deterministic iteration: by function, then instruction id.
+    let mut entries: Vec<(FuncId, InstrId, &LoadStrideProfile)> = stride.iter().collect();
+    entries.sort_by_key(|&(f, s, _)| (f, s));
+
+    for (func_id, site, profile) in entries {
+        let func = module.function(func_id);
+        let analysis = analyses
+            .entry(func_id)
+            .or_insert_with(|| FuncAnalysis::compute(func));
+        let Some((block, _)) = func.find_instr(site) else {
+            continue; // stale profile entry
+        };
+
+        // --- frequency filter ------------------------------------------
+        let freq_val = freq.block_freq_via(source, func_id, &analysis.cfg, func.entry, block);
+        if freq_val <= config.frequency_threshold {
+            out.filtered_low_freq += 1;
+            continue;
+        }
+
+        // --- trip-count filter (in-loop loads only) ----------------------
+        let loop_id = analysis.loops.loop_of(block);
+        let trip_count = match loop_id {
+            Some(l) => {
+                let tc = freq.trip_count_via(source, func_id, &analysis.cfg, &analysis.loops, l);
+                if tc <= config.trip_count_threshold as f64 {
+                    out.filtered_low_trip += 1;
+                    continue;
+                }
+                tc
+            }
+            None => 0.0,
+        };
+
+        // --- stride-pattern classification --------------------------------
+        let Some(class) = classify_profile(profile, config) else {
+            out.no_pattern += 1;
+            continue;
+        };
+        let dominant_stride = profile.top1().map(|(s, _)| s).unwrap_or(0);
+
+        // --- cover loads ----------------------------------------------------
+        let classes = classes_by_func
+            .entry(func_id)
+            .or_insert_with(|| equivalent_load_classes(func, analysis));
+        let cover = classes
+            .iter()
+            .find(|c| c.repr == site)
+            .map(|c| cover_loads(c, config.line_size))
+            .unwrap_or_else(|| vec![site]);
+
+        out.loads.push(ClassifiedLoad {
+            func: func_id,
+            site,
+            block,
+            loop_id,
+            class,
+            dominant_stride,
+            trip_count,
+            freq: freq_val,
+            cover,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(top: Vec<(i64, u64)>, total: u64, zero_diff: u64) -> LoadStrideProfile {
+        LoadStrideProfile {
+            top,
+            total_freq: total,
+            num_zero_stride: 0,
+            num_zero_diff: zero_diff,
+            total_diffs: total.saturating_sub(1),
+        }
+    }
+
+    #[test]
+    fn ssst_dominant_stride() {
+        let cfg = PrefetchConfig::paper();
+        // 80% single stride -> SSST
+        let p = profile(vec![(64, 80), (8, 20)], 100, 50);
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Ssst));
+    }
+
+    #[test]
+    fn pmst_needs_phased_diffs() {
+        let cfg = PrefetchConfig::paper();
+        // top4 = 90% but alternating (no zero diffs) -> not PMST; top1 40%
+        // only qualifies WSST when diffs are sometimes zero, so: none.
+        let p = profile(vec![(32, 40), (64, 30), (128, 20)], 100, 0);
+        assert_eq!(classify_profile(&p, &cfg), None);
+        // same strides, phased -> PMST
+        let p = profile(vec![(32, 40), (64, 30), (128, 20)], 100, 60);
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Pmst));
+    }
+
+    #[test]
+    fn wsst_weak_single_stride() {
+        let cfg = PrefetchConfig::paper();
+        // paper's example: stride 32 in ~25-30% of refs, 10%+ zero diffs
+        let p = profile(vec![(32, 30)], 100, 15);
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Wsst));
+    }
+
+    #[test]
+    fn no_pattern_for_noise() {
+        let cfg = PrefetchConfig::paper();
+        let p = profile(vec![(8, 10), (16, 9), (24, 8), (40, 7)], 100, 2);
+        assert_eq!(classify_profile(&p, &cfg), None);
+        let empty = profile(vec![], 0, 0);
+        assert_eq!(classify_profile(&empty, &cfg), None);
+    }
+
+    #[test]
+    fn figure_2_gap_load_is_pmst() {
+        // §1: (*s&~3)->size load has 4 dominant strides at 29/28/21/5%,
+        // phase-wise constant.
+        let cfg = PrefetchConfig::paper();
+        let p = profile(
+            vec![(16, 29), (24, 28), (32, 21), (48, 5)],
+            100,
+            55,
+        );
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Pmst));
+    }
+
+    #[test]
+    fn figure_1_parser_load_is_ssst() {
+        // §1: strides the same 94% of the time.
+        let cfg = PrefetchConfig::paper();
+        let p = profile(vec![(40, 94)], 100, 90);
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Ssst));
+    }
+
+    /// End-to-end classify() over a real module: one hot pointer-chasing
+    /// loop with a synthetic SSST profile.
+    #[test]
+    fn classify_applies_filters_and_cover() {
+        use stride_ir::ModuleBuilder;
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        let mut sites = (None, None);
+        fb.while_nonzero(p, |fb, p| {
+            let (_, s1) = fb.load(p, 8);
+            let s2 = fb.load_to(p, p, 0);
+            sites = (Some(s1), Some(s2));
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let cfg = &analysis.cfg;
+        let l = analysis.loops.loops()[0].id;
+
+        // Frequency profile: loop entered once, 10_000 iterations.
+        let mut freq = EdgeProfile::for_module(&m);
+        let (a, b) = analysis.loops.entry_edges(l, cfg)[0];
+        freq.increment(f, cfg.edge_id(a, b).unwrap());
+        let outs = analysis.loops.header_out_edges(l, cfg);
+        let body_edge = cfg.edge_id(outs[0].0, outs[0].1).unwrap();
+        for _ in 0..10_000 {
+            freq.increment(f, body_edge);
+        }
+
+        // Stride profile for the representative (s1 is the class repr —
+        // first in program order).
+        let repr = sites.0.unwrap();
+        let mut stride = StrideProfile::new();
+        stride.insert(f, repr, profile(vec![(40, 9000)], 9500, 9000));
+
+        let pcfg = PrefetchConfig::paper();
+        let c = classify(&m, &stride, &freq, FreqSource::Edges, &pcfg);
+        assert_eq!(c.loads.len(), 1);
+        let cl = &c.loads[0];
+        assert_eq!(cl.class, StrideClass::Ssst);
+        assert_eq!(cl.dominant_stride, 40);
+        assert!(cl.trip_count > 1000.0);
+        // both members are on the same 64B line (offsets 0 and 8): only the
+        // representative is covered
+        assert_eq!(cl.cover, vec![repr]);
+    }
+
+    #[test]
+    fn classify_filters_low_frequency() {
+        use stride_ir::ModuleBuilder;
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        let mut site = None;
+        fb.while_nonzero(p, |fb, p| {
+            site = Some(fb.load_to(p, p, 0));
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+
+        let freq = EdgeProfile::for_module(&m); // all zero
+        let mut stride = StrideProfile::new();
+        stride.insert(f, site.unwrap(), profile(vec![(64, 900)], 1000, 900));
+        let c = classify(&m, &stride, &freq, FreqSource::Edges, &PrefetchConfig::paper());
+        assert!(c.loads.is_empty());
+        assert_eq!(c.filtered_low_freq, 1);
+    }
+
+    #[test]
+    fn cover_spans_multiple_lines() {
+        use stride_ir::ModuleBuilder;
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        let mut sites = Vec::new();
+        fb.while_nonzero(p, |fb, p| {
+            let (_, s1) = fb.load(p, 8); // line 0
+            let (_, s2) = fb.load(p, 72); // line 1
+            let (_, s3) = fb.load(p, 16); // line 0 again
+            sites.extend([s1, s2, s3]);
+            fb.load_to(p, p, 0); // line 0, chasing
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let l = analysis.loops.loops()[0].id;
+        let cfg = &analysis.cfg;
+
+        let mut freq = EdgeProfile::for_module(&m);
+        let (a, b) = analysis.loops.entry_edges(l, cfg)[0];
+        freq.increment(f, cfg.edge_id(a, b).unwrap());
+        let outs = analysis.loops.header_out_edges(l, cfg);
+        let body_edge = cfg.edge_id(outs[0].0, outs[0].1).unwrap();
+        for _ in 0..10_000 {
+            freq.increment(f, body_edge);
+        }
+
+        let mut stride = StrideProfile::new();
+        stride.insert(f, sites[0], profile(vec![(128, 9000)], 9500, 9000));
+        let c = classify(&m, &stride, &freq, FreqSource::Edges, &PrefetchConfig::paper());
+        assert_eq!(c.loads.len(), 1);
+        // covers line 0 (via s1) and line 1 (via s2)
+        assert_eq!(c.loads[0].cover, vec![sites[0], sites[1]]);
+    }
+}

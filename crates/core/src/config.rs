@@ -1,0 +1,114 @@
+//! Thresholds and knobs of the classification and prefetching algorithms
+//! (§2.2 of the paper, Fig. 5).
+
+/// All tunables of the feedback pass. Defaults follow the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefetchConfig {
+    /// `SSST_threshold`: minimum `top1/total` ratio for a strong
+    /// single-stride load (paper: 0.7).
+    pub ssst_threshold: f64,
+    /// `PMST_threshold`: minimum `top4/total` ratio for a phased
+    /// multi-stride load (paper's example: 0.6).
+    pub pmst_threshold: f64,
+    /// `PMST_diff_threshold`: minimum `zero_diffs/total` ratio for PMST
+    /// (paper's example: 0.4).
+    pub pmst_diff_threshold: f64,
+    /// `WSST_threshold`: minimum `top1/total` ratio for a weak
+    /// single-stride load (paper's example: 0.25).
+    pub wsst_threshold: f64,
+    /// `WSST_diff_threshold`: minimum `zero_diffs/total` ratio for WSST
+    /// (paper's example: 0.1).
+    pub wsst_diff_threshold: f64,
+    /// `FT`: minimum dynamic frequency of a load to be considered
+    /// (paper: 2000).
+    pub frequency_threshold: u64,
+    /// `TT`: minimum loop trip count (paper: 128). Also the divisor of the
+    /// prefetch-distance heuristic `K = min(trip_count/TT, C)`.
+    pub trip_count_threshold: u64,
+    /// `C`: maximum prefetch distance in strides (paper: 8).
+    pub max_prefetch_distance: u64,
+    /// Fixed prefetch distance for out-loop SSST loads (paper: 4).
+    pub out_loop_distance: u64,
+    /// Cache line size for cover-load computation.
+    pub line_size: u64,
+    /// Enable WSST prefetching. The paper implements it but disables it in
+    /// the evaluation ("prefetching for weak single strided load is not
+    /// enabled for this paper"); we default to the paper's setting.
+    pub enable_wsst_prefetch: bool,
+    /// Enable dependence-based prefetching of loads whose address comes
+    /// from another load (§6 future work #2). Off by default; the paper
+    /// left it unevaluated.
+    pub enable_dependent_prefetch: bool,
+}
+
+impl PrefetchConfig {
+    /// The paper's configuration.
+    pub const fn paper() -> Self {
+        PrefetchConfig {
+            ssst_threshold: 0.70,
+            pmst_threshold: 0.60,
+            pmst_diff_threshold: 0.40,
+            wsst_threshold: 0.25,
+            wsst_diff_threshold: 0.10,
+            frequency_threshold: 2000,
+            trip_count_threshold: 128,
+            max_prefetch_distance: 8,
+            out_loop_distance: 4,
+            line_size: 64,
+            enable_wsst_prefetch: false,
+            enable_dependent_prefetch: false,
+        }
+    }
+
+    /// `W = floor(log2(TT))`, the shift used by the trip-count check to
+    /// avoid a division (§3.2).
+    pub fn trip_shift(&self) -> u32 {
+        63 - self.trip_count_threshold.max(1).leading_zeros()
+            + if self.trip_count_threshold.is_power_of_two() {
+                0
+            } else {
+                0
+            }
+    }
+}
+
+impl Default for PrefetchConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = PrefetchConfig::paper();
+        assert_eq!(c.ssst_threshold, 0.70);
+        assert_eq!(c.frequency_threshold, 2000);
+        assert_eq!(c.trip_count_threshold, 128);
+        assert_eq!(c.max_prefetch_distance, 8);
+        assert_eq!(c.out_loop_distance, 4);
+        assert!(!c.enable_wsst_prefetch);
+    }
+
+    #[test]
+    fn trip_shift_is_log2() {
+        let c = PrefetchConfig {
+            trip_count_threshold: 128,
+            ..PrefetchConfig::paper()
+        };
+        assert_eq!(c.trip_shift(), 7);
+        let c = PrefetchConfig {
+            trip_count_threshold: 100,
+            ..PrefetchConfig::paper()
+        };
+        assert_eq!(c.trip_shift(), 6); // floor(log2(100))
+        let c = PrefetchConfig {
+            trip_count_threshold: 1,
+            ..PrefetchConfig::paper()
+        };
+        assert_eq!(c.trip_shift(), 0);
+    }
+}

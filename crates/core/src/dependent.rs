@@ -1,0 +1,297 @@
+//! Dependent-load prefetching — the paper's second future-work direction
+//! (§6): "there are cases where a load itself does not have stride
+//! patterns, but its address depends on another load with stride
+//! patterns. We may extend our method to prefetch loads that depend on
+//! the results of the prefetching instructions."
+//!
+//! The implemented form is the classic dependence-based one-iteration-
+//! ahead scheme: in a pointer-chasing loop
+//!
+//! ```text
+//! loop:
+//!     v = load [p + 8]     ; irregular when the chain hops
+//!     p = load [p + 0]     ; the chasing load (often SSST itself)
+//!     ...
+//! ```
+//!
+//! once `p = load [p + 0]` has produced next iteration's pointer, next
+//! iteration's `[p + 8]` address is *known exactly* — no stride assumption
+//! needed. We insert `prefetch [p + 8]` immediately after the chasing
+//! load. The prefetch is non-faulting, so the nil pointer at the end of
+//! the chain is harmless.
+//!
+//! Disabled by default ([`PrefetchConfig::enable_dependent_prefetch`]);
+//! the paper left it as future work.
+
+use crate::classify::Classification;
+use crate::config::PrefetchConfig;
+use std::collections::HashSet;
+use stride_ir::{FuncAnalysis, InstrId, Module, Op, Operand, Reg};
+
+/// Applies dependence-based prefetching to a copy of `module`: for every
+/// in-loop *chasing* load (`r = load [r + c]`), insert prefetches of the
+/// distinct cache lines that other same-loop loads address through `r`.
+///
+/// Loads already covered by the stride transformation (members of
+/// `classification`'s cover sets) are skipped, so the two schemes compose.
+/// Returns the transformed module and the number of prefetches inserted.
+pub fn apply_dependent_prefetching(
+    module: &Module,
+    classification: &Classification,
+    config: &PrefetchConfig,
+) -> (Module, usize) {
+    let mut out = module.clone();
+    let mut inserted = 0usize;
+
+    // Loads the stride transformation already prefetches.
+    let covered: HashSet<(stride_ir::FuncId, InstrId)> = classification
+        .loads
+        .iter()
+        .flat_map(|l| l.cover.iter().map(move |&c| (l.func, c)))
+        .collect();
+
+    for func in &module.functions {
+        let analysis = FuncAnalysis::compute(func);
+
+        // Collect (chasing load, dependent offsets) plans first; mutate after.
+        let mut plans: Vec<(InstrId, Reg, Vec<i64>)> = Vec::new();
+        for block in &func.blocks {
+            let Some(loop_id) = analysis.loops.loop_of(block.id) else {
+                continue;
+            };
+            for instr in &block.instrs {
+                let Op::Load { dst, addr, .. } = instr.op else {
+                    continue;
+                };
+                if addr != Operand::Reg(dst) {
+                    continue; // not a chasing load (r = load [r + c])
+                }
+                // Dependent loads: same loop, base register == dst
+                // (including the chasing load itself — prefetching
+                // `[p_next + 0]` walks the chain one node ahead), skipping
+                // loads already stride-prefetched.
+                let mut offsets: Vec<i64> = Vec::new();
+                for dep_block in &analysis.loops.get(loop_id).blocks {
+                    for dep in &func.block(*dep_block).instrs {
+                        let Op::Load {
+                            addr: dep_addr,
+                            offset,
+                            ..
+                        } = dep.op
+                        else {
+                            continue;
+                        };
+                        if dep_addr != Operand::Reg(dst) {
+                            continue;
+                        }
+                        if covered.contains(&(func.id, dep.id)) {
+                            continue;
+                        }
+                        let line = offset.div_euclid(config.line_size as i64);
+                        if !offsets
+                            .iter()
+                            .any(|o| o.div_euclid(config.line_size as i64) == line)
+                        {
+                            offsets.push(offset);
+                        }
+                    }
+                }
+                if !offsets.is_empty() {
+                    plans.push((instr.id, dst, offsets));
+                }
+            }
+        }
+
+        if plans.is_empty() {
+            continue;
+        }
+        let out_func = out.function_mut(func.id);
+        for (site, reg, offsets) in plans {
+            // Insert after the chasing load: find it and splice behind it.
+            let (block, idx) = out_func.find_instr(site).expect("chasing load exists");
+            let ops: Vec<(Option<Reg>, Op)> = offsets
+                .iter()
+                .map(|&offset| {
+                    (
+                        None,
+                        Op::Prefetch {
+                            addr: Operand::Reg(reg),
+                            offset,
+                        },
+                    )
+                })
+                .collect();
+            inserted += ops.len();
+            let new: Vec<stride_ir::Instr> = ops
+                .into_iter()
+                .map(|(pred, op)| {
+                    let id = out_func.new_instr_id();
+                    stride_ir::Instr { id, pred, op }
+                })
+                .collect();
+            out_func
+                .block_mut(block)
+                .instrs
+                .splice(idx + 1..idx + 1, new);
+        }
+    }
+    (out, inserted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{verify_module, ModuleBuilder};
+
+    /// A chasing loop with one dependent payload load.
+    fn chase_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        fb.while_nonzero(p, |fb, p| {
+            let (_, _payload) = fb.load(p, 8);
+            fb.load_to(p, p, 0); // chasing load
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn inserts_prefetch_after_chasing_load() {
+        let m = chase_module();
+        let (out, n) = apply_dependent_prefetching(
+            &m,
+            &Classification::default(),
+            &PrefetchConfig::paper(),
+        );
+        verify_module(&out).expect("verifies");
+        // both the payload (offset 8) and the chase target (offset 0) sit
+        // on line 0 relative to p, so one prefetch covers them
+        assert_eq!(n, 1);
+        let f = &out.functions[0];
+        let mut found = false;
+        for block in &f.blocks {
+            for (i, instr) in block.instrs.iter().enumerate() {
+                if let Op::Load { dst, addr, .. } = instr.op {
+                    if addr == Operand::Reg(dst) {
+                        let next = &block.instrs[i + 1];
+                        assert!(
+                            matches!(next.op, Op::Prefetch { .. }),
+                            "prefetch must follow the chasing load"
+                        );
+                        found = true;
+                    }
+                }
+            }
+        }
+        assert!(found);
+    }
+
+    #[test]
+    fn covered_loads_are_skipped() {
+        let m = chase_module();
+        // Mark the payload load as already covered by stride prefetching.
+        let payload = m.functions[0]
+            .loads()
+            .iter()
+            .map(|&(id, _)| id)
+            .min()
+            .unwrap();
+        let classification = Classification {
+            loads: vec![crate::classify::ClassifiedLoad {
+                func: m.entry,
+                site: payload,
+                block: stride_ir::BlockId::new(2),
+                loop_id: None,
+                class: crate::classify::StrideClass::Ssst,
+                dominant_stride: 48,
+                trip_count: 1000.0,
+                freq: 10_000,
+                cover: vec![payload],
+            }],
+            ..Classification::default()
+        };
+        let (_, n) =
+            apply_dependent_prefetching(&m, &classification, &PrefetchConfig::paper());
+        // only the chasing load's own line remains as a dependent target
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn no_chasing_load_means_no_change() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("a", 4096);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        fb.counted_loop(16i64, |fb, i| {
+            let off = fb.mul(i, 8i64);
+            let a = fb.add(base, off);
+            let _ = fb.load(a, 0);
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let (out, n) = apply_dependent_prefetching(
+            &m,
+            &Classification::default(),
+            &PrefetchConfig::paper(),
+        );
+        assert_eq!(n, 0);
+        assert_eq!(out.instr_count(), m.instr_count());
+    }
+
+    #[test]
+    fn semantics_preserved_and_helps_an_irregular_chain() {
+        use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+        // Build an irregular chain (no stride pattern) and check the
+        // dependent prefetch keeps semantics; timing benefit is exercised
+        // in the ablation binary.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 2);
+        let mut fb = mb.function(f);
+        // build a chain with pseudo-random hops
+        let lcg_state = fb.mov(fb.param(1));
+        let head = fb.alloc(64i64);
+        let prev = fb.mov(head);
+        fb.counted_loop(fb.param(0), |fb, i| {
+            fb.bin_to(lcg_state, stride_ir::BinOp::Mul, lcg_state, 6364136223846793005i64);
+            fb.bin_to(lcg_state, stride_ir::BinOp::Add, lcg_state, 1442695040888963407i64);
+            let sz = fb.bin(stride_ir::BinOp::Lshr, lcg_state, 58i64);
+            let sz16 = fb.mul(sz, 16i64);
+            let sz2 = fb.add(sz16, 32i64);
+            let node = fb.alloc(sz2);
+            fb.store(i, node, 8);
+            fb.store(node, prev, 0);
+            fb.store(0i64, node, 0);
+            fb.mov_to(prev, node);
+        });
+        let sum = fb.mov(0i64);
+        let p = fb.mov(head);
+        fb.while_nonzero(p, |fb, p| {
+            let (v, _) = fb.load(p, 8);
+            fb.bin_to(sum, stride_ir::BinOp::Add, sum, v);
+            fb.load_to(p, p, 0);
+        });
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        let m = mb.finish();
+
+        let (out, n) = apply_dependent_prefetching(
+            &m,
+            &Classification::default(),
+            &PrefetchConfig::paper(),
+        );
+        assert!(n >= 1);
+        verify_module(&out).expect("verifies");
+        let run = |m: &Module| {
+            let mut vm = Vm::new(m, VmConfig::default());
+            vm.run(&[500, 99], &mut FlatTiming, &mut NullRuntime)
+                .unwrap()
+                .return_value
+        };
+        assert_eq!(run(&m), run(&out));
+    }
+}

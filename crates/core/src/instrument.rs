@@ -1,0 +1,522 @@
+//! Instrumentation pass: inserts frequency counters and guarded
+//! `strideProf` calls into a copy of the module (Figs. 11–14 of the
+//! paper).
+//!
+//! Counter and stride-profile records are keyed by the *original* module's
+//! ids: edge ids come from the original CFG numbering and load sites keep
+//! their instruction ids (the pass only appends new ids), so a profile
+//! collected from the instrumented copy feeds back onto the original
+//! module directly.
+
+use crate::config::PrefetchConfig;
+use crate::select::{ProfilingMethod, Selection};
+use std::collections::HashMap;
+use stride_ir::{
+    split_edge, BlockId, EdgeId, FuncAnalysis, Function, InstrId, LoopId, Module, Op, Operand,
+    Reg,
+};
+use stride_profiling::EdgeProfile;
+
+/// An instrumented program plus the slot table its profiling runtime
+/// needs.
+#[derive(Clone, Debug)]
+pub struct InstrumentedModule {
+    /// The instrumented copy.
+    pub module: Module,
+    /// The profiled-load selection (slot order matches
+    /// [`stride_profiling::ProfilerRuntime::new`]'s `slot_sites`).
+    pub selection: Selection,
+    /// The method that produced this instrumentation.
+    pub method: ProfilingMethod,
+}
+
+/// Instruments `module` for integrated frequency + stride profiling under
+/// `method` (§3.2).
+pub fn instrument(
+    module: &Module,
+    method: ProfilingMethod,
+    config: &PrefetchConfig,
+) -> InstrumentedModule {
+    let selection = crate::select::select_profiled_loads(module, method);
+    let instrumented = instrument_with(module, &selection, method, config);
+    InstrumentedModule {
+        module: instrumented,
+        selection,
+        method,
+    }
+}
+
+/// Instruments `module` for frequency profiling only (the paper's
+/// baseline: "execution time with edge profiling").
+pub fn instrument_edges_only(module: &Module) -> Module {
+    instrument_with(
+        module,
+        &Selection::default(),
+        ProfilingMethod::EdgeCheck,
+        &PrefetchConfig::paper(),
+    )
+}
+
+/// Instruments `module` with frequency counters plus unguarded
+/// `strideProf` calls on exactly `selection` — the second pass of the
+/// *two-pass* method, whose selection was computed from a prior frequency
+/// profile.
+pub fn instrument_two_pass(module: &Module, selection: &Selection) -> Module {
+    instrument_with(
+        module,
+        selection,
+        ProfilingMethod::NaiveLoop,
+        &PrefetchConfig::paper(),
+    )
+}
+
+/// The shared instrumentation engine.
+fn instrument_with(
+    module: &Module,
+    selection: &Selection,
+    method: ProfilingMethod,
+    config: &PrefetchConfig,
+) -> Module {
+    let mut out = module.clone();
+    let block_counters = method == ProfilingMethod::BlockCheck;
+
+    for func in &mut out.functions {
+        let original = module.function(func.id);
+        let analysis = FuncAnalysis::compute(original);
+        let cfg = &analysis.cfg;
+
+        // Loops needing a trip-count predicate.
+        let guarded_loops: Vec<LoopId> = if method.is_guarded() {
+            selection.loops_with_loads(func.id)
+        } else {
+            Vec::new()
+        };
+        let mut loop_pred: HashMap<LoopId, Reg> = HashMap::new();
+        for &l in &guarded_loops {
+            loop_pred.insert(l, func.new_reg());
+        }
+
+        // --- frequency counters -----------------------------------------
+        // Maps each counter id to the block that hosts its increment and
+        // the index just past the inserted bundle (so trip-count checks can
+        // follow the counter they depend on).
+        let mut edge_carrier: HashMap<EdgeId, BlockId> = HashMap::new();
+
+        if block_counters {
+            // Block-frequency profiling (Fig. 11): one counter at the top
+            // of every block.
+            for b in 0..original.blocks.len() {
+                let block = BlockId::new(b as u32);
+                let counter = EdgeProfile::block_counter(cfg, block);
+                stride_ir::insert_at_front(
+                    func,
+                    block,
+                    vec![(None, Op::ProfileEdge { edge: counter })],
+                );
+                edge_carrier.insert(counter, block);
+            }
+        } else {
+            // Edge-frequency profiling (Fig. 14): a counter on every edge,
+            // placed in the source (sole successor), the sink (sole
+            // predecessor) or a freshly split block.
+            for (idx, &(from, to)) in cfg.edges().iter().enumerate() {
+                let edge = EdgeId::new(idx as u32);
+                let carrier = if cfg.succs(from).len() == 1 {
+                    stride_ir::insert_at_end(func, from, vec![(None, Op::ProfileEdge { edge })]);
+                    from
+                } else if cfg.preds(to).len() == 1 {
+                    stride_ir::insert_at_front(func, to, vec![(None, Op::ProfileEdge { edge })]);
+                    to
+                } else {
+                    let split = split_edge(func, from, to);
+                    stride_ir::insert_at_front(func, split, vec![(None, Op::ProfileEdge { edge })]);
+                    split
+                };
+                edge_carrier.insert(edge, carrier);
+            }
+            // Virtual entry counter.
+            let entry_edge = EdgeProfile::entry_edge(cfg);
+            stride_ir::insert_at_front(
+                func,
+                original.entry,
+                vec![(None, Op::ProfileEdge { edge: entry_edge })],
+            );
+            edge_carrier.insert(entry_edge, original.entry);
+        }
+
+        // --- trip-count predicates (guarded methods) ----------------------
+        let shift = config.trip_shift();
+        for &l in &guarded_loops {
+            let pred = loop_pred[&l];
+            let (incoming, outgoing): (Vec<EdgeId>, Vec<EdgeId>) = if block_counters {
+                let incoming = analysis
+                    .loops
+                    .entry_edges(l, cfg)
+                    .into_iter()
+                    .map(|(from, _)| EdgeProfile::block_counter(cfg, from))
+                    .collect();
+                let header = analysis.loops.get(l).header;
+                let outgoing = vec![EdgeProfile::block_counter(cfg, header)];
+                (incoming, outgoing)
+            } else {
+                let incoming = analysis
+                    .loops
+                    .entry_edges(l, cfg)
+                    .into_iter()
+                    .filter_map(|(a, b)| cfg.edge_id(a, b))
+                    .collect();
+                let outgoing = analysis
+                    .loops
+                    .header_out_edges(l, cfg)
+                    .into_iter()
+                    .filter_map(|(a, b)| cfg.edge_id(a, b))
+                    .collect();
+                (incoming, outgoing)
+            };
+
+            // Insert one check per entry path, in the block carrying that
+            // path's counter, *after* the counter increment (end of block
+            // is always after the front/end-inserted counters).
+            let header = analysis.loops.get(l).header;
+            let entry_carriers: Vec<BlockId> = if block_counters {
+                analysis
+                    .loops
+                    .entry_edges(l, cfg)
+                    .into_iter()
+                    .map(|(from, _)| from)
+                    .collect()
+            } else {
+                analysis
+                    .loops
+                    .entry_edges(l, cfg)
+                    .into_iter()
+                    .filter_map(|(a, b)| cfg.edge_id(a, b))
+                    .map(|e| edge_carrier[&e])
+                    .collect()
+            };
+            for carrier in entry_carriers {
+                stride_ir::insert_at_end(
+                    func,
+                    carrier,
+                    vec![(
+                        None,
+                        Op::TripCountCheck {
+                            dst: pred,
+                            header,
+                            incoming: incoming.clone(),
+                            outgoing: outgoing.clone(),
+                            shift,
+                        },
+                    )],
+                );
+            }
+        }
+
+        // --- strideProf calls ---------------------------------------------
+        let func_id = func.id;
+        for load in selection.loads.iter().filter(|l| l.func == func_id) {
+            let (block, idx) = func
+                .find_instr(load.site)
+                .expect("profiled load present in copy");
+            let instr = &func.block(block).instrs[idx];
+            let Op::Load { addr, offset, .. } = instr.op else {
+                panic!("selection names a non-load instruction {}", load.site);
+            };
+            let load_pred = instr.pred;
+
+            let stride_op = |pred: Option<Reg>| {
+                (
+                    pred,
+                    Op::ProfileStride {
+                        site: load.site,
+                        addr,
+                        offset,
+                        slot: load.slot,
+                    },
+                )
+            };
+
+            let guard = if method.is_guarded() {
+                load.loop_id.and_then(|l| loop_pred.get(&l).copied())
+            } else {
+                None
+            };
+
+            let ops = match (guard, load_pred) {
+                (Some(pr), Some(lp)) => {
+                    // pr1 = pr && load->predicate (Fig. 14)
+                    let pr1 = func.new_reg();
+                    vec![
+                        (
+                            None,
+                            Op::Bin {
+                                dst: pr1,
+                                op: stride_ir::BinOp::And,
+                                lhs: Operand::Reg(pr),
+                                rhs: Operand::Reg(lp),
+                            },
+                        ),
+                        stride_op(Some(pr1)),
+                    ]
+                }
+                (Some(pr), None) => vec![stride_op(Some(pr))],
+                (None, lp) => vec![stride_op(lp)],
+            };
+            stride_ir::insert_before(func, load.site, ops);
+        }
+    }
+    out
+}
+
+/// Computes the two-pass selection: every in-loop load inside a loop whose
+/// profiled trip count exceeds the threshold. (No equivalence reduction —
+/// the paper's two-pass baseline simply restricts naive-loop profiling to
+/// hot loops, which is why, after the feedback filters, it collects the
+/// same profile as naive-loop, §3.2/§4.1.)
+pub fn select_two_pass(
+    module: &Module,
+    edge_profile: &EdgeProfile,
+    config: &PrefetchConfig,
+) -> Selection {
+    let naive = crate::select::select_profiled_loads(module, ProfilingMethod::NaiveLoop);
+    let mut out = Selection::default();
+    let mut analyses: HashMap<stride_ir::FuncId, FuncAnalysis> = HashMap::new();
+    for load in naive.loads {
+        let analysis = analyses
+            .entry(load.func)
+            .or_insert_with(|| FuncAnalysis::compute(module.function(load.func)));
+        let Some(l) = load.loop_id else { continue };
+        let tc = edge_profile.trip_count(load.func, &analysis.cfg, &analysis.loops, l);
+        if tc > config.trip_count_threshold as f64 {
+            let slot = out.loads.len() as u32;
+            out.loads.push(crate::select::ProfiledLoad { slot, ..load });
+        }
+    }
+    out
+}
+
+/// Number of profiling pseudo-instructions in a module (test/debug aid).
+pub fn profiling_instr_count(module: &Module) -> usize {
+    module
+        .functions
+        .iter()
+        .flat_map(|f| f.instrs())
+        .filter(|(_, i)| i.op.is_profiling())
+        .count()
+}
+
+/// Lists the functions' loads whose site carries a `ProfileStride` call
+/// immediately before it (test/debug aid).
+pub fn instrumented_sites(func: &Function) -> Vec<InstrId> {
+    let mut out = Vec::new();
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Op::ProfileStride { site, .. } = instr.op {
+                out.push(site);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{verify_module, Cfg, ModuleBuilder};
+
+    /// Pointer-chasing loop over `param(0)` plus an out-loop load.
+    fn chase_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("t", 4096);
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let p = fb.mov(fb.param(0));
+        fb.while_nonzero(p, |fb, p| {
+            let _ = fb.load(p, 8);
+            fb.load_to(p, p, 0);
+        });
+        let _ = fb.load(base, 0);
+        fb.ret(None);
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn instrumented_module_verifies() {
+        let m = chase_module();
+        for method in ProfilingMethod::ALL {
+            let inst = instrument(&m, method, &PrefetchConfig::paper());
+            verify_module(&inst.module)
+                .unwrap_or_else(|e| panic!("{method}: verifier rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn edge_only_counts_every_edge_plus_entry() {
+        let m = chase_module();
+        let inst = instrument_edges_only(&m);
+        let cfg = Cfg::compute(m.function(m.entry));
+        let edges = inst.functions[0]
+            .instrs()
+            .filter(|(_, i)| matches!(i.op, Op::ProfileEdge { .. }))
+            .count();
+        assert_eq!(edges, cfg.num_edges() + 1);
+        // no stride calls, no trip checks
+        let strides = inst.functions[0]
+            .instrs()
+            .filter(|(_, i)| matches!(i.op, Op::ProfileStride { .. }))
+            .count();
+        assert_eq!(strides, 0);
+    }
+
+    #[test]
+    fn edge_check_guards_stride_calls() {
+        let m = chase_module();
+        let inst = instrument(&m, ProfilingMethod::EdgeCheck, &PrefetchConfig::paper());
+        let f = &inst.module.functions[0];
+        let stride_calls: Vec<_> = f
+            .instrs()
+            .filter(|(_, i)| matches!(i.op, Op::ProfileStride { .. }))
+            .collect();
+        assert_eq!(stride_calls.len(), 1);
+        assert!(
+            stride_calls[0].1.pred.is_some(),
+            "edge-check strideProf must be predicated"
+        );
+        // exactly one trip-count check (single entry edge)
+        let checks = f
+            .instrs()
+            .filter(|(_, i)| matches!(i.op, Op::TripCountCheck { .. }))
+            .count();
+        assert_eq!(checks, 1);
+    }
+
+    #[test]
+    fn naive_all_is_unguarded_and_covers_out_loop() {
+        let m = chase_module();
+        let inst = instrument(&m, ProfilingMethod::NaiveAll, &PrefetchConfig::paper());
+        let f = &inst.module.functions[0];
+        let stride_calls: Vec<_> = f
+            .instrs()
+            .filter(|(_, i)| matches!(i.op, Op::ProfileStride { .. }))
+            .collect();
+        assert_eq!(stride_calls.len(), 3); // 2 in-loop + 1 out-loop
+        assert!(stride_calls.iter().all(|(_, i)| i.pred.is_none()));
+        let checks = f
+            .instrs()
+            .filter(|(_, i)| matches!(i.op, Op::TripCountCheck { .. }))
+            .count();
+        assert_eq!(checks, 0);
+    }
+
+    #[test]
+    fn block_check_uses_block_counters() {
+        let m = chase_module();
+        let inst = instrument(&m, ProfilingMethod::BlockCheck, &PrefetchConfig::paper());
+        let f = &inst.module.functions[0];
+        let cfg = Cfg::compute(m.function(m.entry));
+        // one block counter per original block
+        let counters: Vec<EdgeId> = f
+            .instrs()
+            .filter_map(|(_, i)| match i.op {
+                Op::ProfileEdge { edge } => Some(edge),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(counters.len(), m.function(m.entry).blocks.len());
+        assert!(counters.iter().all(|e| e.index() > cfg.num_edges()));
+    }
+
+    #[test]
+    fn stride_call_sits_immediately_before_its_load() {
+        let m = chase_module();
+        let inst = instrument(&m, ProfilingMethod::NaiveLoop, &PrefetchConfig::paper());
+        let f = &inst.module.functions[0];
+        for block in &f.blocks {
+            for (i, instr) in block.instrs.iter().enumerate() {
+                if let Op::ProfileStride { site, .. } = instr.op {
+                    let next = &block.instrs[i + 1];
+                    assert_eq!(next.id, site, "strideProf not adjacent to its load");
+                    assert!(matches!(next.op, Op::Load { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn original_module_is_untouched() {
+        let m = chase_module();
+        let before = stride_ir::module_to_string(&m);
+        let _ = instrument(&m, ProfilingMethod::NaiveAll, &PrefetchConfig::paper());
+        assert_eq!(stride_ir::module_to_string(&m), before);
+    }
+
+    #[test]
+    fn critical_edges_are_split() {
+        // Build a CFG with a critical edge: b0 cond-branches to b1 and b2;
+        // b1 cond-branches to b2 and b3. Edge b1->b2 is critical.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        let c = fb.cmp(stride_ir::CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, b1, b2);
+        fb.switch_to(b1);
+        let c2 = fb.cmp(stride_ir::CmpOp::Gt, fb.param(0), 5i64);
+        fb.cond_br(c2, b2, b3);
+        fb.switch_to(b2);
+        fb.ret(None);
+        fb.switch_to(b3);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let inst = instrument_edges_only(&m);
+        verify_module(&inst).expect("verifies");
+        // the instrumented function grew at least one split block
+        assert!(inst.functions[0].blocks.len() > m.functions[0].blocks.len());
+    }
+
+    #[test]
+    fn two_pass_selection_respects_trip_counts() {
+        let m = chase_module();
+        let cfg = Cfg::compute(m.function(m.entry));
+        let analysis = stride_ir::FuncAnalysis::compute(m.function(m.entry));
+        let l = analysis.loops.loops()[0].id;
+        let mut prof = EdgeProfile::for_module(&m);
+        // low trip count: nothing selected
+        let sel = select_two_pass(&m, &prof, &PrefetchConfig::paper());
+        assert!(sel.loads.is_empty());
+        // make the loop hot: entry once, back edge 1000 times
+        let entry_edges = analysis.loops.entry_edges(l, &cfg);
+        let (a, b) = entry_edges[0];
+        prof.increment(m.entry, cfg.edge_id(a, b).unwrap());
+        let header = analysis.loops.get(l).header;
+        let outs = analysis.loops.header_out_edges(l, &cfg);
+        for _ in 0..1000 {
+            for &(x, y) in &outs {
+                let _ = (x, y);
+            }
+            prof.increment(m.entry, cfg.edge_id(outs[0].0, outs[0].1).unwrap());
+        }
+        let _ = header;
+        let sel = select_two_pass(&m, &prof, &PrefetchConfig::paper());
+        // two-pass profiles every in-loop load of the hot loop (both the
+        // payload load and the chasing load), with no equivalence reduction
+        assert_eq!(sel.loads.len(), 2);
+    }
+
+    #[test]
+    fn profiling_instr_count_counts_pseudo_ops() {
+        let m = chase_module();
+        assert_eq!(profiling_instr_count(&m), 0);
+        let inst = instrument(&m, ProfilingMethod::EdgeCheck, &PrefetchConfig::paper());
+        assert!(profiling_instr_count(&inst.module) > 0);
+        assert_eq!(
+            instrumented_sites(&inst.module.functions[0]).len(),
+            inst.selection.loads.len()
+        );
+    }
+}

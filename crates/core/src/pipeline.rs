@@ -1,0 +1,533 @@
+//! End-to-end profile-guided prefetching pipeline: instrument → run
+//! (train input) → feed back → transform → run (reference input), plus the
+//! overhead measurements of §4.2.
+
+use crate::classify::{classify, Classification};
+use crate::config::PrefetchConfig;
+use crate::instrument::{instrument, instrument_edges_only, instrument_two_pass, select_two_pass};
+use crate::prefetch::{apply_prefetching, PrefetchReport};
+use crate::select::ProfilingMethod;
+use stride_ir::Module;
+use stride_memsim::{CacheHierarchy, HierarchyConfig, HierarchyStats};
+use stride_profiling::{
+    EdgeProfile, FreqSource, ProfilerRuntime, StrideProfConfig, StrideProfile, StrideProfStats,
+};
+use stride_vm::{NullRuntime, RunResult, Vm, VmConfig, VmError};
+
+/// The profiling variants of the evaluation (§4): the four instrumentation
+/// methods with and without sampling, plus the two-pass baseline.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProfilingVariant {
+    /// Integrated edge-check (guarded) profiling.
+    EdgeCheck,
+    /// Unguarded profiling of all in-loop loads.
+    NaiveLoop,
+    /// Unguarded profiling of all loads.
+    NaiveAll,
+    /// Edge-check with chunk + fine sampling.
+    SampleEdgeCheck,
+    /// Naive-loop with sampling.
+    SampleNaiveLoop,
+    /// Naive-all with sampling.
+    SampleNaiveAll,
+    /// Block-check (guarded by block counters).
+    BlockCheck,
+    /// Block-check with sampling.
+    SampleBlockCheck,
+    /// The separate-pass baseline the paper argues against (§3.2): a
+    /// frequency-profiling run followed by a stride run restricted to
+    /// high-trip-count loops.
+    TwoPass,
+}
+
+impl ProfilingVariant {
+    /// The six variants evaluated in Figs. 16 and 20–22, in the paper's
+    /// order.
+    pub const EVALUATED: [ProfilingVariant; 6] = [
+        ProfilingVariant::EdgeCheck,
+        ProfilingVariant::NaiveLoop,
+        ProfilingVariant::NaiveAll,
+        ProfilingVariant::SampleEdgeCheck,
+        ProfilingVariant::SampleNaiveLoop,
+        ProfilingVariant::SampleNaiveAll,
+    ];
+
+    /// The underlying instrumentation method.
+    pub fn method(self) -> ProfilingMethod {
+        match self {
+            ProfilingVariant::EdgeCheck | ProfilingVariant::SampleEdgeCheck => {
+                ProfilingMethod::EdgeCheck
+            }
+            ProfilingVariant::NaiveLoop
+            | ProfilingVariant::SampleNaiveLoop
+            | ProfilingVariant::TwoPass => ProfilingMethod::NaiveLoop,
+            ProfilingVariant::NaiveAll | ProfilingVariant::SampleNaiveAll => {
+                ProfilingMethod::NaiveAll
+            }
+            ProfilingVariant::BlockCheck | ProfilingVariant::SampleBlockCheck => {
+                ProfilingMethod::BlockCheck
+            }
+        }
+    }
+
+    /// True if the runtime samples (Fig. 9).
+    pub fn sampled(self) -> bool {
+        matches!(
+            self,
+            ProfilingVariant::SampleEdgeCheck
+                | ProfilingVariant::SampleNaiveLoop
+                | ProfilingVariant::SampleNaiveAll
+                | ProfilingVariant::SampleBlockCheck
+        )
+    }
+
+    /// The `strideProf` runtime configuration: the enhanced Fig. 7 routine,
+    /// with Fig. 9 sampling for the `sample-*` variants.
+    pub fn stride_config(self) -> StrideProfConfig {
+        if self.sampled() {
+            StrideProfConfig::sampled()
+        } else {
+            StrideProfConfig::enhanced()
+        }
+    }
+
+    /// Which counter space feeds the frequency-derived quantities.
+    pub fn freq_source(self) -> FreqSource {
+        match self.method() {
+            ProfilingMethod::BlockCheck => FreqSource::Blocks,
+            _ => FreqSource::Edges,
+        }
+    }
+}
+
+impl std::fmt::Display for ProfilingVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProfilingVariant::EdgeCheck => "edge-check",
+            ProfilingVariant::NaiveLoop => "naive-loop",
+            ProfilingVariant::NaiveAll => "naive-all",
+            ProfilingVariant::SampleEdgeCheck => "sample-edge-check",
+            ProfilingVariant::SampleNaiveLoop => "sample-naive-loop",
+            ProfilingVariant::SampleNaiveAll => "sample-naive-all",
+            ProfilingVariant::BlockCheck => "block-check",
+            ProfilingVariant::SampleBlockCheck => "sample-block-check",
+            ProfilingVariant::TwoPass => "two-pass",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Pipeline-wide configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PipelineConfig {
+    /// Feedback thresholds and prefetch distances.
+    pub prefetch: PrefetchConfig,
+    /// VM cost model and limits.
+    pub vm: VmConfig,
+    /// Cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+}
+
+/// Everything a profiling run produced.
+#[derive(Clone, Debug)]
+pub struct ProfileOutcome {
+    /// The frequency profile (edge or block counters per the variant).
+    pub edge: EdgeProfile,
+    /// The stride profile.
+    pub stride: StrideProfile,
+    /// Aggregate `strideProf` statistics (Figs. 21/22).
+    pub stats: StrideProfStats,
+    /// The instrumented run itself (its `cycles` include profiling
+    /// overhead).
+    pub run: RunResult,
+    /// Counter space of `edge`.
+    pub source: FreqSource,
+}
+
+/// Runs `module` uninstrumented over the cache hierarchy.
+///
+/// # Errors
+///
+/// Propagates [`VmError`] from the VM.
+pub fn run_uninstrumented(
+    module: &Module,
+    args: &[i64],
+    config: &PipelineConfig,
+) -> Result<(RunResult, HierarchyStats), VmError> {
+    let mut vm = Vm::new(module, config.vm);
+    let mut hierarchy = CacheHierarchy::new(config.hierarchy);
+    let run = vm.run(args, &mut hierarchy, &mut NullRuntime)?;
+    Ok((run, hierarchy.stats()))
+}
+
+/// Runs the module with edge-frequency instrumentation only (the overhead
+/// baseline of §4.2).
+///
+/// # Errors
+///
+/// Propagates [`VmError`] from the VM.
+pub fn run_edge_only(
+    module: &Module,
+    args: &[i64],
+    config: &PipelineConfig,
+) -> Result<(EdgeProfile, RunResult), VmError> {
+    let instrumented = instrument_edges_only(module);
+    let mut vm = Vm::new(&instrumented, config.vm);
+    let mut hierarchy = CacheHierarchy::new(config.hierarchy);
+    let mut runtime = ProfilerRuntime::edge_only(module);
+    let run = vm.run(args, &mut hierarchy, &mut runtime)?;
+    let (edge, _, _) = runtime.finish();
+    Ok((edge, run))
+}
+
+/// Runs one integrated (or two-pass) profiling pass over the train input.
+///
+/// # Errors
+///
+/// Propagates [`VmError`] from the VM.
+pub fn run_profiling(
+    module: &Module,
+    args: &[i64],
+    variant: ProfilingVariant,
+    config: &PipelineConfig,
+) -> Result<ProfileOutcome, VmError> {
+    if variant == ProfilingVariant::TwoPass {
+        // Pass 1: frequency profile.
+        let (edge, _run1) = run_edge_only(module, args, config)?;
+        // Pass 2: stride profiling of trip-count-qualified loads.
+        let selection = select_two_pass(module, &edge, &config.prefetch);
+        let instrumented = instrument_two_pass(module, &selection);
+        let mut vm = Vm::new(&instrumented, config.vm);
+        let mut hierarchy = CacheHierarchy::new(config.hierarchy);
+        let mut runtime =
+            ProfilerRuntime::new(module, selection.slot_sites(), variant.stride_config());
+        let run = vm.run(args, &mut hierarchy, &mut runtime)?;
+        let (edge2, stride, stats) = runtime.finish();
+        // The frequency profile of the second pass equals the first; use
+        // the fresh one (it includes both counter spaces consistently).
+        let _ = edge;
+        return Ok(ProfileOutcome {
+            edge: edge2,
+            stride,
+            stats,
+            run,
+            source: FreqSource::Edges,
+        });
+    }
+
+    let instrumented = instrument(module, variant.method(), &config.prefetch);
+    let mut vm = Vm::new(&instrumented.module, config.vm);
+    let mut hierarchy = CacheHierarchy::new(config.hierarchy);
+    let mut runtime = ProfilerRuntime::new(
+        module,
+        instrumented.selection.slot_sites(),
+        variant.stride_config(),
+    );
+    let run = vm.run(args, &mut hierarchy, &mut runtime)?;
+    let (edge, stride, stats) = runtime.finish();
+    Ok(ProfileOutcome {
+        edge,
+        stride,
+        stats,
+        run,
+        source: variant.freq_source(),
+    })
+}
+
+/// Applies the feedback pass with (possibly mixed) profiles: classify with
+/// `freq`/`stride` and transform `module`.
+pub fn prefetch_with_profiles(
+    module: &Module,
+    freq: &EdgeProfile,
+    source: FreqSource,
+    stride: &StrideProfile,
+    config: &PipelineConfig,
+) -> (Module, Classification, PrefetchReport) {
+    let classification = classify(module, stride, freq, source, &config.prefetch);
+    let (mut transformed, report) = apply_prefetching(module, &classification, &config.prefetch);
+    if config.prefetch.enable_dependent_prefetch {
+        // §6 future work #2: compose dependence-based prefetching on top,
+        // skipping loads the stride transformation already covers. The
+        // pass runs on the stride-transformed module so both sets of
+        // prefetches coexist.
+        let (with_dependent, _) = crate::dependent::apply_dependent_prefetching(
+            &transformed,
+            &classification,
+            &config.prefetch,
+        );
+        transformed = with_dependent;
+    }
+    (transformed, classification, report)
+}
+
+/// The speedup experiment of Fig. 16 for one benchmark and one profiling
+/// variant.
+#[derive(Clone, Debug)]
+pub struct SpeedupOutcome {
+    /// Cycles of the unmodified binary on the reference input.
+    pub baseline_cycles: u64,
+    /// Cycles of the prefetching binary on the reference input.
+    pub prefetch_cycles: u64,
+    /// `baseline / prefetch` (>1 means prefetching won).
+    pub speedup: f64,
+    /// The feedback classification.
+    pub classification: Classification,
+    /// What the transformation inserted.
+    pub report: PrefetchReport,
+    /// Hierarchy statistics of the baseline run.
+    pub baseline_mem: HierarchyStats,
+    /// Hierarchy statistics of the prefetching run.
+    pub prefetch_mem: HierarchyStats,
+}
+
+/// Profiles on `train_args`, feeds back, and compares uninstrumented
+/// baseline vs. prefetching binaries on `ref_args` (the §4.1 methodology).
+///
+/// # Errors
+///
+/// Propagates [`VmError`] from any of the three runs.
+pub fn measure_speedup(
+    module: &Module,
+    train_args: &[i64],
+    ref_args: &[i64],
+    variant: ProfilingVariant,
+    config: &PipelineConfig,
+) -> Result<SpeedupOutcome, VmError> {
+    let outcome = run_profiling(module, train_args, variant, config)?;
+    let (transformed, classification, report) = prefetch_with_profiles(
+        module,
+        &outcome.edge,
+        outcome.source,
+        &outcome.stride,
+        config,
+    );
+    let (base, base_mem) = run_uninstrumented(module, ref_args, config)?;
+    let (pf, pf_mem) = run_uninstrumented(&transformed, ref_args, config)?;
+    Ok(SpeedupOutcome {
+        baseline_cycles: base.cycles,
+        prefetch_cycles: pf.cycles,
+        speedup: base.cycles as f64 / pf.cycles.max(1) as f64,
+        classification,
+        report,
+        baseline_mem: base_mem,
+        prefetch_mem: pf_mem,
+    })
+}
+
+/// The profiling-overhead experiment of Figs. 20–22 for one benchmark and
+/// one variant.
+#[derive(Clone, Debug)]
+pub struct OverheadOutcome {
+    /// Cycles with edge instrumentation only.
+    pub edge_cycles: u64,
+    /// Cycles with integrated edge + stride instrumentation.
+    pub integrated_cycles: u64,
+    /// `(integrated - edge) / edge` (Fig. 20's ratio).
+    pub overhead: f64,
+    /// Fraction of dynamic load references processed by `strideProf`
+    /// after sampling (Fig. 21).
+    pub strideprof_fraction: f64,
+    /// Fraction of dynamic load references reaching the LFU routine
+    /// (Fig. 22).
+    pub lfu_fraction: f64,
+    /// Fraction of references on which `strideProf` was invoked at all
+    /// (before sampling; for guarded methods this is the guard pass rate).
+    pub call_fraction: f64,
+}
+
+/// Measures profiling overhead on the train input (§4.2).
+///
+/// # Errors
+///
+/// Propagates [`VmError`] from either run.
+pub fn measure_overhead(
+    module: &Module,
+    train_args: &[i64],
+    variant: ProfilingVariant,
+    config: &PipelineConfig,
+) -> Result<OverheadOutcome, VmError> {
+    let (_, edge_run) = run_edge_only(module, train_args, config)?;
+    let outcome = run_profiling(module, train_args, variant, config)?;
+    let loads = outcome.run.loads.max(1) as f64;
+    Ok(OverheadOutcome {
+        edge_cycles: edge_run.cycles,
+        integrated_cycles: outcome.run.cycles,
+        overhead: (outcome.run.cycles as f64 - edge_run.cycles as f64)
+            / edge_run.cycles.max(1) as f64,
+        strideprof_fraction: outcome.stats.processed as f64 / loads,
+        lfu_fraction: outcome.stats.lfu_inserts as f64 / loads,
+        call_fraction: outcome.stats.calls as f64 / loads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{ModuleBuilder, Operand};
+
+    /// A benchmark with a strong stride pattern: walks a pre-linked list
+    /// laid out sequentially by allocation order (the Fig. 1 shape).
+    /// `param(0)` = node count, `param(1)` = traversals.
+    fn list_walk_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("head", 8);
+        let f = mb.declare_function("main", 2);
+        let mut fb = mb.function(f);
+        let n = fb.param(0);
+        let reps = fb.param(1);
+        let headp = fb.global_addr(g);
+
+        // Build the list: nodes of 48 bytes, next at offset 0, payload at 8.
+        let prev = fb.mov(0i64);
+        fb.counted_loop(n, |fb, i| {
+            let node = fb.alloc(48i64);
+            fb.store(i, node, 8);
+            fb.store(0i64, node, 0);
+            // prev != 0 ? prev->next = node : head = node
+            let is_first = fb.cmp(stride_ir::CmpOp::Eq, prev, 0i64);
+            let then_b = fb.new_block();
+            let else_b = fb.new_block();
+            let join = fb.new_block();
+            fb.cond_br(is_first, then_b, else_b);
+            fb.switch_to(then_b);
+            fb.store(node, headp, 0);
+            fb.br(join);
+            fb.switch_to(else_b);
+            fb.store(node, prev, 0);
+            fb.br(join);
+            fb.switch_to(join);
+            fb.mov_to(prev, node);
+        });
+
+        // Walk it `reps` times, loading payloads.
+        let sum = fb.mov(0i64);
+        fb.counted_loop(reps, |fb, _| {
+            let (p, _) = fb.load(headp, 0);
+            fb.while_nonzero(p, |fb, p| {
+                let (v, _) = fb.load(p, 8);
+                fb.bin_to(sum, stride_ir::BinOp::Add, sum, v);
+                fb.load_to(p, p, 0);
+            });
+        });
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    fn small_config() -> PipelineConfig {
+        PipelineConfig {
+            prefetch: PrefetchConfig {
+                frequency_threshold: 500,
+                ..PrefetchConfig::paper()
+            },
+            ..PipelineConfig::default()
+        }
+    }
+
+    #[test]
+    fn variant_metadata() {
+        assert_eq!(ProfilingVariant::EVALUATED.len(), 6);
+        assert!(ProfilingVariant::SampleEdgeCheck.sampled());
+        assert!(!ProfilingVariant::EdgeCheck.sampled());
+        assert_eq!(
+            ProfilingVariant::BlockCheck.freq_source(),
+            FreqSource::Blocks
+        );
+        assert_eq!(ProfilingVariant::TwoPass.to_string(), "two-pass");
+    }
+
+    #[test]
+    fn profiling_discovers_the_list_stride() {
+        let m = list_walk_module();
+        let cfg = small_config();
+        let outcome =
+            run_profiling(&m, &[2000, 3], ProfilingVariant::EdgeCheck, &cfg).expect("run");
+        // Some load must show a dominant 48-byte stride.
+        let found = outcome
+            .stride
+            .iter()
+            .any(|(_, _, p)| p.top1().map(|(s, _)| s) == Some(48) && p.top1_ratio() > 0.9);
+        assert!(found, "48-byte stride not discovered");
+    }
+
+    #[test]
+    fn speedup_on_strided_workload() {
+        let m = list_walk_module();
+        let cfg = small_config();
+        let out = measure_speedup(&m, &[2000, 3], &[8000, 4], ProfilingVariant::EdgeCheck, &cfg)
+            .expect("pipeline");
+        assert!(
+            out.speedup > 1.02,
+            "expected speedup on a strongly-strided workload, got {}",
+            out.speedup
+        );
+        assert!(out.report.prefetches_inserted > 0);
+        assert!(out.prefetch_mem.prefetches_issued > 0);
+    }
+
+    #[test]
+    fn edge_check_is_cheaper_than_naive_all() {
+        let m = list_walk_module();
+        let cfg = small_config();
+        let ec = measure_overhead(&m, &[3000, 3], ProfilingVariant::EdgeCheck, &cfg).unwrap();
+        let na = measure_overhead(&m, &[3000, 3], ProfilingVariant::NaiveAll, &cfg).unwrap();
+        assert!(
+            ec.overhead < na.overhead,
+            "edge-check {} !< naive-all {}",
+            ec.overhead,
+            na.overhead
+        );
+        assert!(na.call_fraction > 0.9, "naive-all must see ~100% of loads");
+        assert!(ec.call_fraction < na.call_fraction);
+    }
+
+    #[test]
+    fn sampling_reduces_overhead() {
+        let m = list_walk_module();
+        let cfg = small_config();
+        let plain = measure_overhead(&m, &[3000, 5], ProfilingVariant::NaiveLoop, &cfg).unwrap();
+        let sampled =
+            measure_overhead(&m, &[3000, 5], ProfilingVariant::SampleNaiveLoop, &cfg).unwrap();
+        assert!(
+            sampled.overhead < plain.overhead,
+            "sampled {} !< plain {}",
+            sampled.overhead,
+            plain.overhead
+        );
+        assert!(sampled.strideprof_fraction < plain.strideprof_fraction);
+    }
+
+    #[test]
+    fn two_pass_matches_naive_loop_selection() {
+        // §4.1: "the two-pass method prefetches the same set of loads as
+        // the naive-loop method."
+        let m = list_walk_module();
+        let cfg = small_config();
+        let tp = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::TwoPass, &cfg)
+            .expect("two-pass");
+        let nl = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::NaiveLoop, &cfg)
+            .expect("naive-loop");
+        let sites = |c: &Classification| {
+            let mut v: Vec<_> = c.loads.iter().map(|l| (l.func, l.site)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sites(&tp.classification), sites(&nl.classification));
+    }
+
+    #[test]
+    fn block_check_classifies_like_edge_check() {
+        let m = list_walk_module();
+        let cfg = small_config();
+        let ec = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::EdgeCheck, &cfg)
+            .expect("edge-check");
+        let bc = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::BlockCheck, &cfg)
+            .expect("block-check");
+        let sites = |c: &Classification| {
+            let mut v: Vec<_> = c.loads.iter().map(|l| (l.func, l.site)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sites(&ec.classification), sites(&bc.classification));
+    }
+}

@@ -1,0 +1,533 @@
+//! Prefetch insertion (§2.2–§2.3): rewrites a copy of the original module,
+//! inserting `prefetch` instructions for every classified load.
+//!
+//! * **SSST in-loop**: `prefetch(P + K*S)` with a compile-time constant
+//!   `K*S` folded into the prefetch offset.
+//! * **PMST in-loop**: compute the stride in registers
+//!   (`stride = P - prev; prev = P`) and prefetch `P + K*stride`, with `K`
+//!   rounded down to a power of two so the multiply becomes a shift.
+//! * **WSST in-loop** (disabled by default, as in the paper's evaluation):
+//!   like PMST but the prefetch is predicated on
+//!   `stride == profiled stride`.
+//! * **out-loop**: only SSST, with the fixed distance
+//!   [`PrefetchConfig::out_loop_distance`] — the register-based sequences
+//!   would lose their state across function invocations (§2.3).
+
+use crate::classify::{Classification, ClassifiedLoad, StrideClass};
+use crate::config::PrefetchConfig;
+use std::collections::HashMap;
+use stride_ir::{
+    ensure_preheader, insert_at_end, insert_before, BinOp, CmpOp, FuncAnalysis, FuncId, Module,
+    Op, Operand,
+};
+
+/// What the prefetch pass did (the per-benchmark numbers behind
+/// Figs. 18/19's "prefetched as" buckets).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchReport {
+    /// In-loop SSST representatives transformed.
+    pub ssst_in_loop: usize,
+    /// PMST representatives transformed.
+    pub pmst: usize,
+    /// WSST representatives transformed (0 unless enabled).
+    pub wsst: usize,
+    /// Out-loop SSST representatives transformed.
+    pub ssst_out_loop: usize,
+    /// Out-loop PMST/WSST loads skipped per §2.3.
+    pub out_loop_skipped: usize,
+    /// Total `prefetch` instructions inserted (≥ representatives, because
+    /// of cover loads).
+    pub prefetches_inserted: usize,
+}
+
+/// The in-loop prefetch distance `K = min(trip_count / TT, C)`, at least 1.
+pub fn prefetch_distance(trip_count: f64, config: &PrefetchConfig) -> u64 {
+    let k = (trip_count / config.trip_count_threshold as f64) as u64;
+    k.clamp(1, config.max_prefetch_distance)
+}
+
+/// Rounds `k` down to a power of two (PMST avoids the multiply by
+/// shifting).
+pub fn round_pow2(k: u64) -> u64 {
+    if k == 0 {
+        1
+    } else {
+        1 << (63 - k.leading_zeros())
+    }
+}
+
+/// Applies prefetching for every load in `classification` to a copy of
+/// `module`; returns the transformed module and a report.
+pub fn apply_prefetching(
+    module: &Module,
+    classification: &Classification,
+    config: &PrefetchConfig,
+) -> (Module, PrefetchReport) {
+    let mut out = module.clone();
+    let mut report = PrefetchReport::default();
+
+    // Group by function so analyses are computed once.
+    let mut by_func: HashMap<FuncId, Vec<&ClassifiedLoad>> = HashMap::new();
+    for load in &classification.loads {
+        by_func.entry(load.func).or_default().push(load);
+    }
+    let mut funcs: Vec<FuncId> = by_func.keys().copied().collect();
+    funcs.sort();
+
+    for func_id in funcs {
+        let analysis = FuncAnalysis::compute(module.function(func_id));
+        let func = out.function_mut(func_id);
+        for load in &by_func[&func_id] {
+            match (load.loop_id, load.class) {
+                (Some(_), StrideClass::Ssst) => {
+                    let k = prefetch_distance(load.trip_count, config);
+                    insert_ssst(func, load, k, config.line_size, &mut report);
+                    report.ssst_in_loop += 1;
+                }
+                (Some(l), StrideClass::Pmst) => {
+                    let k = round_pow2(prefetch_distance(load.trip_count, config));
+                    insert_register_stride(func, &analysis, l, load, k, None, &mut report);
+                    report.pmst += 1;
+                }
+                (Some(l), StrideClass::Wsst) => {
+                    if !config.enable_wsst_prefetch {
+                        continue;
+                    }
+                    let k = round_pow2(prefetch_distance(load.trip_count, config));
+                    insert_register_stride(
+                        func,
+                        &analysis,
+                        l,
+                        load,
+                        k,
+                        Some(load.dominant_stride),
+                        &mut report,
+                    );
+                    report.wsst += 1;
+                }
+                (None, StrideClass::Ssst) => {
+                    insert_ssst(func, load, config.out_loop_distance, config.line_size, &mut report);
+                    report.ssst_out_loop += 1;
+                }
+                (None, _) => {
+                    // §2.3: PMST/WSST out-loop loads are not prefetched.
+                    report.out_loop_skipped += 1;
+                }
+            }
+        }
+    }
+    (out, report)
+}
+
+/// SSST: one `prefetch(P + K*S)` per cover load, in front of the
+/// representative (the cover loads share the representative's base
+/// register, so their prefetch addresses differ only in the offset).
+///
+/// When the dominant stride exceeds the cache line and is not a multiple
+/// of it, successive iterations demand more than one new line per
+/// iteration; a single prefetch would leave `1 - 64/S` of the lines
+/// uncovered. Per §2.2 ("enough loads will be prefetched to cover the
+/// cache lines in that range"), extra line-spaced prefetches fill the
+/// stride window. Line-multiple strides skip intermediate lines entirely,
+/// so no extra prefetches are issued for them.
+fn insert_ssst(
+    func: &mut stride_ir::Function,
+    load: &ClassifiedLoad,
+    k: u64,
+    line_size: u64,
+    report: &mut PrefetchReport,
+) {
+    let (block, idx) = func.find_instr(load.site).expect("classified load exists");
+    let Op::Load { addr, .. } = func.block(block).instrs[idx].op else {
+        return;
+    };
+    let ahead = (k as i64).saturating_mul(load.dominant_stride);
+    let mut ops = Vec::new();
+    let mut repr_offset = 0i64;
+    for &cover in &load.cover {
+        let Some((cb, ci)) = func.find_instr(cover) else {
+            continue;
+        };
+        let Op::Load { offset, .. } = func.block(cb).instrs[ci].op else {
+            continue;
+        };
+        if cover == load.site {
+            repr_offset = offset;
+        }
+        ops.push((
+            None,
+            Op::Prefetch {
+                addr,
+                offset: offset.saturating_add(ahead),
+            },
+        ));
+        report.prefetches_inserted += 1;
+    }
+    // Stride-window coverage for |S| > line with a non-line-multiple S.
+    // Capped: beyond a few lines per iteration the loop is bandwidth-bound
+    // and blanket prefetching only pollutes, so huge strides get the
+    // single target-line prefetch.
+    let line = line_size as i64;
+    let s = load.dominant_stride;
+    if s.abs() > line && s.abs() % line != 0 && s.abs() / line <= 4 {
+        let extra = s.abs() / line;
+        let dir = s.signum();
+        for j in 1..=extra {
+            ops.push((
+                None,
+                Op::Prefetch {
+                    addr,
+                    offset: repr_offset.saturating_add(ahead).saturating_add(dir * j * line),
+                },
+            ));
+            report.prefetches_inserted += 1;
+        }
+    }
+    insert_before(func, load.site, ops);
+}
+
+/// PMST / WSST: register-computed stride.
+///
+/// Before the representative load:
+/// ```text
+/// stride = P - prev          ; uses last iteration's address
+/// prev   = P
+/// tmp    = stride << log2(K)
+/// a2     = P + tmp
+/// [p = (stride == S)]        ; WSST only
+/// [p?] prefetch [a2 + off]   ; one per cover load
+/// ```
+/// `prev` is zero-initialized in the loop preheader, so the first
+/// iteration issues one wild (harmless, non-faulting) prefetch — the paper
+/// accepts the same.
+#[allow(clippy::too_many_arguments)]
+fn insert_register_stride(
+    func: &mut stride_ir::Function,
+    analysis: &FuncAnalysis,
+    loop_id: stride_ir::LoopId,
+    load: &ClassifiedLoad,
+    k: u64,
+    conditional_on_stride: Option<i64>,
+    report: &mut PrefetchReport,
+) {
+    let (block, idx) = func.find_instr(load.site).expect("classified load exists");
+    let Op::Load { addr, .. } = func.block(block).instrs[idx].op else {
+        return;
+    };
+
+    // Zero-init `prev` in the preheader.
+    let l = analysis.loops.get(loop_id);
+    let outside: Vec<_> = analysis
+        .cfg
+        .preds(l.header)
+        .iter()
+        .copied()
+        .filter(|p| !l.contains(*p))
+        .collect();
+    let prev = func.new_reg();
+    let pre = ensure_preheader(func, l.header, &outside);
+    insert_at_end(func, pre, vec![(None, Op::Const { dst: prev, value: 0 })]);
+
+    let stride = func.new_reg();
+    let tmp = func.new_reg();
+    let a2 = func.new_reg();
+    let shift = k.trailing_zeros() as i64;
+
+    let mut ops = vec![
+        (
+            None,
+            Op::Bin {
+                dst: stride,
+                op: BinOp::Sub,
+                lhs: addr,
+                rhs: Operand::Reg(prev),
+            },
+        ),
+        (None, Op::Mov { dst: prev, src: addr }),
+        (
+            None,
+            Op::Bin {
+                dst: tmp,
+                op: BinOp::Shl,
+                lhs: Operand::Reg(stride),
+                rhs: Operand::Imm(shift),
+            },
+        ),
+        (
+            None,
+            Op::Bin {
+                dst: a2,
+                op: BinOp::Add,
+                lhs: addr,
+                rhs: Operand::Reg(tmp),
+            },
+        ),
+    ];
+
+    let pred = conditional_on_stride.map(|s| {
+        let p = func.new_reg();
+        ops.push((
+            None,
+            Op::Cmp {
+                dst: p,
+                op: CmpOp::Eq,
+                lhs: Operand::Reg(stride),
+                rhs: Operand::Imm(s),
+            },
+        ));
+        p
+    });
+
+    for &cover in &load.cover {
+        let Some((cb, ci)) = func.find_instr(cover) else {
+            continue;
+        };
+        let Op::Load { offset, .. } = func.block(cb).instrs[ci].op else {
+            continue;
+        };
+        ops.push((
+            pred,
+            Op::Prefetch {
+                addr: Operand::Reg(a2),
+                offset,
+            },
+        ));
+        report.prefetches_inserted += 1;
+    }
+    insert_before(func, load.site, ops);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{verify_module, InstrId, ModuleBuilder};
+    use stride_profiling::{EdgeProfile, FreqSource, LoadStrideProfile, StrideProfile};
+
+    fn mk_profile(top: Vec<(i64, u64)>, total: u64, zero_diff: u64) -> LoadStrideProfile {
+        LoadStrideProfile {
+            top,
+            total_freq: total,
+            num_zero_stride: 0,
+            num_zero_diff: zero_diff,
+            total_diffs: total,
+        }
+    }
+
+    /// A chasing loop plus full synthetic profiles; returns
+    /// (module, repr_site, classification ready to apply).
+    fn classified_module(
+        profile: LoadStrideProfile,
+    ) -> (Module, InstrId, Classification) {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        let mut site = None;
+        fb.while_nonzero(p, |fb, p| {
+            site = Some(fb.load_to(p, p, 0));
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let site = site.unwrap();
+
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let l = analysis.loops.loops()[0].id;
+        let cfg = &analysis.cfg;
+        let mut freq = EdgeProfile::for_module(&m);
+        let (a, b) = analysis.loops.entry_edges(l, cfg)[0];
+        freq.increment(f, cfg.edge_id(a, b).unwrap());
+        let outs = analysis.loops.header_out_edges(l, cfg);
+        let body_edge = cfg.edge_id(outs[0].0, outs[0].1).unwrap();
+        for _ in 0..100_000 {
+            freq.increment(f, body_edge);
+        }
+        let mut stride = StrideProfile::new();
+        stride.insert(f, site, profile);
+        let c = crate::classify::classify(
+            &m,
+            &stride,
+            &freq,
+            FreqSource::Edges,
+            &PrefetchConfig::paper(),
+        );
+        (m, site, c)
+    }
+
+    #[test]
+    fn distance_heuristic() {
+        let cfg = PrefetchConfig::paper();
+        assert_eq!(prefetch_distance(100.0, &cfg), 1); // below TT: clamp to 1
+        assert_eq!(prefetch_distance(300.0, &cfg), 2);
+        assert_eq!(prefetch_distance(100_000.0, &cfg), 8); // clamp to C
+    }
+
+    #[test]
+    fn pow2_rounding() {
+        assert_eq!(round_pow2(1), 1);
+        assert_eq!(round_pow2(2), 2);
+        assert_eq!(round_pow2(3), 2);
+        assert_eq!(round_pow2(7), 4);
+        assert_eq!(round_pow2(8), 8);
+        assert_eq!(round_pow2(0), 1);
+    }
+
+    #[test]
+    fn ssst_inserts_constant_offset_prefetch() {
+        let (m, site, c) = classified_module(mk_profile(vec![(48, 9500)], 10_000, 9000));
+        assert_eq!(c.loads[0].class, StrideClass::Ssst);
+        let (out, report) = apply_prefetching(&m, &c, &PrefetchConfig::paper());
+        verify_module(&out).expect("verifies");
+        assert_eq!(report.ssst_in_loop, 1);
+        assert_eq!(report.prefetches_inserted, 1);
+        // the prefetch sits right before the load, with offset K*S
+        let f = &out.functions[0];
+        let (block, idx) = f.find_instr(site).unwrap();
+        let before = &f.block(block).instrs[idx - 1];
+        let Op::Prefetch { offset, .. } = before.op else {
+            panic!("expected prefetch, got {:?}", before.op);
+        };
+        // trip count ~100_000 -> K = 8; 8 * 48 = 384
+        assert_eq!(offset, 384);
+    }
+
+    #[test]
+    fn pmst_inserts_register_stride_sequence() {
+        let (m, site, c) = classified_module(mk_profile(
+            vec![(16, 3000), (24, 2900), (32, 2500)],
+            10_000,
+            6000,
+        ));
+        assert_eq!(c.loads[0].class, StrideClass::Pmst);
+        let (out, report) = apply_prefetching(&m, &c, &PrefetchConfig::paper());
+        verify_module(&out).expect("verifies");
+        assert_eq!(report.pmst, 1);
+        let f = &out.functions[0];
+        let (block, idx) = f.find_instr(site).unwrap();
+        let instrs = &f.block(block).instrs;
+        // sub, mov, shl, add, prefetch precede the load
+        assert!(matches!(instrs[idx - 1].op, Op::Prefetch { .. }));
+        assert!(matches!(instrs[idx - 5].op, Op::Bin { op: BinOp::Sub, .. }));
+        // prev is initialized in a preheader
+        let has_init = out.functions[0].instrs().any(|(_, i)| {
+            matches!(i.op, Op::Const { value: 0, .. })
+                && i.id.index() >= m.functions[0].next_instr as usize
+        });
+        assert!(has_init, "preheader init missing");
+    }
+
+    #[test]
+    fn wsst_disabled_by_default() {
+        let (m, _, c) = classified_module(mk_profile(vec![(32, 3000)], 10_000, 1500));
+        assert_eq!(c.loads[0].class, StrideClass::Wsst);
+        let (out, report) = apply_prefetching(&m, &c, &PrefetchConfig::paper());
+        assert_eq!(report.wsst, 0);
+        assert_eq!(report.prefetches_inserted, 0);
+        assert_eq!(out.instr_count(), m.instr_count());
+    }
+
+    #[test]
+    fn wsst_enabled_inserts_conditional_prefetch() {
+        let (m, site, c) = classified_module(mk_profile(vec![(32, 3000)], 10_000, 1500));
+        let cfg = PrefetchConfig {
+            enable_wsst_prefetch: true,
+            ..PrefetchConfig::paper()
+        };
+        let (out, report) = apply_prefetching(&m, &c, &cfg);
+        verify_module(&out).expect("verifies");
+        assert_eq!(report.wsst, 1);
+        let f = &out.functions[0];
+        let (block, idx) = f.find_instr(site).unwrap();
+        let prefetch = &f.block(block).instrs[idx - 1];
+        assert!(matches!(prefetch.op, Op::Prefetch { .. }));
+        assert!(prefetch.pred.is_some(), "WSST prefetch must be predicated");
+        // predicate computed by a stride == S compare
+        let cmp = &f.block(block).instrs[idx - 2];
+        assert!(
+            matches!(cmp.op, Op::Cmp { op: CmpOp::Eq, rhs: Operand::Imm(32), .. }),
+            "got {:?}",
+            cmp.op
+        );
+    }
+
+    #[test]
+    fn out_loop_ssst_uses_fixed_distance() {
+        // out-loop load with an SSST profile (call-site stride patterns)
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("t", 1 << 20);
+        let callee = mb.declare_function("hot", 1);
+        {
+            let mut fb = mb.function(callee);
+            let (v, _site) = fb.load(fb.param(0), 0);
+            fb.ret(Some(Operand::Reg(v)));
+        }
+        let f = mb.declare_function("main", 0);
+        {
+            let mut fb = mb.function(f);
+            let base = fb.global_addr(g);
+            fb.counted_loop(10_000i64, |fb, i| {
+                let off = fb.mul(i, 64i64);
+                let a = fb.add(base, off);
+                fb.call_void(callee, &[Operand::Reg(a)]);
+            });
+            fb.ret(None);
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        let site = m.function(callee).loads()[0].0;
+
+        let mut freq = EdgeProfile::for_module(&m);
+        // callee entered 10_000 times: bump its virtual entry counter
+        let ccfg = stride_ir::Cfg::compute(m.function(callee));
+        let entry_edge = EdgeProfile::entry_edge(&ccfg);
+        for _ in 0..10_000 {
+            freq.increment(callee, entry_edge);
+        }
+        let mut stride = StrideProfile::new();
+        stride.insert(callee, site, mk_profile(vec![(64, 9500)], 10_000, 9400));
+        let cfg = PrefetchConfig::paper();
+        let c = crate::classify::classify(&m, &stride, &freq, FreqSource::Edges, &cfg);
+        assert_eq!(c.loads.len(), 1);
+        assert!(c.loads[0].loop_id.is_none());
+
+        let (out, report) = apply_prefetching(&m, &c, &cfg);
+        verify_module(&out).expect("verifies");
+        assert_eq!(report.ssst_out_loop, 1);
+        let fc = &out.functions[callee.index()];
+        let (block, idx) = fc.find_instr(site).unwrap();
+        let Op::Prefetch { offset, .. } = fc.block(block).instrs[idx - 1].op else {
+            panic!("missing prefetch");
+        };
+        assert_eq!(offset, 4 * 64); // out_loop_distance * stride
+    }
+
+    #[test]
+    fn out_loop_pmst_is_skipped() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let (_, site) = fb.load(fb.param(0), 0);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut freq = EdgeProfile::for_module(&m);
+        let cfg0 = stride_ir::Cfg::compute(m.function(f));
+        for _ in 0..10_000 {
+            freq.increment(f, EdgeProfile::entry_edge(&cfg0));
+        }
+        let mut stride = StrideProfile::new();
+        stride.insert(
+            f,
+            site,
+            mk_profile(vec![(16, 3000), (24, 2900), (32, 2500)], 10_000, 6000),
+        );
+        let cfg = PrefetchConfig::paper();
+        let c = crate::classify::classify(&m, &stride, &freq, FreqSource::Edges, &cfg);
+        assert_eq!(c.loads.len(), 1);
+        let (out, report) = apply_prefetching(&m, &c, &cfg);
+        assert_eq!(report.out_loop_skipped, 1);
+        assert_eq!(report.prefetches_inserted, 0);
+        assert_eq!(out.instr_count(), m.instr_count());
+    }
+}

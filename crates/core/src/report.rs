@@ -1,0 +1,226 @@
+//! Aggregations behind Figs. 17–19: the in-loop/out-loop reference mix and
+//! the distribution of load references by stride property.
+
+use crate::classify::{classify_profile, StrideClass};
+use crate::config::PrefetchConfig;
+use stride_ir::{FuncAnalysis, Module};
+use stride_profiling::StrideProfile;
+use stride_vm::RunResult;
+
+/// Dynamic load-reference mix (Fig. 17).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LoadMix {
+    /// References from loads inside reducible loops.
+    pub in_loop: u64,
+    /// References from out-loop loads (including irreducible regions).
+    pub out_loop: u64,
+}
+
+impl LoadMix {
+    /// Fraction of references that are in-loop.
+    pub fn in_loop_fraction(&self) -> f64 {
+        let total = self.in_loop + self.out_loop;
+        if total == 0 {
+            0.0
+        } else {
+            self.in_loop as f64 / total as f64
+        }
+    }
+}
+
+/// Splits the dynamic load references of a run into in-loop and out-loop
+/// (Fig. 17), using the static loop structure and per-site counts.
+pub fn load_mix(module: &Module, run: &RunResult) -> LoadMix {
+    let mut mix = LoadMix::default();
+    for func in &module.functions {
+        let analysis = FuncAnalysis::compute(func);
+        for (site, block) in func.loads() {
+            let count = run.load_count(func.id, site);
+            if analysis.loops.loop_of(block).is_some() {
+                mix.in_loop += count;
+            } else {
+                mix.out_loop += count;
+            }
+        }
+    }
+    mix
+}
+
+/// Distribution of load references by stride property (Figs. 18/19),
+/// as fractions of the total load references of the population.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClassDistribution {
+    /// Fraction classified SSST.
+    pub ssst: f64,
+    /// Fraction classified PMST.
+    pub pmst: f64,
+    /// Fraction classified WSST.
+    pub wsst: f64,
+    /// Fraction with no stride pattern (or no profile).
+    pub none: f64,
+}
+
+impl ClassDistribution {
+    /// Sum of all four fractions (1.0 when the population is nonempty).
+    pub fn total(&self) -> f64 {
+        self.ssst + self.pmst + self.wsst + self.none
+    }
+}
+
+/// Which load population a distribution describes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadPopulation {
+    /// Loads inside reducible loops (Fig. 19).
+    InLoop,
+    /// All other loads (Fig. 18).
+    OutLoop,
+}
+
+/// Computes the Figs. 18/19 distribution: classify each profiled load by
+/// its stride profile (thresholds only — no frequency or trip filters,
+/// matching the figures, which describe the load population rather than
+/// the prefetch decision) and weight by dynamic reference counts from
+/// `run`. Loads without a profile fall into the `none` bucket.
+pub fn class_distribution(
+    module: &Module,
+    stride: &StrideProfile,
+    run: &RunResult,
+    population: LoadPopulation,
+    config: &PrefetchConfig,
+) -> ClassDistribution {
+    let mut counts = [0u64; 4]; // ssst, pmst, wsst, none
+    let mut total = 0u64;
+    for func in &module.functions {
+        let analysis = FuncAnalysis::compute(func);
+        for (site, block) in func.loads() {
+            let in_loop = analysis.loops.loop_of(block).is_some();
+            let wanted = match population {
+                LoadPopulation::InLoop => in_loop,
+                LoadPopulation::OutLoop => !in_loop,
+            };
+            if !wanted {
+                continue;
+            }
+            let refs = run.load_count(func.id, site);
+            if refs == 0 {
+                continue;
+            }
+            total += refs;
+            let class = stride
+                .get(func.id, site)
+                .and_then(|p| classify_profile(p, config));
+            let bucket = match class {
+                Some(StrideClass::Ssst) => 0,
+                Some(StrideClass::Pmst) => 1,
+                Some(StrideClass::Wsst) => 2,
+                None => 3,
+            };
+            counts[bucket] += refs;
+        }
+    }
+    if total == 0 {
+        return ClassDistribution::default();
+    }
+    let t = total as f64;
+    ClassDistribution {
+        ssst: counts[0] as f64 / t,
+        pmst: counts[1] as f64 / t,
+        wsst: counts[2] as f64 / t,
+        none: counts[3] as f64 / t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{run_profiling, run_uninstrumented, PipelineConfig, ProfilingVariant};
+    use stride_ir::{ModuleBuilder, Operand};
+
+    /// In-loop strided walk over a global array + one out-loop load.
+    fn mixed_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 1 << 20);
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let sum = fb.mov(0i64);
+        fb.counted_loop(fb.param(0), |fb, i| {
+            let off = fb.mul(i, 64i64);
+            let a = fb.add(base, off);
+            let (v, _) = fb.load(a, 0);
+            fb.bin_to(sum, stride_ir::BinOp::Add, sum, v);
+        });
+        let (last, _) = fb.load(base, 0); // out-loop
+        let out = fb.add(sum, last);
+        fb.ret(Some(Operand::Reg(out)));
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn load_mix_counts_dynamic_references() {
+        let m = mixed_module();
+        let cfg = PipelineConfig::default();
+        let (run, _) = run_uninstrumented(&m, &[1000], &cfg).unwrap();
+        let mix = load_mix(&m, &run);
+        assert_eq!(mix.in_loop, 1000);
+        assert_eq!(mix.out_loop, 1);
+        assert!(mix.in_loop_fraction() > 0.99);
+    }
+
+    #[test]
+    fn distribution_classifies_strided_walk_as_ssst() {
+        let m = mixed_module();
+        let cfg = PipelineConfig::default();
+        let outcome = run_profiling(&m, &[5000], ProfilingVariant::NaiveAll, &cfg).unwrap();
+        let (run, _) = run_uninstrumented(&m, &[5000], &cfg).unwrap();
+        let d = class_distribution(
+            &m,
+            &outcome.stride,
+            &run,
+            LoadPopulation::InLoop,
+            &PrefetchConfig::paper(),
+        );
+        assert!(d.ssst > 0.9, "in-loop walk should be SSST, got {d:?}");
+        assert!((d.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_loop_singleton_is_none_bucket() {
+        let m = mixed_module();
+        let cfg = PipelineConfig::default();
+        let outcome = run_profiling(&m, &[5000], ProfilingVariant::NaiveAll, &cfg).unwrap();
+        let (run, _) = run_uninstrumented(&m, &[5000], &cfg).unwrap();
+        let d = class_distribution(
+            &m,
+            &outcome.stride,
+            &run,
+            LoadPopulation::OutLoop,
+            &PrefetchConfig::paper(),
+        );
+        // the single out-loop load executes once and has no stride pattern
+        assert!((d.none - 1.0).abs() < 1e-9, "got {d:?}");
+    }
+
+    #[test]
+    fn empty_population_is_all_zero() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let cfg = PipelineConfig::default();
+        let (run, _) = run_uninstrumented(&m, &[], &cfg).unwrap();
+        let d = class_distribution(
+            &m,
+            &StrideProfile::new(),
+            &run,
+            LoadPopulation::InLoop,
+            &PrefetchConfig::paper(),
+        );
+        assert_eq!(d.total(), 0.0);
+        let mix = load_mix(&m, &run);
+        assert_eq!(mix.in_loop_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,241 @@
+//! Profiled-load selection (§2.1, §3.2): which loads get `strideProf`
+//! instrumentation under each one-pass profiling method.
+
+use stride_ir::{
+    equivalent_load_classes, is_loop_invariant, regs_defined_in_loop, FuncAnalysis, FuncId,
+    InstrId, LoopId, Module, Op,
+};
+
+/// The one-pass profiling methods of §3.2 (sampling is orthogonal: it is a
+/// property of the runtime's `StrideProfConfig`, not of the inserted
+/// code).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ProfilingMethod {
+    /// strideProf on every in-loop load, unguarded.
+    NaiveLoop,
+    /// strideProf on every load, in-loop and out-loop, unguarded.
+    NaiveAll,
+    /// strideProf on selected in-loop loads, guarded by a trip-count
+    /// predicate computed from partially collected *edge* counters.
+    EdgeCheck,
+    /// As `EdgeCheck`, but the guard reads partially collected *block*
+    /// counters (Fig. 11). Described but not evaluated in the paper.
+    BlockCheck,
+}
+
+impl ProfilingMethod {
+    /// All methods, in the paper's presentation order.
+    pub const ALL: [ProfilingMethod; 4] = [
+        ProfilingMethod::EdgeCheck,
+        ProfilingMethod::NaiveLoop,
+        ProfilingMethod::NaiveAll,
+        ProfilingMethod::BlockCheck,
+    ];
+
+    /// True if the method guards strideProf calls with the trip-count
+    /// predicate.
+    pub fn is_guarded(self) -> bool {
+        matches!(self, ProfilingMethod::EdgeCheck | ProfilingMethod::BlockCheck)
+    }
+
+    /// True if out-loop loads are profiled.
+    pub fn profiles_out_loop(self) -> bool {
+        matches!(self, ProfilingMethod::NaiveAll)
+    }
+}
+
+impl std::fmt::Display for ProfilingMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ProfilingMethod::NaiveLoop => "naive-loop",
+            ProfilingMethod::NaiveAll => "naive-all",
+            ProfilingMethod::EdgeCheck => "edge-check",
+            ProfilingMethod::BlockCheck => "block-check",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One load selected for stride profiling.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProfiledLoad {
+    /// Containing function.
+    pub func: FuncId,
+    /// The load instruction (equivalence-class representative for the
+    /// guarded methods).
+    pub site: InstrId,
+    /// Innermost reducible loop containing the load, if any.
+    pub loop_id: Option<LoopId>,
+    /// The runtime slot assigned to this load's `StrideProfData`.
+    pub slot: u32,
+}
+
+/// The full selection for a module.
+#[derive(Clone, Debug, Default)]
+pub struct Selection {
+    /// Selected loads in deterministic (function, program) order.
+    pub loads: Vec<ProfiledLoad>,
+}
+
+impl Selection {
+    /// The `(func, site)` pairs in slot order (what
+    /// [`stride_profiling::ProfilerRuntime::new`] expects).
+    pub fn slot_sites(&self) -> Vec<(FuncId, InstrId)> {
+        self.loads.iter().map(|l| (l.func, l.site)).collect()
+    }
+
+    /// Loops of `func` that contain at least one selected load.
+    pub fn loops_with_loads(&self, func: FuncId) -> Vec<LoopId> {
+        let mut out: Vec<LoopId> = self
+            .loads
+            .iter()
+            .filter(|l| l.func == func)
+            .filter_map(|l| l.loop_id)
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Selects the profiled loads of `module` under `method`.
+///
+/// * Naïve methods take every (in-loop / all) load as-is.
+/// * Guarded methods additionally drop loads whose address is
+///   loop-invariant (their stride is always zero) and profile only one
+///   representative per equivalent-load set.
+pub fn select_profiled_loads(module: &Module, method: ProfilingMethod) -> Selection {
+    let mut selection = Selection::default();
+    for func in &module.functions {
+        let analysis = FuncAnalysis::compute(func);
+
+        match method {
+            ProfilingMethod::NaiveLoop | ProfilingMethod::NaiveAll => {
+                for block in &func.blocks {
+                    let loop_id = analysis.loops.loop_of(block.id);
+                    if loop_id.is_none() && !method.profiles_out_loop() {
+                        continue;
+                    }
+                    for instr in &block.instrs {
+                        if matches!(instr.op, Op::Load { .. }) {
+                            let slot = selection.loads.len() as u32;
+                            selection.loads.push(ProfiledLoad {
+                                func: func.id,
+                                site: instr.id,
+                                loop_id,
+                                slot,
+                            });
+                        }
+                    }
+                }
+            }
+            ProfilingMethod::EdgeCheck | ProfilingMethod::BlockCheck => {
+                // Representative loads of in-loop equivalence classes with
+                // loop-variant addresses.
+                let classes = equivalent_load_classes(func, &analysis);
+                for class in classes {
+                    let Some(loop_id) = class.loop_id else {
+                        continue; // out-loop: not profiled by guarded methods
+                    };
+                    let l = analysis.loops.get(loop_id);
+                    let defs = regs_defined_in_loop(func, l);
+                    if is_loop_invariant(class.base, &defs) {
+                        continue; // stride is always zero: skip
+                    }
+                    let slot = selection.loads.len() as u32;
+                    selection.loads.push(ProfiledLoad {
+                        func: func.id,
+                        site: class.repr,
+                        loop_id: Some(loop_id),
+                        slot,
+                    });
+                }
+            }
+        }
+    }
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::ModuleBuilder;
+
+    /// A function with: an in-loop pointer-chasing load + equivalent
+    /// partner, an in-loop invariant-address load, and an out-loop load.
+    fn test_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("table", 4096);
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let p = fb.mov(fb.param(0));
+        fb.while_nonzero(p, |fb, p| {
+            let (_, _equiv) = fb.load(p, 8); // equivalent partner (same base)
+            let _ = fb.load(base, 0); // loop-invariant address
+            fb.load_to(p, p, 0); // representative chasing load
+        });
+        let _ = fb.load(base, 128); // out-loop load
+        fb.ret(None);
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn naive_loop_takes_every_in_loop_load() {
+        let m = test_module();
+        let s = select_profiled_loads(&m, ProfilingMethod::NaiveLoop);
+        assert_eq!(s.loads.len(), 3); // both equivalent loads + invariant load
+        assert!(s.loads.iter().all(|l| l.loop_id.is_some()));
+    }
+
+    #[test]
+    fn naive_all_adds_out_loop_loads() {
+        let m = test_module();
+        let s = select_profiled_loads(&m, ProfilingMethod::NaiveAll);
+        assert_eq!(s.loads.len(), 4);
+        assert_eq!(s.loads.iter().filter(|l| l.loop_id.is_none()).count(), 1);
+    }
+
+    #[test]
+    fn edge_check_reduces_and_filters() {
+        let m = test_module();
+        let s = select_profiled_loads(&m, ProfilingMethod::EdgeCheck);
+        // one representative for the {p+8, p+0} class; the invariant-address
+        // load and the out-loop load are excluded
+        assert_eq!(s.loads.len(), 1);
+        assert!(s.loads[0].loop_id.is_some());
+    }
+
+    #[test]
+    fn block_check_selects_like_edge_check() {
+        let m = test_module();
+        let a = select_profiled_loads(&m, ProfilingMethod::EdgeCheck);
+        let b = select_profiled_loads(&m, ProfilingMethod::BlockCheck);
+        assert_eq!(a.loads, b.loads);
+    }
+
+    #[test]
+    fn slots_are_dense_and_ordered() {
+        let m = test_module();
+        let s = select_profiled_loads(&m, ProfilingMethod::NaiveAll);
+        for (i, l) in s.loads.iter().enumerate() {
+            assert_eq!(l.slot as usize, i);
+        }
+        assert_eq!(s.slot_sites().len(), s.loads.len());
+    }
+
+    #[test]
+    fn loops_with_loads_deduplicates() {
+        let m = test_module();
+        let s = select_profiled_loads(&m, ProfilingMethod::NaiveLoop);
+        let loops = s.loops_with_loads(stride_ir::FuncId::new(0));
+        assert_eq!(loops.len(), 1);
+    }
+
+    #[test]
+    fn method_display_names_match_paper() {
+        assert_eq!(ProfilingMethod::EdgeCheck.to_string(), "edge-check");
+        assert_eq!(ProfilingMethod::NaiveAll.to_string(), "naive-all");
+    }
+}

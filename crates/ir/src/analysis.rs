@@ -1,0 +1,399 @@
+//! Analyses used by profiled-load selection: loop-invariant addresses,
+//! control equivalence, and *equivalent load* grouping (§2.1 of the paper).
+
+use crate::cfg::Cfg;
+use crate::dom::{DomTree, PostDomTree};
+use crate::function::Function;
+use crate::instr::{Op, Operand, Terminator};
+use crate::loops::{Loop, LoopForest};
+use crate::types::{BlockId, InstrId, LoopId, Reg};
+use std::collections::{HashMap, HashSet};
+
+/// Bundles every per-function analysis the instrumentation and prefetch
+/// passes consume.
+#[derive(Clone, Debug)]
+pub struct FuncAnalysis {
+    /// Control-flow graph.
+    pub cfg: Cfg,
+    /// Dominator tree.
+    pub dom: DomTree,
+    /// Postdominator tree.
+    pub pdom: PostDomTree,
+    /// Loop forest.
+    pub loops: LoopForest,
+}
+
+impl FuncAnalysis {
+    /// Runs all analyses on `func`.
+    pub fn compute(func: &Function) -> Self {
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg, func.entry);
+        let exits: Vec<BlockId> = func
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Ret { .. }))
+            .map(|b| b.id)
+            .collect();
+        let pdom = PostDomTree::compute(&cfg, &exits);
+        let loops = LoopForest::compute(&cfg, &dom, func.entry);
+        FuncAnalysis {
+            cfg,
+            dom,
+            pdom,
+            loops,
+        }
+    }
+
+    /// True if blocks `a` and `b` are control equivalent: one dominates the
+    /// other and is postdominated by it, so both execute the same number of
+    /// times.
+    pub fn control_equivalent(&self, a: BlockId, b: BlockId) -> bool {
+        if a == b {
+            return true;
+        }
+        (self.dom.dominates(a, b) && self.pdom.postdominates(b, a))
+            || (self.dom.dominates(b, a) && self.pdom.postdominates(a, b))
+    }
+}
+
+/// Registers assigned by any instruction inside `l` (including predicated
+/// definitions and call return values).
+pub fn regs_defined_in_loop(func: &Function, l: &Loop) -> HashSet<Reg> {
+    let mut defs = HashSet::new();
+    for &b in &l.blocks {
+        for instr in &func.block(b).instrs {
+            if let Some(d) = instr.def() {
+                defs.insert(d);
+            }
+        }
+    }
+    defs
+}
+
+/// True if `operand` is loop-invariant with respect to the registers
+/// defined inside the loop: immediates always are; a register is invariant
+/// iff nothing in the loop redefines it.
+///
+/// Loads whose address is loop-invariant have stride 0 and are excluded
+/// from stride profiling (§3.2 of the paper).
+pub fn is_loop_invariant(operand: Operand, loop_defs: &HashSet<Reg>) -> bool {
+    match operand {
+        Operand::Imm(_) => true,
+        Operand::Reg(r) => !loop_defs.contains(&r),
+    }
+}
+
+/// A set of equivalent loads: same loop, control-equivalent blocks, same
+/// base address operand, addresses differing only by compile-time constant
+/// offsets. Only the representative is stride-profiled; at prefetch time
+/// enough members are prefetched to cover the cache lines the set touches.
+#[derive(Clone, Debug)]
+pub struct EquivClass {
+    /// The innermost loop containing every member (`None` for out-loop
+    /// equivalence classes, which are grouped per block).
+    pub loop_id: Option<LoopId>,
+    /// The common base address operand.
+    pub base: Operand,
+    /// The profiled representative (first member in program order).
+    pub repr: InstrId,
+    /// All members as `(instr, block, offset)`, in program order.
+    pub members: Vec<(InstrId, BlockId, i64)>,
+}
+
+impl EquivClass {
+    /// Byte extent `[min_offset, max_offset]` spanned by the members.
+    pub fn offset_range(&self) -> (i64, i64) {
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for &(_, _, off) in &self.members {
+            min = min.min(off);
+            max = max.max(off);
+        }
+        (min, max)
+    }
+}
+
+/// Groups the loads of `func` into equivalence classes (§2.1).
+///
+/// Two in-loop loads are equivalent when they share the innermost loop,
+/// their blocks are control equivalent, they use the same base operand, and
+/// that base register is defined at most once inside the loop (so both see
+/// addresses in lock-step and their strides coincide). Out-loop loads are
+/// grouped only when they sit in the same block with no intervening
+/// redefinition of the base.
+pub fn equivalent_load_classes(func: &Function, analysis: &FuncAnalysis) -> Vec<EquivClass> {
+    // def counts per loop, computed lazily
+    let mut loop_def_counts: HashMap<LoopId, HashMap<Reg, u32>> = HashMap::new();
+    let count_defs = |l: &Loop| -> HashMap<Reg, u32> {
+        let mut counts: HashMap<Reg, u32> = HashMap::new();
+        for &b in &l.blocks {
+            for instr in &func.block(b).instrs {
+                if let Some(d) = instr.def() {
+                    *counts.entry(d).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    };
+
+    let mut classes: Vec<EquivClass> = Vec::new();
+
+    // --- in-loop loads ------------------------------------------------------
+    let mut in_loop: Vec<(InstrId, BlockId, Operand, i64, LoopId)> = Vec::new();
+    let mut out_loop: Vec<(InstrId, BlockId, Operand, i64)> = Vec::new();
+    for block in &func.blocks {
+        for instr in &block.instrs {
+            if let Op::Load { addr, offset, .. } = instr.op {
+                match analysis.loops.loop_of(block.id) {
+                    Some(l) => in_loop.push((instr.id, block.id, addr, offset, l)),
+                    None => out_loop.push((instr.id, block.id, addr, offset)),
+                }
+            }
+        }
+    }
+
+    let mut assigned: HashSet<InstrId> = HashSet::new();
+    for i in 0..in_loop.len() {
+        let (id_i, b_i, base_i, off_i, l_i) = in_loop[i];
+        if assigned.contains(&id_i) {
+            continue;
+        }
+        let defs = loop_def_counts
+            .entry(l_i)
+            .or_insert_with(|| count_defs(analysis.loops.get(l_i)));
+        let base_stable = match base_i {
+            Operand::Imm(_) => true,
+            Operand::Reg(r) => defs.get(&r).copied().unwrap_or(0) <= 1,
+        };
+        let mut members = vec![(id_i, b_i, off_i)];
+        assigned.insert(id_i);
+        if base_stable {
+            for &(id_j, b_j, base_j, off_j, l_j) in in_loop.iter().skip(i + 1) {
+                if assigned.contains(&id_j) {
+                    continue;
+                }
+                if l_j == l_i && base_j == base_i && analysis.control_equivalent(b_i, b_j) {
+                    members.push((id_j, b_j, off_j));
+                    assigned.insert(id_j);
+                }
+            }
+        }
+        classes.push(EquivClass {
+            loop_id: Some(l_i),
+            base: base_i,
+            repr: id_i,
+            members,
+        });
+    }
+
+    // --- out-loop loads -------------------------------------------------------
+    // Group per block, scanning forward while the base register is not
+    // redefined.
+    let mut out_assigned: HashSet<InstrId> = HashSet::new();
+    for block in &func.blocks {
+        if analysis.loops.loop_of(block.id).is_some() {
+            continue;
+        }
+        let instrs = &block.instrs;
+        for (idx, instr) in instrs.iter().enumerate() {
+            let Op::Load { addr, offset, .. } = instr.op else {
+                continue;
+            };
+            if out_assigned.contains(&instr.id) {
+                continue;
+            }
+            let mut members = vec![(instr.id, block.id, offset)];
+            out_assigned.insert(instr.id);
+            // Extend while the base is not redefined. A load that both uses
+            // and redefines the base (pointer chasing) still reads the old
+            // value, so it joins the class before terminating the scan.
+            for later in &instrs[idx + 1..] {
+                if let Op::Load {
+                    addr: a2,
+                    offset: o2,
+                    ..
+                } = later.op
+                {
+                    if a2 == addr && !out_assigned.contains(&later.id) {
+                        members.push((later.id, block.id, o2));
+                        out_assigned.insert(later.id);
+                    }
+                }
+                if let Some(d) = later.def() {
+                    if addr == Operand::Reg(d) {
+                        break;
+                    }
+                }
+            }
+            classes.push(EquivClass {
+                loop_id: None,
+                base: addr,
+                repr: instr.id,
+                members,
+            });
+        }
+    }
+
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::BinOp;
+
+    #[test]
+    fn loop_invariance() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 2);
+        let mut fb = mb.function(f);
+        let base = fb.param(0); // never redefined
+        let p = fb.mov(fb.param(1));
+        fb.counted_loop(100i64, |fb, _| {
+            let _ = fb.load(base, 0); // invariant address
+            fb.load_to(p, p, 0); // variant address (p redefined)
+        });
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let l = analysis.loops.loops()[0].clone();
+        let defs = regs_defined_in_loop(func, &l);
+        assert!(is_loop_invariant(Operand::Reg(base), &defs));
+        assert!(!is_loop_invariant(Operand::Reg(p), &defs));
+        assert!(is_loop_invariant(Operand::Imm(64), &defs));
+    }
+
+    #[test]
+    fn equivalent_loads_same_block_same_base() {
+        // The Fig. 1 shape: sn = list->next; use list->string — two loads
+        // off the same base with different constant offsets.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        fb.while_nonzero(p, |fb, p| {
+            let (_s, _l1) = fb.load(p, 8); // p->string
+            fb.load_to(p, p, 0); // p = p->next (redefines p)
+        });
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let classes = equivalent_load_classes(func, &analysis);
+        // p is redefined inside the loop once; loads at +8 and +0 share the
+        // base and block, so they form one class.
+        let in_loop: Vec<_> = classes.iter().filter(|c| c.loop_id.is_some()).collect();
+        assert_eq!(in_loop.len(), 1);
+        assert_eq!(in_loop[0].members.len(), 2);
+        assert_eq!(in_loop[0].offset_range(), (0, 8));
+    }
+
+    #[test]
+    fn base_redefined_twice_not_grouped() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        fb.counted_loop(10i64, |fb, _| {
+            let _ = fb.load(p, 0);
+            fb.bin_to(p, BinOp::Add, p, 8); // first redefinition
+            let _ = fb.load(p, 0);
+            fb.bin_to(p, BinOp::Add, p, 8); // second redefinition
+        });
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let classes = equivalent_load_classes(func, &analysis);
+        let in_loop: Vec<_> = classes.iter().filter(|c| c.loop_id.is_some()).collect();
+        // base defined twice in the loop: loads must not be merged
+        assert_eq!(in_loop.len(), 2);
+        assert!(in_loop.iter().all(|c| c.members.len() == 1));
+    }
+
+    #[test]
+    fn out_loop_loads_grouped_until_redefinition() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        let _ = fb.load(p, 0);
+        let _ = fb.load(p, 8); // same base, groups with previous
+        fb.load_to(p, p, 16); // redefines p
+        let _ = fb.load(p, 0); // new class
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let classes = equivalent_load_classes(func, &analysis);
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].members.len(), 3); // loads at 0, 8 and the chasing load at 16
+        assert_eq!(classes[1].members.len(), 1);
+        assert!(classes.iter().all(|c| c.loop_id.is_none()));
+    }
+
+    #[test]
+    fn control_equivalent_blocks_grouped_across_blocks() {
+        // b0 -> header -> body1 -> body2 -> header (body1 and body2 are
+        // control equivalent); base defined outside the loop.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let base = fb.param(0);
+        let header = fb.new_block();
+        let body1 = fb.new_block();
+        let body2 = fb.new_block();
+        let exit = fb.new_block();
+        let i = fb.const_(0);
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp(crate::instr::CmpOp::Lt, i, 100i64);
+        fb.cond_br(c, body1, exit);
+        fb.switch_to(body1);
+        let _ = fb.load(base, 0);
+        fb.br(body2);
+        fb.switch_to(body2);
+        let _ = fb.load(base, 32);
+        fb.bin_to(i, BinOp::Add, i, 1);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let classes = equivalent_load_classes(func, &analysis);
+        let in_loop: Vec<_> = classes.iter().filter(|c| c.loop_id.is_some()).collect();
+        assert_eq!(in_loop.len(), 1);
+        assert_eq!(in_loop[0].members.len(), 2);
+    }
+
+    #[test]
+    fn non_equivalent_blocks_not_grouped() {
+        // A load under a conditional inside the loop is not control
+        // equivalent to one in the unconditional body.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let base = fb.param(0);
+        fb.counted_loop(100i64, |fb, i| {
+            let _ = fb.load(base, 0);
+            let then_b = fb.new_block();
+            let join = fb.new_block();
+            let c = fb.cmp(crate::instr::CmpOp::Eq, i, 5i64);
+            fb.cond_br(c, then_b, join);
+            fb.switch_to(then_b);
+            let _ = fb.load(base, 8);
+            fb.br(join);
+            fb.switch_to(join);
+        });
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let classes = equivalent_load_classes(func, &analysis);
+        let in_loop: Vec<_> = classes.iter().filter(|c| c.loop_id.is_some()).collect();
+        assert_eq!(in_loop.len(), 2);
+    }
+}

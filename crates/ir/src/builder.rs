@@ -1,0 +1,525 @@
+//! Ergonomic construction of [`Module`]s and [`Function`]s.
+//!
+//! The workload generators build whole synthetic benchmarks through this
+//! API, so it favors terseness: emitters allocate destination registers and
+//! instruction ids automatically, and `*_to` variants write into an
+//! existing register (needed for loop counters and pointer chasing, where a
+//! register is redefined each iteration).
+
+use crate::function::{Function, Module};
+use crate::instr::{BinOp, CmpOp, Instr, Op, Operand, Terminator};
+use crate::types::{BlockId, FuncId, GlobalId, InstrId, Reg};
+
+/// Builds a [`Module`] incrementally.
+#[derive(Debug, Default)]
+pub struct ModuleBuilder {
+    module: Module,
+}
+
+impl ModuleBuilder {
+    /// Creates an empty module builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a function with `num_params` parameters and a fresh entry
+    /// block; returns its id. The body is filled in later via
+    /// [`ModuleBuilder::function`].
+    pub fn declare_function(&mut self, name: impl Into<String>, num_params: u32) -> FuncId {
+        let id = FuncId::new(self.module.functions.len() as u32);
+        let mut f = Function {
+            id,
+            name: name.into(),
+            num_params,
+            num_regs: num_params,
+            next_instr: 0,
+            entry: BlockId::new(0),
+            blocks: Vec::new(),
+        };
+        f.new_block(); // entry block b0
+        self.module.functions.push(f);
+        id
+    }
+
+    /// Returns a [`FunctionBuilder`] positioned at the entry block of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not returned by
+    /// [`ModuleBuilder::declare_function`].
+    pub fn function(&mut self, id: FuncId) -> FunctionBuilder<'_> {
+        let func = &mut self.module.functions[id.index()];
+        let current = func.entry;
+        FunctionBuilder { func, current }
+    }
+
+    /// Declares a zero-initialized global region.
+    pub fn add_global(&mut self, name: impl Into<String>, size: u64) -> GlobalId {
+        self.module.add_global(name, size)
+    }
+
+    /// Sets the module entry point.
+    pub fn set_entry(&mut self, id: FuncId) {
+        self.module.entry = id;
+    }
+
+    /// Finishes construction and returns the module.
+    pub fn finish(self) -> Module {
+        self.module
+    }
+}
+
+/// Appends instructions to one function, tracking a current block.
+#[derive(Debug)]
+pub struct FunctionBuilder<'a> {
+    func: &'a mut Function,
+    current: BlockId,
+}
+
+impl<'a> FunctionBuilder<'a> {
+    /// Wraps an existing function, positioned at its entry block.
+    pub fn reopen(func: &'a mut Function) -> Self {
+        let current = func.entry;
+        FunctionBuilder { func, current }
+    }
+
+    /// The register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_params`.
+    pub fn param(&self, i: u32) -> Reg {
+        assert!(i < self.func.num_params, "parameter index out of range");
+        Reg::new(i)
+    }
+
+    /// Allocates a fresh register.
+    pub fn new_reg(&mut self) -> Reg {
+        self.func.new_reg()
+    }
+
+    /// Creates a new block (terminated by `ret` until overwritten).
+    pub fn new_block(&mut self) -> BlockId {
+        self.func.new_block()
+    }
+
+    /// Returns the block currently being appended to.
+    pub fn current(&self) -> BlockId {
+        self.current
+    }
+
+    /// Moves the append cursor to `block`.
+    pub fn switch_to(&mut self, block: BlockId) {
+        assert!(block.index() < self.func.blocks.len(), "unknown block");
+        self.current = block;
+    }
+
+    /// Access the underlying function (read-only).
+    pub fn func(&self) -> &Function {
+        self.func
+    }
+
+    fn emit(&mut self, op: Op) -> InstrId {
+        let id = self.func.new_instr_id();
+        let block = &mut self.func.blocks[self.current.index()];
+        block.instrs.push(Instr { id, pred: None, op });
+        id
+    }
+
+    /// Emits an instruction guarded by predicate register `pred`.
+    pub fn emit_pred(&mut self, pred: Reg, op: Op) -> InstrId {
+        let id = self.func.new_instr_id();
+        let block = &mut self.func.blocks[self.current.index()];
+        block.instrs.push(Instr {
+            id,
+            pred: Some(pred),
+            op,
+        });
+        id
+    }
+
+    /// `dst = value` into a fresh register.
+    pub fn const_(&mut self, value: i64) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::Const { dst, value });
+        dst
+    }
+
+    /// `dst = src` into a fresh register.
+    pub fn mov(&mut self, src: impl Into<Operand>) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::Mov {
+            dst,
+            src: src.into(),
+        });
+        dst
+    }
+
+    /// `dst = src` into an existing register.
+    pub fn mov_to(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.emit(Op::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// `dst = lhs <op> rhs` into a fresh register.
+    pub fn bin(&mut self, op: BinOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::Bin {
+            dst,
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+        dst
+    }
+
+    /// `dst = lhs <op> rhs` into an existing register.
+    pub fn bin_to(
+        &mut self,
+        dst: Reg,
+        op: BinOp,
+        lhs: impl Into<Operand>,
+        rhs: impl Into<Operand>,
+    ) {
+        self.emit(Op::Bin {
+            dst,
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+    }
+
+    /// Wrapping add into a fresh register.
+    pub fn add(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Add, lhs, rhs)
+    }
+
+    /// Wrapping subtract into a fresh register.
+    pub fn sub(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Sub, lhs, rhs)
+    }
+
+    /// Wrapping multiply into a fresh register.
+    pub fn mul(&mut self, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        self.bin(BinOp::Mul, lhs, rhs)
+    }
+
+    /// `dst = (lhs <op> rhs)` as 0/1 into a fresh register.
+    pub fn cmp(&mut self, op: CmpOp, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::Cmp {
+            dst,
+            op,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+        dst
+    }
+
+    /// `dst = cond ? a : b` into a fresh register.
+    pub fn select(
+        &mut self,
+        cond: impl Into<Operand>,
+        on_true: impl Into<Operand>,
+        on_false: impl Into<Operand>,
+    ) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::Select {
+            dst,
+            cond: cond.into(),
+            on_true: on_true.into(),
+            on_false: on_false.into(),
+        });
+        dst
+    }
+
+    /// 8-byte load of `addr + offset` into a fresh register; returns the
+    /// destination register and the load's instruction id (the key under
+    /// which its stride profile is recorded).
+    pub fn load(&mut self, addr: impl Into<Operand>, offset: i64) -> (Reg, InstrId) {
+        let dst = self.new_reg();
+        let id = self.emit(Op::Load {
+            dst,
+            addr: addr.into(),
+            offset,
+        });
+        (dst, id)
+    }
+
+    /// 8-byte load into an existing register (pointer chasing:
+    /// `p = p->next`). Returns the load's instruction id.
+    pub fn load_to(&mut self, dst: Reg, addr: impl Into<Operand>, offset: i64) -> InstrId {
+        self.emit(Op::Load {
+            dst,
+            addr: addr.into(),
+            offset,
+        })
+    }
+
+    /// 8-byte store of `value` to `addr + offset`.
+    pub fn store(&mut self, value: impl Into<Operand>, addr: impl Into<Operand>, offset: i64) {
+        self.emit(Op::Store {
+            value: value.into(),
+            addr: addr.into(),
+            offset,
+        });
+    }
+
+    /// Cache-line prefetch of `addr + offset`.
+    pub fn prefetch(&mut self, addr: impl Into<Operand>, offset: i64) {
+        self.emit(Op::Prefetch {
+            addr: addr.into(),
+            offset,
+        });
+    }
+
+    /// Heap allocation of `size` bytes into a fresh register.
+    pub fn alloc(&mut self, size: impl Into<Operand>) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::Alloc {
+            dst,
+            size: size.into(),
+        });
+        dst
+    }
+
+    /// Frees a heap allocation.
+    pub fn free(&mut self, addr: impl Into<Operand>) {
+        self.emit(Op::Free { addr: addr.into() });
+    }
+
+    /// Address of a global region into a fresh register.
+    pub fn global_addr(&mut self, global: GlobalId) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::GlobalAddr { dst, global });
+        dst
+    }
+
+    /// Calls `callee`, capturing the return value in a fresh register.
+    pub fn call(&mut self, callee: FuncId, args: &[Operand]) -> Reg {
+        let dst = self.new_reg();
+        self.emit(Op::Call {
+            dst: Some(dst),
+            callee,
+            args: args.to_vec(),
+        });
+        dst
+    }
+
+    /// Calls `callee`, discarding any return value.
+    pub fn call_void(&mut self, callee: FuncId, args: &[Operand]) {
+        self.emit(Op::Call {
+            dst: None,
+            callee,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Terminates the current block with an unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.func.blocks[self.current.index()].term = Terminator::Br { target };
+    }
+
+    /// Terminates the current block with a conditional branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `then_ == else_`; use [`FunctionBuilder::br`] instead.
+    pub fn cond_br(&mut self, cond: impl Into<Operand>, then_: BlockId, else_: BlockId) {
+        assert_ne!(then_, else_, "cond_br with identical targets; use br");
+        self.func.blocks[self.current.index()].term = Terminator::CondBr {
+            cond: cond.into(),
+            then_,
+            else_,
+        };
+    }
+
+    /// Terminates the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.func.blocks[self.current.index()].term = Terminator::Ret { value };
+    }
+
+    /// Builds a counted loop running `count` iterations.
+    ///
+    /// Emits `i = 0` in the current block, creates header/body/exit blocks,
+    /// and invokes `body` with the induction register `i` while positioned
+    /// in the body block. The closure must leave the cursor in a block that
+    /// falls through (it will be terminated with the back edge). On return
+    /// the cursor is at the exit block.
+    ///
+    /// The generated shape has the loop header as the loop entry block with
+    /// one incoming edge from outside, matching the trip-count computation
+    /// of Fig. 10 in the paper.
+    pub fn counted_loop(
+        &mut self,
+        count: impl Into<Operand>,
+        body: impl FnOnce(&mut Self, Reg),
+    ) -> BlockId {
+        let count = count.into();
+        let i = self.const_(0);
+        let header = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.br(header);
+
+        self.switch_to(header);
+        let cond = self.cmp(CmpOp::Lt, i, count);
+        self.cond_br(cond, body_b, exit);
+
+        self.switch_to(body_b);
+        body(self, i);
+        self.bin_to(i, BinOp::Add, i, 1);
+        self.br(header);
+
+        self.switch_to(exit);
+        exit
+    }
+
+    /// Builds a `while (p != 0)` loop for pointer chasing.
+    ///
+    /// The closure is positioned in the body block and receives the pointer
+    /// register; it must redefine `p` (e.g. `load_to(p, p, next_offset)`)
+    /// and leave the cursor in a block that falls through to the back edge.
+    /// On return the cursor is at the exit block.
+    pub fn while_nonzero(&mut self, p: Reg, body: impl FnOnce(&mut Self, Reg)) -> BlockId {
+        let header = self.new_block();
+        let body_b = self.new_block();
+        let exit = self.new_block();
+        self.br(header);
+
+        self.switch_to(header);
+        let cond = self.cmp(CmpOp::Ne, p, 0);
+        self.cond_br(cond, body_b, exit);
+
+        self.switch_to(body_b);
+        body(self, p);
+        self.br(header);
+
+        self.switch_to(exit);
+        exit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_function_creates_entry_block() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 2);
+        let m = mb.finish();
+        let func = m.function(f);
+        assert_eq!(func.num_params, 2);
+        assert_eq!(func.num_regs, 2);
+        assert_eq!(func.blocks.len(), 1);
+        assert_eq!(func.entry, BlockId::new(0));
+    }
+
+    #[test]
+    fn emitters_allocate_registers_and_ids() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let a = fb.const_(1);
+        let b = fb.const_(2);
+        let c = fb.add(a, b);
+        fb.ret(Some(Operand::Reg(c)));
+        let m = mb.finish();
+        let func = m.function(f);
+        assert_eq!(func.num_regs, 3);
+        assert_eq!(func.instr_count(), 3);
+        assert_eq!(func.blocks[0].instrs[0].id, InstrId::new(0));
+        assert_eq!(func.blocks[0].instrs[2].id, InstrId::new(2));
+    }
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let sum = fb.const_(0);
+        fb.counted_loop(10i64, |fb, i| {
+            fb.bin_to(sum, BinOp::Add, sum, i);
+        });
+        fb.ret(Some(Operand::Reg(sum)));
+        let m = mb.finish();
+        let func = m.function(f);
+        // entry + header + body + exit
+        assert_eq!(func.blocks.len(), 4);
+        // entry branches to header
+        assert_eq!(
+            func.blocks[0].term.successors().collect::<Vec<_>>(),
+            vec![BlockId::new(1)]
+        );
+        // header cond-branches to body and exit
+        assert_eq!(
+            func.blocks[1].term.successors().collect::<Vec<_>>(),
+            vec![BlockId::new(2), BlockId::new(3)]
+        );
+        // body loops back to header
+        assert_eq!(
+            func.blocks[2].term.successors().collect::<Vec<_>>(),
+            vec![BlockId::new(1)]
+        );
+    }
+
+    #[test]
+    fn while_nonzero_shape() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("chase", 1);
+        let mut fb = mb.function(f);
+        let p = fb.param(0);
+        fb.while_nonzero(p, |fb, p| {
+            fb.load_to(p, p, 0);
+        });
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        assert_eq!(func.blocks.len(), 4);
+        // body redefines p through a load
+        assert_eq!(func.blocks[2].instrs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical targets")]
+    fn cond_br_rejects_same_targets() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let b = fb.new_block();
+        let c = fb.const_(1);
+        fb.cond_br(c, b, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter index")]
+    fn param_out_of_range_panics() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let fb = mb.function(f);
+        let _ = fb.param(1);
+    }
+
+    #[test]
+    fn predicated_emission() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let p = fb.cmp(CmpOp::Eq, 1i64, 1i64);
+        let addr = fb.const_(64);
+        fb.emit_pred(
+            p,
+            Op::Prefetch {
+                addr: Operand::Reg(addr),
+                offset: 0,
+            },
+        );
+        let m = mb.finish();
+        let func = m.function(f);
+        let last = func.blocks[0].instrs.last().unwrap();
+        assert_eq!(last.pred, Some(p));
+    }
+}

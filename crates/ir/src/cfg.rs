@@ -1,0 +1,205 @@
+//! Control-flow graph: successor/predecessor maps and edge enumeration.
+
+use crate::function::Function;
+use crate::types::{BlockId, EdgeId};
+use std::collections::HashMap;
+
+/// The control-flow graph of one function.
+///
+/// Edge ids are assigned deterministically — blocks in id order, successors
+/// in terminator order — so that a profile collected from an instrumented
+/// copy of a module can be keyed by the edge ids of the *original* module.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    edges: Vec<(BlockId, BlockId)>,
+    edge_index: HashMap<(BlockId, BlockId), EdgeId>,
+}
+
+impl Cfg {
+    /// Computes the CFG of `func`.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        let mut edges = Vec::new();
+        let mut edge_index = HashMap::new();
+        for block in &func.blocks {
+            for succ in block.term.successors() {
+                let id = EdgeId::new(edges.len() as u32);
+                edges.push((block.id, succ));
+                edge_index.insert((block.id, succ), id);
+                succs[block.id.index()].push(succ);
+                preds[succ.index()].push(block.id);
+            }
+        }
+        Cfg {
+            succs,
+            preds,
+            edges,
+            edge_index,
+        }
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Successors of `b` in terminator order.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b` (in discovery order).
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// All edges, indexed by [`EdgeId`].
+    pub fn edges(&self) -> &[(BlockId, BlockId)] {
+        &self.edges
+    }
+
+    /// The id of edge `(from, to)`, if present.
+    pub fn edge_id(&self, from: BlockId, to: BlockId) -> Option<EdgeId> {
+        self.edge_index.get(&(from, to)).copied()
+    }
+
+    /// The endpoints of `edge`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    pub fn edge(&self, edge: EdgeId) -> (BlockId, BlockId) {
+        self.edges[edge.index()]
+    }
+
+    /// Blocks reachable from `entry` in reverse postorder.
+    pub fn reverse_postorder(&self, entry: BlockId) -> Vec<BlockId> {
+        let n = self.num_blocks();
+        let mut state = vec![0u8; n]; // 0 unvisited, 1 on stack, 2 done
+        let mut postorder = Vec::with_capacity(n);
+        // Iterative DFS with an explicit successor cursor.
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        state[entry.index()] = 1;
+        while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+            let succs = self.succs(b);
+            if *cursor < succs.len() {
+                let next = succs[*cursor];
+                *cursor += 1;
+                if state[next.index()] == 0 {
+                    state[next.index()] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[b.index()] = 2;
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        postorder
+    }
+
+    /// True if `b` is reachable from `entry`.
+    pub fn is_reachable(&self, entry: BlockId, b: BlockId) -> bool {
+        self.reverse_postorder(entry).contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::CmpOp;
+
+    /// Builds the diamond CFG: b0 -> {b1, b2} -> b3.
+    fn diamond() -> (crate::Module, crate::types::FuncId) {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, b1, b2);
+        fb.switch_to(b1);
+        fb.br(b3);
+        fb.switch_to(b2);
+        fb.br(b3);
+        fb.switch_to(b3);
+        fb.ret(None);
+        (mb.finish(), f)
+    }
+
+    #[test]
+    fn diamond_edges() {
+        let (m, f) = diamond();
+        let cfg = Cfg::compute(m.function(f));
+        assert_eq!(cfg.num_blocks(), 4);
+        assert_eq!(cfg.num_edges(), 4);
+        assert_eq!(cfg.succs(BlockId::new(0)), &[BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(cfg.preds(BlockId::new(3)), &[BlockId::new(1), BlockId::new(2)]);
+        // deterministic edge numbering: block order, successor order
+        assert_eq!(cfg.edge(EdgeId::new(0)), (BlockId::new(0), BlockId::new(1)));
+        assert_eq!(cfg.edge(EdgeId::new(1)), (BlockId::new(0), BlockId::new(2)));
+        assert_eq!(
+            cfg.edge_id(BlockId::new(1), BlockId::new(3)),
+            Some(EdgeId::new(2))
+        );
+        assert_eq!(cfg.edge_id(BlockId::new(0), BlockId::new(3)), None);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_orders_preds_first() {
+        let (m, f) = diamond();
+        let cfg = Cfg::compute(m.function(f));
+        let rpo = cfg.reverse_postorder(BlockId::new(0));
+        assert_eq!(rpo[0], BlockId::new(0));
+        assert_eq!(rpo.len(), 4);
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId::new(0)) < pos(BlockId::new(1)));
+        assert!(pos(BlockId::new(1)) < pos(BlockId::new(3)));
+        assert!(pos(BlockId::new(2)) < pos(BlockId::new(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_not_in_rpo() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        let _dead = fb.new_block();
+        fb.ret(None);
+        let m = mb.finish();
+        let cfg = Cfg::compute(m.function(f));
+        let rpo = cfg.reverse_postorder(BlockId::new(0));
+        assert_eq!(rpo, vec![BlockId::new(0)]);
+        assert!(!cfg.is_reachable(BlockId::new(0), BlockId::new(1)));
+    }
+
+    #[test]
+    fn self_loop_edge() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(body);
+        fb.switch_to(body);
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let m = mb.finish();
+        let cfg = Cfg::compute(m.function(f));
+        assert!(cfg.edge_id(BlockId::new(1), BlockId::new(1)).is_some());
+        assert!(cfg.preds(BlockId::new(1)).contains(&BlockId::new(1)));
+    }
+}

@@ -1,0 +1,373 @@
+//! Dominator and postdominator trees (Cooper–Harvey–Kennedy iterative
+//! algorithm).
+
+use crate::cfg::Cfg;
+use crate::types::BlockId;
+
+/// A dominator tree over the blocks of one function.
+///
+/// Unreachable blocks have no immediate dominator and are dominated by
+/// nothing (and dominate nothing but themselves).
+#[derive(Clone, Debug)]
+pub struct DomTree {
+    idom: Vec<Option<BlockId>>,
+    rpo_number: Vec<Option<u32>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Computes the dominator tree of `cfg` rooted at `entry`.
+    pub fn compute(cfg: &Cfg, entry: BlockId) -> Self {
+        let rpo = cfg.reverse_postorder(entry);
+        let n = cfg.num_blocks();
+        let mut rpo_number = vec![None; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_number[b.index()] = Some(i as u32);
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let intersect = |idom: &[Option<BlockId>], a: BlockId, b: BlockId| -> BlockId {
+            let mut finger1 = a;
+            let mut finger2 = b;
+            while finger1 != finger2 {
+                while rpo_number[finger1.index()].unwrap() > rpo_number[finger2.index()].unwrap() {
+                    finger1 = idom[finger1.index()].unwrap();
+                }
+                while rpo_number[finger2.index()].unwrap() > rpo_number[finger1.index()].unwrap() {
+                    finger2 = idom[finger2.index()].unwrap();
+                }
+            }
+            finger1
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor that already has an idom.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if rpo_number[p.index()].is_none() {
+                        continue; // unreachable predecessor
+                    }
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            rpo_number,
+            entry,
+        }
+    }
+
+    /// The immediate dominator of `b` (`None` for the entry and for
+    /// unreachable blocks).
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        if b == self.entry {
+            None
+        } else {
+            self.idom[b.index()]
+        }
+    }
+
+    /// True if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_number[b.index()].is_none() || self.rpo_number[a.index()].is_none() {
+            return a == b;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            match self.idom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+
+    /// True if `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_number[b.index()].is_some()
+    }
+}
+
+/// A postdominator tree, computed on the reverse CFG with a virtual exit
+/// joining all `Ret` blocks.
+#[derive(Clone, Debug)]
+pub struct PostDomTree {
+    // ipdom[b] = immediate postdominator; `None` means the virtual exit or
+    // a block from which no exit is reachable.
+    ipdom: Vec<Option<BlockId>>,
+    reachable: Vec<bool>,
+}
+
+impl PostDomTree {
+    /// Computes the postdominator tree of `cfg`. `exits` lists the blocks
+    /// with `Ret` terminators.
+    pub fn compute(cfg: &Cfg, exits: &[BlockId]) -> Self {
+        let n = cfg.num_blocks();
+        // Build the reverse graph with a virtual exit node index n.
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // reverse succ = preds
+        for b in 0..n {
+            for &p in cfg.preds(BlockId::new(b as u32)) {
+                succs[b].push(p.index());
+            }
+        }
+        for &e in exits {
+            succs[n].push(e.index());
+        }
+        // preds in the reverse graph = forward succs (+ virtual exit edges)
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (b, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(b);
+            }
+        }
+
+        // RPO on the reverse graph from the virtual exit.
+        let mut state = vec![0u8; n + 1];
+        let mut postorder = Vec::with_capacity(n + 1);
+        let mut stack: Vec<(usize, usize)> = vec![(n, 0)];
+        state[n] = 1;
+        while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+            if *cursor < succs[b].len() {
+                let next = succs[b][*cursor];
+                *cursor += 1;
+                if state[next] == 0 {
+                    state[next] = 1;
+                    stack.push((next, 0));
+                }
+            } else {
+                state[b] = 2;
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        let mut rpo_number = vec![None; n + 1];
+        for (i, &b) in postorder.iter().enumerate() {
+            rpo_number[b] = Some(i as u32);
+        }
+
+        let mut idom: Vec<Option<usize>> = vec![None; n + 1];
+        idom[n] = Some(n);
+        let intersect = |idom: &[Option<usize>], a: usize, b: usize| -> usize {
+            let mut f1 = a;
+            let mut f2 = b;
+            while f1 != f2 {
+                while rpo_number[f1].unwrap() > rpo_number[f2].unwrap() {
+                    f1 = idom[f1].unwrap();
+                }
+                while rpo_number[f2].unwrap() > rpo_number[f1].unwrap() {
+                    f2 = idom[f2].unwrap();
+                }
+            }
+            f1
+        };
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in postorder.iter().skip(1) {
+                let mut new_idom: Option<usize> = None;
+                for &p in &preds[b] {
+                    if rpo_number[p].is_none() || idom[p].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cur, p),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b] != Some(ni) {
+                        idom[b] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut ipdom = vec![None; n];
+        let mut reachable = vec![false; n];
+        for b in 0..n {
+            reachable[b] = rpo_number[b].is_some();
+            if let Some(d) = idom[b] {
+                if d < n {
+                    ipdom[b] = Some(BlockId::new(d as u32));
+                }
+            }
+        }
+        PostDomTree { ipdom, reachable }
+    }
+
+    /// The immediate postdominator of `b`, if it is a real block.
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.index()]
+    }
+
+    /// True if `a` postdominates `b` (reflexive).
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        if !self.reachable[a.index()] || !self.reachable[b.index()] {
+            return a == b;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom[cur.index()] {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::function::Function;
+    use crate::instr::{CmpOp, Terminator};
+
+    fn diamond_func() -> Function {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, b1, b2);
+        fb.switch_to(b1);
+        fb.br(b3);
+        fb.switch_to(b2);
+        fb.br(b3);
+        fb.switch_to(b3);
+        fb.ret(None);
+        mb.finish().functions.remove(0)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond_func();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg, f.entry);
+        let b = BlockId::new;
+        assert_eq!(dom.idom(b(0)), None);
+        assert_eq!(dom.idom(b(1)), Some(b(0)));
+        assert_eq!(dom.idom(b(2)), Some(b(0)));
+        assert_eq!(dom.idom(b(3)), Some(b(0))); // join dominated by entry
+        assert!(dom.dominates(b(0), b(3)));
+        assert!(!dom.dominates(b(1), b(3)));
+        assert!(dom.dominates(b(3), b(3)));
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let f = diamond_func();
+        let cfg = Cfg::compute(&f);
+        let pdom = PostDomTree::compute(&cfg, &[BlockId::new(3)]);
+        let b = BlockId::new;
+        assert!(pdom.postdominates(b(3), b(0)));
+        assert!(pdom.postdominates(b(3), b(1)));
+        assert!(!pdom.postdominates(b(1), b(0)));
+        assert_eq!(pdom.ipdom(b(0)), Some(b(3)));
+        assert_eq!(pdom.ipdom(b(3)), None); // virtual exit
+    }
+
+    #[test]
+    fn loop_dominators() {
+        // b0 -> b1(header) -> b2(body) -> b1; b1 -> b3(exit)
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg, func.entry);
+        let b = BlockId::new;
+        assert_eq!(dom.idom(b(2)), Some(b(1)));
+        assert_eq!(dom.idom(b(3)), Some(b(1)));
+        assert!(dom.dominates(b(1), b(2)));
+        // the header dominates its latch: (b2 -> b1) is a back edge
+        assert!(dom.dominates(b(1), b(2)));
+    }
+
+    #[test]
+    fn unreachable_block_has_no_idom() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        let _dead = fb.new_block();
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg, func.entry);
+        assert_eq!(dom.idom(BlockId::new(1)), None);
+        assert!(!dom.is_reachable(BlockId::new(1)));
+        assert!(!dom.dominates(BlockId::new(0), BlockId::new(1)));
+    }
+
+    #[test]
+    fn control_equivalence_via_dom_and_pdom() {
+        // In a straight line b0 -> b1 -> b2, all blocks are control
+        // equivalent: earlier dominates later, later postdominates earlier.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        fb.br(b1);
+        fb.switch_to(b1);
+        fb.br(b2);
+        fb.switch_to(b2);
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg, func.entry);
+        let exits: Vec<BlockId> = func
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::Ret { .. }))
+            .map(|b| b.id)
+            .collect();
+        let pdom = PostDomTree::compute(&cfg, &exits);
+        let b = BlockId::new;
+        assert!(dom.dominates(b(0), b(2)) && pdom.postdominates(b(2), b(0)));
+        assert!(dom.dominates(b(1), b(2)) && pdom.postdominates(b(2), b(1)));
+    }
+}

@@ -1,0 +1,481 @@
+//! Natural-loop detection, loop nesting, and irreducible-region marking.
+//!
+//! The paper treats loads inside irreducible loops as *out-loop* loads
+//! (§2), so the forest records which blocks belong to irreducible regions;
+//! those blocks report no containing loop.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::types::{BlockId, LoopId};
+use std::collections::BTreeSet;
+
+/// One natural loop.
+#[derive(Clone, Debug)]
+pub struct Loop {
+    /// The loop's id within its [`LoopForest`].
+    pub id: LoopId,
+    /// The loop header (the unique entry block of the loop).
+    pub header: BlockId,
+    /// All member blocks, including the header.
+    pub blocks: BTreeSet<BlockId>,
+    /// Latch blocks: sources of back edges into the header.
+    pub latches: Vec<BlockId>,
+    /// The innermost loop strictly containing this one.
+    pub parent: Option<LoopId>,
+    /// Nesting depth (outermost = 1).
+    pub depth: u32,
+}
+
+impl Loop {
+    /// True if `b` is a member of this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.contains(&b)
+    }
+}
+
+/// All natural loops of a function plus irreducible-region marking.
+#[derive(Clone, Debug)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    innermost: Vec<Option<LoopId>>,
+    irreducible: BTreeSet<BlockId>,
+}
+
+impl LoopForest {
+    /// Detects loops in `cfg` using the dominator tree.
+    ///
+    /// Back edges `t -> h` where `h` dominates `t` define natural loops
+    /// (loops sharing a header are merged). Retreating edges whose target
+    /// does not dominate their source mark the enclosing strongly-connected
+    /// component as irreducible.
+    pub fn compute(cfg: &Cfg, dom: &DomTree, entry: BlockId) -> Self {
+        let n = cfg.num_blocks();
+
+        // --- collect back edges, grouped by header -------------------------
+        let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        let mut irreducible_edges: Vec<(BlockId, BlockId)> = Vec::new();
+        // DFS to classify retreating edges: an edge u -> v is retreating iff
+        // v is on the DFS stack when u is expanded.
+        let mut state = vec![0u8; n];
+        let mut stack: Vec<(BlockId, usize)> = vec![(entry, 0)];
+        state[entry.index()] = 1;
+        while let Some(&mut (b, ref mut cursor)) = stack.last_mut() {
+            let succs = cfg.succs(b);
+            if *cursor < succs.len() {
+                let next = succs[*cursor];
+                *cursor += 1;
+                match state[next.index()] {
+                    0 => {
+                        state[next.index()] = 1;
+                        stack.push((next, 0));
+                    }
+                    1 => {
+                        // retreating edge b -> next
+                        if dom.dominates(next, b) {
+                            back_edges.push((b, next));
+                        } else {
+                            irreducible_edges.push((b, next));
+                        }
+                    }
+                    _ => {}
+                }
+            } else {
+                state[b.index()] = 2;
+                stack.pop();
+            }
+        }
+
+        // --- natural loop bodies -------------------------------------------
+        let mut headers: Vec<BlockId> = Vec::new();
+        for &(_, h) in &back_edges {
+            if !headers.contains(&h) {
+                headers.push(h);
+            }
+        }
+        headers.sort();
+
+        let mut loops = Vec::new();
+        for (i, &header) in headers.iter().enumerate() {
+            let mut blocks = BTreeSet::new();
+            blocks.insert(header);
+            let mut latches = Vec::new();
+            let mut worklist = Vec::new();
+            for &(t, h) in &back_edges {
+                if h == header {
+                    latches.push(t);
+                    if blocks.insert(t) {
+                        worklist.push(t);
+                    }
+                }
+            }
+            while let Some(b) = worklist.pop() {
+                for &p in cfg.preds(b) {
+                    if dom.is_reachable(p) && blocks.insert(p) {
+                        worklist.push(p);
+                    }
+                }
+            }
+            latches.sort();
+            latches.dedup();
+            loops.push(Loop {
+                id: LoopId::new(i as u32),
+                header,
+                blocks,
+                latches,
+                parent: None,
+                depth: 1,
+            });
+        }
+
+        // --- nesting --------------------------------------------------------
+        // parent of L = the smallest other loop whose block set strictly
+        // contains L's blocks.
+        for i in 0..loops.len() {
+            let mut best: Option<usize> = None;
+            for j in 0..loops.len() {
+                if i == j {
+                    continue;
+                }
+                let contains = loops[i].header != loops[j].header
+                    && loops[j].blocks.is_superset(&loops[i].blocks)
+                    && loops[j].blocks.len() > loops[i].blocks.len();
+                if contains {
+                    best = Some(match best {
+                        None => j,
+                        Some(cur) if loops[j].blocks.len() < loops[cur].blocks.len() => j,
+                        Some(cur) => cur,
+                    });
+                }
+            }
+            loops[i].parent = best.map(|j| LoopId::new(j as u32));
+        }
+        // depths
+        for i in 0..loops.len() {
+            let mut depth = 1;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p.index()].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        // --- innermost loop per block ----------------------------------------
+        let mut innermost: Vec<Option<LoopId>> = vec![None; n];
+        // Assign larger loops first so smaller (inner) loops overwrite.
+        let mut order: Vec<usize> = (0..loops.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(loops[i].blocks.len()));
+        for i in order {
+            for &b in &loops[i].blocks {
+                innermost[b.index()] = Some(LoopId::new(i as u32));
+            }
+        }
+
+        // --- irreducible regions ---------------------------------------------
+        // For each irreducible retreating edge (u, v), mark every block on a
+        // cycle through u and v: blocks reachable from v that can reach u
+        // without leaving the SCC. A simple over-approximation that is exact
+        // for our test shapes: the SCC containing both endpoints.
+        let mut irreducible = BTreeSet::new();
+        if !irreducible_edges.is_empty() {
+            let sccs = tarjan_sccs(cfg, n);
+            for &(u, v) in &irreducible_edges {
+                if sccs[u.index()] == sccs[v.index()] {
+                    let comp = sccs[u.index()];
+                    for b in 0..n {
+                        if sccs[b] == comp {
+                            irreducible.insert(BlockId::new(b as u32));
+                        }
+                    }
+                }
+            }
+        }
+
+        LoopForest {
+            loops,
+            innermost,
+            irreducible,
+        }
+    }
+
+    /// All loops, indexed by [`LoopId`].
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// The loop with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn get(&self, id: LoopId) -> &Loop {
+        &self.loops[id.index()]
+    }
+
+    /// The innermost *reducible* loop containing `b`, or `None` if `b` is
+    /// outside all loops or inside an irreducible region (the paper treats
+    /// the latter as out-loop).
+    pub fn loop_of(&self, b: BlockId) -> Option<LoopId> {
+        if self.irreducible.contains(&b) {
+            return None;
+        }
+        self.innermost[b.index()]
+    }
+
+    /// True if `b` lies in an irreducible region.
+    pub fn is_irreducible_block(&self, b: BlockId) -> bool {
+        self.irreducible.contains(&b)
+    }
+
+    /// Edges entering the loop from outside (the pre-head edges of
+    /// Fig. 10/13: their frequency sum is the loop's entry frequency).
+    pub fn entry_edges(&self, id: LoopId, cfg: &Cfg) -> Vec<(BlockId, BlockId)> {
+        let l = self.get(id);
+        cfg.preds(l.header)
+            .iter()
+            .filter(|p| !l.blocks.contains(p))
+            .map(|&p| (p, l.header))
+            .collect()
+    }
+
+    /// The outgoing edges of the loop's entry block (their frequency sum is
+    /// the header's execution frequency, Fig. 12/13).
+    pub fn header_out_edges(&self, id: LoopId, cfg: &Cfg) -> Vec<(BlockId, BlockId)> {
+        let l = self.get(id);
+        cfg.succs(l.header).iter().map(|&s| (l.header, s)).collect()
+    }
+}
+
+/// Tarjan's strongly-connected components; returns the component index of
+/// every block.
+fn tarjan_sccs(cfg: &Cfg, n: usize) -> Vec<usize> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: i64,
+        lowlink: i64,
+        on_stack: bool,
+    }
+    let mut st = vec![
+        NodeState {
+            index: -1,
+            lowlink: -1,
+            on_stack: false,
+        };
+        n
+    ];
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index: i64 = 0;
+    let mut next_comp = 0usize;
+    let mut scc_stack: Vec<usize> = Vec::new();
+
+    // Iterative Tarjan.
+    for root in 0..n {
+        if st[root].index != -1 {
+            continue;
+        }
+        let mut call_stack: Vec<(usize, usize)> = vec![(root, 0)];
+        st[root].index = next_index;
+        st[root].lowlink = next_index;
+        next_index += 1;
+        st[root].on_stack = true;
+        scc_stack.push(root);
+
+        while let Some(&mut (v, ref mut cursor)) = call_stack.last_mut() {
+            let succs = cfg.succs(BlockId::new(v as u32));
+            if *cursor < succs.len() {
+                let w = succs[*cursor].index();
+                *cursor += 1;
+                if st[w].index == -1 {
+                    st[w].index = next_index;
+                    st[w].lowlink = next_index;
+                    next_index += 1;
+                    st[w].on_stack = true;
+                    scc_stack.push(w);
+                    call_stack.push((w, 0));
+                } else if st[w].on_stack {
+                    st[v].lowlink = st[v].lowlink.min(st[w].index);
+                }
+            } else {
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    let low = st[v].lowlink;
+                    st[parent].lowlink = st[parent].lowlink.min(low);
+                }
+                if st[v].lowlink == st[v].index {
+                    loop {
+                        let w = scc_stack.pop().expect("scc stack underflow");
+                        st[w].on_stack = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::function::Function;
+    use crate::instr::CmpOp;
+
+    fn analyze(f: &Function) -> (Cfg, LoopForest) {
+        let cfg = Cfg::compute(f);
+        let dom = DomTree::compute(&cfg, f.entry);
+        let forest = LoopForest::compute(&cfg, &dom, f.entry);
+        (cfg, forest)
+    }
+
+    fn single_loop_func() -> Function {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        fb.counted_loop(fb.param(0), |fb, _| {
+            let a = fb.const_(0);
+            let _ = fb.load(a, 0);
+        });
+        fb.ret(None);
+        mb.finish().functions.remove(0)
+    }
+
+    #[test]
+    fn detects_single_loop() {
+        let f = single_loop_func();
+        let (cfg, forest) = analyze(&f);
+        assert_eq!(forest.loops().len(), 1);
+        let l = &forest.loops()[0];
+        assert_eq!(l.header, BlockId::new(1));
+        assert!(l.blocks.contains(&BlockId::new(2)));
+        assert!(!l.blocks.contains(&BlockId::new(0)));
+        assert!(!l.blocks.contains(&BlockId::new(3)));
+        assert_eq!(l.depth, 1);
+        assert_eq!(forest.loop_of(BlockId::new(2)), Some(LoopId::new(0)));
+        assert_eq!(forest.loop_of(BlockId::new(0)), None);
+        // entry edges: only entry -> header
+        let entries = forest.entry_edges(LoopId::new(0), &cfg);
+        assert_eq!(entries, vec![(BlockId::new(0), BlockId::new(1))]);
+        let outs = forest.header_out_edges(LoopId::new(0), &cfg);
+        assert_eq!(outs.len(), 2);
+    }
+
+    #[test]
+    fn detects_nested_loops() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 2);
+        let mut fb = mb.function(f);
+        let (outer_n, inner_n) = (fb.param(0), fb.param(1));
+        fb.counted_loop(outer_n, |fb, _| {
+            fb.counted_loop(inner_n, |fb, _| {
+                let a = fb.const_(0);
+                let _ = fb.load(a, 0);
+            });
+        });
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let (_, forest) = analyze(func);
+        assert_eq!(forest.loops().len(), 2);
+        let inner = forest
+            .loops()
+            .iter()
+            .find(|l| l.depth == 2)
+            .expect("inner loop");
+        let outer = forest
+            .loops()
+            .iter()
+            .find(|l| l.depth == 1)
+            .expect("outer loop");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert!(outer.blocks.is_superset(&inner.blocks));
+        // innermost assignment prefers the inner loop
+        assert_eq!(forest.loop_of(inner.header), Some(inner.id));
+    }
+
+    #[test]
+    fn self_loop_is_a_loop() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(body);
+        fb.switch_to(body);
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let m = mb.finish();
+        let (_, forest) = analyze(m.function(f));
+        assert_eq!(forest.loops().len(), 1);
+        assert_eq!(forest.loops()[0].blocks.len(), 1);
+        assert_eq!(forest.loops()[0].latches, vec![BlockId::new(1)]);
+    }
+
+    #[test]
+    fn irreducible_region_is_marked_and_not_a_loop() {
+        // Classic irreducible shape: entry cond-branches to A and B which
+        // branch to each other; both can exit.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let a = fb.new_block();
+        let b = fb.new_block();
+        let exit = fb.new_block();
+        let c0 = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c0, a, b);
+        fb.switch_to(a);
+        let c1 = fb.cmp(CmpOp::Gt, fb.param(0), 10i64);
+        fb.cond_br(c1, b, exit);
+        fb.switch_to(b);
+        let c2 = fb.cmp(CmpOp::Gt, fb.param(0), 20i64);
+        fb.cond_br(c2, a, exit);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let m = mb.finish();
+        let (_, forest) = analyze(m.function(f));
+        assert!(forest.loops().is_empty());
+        assert!(forest.is_irreducible_block(BlockId::new(1)));
+        assert!(forest.is_irreducible_block(BlockId::new(2)));
+        assert_eq!(forest.loop_of(BlockId::new(1)), None);
+    }
+
+    #[test]
+    fn loop_with_two_entry_edges_from_outside() {
+        // entry cond-branches to two blocks that both jump into the header.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let pre1 = fb.new_block();
+        let pre2 = fb.new_block();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let c0 = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c0, pre1, pre2);
+        fb.switch_to(pre1);
+        fb.br(header);
+        fb.switch_to(pre2);
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 5i64);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg, func.entry);
+        let forest = LoopForest::compute(&cfg, &dom, func.entry);
+        assert_eq!(forest.loops().len(), 1);
+        let entries = forest.entry_edges(LoopId::new(0), &cfg);
+        assert_eq!(entries.len(), 2);
+    }
+}

@@ -1,0 +1,702 @@
+//! Parser for the textual IR emitted by [`crate::pretty`], enabling
+//! round-trips (`module -> text -> module`), golden tests, and
+//! hand-written test programs.
+//!
+//! The grammar is exactly the printer's output; see
+//! [`module_from_string`].
+
+use crate::function::{Block, Function, Global, Module};
+use crate::instr::{BinOp, CmpOp, Instr, Op, Operand, Terminator};
+use crate::types::{BlockId, EdgeId, FuncId, GlobalId, InstrId, Reg};
+use std::error::Error;
+use std::fmt;
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line the error occurred on (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Strips a prefix or errors.
+fn expect<'a>(s: &'a str, prefix: &str, line: usize) -> Result<&'a str, ParseError> {
+    s.strip_prefix(prefix)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `{prefix}` in `{s}`"),
+        })
+}
+
+fn parse_u32(s: &str, what: &str, line: usize) -> Result<u32, ParseError> {
+    s.trim().parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad {what}: `{s}`"),
+    })
+}
+
+fn parse_i64(s: &str, what: &str, line: usize) -> Result<i64, ParseError> {
+    s.trim().parse().map_err(|_| ParseError {
+        line,
+        message: format!("bad {what}: `{s}`"),
+    })
+}
+
+fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
+    let rest = expect(s.trim(), "r", line)?;
+    Ok(Reg::new(parse_u32(rest, "register", line)?))
+}
+
+fn parse_block_id(s: &str, line: usize) -> Result<BlockId, ParseError> {
+    let rest = expect(s.trim(), "b", line)?;
+    Ok(BlockId::new(parse_u32(rest, "block id", line)?))
+}
+
+fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
+    let t = s.trim();
+    if t.starts_with('r') {
+        Ok(Operand::Reg(parse_reg(t, line)?))
+    } else {
+        Ok(Operand::Imm(parse_i64(t, "immediate", line)?))
+    }
+}
+
+/// Parses `[addr + offset]`, returning the base operand and offset.
+fn parse_mem(s: &str, line: usize) -> Result<(Operand, i64), ParseError> {
+    let t = s.trim();
+    let inner = t
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `[base + offset]`, got `{t}`"),
+        })?;
+    let Some((base, off)) = inner.rsplit_once('+') else {
+        return err(line, format!("expected `base + offset` in `{inner}`"));
+    };
+    Ok((
+        parse_operand(base, line)?,
+        parse_i64(off, "memory offset", line)?,
+    ))
+}
+
+fn split2<'a>(s: &'a str, what: &str, line: usize) -> Result<(&'a str, &'a str), ParseError> {
+    s.split_once(',').ok_or_else(|| ParseError {
+        line,
+        message: format!("expected two comma-separated {what} in `{s}`"),
+    })
+}
+
+fn bin_op_of(name: &str) -> Option<BinOp> {
+    Some(match name {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "rem" => BinOp::Rem,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "lshr" => BinOp::Lshr,
+        _ => return None,
+    })
+}
+
+fn cmp_op_of(name: &str) -> Option<CmpOp> {
+    Some(match name {
+        "eq" => CmpOp::Eq,
+        "ne" => CmpOp::Ne,
+        "lt" => CmpOp::Lt,
+        "le" => CmpOp::Le,
+        "gt" => CmpOp::Gt,
+        "ge" => CmpOp::Ge,
+        _ => return None,
+    })
+}
+
+fn parse_edge_list(s: &str, line: usize) -> Result<Vec<EdgeId>, ParseError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|x| x.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("expected `[e..]`, got `{s}`"),
+        })?;
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(|e| {
+            let rest = expect(e.trim(), "e", line)?;
+            Ok(EdgeId::new(parse_u32(rest, "edge id", line)?))
+        })
+        .collect()
+}
+
+/// Parses a destination-producing right-hand side: `const 5`, `mov r1`,
+/// `add r1, 2`, `cmp.lt r1, r2`, `select c, a, b`, `load [r1 + 8]`,
+/// `alloc 32`, `globaladdr g0`, `call fn1(a, b)`, `trip_check ...`.
+fn parse_rhs(dst: Reg, rhs: &str, line: usize) -> Result<Op, ParseError> {
+    let rhs = rhs.trim();
+    let (head, rest) = rhs.split_once(' ').unwrap_or((rhs, ""));
+    if let Some((op_name, cmp)) = head.split_once('.') {
+        if op_name == "cmp" {
+            let op = cmp_op_of(cmp)
+                .ok_or_else(|| ParseError {
+                    line,
+                    message: format!("unknown compare `{cmp}`"),
+                })?;
+            let (l, r) = split2(rest, "operands", line)?;
+            return Ok(Op::Cmp {
+                dst,
+                op,
+                lhs: parse_operand(l, line)?,
+                rhs: parse_operand(r, line)?,
+            });
+        }
+    }
+    if let Some(op) = bin_op_of(head) {
+        let (l, r) = split2(rest, "operands", line)?;
+        return Ok(Op::Bin {
+            dst,
+            op,
+            lhs: parse_operand(l, line)?,
+            rhs: parse_operand(r, line)?,
+        });
+    }
+    match head {
+        "const" => Ok(Op::Const {
+            dst,
+            value: parse_i64(rest, "constant", line)?,
+        }),
+        "mov" => Ok(Op::Mov {
+            dst,
+            src: parse_operand(rest, line)?,
+        }),
+        "select" => {
+            let (c, rest2) = split2(rest, "operands", line)?;
+            let (a, b) = split2(rest2, "operands", line)?;
+            Ok(Op::Select {
+                dst,
+                cond: parse_operand(c, line)?,
+                on_true: parse_operand(a, line)?,
+                on_false: parse_operand(b, line)?,
+            })
+        }
+        "load" => {
+            let (addr, offset) = parse_mem(rest, line)?;
+            Ok(Op::Load { dst, addr, offset })
+        }
+        "alloc" => Ok(Op::Alloc {
+            dst,
+            size: parse_operand(rest, line)?,
+        }),
+        "globaladdr" => {
+            let g = expect(rest.trim(), "g", line)?;
+            Ok(Op::GlobalAddr {
+                dst,
+                global: GlobalId::new(parse_u32(g, "global id", line)?),
+            })
+        }
+        "call" => parse_call(Some(dst), rest, line),
+        "trip_check" => {
+            let mut header = None;
+            let mut incoming = None;
+            let mut outgoing = None;
+            let mut shift = None;
+            for field in rest.split_whitespace() {
+                if let Some(v) = field.strip_prefix("header=") {
+                    header = Some(parse_block_id(v, line)?);
+                } else if let Some(v) = field.strip_prefix("in=") {
+                    incoming = Some(parse_edge_list(v, line)?);
+                } else if let Some(v) = field.strip_prefix("out=") {
+                    outgoing = Some(parse_edge_list(v, line)?);
+                } else if let Some(v) = field.strip_prefix("shift=") {
+                    shift = Some(parse_u32(v, "shift", line)?);
+                } else {
+                    return err(line, format!("unknown trip_check field `{field}`"));
+                }
+            }
+            match (header, incoming, outgoing, shift) {
+                (Some(header), Some(incoming), Some(outgoing), Some(shift)) => {
+                    Ok(Op::TripCountCheck {
+                        dst,
+                        header,
+                        incoming,
+                        outgoing,
+                        shift,
+                    })
+                }
+                _ => err(line, "trip_check missing fields"),
+            }
+        }
+        other => err(line, format!("unknown operation `{other}`")),
+    }
+}
+
+fn parse_call(dst: Option<Reg>, rest: &str, line: usize) -> Result<Op, ParseError> {
+    let rest = rest.trim();
+    let open = rest.find('(').ok_or_else(|| ParseError {
+        line,
+        message: format!("call missing `(` in `{rest}`"),
+    })?;
+    let callee_s = expect(&rest[..open], "fn", line)?;
+    let callee = FuncId::new(parse_u32(callee_s, "function id", line)?);
+    let args_s = rest[open + 1..]
+        .strip_suffix(')')
+        .ok_or_else(|| ParseError {
+            line,
+            message: "call missing `)`".into(),
+        })?;
+    let args = if args_s.trim().is_empty() {
+        Vec::new()
+    } else {
+        args_s
+            .split(',')
+            .map(|a| parse_operand(a, line))
+            .collect::<Result<Vec<_>, _>>()?
+    };
+    Ok(Op::Call { dst, callee, args })
+}
+
+/// Parses one instruction line (without indentation), e.g.
+/// `(r3) ? r4 = load [r2 + 8]    ; i7`.
+pub fn instr_from_string(text: &str, line: usize) -> Result<Instr, ParseError> {
+    let (body, id_part) = text.rsplit_once(';').ok_or_else(|| ParseError {
+        line,
+        message: "missing `; iN` id annotation".into(),
+    })?;
+    let id_s = expect(id_part.trim(), "i", line)?;
+    let id = InstrId::new(parse_u32(id_s, "instruction id", line)?);
+    let mut body = body.trim();
+
+    let mut pred = None;
+    if body.starts_with('(') {
+        let close = body.find(')').ok_or_else(|| ParseError {
+            line,
+            message: "unterminated predicate".into(),
+        })?;
+        pred = Some(parse_reg(&body[1..close], line)?);
+        body = expect(body[close + 1..].trim_start(), "?", line)?.trim_start();
+    }
+
+    // dst-less forms first
+    if let Some(rest) = body.strip_prefix("store ") {
+        let (value, mem) = split2(rest, "operands", line)?;
+        let (addr, offset) = parse_mem(mem, line)?;
+        return Ok(Instr {
+            id,
+            pred,
+            op: Op::Store {
+                value: parse_operand(value, line)?,
+                addr,
+                offset,
+            },
+        });
+    }
+    if let Some(rest) = body.strip_prefix("prefetch ") {
+        let (addr, offset) = parse_mem(rest, line)?;
+        return Ok(Instr {
+            id,
+            pred,
+            op: Op::Prefetch { addr, offset },
+        });
+    }
+    if let Some(rest) = body.strip_prefix("free ") {
+        return Ok(Instr {
+            id,
+            pred,
+            op: Op::Free {
+                addr: parse_operand(rest, line)?,
+            },
+        });
+    }
+    if let Some(rest) = body.strip_prefix("profile_edge ") {
+        let e = expect(rest.trim(), "e", line)?;
+        return Ok(Instr {
+            id,
+            pred,
+            op: Op::ProfileEdge {
+                edge: EdgeId::new(parse_u32(e, "edge id", line)?),
+            },
+        });
+    }
+    if let Some(rest) = body.strip_prefix("stride_prof ") {
+        let mut site = None;
+        let mut slot = None;
+        let mut mem = None;
+        for field in rest.split_whitespace() {
+            if let Some(v) = field.strip_prefix("site=") {
+                let s = expect(v, "i", line)?;
+                site = Some(InstrId::new(parse_u32(s, "site id", line)?));
+            } else if let Some(v) = field.strip_prefix("slot=") {
+                slot = Some(parse_u32(v, "slot", line)?);
+            } else if field.starts_with('[') {
+                mem = Some(field.to_string());
+            } else if field.starts_with('+') || field.ends_with(']') || field == "+" {
+                if let Some(m) = &mut mem {
+                    m.push(' ');
+                    m.push_str(field);
+                }
+            } else {
+                return err(line, format!("unknown stride_prof field `{field}`"));
+            }
+        }
+        let (site, slot, mem) = match (site, slot, mem) {
+            (Some(a), Some(b), Some(c)) => (a, b, c),
+            _ => return err(line, "stride_prof missing fields"),
+        };
+        let (addr, offset) = parse_mem(&mem, line)?;
+        return Ok(Instr {
+            id,
+            pred,
+            op: Op::ProfileStride {
+                site,
+                addr,
+                offset,
+                slot,
+            },
+        });
+    }
+    if body.starts_with("call ") || body.starts_with("call\t") {
+        let op = parse_call(None, &body[5..], line)?;
+        return Ok(Instr { id, pred, op });
+    }
+
+    // dst = rhs
+    let (dst_s, rhs) = body.split_once('=').ok_or_else(|| ParseError {
+        line,
+        message: format!("unrecognized instruction `{body}`"),
+    })?;
+    // `rX = call fnN(...)` routes through parse_rhs -> parse_call
+    let dst = parse_reg(dst_s, line)?;
+    let op = parse_rhs(dst, rhs, line)?;
+    Ok(Instr { id, pred, op })
+}
+
+/// Parses a terminator line: `br b2`, `condbr r1, b2, b3`, `ret`, `ret r4`.
+pub fn term_from_string(text: &str, line: usize) -> Result<Terminator, ParseError> {
+    let t = text.trim();
+    if let Some(rest) = t.strip_prefix("br ") {
+        return Ok(Terminator::Br {
+            target: parse_block_id(rest, line)?,
+        });
+    }
+    if let Some(rest) = t.strip_prefix("condbr ") {
+        let (c, rest2) = split2(rest, "operands", line)?;
+        let (a, b) = split2(rest2, "targets", line)?;
+        return Ok(Terminator::CondBr {
+            cond: parse_operand(c, line)?,
+            then_: parse_block_id(a, line)?,
+            else_: parse_block_id(b, line)?,
+        });
+    }
+    if t == "ret" {
+        return Ok(Terminator::Ret { value: None });
+    }
+    if let Some(rest) = t.strip_prefix("ret ") {
+        return Ok(Terminator::Ret {
+            value: Some(parse_operand(rest, line)?),
+        });
+    }
+    err(line, format!("unrecognized terminator `{t}`"))
+}
+
+/// Parses a whole module from the [`crate::pretty::module_to_string`]
+/// format.
+///
+/// # Errors
+///
+/// Returns the first syntax problem with its line number. The result is
+/// *not* implicitly verified; run [`crate::verify_module`] on it if the
+/// text is untrusted.
+pub fn module_from_string(text: &str) -> Result<Module, ParseError> {
+    let mut module = Module::new();
+    let lines: Vec<&str> = text.lines().collect();
+    let mut i = 0usize;
+
+    while i < lines.len() {
+        let lineno = i + 1;
+        let line = lines[i].trim();
+        if line.is_empty() {
+            i += 1;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("global ") {
+            i += 1;
+            // `global g0 name size=256`
+            let mut parts = rest.split_whitespace();
+            let gid_s = parts.next().unwrap_or("");
+            let g = expect(gid_s, "g", lineno)?;
+            let gid = GlobalId::new(parse_u32(g, "global id", lineno)?);
+            let name = parts.next().unwrap_or("").to_string();
+            let size_s = parts.next().unwrap_or("");
+            let size_v = expect(size_s, "size=", lineno)?;
+            if gid.index() != module.globals.len() {
+                return err(lineno, "globals out of order");
+            }
+            module.globals.push(Global {
+                id: gid,
+                name,
+                size: parse_i64(size_v, "size", lineno)? as u64,
+            });
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("entry ") {
+            i += 1;
+            let f = expect(rest.trim(), "fn", lineno)?;
+            module.entry = FuncId::new(parse_u32(f, "entry function", lineno)?);
+            continue;
+        }
+        if line.starts_with("func ") {
+            let func = parse_function(&lines, &mut i)?;
+            if func.id.index() != module.functions.len() {
+                return err(lineno, "functions out of order");
+            }
+            module.functions.push(func);
+            continue;
+        }
+        return err(lineno, format!("unexpected top-level line `{line}`"));
+    }
+    Ok(module)
+}
+
+/// Parses one `func ... { ... }` section starting at `lines[*i]`,
+/// advancing `*i` past the closing brace.
+fn parse_function(lines: &[&str], i: &mut usize) -> Result<Function, ParseError> {
+    let lineno = *i + 1;
+    let header = lines[*i].trim();
+    *i += 1;
+    // `func fn0 name(params=2, regs=7) entry=b0 {`
+    let rest = expect(header, "func fn", lineno)?;
+    let (id_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
+        line: lineno,
+        message: "malformed func header".into(),
+    })?;
+    let id = FuncId::new(parse_u32(id_s, "function id", lineno)?);
+    let open = rest.find('(').ok_or_else(|| ParseError {
+        line: lineno,
+        message: "func header missing `(`".into(),
+    })?;
+    let name = rest[..open].to_string();
+    let close = rest.find(')').ok_or_else(|| ParseError {
+        line: lineno,
+        message: "func header missing `)`".into(),
+    })?;
+    let mut num_params = None;
+    let mut num_regs = None;
+    for field in rest[open + 1..close].split(',') {
+        let field = field.trim();
+        if let Some(v) = field.strip_prefix("params=") {
+            num_params = Some(parse_u32(v, "params", lineno)?);
+        } else if let Some(v) = field.strip_prefix("regs=") {
+            num_regs = Some(parse_u32(v, "regs", lineno)?);
+        } else {
+            return err(lineno, format!("unknown func field `{field}`"));
+        }
+    }
+    let tail = rest[close + 1..].trim();
+    let entry_s = tail
+        .strip_prefix("entry=")
+        .and_then(|t| t.strip_suffix('{'))
+        .ok_or_else(|| ParseError {
+            line: lineno,
+            message: "func header missing `entry=bN {`".into(),
+        })?;
+    let entry = parse_block_id(entry_s, lineno)?;
+    let (Some(num_params), Some(num_regs)) = (num_params, num_regs) else {
+        return err(lineno, "func header missing params/regs");
+    };
+
+    let mut blocks: Vec<Block> = Vec::new();
+    let mut current: Option<(BlockId, Vec<Instr>)> = None;
+    let mut max_instr: u32 = 0;
+
+    loop {
+        if *i >= lines.len() {
+            return err(lines.len(), "unterminated function (missing `}`)");
+        }
+        let lineno = *i + 1;
+        let line = lines[*i].trim();
+        *i += 1;
+        if line.is_empty() {
+            continue;
+        }
+        if line == "}" {
+            if current.is_some() {
+                return err(lineno, "block missing terminator before `}`");
+            }
+            break;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            if current.is_some() {
+                return err(lineno, "previous block missing terminator");
+            }
+            let bid = parse_block_id(label, lineno)?;
+            if bid.index() != blocks.len() {
+                return err(lineno, "blocks out of order");
+            }
+            current = Some((bid, Vec::new()));
+            continue;
+        }
+        let Some((bid, instrs)) = current.as_mut() else {
+            return err(lineno, format!("instruction outside a block: `{line}`"));
+        };
+        if line.contains(';') {
+            let instr = instr_from_string(line, lineno)?;
+            max_instr = max_instr.max(instr.id.0 + 1);
+            instrs.push(instr);
+        } else {
+            let term = term_from_string(line, lineno)?;
+            blocks.push(Block {
+                id: *bid,
+                instrs: std::mem::take(instrs),
+                term,
+            });
+            current = None;
+        }
+    }
+
+    Ok(Function {
+        id,
+        name,
+        num_params,
+        num_regs,
+        next_instr: max_instr,
+        entry,
+        blocks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::pretty::module_to_string;
+
+    fn round_trip(module: &Module) -> Module {
+        let text = module_to_string(module);
+        match module_from_string(&text) {
+            Ok(m) => m,
+            Err(e) => panic!("parse failed: {e}\n---\n{text}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_a_rich_module() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("table", 512);
+        let callee = mb.declare_function("callee", 1);
+        {
+            let mut fb = mb.function(callee);
+            let p = fb.param(0);
+            let (v, _) = fb.load(p, 16);
+            fb.ret(Some(Operand::Reg(v)));
+        }
+        let main = mb.declare_function("main", 2);
+        {
+            let mut fb = mb.function(main);
+            let base = fb.global_addr(g);
+            let sum = fb.mov(0i64);
+            fb.counted_loop(fb.param(0), |fb, i| {
+                let off = fb.mul(i, 8i64);
+                let a = fb.add(base, off);
+                let (v, _) = fb.load(a, 0);
+                let c = fb.cmp(CmpOp::Gt, v, 10i64);
+                let sel = fb.select(c, v, 0i64);
+                fb.bin_to(sum, BinOp::Add, sum, sel);
+                fb.store(sum, a, 8);
+                fb.prefetch(a, 64);
+            });
+            let heap = fb.alloc(64i64);
+            fb.free(heap);
+            let r = fb.call(callee, &[Operand::Reg(base)]);
+            let out = fb.add(sum, r);
+            fb.ret(Some(Operand::Reg(out)));
+        }
+        mb.set_entry(main);
+        let module = mb.finish();
+
+        let parsed = round_trip(&module);
+        assert_eq!(module_to_string(&module), module_to_string(&parsed));
+        crate::verify_module(&parsed).expect("parsed module verifies");
+    }
+
+    #[test]
+    fn round_trips_profiling_pseudo_ops_and_predication() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let pr = fb.new_reg();
+        let (_, site) = fb.load(fb.param(0), 8);
+        fb.emit_pred(
+            pr,
+            Op::ProfileEdge {
+                edge: EdgeId::new(2),
+            },
+        );
+        let one = fb.const_(1);
+        fb.emit_pred(
+            one,
+            Op::TripCountCheck {
+                dst: pr,
+                header: BlockId::new(0),
+                incoming: vec![EdgeId::new(0), EdgeId::new(1)],
+                outgoing: vec![],
+                shift: 7,
+            },
+        );
+        fb.emit_pred(
+            pr,
+            Op::ProfileStride {
+                site,
+                addr: Operand::Reg(fb.param(0)),
+                offset: 8,
+                slot: 3,
+            },
+        );
+        fb.ret(None);
+        let module = mb.finish();
+        let parsed = round_trip(&module);
+        assert_eq!(module_to_string(&module), module_to_string(&parsed));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let bad = "entry fn0\nfunc fn0 main(params=0, regs=1) entry=b0 {\nb0:\n    r0 = blorp 5    ; i0\n    ret\n}\n";
+        let e = module_from_string(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert!(e.to_string().contains("blorp"));
+    }
+
+    #[test]
+    fn negative_offsets_round_trip() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let (v, _) = fb.load(fb.param(0), -16);
+        fb.ret(Some(Operand::Reg(v)));
+        let module = mb.finish();
+        let parsed = round_trip(&module);
+        assert_eq!(module_to_string(&module), module_to_string(&parsed));
+    }
+}

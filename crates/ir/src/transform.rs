@@ -1,0 +1,278 @@
+//! CFG surgery used by the instrumentation and prefetch-insertion passes:
+//! edge splitting, preheader creation, and instruction insertion at a site.
+
+use crate::function::Function;
+use crate::instr::{Instr, Op, Terminator};
+use crate::types::{BlockId, InstrId, Reg};
+
+/// Splits the edge `from -> to` by inserting a fresh block containing only
+/// a branch to `to`, and returns the new block.
+///
+/// Used to give edge-frequency counters a home when neither endpoint can
+/// host them (a critical edge).
+///
+/// # Panics
+///
+/// Panics if `from` has no edge to `to`.
+pub fn split_edge(func: &mut Function, from: BlockId, to: BlockId) -> BlockId {
+    let new = func.new_block();
+    func.block_mut(new).term = Terminator::Br { target: to };
+    let term = &mut func.block_mut(from).term;
+    let mut found = false;
+    term.map_targets(|t| {
+        if t == to && !found {
+            found = true;
+            new
+        } else {
+            t
+        }
+    });
+    assert!(found, "no edge {from} -> {to} to split");
+    new
+}
+
+/// Ensures the loop headed at `header` has a preheader: a block outside the
+/// loop whose only successor is the header, through which every
+/// outside entry flows. Returns the preheader.
+///
+/// If there is exactly one outside predecessor and its only successor is
+/// the header, it is reused; otherwise a fresh block is inserted and all
+/// outside predecessors are rewired through it.
+///
+/// Callers must recompute CFG-derived analyses afterwards.
+pub fn ensure_preheader(
+    func: &mut Function,
+    header: BlockId,
+    outside_preds: &[BlockId],
+) -> BlockId {
+    if outside_preds.len() == 1 {
+        let p = outside_preds[0];
+        let succ_count = func.block(p).term.successors().count();
+        if succ_count == 1 {
+            return p;
+        }
+    }
+    let pre = func.new_block();
+    func.block_mut(pre).term = Terminator::Br { target: header };
+    for &p in outside_preds {
+        let term = &mut func.block_mut(p).term;
+        term.map_targets(|t| if t == header { pre } else { t });
+    }
+    pre
+}
+
+/// Inserts instructions immediately before the instruction `site`,
+/// allocating fresh ids; returns the ids of the inserted instructions.
+///
+/// # Panics
+///
+/// Panics if `site` is not found in `func`.
+pub fn insert_before(
+    func: &mut Function,
+    site: InstrId,
+    ops: Vec<(Option<Reg>, Op)>,
+) -> Vec<InstrId> {
+    let (block, idx) = func
+        .find_instr(site)
+        .unwrap_or_else(|| panic!("instruction {site} not found in {}", func.name));
+    let mut ids = Vec::with_capacity(ops.len());
+    let new: Vec<Instr> = ops
+        .into_iter()
+        .map(|(pred, op)| {
+            let id = func.new_instr_id();
+            ids.push(id);
+            Instr { id, pred, op }
+        })
+        .collect();
+    let instrs = &mut func.block_mut(block).instrs;
+    instrs.splice(idx..idx, new);
+    ids
+}
+
+/// Inserts instructions at the front of `block`, allocating fresh ids.
+pub fn insert_at_front(
+    func: &mut Function,
+    block: BlockId,
+    ops: Vec<(Option<Reg>, Op)>,
+) -> Vec<InstrId> {
+    let mut ids = Vec::with_capacity(ops.len());
+    let new: Vec<Instr> = ops
+        .into_iter()
+        .map(|(pred, op)| {
+            let id = func.new_instr_id();
+            ids.push(id);
+            Instr { id, pred, op }
+        })
+        .collect();
+    let instrs = &mut func.block_mut(block).instrs;
+    instrs.splice(0..0, new);
+    ids
+}
+
+/// Appends instructions at the end of `block` (before its terminator),
+/// allocating fresh ids.
+pub fn insert_at_end(
+    func: &mut Function,
+    block: BlockId,
+    ops: Vec<(Option<Reg>, Op)>,
+) -> Vec<InstrId> {
+    let mut ids = Vec::with_capacity(ops.len());
+    for (pred, op) in ops {
+        let id = func.new_instr_id();
+        ids.push(id);
+        func.block_mut(block).instrs.push(Instr { id, pred, op });
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::FuncAnalysis;
+    use crate::builder::ModuleBuilder;
+    use crate::cfg::Cfg;
+    use crate::instr::{CmpOp, Operand};
+    use crate::types::LoopId;
+
+    #[test]
+    fn split_edge_preserves_paths() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, b1, b2);
+        fb.switch_to(b1);
+        fb.ret(None);
+        fb.switch_to(b2);
+        fb.ret(None);
+        let mut m = mb.finish();
+        let func = m.function_mut(f);
+        let new = split_edge(func, BlockId::new(0), BlockId::new(1));
+        let cfg = Cfg::compute(func);
+        assert_eq!(cfg.succs(BlockId::new(0)), &[new, BlockId::new(2)]);
+        assert_eq!(cfg.succs(new), &[BlockId::new(1)]);
+        assert_eq!(cfg.preds(BlockId::new(1)), &[new]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no edge")]
+    fn split_missing_edge_panics() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        let mut m = mb.finish();
+        split_edge(m.function_mut(f), BlockId::new(0), BlockId::new(0));
+    }
+
+    #[test]
+    fn ensure_preheader_reuses_unique_pred() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        fb.counted_loop(fb.param(0), |fb, _| {
+            let a = fb.const_(1);
+            let _ = fb.load(a, 0);
+        });
+        fb.ret(None);
+        let mut m = mb.finish();
+        let func = m.function_mut(f);
+        let analysis = FuncAnalysis::compute(func);
+        let l = analysis.loops.get(LoopId::new(0));
+        let header = l.header;
+        let outside: Vec<BlockId> = analysis
+            .cfg
+            .preds(header)
+            .iter()
+            .copied()
+            .filter(|p| !l.contains(*p))
+            .collect();
+        let nblocks = func.blocks.len();
+        let pre = ensure_preheader(func, header, &outside);
+        // entry block b0 has a single successor (the header): reused.
+        assert_eq!(pre, BlockId::new(0));
+        assert_eq!(func.blocks.len(), nblocks);
+    }
+
+    #[test]
+    fn ensure_preheader_creates_block_for_multiple_entries() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let pre1 = fb.new_block();
+        let pre2 = fb.new_block();
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        let c0 = fb.cmp(CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c0, pre1, pre2);
+        fb.switch_to(pre1);
+        fb.br(header);
+        fb.switch_to(pre2);
+        fb.br(header);
+        fb.switch_to(header);
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 5i64);
+        fb.cond_br(c, body, exit);
+        fb.switch_to(body);
+        fb.br(header);
+        fb.switch_to(exit);
+        fb.ret(None);
+        let mut m = mb.finish();
+        let func = m.function_mut(f);
+        let pre = ensure_preheader(func, header, &[pre1, pre2]);
+        let cfg = Cfg::compute(func);
+        assert_eq!(cfg.succs(pre1), &[pre]);
+        assert_eq!(cfg.succs(pre2), &[pre]);
+        assert_eq!(cfg.succs(pre), &[header]);
+        // the back edge from the body still points at the header directly
+        assert_eq!(cfg.succs(body), &[header]);
+    }
+
+    #[test]
+    fn insert_before_places_and_allocates_ids() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let (_, load_id) = fb.load(fb.param(0), 0);
+        fb.ret(None);
+        let mut m = mb.finish();
+        let func = m.function_mut(f);
+        let before = func.next_instr;
+        let ids = insert_before(
+            func,
+            load_id,
+            vec![(
+                None,
+                Op::Prefetch {
+                    addr: Operand::Reg(Reg::new(0)),
+                    offset: 128,
+                },
+            )],
+        );
+        assert_eq!(ids.len(), 1);
+        assert_eq!(ids[0], InstrId::new(before));
+        let b0 = &func.blocks[0];
+        assert!(matches!(b0.instrs[0].op, Op::Prefetch { .. }));
+        assert_eq!(b0.instrs[1].id, load_id);
+    }
+
+    #[test]
+    fn insert_front_and_end() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        let _ = fb.const_(7);
+        fb.ret(None);
+        let mut m = mb.finish();
+        let func = m.function_mut(f);
+        let r = func.new_reg();
+        insert_at_front(func, BlockId::new(0), vec![(None, Op::Const { dst: r, value: 1 })]);
+        insert_at_end(func, BlockId::new(0), vec![(None, Op::Const { dst: r, value: 2 })]);
+        let b0 = &func.blocks[0];
+        assert_eq!(b0.instrs.len(), 3);
+        assert!(matches!(b0.instrs[0].op, Op::Const { value: 1, .. }));
+        assert!(matches!(b0.instrs[2].op, Op::Const { value: 2, .. }));
+    }
+}

@@ -1,0 +1,129 @@
+//! Identifier newtypes used throughout the IR.
+//!
+//! Every entity in a [`crate::Module`] is referred to by a small integer id.
+//! Ids are allocated densely by the builders and are stable across the
+//! instrumentation and prefetch-insertion passes: a pass may *append* new
+//! blocks, registers or instructions, but never renumbers existing ones.
+//! This stability is what lets a stride profile collected from an
+//! instrumented module be applied back to the original module — a profiled
+//! load is keyed by its [`InstrId`].
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub const fn new(index: u32) -> Self {
+                Self(index)
+            }
+
+            /// Returns the raw index of this id.
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u32> for $name {
+            fn from(index: u32) -> Self {
+                Self(index)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a function within a [`crate::Module`].
+    FuncId,
+    "fn"
+);
+id_type!(
+    /// Identifies a basic block within a [`crate::Function`].
+    ///
+    /// Block ids index directly into [`crate::Function::blocks`].
+    BlockId,
+    "b"
+);
+id_type!(
+    /// Identifies a virtual register within a [`crate::Function`].
+    ///
+    /// Registers hold 64-bit signed integers. The first
+    /// [`crate::Function::num_params`] registers hold the arguments on
+    /// entry. Predicate values are ordinary registers holding 0 or 1,
+    /// mirroring how Itanium predicate registers are modeled at the IR
+    /// level.
+    Reg,
+    "r"
+);
+id_type!(
+    /// Uniquely identifies an instruction within a [`crate::Function`].
+    ///
+    /// Instruction ids are allocation-order unique and survive
+    /// instrumentation: they are how profile records name a load site.
+    InstrId,
+    "i"
+);
+id_type!(
+    /// Identifies a CFG edge within a [`crate::Function`].
+    ///
+    /// Edge ids are assigned deterministically by [`crate::Cfg::compute`]:
+    /// blocks in id order, successors in terminator order.
+    EdgeId,
+    "e"
+);
+id_type!(
+    /// Identifies a global data region within a [`crate::Module`].
+    GlobalId,
+    "g"
+);
+id_type!(
+    /// Identifies a natural loop within a [`crate::LoopForest`].
+    LoopId,
+    "loop"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn display_uses_prefix() {
+        assert_eq!(BlockId::new(3).to_string(), "b3");
+        assert_eq!(Reg::new(0).to_string(), "r0");
+        assert_eq!(FuncId::new(7).to_string(), "fn7");
+        assert_eq!(InstrId::new(12).to_string(), "i12");
+        assert_eq!(EdgeId::new(5).to_string(), "e5");
+        assert_eq!(GlobalId::new(1).to_string(), "g1");
+        assert_eq!(LoopId::new(2).to_string(), "loop2");
+    }
+
+    #[test]
+    fn index_round_trips() {
+        let id = InstrId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(InstrId::from(42u32), id);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        assert!(BlockId::new(1) < BlockId::new(2));
+        let set: HashSet<Reg> = [Reg::new(1), Reg::new(1), Reg::new(2)].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(BlockId::default(), BlockId::new(0));
+    }
+}

@@ -1,0 +1,273 @@
+//! Set-associative cache with LRU replacement.
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_size: u64,
+}
+
+impl CacheGeometry {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly or sizes are not
+    /// powers of two.
+    pub fn num_sets(&self) -> u64 {
+        assert!(self.line_size.is_power_of_two(), "line size must be 2^k");
+        let lines = self.size_bytes / self.line_size;
+        assert_eq!(
+            lines % self.ways as u64,
+            0,
+            "capacity must divide evenly into ways"
+        );
+        let sets = lines / self.ways as u64;
+        assert!(sets.is_power_of_two(), "set count must be 2^k");
+        sets
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    /// LRU stamp: larger = more recently used.
+    stamp: u64,
+}
+
+/// One set-associative, LRU cache level.
+///
+/// The cache is a timing structure only — it tracks presence of line
+/// addresses, not data (the VM's [`stride_vm::Memory`] holds the data).
+#[derive(Clone, Debug)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    set_mask: u64,
+    line_shift: u32,
+    ways: Vec<Way>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see
+    /// [`CacheGeometry::num_sets`]).
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.num_sets();
+        Cache {
+            geometry,
+            set_mask: sets - 1,
+            line_shift: geometry.line_size.trailing_zeros(),
+            ways: vec![
+                Way {
+                    tag: 0,
+                    valid: false,
+                    stamp: 0
+                };
+                (sets * geometry.ways as u64) as usize
+            ],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_range(&self, addr: u64) -> (std::ops::Range<usize>, u64) {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let ways = self.geometry.ways as usize;
+        (set * ways..(set + 1) * ways, line)
+    }
+
+    /// Looks `addr` up, updating LRU and hit/miss statistics. Returns true
+    /// on hit. Does not allocate on miss (use [`Cache::install`]).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let (range, line) = self.set_range(addr);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.stamp = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        self.misses += 1;
+        false
+    }
+
+    /// Checks for presence without touching LRU or statistics.
+    pub fn contains(&self, addr: u64) -> bool {
+        let (range, line) = self.set_range(addr);
+        self.ways[range].iter().any(|w| w.valid && w.tag == line)
+    }
+
+    /// Installs the line of `addr`, evicting the LRU way if needed.
+    /// Returns the evicted line's base address, if any.
+    pub fn install(&mut self, addr: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let line_shift = self.line_shift;
+        let (range, line) = self.set_range(addr);
+        let set = &mut self.ways[range];
+        // already present: refresh
+        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+            w.stamp = tick;
+            return None;
+        }
+        // empty way
+        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+            *w = Way {
+                tag: line,
+                valid: true,
+                stamp: tick,
+            };
+            return None;
+        }
+        // evict LRU
+        let victim = set
+            .iter_mut()
+            .min_by_key(|w| w.stamp)
+            .expect("nonzero associativity");
+        let evicted = victim.tag << line_shift;
+        *victim = Way {
+            tag: line,
+            valid: true,
+            stamp: tick,
+        };
+        Some(evicted)
+    }
+
+    /// Invalidates the line of `addr` if present.
+    pub fn invalidate(&mut self, addr: u64) {
+        let (range, line) = self.set_range(addr);
+        for w in &mut self.ways[range] {
+            if w.valid && w.tag == line {
+                w.valid = false;
+            }
+        }
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B
+        Cache::new(CacheGeometry {
+            size_bytes: 512,
+            ways: 2,
+            line_size: 64,
+        })
+    }
+
+    #[test]
+    fn geometry_set_count() {
+        let g = CacheGeometry {
+            size_bytes: 16 * 1024,
+            ways: 4,
+            line_size: 64,
+        };
+        assert_eq!(g.num_sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "2^k")]
+    fn geometry_rejects_non_power_of_two_sets() {
+        CacheGeometry {
+            size_bytes: 192,
+            ways: 1,
+            line_size: 64,
+        }
+        .num_sets();
+    }
+
+    #[test]
+    fn miss_then_hit_after_install() {
+        let mut c = small();
+        assert!(!c.access(0x1000));
+        c.install(0x1000);
+        assert!(c.access(0x1000));
+        assert!(c.access(0x1038)); // same 64B line
+        assert_eq!(c.stats(), (2, 1));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // set index = (addr/64) & 3; choose three lines mapping to set 0
+        let a = 0 * 64 * 4;
+        let b = 1 * 64 * 4;
+        let d = 2 * 64 * 4;
+        c.install(a);
+        c.install(b);
+        c.access(a); // a most recent
+        let evicted = c.install(d); // evicts b
+        assert_eq!(evicted, Some(b));
+        assert!(c.contains(a));
+        assert!(!c.contains(b));
+        assert!(c.contains(d));
+    }
+
+    #[test]
+    fn install_existing_line_refreshes_without_evicting() {
+        let mut c = small();
+        let a = 0;
+        let b = 64 * 4;
+        c.install(a);
+        c.install(b);
+        assert_eq!(c.install(a), None); // refresh, nothing evicted
+        let d = 2 * 64 * 4;
+        assert_eq!(c.install(d), Some(b)); // b was LRU
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.install(0x40);
+        assert!(c.contains(0x40));
+        c.invalidate(0x40);
+        assert!(!c.contains(0x40));
+    }
+
+    #[test]
+    fn contains_does_not_affect_stats() {
+        let mut c = small();
+        c.install(0);
+        let before = c.stats();
+        let _ = c.contains(0);
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = small();
+        // fill all 8 ways with distinct sets and ways
+        for i in 0..8u64 {
+            c.install(i * 64);
+        }
+        for i in 0..8u64 {
+            assert!(c.contains(i * 64), "line {i} evicted unexpectedly");
+        }
+    }
+}

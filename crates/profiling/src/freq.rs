@@ -1,0 +1,355 @@
+//! Edge-frequency profiles and the derived quantities the paper's
+//! feedback pass needs: block frequencies and loop trip counts (Fig. 10).
+
+use stride_ir::{BlockId, Cfg, EdgeId, FuncId, LoopForest, LoopId, Module};
+
+/// Where a frequency quantity should be derived from: the edge counters
+/// (edge-check instrumentation) or the per-block counters (block-check
+/// instrumentation, Fig. 11).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum FreqSource {
+    /// Edge-frequency counters (plus the virtual entry counter).
+    Edges,
+    /// Block-frequency counters.
+    Blocks,
+}
+
+/// Edge-frequency profile for a whole module, keyed by the *original*
+/// module's deterministic edge numbering ([`Cfg::compute`]).
+///
+/// The counter space of each function holds, in order: one counter per CFG
+/// edge, one virtual counter counting function entries (so block
+/// frequencies are well defined even for entry blocks and single-block
+/// functions), and one counter per block (used by the block-check method,
+/// which profiles block frequencies instead of edge frequencies).
+#[derive(Clone, Debug)]
+pub struct EdgeProfile {
+    counts: Vec<Vec<u64>>,
+}
+
+impl EdgeProfile {
+    /// Creates a zeroed profile sized for `module`.
+    pub fn for_module(module: &Module) -> Self {
+        let counts = module
+            .functions
+            .iter()
+            .map(|f| {
+                let cfg = Cfg::compute(f);
+                vec![0u64; cfg.num_edges() + 1 + cfg.num_blocks()]
+            })
+            .collect();
+        EdgeProfile { counts }
+    }
+
+    /// The virtual entry-edge id for a function with `num_edges` real
+    /// edges.
+    pub fn entry_edge(cfg: &Cfg) -> EdgeId {
+        EdgeId::new(cfg.num_edges() as u32)
+    }
+
+    /// The counter id holding the block frequency of `block` (block-check
+    /// instrumentation).
+    pub fn block_counter(cfg: &Cfg, block: BlockId) -> EdgeId {
+        EdgeId::new((cfg.num_edges() + 1 + block.index()) as u32)
+    }
+
+    /// Increments one counter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn increment(&mut self, func: FuncId, edge: EdgeId) {
+        self.counts[func.index()][edge.index()] += 1;
+    }
+
+    /// Sets one counter to an absolute value (profile-file loading).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ids are out of range.
+    pub fn set(&mut self, func: FuncId, edge: EdgeId, count: u64) {
+        self.counts[func.index()][edge.index()] = count;
+    }
+
+    /// Reads one counter (0 for out-of-range ids, so profiles built for a
+    /// smaller module are usable defensively).
+    pub fn count(&self, func: FuncId, edge: EdgeId) -> u64 {
+        self.counts
+            .get(func.index())
+            .and_then(|v| v.get(edge.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Execution frequency of `block`: the sum of its incoming edge
+    /// counters, plus the virtual entry counter if it is the function's
+    /// entry block.
+    pub fn block_freq(&self, func: FuncId, cfg: &Cfg, entry: BlockId, block: BlockId) -> u64 {
+        let mut freq = 0;
+        for &p in cfg.preds(block) {
+            if let Some(e) = cfg.edge_id(p, block) {
+                freq += self.count(func, e);
+            }
+        }
+        if block == entry {
+            freq += self.count(func, Self::entry_edge(cfg));
+        }
+        freq
+    }
+
+    /// Frequency of a loop's header: the sum of the counters of its
+    /// outgoing edges (Figs. 12–13 — works even though the header itself
+    /// may have no dedicated block counter).
+    pub fn loop_header_freq(&self, func: FuncId, cfg: &Cfg, loops: &LoopForest, l: LoopId) -> u64 {
+        loops
+            .header_out_edges(l, cfg)
+            .into_iter()
+            .filter_map(|(a, b)| cfg.edge_id(a, b))
+            .map(|e| self.count(func, e))
+            .sum()
+    }
+
+    /// Frequency of entering the loop from outside (the pre-head frequency
+    /// of Fig. 10).
+    pub fn loop_entry_freq(&self, func: FuncId, cfg: &Cfg, loops: &LoopForest, l: LoopId) -> u64 {
+        loops
+            .entry_edges(l, cfg)
+            .into_iter()
+            .filter_map(|(a, b)| cfg.edge_id(a, b))
+            .map(|e| self.count(func, e))
+            .sum()
+    }
+
+    /// Average trip count of a loop (Fig. 10):
+    /// `TC = header_freq / entry_freq`; 0 if the loop was never entered.
+    pub fn trip_count(&self, func: FuncId, cfg: &Cfg, loops: &LoopForest, l: LoopId) -> f64 {
+        let entry = self.loop_entry_freq(func, cfg, loops, l);
+        if entry == 0 {
+            return 0.0;
+        }
+        self.loop_header_freq(func, cfg, loops, l) as f64 / entry as f64
+    }
+
+    /// Block frequency from either counter space.
+    ///
+    /// With [`FreqSource::Blocks`] the dedicated block counter is read
+    /// directly; with [`FreqSource::Edges`] it is derived as in
+    /// [`EdgeProfile::block_freq`].
+    pub fn block_freq_via(
+        &self,
+        source: FreqSource,
+        func: FuncId,
+        cfg: &Cfg,
+        entry: BlockId,
+        block: BlockId,
+    ) -> u64 {
+        match source {
+            FreqSource::Edges => self.block_freq(func, cfg, entry, block),
+            FreqSource::Blocks => self.count(func, Self::block_counter(cfg, block)),
+        }
+    }
+
+    /// Trip count from either counter space.
+    ///
+    /// The block-counter variant uses
+    /// `freq[header] / sum(freq[outside preds])`, as in Fig. 11. When an
+    /// outside predecessor also branches elsewhere, its block frequency
+    /// overestimates the entering frequency, so the block-check trip count
+    /// is a lower bound of the edge-check one — an inherent imprecision of
+    /// block profiles the paper glosses over.
+    pub fn trip_count_via(
+        &self,
+        source: FreqSource,
+        func: FuncId,
+        cfg: &Cfg,
+        loops: &LoopForest,
+        l: LoopId,
+    ) -> f64 {
+        match source {
+            FreqSource::Edges => self.trip_count(func, cfg, loops, l),
+            FreqSource::Blocks => {
+                let entry: u64 = loops
+                    .entry_edges(l, cfg)
+                    .into_iter()
+                    .map(|(from, _)| self.count(func, Self::block_counter(cfg, from)))
+                    .sum();
+                if entry == 0 {
+                    return 0.0;
+                }
+                let header = loops.get(l).header;
+                self.count(func, Self::block_counter(cfg, header)) as f64 / entry as f64
+            }
+        }
+    }
+
+    /// Total of all edge counters (for overhead sanity checks).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Merges another edge profile into this one by summing counters
+    /// (multi-run PGO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two profiles were built for modules with different
+    /// shapes (counter space sizes differ).
+    pub fn merge(&mut self, other: &EdgeProfile) {
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "profiles built for different modules"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            assert_eq!(a.len(), b.len(), "profiles built for different modules");
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += *y;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{DomTree, FuncAnalysis, ModuleBuilder};
+
+    /// Builds the Fig. 10 loop: b1 -> b2, b2 -> b2 (back edge), b2 -> b3,
+    /// then installs the paper's frequencies and checks TC = 50.
+    #[test]
+    fn figure_10_trip_count() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let header = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(header); // b0 -> b1(header)
+        fb.switch_to(header);
+        let c = fb.cmp(stride_ir::CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, header, exit); // self loop
+        fb.switch_to(exit);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg, func.entry);
+        let loops = LoopForest::compute(&cfg, &dom, func.entry);
+        let l = loops.loops()[0].id;
+
+        let mut prof = EdgeProfile::for_module(&m);
+        // freq(b1 -> b2) = 20, freq(b2 -> b2) = 980, freq(b2 -> b3) = 20
+        let e_enter = cfg.edge_id(BlockId::new(0), BlockId::new(1)).unwrap();
+        let e_back = cfg.edge_id(BlockId::new(1), BlockId::new(1)).unwrap();
+        let e_exit = cfg.edge_id(BlockId::new(1), BlockId::new(2)).unwrap();
+        for _ in 0..20 {
+            prof.increment(f, e_enter);
+            prof.increment(f, e_exit);
+        }
+        for _ in 0..980 {
+            prof.increment(f, e_back);
+        }
+        assert_eq!(prof.loop_entry_freq(f, &cfg, &loops, l), 20);
+        assert_eq!(prof.loop_header_freq(f, &cfg, &loops, l), 1000);
+        let tc = prof.trip_count(f, &cfg, &loops, l);
+        assert!((tc - 50.0).abs() < 1e-9, "tc = {tc}");
+    }
+
+    #[test]
+    fn block_freq_sums_incoming_edges() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        let b1 = fb.new_block();
+        let b2 = fb.new_block();
+        let b3 = fb.new_block();
+        let c = fb.cmp(stride_ir::CmpOp::Gt, fb.param(0), 0i64);
+        fb.cond_br(c, b1, b2);
+        fb.switch_to(b1);
+        fb.br(b3);
+        fb.switch_to(b2);
+        fb.br(b3);
+        fb.switch_to(b3);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        let mut prof = EdgeProfile::for_module(&m);
+        let e13 = cfg.edge_id(b1, b3).unwrap();
+        let e23 = cfg.edge_id(b2, b3).unwrap();
+        for _ in 0..7 {
+            prof.increment(f, e13);
+        }
+        for _ in 0..3 {
+            prof.increment(f, e23);
+        }
+        assert_eq!(prof.block_freq(f, &cfg, func.entry, b3), 10);
+        assert_eq!(prof.block_freq(f, &cfg, func.entry, b1), 0);
+    }
+
+    #[test]
+    fn entry_block_uses_virtual_counter() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let cfg = Cfg::compute(func);
+        let mut prof = EdgeProfile::for_module(&m);
+        let entry_edge = EdgeProfile::entry_edge(&cfg);
+        for _ in 0..5 {
+            prof.increment(f, entry_edge);
+        }
+        assert_eq!(prof.block_freq(f, &cfg, func.entry, func.entry), 5);
+    }
+
+    #[test]
+    fn never_entered_loop_has_zero_trip_count() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 1);
+        let mut fb = mb.function(f);
+        fb.counted_loop(fb.param(0), |fb, _| {
+            let a = fb.const_(0);
+            let _ = fb.load(a, 0);
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let prof = EdgeProfile::for_module(&m);
+        let l = analysis.loops.loops()[0].id;
+        assert_eq!(prof.trip_count(f, &analysis.cfg, &analysis.loops, l), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut a = EdgeProfile::for_module(&m);
+        let mut b = EdgeProfile::for_module(&m);
+        let e = EdgeId::new(0); // virtual entry counter
+        a.increment(f, e);
+        for _ in 0..3 {
+            b.increment(f, e);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(f, e), 4);
+        assert_eq!(b.count(f, e), 3); // other untouched
+    }
+
+    #[test]
+    fn out_of_range_reads_are_zero() {
+        let m = ModuleBuilder::new().finish();
+        let prof = EdgeProfile::for_module(&m);
+        assert_eq!(prof.count(FuncId::new(5), EdgeId::new(9)), 0);
+        assert_eq!(prof.total(), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Reference-distance profiling — the first future-work direction of the
+//! paper's §6: "profile the number of memory references between the
+//! successive references at a load site. If this number is large, we
+//! should not prefetch for the load."
+//!
+//! The profiler consumes a stream of `(site, is_tracked)` memory-reference
+//! events and records, per tracked site, the distribution of intervening
+//! memory references between its successive executions.
+
+use std::collections::HashMap;
+use stride_ir::{FuncId, InstrId};
+
+/// Summary of the reference distances of one load site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RefDistSummary {
+    /// Number of distances observed (executions - 1).
+    pub samples: u64,
+    /// Sum of distances (for the mean).
+    pub total: u64,
+    /// Largest observed distance.
+    pub max: u64,
+    /// Smallest observed distance.
+    pub min: u64,
+}
+
+impl RefDistSummary {
+    /// Mean intervening references between successive executions.
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.samples as f64
+        }
+    }
+}
+
+/// Streaming reference-distance profiler.
+///
+/// Feed it every memory reference of a run in order via
+/// [`ReferenceDistanceProfiler::reference`]; tracked sites additionally
+/// record distances.
+#[derive(Clone, Debug, Default)]
+pub struct ReferenceDistanceProfiler {
+    clock: u64,
+    last_seen: HashMap<(FuncId, InstrId), u64>,
+    summaries: HashMap<(FuncId, InstrId), RefDistSummary>,
+}
+
+impl ReferenceDistanceProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one memory reference. `site` is `Some` for loads whose
+    /// distance is being profiled and `None` for every other memory
+    /// reference (they advance the clock only).
+    pub fn reference(&mut self, site: Option<(FuncId, InstrId)>) {
+        self.clock += 1;
+        let Some(key) = site else {
+            return;
+        };
+        if let Some(prev) = self.last_seen.insert(key, self.clock) {
+            // intervening references strictly between the two executions
+            let dist = self.clock - prev - 1;
+            let s = self.summaries.entry(key).or_insert(RefDistSummary {
+                samples: 0,
+                total: 0,
+                max: 0,
+                min: u64::MAX,
+            });
+            s.samples += 1;
+            s.total += dist;
+            s.max = s.max.max(dist);
+            s.min = s.min.min(dist);
+        }
+    }
+
+    /// The summary for one site, if it executed at least twice.
+    pub fn summary(&self, func: FuncId, site: InstrId) -> Option<RefDistSummary> {
+        self.summaries.get(&(func, site)).copied()
+    }
+
+    /// Applies the paper's future-work heuristic: prefetch only when the
+    /// mean reference distance is below `threshold` (a large distance
+    /// means the prefetched line is likely evicted before use).
+    pub fn should_prefetch(&self, func: FuncId, site: InstrId, threshold: f64) -> bool {
+        match self.summary(func, site) {
+            Some(s) => s.mean() < threshold,
+            None => false,
+        }
+    }
+
+    /// Total memory references observed.
+    pub fn total_references(&self) -> u64 {
+        self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const F: FuncId = FuncId(0);
+    const A: InstrId = InstrId(1);
+    const B: InstrId = InstrId(2);
+
+    #[test]
+    fn tight_loop_load_has_small_distance() {
+        let mut p = ReferenceDistanceProfiler::new();
+        // loop body: tracked load + 2 other references
+        for _ in 0..10 {
+            p.reference(Some((F, A)));
+            p.reference(None);
+            p.reference(None);
+        }
+        let s = p.summary(F, A).unwrap();
+        assert_eq!(s.samples, 9);
+        assert_eq!(s.mean(), 2.0);
+        assert_eq!(s.min, 2);
+        assert_eq!(s.max, 2);
+        assert!(p.should_prefetch(F, A, 100.0));
+    }
+
+    #[test]
+    fn out_loop_load_with_many_intervening_refs() {
+        let mut p = ReferenceDistanceProfiler::new();
+        for _ in 0..5 {
+            p.reference(Some((F, B)));
+            for _ in 0..1000 {
+                p.reference(None);
+            }
+        }
+        let s = p.summary(F, B).unwrap();
+        assert_eq!(s.mean(), 1000.0);
+        assert!(!p.should_prefetch(F, B, 100.0));
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let mut p = ReferenceDistanceProfiler::new();
+        p.reference(Some((F, A)));
+        p.reference(Some((F, B)));
+        p.reference(Some((F, A)));
+        p.reference(None);
+        p.reference(Some((F, B)));
+        assert_eq!(p.summary(F, A).unwrap().mean(), 1.0);
+        assert_eq!(p.summary(F, B).unwrap().mean(), 2.0);
+        assert_eq!(p.total_references(), 5);
+    }
+
+    #[test]
+    fn single_execution_has_no_summary() {
+        let mut p = ReferenceDistanceProfiler::new();
+        p.reference(Some((F, A)));
+        assert_eq!(p.summary(F, A), None);
+        assert!(!p.should_prefetch(F, A, 1e9));
+    }
+
+    #[test]
+    fn varying_distances_tracked_min_max() {
+        let mut p = ReferenceDistanceProfiler::new();
+        p.reference(Some((F, A)));
+        p.reference(None);
+        p.reference(Some((F, A))); // dist 1
+        p.reference(Some((F, A))); // dist 0
+        for _ in 0..5 {
+            p.reference(None);
+        }
+        p.reference(Some((F, A))); // dist 5
+        let s = p.summary(F, A).unwrap();
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.samples, 3);
+    }
+}

@@ -1,0 +1,188 @@
+//! The profiling runtime wired into the VM: owns the edge counters and the
+//! per-load `strideProf` state, and prices every hook so instrumented runs
+//! pay the paper's profiling overhead.
+
+use crate::freq::EdgeProfile;
+use crate::profile::{LoadStrideProfile, StrideProfile};
+use crate::stride_prof::{StrideProfConfig, StrideProfData, StrideProfEngine, StrideProfStats};
+use stride_ir::{EdgeId, FuncId, InstrId, Module};
+use stride_vm::ProfilingRuntime;
+
+/// Cycle cost of one edge-counter update (`ld; add; st` of Fig. 14).
+pub const COST_PROFILE_EDGE: u64 = 3;
+/// Fixed part of a trip-count check (shift + compare + predicate set).
+pub const COST_TRIP_CHECK_BASE: u64 = 3;
+/// Per-summed-counter cost of a trip-count check (load + add).
+pub const COST_TRIP_CHECK_PER_EDGE: u64 = 2;
+
+/// The integrated profiling runtime: edge-frequency counters plus
+/// `strideProf` state for every profiled load (one *slot* per load,
+/// assigned by the instrumentation pass).
+#[derive(Clone, Debug)]
+pub struct ProfilerRuntime {
+    edges: EdgeProfile,
+    engine: StrideProfEngine,
+    config: StrideProfConfig,
+    slots: Vec<StrideProfData>,
+    slot_sites: Vec<(FuncId, InstrId)>,
+}
+
+impl ProfilerRuntime {
+    /// Creates a runtime for `module` (the *original*, pre-instrumentation
+    /// module — edge counters are keyed by its CFG) with one stride slot
+    /// per `(func, load)` in `slot_sites`.
+    pub fn new(module: &Module, slot_sites: Vec<(FuncId, InstrId)>, config: StrideProfConfig) -> Self {
+        let slots = slot_sites
+            .iter()
+            .map(|_| StrideProfData::new(&config))
+            .collect();
+        ProfilerRuntime {
+            edges: EdgeProfile::for_module(module),
+            engine: StrideProfEngine::new(),
+            config,
+            slots,
+            slot_sites,
+        }
+    }
+
+    /// A runtime that collects only the edge-frequency profile (the
+    /// baseline the paper's overhead figures compare against).
+    pub fn edge_only(module: &Module) -> Self {
+        Self::new(module, Vec::new(), StrideProfConfig::plain())
+    }
+
+    /// Read access to the edge counters (e.g. mid-run inspection).
+    pub fn edges(&self) -> &EdgeProfile {
+        &self.edges
+    }
+
+    /// Aggregate `strideProf` statistics (Figs. 21/22).
+    pub fn stride_stats(&self) -> StrideProfStats {
+        self.engine.stats
+    }
+
+    /// Finalizes the run: returns the edge profile, the stride profile
+    /// (with fine-sampling scaling undone) and the aggregate statistics.
+    pub fn finish(mut self) -> (EdgeProfile, StrideProfile, StrideProfStats) {
+        let mut stride = StrideProfile::new();
+        for (i, data) in self.slots.iter_mut().enumerate() {
+            let (func, site) = self.slot_sites[i];
+            stride.insert(func, site, LoadStrideProfile::from_data(data, &self.config));
+        }
+        (self.edges, stride, self.engine.stats)
+    }
+}
+
+impl ProfilingRuntime for ProfilerRuntime {
+    fn profile_edge(&mut self, func: FuncId, edge: EdgeId) -> u64 {
+        self.edges.increment(func, edge);
+        COST_PROFILE_EDGE
+    }
+
+    fn trip_count_check(
+        &mut self,
+        func: FuncId,
+        incoming: &[EdgeId],
+        outgoing: &[EdgeId],
+        shift: u32,
+    ) -> (bool, u64) {
+        let r1: u64 = incoming.iter().map(|&e| self.edges.count(func, e)).sum();
+        let r2: u64 = outgoing.iter().map(|&e| self.edges.count(func, e)).sum();
+        let cost = COST_TRIP_CHECK_BASE
+            + COST_TRIP_CHECK_PER_EDGE * (incoming.len() + outgoing.len()) as u64;
+        ((r2 >> shift) > r1, cost)
+    }
+
+    fn stride_prof(&mut self, _func: FuncId, _site: InstrId, slot: u32, addr: u64) -> u64 {
+        let data = &mut self.slots[slot as usize];
+        self.engine.stride_prof(&self.config, data, addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::ModuleBuilder;
+
+    fn empty_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn edge_counts_accumulate() {
+        let m = empty_module();
+        let mut rt = ProfilerRuntime::edge_only(&m);
+        let f = FuncId::new(0);
+        let e = EdgeId::new(0); // virtual entry edge of the single block fn
+        let c1 = rt.profile_edge(f, e);
+        let c2 = rt.profile_edge(f, e);
+        assert_eq!(c1, COST_PROFILE_EDGE);
+        assert_eq!(c2, COST_PROFILE_EDGE);
+        assert_eq!(rt.edges().count(f, e), 2);
+    }
+
+    #[test]
+    fn trip_check_thresholds_on_shift() {
+        let m = empty_module();
+        let mut rt = ProfilerRuntime::edge_only(&m);
+        let f = FuncId::new(0);
+        let e = EdgeId::new(0);
+        // entry freq 1, header freq 300, shift 7 (TT = 128): 300>>7 = 2 > 1
+        rt.profile_edge(f, e);
+        let header_edge = e;
+        for _ in 0..299 {
+            rt.profile_edge(f, header_edge);
+        }
+        let (pred, cost) = rt.trip_count_check(f, &[], &[header_edge], 7);
+        assert!(pred); // 300 >> 7 = 2 > 0 (no incoming counters summed)
+        assert_eq!(cost, COST_TRIP_CHECK_BASE + COST_TRIP_CHECK_PER_EDGE);
+    }
+
+    #[test]
+    fn trip_check_false_for_low_counts() {
+        let m = empty_module();
+        let mut rt = ProfilerRuntime::edge_only(&m);
+        let f = FuncId::new(0);
+        let e_in = EdgeId::new(0);
+        rt.profile_edge(f, e_in);
+        // header executed 64 times: 64 >> 7 == 0, not > 1
+        let (pred, _) = rt.trip_count_check(f, &[e_in], &[e_in], 7);
+        assert!(!pred);
+    }
+
+    #[test]
+    fn stride_slots_collect_independent_profiles() {
+        let m = empty_module();
+        let f = FuncId::new(0);
+        let s0 = InstrId::new(0);
+        let s1 = InstrId::new(1);
+        let mut rt = ProfilerRuntime::new(
+            &m,
+            vec![(f, s0), (f, s1)],
+            StrideProfConfig::plain(),
+        );
+        for i in 0..50u64 {
+            rt.stride_prof(f, s0, 0, 0x1000 + i * 64);
+            rt.stride_prof(f, s1, 1, 0x9000 + i * 8);
+        }
+        let (_, stride, stats) = rt.finish();
+        assert_eq!(stats.calls, 100);
+        assert_eq!(stride.get(f, s0).unwrap().top1().unwrap().0, 64);
+        assert_eq!(stride.get(f, s1).unwrap().top1().unwrap().0, 8);
+    }
+
+    #[test]
+    fn finish_returns_edge_profile_too() {
+        let m = empty_module();
+        let mut rt = ProfilerRuntime::edge_only(&m);
+        rt.profile_edge(FuncId::new(0), EdgeId::new(0));
+        let (edges, stride, _) = rt.finish();
+        assert_eq!(edges.count(FuncId::new(0), EdgeId::new(0)), 1);
+        assert!(stride.is_empty());
+    }
+}

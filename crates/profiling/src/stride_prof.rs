@@ -1,0 +1,455 @@
+//! The `strideProf` runtime routine of the paper, in its three variants:
+//!
+//! * **plain** (Fig. 6): zero-stride fast path, zero-diff counting, LFU
+//!   insertion of non-zero strides;
+//! * **enhanced** (Fig. 7): `is_same_value` low-bit masking when comparing
+//!   addresses (and strides, via [`LfuConfig::same_value_shift`]);
+//! * **sampled** (Fig. 9): chunk sampling (skip N1 references, profile the
+//!   next N2 — state shared across all loads, like the paper's `static`
+//!   counters) composed with per-load fine sampling (profile 1 of every F
+//!   references; collected strides are `F×` the true stride and are scaled
+//!   back at profile-extraction time, Fig. 8).
+//!
+//! Each call returns a cycle cost so instrumented runs pay realistic
+//! overhead; the cost of the taken path (sampled-out vs. zero-stride vs.
+//! full LFU insertion) differs exactly as the paper's Figs. 20–22 discuss.
+
+use crate::lfu::{Lfu, LfuConfig};
+
+/// Chunk-sampling parameters (Fig. 9): after `skip` references are
+/// skipped, the next `profile` references are profiled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkSampling {
+    /// N1: references skipped per period.
+    pub skip: u64,
+    /// N2: references profiled per period.
+    pub profile: u64,
+}
+
+/// Configuration of the `strideProf` routine.
+#[derive(Clone, Copy, Debug)]
+pub struct StrideProfConfig {
+    /// LFU buffers used for the stride value profile.
+    pub lfu: LfuConfig,
+    /// Use Fig. 7's `is_same_value` when comparing addresses for the
+    /// zero-stride check.
+    pub enhanced: bool,
+    /// Low bits ignored by `is_same_value` (the paper uses 4: half a
+    /// 32-byte cache line... the Itanium L2 line; we keep it configurable).
+    pub same_value_shift: u32,
+    /// Fine sampling factor F (profile 1 of every F references).
+    pub fine_sample: Option<u32>,
+    /// Chunk sampling parameters.
+    pub chunk_sample: Option<ChunkSampling>,
+    /// Cycle cost of reaching the routine at all (call linkage, argument
+    /// setup).
+    pub cost_call: u64,
+    /// Extra cost of a sampled-out early return.
+    pub cost_sampled_out: u64,
+    /// Extra cost of the zero-stride fast path.
+    pub cost_zero_stride: u64,
+    /// Extra cost of the stride/diff bookkeeping before the LFU call.
+    pub cost_stride_path: u64,
+}
+
+impl StrideProfConfig {
+    /// Plain Fig. 6 routine.
+    pub const fn plain() -> Self {
+        StrideProfConfig {
+            lfu: LfuConfig::standard(),
+            enhanced: false,
+            same_value_shift: 4,
+            fine_sample: None,
+            chunk_sample: None,
+            cost_call: 24,
+            cost_sampled_out: 5,
+            cost_zero_stride: 14,
+            cost_stride_path: 24,
+        }
+    }
+
+    /// Enhanced Fig. 7 routine (`is_same_value` on addresses and strides).
+    pub const fn enhanced() -> Self {
+        StrideProfConfig {
+            enhanced: true,
+            lfu: LfuConfig::enhanced(),
+            ..Self::plain()
+        }
+    }
+
+    /// Sampled Fig. 9 routine. The paper's production values are
+    /// N1 = 8 M skipped / N2 = 2 M profiled with F = 4; the defaults here
+    /// keep the same 20% duty cycle and F, scaled down so the simulated
+    /// workloads (whose guarded methods see on the order of 10^5-10^6
+    /// `strideProf` calls rather than SPEC's 10^9) still collect many
+    /// chunks per run, and so short call bursts from low-frequency loops
+    /// straddle at least one profiled window.
+    pub const fn sampled() -> Self {
+        StrideProfConfig {
+            fine_sample: Some(4),
+            // A prime total period (1999) keeps the windows from
+            // phase-locking onto the fixed per-iteration call order of a
+            // deterministic simulation (real runs get this decorrelation
+            // from hardware noise).
+            chunk_sample: Some(ChunkSampling {
+                skip: 1_599,
+                profile: 400,
+            }),
+            ..Self::enhanced()
+        }
+    }
+}
+
+impl Default for StrideProfConfig {
+    fn default() -> Self {
+        Self::plain()
+    }
+}
+
+/// Per-load profiling state (the paper's `prof_data`).
+#[derive(Clone, Debug)]
+pub struct StrideProfData {
+    prev_address: Option<u64>,
+    prev_stride: Option<i64>,
+    /// References whose address matched the previous one (zero stride).
+    pub num_zero_stride: u64,
+    /// Successive non-zero strides whose difference was zero — the phased
+    /// signal (Fig. 4b).
+    pub num_zero_diff: u64,
+    /// Number of stride differences observed.
+    pub total_diffs: u64,
+    lfu: Lfu,
+    /// Fine-sampling countdown (the paper's `number_to_skip`).
+    number_to_skip: u32,
+}
+
+impl StrideProfData {
+    /// Creates empty per-load state.
+    pub fn new(config: &StrideProfConfig) -> Self {
+        StrideProfData {
+            prev_address: None,
+            prev_stride: None,
+            num_zero_stride: 0,
+            num_zero_diff: 0,
+            total_diffs: 0,
+            lfu: Lfu::new(config.lfu),
+            number_to_skip: 0,
+        }
+    }
+
+    /// Top recorded strides `(stride, frequency)`, highest frequency
+    /// first. Strides are as collected — divide by F when fine sampling
+    /// was used (see [`crate::profile::LoadStrideProfile::from_data`]).
+    pub fn top_strides(&mut self) -> Vec<(i64, u64)> {
+        self.lfu.top_values()
+    }
+
+    /// Number of non-zero strides collected (the `total_freq` of Fig. 5).
+    pub fn total_freq(&self) -> u64 {
+        self.lfu.total()
+    }
+}
+
+/// Aggregate counters across all loads, reported in Figs. 21 and 22.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrideProfStats {
+    /// Invocations of the routine (= instrumented load references
+    /// executed under a true guard).
+    pub calls: u64,
+    /// Invocations that survived both sampling filters (Fig. 21).
+    pub processed: u64,
+    /// Invocations that reached the LFU routine (Fig. 22); the gap to
+    /// `processed` is the zero-stride fast path.
+    pub lfu_inserts: u64,
+}
+
+/// The shared `strideProf` engine: global sampling state + statistics.
+/// One instance serves every profiled load of a run (per-load state lives
+/// in [`StrideProfData`]).
+#[derive(Clone, Debug, Default)]
+pub struct StrideProfEngine {
+    /// Chunk-sampling state, shared across loads (the paper's `static
+    /// int number_skipped / number_profiled`).
+    number_skipped: u64,
+    number_profiled: u64,
+    /// Aggregate statistics.
+    pub stats: StrideProfStats,
+}
+
+impl StrideProfEngine {
+    /// Creates a fresh engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The `strideProf(address, prof_data)` routine. Returns the cycle
+    /// cost of the call.
+    pub fn stride_prof(
+        &mut self,
+        config: &StrideProfConfig,
+        data: &mut StrideProfData,
+        address: u64,
+    ) -> u64 {
+        self.stats.calls += 1;
+        let mut cost = config.cost_call;
+
+        // --- chunk sampling (Fig. 9, shared static state) ----------------
+        if let Some(chunk) = config.chunk_sample {
+            if self.number_skipped < chunk.skip {
+                self.number_skipped += 1;
+                return cost + config.cost_sampled_out;
+            }
+            if self.number_profiled == chunk.profile {
+                self.number_profiled = 0;
+                self.number_skipped = 0;
+                return cost + config.cost_sampled_out;
+            }
+            self.number_profiled += 1;
+        }
+
+        // --- fine sampling (Fig. 9, per-load state) -----------------------
+        if let Some(f) = config.fine_sample {
+            if data.number_to_skip > 0 {
+                data.number_to_skip -= 1;
+                return cost + config.cost_sampled_out;
+            }
+            data.number_to_skip = f - 1;
+        }
+
+        self.stats.processed += 1;
+
+        // --- first observation: just remember the address -----------------
+        let Some(prev) = data.prev_address else {
+            data.prev_address = Some(address);
+            return cost + config.cost_zero_stride;
+        };
+
+        // --- zero-stride fast path (bypasses LFU) -------------------------
+        let same = if config.enhanced {
+            (address >> config.same_value_shift) == (prev >> config.same_value_shift)
+        } else {
+            address == prev
+        };
+        if same {
+            data.num_zero_stride += 1;
+            return cost + config.cost_zero_stride;
+        }
+
+        // --- stride and stride-difference bookkeeping ----------------------
+        let stride = address.wrapping_sub(prev) as i64;
+        match data.prev_stride {
+            Some(ps) => {
+                data.total_diffs += 1;
+                if stride == ps {
+                    data.num_zero_diff += 1;
+                } else {
+                    // Fig. 6/7: prev_stride is updated only when the diff is
+                    // non-zero, so it tracks the current phase.
+                    data.prev_stride = Some(stride);
+                }
+            }
+            None => data.prev_stride = Some(stride),
+        }
+        data.prev_address = Some(address);
+        cost += config.cost_stride_path;
+        cost += data.lfu.insert(stride);
+        self.stats.lfu_inserts += 1;
+        cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(config: &StrideProfConfig, addresses: &[u64]) -> (StrideProfData, StrideProfEngine) {
+        let mut engine = StrideProfEngine::new();
+        let mut data = StrideProfData::new(config);
+        for &a in addresses {
+            engine.stride_prof(config, &mut data, a);
+        }
+        (data, engine)
+    }
+
+    /// Addresses walking by a constant stride.
+    fn walk(start: u64, stride: i64, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|i| start.wrapping_add((stride as u64).wrapping_mul(i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn constant_stride_is_discovered() {
+        let cfg = StrideProfConfig::plain();
+        let (mut data, engine) = feed(&cfg, &walk(0x1000, 64, 101));
+        let top = data.top_strides();
+        assert_eq!(top[0], (64, 100));
+        assert_eq!(data.total_freq(), 100);
+        // every stride equals the previous one: all diffs are zero
+        assert_eq!(data.num_zero_diff, 99);
+        assert_eq!(data.total_diffs, 99);
+        assert_eq!(engine.stats.processed, 101);
+        assert_eq!(engine.stats.lfu_inserts, 100);
+    }
+
+    #[test]
+    fn zero_strides_bypass_lfu() {
+        let cfg = StrideProfConfig::plain();
+        let addrs = vec![0x1000; 50];
+        let (data, engine) = feed(&cfg, &addrs);
+        assert_eq!(data.num_zero_stride, 49);
+        assert_eq!(data.total_freq(), 0);
+        assert_eq!(engine.stats.lfu_inserts, 0);
+        assert_eq!(engine.stats.processed, 50);
+    }
+
+    #[test]
+    fn phased_sequence_has_zero_diffs_fig4b() {
+        // Fig. 4: strides 2,2,2,2,2,100,100,100,100,1 (phased) — top
+        // diff is 0 with frequency 7.
+        let cfg = StrideProfConfig::plain();
+        let mut addrs = vec![0u64];
+        for s in [2i64, 2, 2, 2, 2, 100, 100, 100, 100, 1] {
+            let last = *addrs.last().unwrap();
+            addrs.push(last.wrapping_add(s as u64));
+        }
+        let (mut data, _) = feed(&cfg, &addrs);
+        assert_eq!(data.total_freq(), 10);
+        assert_eq!(data.num_zero_diff, 7);
+        assert_eq!(data.total_diffs, 9);
+        let top = data.top_strides();
+        assert_eq!(top[0], (2, 5));
+        assert_eq!(top[1], (100, 4));
+    }
+
+    #[test]
+    fn alternating_sequence_has_no_zero_diffs_fig4c() {
+        // Strides 2,100,2,100,... — same top strides, but no zero diffs.
+        let cfg = StrideProfConfig::plain();
+        let mut addrs = vec![0u64];
+        for s in [2i64, 100, 2, 100, 2, 100, 2, 100, 2, 1] {
+            let last = *addrs.last().unwrap();
+            addrs.push(last.wrapping_add(s as u64));
+        }
+        let (mut data, _) = feed(&cfg, &addrs);
+        assert_eq!(data.num_zero_diff, 0);
+        let top = data.top_strides();
+        assert_eq!(top[0], (2, 5));
+        assert_eq!(top[1], (100, 4));
+    }
+
+    #[test]
+    fn enhanced_treats_nearby_addresses_as_same() {
+        let cfg = StrideProfConfig::enhanced();
+        // drift by 8 bytes: same 16-byte-aligned bucket -> zero stride
+        let (data, _) = feed(&cfg, &[0x1000, 0x1008, 0x1000, 0x1008]);
+        assert_eq!(data.num_zero_stride, 3);
+        assert_eq!(data.total_freq(), 0);
+    }
+
+    #[test]
+    fn plain_does_not_coalesce_nearby_addresses() {
+        let cfg = StrideProfConfig::plain();
+        let (data, _) = feed(&cfg, &[0x1000, 0x1008, 0x1000, 0x1008]);
+        assert_eq!(data.num_zero_stride, 0);
+        assert_eq!(data.total_freq(), 3);
+    }
+
+    #[test]
+    fn fine_sampling_scales_strides_by_f() {
+        // With F = 4, only every 4th reference is profiled, so the
+        // collected stride is 4x the true one (Fig. 8).
+        let cfg = StrideProfConfig {
+            fine_sample: Some(4),
+            ..StrideProfConfig::plain()
+        };
+        let (mut data, engine) = feed(&cfg, &walk(0x1000, 16, 401));
+        assert_eq!(engine.stats.calls, 401);
+        assert_eq!(engine.stats.processed, 101);
+        let top = data.top_strides();
+        assert_eq!(top[0].0, 64); // 4 * 16
+    }
+
+    #[test]
+    fn chunk_sampling_limits_processed_fraction() {
+        let cfg = StrideProfConfig {
+            chunk_sample: Some(ChunkSampling {
+                skip: 800,
+                profile: 200,
+            }),
+            ..StrideProfConfig::plain()
+        };
+        let (_, engine) = feed(&cfg, &walk(0, 8, 10_000));
+        // ~20% duty cycle (one extra call per period resets the counters)
+        let frac = engine.stats.processed as f64 / engine.stats.calls as f64;
+        assert!((0.15..=0.25).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn chunk_state_is_shared_across_loads() {
+        let cfg = StrideProfConfig {
+            chunk_sample: Some(ChunkSampling {
+                skip: 10,
+                profile: 10,
+            }),
+            ..StrideProfConfig::plain()
+        };
+        let mut engine = StrideProfEngine::new();
+        let mut d1 = StrideProfData::new(&cfg);
+        let mut d2 = StrideProfData::new(&cfg);
+        // interleave two loads; the skip budget is consumed jointly
+        for i in 0..10 {
+            engine.stride_prof(&cfg, &mut d1, i * 64);
+            engine.stride_prof(&cfg, &mut d2, i * 128);
+        }
+        assert_eq!(engine.stats.processed, 10); // 20 calls, first 10 skipped
+    }
+
+    #[test]
+    fn sampled_out_calls_cost_less() {
+        let cfg = StrideProfConfig {
+            fine_sample: Some(4),
+            ..StrideProfConfig::plain()
+        };
+        let mut engine = StrideProfEngine::new();
+        let mut data = StrideProfData::new(&cfg);
+        let c_full = engine.stride_prof(&cfg, &mut data, 0x1000);
+        let c_skip = engine.stride_prof(&cfg, &mut data, 0x1040);
+        assert!(c_skip < c_full, "skip {c_skip} vs full {c_full}");
+    }
+
+    #[test]
+    fn prev_stride_not_updated_on_zero_diff() {
+        // Sequence with strides 8, 8, 9: after the two 8s, prev_stride
+        // stays 8, so the 9 is one non-zero diff.
+        let cfg = StrideProfConfig::plain();
+        let (data, _) = feed(&cfg, &[0, 8, 16, 25]);
+        assert_eq!(data.num_zero_diff, 1);
+        assert_eq!(data.total_diffs, 2);
+    }
+
+    #[test]
+    fn multi_stride_phases_report_all_dominants() {
+        // Three phases of strides 16, 24, 32 (the 254.gap shape of §1).
+        let cfg = StrideProfConfig::plain();
+        let mut addrs = vec![0u64];
+        for &s in &[16i64; 40] {
+            let l = *addrs.last().unwrap();
+            addrs.push(l + s as u64);
+        }
+        for &s in &[24i64; 40] {
+            let l = *addrs.last().unwrap();
+            addrs.push(l + s as u64);
+        }
+        for &s in &[32i64; 40] {
+            let l = *addrs.last().unwrap();
+            addrs.push(l + s as u64);
+        }
+        let (mut data, _) = feed(&cfg, &addrs);
+        let top = data.top_strides();
+        let strides: Vec<i64> = top.iter().take(3).map(|&(s, _)| s).collect();
+        assert!(strides.contains(&16) && strides.contains(&24) && strides.contains(&32));
+        // phased: diffs within each phase are zero
+        assert!(data.num_zero_diff >= 3 * 39 - 3);
+    }
+}

@@ -1,0 +1,329 @@
+//! Text serialization of profiles — the feedback-file format a production
+//! compiler would write after the profiling run and read back in the
+//! recompile (the paper's cross-compilation usability discussion in §3.2
+//! is exactly about shipping these files around).
+//!
+//! The format is line-oriented and human-auditable:
+//!
+//! ```text
+//! # edge profile v1
+//! func fn0 counters=25
+//! e3 1234
+//! # stride profile v1
+//! site fn0 i5 total=100 zero=3 zdiff=88 diffs=99 top=64:90,8:10
+//! ```
+
+use crate::freq::EdgeProfile;
+use crate::profile::{LoadStrideProfile, StrideProfile};
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+use stride_ir::{Cfg, EdgeId, FuncId, InstrId, Module};
+
+/// A profile-file parse failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProfileParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ProfileParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "profile line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ProfileParseError {}
+
+fn perr<T>(line: usize, message: impl Into<String>) -> Result<T, ProfileParseError> {
+    Err(ProfileParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_tagged(s: &str, tag: &str, line: usize) -> Result<u64, ProfileParseError> {
+    let Some(v) = s.strip_prefix(tag) else {
+        return perr(line, format!("expected `{tag}` in `{s}`"));
+    };
+    v.parse()
+        .map_err(|_| ProfileParseError {
+            line,
+            message: format!("bad number in `{s}`"),
+        })
+}
+
+fn parse_id(s: &str, prefix: &str, line: usize) -> Result<u32, ProfileParseError> {
+    let Some(v) = s.strip_prefix(prefix) else {
+        return perr(line, format!("expected `{prefix}N` in `{s}`"));
+    };
+    v.parse().map_err(|_| ProfileParseError {
+        line,
+        message: format!("bad id in `{s}`"),
+    })
+}
+
+/// Serializes an edge profile; only non-zero counters are listed.
+pub fn edge_profile_to_text(profile: &EdgeProfile, module: &Module) -> String {
+    let mut out = String::from("# edge profile v1\n");
+    for func in &module.functions {
+        let cfg = Cfg::compute(func);
+        let n_counters = cfg.num_edges() + 1 + cfg.num_blocks();
+        let _ = writeln!(out, "func {} counters={}", func.id, n_counters);
+        for e in 0..n_counters {
+            let c = profile.count(func.id, EdgeId::new(e as u32));
+            if c != 0 {
+                let _ = writeln!(out, "e{e} {c}");
+            }
+        }
+    }
+    out
+}
+
+/// Parses an edge profile written by [`edge_profile_to_text`], validated
+/// against `module` (the counter spaces must match).
+///
+/// # Errors
+///
+/// Returns a [`ProfileParseError`] on malformed text or a counter-space
+/// mismatch with `module`.
+pub fn edge_profile_from_text(
+    text: &str,
+    module: &Module,
+) -> Result<EdgeProfile, ProfileParseError> {
+    let mut profile = EdgeProfile::for_module(module);
+    let mut current: Option<(FuncId, usize)> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("func ") {
+            let (fid_s, counters_s) = rest.split_once(' ').ok_or_else(|| ProfileParseError {
+                line: lineno,
+                message: "malformed func line".into(),
+            })?;
+            let fid = FuncId::new(parse_id(fid_s, "fn", lineno)?);
+            let counters = parse_tagged(counters_s.trim(), "counters=", lineno)? as usize;
+            let Some(func) = module.functions.get(fid.index()) else {
+                return perr(lineno, format!("module has no function {fid}"));
+            };
+            let cfg = Cfg::compute(func);
+            let expected = cfg.num_edges() + 1 + cfg.num_blocks();
+            if counters != expected {
+                return perr(
+                    lineno,
+                    format!(
+                        "counter space mismatch for {fid}: file has {counters}, module needs {expected}"
+                    ),
+                );
+            }
+            current = Some((fid, counters));
+            continue;
+        }
+        if line.starts_with('e') {
+            let Some((fid, counters)) = current else {
+                return perr(lineno, "counter before any `func` line");
+            };
+            let (e_s, c_s) = line.split_once(' ').ok_or_else(|| ProfileParseError {
+                line: lineno,
+                message: "malformed counter line".into(),
+            })?;
+            let e = parse_id(e_s, "e", lineno)? as usize;
+            if e >= counters {
+                return perr(lineno, format!("counter e{e} out of range"));
+            }
+            let c: u64 = c_s.trim().parse().map_err(|_| ProfileParseError {
+                line: lineno,
+                message: format!("bad count `{c_s}`"),
+            })?;
+            profile.set(fid, EdgeId::new(e as u32), c);
+            continue;
+        }
+        return perr(lineno, format!("unrecognized line `{line}`"));
+    }
+    Ok(profile)
+}
+
+/// Serializes a stride profile.
+pub fn stride_profile_to_text(profile: &StrideProfile) -> String {
+    let mut out = String::from("# stride profile v1\n");
+    let mut entries: Vec<(FuncId, InstrId, &LoadStrideProfile)> = profile.iter().collect();
+    entries.sort_by_key(|&(f, s, _)| (f, s));
+    for (func, site, p) in entries {
+        let top = p
+            .top
+            .iter()
+            .map(|(s, c)| format!("{s}:{c}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = writeln!(
+            out,
+            "site {func} {site} total={} zero={} zdiff={} diffs={} top={}",
+            p.total_freq, p.num_zero_stride, p.num_zero_diff, p.total_diffs, top
+        );
+    }
+    out
+}
+
+/// Parses a stride profile written by [`stride_profile_to_text`].
+///
+/// # Errors
+///
+/// Returns a [`ProfileParseError`] on malformed text.
+pub fn stride_profile_from_text(text: &str) -> Result<StrideProfile, ProfileParseError> {
+    let mut profile = StrideProfile::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some(rest) = line.strip_prefix("site ") else {
+            return perr(lineno, format!("unrecognized line `{line}`"));
+        };
+        let fields: Vec<&str> = rest.split_whitespace().collect();
+        if fields.len() != 7 {
+            return perr(lineno, "site line needs 7 fields");
+        }
+        let func = FuncId::new(parse_id(fields[0], "fn", lineno)?);
+        let site = InstrId::new(parse_id(fields[1], "i", lineno)?);
+        let total_freq = parse_tagged(fields[2], "total=", lineno)?;
+        let num_zero_stride = parse_tagged(fields[3], "zero=", lineno)?;
+        let num_zero_diff = parse_tagged(fields[4], "zdiff=", lineno)?;
+        let total_diffs = parse_tagged(fields[5], "diffs=", lineno)?;
+        let top_s = fields[6].strip_prefix("top=").ok_or_else(|| ProfileParseError {
+            line: lineno,
+            message: "missing top=".into(),
+        })?;
+        let mut top = Vec::new();
+        if !top_s.is_empty() {
+            for pair in top_s.split(',') {
+                let (s, c) = pair.split_once(':').ok_or_else(|| ProfileParseError {
+                    line: lineno,
+                    message: format!("bad top entry `{pair}`"),
+                })?;
+                let stride: i64 = s.parse().map_err(|_| ProfileParseError {
+                    line: lineno,
+                    message: format!("bad stride `{s}`"),
+                })?;
+                let count: u64 = c.parse().map_err(|_| ProfileParseError {
+                    line: lineno,
+                    message: format!("bad count `{c}`"),
+                })?;
+                top.push((stride, count));
+            }
+        }
+        profile.insert(
+            func,
+            site,
+            LoadStrideProfile {
+                top,
+                total_freq,
+                num_zero_stride,
+                num_zero_diff,
+                total_diffs,
+            },
+        );
+    }
+    Ok(profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{ModuleBuilder, Operand};
+
+    fn small_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        fb.while_nonzero(p, |fb, p| {
+            fb.load_to(p, p, 0);
+        });
+        fb.ret(Some(Operand::Imm(0)));
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn edge_profile_round_trips() {
+        let m = small_module();
+        let mut p = EdgeProfile::for_module(&m);
+        let f = m.entry;
+        p.increment(f, EdgeId::new(0));
+        for _ in 0..999 {
+            p.increment(f, EdgeId::new(2));
+        }
+        let text = edge_profile_to_text(&p, &m);
+        let q = edge_profile_from_text(&text, &m).expect("parses");
+        let cfg = Cfg::compute(m.function(f));
+        let n = cfg.num_edges() + 1 + cfg.num_blocks();
+        for e in 0..n {
+            assert_eq!(
+                p.count(f, EdgeId::new(e as u32)),
+                q.count(f, EdgeId::new(e as u32)),
+                "counter e{e} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn stride_profile_round_trips() {
+        let mut p = StrideProfile::new();
+        p.insert(
+            FuncId::new(0),
+            InstrId::new(7),
+            LoadStrideProfile {
+                top: vec![(64, 900), (-48, 55)],
+                total_freq: 1000,
+                num_zero_stride: 12,
+                num_zero_diff: 850,
+                total_diffs: 999,
+            },
+        );
+        p.insert(
+            FuncId::new(2),
+            InstrId::new(0),
+            LoadStrideProfile {
+                top: vec![],
+                total_freq: 0,
+                num_zero_stride: 5,
+                num_zero_diff: 0,
+                total_diffs: 0,
+            },
+        );
+        let text = stride_profile_to_text(&p);
+        let q = stride_profile_from_text(&text).expect("parses");
+        assert_eq!(q.len(), 2);
+        assert_eq!(
+            q.get(FuncId::new(0), InstrId::new(7)),
+            p.get(FuncId::new(0), InstrId::new(7))
+        );
+        assert_eq!(
+            q.get(FuncId::new(2), InstrId::new(0)),
+            p.get(FuncId::new(2), InstrId::new(0))
+        );
+    }
+
+    #[test]
+    fn counter_space_mismatch_is_rejected() {
+        let m = small_module();
+        let text = "# edge profile v1\nfunc fn0 counters=3\n";
+        let e = edge_profile_from_text(text, &m).unwrap_err();
+        assert!(e.to_string().contains("mismatch"));
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let e = stride_profile_from_text("# stride profile v1\nnot a site line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let m = small_module();
+        let e = edge_profile_from_text("wat\n", &m).unwrap_err();
+        assert_eq!(e.line, 1);
+    }
+}

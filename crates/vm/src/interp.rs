@@ -1,0 +1,841 @@
+//! The IR interpreter: executes a [`Module`] over simulated memory,
+//! charging cycles from a [`CostModel`], a [`MemoryTiming`] implementation
+//! (the cache hierarchy), and a [`ProfilingRuntime`] (the instrumentation
+//! runtime of the paper).
+
+use crate::cost::CostModel;
+use crate::memory::{layout_globals, Heap, Memory};
+use stride_ir::{
+    BlockId, EdgeId, FuncId, InstrId, Module, Op, Operand, Reg, Terminator,
+};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Whether a memory access is a load or a store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// A demand load.
+    Load,
+    /// A store.
+    Store,
+}
+
+/// Provides memory-system timing: how many cycles an access stalls beyond
+/// its base cost, and what a prefetch does.
+pub trait MemoryTiming {
+    /// Returns stall cycles for a demand access of `addr` at time `cycle`.
+    fn access(&mut self, addr: u64, cycle: u64, kind: AccessKind) -> u64;
+    /// Issues a non-blocking prefetch of `addr` at time `cycle`.
+    fn prefetch(&mut self, addr: u64, cycle: u64);
+}
+
+/// A memory system with no stalls (used for functional tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FlatTiming;
+
+impl MemoryTiming for FlatTiming {
+    fn access(&mut self, _addr: u64, _cycle: u64, _kind: AccessKind) -> u64 {
+        0
+    }
+    fn prefetch(&mut self, _addr: u64, _cycle: u64) {}
+}
+
+/// The profiling runtime invoked by the profiling pseudo-instructions.
+///
+/// Each hook returns the cycle cost of the instruction sequence it stands
+/// for, so instrumented runs pay a realistic overhead (Fig. 20 of the
+/// paper is a ratio of such costs).
+pub trait ProfilingRuntime {
+    /// `ProfileEdge`: increment the counter of `edge` in `func`.
+    fn profile_edge(&mut self, func: FuncId, edge: EdgeId) -> u64;
+    /// `TripCountCheck`: evaluate `(entry_freq >> shift) > prehead_freq`
+    /// from the current counters (Figs. 11–14). Returns the predicate and
+    /// the cost.
+    fn trip_count_check(
+        &mut self,
+        func: FuncId,
+        incoming: &[EdgeId],
+        outgoing: &[EdgeId],
+        shift: u32,
+    ) -> (bool, u64);
+    /// `ProfileStride`: feed `addr` to the `strideProf` routine for load
+    /// `site` (Figs. 6/7/9). Returns the cost.
+    fn stride_prof(&mut self, func: FuncId, site: InstrId, slot: u32, addr: u64) -> u64;
+}
+
+/// A runtime that ignores every hook (used for uninstrumented runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullRuntime;
+
+impl ProfilingRuntime for NullRuntime {
+    fn profile_edge(&mut self, _func: FuncId, _edge: EdgeId) -> u64 {
+        0
+    }
+    fn trip_count_check(
+        &mut self,
+        _func: FuncId,
+        _incoming: &[EdgeId],
+        _outgoing: &[EdgeId],
+        _shift: u32,
+    ) -> (bool, u64) {
+        (false, 0)
+    }
+    fn stride_prof(&mut self, _func: FuncId, _site: InstrId, _slot: u32, _addr: u64) -> u64 {
+        0
+    }
+}
+
+/// VM configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct VmConfig {
+    /// Cycle costs per opcode.
+    pub cost: CostModel,
+    /// Maximum dynamic instructions before aborting with
+    /// [`VmError::OutOfFuel`].
+    pub fuel: u64,
+    /// Maximum call depth.
+    pub max_call_depth: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            cost: CostModel::itanium(),
+            fuel: 4_000_000_000,
+            max_call_depth: 1 << 14,
+        }
+    }
+}
+
+/// Execution failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// The instruction budget was exhausted.
+    OutOfFuel {
+        /// Instructions executed before aborting.
+        executed: u64,
+    },
+    /// The call stack exceeded the configured depth.
+    CallDepthExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::OutOfFuel { executed } => {
+                write!(f, "instruction budget exhausted after {executed} instructions")
+            }
+            VmError::CallDepthExceeded { limit } => {
+                write!(f, "call depth exceeded limit of {limit}")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+/// Everything a run produced: the return value, cycle accounting, and
+/// per-load-site dynamic reference counts.
+#[derive(Clone, Debug, Default)]
+pub struct RunResult {
+    /// Value returned by the entry function, if any.
+    pub return_value: Option<i64>,
+    /// Total simulated cycles (base + memory stalls + profiling runtime).
+    pub cycles: u64,
+    /// Dynamic instruction count (including terminators).
+    pub instructions: u64,
+    /// Dynamic load count.
+    pub loads: u64,
+    /// Dynamic store count.
+    pub stores: u64,
+    /// Dynamic prefetch count (predicated-off prefetches excluded).
+    pub prefetches: u64,
+    /// Cycles stalled in the memory hierarchy.
+    pub mem_stall_cycles: u64,
+    /// Cycles spent in the profiling runtime.
+    pub profiling_cycles: u64,
+    /// Dynamic execution count per load site: `load_site_counts[func][instr]`.
+    pub load_site_counts: Vec<Vec<u64>>,
+}
+
+impl RunResult {
+    /// Dynamic count for one load site.
+    pub fn load_count(&self, func: FuncId, site: InstrId) -> u64 {
+        self.load_site_counts
+            .get(func.index())
+            .and_then(|v| v.get(site.index()))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+struct Frame {
+    func: FuncId,
+    block: BlockId,
+    idx: usize,
+    regs: Vec<i64>,
+    ret_reg: Option<Reg>,
+}
+
+/// The virtual machine. Owns the simulated memory and heap; borrows the
+/// module, timing model and profiling runtime for the duration of a run.
+pub struct Vm<'a> {
+    module: &'a Module,
+    config: VmConfig,
+    /// Simulated memory, exposed so harnesses can pre-initialize data.
+    pub mem: Memory,
+    /// Simulated heap.
+    pub heap: Heap,
+    global_bases: Vec<u64>,
+    alloc_sizes: HashMap<u64, u64>,
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM for `module` with globals laid out and zeroed.
+    pub fn new(module: &'a Module, config: VmConfig) -> Self {
+        let sizes: Vec<u64> = module.globals.iter().map(|g| g.size).collect();
+        let global_bases = layout_globals(&sizes);
+        Vm {
+            module,
+            config,
+            mem: Memory::new(),
+            heap: Heap::new(),
+            global_bases,
+            alloc_sizes: HashMap::new(),
+        }
+    }
+
+    /// Base address of a global.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the global id is out of range.
+    pub fn global_base(&self, g: stride_ir::GlobalId) -> u64 {
+        self.global_bases[g.index()]
+    }
+
+    /// Runs the module entry function with `args`, using `timing` for
+    /// memory-system delays and `profiling` for instrumentation hooks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfFuel`] or [`VmError::CallDepthExceeded`].
+    pub fn run(
+        &mut self,
+        args: &[i64],
+        timing: &mut dyn MemoryTiming,
+        profiling: &mut dyn ProfilingRuntime,
+    ) -> Result<RunResult, VmError> {
+        let entry = self.module.entry;
+        self.run_function(entry, args, timing, profiling)
+    }
+
+    /// Runs an arbitrary function (used by unit tests and examples).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfFuel`] or [`VmError::CallDepthExceeded`].
+    pub fn run_function(
+        &mut self,
+        func: FuncId,
+        args: &[i64],
+        timing: &mut dyn MemoryTiming,
+        profiling: &mut dyn ProfilingRuntime,
+    ) -> Result<RunResult, VmError> {
+        let mut result = RunResult {
+            load_site_counts: self
+                .module
+                .functions
+                .iter()
+                .map(|f| vec![0u64; f.next_instr as usize])
+                .collect(),
+            ..RunResult::default()
+        };
+
+        let f = self.module.function(func);
+        assert_eq!(
+            args.len(),
+            f.num_params as usize,
+            "entry function {} expects {} arguments",
+            f.name,
+            f.num_params
+        );
+        let mut regs = vec![0i64; f.num_regs as usize];
+        regs[..args.len()].copy_from_slice(args);
+        let mut stack = vec![Frame {
+            func,
+            block: f.entry,
+            idx: 0,
+            regs,
+            ret_reg: None,
+        }];
+
+        let cost = self.config.cost;
+        let fuel = self.config.fuel;
+
+        'outer: loop {
+            let depth = stack.len();
+            let Some(frame) = stack.last_mut() else { break };
+            let function = &self.module.functions[frame.func.index()];
+            let block = &function.blocks[frame.block.index()];
+
+            if frame.idx < block.instrs.len() {
+                let instr = &block.instrs[frame.idx];
+                frame.idx += 1;
+                result.instructions += 1;
+                if result.instructions > fuel {
+                    return Err(VmError::OutOfFuel {
+                        executed: result.instructions,
+                    });
+                }
+
+                // Qualifying predicate: a squashed instruction still costs
+                // its issue slot on an in-order machine? On Itanium a
+                // predicated-off instruction occupies the slot but
+                // completes without effect; charge 1 cycle.
+                if let Some(p) = instr.pred {
+                    if frame.regs[p.index()] == 0 {
+                        result.cycles += 1;
+                        continue;
+                    }
+                }
+
+                result.cycles += cost.base_cost(&instr.op);
+                let regs = &mut frame.regs;
+                let eval = |regs: &[i64], o: Operand| -> i64 {
+                    match o {
+                        Operand::Reg(r) => regs[r.index()],
+                        Operand::Imm(v) => v,
+                    }
+                };
+
+                match &instr.op {
+                    Op::Const { dst, value } => regs[dst.index()] = *value,
+                    Op::Mov { dst, src } => regs[dst.index()] = eval(regs, *src),
+                    Op::Bin { dst, op, lhs, rhs } => {
+                        regs[dst.index()] = op.eval(eval(regs, *lhs), eval(regs, *rhs));
+                    }
+                    Op::Cmp { dst, op, lhs, rhs } => {
+                        regs[dst.index()] = op.eval(eval(regs, *lhs), eval(regs, *rhs));
+                    }
+                    Op::Select {
+                        dst,
+                        cond,
+                        on_true,
+                        on_false,
+                    } => {
+                        regs[dst.index()] = if eval(regs, *cond) != 0 {
+                            eval(regs, *on_true)
+                        } else {
+                            eval(regs, *on_false)
+                        };
+                    }
+                    Op::Load { dst, addr, offset } => {
+                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                        let stall = timing.access(a, result.cycles, AccessKind::Load);
+                        result.cycles += stall;
+                        result.mem_stall_cycles += stall;
+                        result.loads += 1;
+                        result.load_site_counts[frame.func.index()][instr.id.index()] += 1;
+                        regs[dst.index()] = self.mem.read_u64(a) as i64;
+                    }
+                    Op::Store {
+                        value,
+                        addr,
+                        offset,
+                    } => {
+                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                        let stall = timing.access(a, result.cycles, AccessKind::Store);
+                        result.cycles += stall;
+                        result.mem_stall_cycles += stall;
+                        result.stores += 1;
+                        let v = eval(regs, *value) as u64;
+                        self.mem.write_u64(a, v);
+                    }
+                    Op::Prefetch { addr, offset } => {
+                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                        timing.prefetch(a, result.cycles);
+                        result.prefetches += 1;
+                    }
+                    Op::Alloc { dst, size } => {
+                        let sz = eval(regs, *size).max(0) as u64;
+                        let a = self.heap.alloc(sz);
+                        self.alloc_sizes.insert(a, sz);
+                        regs[dst.index()] = a as i64;
+                    }
+                    Op::Free { addr } => {
+                        let a = eval(regs, *addr) as u64;
+                        if let Some(sz) = self.alloc_sizes.remove(&a) {
+                            self.heap.free(a, sz);
+                        }
+                    }
+                    Op::GlobalAddr { dst, global } => {
+                        regs[dst.index()] = self.global_bases[global.index()] as i64;
+                    }
+                    Op::Call { dst, callee, args } => {
+                        if depth >= self.config.max_call_depth {
+                            return Err(VmError::CallDepthExceeded {
+                                limit: self.config.max_call_depth,
+                            });
+                        }
+                        let cf = &self.module.functions[callee.index()];
+                        let mut new_regs = vec![0i64; cf.num_regs as usize];
+                        for (i, a) in args.iter().enumerate() {
+                            new_regs[i] = eval(regs, *a);
+                        }
+                        let new_frame = Frame {
+                            func: *callee,
+                            block: cf.entry,
+                            idx: 0,
+                            regs: new_regs,
+                            ret_reg: *dst,
+                        };
+                        stack.push(new_frame);
+                        continue 'outer;
+                    }
+                    Op::ProfileEdge { edge } => {
+                        let c = profiling.profile_edge(frame.func, *edge);
+                        result.cycles += c;
+                        result.profiling_cycles += c;
+                    }
+                    Op::TripCountCheck {
+                        dst,
+                        incoming,
+                        outgoing,
+                        shift,
+                        ..
+                    } => {
+                        let (pred, c) =
+                            profiling.trip_count_check(frame.func, incoming, outgoing, *shift);
+                        result.cycles += c;
+                        result.profiling_cycles += c;
+                        regs[dst.index()] = pred as i64;
+                    }
+                    Op::ProfileStride {
+                        site,
+                        addr,
+                        offset,
+                        slot,
+                    } => {
+                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                        let c = profiling.stride_prof(frame.func, *site, *slot, a);
+                        result.cycles += c;
+                        result.profiling_cycles += c;
+                    }
+                }
+            } else {
+                // Terminator.
+                result.instructions += 1;
+                if result.instructions > fuel {
+                    return Err(VmError::OutOfFuel {
+                        executed: result.instructions,
+                    });
+                }
+                result.cycles += cost.branch;
+                match &block.term {
+                    Terminator::Br { target } => {
+                        frame.block = *target;
+                        frame.idx = 0;
+                    }
+                    Terminator::CondBr { cond, then_, else_ } => {
+                        let c = match cond {
+                            Operand::Reg(r) => frame.regs[r.index()],
+                            Operand::Imm(v) => *v,
+                        };
+                        frame.block = if c != 0 { *then_ } else { *else_ };
+                        frame.idx = 0;
+                    }
+                    Terminator::Ret { value } => {
+                        let v = value.map(|o| match o {
+                            Operand::Reg(r) => frame.regs[r.index()],
+                            Operand::Imm(v) => v,
+                        });
+                        let ret_reg = frame.ret_reg;
+                        stack.pop();
+                        match stack.last_mut() {
+                            Some(caller) => {
+                                if let (Some(dst), Some(v)) = (ret_reg, v) {
+                                    caller.regs[dst.index()] = v;
+                                }
+                            }
+                            None => {
+                                result.return_value = v;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{BinOp, CmpOp, ModuleBuilder, Operand};
+
+    fn run_entry(module: &Module, args: &[i64]) -> RunResult {
+        let mut vm = Vm::new(module, VmConfig::default());
+        vm.run(args, &mut FlatTiming, &mut NullRuntime).expect("run")
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 2);
+        let mut fb = mb.function(f);
+        let s = fb.add(fb.param(0), fb.param(1));
+        let d = fb.mul(s, 10i64);
+        fb.ret(Some(Operand::Reg(d)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run_entry(&m, &[3, 4]).return_value, Some(70));
+    }
+
+    #[test]
+    fn counted_loop_sums() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let sum = fb.const_(0);
+        fb.counted_loop(fb.param(0), |fb, i| {
+            fb.bin_to(sum, BinOp::Add, sum, i);
+        });
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run_entry(&m, &[10]).return_value, Some(45));
+    }
+
+    #[test]
+    fn memory_round_trip_and_counters() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("buf", 64);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        fb.store(41i64, base, 8);
+        let (v, _) = fb.load(base, 8);
+        let w = fb.add(v, 1i64);
+        fb.ret(Some(Operand::Reg(w)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        let r = run_entry(&m, &[]);
+        assert_eq!(r.return_value, Some(42));
+        assert_eq!(r.loads, 1);
+        assert_eq!(r.stores, 1);
+    }
+
+    #[test]
+    fn alloc_produces_usable_sequential_memory() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let a = fb.alloc(16i64);
+        let b = fb.alloc(16i64);
+        fb.store(7i64, a, 0);
+        fb.store(8i64, b, 0);
+        let (va, _) = fb.load(a, 0);
+        let (vb, _) = fb.load(b, 0);
+        let diff = fb.sub(b, a);
+        let s = fb.add(va, vb);
+        let out = fb.add(s, diff);
+        fb.ret(Some(Operand::Reg(out)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        // 7 + 8 + 16-byte stride
+        assert_eq!(run_entry(&m, &[]).return_value, Some(31));
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return() {
+        let mut mb = ModuleBuilder::new();
+        let sq = mb.declare_function("square", 1);
+        {
+            let mut fb = mb.function(sq);
+            let x = fb.param(0);
+            let y = fb.mul(x, x);
+            fb.ret(Some(Operand::Reg(y)));
+        }
+        let f = mb.declare_function("main", 1);
+        {
+            let mut fb = mb.function(f);
+            let r = fb.call(sq, &[Operand::Reg(fb.param(0))]);
+            fb.ret(Some(Operand::Reg(r)));
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run_entry(&m, &[9]).return_value, Some(81));
+    }
+
+    #[test]
+    fn recursion_counts_depth() {
+        // f(n) = n <= 0 ? 0 : n + f(n-1)
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("tri", 1);
+        {
+            let mut fb = mb.function(f);
+            let n = fb.param(0);
+            let base = fb.new_block();
+            let rec = fb.new_block();
+            let c = fb.cmp(CmpOp::Le, n, 0i64);
+            fb.cond_br(c, base, rec);
+            fb.switch_to(base);
+            fb.ret(Some(Operand::Imm(0)));
+            fb.switch_to(rec);
+            let n1 = fb.sub(n, 1i64);
+            let r = fb.call(f, &[Operand::Reg(n1)]);
+            let s = fb.add(n, r);
+            fb.ret(Some(Operand::Reg(s)));
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run_entry(&m, &[100]).return_value, Some(5050));
+    }
+
+    #[test]
+    fn call_depth_limit_enforced() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("inf", 0);
+        {
+            let mut fb = mb.function(f);
+            fb.call_void(f, &[]);
+            fb.ret(None);
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut vm = Vm::new(
+            &m,
+            VmConfig {
+                max_call_depth: 64,
+                ..VmConfig::default()
+            },
+        );
+        let err = vm.run(&[], &mut FlatTiming, &mut NullRuntime).unwrap_err();
+        assert_eq!(err, VmError::CallDepthExceeded { limit: 64 });
+    }
+
+    #[test]
+    fn fuel_limit_enforced() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("spin", 0);
+        {
+            let mut fb = mb.function(f);
+            let b = fb.new_block();
+            fb.br(b);
+            fb.switch_to(b);
+            fb.br(b);
+        }
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut vm = Vm::new(
+            &m,
+            VmConfig {
+                fuel: 1000,
+                ..VmConfig::default()
+            },
+        );
+        let err = vm.run(&[], &mut FlatTiming, &mut NullRuntime).unwrap_err();
+        assert!(matches!(err, VmError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn predicated_off_instruction_is_squashed() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let p0 = fb.const_(0);
+        let p1 = fb.const_(1);
+        let out = fb.const_(5);
+        fb.emit_pred(
+            p0,
+            Op::Mov {
+                dst: out,
+                src: Operand::Imm(100),
+            },
+        );
+        fb.emit_pred(
+            p1,
+            Op::Bin {
+                dst: out,
+                op: BinOp::Add,
+                lhs: Operand::Reg(out),
+                rhs: Operand::Imm(1),
+            },
+        );
+        fb.ret(Some(Operand::Reg(out)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run_entry(&m, &[]).return_value, Some(6));
+    }
+
+    #[test]
+    fn predicated_prefetch_not_counted_when_off() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let p0 = fb.const_(0);
+        let a = fb.const_(0x2000_0000);
+        fb.emit_pred(
+            p0,
+            Op::Prefetch {
+                addr: Operand::Reg(a),
+                offset: 0,
+            },
+        );
+        fb.prefetch(a, 64);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let r = run_entry(&m, &[]);
+        assert_eq!(r.prefetches, 1);
+    }
+
+    #[test]
+    fn load_site_counts_are_per_site() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("buf", 1024);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let mut hot_site = None;
+        fb.counted_loop(10i64, |fb, i| {
+            let off = fb.mul(i, 8i64);
+            let a = fb.add(base, off);
+            let (_, site) = fb.load(a, 0);
+            hot_site = Some(site);
+        });
+        let (_, cold_site) = fb.load(base, 0);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let r = run_entry(&m, &[]);
+        assert_eq!(r.load_count(f, hot_site.unwrap()), 10);
+        assert_eq!(r.load_count(f, cold_site), 1);
+        assert_eq!(r.loads, 11);
+    }
+
+    #[test]
+    fn profiling_hooks_receive_addresses_and_charge_cycles() {
+        #[derive(Default)]
+        struct Recorder {
+            edges: Vec<(FuncId, EdgeId)>,
+            strides: Vec<(InstrId, u64)>,
+        }
+        impl ProfilingRuntime for Recorder {
+            fn profile_edge(&mut self, func: FuncId, edge: EdgeId) -> u64 {
+                self.edges.push((func, edge));
+                2
+            }
+            fn trip_count_check(
+                &mut self,
+                _f: FuncId,
+                _i: &[EdgeId],
+                _o: &[EdgeId],
+                _s: u32,
+            ) -> (bool, u64) {
+                (true, 4)
+            }
+            fn stride_prof(&mut self, _f: FuncId, site: InstrId, _slot: u32, addr: u64) -> u64 {
+                self.strides.push((site, addr));
+                10
+            }
+        }
+
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("buf", 64);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let (_, site) = fb.load(base, 16);
+        // hand-emit profiling pseudo-instructions
+        let pr = fb.new_reg();
+        let one = fb.const_(1);
+        fb.emit_pred(
+            one,
+            Op::ProfileEdge {
+                edge: EdgeId::new(3),
+            },
+        );
+        fb.emit_pred(
+            one,
+            Op::TripCountCheck {
+                dst: pr,
+                header: BlockId::new(0),
+                incoming: vec![],
+                outgoing: vec![],
+                shift: 7,
+            },
+        );
+        fb.emit_pred(
+            pr,
+            Op::ProfileStride {
+                site,
+                addr: Operand::Reg(base),
+                offset: 16,
+                slot: 0,
+            },
+        );
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let mut rec = Recorder::default();
+        let r = vm.run(&[], &mut FlatTiming, &mut rec).expect("run");
+        assert_eq!(rec.edges, vec![(f, EdgeId::new(3))]);
+        assert_eq!(rec.strides.len(), 1);
+        assert_eq!(rec.strides[0].0, site);
+        // the stride hook saw the load's address: global base + 16
+        let vm2 = Vm::new(&m, VmConfig::default());
+        let gb = vm2.global_base(g);
+        assert_eq!(rec.strides[0].1, gb + 16);
+        assert_eq!(r.profiling_cycles, 2 + 4 + 10);
+    }
+
+    #[test]
+    fn memory_stalls_accumulate() {
+        struct TenCycle;
+        impl MemoryTiming for TenCycle {
+            fn access(&mut self, _a: u64, _c: u64, _k: AccessKind) -> u64 {
+                10
+            }
+            fn prefetch(&mut self, _a: u64, _c: u64) {}
+        }
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("buf", 64);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let _ = fb.load(base, 0);
+        let _ = fb.load(base, 8);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let r = vm.run(&[], &mut TenCycle, &mut NullRuntime).expect("run");
+        assert_eq!(r.mem_stall_cycles, 20);
+        assert!(r.cycles >= 20);
+    }
+
+    #[test]
+    fn free_and_reuse_through_vm() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let a = fb.alloc(32i64);
+        fb.free(a);
+        let b = fb.alloc(32i64);
+        let same = fb.cmp(CmpOp::Eq, a, b);
+        fb.ret(Some(Operand::Reg(same)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run_entry(&m, &[]).return_value, Some(1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Sparse simulated memory and heap allocator.
+//!
+//! The address space is a flat 64-bit space backed by 4 KiB pages that
+//! materialize on first touch. Reads of untouched memory return zero.
+//!
+//! The allocator matters more than it looks: the paper traces the stride
+//! patterns of irregular programs back to *allocation order* ("the linked
+//! elements and the strings are allocated in the order that is
+//! referenced", §1). [`Heap`] is a bump allocator with per-size free
+//! lists, so workloads that allocate a list in traversal order produce
+//! constant strides, while workloads that churn the free lists produce
+//! irregular address sequences — exactly the behaviours the profiler must
+//! tell apart.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Base address of the global data region.
+pub const GLOBAL_BASE: u64 = 0x0000_1000;
+/// Base address of the simulated heap.
+pub const HEAP_BASE: u64 = 0x1000_0000;
+
+/// Sparse byte-addressable memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads one little-endian `u64`, returning 0 for untouched bytes.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        let mut bytes = [0u8; 8];
+        self.read_bytes(addr, &mut bytes);
+        u64::from_le_bytes(bytes)
+    }
+
+    /// Writes one little-endian `u64`.
+    pub fn write_u64(&mut self, addr: u64, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) {
+        let mut i = 0;
+        while i < buf.len() {
+            let a = addr.wrapping_add(i as u64);
+            let page = a >> PAGE_SHIFT;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let take = (PAGE_SIZE - off).min(buf.len() - i);
+            match self.pages.get(&page) {
+                Some(p) => buf[i..i + take].copy_from_slice(&p[off..off + take]),
+                None => buf[i..i + take].fill(0),
+            }
+            i += take;
+        }
+    }
+
+    /// Writes all of `bytes` starting at `addr`.
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) {
+        let mut i = 0;
+        while i < bytes.len() {
+            let a = addr.wrapping_add(i as u64);
+            let page = a >> PAGE_SHIFT;
+            let off = (a as usize) & (PAGE_SIZE - 1);
+            let take = (PAGE_SIZE - off).min(bytes.len() - i);
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            p[off..off + take].copy_from_slice(&bytes[i..i + take]);
+            i += take;
+        }
+    }
+
+    /// Number of materialized pages (for tests and memory accounting).
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// Bump allocator with per-size free lists over a [`Memory`].
+#[derive(Debug)]
+pub struct Heap {
+    next: u64,
+    /// LIFO free lists keyed by rounded allocation size.
+    free_lists: HashMap<u64, Vec<u64>>,
+    allocated: u64,
+}
+
+impl Heap {
+    /// Allocation granule and minimum alignment in bytes.
+    pub const ALIGN: u64 = 16;
+
+    /// Creates a heap starting at [`HEAP_BASE`].
+    pub fn new() -> Self {
+        Self {
+            next: HEAP_BASE,
+            free_lists: HashMap::new(),
+            allocated: 0,
+        }
+    }
+
+    fn round(size: u64) -> u64 {
+        size.max(1).div_ceil(Self::ALIGN) * Self::ALIGN
+    }
+
+    /// Allocates `size` bytes (rounded up to the 16-byte granule),
+    /// preferring the most recently freed block of the same rounded size —
+    /// the LIFO reuse typical of malloc implementations, which is what
+    /// breaks stride patterns after churn.
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        let rounded = Self::round(size);
+        self.allocated += rounded;
+        if let Some(list) = self.free_lists.get_mut(&rounded) {
+            if let Some(addr) = list.pop() {
+                return addr;
+            }
+        }
+        let addr = self.next;
+        self.next += rounded;
+        addr
+    }
+
+    /// Returns a block of `size` bytes at `addr` to the free list.
+    ///
+    /// The caller must pass the same size used at allocation; the heap
+    /// keeps no per-block metadata (the VM's `Free` instruction records
+    /// sizes on the side).
+    pub fn free(&mut self, addr: u64, size: u64) {
+        let rounded = Self::round(size);
+        self.allocated = self.allocated.saturating_sub(rounded);
+        self.free_lists.entry(rounded).or_default().push(addr);
+    }
+
+    /// Current bump pointer (exclusive end of the ever-touched heap).
+    pub fn high_water(&self) -> u64 {
+        self.next
+    }
+
+    /// Bytes currently allocated.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.allocated
+    }
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Assigns addresses to a module's globals: sequential, 64-byte aligned,
+/// starting at [`GLOBAL_BASE`]. Returns the base address of each global.
+pub fn layout_globals(sizes: &[u64]) -> Vec<u64> {
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut next = GLOBAL_BASE;
+    for &size in sizes {
+        out.push(next);
+        let rounded = size.max(1).div_ceil(64) * 64;
+        next += rounded;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_reads_zero() {
+        let mem = Memory::new();
+        assert_eq!(mem.read_u64(0xdead_beef), 0);
+        assert_eq!(mem.page_count(), 0);
+    }
+
+    #[test]
+    fn read_back_written_value() {
+        let mut mem = Memory::new();
+        mem.write_u64(64, 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.read_u64(64), 0x0123_4567_89ab_cdef);
+        assert_eq!(mem.page_count(), 1);
+    }
+
+    #[test]
+    fn cross_page_access() {
+        let mut mem = Memory::new();
+        let addr = (1 << PAGE_SHIFT) - 4; // straddles first page boundary
+        mem.write_u64(addr, u64::MAX);
+        assert_eq!(mem.read_u64(addr), u64::MAX);
+        assert_eq!(mem.page_count(), 2);
+        // neighbors unaffected
+        assert_eq!(mem.read_u64(addr - 8), 0);
+    }
+
+    #[test]
+    fn bump_allocation_is_sequential() {
+        let mut h = Heap::new();
+        let a = h.alloc(24); // rounds to 32
+        let b = h.alloc(24);
+        let c = h.alloc(24);
+        assert_eq!(b - a, 32);
+        assert_eq!(c - b, 32);
+        assert_eq!(h.allocated_bytes(), 96);
+    }
+
+    #[test]
+    fn free_list_reuse_is_lifo() {
+        let mut h = Heap::new();
+        let a = h.alloc(16);
+        let b = h.alloc(16);
+        h.free(a, 16);
+        h.free(b, 16);
+        assert_eq!(h.alloc(16), b); // most recently freed first
+        assert_eq!(h.alloc(16), a);
+        let c = h.alloc(16);
+        assert!(c > b); // list empty again: bump
+    }
+
+    #[test]
+    fn different_size_classes_do_not_mix() {
+        let mut h = Heap::new();
+        let a = h.alloc(16);
+        h.free(a, 16);
+        let b = h.alloc(32);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_size_allocation_still_unique() {
+        let mut h = Heap::new();
+        let a = h.alloc(0);
+        let b = h.alloc(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn global_layout_is_sequential_and_aligned() {
+        let bases = layout_globals(&[100, 64, 1]);
+        assert_eq!(bases[0], GLOBAL_BASE);
+        assert_eq!(bases[1], GLOBAL_BASE + 128);
+        assert_eq!(bases[2], GLOBAL_BASE + 192);
+        assert!(bases.iter().all(|b| b % 64 == 0));
+    }
+
+    #[test]
+    fn globals_below_heap() {
+        let bases = layout_globals(&[1 << 20]);
+        assert!(bases[0] + (1 << 20) < HEAP_BASE);
+    }
+}

@@ -1,0 +1,202 @@
+//! Memory-trace capture: a [`MemoryTiming`] adapter that records the
+//! address stream while delegating timing to an inner model.
+//!
+//! Used for debugging workloads (what does this loop's address stream
+//! really look like?) and by tests that validate stride characteristics
+//! against the profilers.
+
+use crate::interp::{AccessKind, MemoryTiming};
+use std::collections::HashSet;
+
+/// One recorded memory event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceEvent {
+    /// Byte address accessed (or prefetched).
+    pub addr: u64,
+    /// Simulated cycle at which the access was issued.
+    pub cycle: u64,
+    /// Load, store, or prefetch.
+    pub kind: TraceKind,
+}
+
+/// Kind of a traced event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TraceKind {
+    /// Demand load.
+    Load,
+    /// Store.
+    Store,
+    /// Software prefetch.
+    Prefetch,
+}
+
+/// Wraps a [`MemoryTiming`] and records every event it sees.
+///
+/// Capacity-bounded: beyond the capacity given to [`Tracer::new`],
+/// recording stops
+/// (the counters keep counting) so a runaway loop cannot exhaust memory.
+#[derive(Debug)]
+pub struct Tracer<T> {
+    inner: T,
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl<T: MemoryTiming> Tracer<T> {
+    /// Wraps `inner`, recording up to `capacity` events.
+    pub fn new(inner: T, capacity: usize) -> Self {
+        Tracer {
+            inner,
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// The recorded events, in issue order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events that did not fit in `capacity`.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The wrapped timing model.
+    pub fn into_inner(self) -> T {
+        self.inner
+    }
+
+    /// Addresses of the recorded demand loads, in order.
+    pub fn load_addresses(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == TraceKind::Load)
+            .map(|e| e.addr)
+            .collect()
+    }
+
+    /// Number of distinct cache lines touched by recorded events.
+    pub fn unique_lines(&self, line_size: u64) -> usize {
+        let lines: HashSet<u64> = self.events.iter().map(|e| e.addr / line_size).collect();
+        lines.len()
+    }
+
+    /// Byte extent `[min, max]` of the recorded addresses, if any.
+    pub fn footprint(&self) -> Option<(u64, u64)> {
+        let min = self.events.iter().map(|e| e.addr).min()?;
+        let max = self.events.iter().map(|e| e.addr).max()?;
+        Some((min, max))
+    }
+
+    fn record(&mut self, addr: u64, cycle: u64, kind: TraceKind) {
+        if self.events.len() < self.capacity {
+            self.events.push(TraceEvent { addr, cycle, kind });
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+impl<T: MemoryTiming> MemoryTiming for Tracer<T> {
+    fn access(&mut self, addr: u64, cycle: u64, kind: AccessKind) -> u64 {
+        let k = match kind {
+            AccessKind::Load => TraceKind::Load,
+            AccessKind::Store => TraceKind::Store,
+        };
+        self.record(addr, cycle, k);
+        self.inner.access(addr, cycle, kind)
+    }
+
+    fn prefetch(&mut self, addr: u64, cycle: u64) {
+        self.record(addr, cycle, TraceKind::Prefetch);
+        self.inner.prefetch(addr, cycle);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::{FlatTiming, NullRuntime, Vm, VmConfig};
+    use stride_ir::{BinOp, ModuleBuilder};
+
+    fn strided_module() -> stride_ir::Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 4096);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let p = fb.mov(base);
+        fb.counted_loop(16i64, |fb, _| {
+            let _ = fb.load(p, 0);
+            fb.prefetch(p, 128);
+            fb.bin_to(p, BinOp::Add, p, 32i64);
+        });
+        fb.store(7i64, base, 0);
+        fb.ret(None);
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn records_loads_stores_prefetches_in_order() {
+        let m = strided_module();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let mut tracer = Tracer::new(FlatTiming, 1024);
+        vm.run(&[], &mut tracer, &mut NullRuntime).expect("run");
+        let loads = tracer.load_addresses();
+        assert_eq!(loads.len(), 16);
+        // the load addresses stride by 32
+        for pair in loads.windows(2) {
+            assert_eq!(pair[1] - pair[0], 32);
+        }
+        let prefetches = tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Prefetch)
+            .count();
+        assert_eq!(prefetches, 16);
+        let stores = tracer
+            .events()
+            .iter()
+            .filter(|e| e.kind == TraceKind::Store)
+            .count();
+        assert_eq!(stores, 1);
+        assert_eq!(tracer.dropped(), 0);
+    }
+
+    #[test]
+    fn capacity_bounds_recording() {
+        let m = strided_module();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let mut tracer = Tracer::new(FlatTiming, 5);
+        vm.run(&[], &mut tracer, &mut NullRuntime).expect("run");
+        assert_eq!(tracer.events().len(), 5);
+        assert_eq!(tracer.dropped(), 33 - 5); // 16 loads + 16 prefetches + 1 store
+    }
+
+    #[test]
+    fn footprint_and_unique_lines() {
+        let m = strided_module();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let mut tracer = Tracer::new(FlatTiming, 1024);
+        vm.run(&[], &mut tracer, &mut NullRuntime).expect("run");
+        let (min, max) = tracer.footprint().expect("nonempty");
+        // loads span 15*32 bytes; prefetches reach 128 beyond the last load
+        assert_eq!(max - min, 15 * 32 + 128);
+        assert!(tracer.unique_lines(64) >= 8);
+    }
+
+    #[test]
+    fn cycles_are_monotone() {
+        let m = strided_module();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let mut tracer = Tracer::new(FlatTiming, 1024);
+        vm.run(&[], &mut tracer, &mut NullRuntime).expect("run");
+        for pair in tracer.events().windows(2) {
+            assert!(pair[0].cycle <= pair[1].cycle);
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Shared IR-building blocks for the synthetic benchmarks: a deterministic
+//! in-IR pseudo-random generator, linked-list construction with
+//! configurable allocation churn, and array-walk emitters.
+//!
+//! Everything random is computed *inside* the simulated program (a 64-bit
+//! LCG), so runs are bit-reproducible and the train/ref inputs steer
+//! behaviour only through the entry-function arguments.
+
+use stride_ir::{BinOp, CmpOp, FunctionBuilder, Operand, Reg};
+
+/// A linear congruential generator living in IR registers
+/// (Knuth's MMIX multiplier).
+#[derive(Clone, Copy, Debug)]
+pub struct Lcg {
+    state: Reg,
+}
+
+impl Lcg {
+    /// Emits initialization `state = seed` in the current block.
+    pub fn init(fb: &mut FunctionBuilder<'_>, seed: impl Into<Operand>) -> Self {
+        let state = fb.mov(seed);
+        Lcg { state }
+    }
+
+    /// Emits one LCG step and returns a register holding the next raw
+    /// 64-bit value.
+    pub fn next(&self, fb: &mut FunctionBuilder<'_>) -> Reg {
+        fb.bin_to(
+            self.state,
+            BinOp::Mul,
+            self.state,
+            6364136223846793005i64,
+        );
+        fb.bin_to(self.state, BinOp::Add, self.state, 1442695040888963407i64);
+        // use the upper bits: they have the best statistical quality
+        fb.bin(BinOp::Lshr, self.state, 33i64)
+    }
+
+    /// Emits `next() & mask` — a bounded value for power-of-two ranges.
+    pub fn next_masked(&self, fb: &mut FunctionBuilder<'_>, mask: i64) -> Reg {
+        let v = self.next(fb);
+        fb.bin(BinOp::And, v, mask)
+    }
+
+    /// Emits `next() % bound` (bound need not be a power of two).
+    pub fn next_bounded(&self, fb: &mut FunctionBuilder<'_>, bound: impl Into<Operand>) -> Reg {
+        let v = self.next(fb);
+        fb.bin(BinOp::Rem, v, bound)
+    }
+}
+
+/// Peripheral memory traffic: the out-loop and low-trip-loop loads that
+/// dominate real programs' reference mix (about 40% of SPECINT2000's load
+/// references are out-loop and only ~7.5% sit in loops with trip counts
+/// above 128, §3.2/§4.1 of the paper). Each benchmark wires one of these
+/// into its hot loop so Figs. 17, 18 and 21 have the right populations.
+///
+/// The helper function contains three *out-loop* loads over a small
+/// (L1/L2-resident) scratch global:
+///
+/// * a fixed-address cursor read — zero stride ("no pattern");
+/// * a cursor walk whose step alternates between two values in 64-call
+///   phases — a *phased multi-stride* (PMST) out-loop load, which §2.3
+///   classifies but refuses to prefetch;
+/// * a hash-scattered probe — no pattern.
+///
+/// [`Peripheral::emit_use`] additionally emits a short (8-trip) scan loop
+/// at the call site: in-loop loads the trip-count filter rejects.
+#[derive(Clone, Copy, Debug)]
+pub struct Peripheral {
+    helper: stride_ir::FuncId,
+    scratch: stride_ir::GlobalId,
+}
+
+/// Scratch words addressable by the peripheral cursor (16 KiB).
+const SCRATCH_WORDS: i64 = 2048;
+
+impl Peripheral {
+    /// Declares the scratch global and helper function.
+    pub fn declare(mb: &mut stride_ir::ModuleBuilder, prefix: &str) -> Self {
+        let scratch = mb.add_global(format!("{prefix}_scratch"), (SCRATCH_WORDS * 8 + 64) as u64);
+        let helper = mb.declare_function(format!("{prefix}_misc"), 1);
+        let mut fb = mb.function(helper);
+        let base = fb.param(0);
+        let (c, _) = fb.load(base, 0); // fixed address: zero stride
+        let ph = fb.bin(BinOp::Shr, c, 6i64);
+        let ph1 = fb.bin(BinOp::And, ph, 1i64);
+        let step = fb.select(ph1, 3i64, 5i64);
+        let idx = fb.bin(BinOp::And, c, SCRATCH_WORDS - 1);
+        let off = fb.mul(idx, 8i64);
+        let a1 = fb.add(base, off);
+        let (v1, _) = fb.load(a1, 64); // phased cursor walk: PMST out-loop
+        let m0 = fb.bin(BinOp::Xor, v1, c);
+        let m1 = fb.mul(m0, 0x9e3779b97f4a7c15u64 as i64);
+        let m2 = fb.bin(BinOp::Lshr, m1, 23i64);
+        let idx2 = fb.bin(BinOp::And, m2, SCRATCH_WORDS - 1);
+        let off2 = fb.mul(idx2, 8i64);
+        let a2 = fb.add(base, off2);
+        let (v2, _) = fb.load(a2, 64); // scattered: no pattern
+        let c2 = fb.add(c, step);
+        fb.store(c2, base, 0);
+        let r = fb.add(v1, v2);
+        fb.ret(Some(stride_ir::Operand::Reg(r)));
+        Peripheral { helper, scratch }
+    }
+
+    /// Emits `calls` helper invocations plus one 8-trip scratch scan in
+    /// the current block, accumulating into a fresh register (returned so
+    /// results stay live).
+    pub fn emit_use(&self, fb: &mut FunctionBuilder<'_>, calls: u32) -> Reg {
+        let base = fb.global_addr(self.scratch);
+        let acc = fb.mov(0i64);
+        for _ in 0..calls {
+            let v = fb.call(self.helper, &[stride_ir::Operand::Reg(base)]);
+            fb.bin_to(acc, BinOp::Add, acc, v);
+        }
+        // low-trip scan: rejected by the TT filter, profiled by naive-*
+        let q = fb.mov(base);
+        fb.counted_loop(6i64, |fb, _| {
+            let (v, _) = fb.load(q, 64);
+            fb.bin_to(acc, BinOp::Add, acc, v);
+            fb.bin_to(q, BinOp::Add, q, 16i64);
+        });
+        acc
+    }
+}
+
+/// Field offsets of the standard list node used by the pointer-chasing
+/// benchmarks: `next` pointer at 0, payload words after it.
+pub const NODE_NEXT: i64 = 0;
+/// First payload field.
+pub const NODE_DATA: i64 = 8;
+/// Second payload field (commonly a pointer to satellite data).
+pub const NODE_PTR: i64 = 16;
+
+/// Emits code that builds a singly linked list of `count` nodes of
+/// `node_size` bytes and returns the head register.
+///
+/// `churn_percent` (0–100, an IR operand so train/ref inputs can differ)
+/// controls allocation-order perturbation: with probability
+/// `churn_percent`% a node is first freed and reallocated after a decoy
+/// allocation, so its address breaks the bump-allocation stride — the
+/// mechanism behind 197.parser's "94% same stride" (§1).
+///
+/// Each node's `NODE_DATA` field holds its index; `NODE_PTR` holds a
+/// pointer to a satellite allocation of `sat_size` bytes (0 = none),
+/// allocated in the same order (like parser's strings).
+pub fn emit_build_list(
+    fb: &mut FunctionBuilder<'_>,
+    lcg: &Lcg,
+    count: impl Into<Operand>,
+    node_size: i64,
+    sat_size: i64,
+    churn_percent: impl Into<Operand>,
+) -> Reg {
+    let count = count.into();
+    let churn = fb.mov(churn_percent);
+    let head = fb.mov(0i64);
+    let tail = fb.mov(0i64);
+    fb.counted_loop(count, |fb, i| {
+        let node = fb.alloc(node_size);
+        // churn: sometimes free + decoy-alloc + realloc to break the stride
+        let r = lcg.next_bounded(fb, 100i64);
+        let do_churn = fb.cmp(CmpOp::Lt, r, churn);
+        let churn_b = fb.new_block();
+        let cont_b = fb.new_block();
+        fb.cond_br(do_churn, churn_b, cont_b);
+        fb.switch_to(churn_b);
+        // decoy occupies the node's slot; node is re-allocated further on
+        fb.free(node);
+        let decoy = fb.alloc(node_size);
+        let node2 = fb.alloc(node_size);
+        fb.free(decoy);
+        fb.mov_to(node, node2);
+        fb.br(cont_b);
+        fb.switch_to(cont_b);
+
+        fb.store(0i64, node, NODE_NEXT);
+        fb.store(i, node, NODE_DATA);
+        // append
+        let have_tail = fb.cmp(CmpOp::Ne, tail, 0i64);
+        let app_b = fb.new_block();
+        let first_b = fb.new_block();
+        let join = fb.new_block();
+        fb.cond_br(have_tail, app_b, first_b);
+        fb.switch_to(app_b);
+        fb.store(node, tail, NODE_NEXT);
+        fb.br(join);
+        fb.switch_to(first_b);
+        fb.mov_to(head, node);
+        fb.br(join);
+        fb.switch_to(join);
+        fb.mov_to(tail, node);
+    });
+
+    // Satellite phase: a second pass allocates the satellite blocks in a
+    // *separate* arena region (their own bump range), in traversal order
+    // and with the same churn probability — like parser's string arena.
+    if sat_size > 0 {
+        let idx = fb.mov(0i64);
+        let p = fb.mov(head);
+        fb.while_nonzero(p, |fb, p| {
+            let sat = fb.alloc(sat_size);
+            let r = lcg.next_bounded(fb, 100i64);
+            let do_churn = fb.cmp(CmpOp::Lt, r, churn);
+            let churn_b = fb.new_block();
+            let cont_b = fb.new_block();
+            fb.cond_br(do_churn, churn_b, cont_b);
+            fb.switch_to(churn_b);
+            fb.free(sat);
+            let decoy = fb.alloc(sat_size);
+            let sat2 = fb.alloc(sat_size);
+            fb.free(decoy);
+            fb.mov_to(sat, sat2);
+            fb.br(cont_b);
+            fb.switch_to(cont_b);
+            fb.store(idx, sat, 0);
+            fb.store(idx, sat, 8);
+            fb.store(sat, p, NODE_PTR);
+            fb.bin_to(idx, BinOp::Add, idx, 1);
+            fb.load_to(p, p, NODE_NEXT);
+        });
+    }
+    head
+}
+
+/// Emits a strided read loop over `[base, base + count*stride)`,
+/// accumulating into a fresh register which is returned. Returns also the
+/// load's site via the closure-free API: the caller can find it as the
+/// only load of the loop if needed.
+pub fn emit_array_walk(
+    fb: &mut FunctionBuilder<'_>,
+    base: Reg,
+    count: impl Into<Operand>,
+    stride: i64,
+) -> Reg {
+    let sum = fb.mov(0i64);
+    fb.counted_loop(count, |fb, i| {
+        let off = fb.mul(i, stride);
+        let a = fb.add(base, off);
+        let (v, _) = fb.load(a, 0);
+        fb.bin_to(sum, BinOp::Add, sum, v);
+    });
+    sum
+}
+
+/// Emits a pointer-chasing walk (`p = p->next`) reading `NODE_DATA` of
+/// each node into an accumulator, which is returned.
+pub fn emit_list_walk(fb: &mut FunctionBuilder<'_>, head: Reg) -> Reg {
+    let sum = fb.mov(0i64);
+    let p = fb.mov(head);
+    fb.while_nonzero(p, |fb, p| {
+        let (v, _) = fb.load(p, NODE_DATA);
+        fb.bin_to(sum, BinOp::Add, sum, v);
+        fb.load_to(p, p, NODE_NEXT);
+    });
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{ModuleBuilder, Operand};
+    use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+    fn run(module: &stride_ir::Module, args: &[i64]) -> i64 {
+        let mut vm = Vm::new(module, VmConfig::default());
+        vm.run(args, &mut FlatTiming, &mut NullRuntime)
+            .expect("run")
+            .return_value
+            .expect("return value")
+    }
+
+    #[test]
+    fn lcg_is_deterministic_and_varied() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let seed = fb.param(0);
+    let lcg = Lcg::init(&mut fb, seed);
+        let a = lcg.next(&mut fb);
+        let b = lcg.next(&mut fb);
+        let differ = fb.cmp(CmpOp::Ne, a, b);
+        fb.ret(Some(Operand::Reg(differ)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run(&m, &[42]), 1);
+        assert_eq!(run(&m, &[42]), 1); // deterministic across runs
+    }
+
+    #[test]
+    fn lcg_bounded_stays_in_range() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let seed = fb.param(0);
+    let lcg = Lcg::init(&mut fb, seed);
+        // max over 100 draws of next_bounded(10) must be < 10
+        let max = fb.mov(0i64);
+        fb.counted_loop(100i64, |fb, _| {
+            let v = lcg.next_bounded(fb, 10i64);
+            let gt = fb.cmp(CmpOp::Gt, v, max);
+            let nv = fb.select(gt, v, max);
+            fb.mov_to(max, nv);
+        });
+        fb.ret(Some(Operand::Reg(max)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        let v = run(&m, &[7]);
+        assert!((0..10).contains(&v), "got {v}");
+    }
+
+    #[test]
+    fn list_walk_sums_indices() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 2);
+        let mut fb = mb.function(f);
+        let lcg = Lcg::init(&mut fb, 1i64);
+        let n = fb.param(0);
+        let churn = fb.param(1);
+        let head = emit_build_list(&mut fb, &lcg, n, 32, 0, churn);
+        let sum = emit_list_walk(&mut fb, head);
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        stride_ir::verify_module(&m).expect("verifies");
+        // sum of 0..100 regardless of churn
+        assert_eq!(run(&m, &[100, 0]), 4950);
+        assert_eq!(run(&m, &[100, 50]), 4950);
+    }
+
+    #[test]
+    fn zero_churn_list_has_constant_stride() {
+        // With churn 0 nodes are bump-allocated: addresses differ by the
+        // rounded node size + satellite size.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let lcg = Lcg::init(&mut fb, 1i64);
+        let n = fb.param(0);
+        let head = emit_build_list(&mut fb, &lcg, n, 48, 0, 0i64);
+        // return head->next - head (the stride)
+        let (next, _) = fb.load(head, NODE_NEXT);
+        let stride = fb.sub(next, head);
+        fb.ret(Some(Operand::Reg(stride)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run(&m, &[10]), 48);
+    }
+
+    #[test]
+    fn satellites_are_allocated_in_order() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let lcg = Lcg::init(&mut fb, 1i64);
+        let n = fb.param(0);
+        let head = emit_build_list(&mut fb, &lcg, n, 32, 24, 0i64);
+        // stride between satellite pointers of consecutive nodes
+        let (n2, _) = fb.load(head, NODE_NEXT);
+        let (s1, _) = fb.load(head, NODE_PTR);
+        let (s2, _) = fb.load(n2, NODE_PTR);
+        let stride = fb.sub(s2, s1);
+        fb.ret(Some(Operand::Reg(stride)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        // separate satellite arena: stride = the rounded satellite size
+        assert_eq!(run(&m, &[10]), 32);
+    }
+
+    #[test]
+    fn array_walk_sums() {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 4096);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        fb.counted_loop(8i64, |fb, i| {
+            let off = fb.mul(i, 8i64);
+            let a = fb.add(base, off);
+            fb.store(i, a, 0);
+        });
+        let sum = emit_array_walk(&mut fb, base, 8i64, 8);
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        assert_eq!(run(&m, &[]), 28);
+    }
+}

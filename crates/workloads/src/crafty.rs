@@ -1,0 +1,115 @@
+//! 186.crafty — chess.
+//!
+//! crafty's memory time goes to transposition-table probes: hash-indexed
+//! accesses into a table comparable in size to the L3. There is no stride
+//! to discover, so the paper shows no gain — the interesting property is
+//! that the profiler must *not* be fooled into prefetching.
+//!
+//! Entry arguments: `[positions, seed]`.
+
+use crate::common::{Lcg, Peripheral};
+use crate::spec::{Scale, Workload};
+use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
+
+const TT_ENTRIES: i64 = 256 * 1024; // 2 MiB transposition table
+const ATTACK_WORDS: i64 = 512; // 4 KiB attack tables (L1-resident)
+
+fn build_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let peri = Peripheral::declare(&mut mb, "crafty");
+    let tt = mb.add_global("ttable", (TT_ENTRIES * 8) as u64);
+    let atk = mb.add_global("attacks", (ATTACK_WORDS * 8) as u64);
+
+    let f = mb.declare_function("main", 2);
+    let mut fb = mb.function(f);
+    let positions = fb.param(0);
+    let seed = fb.param(1);
+    let lcg = Lcg::init(&mut fb, seed);
+
+    let tt_base = fb.global_addr(tt);
+    let atk_base = fb.global_addr(atk);
+    let d = fb.mov(atk_base);
+    fb.counted_loop(ATTACK_WORDS, |fb, _| {
+        let v = lcg.next_masked(fb, 0xff);
+        fb.store(v, d, 0);
+        fb.bin_to(d, BinOp::Add, d, 8i64);
+    });
+
+    let total = fb.mov(0i64);
+    fb.counted_loop(positions, |fb, _| {
+        // transposition probe: random 16-byte entry
+        let key = lcg.next(&mut *fb);
+        let idx = fb.bin(BinOp::And, key, TT_ENTRIES - 2);
+        let off = fb.mul(idx, 8i64);
+        let e = fb.add(tt_base, off);
+        let (sig, _) = fb.load(e, 0);
+        let (score, _) = fb.load(e, 8);
+        fb.store(key, e, 0);
+        // move generation: short attack-table scan (trip 8 — filtered)
+        let acc = fb.mov(0i64);
+        fb.counted_loop(8i64, |fb, j| {
+            let aoff = fb.mul(j, 8i64);
+            let aa = fb.add(atk_base, aoff);
+            let (a, _) = fb.load(aa, 0);
+            fb.bin_to(acc, BinOp::Add, acc, a);
+        });
+        let s = fb.add(sig, score);
+        let s2 = fb.add(s, acc);
+        fb.bin_to(total, BinOp::Add, total, s2);
+        let pv = peri.emit_use(fb, 3);
+        fb.bin_to(total, BinOp::Add, total, pv);
+    });
+    fb.ret(Some(Operand::Reg(total)));
+    mb.set_entry(f);
+    mb.finish()
+}
+
+/// Builds the workload at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (train, reference) = match scale {
+        Scale::Test => (vec![600, 71], vec![1200, 73]),
+        Scale::Paper => (vec![15_000, 71], vec![35_000, 73]),
+    };
+    Workload {
+        name: "186.crafty",
+        lang: "C",
+        description: "Game Playing: Chess",
+        module: build_module(),
+        train_args: train,
+        ref_args: reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+    #[test]
+    fn verifies_and_runs() {
+        let w = build(Scale::Test);
+        stride_ir::verify_module(&w.module).expect("verifies");
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        let r = vm
+            .run(&[600, 71], &mut FlatTiming, &mut NullRuntime)
+            .unwrap();
+        // per position: 2 TT + 8 attack + peripheral (3 calls x 3 + 6)
+        assert_eq!(r.loads, 600 * (10 + 15));
+    }
+
+    #[test]
+    fn probes_are_spread_across_the_table() {
+        // The LCG must not collapse probes onto a few entries: run two
+        // seeds and confirm different results (stores hit different
+        // entries).
+        let w = build(Scale::Test);
+        let run = |seed: i64| {
+            let mut vm = Vm::new(&w.module, VmConfig::default());
+            vm.run(&[600, seed], &mut FlatTiming, &mut NullRuntime)
+                .unwrap()
+                .return_value
+                .unwrap()
+        };
+        assert_ne!(run(71), run(72));
+    }
+}

@@ -1,0 +1,111 @@
+//! 252.eon — probabilistic ray tracer (the suite's only C++ program).
+//!
+//! eon iterates over scene-object arrays (regular, L3-resident) and
+//! samples material tables irregularly. Strides exist but the data is
+//! close to the core, so the paper shows only a small gain.
+//!
+//! Entry arguments: `[objects, frames, seed]`.
+
+use crate::common::{Lcg, Peripheral};
+use crate::spec::{Scale, Workload};
+use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
+
+const OBJ_SIZE: i64 = 128;
+const TEX_WORDS: i64 = 8 * 1024; // 64 KiB texture table (L2-resident)
+
+fn build_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let peri = Peripheral::declare(&mut mb, "eon");
+    let tex = mb.add_global("textures", (TEX_WORDS * 8) as u64);
+
+    let f = mb.declare_function("main", 3);
+    let mut fb = mb.function(f);
+    let objects = fb.param(0);
+    let frames = fb.param(1);
+    let seed = fb.param(2);
+    let lcg = Lcg::init(&mut fb, seed);
+
+    let tex_base = fb.global_addr(tex);
+    let d = fb.mov(tex_base);
+    fb.counted_loop(TEX_WORDS, |fb, _| {
+        let v = lcg.next_masked(fb, 0xfff);
+        fb.store(v, d, 0);
+        fb.bin_to(d, BinOp::Add, d, 8i64);
+    });
+
+    let size = fb.mul(objects, OBJ_SIZE);
+    let objs = fb.alloc(size);
+    fb.counted_loop(objects, |fb, i| {
+        let off = fb.mul(i, OBJ_SIZE);
+        let o = fb.add(objs, off);
+        let n = lcg.next_masked(fb, TEX_WORDS - 1);
+        fb.store(n, o, 8); // material index
+        fb.store(i, o, 16); // geometry word
+    });
+
+    let total = fb.mov(0i64);
+    fb.counted_loop(frames, |fb, _| {
+        let p = fb.mov(objs);
+        fb.counted_loop(objects, |fb, _| {
+            let (mat, _) = fb.load(p, 8); // strided object fields
+            let (geo, _) = fb.load(p, 16);
+            let toff = fb.mul(mat, 8i64);
+            let ta = fb.add(tex_base, toff);
+            let (shade, _) = fb.load(ta, 0); // irregular texture sample
+            // shading math: eon is compute-heavy, not memory-bound
+            let mut c = fb.add(geo, shade);
+            for k in 0..12 {
+                let a = fb.mul(c, 2654435761i64 + k);
+                let b = fb.bin(BinOp::Lshr, a, 7i64);
+                let x = fb.bin(BinOp::Xor, b, geo);
+                let y = fb.add(x, shade);
+                let z = fb.bin(BinOp::And, y, 0xffffffi64);
+                c = fb.add(z, c);
+            }
+            fb.store(c, p, 24); // shaded color
+            fb.bin_to(total, BinOp::Add, total, c);
+            let pv = peri.emit_use(fb, 2);
+            fb.bin_to(total, BinOp::Add, total, pv);
+            fb.bin_to(p, BinOp::Add, p, OBJ_SIZE);
+        });
+    });
+    fb.ret(Some(Operand::Reg(total)));
+    mb.set_entry(f);
+    mb.finish()
+}
+
+/// Builds the workload at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (train, reference) = match scale {
+        Scale::Test => (vec![300, 2, 81], vec![600, 2, 83]),
+        Scale::Paper => (vec![350, 18, 81], vec![400, 45, 83]),
+    };
+    Workload {
+        name: "252.eon",
+        lang: "C++",
+        description: "Computer Visualization",
+        module: build_module(),
+        train_args: train,
+        ref_args: reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+    #[test]
+    fn verifies_and_runs() {
+        let w = build(Scale::Test);
+        stride_ir::verify_module(&w.module).expect("verifies");
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        let r = vm
+            .run(&[300, 2, 81], &mut FlatTiming, &mut NullRuntime)
+            .unwrap();
+        assert_eq!(r.loads, 2 * 300 * (3 + 12));
+        // texture init + per-object material/color stores + one
+        // peripheral cursor write-back per helper call
+        assert_eq!(r.stores, TEX_WORDS as u64 + 2 * 300 + 2 * 300 + 1200);
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic SPECINT2000 workloads for the stride-prefetch reproduction.
+//!
+//! The paper evaluates on the twelve SPECINT2000 programs (Fig. 15). We
+//! cannot compile their C/C++ sources; what the paper's techniques consume
+//! is each program's *loop structure and address stream*, so every
+//! benchmark here is an IR program reproducing its namesake's
+//! memory-reference character:
+//!
+//! | Benchmark | Reproduced behaviour |
+//! |---|---|
+//! | 164.gzip | sequential buffer scans + small hash chain |
+//! | 175.vpr | strided cost sweeps + random swap pairs |
+//! | 176.gcc | short (sub-TT) insn-list loops, random symtab |
+//! | 181.mcf | huge strided arc scans + random node lookups |
+//! | 186.crafty | random transposition-table probes |
+//! | 197.parser | Fig. 1: churned list + strings + dictionary hash |
+//! | 252.eon | L3-resident object sweeps + texture sampling |
+//! | 253.perlbmk | heavily churned op arena (weak strides) |
+//! | 254.gap | Fig. 2: phased multi-stride GC sweep |
+//! | 255.vortex | mildly churned record traversal + satellites |
+//! | 256.bzip2 | pointer-array scan + block indirection |
+//! | 300.twolf | strided cell sweeps + irregular net terminals |
+//!
+//! # Example
+//!
+//! ```
+//! use stride_workloads::{workload_by_name, Scale};
+//! use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+//!
+//! let w = workload_by_name("181.mcf", Scale::Test).expect("known benchmark");
+//! let mut vm = Vm::new(&w.module, VmConfig::default());
+//! let result = vm.run(&w.train_args, &mut FlatTiming, &mut NullRuntime)?;
+//! assert!(result.loads > 0);
+//! # Ok::<(), stride_vm::VmError>(())
+//! ```
+
+pub mod bzip2;
+pub mod common;
+pub mod crafty;
+pub mod eon;
+pub mod gap;
+pub mod gcc;
+pub mod gzip;
+pub mod mcf;
+pub mod parser;
+pub mod perlbmk;
+pub mod spec;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr;
+
+pub use common::{emit_array_walk, emit_build_list, emit_list_walk, Lcg, Peripheral};
+pub use spec::{all_workloads, workload_by_name, Scale, Workload};

@@ -1,0 +1,128 @@
+//! 253.perlbmk — Perl interpreter.
+//!
+//! perl's op tree is built and rebuilt through a heavily recycled arena,
+//! so chasing it yields only *weak* stride patterns (the WSST class — the
+//! paper classifies them but leaves WSST prefetching disabled), and its
+//! symbol-table probes are hash-random. The paper shows essentially no
+//! gain.
+//!
+//! Entry arguments: `[ops, runs, churn_percent, seed]`.
+
+use crate::common::{emit_build_list, Lcg, NODE_DATA, NODE_NEXT, Peripheral};
+use crate::spec::{Scale, Workload};
+use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
+
+const HASH_ENTRIES: i64 = 32 * 1024; // 256 KiB symbol hash
+
+fn build_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let peri = Peripheral::declare(&mut mb, "perlbmk");
+    let hv = mb.add_global("symbol_hash", (HASH_ENTRIES * 8) as u64);
+
+    let f = mb.declare_function("main", 4);
+    let mut fb = mb.function(f);
+    let ops = fb.param(0);
+    let runs = fb.param(1);
+    let churn = fb.param(2);
+    let seed = fb.param(3);
+    let lcg = Lcg::init(&mut fb, seed);
+
+    let hv_base = fb.global_addr(hv);
+    let d = fb.mov(hv_base);
+    fb.counted_loop(HASH_ENTRIES, |fb, _| {
+        let v = lcg.next_masked(fb, 0xffff);
+        fb.store(v, d, 0);
+        fb.bin_to(d, BinOp::Add, d, 8i64);
+    });
+
+    // Compile: op list through a churned arena (weak strides).
+    let head = emit_build_list(&mut fb, &lcg, ops, 48, 0, churn);
+
+    // Execute: repeated dispatch walks with symbol lookups.
+    let total = fb.mov(0i64);
+    fb.counted_loop(runs, |fb, _| {
+        let p = fb.mov(head);
+        fb.while_nonzero(p, |fb, p| {
+            let (opcode, _) = fb.load(p, NODE_DATA);
+            let m0 = fb.bin(BinOp::Lshr, opcode, 16i64);
+            let m1 = fb.bin(BinOp::Xor, opcode, m0);
+            let m = fb.mul(m1, 0x9e3779b97f4a7c15u64 as i64);
+            let m2 = fb.bin(BinOp::Lshr, m, 31i64);
+            let m3 = fb.bin(BinOp::Xor, m, m2);
+            let m4 = fb.mul(m3, 0x94d049bb133111ebu64 as i64);
+            let h = fb.bin(BinOp::Lshr, m4, 37i64);
+            let idx = fb.bin(BinOp::And, h, HASH_ENTRIES - 1);
+            let hoff = fb.mul(idx, 8i64);
+            let ha = fb.add(hv_base, hoff);
+            let (sv, _) = fb.load(ha, 0); // random symbol probe
+            let t = fb.add(opcode, sv);
+            fb.bin_to(total, BinOp::Add, total, t);
+            let pv = peri.emit_use(fb, 3);
+            fb.bin_to(total, BinOp::Add, total, pv);
+            fb.load_to(p, p, NODE_NEXT);
+        });
+    });
+    fb.ret(Some(Operand::Reg(total)));
+    mb.set_entry(f);
+    mb.finish()
+}
+
+/// Builds the workload at the given scale. 40% allocation churn keeps the
+/// dominant stride below the SSST threshold.
+pub fn build(scale: Scale) -> Workload {
+    let (train, reference) = match scale {
+        Scale::Test => (vec![400, 2, 40, 91], vec![800, 2, 40, 93]),
+        Scale::Paper => (vec![5_000, 4, 40, 91], vec![10_000, 6, 40, 93]),
+    };
+    Workload {
+        name: "253.perlbmk",
+        lang: "C",
+        description: "PERL programming language",
+        module: build_module(),
+        train_args: train,
+        ref_args: reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+    #[test]
+    fn verifies_and_runs() {
+        let w = build(Scale::Test);
+        stride_ir::verify_module(&w.module).expect("verifies");
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        let r = vm
+            .run(&[400, 2, 40, 91], &mut FlatTiming, &mut NullRuntime)
+            .unwrap();
+        // opcode + symbol + next + peripheral (3 calls x 3 + 6)
+        assert_eq!(r.loads, 2 * 400 * (3 + 15));
+    }
+
+    #[test]
+    fn churned_arena_weakens_the_stride() {
+        // Simulate the node-address stream that 40% churn produces and
+        // check the dominant-stride ratio lands below the SSST threshold
+        // but above zero (the WSST regime).
+        use stride_profiling::{StrideProfConfig, StrideProfData, StrideProfEngine};
+        let cfg = StrideProfConfig::plain();
+        let mut engine = StrideProfEngine::new();
+        let mut data = StrideProfData::new(&cfg);
+        // crude churn model mirroring emit_build_list: 40% of nodes sit at
+        // a displaced address
+        let mut bump = 0x1000_0000u64;
+        let mut x: u64 = 12345;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let displaced = (x >> 33) % 100 < 40;
+            let addr = if displaced { bump + 48 } else { bump };
+            engine.stride_prof(&cfg, &mut data, addr);
+            bump += if displaced { 96 } else { 48 };
+        }
+        let p_top = data.top_strides()[0].1 as f64 / data.total_freq() as f64;
+        assert!(p_top < 0.70, "top ratio {p_top} should be sub-SSST");
+        assert!(p_top > 0.15, "top ratio {p_top} should still be a pattern");
+    }
+}

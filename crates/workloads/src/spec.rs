@@ -1,0 +1,151 @@
+//! The benchmark catalog (Fig. 15 of the paper) and the scaling knobs that
+//! map SPEC's train/reference inputs onto simulator-sized runs.
+
+use stride_ir::Module;
+
+/// How large to build the workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Tiny inputs for unit/integration tests (sub-second in debug
+    /// builds).
+    Test,
+    /// The sizes used to regenerate the paper's figures (a few million
+    /// simulated instructions per run; run in release builds).
+    Paper,
+}
+
+/// One synthetic benchmark: a module plus its train and reference inputs.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// SPEC-style name, e.g. `"181.mcf"`.
+    pub name: &'static str,
+    /// Source language of the original program (Fig. 15).
+    pub lang: &'static str,
+    /// The original program's description (Fig. 15).
+    pub description: &'static str,
+    /// The program.
+    pub module: Module,
+    /// Entry arguments standing in for SPEC's train input.
+    pub train_args: Vec<i64>,
+    /// Entry arguments standing in for SPEC's reference input.
+    pub ref_args: Vec<i64>,
+}
+
+/// Builds every benchmark of Fig. 15 at the given scale, in the paper's
+/// order.
+pub fn all_workloads(scale: Scale) -> Vec<Workload> {
+    vec![
+        crate::gzip::build(scale),
+        crate::vpr::build(scale),
+        crate::gcc::build(scale),
+        crate::mcf::build(scale),
+        crate::crafty::build(scale),
+        crate::parser::build(scale),
+        crate::eon::build(scale),
+        crate::perlbmk::build(scale),
+        crate::gap::build(scale),
+        crate::vortex::build(scale),
+        crate::bzip2::build(scale),
+        crate::twolf::build(scale),
+    ]
+}
+
+/// Builds one benchmark by its Fig. 15 name (with or without the numeric
+/// prefix); `None` for unknown names.
+pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
+    let short = name.rsplit('.').next().unwrap_or(name);
+    let w = match short {
+        "gzip" => crate::gzip::build(scale),
+        "vpr" => crate::vpr::build(scale),
+        "gcc" => crate::gcc::build(scale),
+        "mcf" => crate::mcf::build(scale),
+        "crafty" => crate::crafty::build(scale),
+        "parser" => crate::parser::build(scale),
+        "eon" => crate::eon::build(scale),
+        "perlbmk" => crate::perlbmk::build(scale),
+        "gap" => crate::gap::build(scale),
+        "vortex" => crate::vortex::build(scale),
+        "bzip2" => crate::bzip2::build(scale),
+        "twolf" => crate::twolf::build(scale),
+        _ => return None,
+    };
+    Some(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+    #[test]
+    fn catalog_matches_figure_15() {
+        let all = all_workloads(Scale::Test);
+        let names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "164.gzip",
+                "175.vpr",
+                "176.gcc",
+                "181.mcf",
+                "186.crafty",
+                "197.parser",
+                "252.eon",
+                "253.perlbmk",
+                "254.gap",
+                "255.vortex",
+                "256.bzip2",
+                "300.twolf",
+            ]
+        );
+        assert!(all.iter().all(|w| !w.description.is_empty()));
+        assert_eq!(all.iter().filter(|w| w.lang == "C++").count(), 1); // eon
+    }
+
+    #[test]
+    fn every_workload_verifies_and_runs_at_test_scale() {
+        for w in all_workloads(Scale::Test) {
+            stride_ir::verify_module(&w.module)
+                .unwrap_or_else(|e| panic!("{}: verifier: {e}", w.name));
+            let mut vm = Vm::new(&w.module, VmConfig::default());
+            let r = vm
+                .run(&w.train_args, &mut FlatTiming, &mut NullRuntime)
+                .unwrap_or_else(|e| panic!("{}: train run: {e}", w.name));
+            assert!(r.loads > 0, "{}: no loads executed", w.name);
+            let mut vm = Vm::new(&w.module, VmConfig::default());
+            let r = vm
+                .run(&w.ref_args, &mut FlatTiming, &mut NullRuntime)
+                .unwrap_or_else(|e| panic!("{}: ref run: {e}", w.name));
+            assert!(r.loads > 0, "{}: no loads executed", w.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(workload_by_name("181.mcf", Scale::Test).is_some());
+        assert!(workload_by_name("mcf", Scale::Test).is_some());
+        assert!(workload_by_name("999.unknown", Scale::Test).is_none());
+    }
+
+    #[test]
+    fn ref_runs_are_larger_than_train() {
+        for w in all_workloads(Scale::Test) {
+            let cfg = VmConfig::default();
+            let mut vm = Vm::new(&w.module, cfg);
+            let train = vm
+                .run(&w.train_args, &mut FlatTiming, &mut NullRuntime)
+                .unwrap();
+            let mut vm = Vm::new(&w.module, cfg);
+            let reference = vm
+                .run(&w.ref_args, &mut FlatTiming, &mut NullRuntime)
+                .unwrap();
+            assert!(
+                reference.instructions > train.instructions,
+                "{}: ref ({}) not larger than train ({})",
+                w.name,
+                reference.instructions,
+                train.instructions
+            );
+        }
+    }
+}

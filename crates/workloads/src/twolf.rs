@@ -1,0 +1,107 @@
+//! 300.twolf — place and route simulator.
+//!
+//! twolf sweeps cell and net arrays during annealing. Cell records are
+//! visited in order (regular); the cells' net terminals are followed
+//! irregularly. A small-to-moderate gain in the paper.
+//!
+//! Entry arguments: `[cells, steps, seed]`.
+
+use crate::common::{Lcg, Peripheral};
+use crate::spec::{Scale, Workload};
+use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
+
+const CELL_SIZE: i64 = 96;
+const NET_WORDS: i64 = 512 * 1024; // 4 MiB net table (uncovered probes)
+
+fn build_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let peri = Peripheral::declare(&mut mb, "twolf");
+    let nets = mb.add_global("nets", (NET_WORDS * 8) as u64);
+
+    let f = mb.declare_function("main", 3);
+    let mut fb = mb.function(f);
+    let cells = fb.param(0);
+    let steps = fb.param(1);
+    let seed = fb.param(2);
+    let lcg = Lcg::init(&mut fb, seed);
+
+    let nets_base = fb.global_addr(nets);
+    let d = fb.mov(nets_base);
+    fb.counted_loop(NET_WORDS, |fb, _| {
+        let v = lcg.next_masked(fb, 0x7ff);
+        fb.store(v, d, 0);
+        fb.bin_to(d, BinOp::Add, d, 8i64);
+    });
+
+    let size = fb.mul(cells, CELL_SIZE);
+    let arr = fb.alloc(size);
+    fb.counted_loop(cells, |fb, i| {
+        let off = fb.mul(i, CELL_SIZE);
+        let c = fb.add(arr, off);
+        let x = lcg.next_masked(fb, 0xfff);
+        fb.store(x, c, 8); // x coordinate
+        let n = lcg.next_masked(fb, NET_WORDS - 1);
+        fb.store(n, c, 16); // first net terminal
+        fb.store(i, c, 24); // cell id
+    });
+
+    let total = fb.mov(0i64);
+    fb.counted_loop(steps, |fb, _| {
+        let p = fb.mov(arr);
+        fb.counted_loop(cells, |fb, _| {
+            let (x, _) = fb.load(p, 8); // strided cell fields
+            let (net, _) = fb.load(p, 16);
+            let noff = fb.mul(net, 8i64);
+            let na = fb.add(nets_base, noff);
+            let (wire, _) = fb.load(na, 0); // irregular net terminal
+            // wirelength arithmetic
+            let a1 = fb.sub(wire, x);
+            let a2 = fb.mul(a1, a1);
+            let a3 = fb.bin(BinOp::Shr, a2, 4i64);
+            let a4 = fb.bin(BinOp::Xor, a3, wire);
+            let cost = fb.add(a4, x);
+            fb.store(cost, p, 32);
+            fb.bin_to(total, BinOp::Add, total, cost);
+            let pv = peri.emit_use(fb, 2);
+            fb.bin_to(total, BinOp::Add, total, pv);
+            fb.bin_to(p, BinOp::Add, p, CELL_SIZE);
+        });
+    });
+    fb.ret(Some(Operand::Reg(total)));
+    mb.set_entry(f);
+    mb.finish()
+}
+
+/// Builds the workload at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (train, reference) = match scale {
+        Scale::Test => (vec![400, 2, 121], vec![800, 2, 123]),
+        Scale::Paper => (vec![5_000, 3, 121], vec![8_000, 5, 123]),
+    };
+    Workload {
+        name: "300.twolf",
+        lang: "C",
+        description: "Place and route simulator",
+        module: build_module(),
+        train_args: train,
+        ref_args: reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+    #[test]
+    fn verifies_and_runs() {
+        let w = build(Scale::Test);
+        stride_ir::verify_module(&w.module).expect("verifies");
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        let r = vm
+            .run(&[400, 2, 121], &mut FlatTiming, &mut NullRuntime)
+            .unwrap();
+        assert_eq!(r.loads, 2 * 400 * (3 + 12));
+        assert!(r.return_value.is_some());
+    }
+}

@@ -1,0 +1,135 @@
+//! 175.vpr — FPGA circuit placement and routing.
+//!
+//! vpr alternates full cost sweeps over the cell array (strided,
+//! moderately large) with randomized swap proposals (irregular pairs).
+//! The sweep loads stride regularly; the swap loads do not — a small net
+//! gain in the paper.
+//!
+//! Entry arguments: `[num_cells, iterations, seed]`.
+
+use crate::common::{Lcg, Peripheral};
+use crate::spec::{Scale, Workload};
+use stride_ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand};
+
+const CELL_SIZE: i64 = 64;
+
+fn build_module() -> Module {
+    let mut mb = ModuleBuilder::new();
+    let peri = Peripheral::declare(&mut mb, "vpr");
+    let f = mb.declare_function("main", 3);
+    let mut fb = mb.function(f);
+    let num_cells = fb.param(0);
+    let iters = fb.param(1);
+    let seed = fb.param(2);
+    let lcg = Lcg::init(&mut fb, seed);
+
+    let size = fb.mul(num_cells, CELL_SIZE);
+    let cells = fb.alloc(size);
+    fb.counted_loop(num_cells, |fb, i| {
+        let off = fb.mul(i, CELL_SIZE);
+        let c = fb.add(cells, off);
+        let x = lcg.next_masked(fb, 0x3ff);
+        let y = lcg.next_masked(fb, 0x3ff);
+        fb.store(x, c, 8);
+        fb.store(y, c, 16);
+    });
+
+    let total = fb.mov(0i64);
+    fb.counted_loop(iters, |fb, _| {
+        // bounding-box cost sweep: strided
+        let p = fb.mov(cells);
+        fb.counted_loop(num_cells, |fb, _| {
+            let (x, _) = fb.load(p, 8);
+            let (y, _) = fb.load(p, 16);
+            let b1 = fb.mul(x, 5i64);
+            let b2 = fb.bin(BinOp::Xor, b1, y);
+            let b3 = fb.bin(BinOp::Shr, b2, 2i64);
+            let b4 = fb.add(b3, x);
+            let b5 = fb.bin(BinOp::And, b4, 0x3ffffi64);
+            let cost = fb.add(b5, y);
+            fb.bin_to(total, BinOp::Add, total, cost);
+            let pv = peri.emit_use(fb, 2);
+            fb.bin_to(total, BinOp::Add, total, pv);
+            fb.bin_to(p, BinOp::Add, p, CELL_SIZE);
+        });
+        // simulated-annealing swaps: random cell pairs
+        let swaps = fb.mov(num_cells);
+        fb.counted_loop(swaps, |fb, _| {
+            let i = lcg.next_bounded(fb, num_cells);
+            let j = lcg.next_bounded(fb, num_cells);
+            let ioff = fb.mul(i, CELL_SIZE);
+            let joff = fb.mul(j, CELL_SIZE);
+            let ci = fb.add(cells, ioff);
+            let cj = fb.add(cells, joff);
+            let (xi, _) = fb.load(ci, 8);
+            let (xj, _) = fb.load(cj, 8);
+            // bounding-box delta-cost arithmetic
+            let d1 = fb.sub(xi, xj);
+            let d2 = fb.mul(d1, d1);
+            let d3 = fb.bin(BinOp::Shr, d2, 3i64);
+            let d4 = fb.bin(BinOp::Xor, d3, xi);
+            let d5 = fb.add(d4, xj);
+            fb.bin_to(total, BinOp::Add, total, d5);
+            let better = fb.cmp(CmpOp::Lt, xj, xi);
+            let then_b = fb.new_block();
+            let join = fb.new_block();
+            fb.cond_br(better, then_b, join);
+            fb.switch_to(then_b);
+            fb.store(xj, ci, 8);
+            fb.store(xi, cj, 8);
+            fb.br(join);
+            fb.switch_to(join);
+        });
+    });
+    fb.ret(Some(Operand::Reg(total)));
+    mb.set_entry(f);
+    mb.finish()
+}
+
+/// Builds the workload at the given scale.
+pub fn build(scale: Scale) -> Workload {
+    let (train, reference) = match scale {
+        Scale::Test => (vec![400, 2, 51], vec![800, 2, 53]),
+        Scale::Paper => (vec![1_000, 8, 51], vec![1_200, 16, 53]),
+    };
+    Workload {
+        name: "175.vpr",
+        lang: "C",
+        description: "FPGA circuit placement and routing",
+        module: build_module(),
+        train_args: train,
+        ref_args: reference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+    #[test]
+    fn verifies_and_runs() {
+        let w = build(Scale::Test);
+        stride_ir::verify_module(&w.module).expect("verifies");
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        let r = vm
+            .run(&w.train_args, &mut FlatTiming, &mut NullRuntime)
+            .unwrap();
+        // 2 sweep loads/cell + 2 loads/swap, swaps = cells/2, per iteration
+        // sweep: 2 + peripheral 12 per cell; swaps: 2 per swap
+        assert_eq!(r.loads, 2 * ((2 + 12) * 400 + 2 * 400));
+    }
+
+    #[test]
+    fn swaps_move_data() {
+        let w = build(Scale::Test);
+        let run = |seed: i64| {
+            let mut vm = Vm::new(&w.module, VmConfig::default());
+            vm.run(&[400, 2, seed], &mut FlatTiming, &mut NullRuntime)
+                .unwrap()
+                .return_value
+                .unwrap()
+        };
+        assert_ne!(run(51), run(52));
+    }
+}

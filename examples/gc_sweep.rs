@@ -1,0 +1,101 @@
+//! The Fig. 2 scenario from the paper: 254.gap's garbage-collection sweep,
+//! whose pointer advances by each object's size — a *phased multi-stride*
+//! (PMST) access pattern. Single-stride prefetching cannot help here; the
+//! paper's PMST transformation computes the stride in registers each
+//! iteration and prefetches `P + K*stride`.
+//!
+//! The example contrasts a phased sweep with an *alternating* one
+//! (Fig. 4c): same top strides, but the alternating version fails the
+//! zero-stride-difference test and is (correctly) not prefetched.
+//!
+//! ```text
+//! cargo run --release --example gc_sweep
+//! ```
+
+use stride_prefetch::core::{
+    measure_speedup, PipelineConfig, ProfilingVariant, StrideClass,
+};
+use stride_prefetch::ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand};
+
+/// Builds a heap of `count` objects and sweeps it `sweeps` times.
+/// `phased != 0` allocates sizes in 512-object batches (16/32/48);
+/// otherwise sizes alternate per object — same size mix, different order.
+fn sweep_module(phased: bool) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let f = mb.declare_function("main", 2);
+    let mut fb = mb.function(f);
+    let count = fb.param(0);
+    let sweeps = fb.param(1);
+
+    let first = fb.mov(0i64);
+    let last = fb.mov(0i64);
+    fb.counted_loop(count, |fb, i| {
+        let kind_src = if phased {
+            fb.bin(BinOp::Shr, i, 9i64) // 512-object phases
+        } else {
+            fb.mov(i) // alternate every object
+        };
+        let kind = fb.bin(BinOp::Rem, kind_src, 3i64);
+        let is0 = fb.cmp(CmpOp::Eq, kind, 0i64);
+        let is1 = fb.cmp(CmpOp::Eq, kind, 1i64);
+        let s12 = fb.select(is1, 24i64, 48i64);
+        let size = fb.select(is0, 16i64, s12);
+        let o = fb.alloc(size);
+        let r15 = fb.add(size, 15i64);
+        let rounded = fb.bin(BinOp::And, r15, !15i64);
+        fb.store(rounded, o, 0);
+        let is_first = fb.cmp(CmpOp::Eq, first, 0i64);
+        let nf = fb.select(is_first, o, first);
+        fb.mov_to(first, nf);
+        fb.mov_to(last, o);
+    });
+
+    let total = fb.mov(0i64);
+    fb.counted_loop(sweeps, |fb, _| {
+        let s = fb.mov(first);
+        let header = fb.new_block();
+        let body = fb.new_block();
+        let exit = fb.new_block();
+        fb.br(header);
+        fb.switch_to(header);
+        let cont = fb.cmp(CmpOp::Le, s, last);
+        fb.cond_br(cont, body, exit);
+        fb.switch_to(body);
+        let (size, _) = fb.load(s, 0); // the Fig. 2 load
+        fb.bin_to(total, BinOp::Add, total, size);
+        fb.bin_to(s, BinOp::Add, s, size);
+        fb.br(header);
+        fb.switch_to(exit);
+    });
+    fb.ret(Some(Operand::Reg(total)));
+    mb.set_entry(f);
+    mb.finish()
+}
+
+fn main() {
+    let config = PipelineConfig::default();
+    for (name, phased) in [("phased (Fig. 4b)", true), ("alternating (Fig. 4c)", false)] {
+        let module = sweep_module(phased);
+        let out = measure_speedup(
+            &module,
+            &[40_000, 3],
+            &[90_000, 4],
+            ProfilingVariant::EdgeCheck,
+            &config,
+        )
+        .expect("pipeline");
+        let pmst = out.classification.of_class(StrideClass::Pmst).count();
+        let wsst = out.classification.of_class(StrideClass::Wsst).count();
+        println!(
+            "{name:<22}: {} PMST / {} WSST classified, {} register-stride \
+             sequence(s) inserted, speedup {:.3}",
+            pmst, wsst, out.report.pmst, out.speedup,
+        );
+    }
+    println!(
+        "\nThe phased sweep qualifies as PMST (its stride differences are mostly \
+         zero) and gets the\nregister-computed `prefetch(P + K*stride)` sequence; \
+         the alternating sweep has the same top\nstrides but fails the \
+         zero-difference test, so the compiler correctly leaves it alone."
+    );
+}

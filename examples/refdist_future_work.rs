@@ -1,0 +1,57 @@
+//! The paper's first future-work direction (§6): profile the number of
+//! memory references *between* successive executions of a load site, and
+//! refuse to prefetch loads whose prefetched line would be evicted before
+//! use.
+//!
+//! The example builds two out-loop load sites with identical stride
+//! patterns but very different reference distances and shows the
+//! [`ReferenceDistanceProfiler`] telling them apart.
+//!
+//! ```text
+//! cargo run --release --example refdist_future_work
+//! ```
+
+use stride_prefetch::ir::{FuncId, InstrId};
+use stride_prefetch::profiling::ReferenceDistanceProfiler;
+
+fn main() {
+    let func = FuncId::new(0);
+    let tight = InstrId::new(1); // called from a tight loop
+    let distant = InstrId::new(2); // called once per "phase"
+
+    let mut profiler = ReferenceDistanceProfiler::new();
+
+    // Simulate the reference stream: the tight site fires every 4th
+    // memory reference; the distant site only every 20_000th.
+    for phase in 0..50u64 {
+        for _ in 0..5_000u64 {
+            profiler.reference(Some((func, tight)));
+            for _ in 0..3 {
+                profiler.reference(None);
+            }
+        }
+        profiler.reference(Some((func, distant)));
+        let _ = phase;
+    }
+
+    let threshold = 2_000.0; // "more than ~2000 refs in between: don't bother"
+    for (name, site) in [("tight-loop load", tight), ("per-phase load", distant)] {
+        let s = profiler.summary(func, site).expect("profiled");
+        println!(
+            "{name:<16}: mean distance {:>9.1} refs (min {}, max {}) -> prefetch? {}",
+            s.mean(),
+            s.min,
+            s.max,
+            profiler.should_prefetch(func, site, threshold),
+        );
+    }
+    println!(
+        "\ntotal references simulated: {}",
+        profiler.total_references()
+    );
+    println!(
+        "Both sites would classify SSST from their stride profiles alone; the \
+         reference-distance\nchannel is what tells the compiler the second one's \
+         prefetched lines would be long evicted\nbefore use (§6, future work #1)."
+    );
+}

@@ -1,0 +1,61 @@
+//! Run the full synthetic SPECINT2000 suite end-to-end with one profiling
+//! variant and print a Fig. 16-style speedup column plus the memory-system
+//! behaviour behind it.
+//!
+//! ```text
+//! cargo run --release --example spec_suite [variant]
+//! ```
+//!
+//! `variant` is one of `edge-check` (default), `naive-loop`, `naive-all`,
+//! `sample-edge-check`, `sample-naive-loop`, `sample-naive-all`,
+//! `block-check`, `two-pass`.
+
+use stride_prefetch::core::{measure_speedup, PipelineConfig, ProfilingVariant};
+use stride_prefetch::workloads::{all_workloads, Scale};
+
+fn variant_by_name(name: &str) -> Option<ProfilingVariant> {
+    let all = [
+        ProfilingVariant::EdgeCheck,
+        ProfilingVariant::NaiveLoop,
+        ProfilingVariant::NaiveAll,
+        ProfilingVariant::SampleEdgeCheck,
+        ProfilingVariant::SampleNaiveLoop,
+        ProfilingVariant::SampleNaiveAll,
+        ProfilingVariant::BlockCheck,
+        ProfilingVariant::SampleBlockCheck,
+        ProfilingVariant::TwoPass,
+    ];
+    all.into_iter().find(|v| v.to_string() == name)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "edge-check".into());
+    let Some(variant) = variant_by_name(&arg) else {
+        eprintln!("unknown variant: {arg}");
+        std::process::exit(2);
+    };
+
+    let config = PipelineConfig::default();
+    println!(
+        "{:<14}{:>9}{:>12}{:>12}{:>10}{:>8}",
+        "benchmark", "speedup", "prefetches", "timely", "late", "SSST+PMST"
+    );
+    let mut speedups = Vec::new();
+    for w in all_workloads(Scale::Paper) {
+        let out = measure_speedup(&w.module, &w.train_args, &w.ref_args, variant, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        speedups.push(out.speedup);
+        println!(
+            "{:<14}{:>9.3}{:>12}{:>12}{:>10}{:>9}",
+            w.name,
+            out.speedup,
+            out.prefetch_mem.prefetches_issued,
+            out.prefetch_mem.prefetch_timely,
+            out.prefetch_mem.prefetch_late,
+            out.classification.loads.len(),
+        );
+    }
+    let geomean =
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("\n{arg} geometric-mean speedup: {geomean:.3}");
+}

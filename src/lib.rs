@@ -1,0 +1,45 @@
+//! Facade crate for the stride-prefetch reproduction of Wu,
+//! *Efficient Discovery of Regular Stride Patterns in Irregular Programs
+//! and Its Use in Compiler Prefetching* (PLDI 2002).
+//!
+//! Re-exports every subsystem crate under one roof:
+//!
+//! * [`ir`] — the compiler IR substrate (CFG, loops, analyses, verifier,
+//!   textual round-trip);
+//! * [`vm`] — the IR interpreter over simulated memory with cycle
+//!   accounting;
+//! * [`memsim`] — the Itanium-like cache hierarchy, DTLB and memory-bus
+//!   model;
+//! * [`profiling`] — the LFU value profiler, `strideProf` runtimes and
+//!   frequency profiles;
+//! * [`core`] — the paper's contribution: integrated instrumentation,
+//!   SSST/PMST/WSST classification and prefetch insertion;
+//! * [`workloads`] — the synthetic SPECINT2000 suite.
+//!
+//! See the repository README for a quick start and EXPERIMENTS.md for the
+//! paper-vs-measured results.
+//!
+//! # Example
+//!
+//! ```
+//! use stride_prefetch::core::{measure_speedup, PipelineConfig, ProfilingVariant};
+//! use stride_prefetch::workloads::{workload_by_name, Scale};
+//!
+//! let w = workload_by_name("181.mcf", Scale::Test).expect("known benchmark");
+//! let out = measure_speedup(
+//!     &w.module,
+//!     &w.train_args,
+//!     &w.ref_args,
+//!     ProfilingVariant::EdgeCheck,
+//!     &PipelineConfig::default(),
+//! )?;
+//! assert!(out.speedup >= 0.9); // test-scale inputs: no regression
+//! # Ok::<(), stride_prefetch::vm::VmError>(())
+//! ```
+
+pub use stride_core as core;
+pub use stride_ir as ir;
+pub use stride_memsim as memsim;
+pub use stride_profiling as profiling;
+pub use stride_vm as vm;
+pub use stride_workloads as workloads;

@@ -1,0 +1,166 @@
+//! End-to-end pipeline properties at test scale: the paper's qualitative
+//! claims that must hold at any scale.
+
+use stride_prefetch::core::{
+    measure_overhead, measure_speedup, run_profiling, PipelineConfig, PrefetchConfig,
+    ProfilingVariant, StrideClass,
+};
+use stride_prefetch::ir::{BinOp, ModuleBuilder, Operand};
+use stride_prefetch::workloads::{workload_by_name, Scale};
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        prefetch: PrefetchConfig {
+            frequency_threshold: 500, // test-scale inputs are small
+            ..PrefetchConfig::paper()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// A module with one hot strided loop, re-entered so edge-check can see it.
+fn strided_module() -> stride_prefetch::ir::Module {
+    let mut mb = ModuleBuilder::new();
+    let g = mb.add_global("arr", 1 << 21);
+    let f = mb.declare_function("main", 1);
+    let mut fb = mb.function(f);
+    let base = fb.global_addr(g);
+    let sum = fb.mov(0i64);
+    fb.counted_loop(fb.param(0), |fb, _| {
+        fb.counted_loop(8_000i64, |fb, i| {
+            let off = fb.mul(i, 96i64);
+            let a = fb.add(base, off);
+            let (v, _) = fb.load(a, 0);
+            fb.bin_to(sum, BinOp::Add, sum, v);
+        });
+    });
+    fb.ret(Some(Operand::Reg(sum)));
+    mb.set_entry(f);
+    mb.finish()
+}
+
+#[test]
+fn every_variant_speeds_up_a_strided_loop() {
+    let m = strided_module();
+    let cfg = config();
+    for variant in ProfilingVariant::EVALUATED {
+        let out = measure_speedup(&m, &[3], &[4], variant, &cfg)
+            .unwrap_or_else(|e| panic!("{variant}: {e}"));
+        assert!(
+            out.speedup > 1.5,
+            "{variant}: expected a large speedup on the pure strided loop, got {:.3}",
+            out.speedup
+        );
+    }
+}
+
+#[test]
+fn two_pass_and_block_check_agree_with_their_siblings() {
+    let m = strided_module();
+    let cfg = config();
+    let sites = |v: ProfilingVariant| {
+        let out = measure_speedup(&m, &[3], &[4], v, &cfg).expect("run");
+        let mut s: Vec<_> = out
+            .classification
+            .loads
+            .iter()
+            .map(|l| (l.func, l.site, l.class))
+            .collect();
+        s.sort();
+        s
+    };
+    assert_eq!(
+        sites(ProfilingVariant::TwoPass),
+        sites(ProfilingVariant::NaiveLoop),
+        "two-pass must select what naive-loop selects (§4.1)"
+    );
+    assert_eq!(
+        sites(ProfilingVariant::BlockCheck),
+        sites(ProfilingVariant::EdgeCheck),
+        "block-check must classify like edge-check"
+    );
+}
+
+#[test]
+fn guarded_profiling_is_cheaper() {
+    let m = strided_module();
+    let cfg = config();
+    let ec = measure_overhead(&m, &[4], ProfilingVariant::EdgeCheck, &cfg).unwrap();
+    let nl = measure_overhead(&m, &[4], ProfilingVariant::NaiveLoop, &cfg).unwrap();
+    let sec = measure_overhead(&m, &[4], ProfilingVariant::SampleEdgeCheck, &cfg).unwrap();
+    assert!(sec.overhead <= ec.overhead + 1e-9);
+    assert!(ec.overhead <= nl.overhead + 1e-9);
+    assert!(sec.strideprof_fraction < nl.strideprof_fraction);
+    assert!(sec.lfu_fraction <= sec.strideprof_fraction);
+}
+
+#[test]
+fn mcf_has_the_largest_speedup_of_the_headline_benchmarks() {
+    // Mid-size inputs: big enough that mcf's arc scan spills the caches,
+    // small enough for a debug-build test run.
+    let cfg = config();
+    let run = |name: &str, train: &[i64], reference: &[i64]| {
+        let w = workload_by_name(name, Scale::Test).unwrap();
+        measure_speedup(&w.module, train, reference, ProfilingVariant::EdgeCheck, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .speedup
+    };
+    let mcf = run("mcf", &[8_000, 2, 11], &[24_000, 3, 13]);
+    let gap = run("gap", &[8_000, 2, 31], &[20_000, 2, 33]);
+    let crafty = run("crafty", &[4_000, 71], &[8_000, 73]);
+    assert!(mcf > gap, "mcf {mcf:.3} must beat gap {gap:.3}");
+    assert!(mcf > 1.15, "mcf should show a clear win, got {mcf:.3}");
+    assert!(
+        (crafty - 1.0).abs() < 0.03,
+        "crafty must be flat, got {crafty:.3}"
+    );
+}
+
+#[test]
+fn gap_sweep_is_classified_pmst_at_paper_scale_inputs() {
+    // Use a mid-size input so the trip-count and frequency filters pass.
+    let w = workload_by_name("gap", Scale::Test).unwrap();
+    let cfg = config();
+    let outcome = run_profiling(
+        &w.module,
+        &[3000, 2, 31],
+        ProfilingVariant::NaiveLoop,
+        &cfg,
+    )
+    .unwrap();
+    let (_, classification, _) = stride_prefetch::core::prefetch_with_profiles(
+        &w.module,
+        &outcome.edge,
+        outcome.source,
+        &outcome.stride,
+        &cfg,
+    );
+    assert!(
+        classification
+            .loads
+            .iter()
+            .any(|l| l.class == StrideClass::Pmst),
+        "gap's sweep loads must classify PMST"
+    );
+}
+
+#[test]
+fn wsst_prefetching_can_be_enabled() {
+    // perlbmk's churned op walk produces weak strides; with WSST enabled
+    // the pipeline must insert conditional prefetches and keep semantics.
+    let w = workload_by_name("perlbmk", Scale::Test).unwrap();
+    let mut cfg = config();
+    cfg.prefetch.enable_wsst_prefetch = true;
+    cfg.prefetch.frequency_threshold = 100;
+    let out = measure_speedup(
+        &w.module,
+        &w.train_args,
+        &w.ref_args,
+        ProfilingVariant::NaiveLoop,
+        &cfg,
+    )
+    .unwrap();
+    // WSST prefetching may or may not help (the paper found it does not),
+    // but it must not be catastrophic.
+    assert!(out.speedup > 0.9, "WSST prefetching tanked: {:.3}", out.speedup);
+}

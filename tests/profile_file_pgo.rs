@@ -1,0 +1,85 @@
+//! PGO via profile files: collecting profiles, serializing them to the
+//! text format, reading them back, and feeding back must produce exactly
+//! the binary that in-memory feedback produces — the cross-compilation
+//! workflow §3.2 motivates the one-pass method with.
+
+use stride_prefetch::core::{prefetch_with_profiles, run_profiling, PipelineConfig, ProfilingVariant};
+use stride_prefetch::ir::module_to_string;
+use stride_prefetch::profiling::{
+    edge_profile_from_text, edge_profile_to_text, stride_profile_from_text,
+    stride_profile_to_text,
+};
+use stride_prefetch::workloads::{all_workloads, Scale};
+
+#[test]
+fn feedback_through_profile_files_is_identical() {
+    let config = PipelineConfig::default();
+    for w in all_workloads(Scale::Test).into_iter().take(6) {
+        let outcome = run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, &config)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+
+        // in-memory feedback
+        let (direct, _, _) = prefetch_with_profiles(
+            &w.module,
+            &outcome.edge,
+            outcome.source,
+            &outcome.stride,
+            &config,
+        );
+
+        // feedback through the serialized form
+        let edge_text = edge_profile_to_text(&outcome.edge, &w.module);
+        let stride_text = stride_profile_to_text(&outcome.stride);
+        let edge2 = edge_profile_from_text(&edge_text, &w.module)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let stride2 = stride_profile_from_text(&stride_text)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (via_files, _, _) =
+            prefetch_with_profiles(&w.module, &edge2, outcome.source, &stride2, &config);
+
+        assert_eq!(
+            module_to_string(&direct),
+            module_to_string(&via_files),
+            "{}: file round-trip changed the transformed binary",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn merged_profiles_from_two_runs_strengthen_the_feedback() {
+    // Multi-run PGO: merging the train and a second (different-seed)
+    // profile must keep every load classification available from either.
+    let config = PipelineConfig::default();
+    let w = stride_prefetch::workloads::workload_by_name("mcf", Scale::Test).unwrap();
+    let run_a = run_profiling(&w.module, &[4_000, 2, 11], ProfilingVariant::NaiveLoop, &config)
+        .expect("run a");
+    let run_b = run_profiling(&w.module, &[4_000, 2, 99], ProfilingVariant::NaiveLoop, &config)
+        .expect("run b");
+
+    let mut merged_stride = run_a.stride.clone();
+    merged_stride.merge(&run_b.stride);
+    let mut merged_edge = run_a.edge.clone();
+    merged_edge.merge(&run_b.edge);
+
+    let (_, from_a, _) =
+        prefetch_with_profiles(&w.module, &run_a.edge, run_a.source, &run_a.stride, &config);
+    let (_, from_merged, _) = prefetch_with_profiles(
+        &w.module,
+        &merged_edge,
+        run_a.source,
+        &merged_stride,
+        &config,
+    );
+
+    let sites = |c: &stride_prefetch::core::Classification| {
+        let mut v: Vec<_> = c.loads.iter().map(|l| (l.func, l.site)).collect();
+        v.sort();
+        v
+    };
+    // every load classified from run A alone survives the merge
+    let merged_sites = sites(&from_merged);
+    for s in sites(&from_a) {
+        assert!(merged_sites.contains(&s), "merge lost load {s:?}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests (proptest) on the core data structures: the LFU
+//! profiler, the `strideProf` routine, the cache model, the heap, and the
+//! classification thresholds.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use stride_prefetch::core::{classify_profile, PrefetchConfig, StrideClass};
+use stride_prefetch::memsim::{Cache, CacheGeometry};
+use stride_prefetch::profiling::{
+    LfuConfig, LoadStrideProfile, StrideProfConfig, StrideProfData, StrideProfEngine,
+};
+use stride_prefetch::vm::Heap;
+
+proptest! {
+    /// The LFU's reported count for any value never exceeds the true
+    /// count, and the total equals the number of insertions.
+    #[test]
+    fn lfu_counts_are_sound(values in proptest::collection::vec(-50i64..50, 1..400)) {
+        let mut lfu = stride_prefetch::profiling::Lfu::new(LfuConfig::standard());
+        let mut exact: HashMap<i64, u64> = HashMap::new();
+        for &v in &values {
+            lfu.insert(v);
+            *exact.entry(v).or_insert(0) += 1;
+        }
+        prop_assert_eq!(lfu.total(), values.len() as u64);
+        for (v, c) in lfu.top_values() {
+            prop_assert!(c <= exact[&v], "LFU overcounted {} ({} > {})", v, c, exact[&v]);
+        }
+    }
+
+    /// With a temp buffer large enough to hold every distinct value, the
+    /// LFU is exact: the top value matches a true majority element.
+    #[test]
+    fn lfu_exact_when_buffer_fits(values in proptest::collection::vec(0i64..12, 50..300)) {
+        let mut lfu = stride_prefetch::profiling::Lfu::new(LfuConfig {
+            temp_entries: 16,
+            final_entries: 16,
+            ..LfuConfig::standard()
+        });
+        let mut exact: HashMap<i64, u64> = HashMap::new();
+        for &v in &values {
+            lfu.insert(v);
+            *exact.entry(v).or_insert(0) += 1;
+        }
+        let top = lfu.top_values();
+        let best_exact = exact.values().copied().max().unwrap();
+        prop_assert_eq!(top[0].1, best_exact);
+    }
+
+    /// strideProf invariants: processed = calls without sampling; the LFU
+    /// total plus zero strides plus the first observation equals processed.
+    #[test]
+    fn strideprof_accounting(addrs in proptest::collection::vec(0u64..10_000, 2..300)) {
+        let cfg = StrideProfConfig::plain();
+        let mut engine = StrideProfEngine::new();
+        let mut data = StrideProfData::new(&cfg);
+        for &a in &addrs {
+            engine.stride_prof(&cfg, &mut data, a);
+        }
+        let s = engine.stats;
+        prop_assert_eq!(s.calls, addrs.len() as u64);
+        prop_assert_eq!(s.processed, s.calls);
+        prop_assert_eq!(
+            s.lfu_inserts + data.num_zero_stride + 1,
+            s.processed,
+            "every processed call is first-observation, zero-stride, or LFU"
+        );
+        prop_assert!(data.num_zero_diff <= data.total_diffs);
+        prop_assert!(data.total_diffs < s.lfu_inserts.max(1));
+    }
+
+    /// Fine sampling with factor F processes exactly ceil(n / F) calls and
+    /// scales constant strides by F.
+    #[test]
+    fn fine_sampling_scales(f in 2u32..8, stride in 1i64..256, n in 50usize..300) {
+        let cfg = StrideProfConfig {
+            fine_sample: Some(f),
+            ..StrideProfConfig::plain()
+        };
+        let mut engine = StrideProfEngine::new();
+        let mut data = StrideProfData::new(&cfg);
+        for i in 0..n as u64 {
+            engine.stride_prof(&cfg, &mut data, i * stride as u64);
+        }
+        prop_assert_eq!(engine.stats.processed, n as u64 / f as u64 + (n as u64 % f as u64).min(1));
+        let profile = LoadStrideProfile::from_data(&mut data, &cfg);
+        if let Some((top, _)) = profile.top1() {
+            prop_assert_eq!(top, stride, "scaled stride must divide back to the original");
+        }
+    }
+
+    /// The cache never reports a hit for a line it was never given, and
+    /// always hits a line just installed.
+    #[test]
+    fn cache_hit_soundness(addrs in proptest::collection::vec(0u64..(1 << 16), 1..200)) {
+        let mut cache = Cache::new(CacheGeometry {
+            size_bytes: 2048,
+            ways: 2,
+            line_size: 64,
+        });
+        let mut installed: Vec<u64> = Vec::new();
+        for &a in &addrs {
+            if cache.access(a) {
+                prop_assert!(
+                    installed.contains(&(a / 64)),
+                    "hit for never-installed line {:#x}", a
+                );
+            }
+            cache.install(a);
+            installed.push(a / 64);
+            prop_assert!(cache.contains(a), "just-installed line missing");
+        }
+    }
+
+    /// Heap allocations never overlap while both are live.
+    #[test]
+    fn heap_allocations_disjoint(ops in proptest::collection::vec((1u64..256, proptest::bool::ANY), 1..200)) {
+        let mut heap = Heap::new();
+        let mut live: Vec<(u64, u64)> = Vec::new(); // (addr, rounded size)
+        for (size, also_free) in ops {
+            let addr = heap.alloc(size);
+            let rounded = size.div_ceil(16) * 16;
+            for &(a, s) in &live {
+                prop_assert!(
+                    addr + rounded <= a || a + s <= addr,
+                    "allocation [{:#x}, {:#x}) overlaps live [{:#x}, {:#x})",
+                    addr, addr + rounded, a, a + s
+                );
+            }
+            if also_free {
+                heap.free(addr, size);
+            } else {
+                live.push((addr, rounded));
+            }
+        }
+    }
+
+    /// Classification is monotone in the top-1 ratio: raising the dominant
+    /// stride's frequency never demotes SSST to a weaker class.
+    #[test]
+    fn classification_monotone_in_top1(base in 1u64..500, boost in 0u64..2000) {
+        let cfg = PrefetchConfig::paper();
+        let mk = |top1: u64| LoadStrideProfile {
+            top: vec![(64, top1), (8, base)],
+            total_freq: top1 + base,
+            num_zero_stride: 0,
+            num_zero_diff: (top1 + base) / 2,
+            total_diffs: top1 + base,
+        };
+        let weaker = classify_profile(&mk(base), &cfg);
+        let stronger = classify_profile(&mk(base + boost), &cfg);
+        let rank = |c: Option<StrideClass>| match c {
+            Some(StrideClass::Ssst) => 3,
+            Some(StrideClass::Pmst) => 2,
+            Some(StrideClass::Wsst) => 1,
+            None => 0,
+        };
+        prop_assert!(rank(stronger) >= rank(weaker));
+    }
+
+    /// A constant-stride address walk always classifies SSST regardless of
+    /// the stride value or walk length (above the minimum).
+    #[test]
+    fn constant_stride_is_always_ssst(stride in 1i64..4096, n in 40usize..400) {
+        let cfg = StrideProfConfig::plain();
+        let mut engine = StrideProfEngine::new();
+        let mut data = StrideProfData::new(&cfg);
+        for i in 0..n as u64 {
+            engine.stride_prof(&cfg, &mut data, 0x10_0000 + i * stride as u64);
+        }
+        let profile = LoadStrideProfile::from_data(&mut data, &cfg);
+        prop_assert_eq!(
+            classify_profile(&profile, &PrefetchConfig::paper()),
+            Some(StrideClass::Ssst)
+        );
+        prop_assert_eq!(profile.top1().unwrap().0, stride);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests over *randomly generated CFGs*: the dominator,
+//! postdominator and loop analyses must satisfy their defining properties
+//! on arbitrary graph shapes, and every generated module must survive the
+//! verifier, the printer/parser round-trip, and execution.
+
+use proptest::prelude::*;
+use stride_prefetch::ir::{
+    module_from_string, module_to_string, verify_module, BlockId, Cfg, CmpOp, DomTree,
+    FuncAnalysis, Module, ModuleBuilder, Operand,
+};
+use stride_prefetch::vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+
+/// Builds a module whose single function has `n` blocks with terminators
+/// chosen by `choices` (pairs of target indices; equal pair = plain
+/// branch, Ret when the first index is n).
+///
+/// Block bodies decrement a fuel cell in memory and return when it runs
+/// out, so every generated CFG terminates regardless of its cycles.
+fn build_random_module(n: usize, choices: &[(usize, usize)]) -> Module {
+    let mut mb = ModuleBuilder::new();
+    let fuel_global = mb.add_global("fuel", 8);
+    let f = mb.declare_function("main", 1);
+    let mut fb = mb.function(f);
+
+    // the entry block only initializes the fuel cell (cycles through it
+    // would otherwise reset the fuel and never terminate)
+    let mut blocks = Vec::with_capacity(n);
+    for _ in 0..n {
+        blocks.push(fb.new_block());
+    }
+    let ret_block = fb.new_block();
+    fb.switch_to(ret_block);
+    fb.ret(Some(Operand::Imm(0)));
+
+    let fuel_addr = fb.global_addr(fuel_global);
+    fb.store(fb.param(0), fuel_addr, 0);
+    fb.br(blocks[0]);
+
+    for (i, &(a, b)) in choices.iter().enumerate().take(n) {
+        fb.switch_to(blocks[i]);
+        // decrement fuel; bail out to ret when exhausted
+        let fa = fb.global_addr(fuel_global);
+        let (fuel, _) = fb.load(fa, 0);
+        let fuel2 = fb.sub(fuel, 1i64);
+        fb.store(fuel2, fa, 0);
+        let alive = fb.cmp(CmpOp::Gt, fuel2, 0i64);
+
+        let t1 = if a >= n { ret_block } else { blocks[a] };
+        let t2 = if b >= n { ret_block } else { blocks[b] };
+        let cont = fb.new_block();
+        fb.cond_br(alive, cont, ret_block);
+        fb.switch_to(cont);
+        if t1 == t2 {
+            fb.br(t1);
+        } else {
+            // branch on fuel parity for data-dependent control flow
+            let parity = fb.bin(stride_prefetch::ir::BinOp::And, fuel2, 1i64);
+            fb.cond_br(parity, t1, t2);
+        }
+    }
+    mb.set_entry(f);
+    mb.finish()
+}
+
+fn cfg_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2usize..10).prop_flat_map(|n| {
+        (
+            Just(n),
+            proptest::collection::vec((0..n + 1, 0..n + 1), n..n + 1),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Generated modules verify, round-trip through text, and run to
+    /// completion with identical results.
+    #[test]
+    fn random_cfgs_verify_round_trip_and_run((n, choices) in cfg_strategy()) {
+        let module = build_random_module(n, &choices);
+        verify_module(&module).expect("generated module verifies");
+
+        let text = module_to_string(&module);
+        let parsed = module_from_string(&text).expect("parses");
+        prop_assert_eq!(module_to_string(&parsed), text);
+
+        let run = |m: &Module| {
+            let mut vm = Vm::new(m, VmConfig { fuel: 10_000_000, ..VmConfig::default() });
+            vm.run(&[200], &mut FlatTiming, &mut NullRuntime)
+                .expect("terminates")
+                .instructions
+        };
+        prop_assert_eq!(run(&module), run(&parsed));
+    }
+
+    /// Dominator-tree properties on arbitrary CFGs.
+    #[test]
+    fn dominator_properties((n, choices) in cfg_strategy()) {
+        let module = build_random_module(n, &choices);
+        let func = module.function(module.entry);
+        let cfg = Cfg::compute(func);
+        let dom = DomTree::compute(&cfg, func.entry);
+
+        for b in 0..func.blocks.len() {
+            let b = BlockId::new(b as u32);
+            // reflexive
+            prop_assert!(dom.dominates(b, b));
+            if !dom.is_reachable(b) || b == func.entry {
+                continue;
+            }
+            // the entry dominates every reachable block
+            prop_assert!(dom.dominates(func.entry, b));
+            // the idom exists, is reachable, and dominates b
+            let idom = dom.idom(b).expect("reachable non-entry has an idom");
+            prop_assert!(dom.is_reachable(idom));
+            prop_assert!(dom.dominates(idom, b));
+            // the idom dominates every predecessor-dominator of b:
+            // every predecessor of b is dominated by idom(b) OR b itself
+            // lies on the path (back edges).
+            for &p in cfg.preds(b) {
+                if dom.is_reachable(p) {
+                    prop_assert!(
+                        dom.dominates(idom, p) || dom.dominates(b, p),
+                        "idom {idom} of {b} does not cover pred {p}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Natural-loop properties on arbitrary CFGs.
+    #[test]
+    fn loop_properties((n, choices) in cfg_strategy()) {
+        let module = build_random_module(n, &choices);
+        let func = module.function(module.entry);
+        let analysis = FuncAnalysis::compute(func);
+
+        for l in analysis.loops.loops() {
+            // the header is a member and dominates every member
+            prop_assert!(l.contains(l.header));
+            for &b in &l.blocks {
+                prop_assert!(
+                    analysis.dom.dominates(l.header, b),
+                    "header {} does not dominate member {b}",
+                    l.header
+                );
+            }
+            // every latch is a member with an edge to the header
+            for &latch in &l.latches {
+                prop_assert!(l.contains(latch));
+                prop_assert!(analysis.cfg.succs(latch).contains(&l.header));
+            }
+            // nesting: the parent strictly contains this loop
+            if let Some(parent) = l.parent {
+                let p = analysis.loops.get(parent);
+                prop_assert!(p.blocks.is_superset(&l.blocks));
+                prop_assert!(p.blocks.len() > l.blocks.len());
+            }
+        }
+
+        // irreducible blocks never report a containing loop
+        for b in 0..func.blocks.len() {
+            let b = BlockId::new(b as u32);
+            if analysis.loops.is_irreducible_block(b) {
+                prop_assert_eq!(analysis.loops.loop_of(b), None);
+            }
+        }
+    }
+
+    /// Control equivalence is symmetric and reflexive.
+    #[test]
+    fn control_equivalence_properties((n, choices) in cfg_strategy()) {
+        let module = build_random_module(n, &choices);
+        let func = module.function(module.entry);
+        let analysis = FuncAnalysis::compute(func);
+        let nb = func.blocks.len();
+        for a in 0..nb {
+            let a = BlockId::new(a as u32);
+            prop_assert!(analysis.control_equivalent(a, a));
+            for b in 0..nb {
+                let b = BlockId::new(b as u32);
+                prop_assert_eq!(
+                    analysis.control_equivalent(a, b),
+                    analysis.control_equivalent(b, a)
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-crate semantic guarantees: neither instrumentation nor prefetch
+//! insertion may change what a program computes, for every benchmark and
+//! every profiling method.
+
+use stride_prefetch::core::{
+    instrument, instrument_edges_only, prefetch_with_profiles, run_profiling, PipelineConfig,
+    PrefetchConfig, ProfilingMethod, ProfilingVariant,
+};
+use stride_prefetch::ir::verify_module;
+use stride_prefetch::memsim::{CacheHierarchy, HierarchyConfig};
+use stride_prefetch::profiling::ProfilerRuntime;
+use stride_prefetch::vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+use stride_prefetch::workloads::{all_workloads, Scale};
+
+fn plain_result(module: &stride_prefetch::ir::Module, args: &[i64]) -> Option<i64> {
+    let mut vm = Vm::new(module, VmConfig::default());
+    vm.run(args, &mut FlatTiming, &mut NullRuntime)
+        .expect("plain run")
+        .return_value
+}
+
+#[test]
+fn instrumentation_preserves_semantics_for_every_workload_and_method() {
+    for w in all_workloads(Scale::Test) {
+        let expected = plain_result(&w.module, &w.train_args);
+        for method in ProfilingMethod::ALL {
+            let inst = instrument(&w.module, method, &PrefetchConfig::paper());
+            verify_module(&inst.module)
+                .unwrap_or_else(|e| panic!("{} {method}: {e}", w.name));
+            let mut vm = Vm::new(&inst.module, VmConfig::default());
+            let mut rt = ProfilerRuntime::new(
+                &w.module,
+                inst.selection.slot_sites(),
+                ProfilingVariant::EdgeCheck.stride_config(),
+            );
+            let mut hierarchy = CacheHierarchy::new(HierarchyConfig::itanium733());
+            let got = vm
+                .run(&w.train_args, &mut hierarchy, &mut rt)
+                .unwrap_or_else(|e| panic!("{} {method}: {e}", w.name))
+                .return_value;
+            assert_eq!(
+                got, expected,
+                "{} under {method}: instrumentation changed the result",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn prefetching_preserves_semantics_for_every_workload() {
+    let config = PipelineConfig::default();
+    for w in all_workloads(Scale::Test) {
+        let expected = plain_result(&w.module, &w.ref_args);
+        for variant in [ProfilingVariant::EdgeCheck, ProfilingVariant::NaiveAll] {
+            let outcome = run_profiling(&w.module, &w.train_args, variant, &config)
+                .unwrap_or_else(|e| panic!("{} {variant}: {e}", w.name));
+            let (transformed, _, _) = prefetch_with_profiles(
+                &w.module,
+                &outcome.edge,
+                outcome.source,
+                &outcome.stride,
+                &config,
+            );
+            verify_module(&transformed)
+                .unwrap_or_else(|e| panic!("{} {variant}: transformed module invalid: {e}", w.name));
+            let got = plain_result(&transformed, &w.ref_args);
+            assert_eq!(
+                got, expected,
+                "{} under {variant}: prefetch insertion changed the result",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn edge_only_instrumentation_counts_consistently() {
+    // Flow conservation: for every function executed exactly through
+    // calls, the virtual entry counter plus incoming edge counters of each
+    // block equal the outgoing edge counters (for non-exit blocks).
+    for w in all_workloads(Scale::Test) {
+        let inst = instrument_edges_only(&w.module);
+        let mut vm = Vm::new(&inst, VmConfig::default());
+        let mut rt = ProfilerRuntime::edge_only(&w.module);
+        vm.run(&w.train_args, &mut FlatTiming, &mut rt)
+            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let (edges, _, _) = rt.finish();
+        for func in &w.module.functions {
+            let cfg = stride_prefetch::ir::Cfg::compute(func);
+            for block in &func.blocks {
+                let inflow: u64 = cfg
+                    .preds(block.id)
+                    .iter()
+                    .filter_map(|&p| cfg.edge_id(p, block.id))
+                    .map(|e| edges.count(func.id, e))
+                    .sum::<u64>()
+                    + if block.id == func.entry {
+                        edges.count(
+                            func.id,
+                            stride_prefetch::profiling::EdgeProfile::entry_edge(&cfg),
+                        )
+                    } else {
+                        0
+                    };
+                let outflow: u64 = cfg
+                    .succs(block.id)
+                    .iter()
+                    .filter_map(|&s| cfg.edge_id(block.id, s))
+                    .map(|e| edges.count(func.id, e))
+                    .sum();
+                let is_exit = cfg.succs(block.id).is_empty();
+                if !is_exit {
+                    assert_eq!(
+                        inflow, outflow,
+                        "{}: flow not conserved at {} of {}",
+                        w.name, block.id, func.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn instrumented_run_costs_more_than_plain() {
+    let config = PipelineConfig::default();
+    for w in all_workloads(Scale::Test) {
+        let outcome =
+            run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, &config)
+                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        let mut hierarchy = CacheHierarchy::new(HierarchyConfig::itanium733());
+        let plain = vm
+            .run(&w.train_args, &mut hierarchy, &mut NullRuntime)
+            .unwrap();
+        assert!(
+            outcome.run.cycles > plain.cycles,
+            "{}: instrumentation added no cost?",
+            w.name
+        );
+        assert!(outcome.run.profiling_cycles > 0, "{}", w.name);
+    }
+}
