@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI: build, test, lint, format, and a parallel-repro smoke run.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build (release, workspace) =="
+cargo build --release --workspace
+
+echo "== test =="
+cargo test -q --workspace
+
+echo "== clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== fmt =="
+cargo fmt --all --check
+
+echo "== smoke: repro --figure 16 --jobs 2 (test scale) =="
+cargo run --release -q -p stride-bench --bin repro -- \
+    --figure 16 --scale test --jobs 2
+
+echo "ci.sh: all checks passed"

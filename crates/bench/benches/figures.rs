@@ -1,13 +1,14 @@
-//! One Criterion bench per paper table/figure: each target executes the
+//! One bench target per paper table/figure: each executes the
 //! corresponding figure's pipeline at test scale, so `cargo bench`
 //! exercises every experiment end-to-end and tracks its cost over time.
 //! (The paper-scale numbers themselves are produced by the `repro`
-//! binary; see EXPERIMENTS.md.)
+//! binary; see EXPERIMENTS.md.) Std-only harness; pass
+//! `--bench-json PATH` (after `--`) or set `BENCH_JSON` to keep the
+//! numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use stride_bench::{
     fig15_table, fig16_speedups, fig17_load_mix, fig18_19_distributions, fig20_22_overheads,
-    fig23_25_sensitivity,
+    fig23_25_sensitivity, BenchReport, FigureCtx, RunCache,
 };
 use stride_core::{PipelineConfig, PrefetchConfig, ProfilingVariant};
 use stride_workloads::Scale;
@@ -22,96 +23,65 @@ fn test_config() -> PipelineConfig {
     }
 }
 
-fn bench_fig15(c: &mut Criterion) {
-    c.bench_function("fig15_benchmark_table", |b| {
-        b.iter(|| fig15_table(Scale::Test).len());
-    });
-}
-
-fn bench_fig16(c: &mut Criterion) {
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
     let config = test_config();
-    let mut group = c.benchmark_group("fig16_speedup");
-    group.sample_size(10);
-    group.bench_function("suite_edge_check", |b| {
-        b.iter(|| {
-            fig16_speedups(Scale::Test, &[ProfilingVariant::EdgeCheck], &config)
-                .expect("pipeline")
-                .len()
-        });
-    });
-    group.bench_function("suite_sample_edge_check", |b| {
-        b.iter(|| {
-            fig16_speedups(Scale::Test, &[ProfilingVariant::SampleEdgeCheck], &config)
-                .expect("pipeline")
-                .len()
-        });
-    });
-    group.finish();
-}
+    let mut report = BenchReport::new();
 
-fn bench_fig17(c: &mut Criterion) {
-    let config = test_config();
-    let mut group = c.benchmark_group("fig17_load_mix");
-    group.sample_size(10);
-    group.bench_function("suite", |b| {
-        b.iter(|| fig17_load_mix(Scale::Test, &config).expect("pipeline").len());
+    report.run("fig15_benchmark_table", 100, None, || {
+        fig15_table(Scale::Test).len()
     });
-    group.finish();
-}
-
-fn bench_fig18_19(c: &mut Criterion) {
-    let config = test_config();
-    let mut group = c.benchmark_group("fig18_19_distributions");
-    group.sample_size(10);
-    group.bench_function("suite_naive_all", |b| {
-        b.iter(|| {
-            fig18_19_distributions(Scale::Test, &config)
-                .expect("pipeline")
-                .len()
-        });
+    // Fresh cache per iteration: these targets time the full uncached
+    // pipeline, as the seed's Criterion benches did.
+    report.run("fig16_speedup/suite_edge_check", 5, None, || {
+        let cache = RunCache::new();
+        let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
+        fig16_speedups(&ctx, &[ProfilingVariant::EdgeCheck])
+            .expect("pipeline")
+            .len()
     });
-    group.finish();
-}
-
-fn bench_fig20_22(c: &mut Criterion) {
-    let config = test_config();
-    let mut group = c.benchmark_group("fig20_22_overhead");
-    group.sample_size(10);
-    group.bench_function("suite_edge_check_vs_naive", |b| {
-        b.iter(|| {
+    report.run("fig16_speedup/suite_sample_edge_check", 5, None, || {
+        let cache = RunCache::new();
+        let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
+        fig16_speedups(&ctx, &[ProfilingVariant::SampleEdgeCheck])
+            .expect("pipeline")
+            .len()
+    });
+    report.run("fig17_load_mix/suite", 5, None, || {
+        let cache = RunCache::new();
+        let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
+        fig17_load_mix(&ctx).expect("pipeline").len()
+    });
+    report.run("fig18_19_distributions/suite_naive_all", 5, None, || {
+        let cache = RunCache::new();
+        let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
+        fig18_19_distributions(&ctx).expect("pipeline").len()
+    });
+    report.run(
+        "fig20_22_overhead/suite_edge_check_vs_naive",
+        5,
+        None,
+        || {
+            let cache = RunCache::new();
+            let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
             fig20_22_overheads(
-                Scale::Test,
+                &ctx,
                 &[ProfilingVariant::EdgeCheck, ProfilingVariant::NaiveLoop],
-                &config,
             )
             .expect("pipeline")
             .len()
-        });
-    });
-    group.finish();
-}
+        },
+    );
+    report.run(
+        "fig23_25_sensitivity/suite_sample_edge_check",
+        5,
+        None,
+        || {
+            let cache = RunCache::new();
+            let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
+            fig23_25_sensitivity(&ctx).expect("pipeline").len()
+        },
+    );
 
-fn bench_fig23_25(c: &mut Criterion) {
-    let config = test_config();
-    let mut group = c.benchmark_group("fig23_25_sensitivity");
-    group.sample_size(10);
-    group.bench_function("suite_sample_edge_check", |b| {
-        b.iter(|| {
-            fig23_25_sensitivity(Scale::Test, &config)
-                .expect("pipeline")
-                .len()
-        });
-    });
-    group.finish();
+    report.write_if_requested(&args).expect("write bench json");
 }
-
-criterion_group!(
-    benches,
-    bench_fig15,
-    bench_fig16,
-    bench_fig17,
-    bench_fig18_19,
-    bench_fig20_22,
-    bench_fig23_25
-);
-criterion_main!(benches);

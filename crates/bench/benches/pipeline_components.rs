@@ -1,30 +1,29 @@
 //! Component-level benches of the compiler passes themselves:
 //! instrumentation, classification, prefetch insertion, and raw VM
-//! interpretation throughput.
+//! interpretation throughput. Std-only harness; pass `--bench-json PATH`
+//! (after `--`) or set `BENCH_JSON` to keep the numbers.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use stride_bench::BenchReport;
 use stride_core::{
     apply_prefetching, classify, instrument, run_profiling, PipelineConfig, PrefetchConfig,
     ProfilingMethod, ProfilingVariant,
 };
-use stride_memsim::{CacheHierarchy, HierarchyConfig};
+use stride_memsim::{Cache, CacheGeometry, CacheHierarchy, HierarchyConfig};
 use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
 use stride_workloads::{workload_by_name, Scale};
 
-fn bench_instrumentation(c: &mut Criterion) {
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut report = BenchReport::new();
+
     let w = workload_by_name("parser", Scale::Test).unwrap();
     let config = PrefetchConfig::paper();
-    let mut group = c.benchmark_group("pass_instrument");
     for method in [ProfilingMethod::EdgeCheck, ProfilingMethod::NaiveAll] {
-        group.bench_function(method.to_string(), |b| {
-            b.iter(|| instrument(&w.module, method, &config).module.instr_count());
+        report.run(&format!("pass_instrument/{method}"), 200, None, || {
+            instrument(&w.module, method, &config).module.instr_count()
         });
     }
-    group.finish();
-}
 
-fn bench_feedback_passes(c: &mut Criterion) {
-    let w = workload_by_name("parser", Scale::Test).unwrap();
     let pipeline = PipelineConfig {
         prefetch: PrefetchConfig {
             frequency_threshold: 100,
@@ -32,21 +31,24 @@ fn bench_feedback_passes(c: &mut Criterion) {
         },
         ..PipelineConfig::default()
     };
-    let outcome = run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, &pipeline)
-        .expect("profiling");
+    let outcome = run_profiling(
+        &w.module,
+        &w.train_args,
+        ProfilingVariant::NaiveAll,
+        &pipeline,
+    )
+    .expect("profiling");
 
-    c.bench_function("pass_classify", |b| {
-        b.iter(|| {
-            classify(
-                &w.module,
-                &outcome.stride,
-                &outcome.edge,
-                outcome.source,
-                &pipeline.prefetch,
-            )
-            .loads
-            .len()
-        });
+    report.run("pass_classify", 200, None, || {
+        classify(
+            &w.module,
+            &outcome.stride,
+            &outcome.edge,
+            outcome.source,
+            &pipeline.prefetch,
+        )
+        .loads
+        .len()
     });
 
     let classification = classify(
@@ -56,16 +58,44 @@ fn bench_feedback_passes(c: &mut Criterion) {
         outcome.source,
         &pipeline.prefetch,
     );
-    c.bench_function("pass_apply_prefetching", |b| {
-        b.iter(|| {
-            apply_prefetching(&w.module, &classification, &pipeline.prefetch)
-                .1
-                .prefetches_inserted
-        });
+    report.run("pass_apply_prefetching", 200, None, || {
+        apply_prefetching(&w.module, &classification, &pipeline.prefetch)
+            .1
+            .prefetches_inserted
     });
-}
 
-fn bench_vm_throughput(c: &mut Criterion) {
+    // Raw cache-model throughput: a hot line re-touched (the MRU fast
+    // path) and a strided sweep with misses and evictions.
+    let geo = CacheGeometry {
+        size_bytes: 16 * 1024,
+        ways: 4,
+        line_size: 64,
+    };
+    report.run("cache_access/hot_line", 500, Some(65536), || {
+        let mut c = Cache::new(geo);
+        c.install(0x1000);
+        let mut hits = 0u64;
+        for _ in 0..65536 {
+            if c.access(0x1000) {
+                hits += 1;
+            }
+        }
+        hits
+    });
+    report.run("cache_access/strided_sweep", 500, Some(65536), || {
+        let mut c = Cache::new(geo);
+        let mut hits = 0u64;
+        for i in 0..65536u64 {
+            let a = (i * 64) % (64 * 1024);
+            if c.access(a) {
+                hits += 1;
+            } else {
+                c.install(a);
+            }
+        }
+        hits
+    });
+
     let w = workload_by_name("gzip", Scale::Test).unwrap();
     // Count instructions once for throughput reporting.
     let mut vm = Vm::new(&w.module, VmConfig::default());
@@ -74,32 +104,51 @@ fn bench_vm_throughput(c: &mut Criterion) {
         .unwrap()
         .instructions;
 
-    let mut group = c.benchmark_group("vm_interpret");
-    group.throughput(Throughput::Elements(instrs));
-    group.bench_function("flat_memory", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new(&w.module, VmConfig::default());
-            vm.run(&w.train_args, &mut FlatTiming, &mut NullRuntime)
-                .unwrap()
-                .cycles
-        });
+    report.run("vm_interpret/flat_memory", 20, Some(instrs), || {
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        vm.run(&w.train_args, &mut FlatTiming, &mut NullRuntime)
+            .unwrap()
+            .cycles
     });
-    group.bench_function("cache_hierarchy", |b| {
-        b.iter(|| {
-            let mut vm = Vm::new(&w.module, VmConfig::default());
-            let mut h = CacheHierarchy::new(HierarchyConfig::itanium733());
-            vm.run(&w.train_args, &mut h, &mut NullRuntime)
-                .unwrap()
-                .cycles
-        });
+    report.run("vm_interpret/cache_hierarchy", 20, Some(instrs), || {
+        let mut vm = Vm::new(&w.module, VmConfig::default());
+        let mut h = CacheHierarchy::new(HierarchyConfig::itanium733());
+        vm.run(&w.train_args, &mut h, &mut NullRuntime)
+            .unwrap()
+            .cycles
     });
-    group.finish();
-}
 
-criterion_group!(
-    benches,
-    bench_instrumentation,
-    bench_feedback_passes,
-    bench_vm_throughput
-);
-criterion_main!(benches);
+    // Call-dominated: a loop whose body is one call/ret pair, so per-call
+    // frame setup cost is the whole story.
+    let m = {
+        use stride_ir::{BinOp, ModuleBuilder, Operand};
+        let mut mb = ModuleBuilder::new();
+        let leaf = mb.declare_function("sq", 1);
+        {
+            let mut fb = mb.function(leaf);
+            let x = fb.param(0);
+            let y = fb.mul(x, x);
+            fb.ret(Some(Operand::Reg(y)));
+        }
+        let f = mb.declare_function("main", 1);
+        {
+            let mut fb = mb.function(f);
+            let sum = fb.const_(0);
+            fb.counted_loop(fb.param(0), |fb, i| {
+                let r = fb.call(leaf, &[Operand::Reg(i)]);
+                fb.bin_to(sum, BinOp::Add, sum, r);
+            });
+            fb.ret(Some(Operand::Reg(sum)));
+        }
+        mb.set_entry(f);
+        mb.finish()
+    };
+    report.run("vm_interpret/call_ret_loop", 500, Some(8000), || {
+        let mut vm = Vm::new(&m, VmConfig::default());
+        vm.run(&[8000], &mut FlatTiming, &mut NullRuntime)
+            .unwrap()
+            .return_value
+    });
+
+    report.write_if_requested(&args).expect("write bench json");
+}

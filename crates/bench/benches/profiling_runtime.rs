@@ -1,34 +1,31 @@
 //! Microbenchmarks of the profiling runtime itself (§3.1's efficiency
 //! argument): LFU insertion under different value diversity, and the
 //! `strideProf` variants (plain / enhanced / sampled) on representative
-//! address streams.
+//! address streams. Std-only harness; pass `--bench-json PATH` (after
+//! `--`) or set `BENCH_JSON` to keep the numbers.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use stride_bench::BenchReport;
 use stride_profiling::{Lfu, LfuConfig, StrideProfConfig, StrideProfData, StrideProfEngine};
 
-fn bench_lfu(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lfu_insert");
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut report = BenchReport::new();
+
     for distinct in [1u64, 4, 16, 64] {
-        group.throughput(Throughput::Elements(1024));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{distinct}_distinct_values")),
-            &distinct,
-            |b, &distinct| {
-                b.iter(|| {
-                    let mut lfu = Lfu::new(LfuConfig::standard());
-                    for i in 0..1024u64 {
-                        lfu.insert((i % distinct) as i64 * 8);
-                    }
-                    lfu.total()
-                });
+        report.run(
+            &format!("lfu_insert/{distinct}_distinct_values"),
+            2000,
+            Some(1024),
+            || {
+                let mut lfu = Lfu::new(LfuConfig::standard());
+                for i in 0..1024u64 {
+                    lfu.insert((i % distinct) as i64 * 8);
+                }
+                lfu.total()
             },
         );
     }
-    group.finish();
-}
 
-fn bench_stride_prof(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stride_prof");
     let configs = [
         ("plain_fig6", StrideProfConfig::plain()),
         ("enhanced_fig7", StrideProfConfig::enhanced()),
@@ -38,45 +35,44 @@ fn bench_stride_prof(c: &mut Criterion) {
     let addresses: Vec<u64> = (0..4096u64)
         .map(|i| 0x1000_0000 + i * 80 + if i % 16 == 0 { 48 } else { 0 })
         .collect();
-    for (name, config) in configs {
-        group.throughput(Throughput::Elements(addresses.len() as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(name),
-            &config,
-            |b, config| {
-                b.iter(|| {
-                    let mut engine = StrideProfEngine::new();
-                    let mut data = StrideProfData::new(config);
-                    for &a in &addresses {
-                        engine.stride_prof(config, &mut data, a);
-                    }
-                    engine.stats.processed
-                });
+    for (name, config) in &configs {
+        report.run(
+            &format!("stride_prof/{name}"),
+            1000,
+            Some(addresses.len() as u64),
+            || {
+                let mut engine = StrideProfEngine::new();
+                let mut data = StrideProfData::new(config);
+                for &a in &addresses {
+                    engine.stride_prof(config, &mut data, a);
+                }
+                engine.stats.processed
             },
         );
     }
-    group.finish();
-}
 
-fn bench_zero_stride_fast_path(c: &mut Criterion) {
     // The paper's §3.1: zero strides bypass the LFU; the fast path should
     // be much cheaper than the full insertion path.
-    let mut group = c.benchmark_group("stride_prof_paths");
-    group.throughput(Throughput::Elements(4096));
-    group.bench_function("all_zero_strides", |b| {
-        let config = StrideProfConfig::plain();
-        b.iter(|| {
+    report.run(
+        "stride_prof_paths/all_zero_strides",
+        1000,
+        Some(4096),
+        || {
+            let config = StrideProfConfig::plain();
             let mut engine = StrideProfEngine::new();
             let mut data = StrideProfData::new(&config);
             for _ in 0..4096 {
                 engine.stride_prof(&config, &mut data, 0x4000);
             }
             data.num_zero_stride
-        });
-    });
-    group.bench_function("all_distinct_strides", |b| {
-        let config = StrideProfConfig::plain();
-        b.iter(|| {
+        },
+    );
+    report.run(
+        "stride_prof_paths/all_distinct_strides",
+        1000,
+        Some(4096),
+        || {
+            let config = StrideProfConfig::plain();
             let mut engine = StrideProfEngine::new();
             let mut data = StrideProfData::new(&config);
             let mut addr = 0x4000u64;
@@ -85,10 +81,8 @@ fn bench_zero_stride_fast_path(c: &mut Criterion) {
                 engine.stride_prof(&config, &mut data, addr);
             }
             data.total_freq()
-        });
-    });
-    group.finish();
-}
+        },
+    );
 
-criterion_group!(benches, bench_lfu, bench_stride_prof, bench_zero_stride_fast_path);
-criterion_main!(benches);
+    report.write_if_requested(&args).expect("write bench json");
+}

@@ -5,13 +5,15 @@
 //! the three headline benchmarks.
 //!
 //! ```text
-//! ablation [--scale test|paper]
+//! ablation [--scale test|paper] [--jobs N]
 //! ```
+//!
+//! The sweep points fan out over `--jobs` worker threads and share one run
+//! cache: prefetch-parameter sweeps only change the transformed binary, so
+//! every sweep point reuses the same baselines and edge-only runs.
 
-use stride_bench::geomean;
-use stride_core::{
-    measure_overhead, measure_speedup, PipelineConfig, PrefetchConfig, ProfilingVariant,
-};
+use stride_bench::{default_jobs, geomean, parallel_map, parse_jobs, RunCache};
+use stride_core::{PipelineConfig, PrefetchConfig, ProfilingVariant};
 use stride_workloads::{workload_by_name, Scale, Workload};
 
 fn headline(scale: Scale) -> Vec<Workload> {
@@ -21,31 +23,54 @@ fn headline(scale: Scale) -> Vec<Workload> {
         .collect()
 }
 
-fn suite_speedup(workloads: &[Workload], config: &PipelineConfig) -> f64 {
-    let speedups: Vec<f64> = workloads
-        .iter()
-        .map(|w| {
-            measure_speedup(
-                &w.module,
-                &w.train_args,
-                &w.ref_args,
-                ProfilingVariant::EdgeCheck,
-                config,
-            )
+fn suite_speedup(
+    cache: &RunCache,
+    workloads: &[Workload],
+    scale: Scale,
+    config: &PipelineConfig,
+    jobs: usize,
+) -> f64 {
+    let speedups: Vec<f64> = parallel_map(workloads, jobs, |_, w| {
+        cache
+            .speedup(w, scale, ProfilingVariant::EdgeCheck, config)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name))
             .speedup
-        })
-        .collect();
+    });
     geomean(&speedups)
 }
 
 fn main() {
-    let scale = match std::env::args().nth(2).as_deref() {
-        Some("test") => Scale::Test,
-        _ => Scale::Paper,
-    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Paper;
+    let mut jobs = default_jobs();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match parse_jobs(args.get(i).map(String::as_str)) {
+                    Ok(n) => n,
+                    Err(msg) => {
+                        eprintln!("ablation: {msg}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
     let workloads = headline(scale);
     let base = PipelineConfig::default();
+    let cache = RunCache::new();
 
     println!("== Ablation: SSST threshold (paper: 0.70) ==");
     for t in [0.5, 0.6, 0.7, 0.8, 0.9, 0.99] {
@@ -56,7 +81,10 @@ fn main() {
             },
             ..base
         };
-        println!("  SSST_threshold {t:<5}: geomean speedup {:.3}", suite_speedup(&workloads, &config));
+        println!(
+            "  SSST_threshold {t:<5}: geomean speedup {:.3}",
+            suite_speedup(&cache, &workloads, scale, &config, jobs)
+        );
     }
 
     println!("\n== Ablation: max prefetch distance C (paper: 8) ==");
@@ -68,7 +96,10 @@ fn main() {
             },
             ..base
         };
-        println!("  C = {c:<3}: geomean speedup {:.3}", suite_speedup(&workloads, &config));
+        println!(
+            "  C = {c:<3}: geomean speedup {:.3}",
+            suite_speedup(&cache, &workloads, scale, &config, jobs)
+        );
     }
 
     println!("\n== Ablation: trip-count threshold TT (paper: 128) ==");
@@ -80,7 +111,10 @@ fn main() {
             },
             ..base
         };
-        println!("  TT = {tt:<5}: geomean speedup {:.3}", suite_speedup(&workloads, &config));
+        println!(
+            "  TT = {tt:<5}: geomean speedup {:.3}",
+            suite_speedup(&cache, &workloads, scale, &config, jobs)
+        );
     }
 
     println!("\n== Ablation: WSST prefetching (paper: disabled) ==");
@@ -95,7 +129,7 @@ fn main() {
         println!(
             "  WSST prefetch {}: geomean speedup {:.3}",
             if enabled { "on " } else { "off" },
-            suite_speedup(&workloads, &config)
+            suite_speedup(&cache, &workloads, scale, &config, jobs)
         );
     }
 
@@ -111,18 +145,13 @@ fn main() {
         // perlbmk is the interesting case: its churned op chain defeats
         // stride prefetching but not dependence-based prefetching.
         let perl = workload_by_name("perlbmk", scale).unwrap();
-        let s = measure_speedup(
-            &perl.module,
-            &perl.train_args,
-            &perl.ref_args,
-            ProfilingVariant::EdgeCheck,
-            &config,
-        )
-        .expect("perlbmk");
+        let s = cache
+            .speedup(&perl, scale, ProfilingVariant::EdgeCheck, &config)
+            .expect("perlbmk");
         println!(
             "  dependent prefetch {}: headline geomean {:.3}, perlbmk {:.3}",
             if enabled { "on " } else { "off" },
-            suite_speedup(&workloads, &config),
+            suite_speedup(&cache, &workloads, scale, &config, jobs),
             s.speedup
         );
     }
@@ -138,20 +167,31 @@ fn main() {
         ProfilingVariant::BlockCheck,
         ProfilingVariant::TwoPass,
     ] {
-        let mut speedups = Vec::new();
-        let mut overheads = Vec::new();
-        for w in &workloads {
-            let s = measure_speedup(&w.module, &w.train_args, &w.ref_args, variant, &base)
+        let results: Vec<(f64, f64)> = parallel_map(&workloads, jobs, |_, w| {
+            let s = cache
+                .speedup(w, scale, variant, &base)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let o = measure_overhead(&w.module, &w.train_args, variant, &base)
+            let o = cache
+                .overhead(w, scale, variant, &base)
                 .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            speedups.push(s.speedup);
-            overheads.push(o.overhead);
-        }
+            (s.speedup, o.overhead)
+        });
+        let speedups: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let overheads: Vec<f64> = results.iter().map(|r| r.1).collect();
         println!(
             "  {variant:<20} geomean speedup {:.3}, mean overhead {:>6.1}%",
             geomean(&speedups),
             overheads.iter().sum::<f64>() / overheads.len() as f64 * 100.0
         );
     }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ablation [--scale test|paper] [--jobs N]\n\
+         \n\
+         \x20 --scale test|paper workload scale (default: paper)\n\
+         \x20 --jobs N           worker threads (default: available parallelism; must be >= 1)"
+    );
+    std::process::exit(2);
 }

@@ -62,8 +62,8 @@ fn main() {
             let w = workload_arg(&args);
             let variant = variant_arg(&args);
             let config = PipelineConfig::default();
-            let outcome = run_profiling(&w.module, &w.train_args, variant, &config)
-                .expect("profiling run");
+            let outcome =
+                run_profiling(&w.module, &w.train_args, variant, &config).expect("profiling run");
             println!(
                 "# {} under {variant}: {} cycles ({} in the profiling runtime), \
                  {} strideProf calls / {} processed / {} LFU inserts",
@@ -81,8 +81,8 @@ fn main() {
             let w = workload_arg(&args);
             let variant = variant_arg(&args);
             let config = PipelineConfig::default();
-            let outcome = run_profiling(&w.module, &w.train_args, variant, &config)
-                .expect("profiling run");
+            let outcome =
+                run_profiling(&w.module, &w.train_args, variant, &config).expect("profiling run");
             let (_, classification, report) = prefetch_with_profiles(
                 &w.module,
                 &outcome.edge,
@@ -102,8 +102,13 @@ fn main() {
             for l in &classification.loads {
                 println!(
                     "  {} {} {:<4} stride {:>6}B  trip {:>9.0}  freq {:>9}  cover {}",
-                    l.func, l.site, l.class.to_string(), l.dominant_stride, l.trip_count,
-                    l.freq, l.cover.len(),
+                    l.func,
+                    l.site,
+                    l.class.to_string(),
+                    l.dominant_stride,
+                    l.trip_count,
+                    l.freq,
+                    l.cover.len(),
                 );
             }
             println!("{report:?}");

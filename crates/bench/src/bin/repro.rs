@@ -1,12 +1,20 @@
 //! Regenerates the paper's tables and figures.
 //!
 //! ```text
-//! repro [--figure N] [--scale test|paper]
+//! repro [--figure N] [--scale test|paper] [--jobs N] [--bench-json PATH]
 //! ```
 //!
 //! Without `--figure`, every figure (15–25) is produced. `--scale test`
 //! runs tiny inputs for a quick smoke pass; the default `paper` scale
 //! produces the numbers recorded in EXPERIMENTS.md.
+//!
+//! Runs fan out over `--jobs` worker threads (default: the machine's
+//! available parallelism) and repeated simulations are shared across
+//! figures through a run cache; figure output is byte-identical at every
+//! `--jobs` level. `--bench-json` writes a machine-readable summary of
+//! wall-clock, simulation throughput and cache effectiveness per figure.
+
+use std::time::Instant;
 
 use stride_bench::*;
 use stride_core::{PipelineConfig, ProfilingVariant};
@@ -16,16 +24,22 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut figure: Option<u32> = None;
     let mut scale = Scale::Paper;
+    let mut jobs = default_jobs();
+    let mut bench_json: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--figure" => {
                 i += 1;
-                figure = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| usage()),
-                );
+                let n: u32 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+                if !(15..=25).contains(&n) {
+                    eprintln!("repro: --figure {n} is out of range (the paper has figures 15-25)");
+                    std::process::exit(2);
+                }
+                figure = Some(n);
             }
             "--scale" => {
                 i += 1;
@@ -35,74 +49,148 @@ fn main() {
                     _ => usage(),
                 };
             }
+            "--jobs" => {
+                i += 1;
+                jobs = match parse_jobs(args.get(i).map(String::as_str)) {
+                    Ok(n) => n,
+                    Err(msg) => {
+                        eprintln!("repro: {msg}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--bench-json" => {
+                i += 1;
+                bench_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
             _ => usage(),
         }
         i += 1;
     }
 
     let config = PipelineConfig::default();
+    let cache = RunCache::new();
+    let ctx = FigureCtx::new(scale, &config, &cache, jobs);
+    let mut summary = PerfSummary {
+        scale: match scale {
+            Scale::Test => "test".to_string(),
+            Scale::Paper => "paper".to_string(),
+        },
+        jobs,
+        ..PerfSummary::default()
+    };
     let wanted = |n: u32| figure.is_none() || figure == Some(n);
 
+    // Times `body` and attributes the run-cache volume delta to `label`.
+    let measured = |label: &str, summary: &mut PerfSummary, body: &mut dyn FnMut()| {
+        let before = cache.stats();
+        let start = Instant::now();
+        body();
+        let wall = start.elapsed();
+        let after = cache.stats();
+        summary.figures.push(FigurePerf {
+            figure: label.to_string(),
+            wall,
+            sim_loads: after.sim_loads - before.sim_loads,
+            sim_accesses: after.sim_accesses - before.sim_accesses,
+        });
+    };
+
     if wanted(15) {
-        println!("== Figure 15: SPECINT2000 benchmarks ==");
-        println!("{}", fig15_table(scale));
+        measured("fig15", &mut summary, &mut || {
+            println!("== Figure 15: SPECINT2000 benchmarks ==");
+            println!("{}", fig15_table(scale));
+        });
     }
     if wanted(16) {
-        println!("== Figure 16: speedup of stride prefetching ==");
-        let rows = fig16_speedups(scale, &ProfilingVariant::EVALUATED, &config)
-            .expect("fig16 pipeline");
-        println!("{}", render_speedups(&rows));
+        measured("fig16", &mut summary, &mut || {
+            println!("== Figure 16: speedup of stride prefetching ==");
+            let rows = fig16_speedups(&ctx, &ProfilingVariant::EVALUATED).expect("fig16 pipeline");
+            println!("{}", render_speedups(&rows));
+        });
     }
     if wanted(17) {
-        println!("== Figure 17: in-loop vs out-loop load references ==");
-        println!("{:<14}{:>10}{:>10}", "benchmark", "in-loop", "out-loop");
-        let mut avg = (0.0, 0.0);
-        let rows = fig17_load_mix(scale, &config).expect("fig17 pipeline");
-        let n = rows.len() as f64;
-        for (name, inf, outf) in rows {
-            println!("{name:<14}{:>9.1}%{:>9.1}%", inf * 100.0, outf * 100.0);
-            avg.0 += inf;
-            avg.1 += outf;
-        }
-        println!("{:<14}{:>9.1}%{:>9.1}%\n", "average", avg.0 / n * 100.0, avg.1 / n * 100.0);
+        measured("fig17", &mut summary, &mut || {
+            println!("== Figure 17: in-loop vs out-loop load references ==");
+            println!("{:<14}{:>10}{:>10}", "benchmark", "in-loop", "out-loop");
+            let mut avg = (0.0, 0.0);
+            let rows = fig17_load_mix(&ctx).expect("fig17 pipeline");
+            let n = rows.len() as f64;
+            for (name, inf, outf) in rows {
+                println!("{name:<14}{:>9.1}%{:>9.1}%", inf * 100.0, outf * 100.0);
+                avg.0 += inf;
+                avg.1 += outf;
+            }
+            println!(
+                "{:<14}{:>9.1}%{:>9.1}%\n",
+                "average",
+                avg.0 / n * 100.0,
+                avg.1 / n * 100.0
+            );
+        });
     }
     if wanted(18) || wanted(19) {
-        let rows = fig18_19_distributions(scale, &config).expect("fig18/19 pipeline");
-        if wanted(18) {
-            println!("== Figure 18: out-loop loads by stride property ==");
-            let out_rows: Vec<_> = rows.iter().map(|(n, o, _)| (*n, *o)).collect();
-            println!("{}", render_distribution(&out_rows));
-        }
-        if wanted(19) {
-            println!("== Figure 19: in-loop loads by stride property ==");
-            let in_rows: Vec<_> = rows.iter().map(|(n, _, i)| (*n, *i)).collect();
-            println!("{}", render_distribution(&in_rows));
-        }
+        measured("fig18_19", &mut summary, &mut || {
+            let rows = fig18_19_distributions(&ctx).expect("fig18/19 pipeline");
+            if wanted(18) {
+                println!("== Figure 18: out-loop loads by stride property ==");
+                let out_rows: Vec<_> = rows.iter().map(|(n, o, _)| (*n, *o)).collect();
+                println!("{}", render_distribution(&out_rows));
+            }
+            if wanted(19) {
+                println!("== Figure 19: in-loop loads by stride property ==");
+                let in_rows: Vec<_> = rows.iter().map(|(n, _, i)| (*n, *i)).collect();
+                println!("{}", render_distribution(&in_rows));
+            }
+        });
     }
     if wanted(20) || wanted(21) || wanted(22) {
-        let rows = fig20_22_overheads(scale, &ProfilingVariant::EVALUATED, &config)
-            .expect("fig20-22 pipeline");
-        if wanted(20) {
-            println!("== Figure 20: profiling overhead over edge profiling alone ==");
-            println!("{}", render_overheads(&rows, 0));
-        }
-        if wanted(21) {
-            println!("== Figure 21: % load references processed by strideProf ==");
-            println!("{}", render_overheads(&rows, 1));
-        }
-        if wanted(22) {
-            println!("== Figure 22: % load references processed by LFU ==");
-            println!("{}", render_overheads(&rows, 2));
-        }
+        measured("fig20_22", &mut summary, &mut || {
+            let rows =
+                fig20_22_overheads(&ctx, &ProfilingVariant::EVALUATED).expect("fig20-22 pipeline");
+            if wanted(20) {
+                println!("== Figure 20: profiling overhead over edge profiling alone ==");
+                println!("{}", render_overheads(&rows, 0));
+            }
+            if wanted(21) {
+                println!("== Figure 21: % load references processed by strideProf ==");
+                println!("{}", render_overheads(&rows, 1));
+            }
+            if wanted(22) {
+                println!("== Figure 22: % load references processed by LFU ==");
+                println!("{}", render_overheads(&rows, 2));
+            }
+        });
     }
     if wanted(23) || wanted(24) || wanted(25) {
-        println!("== Figures 23-25: sensitivity to input data sets (sample-edge-check) ==");
-        let rows = fig23_25_sensitivity(scale, &config).expect("fig23-25 pipeline");
-        println!("{}", render_sensitivity(&rows));
+        measured("fig23_25", &mut summary, &mut || {
+            println!("== Figures 23-25: sensitivity to input data sets (sample-edge-check) ==");
+            let rows = fig23_25_sensitivity(&ctx).expect("fig23-25 pipeline");
+            println!("{}", render_sensitivity(&rows));
+        });
+    }
+
+    let stats = cache.stats();
+    summary.run_cache_hits = stats.hits;
+    summary.run_cache_misses = stats.misses;
+    if let Some(path) = bench_json {
+        if let Err(e) = std::fs::write(&path, summary.to_json()) {
+            eprintln!("repro: cannot write --bench-json file {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("perf summary written to {path}");
     }
 }
 
 fn usage() -> ! {
-    eprintln!("usage: repro [--figure N] [--scale test|paper]");
+    eprintln!(
+        "usage: repro [--figure N] [--scale test|paper] [--jobs N] [--bench-json PATH]\n\
+         \n\
+         \x20 --figure N         produce only figure N (15-25); default: all\n\
+         \x20 --scale test|paper workload scale (default: paper)\n\
+         \x20 --jobs N           worker threads (default: available parallelism; must be >= 1)\n\
+         \x20 --bench-json PATH  write a machine-readable perf summary (wall-clock,\n\
+         \x20                    simulated loads/sec, run-cache hits) to PATH"
+    );
     std::process::exit(2);
 }

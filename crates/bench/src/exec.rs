@@ -1,0 +1,134 @@
+//! The parallel execution engine behind `repro --jobs N` and `ablation
+//! --jobs N`: a std-only scoped-thread job pool.
+//!
+//! Every unit of work in the reproduction — one (workload, variant, phase)
+//! simulation — owns its VM, memory simulator and profiling state, so the
+//! fan-out is embarrassingly parallel. Determinism is preserved by
+//! construction: workers pull indices from a shared atomic counter but
+//! write results into per-index slots, so the collected `Vec` is in input
+//! order regardless of scheduling, and figure output is byte-identical at
+//! any `--jobs` level.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use when `--jobs` is not given: the
+/// machine's available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` using `jobs` worker threads, returning results in
+/// input order. `jobs <= 1` runs inline on the caller's thread with no
+/// thread or synchronization overhead.
+///
+/// # Panics
+///
+/// Re-raises (on the calling thread) any panic from `f`.
+pub fn parallel_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if jobs <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = jobs.min(items.len());
+    let mut collected: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(item) = items.get(i) else { break };
+                        out.push((i, f(i, item)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    collected.sort_unstable_by_key(|&(i, _)| i);
+    assert_eq!(collected.len(), items.len(), "each index claimed once");
+    collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parses a `--jobs` argument value: a positive integer.
+///
+/// # Errors
+///
+/// Returns a user-facing message for `0`, non-numeric, or missing values.
+pub fn parse_jobs(value: Option<&str>) -> Result<usize, String> {
+    let Some(value) = value else {
+        return Err("--jobs requires a value".to_string());
+    };
+    match value.parse::<usize>() {
+        Ok(0) => Err("--jobs 0 is invalid: at least one worker thread is required".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("--jobs expects a positive integer, got '{value}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for jobs in [1, 2, 8] {
+            let out = parallel_map(&items, jobs, |i, &x| {
+                // stagger completion order
+                if i % 7 == 0 {
+                    std::thread::yield_now();
+                }
+                x * 2
+            });
+            assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once() {
+        let items: Vec<usize> = (0..57).collect();
+        let seen = Mutex::new(Vec::new());
+        parallel_map(&items, 4, |i, _| {
+            seen.lock().unwrap().push(i);
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 57);
+        assert_eq!(seen.iter().copied().collect::<HashSet<_>>().len(), 57);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(parallel_map(&empty, 8, |_, x| *x).is_empty());
+        assert_eq!(parallel_map(&[5], 8, |_, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn jobs_parsing() {
+        assert_eq!(parse_jobs(Some("4")), Ok(4));
+        assert!(parse_jobs(Some("0")).unwrap_err().contains("--jobs 0"));
+        assert!(parse_jobs(Some("four"))
+            .unwrap_err()
+            .contains("positive integer"));
+        assert!(parse_jobs(None).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,13 +1,17 @@
 //! One generator per table/figure of the paper's evaluation (§4).
 //!
-//! Each generator runs the full pipeline over the synthetic SPECINT2000
-//! suite and returns structured rows; `render_*` helpers print them in the
-//! layout of the corresponding figure. The `repro` binary drives these.
+//! Each generator fans its (workload, variant) units out over the
+//! [`crate::exec`] job pool and serves repeated runs from the shared
+//! [`RunCache`], then returns structured rows; `render_*` helpers print
+//! them in the layout of the corresponding figure. The `repro` binary
+//! drives these. Results are collected in input order, so figure output is
+//! byte-identical at every `--jobs` level.
 
+use crate::exec::parallel_map;
+use crate::runcache::RunCache;
 use stride_core::{
-    class_distribution, load_mix, measure_overhead, measure_speedup, prefetch_with_profiles,
-    run_profiling, run_uninstrumented, ClassDistribution, LoadPopulation, OverheadOutcome,
-    PipelineConfig, ProfilingVariant,
+    class_distribution, load_mix, prefetch_with_profiles, ClassDistribution, LoadPopulation,
+    OverheadOutcome, PipelineConfig, ProfilingVariant,
 };
 use stride_vm::VmError;
 use stride_workloads::{all_workloads, Scale, Workload};
@@ -20,11 +24,47 @@ pub fn geomean(xs: &[f64]) -> f64 {
     (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
 }
 
+/// Everything a figure generator needs: the workload suite, the pipeline
+/// configuration, the memoizing run store, and the parallelism level.
+pub struct FigureCtx<'a> {
+    /// Workload scale (test or paper).
+    pub scale: Scale,
+    /// Pipeline configuration shared by every run.
+    pub config: &'a PipelineConfig,
+    /// Shared run memoization store.
+    pub cache: &'a RunCache,
+    /// Worker threads for the fan-out (1 = serial).
+    pub jobs: usize,
+    /// The benchmark suite, built once.
+    pub workloads: Vec<Workload>,
+}
+
+impl<'a> FigureCtx<'a> {
+    /// Builds the suite at `scale` and wraps the shared pieces.
+    pub fn new(scale: Scale, config: &'a PipelineConfig, cache: &'a RunCache, jobs: usize) -> Self {
+        FigureCtx {
+            scale,
+            config,
+            cache,
+            jobs,
+            workloads: all_workloads(scale),
+        }
+    }
+}
+
+/// Collects `Vec<Result<T, VmError>>` into `Result<Vec<T>, VmError>`.
+fn sequence<T>(results: Vec<Result<T, VmError>>) -> Result<Vec<T>, VmError> {
+    results.into_iter().collect()
+}
+
 /// Fig. 15: the benchmark table.
 pub fn fig15_table(scale: Scale) -> String {
     let mut out = String::from("| Program | Lang | Description |\n|---|---|---|\n");
     for w in all_workloads(scale) {
-        out.push_str(&format!("| {} | {} | {} |\n", w.name, w.lang, w.description));
+        out.push_str(&format!(
+            "| {} | {} | {} |\n",
+            w.name, w.lang, w.description
+        ));
     }
     out
 }
@@ -38,28 +78,37 @@ pub struct SpeedupRow {
     pub speedups: Vec<(ProfilingVariant, f64)>,
 }
 
-/// Fig. 16: speedup of stride prefetching per profiling method.
+/// Fig. 16: speedup of stride prefetching per profiling method. Every
+/// (workload, variant) pair is an independent unit of work.
 ///
 /// # Errors
 ///
 /// Propagates [`VmError`] from any run.
 pub fn fig16_speedups(
-    scale: Scale,
+    ctx: &FigureCtx<'_>,
     variants: &[ProfilingVariant],
-    config: &PipelineConfig,
 ) -> Result<Vec<SpeedupRow>, VmError> {
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let mut speedups = Vec::new();
-        for &v in variants {
-            let out = measure_speedup(&w.module, &w.train_args, &w.ref_args, v, config)?;
-            speedups.push((v, out.speedup));
-        }
-        rows.push(SpeedupRow {
+    let units: Vec<(usize, ProfilingVariant)> = (0..ctx.workloads.len())
+        .flat_map(|wi| variants.iter().map(move |&v| (wi, v)))
+        .collect();
+    let speedups = sequence(parallel_map(&units, ctx.jobs, |_, &(wi, v)| {
+        ctx.cache
+            .speedup(&ctx.workloads[wi], ctx.scale, v, ctx.config)
+            .map(|out| out.speedup)
+    }))?;
+    let rows = ctx
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| SpeedupRow {
             name: w.name,
-            speedups,
-        });
-    }
+            speedups: variants
+                .iter()
+                .enumerate()
+                .map(|(vi, &v)| (v, speedups[wi * variants.len() + vi]))
+                .collect(),
+        })
+        .collect();
     Ok(rows)
 }
 
@@ -96,18 +145,13 @@ pub fn render_speedups(rows: &[SpeedupRow]) -> String {
 /// # Errors
 ///
 /// Propagates [`VmError`].
-pub fn fig17_load_mix(
-    scale: Scale,
-    config: &PipelineConfig,
-) -> Result<Vec<(&'static str, f64, f64)>, VmError> {
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let (run, _) = run_uninstrumented(&w.module, &w.ref_args, config)?;
-        let mix = load_mix(&w.module, &run);
+pub fn fig17_load_mix(ctx: &FigureCtx<'_>) -> Result<Vec<(&'static str, f64, f64)>, VmError> {
+    sequence(parallel_map(&ctx.workloads, ctx.jobs, |_, w| {
+        let run = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
+        let mix = load_mix(&w.module, &run.0);
         let f = mix.in_loop_fraction();
-        rows.push((w.name, f, 1.0 - f));
-    }
-    Ok(rows)
+        Ok((w.name, f, 1.0 - f))
+    }))
 }
 
 /// Figs. 18/19: distribution of (out-loop / in-loop) load references by
@@ -117,30 +161,35 @@ pub fn fig17_load_mix(
 ///
 /// Propagates [`VmError`].
 pub fn fig18_19_distributions(
-    scale: Scale,
-    config: &PipelineConfig,
+    ctx: &FigureCtx<'_>,
 ) -> Result<Vec<(&'static str, ClassDistribution, ClassDistribution)>, VmError> {
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let outcome = run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, config)?;
-        let (run, _) = run_uninstrumented(&w.module, &w.train_args, config)?;
+    sequence(parallel_map(&ctx.workloads, ctx.jobs, |_, w| {
+        let outcome = ctx.cache.profiling(
+            w,
+            ctx.scale,
+            ProfilingVariant::NaiveAll,
+            &w.train_args,
+            ctx.config,
+        )?;
+        let run = ctx
+            .cache
+            .baseline(w, ctx.scale, &w.train_args, ctx.config)?;
         let out_loop = class_distribution(
             &w.module,
             &outcome.stride,
-            &run,
+            &run.0,
             LoadPopulation::OutLoop,
-            &config.prefetch,
+            &ctx.config.prefetch,
         );
         let in_loop = class_distribution(
             &w.module,
             &outcome.stride,
-            &run,
+            &run.0,
             LoadPopulation::InLoop,
-            &config.prefetch,
+            &ctx.config.prefetch,
         );
-        rows.push((w.name, out_loop, in_loop));
-    }
-    Ok(rows)
+        Ok((w.name, out_loop, in_loop))
+    }))
 }
 
 /// Renders a Figs. 18/19 distribution table.
@@ -162,26 +211,41 @@ pub fn render_distribution(rows: &[(&'static str, ClassDistribution)]) -> String
     out
 }
 
+/// One Fig. 20–22 row: a benchmark and its per-variant overhead outcomes.
+pub type OverheadRow = (&'static str, Vec<(ProfilingVariant, OverheadOutcome)>);
+
 /// Figs. 20–22: profiling overhead and strideProf/LFU processing rates,
-/// per benchmark and variant, on the train input.
+/// per benchmark and variant, on the train input. The per-variant
+/// profiling runs are shared with Fig. 16 through the run cache, and the
+/// edge-only baseline is one run per workload.
 ///
 /// # Errors
 ///
 /// Propagates [`VmError`].
 pub fn fig20_22_overheads(
-    scale: Scale,
+    ctx: &FigureCtx<'_>,
     variants: &[ProfilingVariant],
-    config: &PipelineConfig,
-) -> Result<Vec<(&'static str, Vec<(ProfilingVariant, OverheadOutcome)>)>, VmError> {
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let mut cols = Vec::new();
-        for &v in variants {
-            let o = measure_overhead(&w.module, &w.train_args, v, config)?;
-            cols.push((v, o));
-        }
-        rows.push((w.name, cols));
-    }
+) -> Result<Vec<OverheadRow>, VmError> {
+    let units: Vec<(usize, ProfilingVariant)> = (0..ctx.workloads.len())
+        .flat_map(|wi| variants.iter().map(move |&v| (wi, v)))
+        .collect();
+    let outcomes = sequence(parallel_map(&units, ctx.jobs, |_, &(wi, v)| {
+        ctx.cache
+            .overhead(&ctx.workloads[wi], ctx.scale, v, ctx.config)
+    }))?;
+    let rows = ctx
+        .workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, w)| {
+            let cols = variants
+                .iter()
+                .enumerate()
+                .map(|(vi, &v)| (v, outcomes[wi * variants.len() + vi].clone()))
+                .collect();
+            (w.name, cols)
+        })
+        .collect();
     Ok(rows)
 }
 
@@ -241,38 +305,38 @@ pub struct SensitivityRow {
 
 /// Figs. 23–25: sensitivity of the speedup to the profiling input, with
 /// sample-edge-check profiling (§4.3). All four binaries run on the
-/// reference input.
+/// reference input. The two profiling runs and the baseline come from the
+/// run cache; the four transformed binaries are unique and run fresh.
 ///
 /// # Errors
 ///
 /// Propagates [`VmError`].
-pub fn fig23_25_sensitivity(
-    scale: Scale,
-    config: &PipelineConfig,
-) -> Result<Vec<SensitivityRow>, VmError> {
+pub fn fig23_25_sensitivity(ctx: &FigureCtx<'_>) -> Result<Vec<SensitivityRow>, VmError> {
     let variant = ProfilingVariant::SampleEdgeCheck;
-    let mut rows = Vec::new();
-    for w in all_workloads(scale) {
-        let train_prof = run_profiling(&w.module, &w.train_args, variant, config)?;
-        let ref_prof = run_profiling(&w.module, &w.ref_args, variant, config)?;
-        let (baseline, _) = run_uninstrumented(&w.module, &w.ref_args, config)?;
+    sequence(parallel_map(&ctx.workloads, ctx.jobs, |_, w| {
+        let train_prof = ctx
+            .cache
+            .profiling(w, ctx.scale, variant, &w.train_args, ctx.config)?;
+        let ref_prof = ctx
+            .cache
+            .profiling(w, ctx.scale, variant, &w.ref_args, ctx.config)?;
+        let baseline = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
         let speedup_with = |edge: &stride_profiling::EdgeProfile,
-                                stride: &stride_profiling::StrideProfile|
+                            stride: &stride_profiling::StrideProfile|
          -> Result<f64, VmError> {
             let (m, _, _) =
-                prefetch_with_profiles(&w.module, edge, train_prof.source, stride, config);
-            let (run, _) = run_uninstrumented(&m, &w.ref_args, config)?;
-            Ok(baseline.cycles as f64 / run.cycles.max(1) as f64)
+                prefetch_with_profiles(&w.module, edge, train_prof.source, stride, ctx.config);
+            let run = ctx.cache.plain_run(&m, &w.ref_args, ctx.config)?;
+            Ok(baseline.0.cycles as f64 / run.0.cycles.max(1) as f64)
         };
-        rows.push(SensitivityRow {
+        Ok(SensitivityRow {
             name: w.name,
             train: speedup_with(&train_prof.edge, &train_prof.stride)?,
             reference: speedup_with(&ref_prof.edge, &ref_prof.stride)?,
             edge_ref_stride_train: speedup_with(&ref_prof.edge, &train_prof.stride)?,
             edge_train_stride_ref: speedup_with(&train_prof.edge, &ref_prof.stride)?,
-        });
-    }
-    Ok(rows)
+        })
+    }))
 }
 
 /// Renders the Figs. 23–25 sensitivity table.
@@ -291,7 +355,7 @@ pub fn render_sensitivity(rows: &[SensitivityRow]) -> String {
 }
 
 /// Convenience: a single benchmark's full speedup pipeline (used by tests
-/// and Criterion benches).
+/// and the bench targets).
 ///
 /// # Errors
 ///
@@ -301,7 +365,10 @@ pub fn speedup_of(
     variant: ProfilingVariant,
     config: &PipelineConfig,
 ) -> Result<f64, VmError> {
-    Ok(measure_speedup(&w.module, &w.train_args, &w.ref_args, variant, config)?.speedup)
+    Ok(
+        stride_core::measure_speedup(&w.module, &w.train_args, &w.ref_args, variant, config)?
+            .speedup,
+    )
 }
 
 #[cfg(test)]
@@ -336,10 +403,29 @@ mod tests {
 
     #[test]
     fn fig17_runs_at_test_scale() {
-        let rows = fig17_load_mix(Scale::Test, &PipelineConfig::default()).unwrap();
+        let config = PipelineConfig::default();
+        let cache = RunCache::new();
+        let ctx = FigureCtx::new(Scale::Test, &config, &cache, 2);
+        let rows = fig17_load_mix(&ctx).unwrap();
         assert_eq!(rows.len(), 12);
         for (name, in_f, out_f) in rows {
             assert!((in_f + out_f - 1.0).abs() < 1e-9, "{name}: fractions");
         }
+    }
+
+    #[test]
+    fn fig16_shares_runs_with_fig20_22() {
+        let config = PipelineConfig::default();
+        let cache = RunCache::new();
+        let ctx = FigureCtx::new(Scale::Test, &config, &cache, 2);
+        let variants = [ProfilingVariant::EdgeCheck];
+        fig16_speedups(&ctx, &variants).unwrap();
+        let after_fig16 = cache.stats();
+        fig20_22_overheads(&ctx, &variants).unwrap();
+        let after_fig20 = cache.stats();
+        // fig20-22 adds only the 12 edge-only baselines; all 12 profiling
+        // runs hit the cache.
+        assert_eq!(after_fig20.misses - after_fig16.misses, 12);
+        assert!(after_fig20.hits >= after_fig16.hits + 12);
     }
 }

@@ -1,10 +1,18 @@
 //! Reproduction harness: figure/table generators (driven by the `repro`
-//! binary) and shared helpers for the Criterion benches.
+//! binary), the parallel execution engine behind `--jobs`, the run
+//! memoization store that shares simulations across figures, and the
+//! std-only perf measurement used by the bench targets and `--bench-json`.
 
+pub mod exec;
 pub mod figures;
+pub mod perf;
+pub mod runcache;
 
+pub use exec::{default_jobs, parallel_map, parse_jobs};
 pub use figures::{
     fig15_table, fig16_speedups, fig17_load_mix, fig18_19_distributions, fig20_22_overheads,
     fig23_25_sensitivity, geomean, render_distribution, render_overheads, render_sensitivity,
-    render_speedups, speedup_of, SensitivityRow, SpeedupRow,
+    render_speedups, speedup_of, FigureCtx, SensitivityRow, SpeedupRow,
 };
+pub use perf::{BenchEntry, BenchReport, FigurePerf, PerfSummary};
+pub use runcache::{RunCache, RunCacheStats};

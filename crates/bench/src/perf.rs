@@ -1,0 +1,291 @@
+//! Std-only performance measurement: a tiny micro-bench harness (used by
+//! the `benches/` targets, which run without an external harness) and the
+//! machine-readable perf summary emitted by `repro --bench-json` so the
+//! performance trajectory of the reproduction is tracked from one data
+//! point to the next.
+
+use std::time::{Duration, Instant};
+
+/// One measured bench target.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Target name, e.g. `"stride_prof/enhanced_fig7"`.
+    pub name: String,
+    /// Iterations timed (after warm-up).
+    pub iters: u64,
+    /// Total wall-clock for all timed iterations.
+    pub total: Duration,
+    /// Elements processed per iteration (for throughput lines), if any.
+    pub elements_per_iter: Option<u64>,
+}
+
+impl BenchEntry {
+    /// Nanoseconds per iteration.
+    pub fn ns_per_iter(&self) -> f64 {
+        self.total.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+
+    /// Elements per second, when an element count was declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements_per_iter.map(|n| {
+            let secs = self.total.as_secs_f64() / self.iters.max(1) as f64;
+            n as f64 / secs.max(1e-12)
+        })
+    }
+}
+
+/// A collection of bench results that prints human-readable lines and can
+/// serialize itself to JSON.
+#[derive(Clone, Debug, Default)]
+pub struct BenchReport {
+    /// All measured entries, in run order.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` (after one warm-up call) for `iters` iterations, records
+    /// the entry, and prints the usual one-line summary. `elements` is the
+    /// per-iteration element count for throughput reporting.
+    pub fn run<R, F: FnMut() -> R>(
+        &mut self,
+        name: &str,
+        iters: u64,
+        elements: Option<u64>,
+        mut f: F,
+    ) {
+        std::hint::black_box(f()); // warm-up
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let entry = BenchEntry {
+            name: name.to_string(),
+            iters,
+            total: start.elapsed(),
+            elements_per_iter: elements,
+        };
+        match entry.elements_per_sec() {
+            Some(eps) => println!(
+                "{:<44} {:>12.0} ns/iter {:>14.0} elem/s",
+                entry.name,
+                entry.ns_per_iter(),
+                eps
+            ),
+            None => println!("{:<44} {:>12.0} ns/iter", entry.name, entry.ns_per_iter()),
+        }
+        self.entries.push(entry);
+    }
+
+    /// Serializes the report as a JSON array of objects.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"name\": {}, \"iters\": {}, \"ns_per_iter\": {:.1}, \"elements_per_sec\": {}}}",
+                json_string(&e.name),
+                e.iters,
+                e.ns_per_iter(),
+                e.elements_per_sec()
+                    .map_or("null".to_string(), |v| format!("{v:.0}")),
+            ));
+            out.push_str(if i + 1 < self.entries.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes the JSON report to `path` when the common CLI/env convention
+    /// asks for it: `--bench-json <path>` in `args`, else the
+    /// `BENCH_JSON` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from writing the file.
+    pub fn write_if_requested(&self, args: &[String]) -> std::io::Result<()> {
+        let from_flag = args
+            .iter()
+            .position(|a| a == "--bench-json")
+            .and_then(|i| args.get(i + 1).cloned());
+        let path = from_flag.or_else(|| std::env::var("BENCH_JSON").ok());
+        if let Some(path) = path {
+            std::fs::write(&path, self.to_json())?;
+            eprintln!("bench report written to {path}");
+        }
+        Ok(())
+    }
+}
+
+/// Per-figure measurement of one `repro` invocation.
+#[derive(Clone, Debug)]
+pub struct FigurePerf {
+    /// Figure label, e.g. `"fig16"`.
+    pub figure: String,
+    /// Wall-clock time spent producing the figure.
+    pub wall: Duration,
+    /// Simulated dynamic loads executed for this figure (fresh runs only —
+    /// memoized runs cost nothing and count nothing).
+    pub sim_loads: u64,
+    /// Cache-simulator demand accesses (loads + stores) for this figure.
+    pub sim_accesses: u64,
+}
+
+/// The machine-readable perf summary of one `repro` run
+/// (`--bench-json <path>`): per-figure wall-clock and simulation
+/// throughput, plus run-cache effectiveness.
+#[derive(Clone, Debug, Default)]
+pub struct PerfSummary {
+    /// `test` or `paper`.
+    pub scale: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Per-figure measurements, in production order.
+    pub figures: Vec<FigurePerf>,
+    /// Run-cache hits across the whole invocation.
+    pub run_cache_hits: u64,
+    /// Run-cache misses (fresh simulations) across the whole invocation.
+    pub run_cache_misses: u64,
+}
+
+impl PerfSummary {
+    /// Total wall-clock across all figures.
+    pub fn total_wall(&self) -> Duration {
+        self.figures.iter().map(|f| f.wall).sum()
+    }
+
+    /// Serializes the summary to JSON.
+    pub fn to_json(&self) -> String {
+        let total = self.total_wall().as_secs_f64();
+        let loads: u64 = self.figures.iter().map(|f| f.sim_loads).sum();
+        let accesses: u64 = self.figures.iter().map(|f| f.sim_accesses).sum();
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": {},\n", json_string(&self.scale)));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"total_wall_s\": {total:.3},\n"));
+        out.push_str(&format!("  \"sim_loads\": {loads},\n"));
+        out.push_str(&format!("  \"sim_accesses\": {accesses},\n"));
+        out.push_str(&format!(
+            "  \"loads_per_sec\": {:.0},\n",
+            loads as f64 / total.max(1e-9)
+        ));
+        out.push_str(&format!(
+            "  \"accesses_per_sec\": {:.0},\n",
+            accesses as f64 / total.max(1e-9)
+        ));
+        out.push_str(&format!("  \"run_cache_hits\": {},\n", self.run_cache_hits));
+        out.push_str(&format!(
+            "  \"run_cache_misses\": {},\n",
+            self.run_cache_misses
+        ));
+        out.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            let wall = f.wall.as_secs_f64();
+            out.push_str(&format!(
+                "    {{\"figure\": {}, \"wall_s\": {:.3}, \"sim_loads\": {}, \"sim_accesses\": {}, \"loads_per_sec\": {:.0}, \"accesses_per_sec\": {:.0}}}",
+                json_string(&f.figure),
+                wall,
+                f.sim_loads,
+                f.sim_accesses,
+                f.sim_loads as f64 / wall.max(1e-9),
+                f.sim_accesses as f64 / wall.max(1e-9),
+            ));
+            out.push_str(if i + 1 < self.figures.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}");
+        out
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_entry_rates() {
+        let e = BenchEntry {
+            name: "x".into(),
+            iters: 10,
+            total: Duration::from_micros(10),
+            elements_per_iter: Some(1000),
+        };
+        assert!((e.ns_per_iter() - 1000.0).abs() < 1e-6);
+        let eps = e.elements_per_sec().unwrap();
+        assert!((eps - 1e9).abs() / 1e9 < 1e-6, "{eps}");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = BenchReport::new();
+        r.run("a\"b", 3, Some(7), || 42);
+        let j = r.to_json();
+        assert!(j.starts_with('['));
+        assert!(j.contains("\"a\\\"b\""));
+        assert!(j.contains("\"iters\": 3"));
+    }
+
+    #[test]
+    fn summary_json_totals() {
+        let s = PerfSummary {
+            scale: "test".into(),
+            jobs: 2,
+            figures: vec![
+                FigurePerf {
+                    figure: "fig16".into(),
+                    wall: Duration::from_millis(500),
+                    sim_loads: 1000,
+                    sim_accesses: 2000,
+                },
+                FigurePerf {
+                    figure: "fig17".into(),
+                    wall: Duration::from_millis(500),
+                    sim_loads: 500,
+                    sim_accesses: 700,
+                },
+            ],
+            run_cache_hits: 3,
+            run_cache_misses: 5,
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"sim_loads\": 1500"));
+        assert!(j.contains("\"loads_per_sec\": 1500"));
+        assert!(j.contains("\"run_cache_hits\": 3"));
+        assert!(j.contains("\"figures\": ["));
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\nb"), "\"a\\nb\"");
+        assert_eq!(json_string("q\"\\"), "\"q\\\"\\\\\"");
+    }
+}

@@ -1,0 +1,530 @@
+//! Run memoization for the reproduction harness.
+//!
+//! Most figures re-simulate identical configurations: Figs. 16 and 20–22
+//! share every (workload, variant) train-input profiling run, Figs. 16, 17
+//! and 23–25 share the uninstrumented reference-input baselines, the
+//! edge-only overhead baseline of Figs. 20–22 is one run per workload (not
+//! one per variant), and transformed-binary runs are keyed by module
+//! *content*, so profiling variants or profile sources that select the
+//! same prefetches share one reference run. The [`RunCache`] shares those
+//! results across figures (and across worker threads — it is `Sync`, with
+//! per-key [`OnceLock`]s so a result is computed exactly once even under
+//! contention).
+//!
+//! Keys include a fingerprint of the parts of the [`PipelineConfig`] that
+//! can affect the run: baselines depend only on the VM cost model and the
+//! cache hierarchy, while profiling runs also depend on the prefetch
+//! (instrumentation) parameters — so an ablation sweep over feedback
+//! thresholds still shares its baselines across every sweep point.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use stride_core::{
+    prefetch_with_profiles, run_edge_only, run_profiling, run_uninstrumented, OverheadOutcome,
+    PipelineConfig, ProfileOutcome, ProfilingVariant, SpeedupOutcome,
+};
+use stride_ir::Module;
+use stride_memsim::HierarchyStats;
+use stride_profiling::EdgeProfile;
+use stride_vm::{RunResult, VmError};
+use stride_workloads::{Scale, Workload};
+
+/// What a cached run is keyed by (beyond workload/scale/config).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum RunKind {
+    /// Edge-frequency-only instrumented run.
+    EdgeOnly,
+    /// Integrated profiling run under a variant.
+    Profiling(ProfilingVariant),
+}
+
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Key {
+    workload: &'static str,
+    scale: Scale,
+    kind: RunKind,
+    args: Vec<i64>,
+    config_fingerprint: u64,
+}
+
+/// Key of an uninstrumented run: the module *content* (not its origin),
+/// the arguments, and the machine config. Two different profiling
+/// variants that select the same prefetches produce byte-identical
+/// transformed modules, so their reference runs collapse to one entry —
+/// and a transform that inserts nothing shares the workload's baseline.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct PlainKey {
+    module_fingerprint: u64,
+    args: Vec<i64>,
+    config_fingerprint: u64,
+}
+
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, VmError>>>;
+
+/// Counters describing cache effectiveness and total simulation volume.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunCacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that ran a fresh simulation.
+    pub misses: u64,
+    /// Dynamic loads executed by fresh simulations (cached runs add 0).
+    pub sim_loads: u64,
+    /// Demand accesses (loads + stores) seen by the cache simulator in
+    /// fresh simulations.
+    pub sim_accesses: u64,
+}
+
+/// The memoizing run store shared by all figure generators and workers.
+#[derive(Default)]
+pub struct RunCache {
+    plain_runs: Mutex<HashMap<PlainKey, Slot<(RunResult, HierarchyStats)>>>,
+    edge_runs: Mutex<HashMap<Key, Slot<(EdgeProfile, RunResult)>>>,
+    profiles: Mutex<HashMap<Key, Slot<ProfileOutcome>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    sim_loads: AtomicU64,
+    sim_accesses: AtomicU64,
+}
+
+/// Fingerprint of the config parts an *uninstrumented* run can observe:
+/// the VM cost model and the cache hierarchy.
+fn fingerprint_machine(config: &PipelineConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}|{:?}", config.vm, config.hierarchy).hash(&mut h);
+    h.finish()
+}
+
+/// Fingerprint of the whole config (instrumented runs also observe the
+/// prefetch/selection parameters).
+fn fingerprint_full(config: &PipelineConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{:?}", config.prefetch).hash(&mut h);
+    h.write_u64(fingerprint_machine(config));
+    h.finish()
+}
+
+/// Content fingerprint of a module. The `Debug` form covers every field
+/// the interpreter can observe (functions, blocks, instructions, globals,
+/// entry), so equal fingerprints mean behaviourally identical programs.
+fn fingerprint_module(module: &Module) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{module:?}").hash(&mut h);
+    h.finish()
+}
+
+impl RunCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache effectiveness and simulation-volume counters so far.
+    pub fn stats(&self) -> RunCacheStats {
+        RunCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            sim_loads: self.sim_loads.load(Ordering::Relaxed),
+            sim_accesses: self.sim_accesses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn record_run(&self, run: &RunResult) {
+        self.sim_loads.fetch_add(run.loads, Ordering::Relaxed);
+        self.sim_accesses
+            .fetch_add(run.loads + run.stores, Ordering::Relaxed);
+    }
+
+    /// Looks `key` up in `map`, computing with `compute` exactly once per
+    /// key (other threads block on the same slot rather than recomputing).
+    fn get_or_run<K, T, F>(
+        &self,
+        map: &Mutex<HashMap<K, Slot<T>>>,
+        key: K,
+        compute: F,
+    ) -> Result<Arc<T>, VmError>
+    where
+        K: std::hash::Hash + Eq,
+        F: FnOnce() -> Result<T, VmError>,
+    {
+        let slot = {
+            let mut map = map.lock().expect("run-cache lock");
+            map.entry(key).or_default().clone()
+        };
+        let mut ran = false;
+        let result = slot.get_or_init(|| {
+            ran = true;
+            compute().map(Arc::new)
+        });
+        if ran {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Uninstrumented run of `w.module` with `args` (memoized). Keyed by
+    /// module content, so it shares entries with [`RunCache::plain_run`]
+    /// when a prefetch transform turns out to be a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from the underlying run.
+    pub fn baseline(
+        &self,
+        w: &Workload,
+        _scale: Scale,
+        args: &[i64],
+        config: &PipelineConfig,
+    ) -> Result<Arc<(RunResult, HierarchyStats)>, VmError> {
+        self.plain_run(&w.module, args, config)
+    }
+
+    /// Edge-frequency-only instrumented run (memoized). The edge-only
+    /// instrumentation does not read the prefetch config, so ablation
+    /// sweeps share this run too.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from the underlying run.
+    pub fn edge_only(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        args: &[i64],
+        config: &PipelineConfig,
+    ) -> Result<Arc<(EdgeProfile, RunResult)>, VmError> {
+        let key = Key {
+            workload: w.name,
+            scale,
+            kind: RunKind::EdgeOnly,
+            args: args.to_vec(),
+            config_fingerprint: fingerprint_machine(config),
+        };
+        self.get_or_run(&self.edge_runs, key, || {
+            let out = run_edge_only(&w.module, args, config)?;
+            self.record_run(&out.1);
+            Ok(out)
+        })
+    }
+
+    /// Integrated profiling run under `variant` with `args` (memoized).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from the underlying run.
+    pub fn profiling(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        variant: ProfilingVariant,
+        args: &[i64],
+        config: &PipelineConfig,
+    ) -> Result<Arc<ProfileOutcome>, VmError> {
+        let key = Key {
+            workload: w.name,
+            scale,
+            kind: RunKind::Profiling(variant),
+            args: args.to_vec(),
+            config_fingerprint: fingerprint_full(config),
+        };
+        self.get_or_run(&self.profiles, key, || {
+            let out = run_profiling(&w.module, args, variant, config)?;
+            self.record_run(&out.run);
+            Ok(out)
+        })
+    }
+
+    /// Uninstrumented run of an arbitrary (e.g. transformed) module,
+    /// memoized by the module's *content*: Figs. 16 and 23–25 transform
+    /// the same workload under many profile sources, and whenever two
+    /// sources select the same prefetches the resulting modules — and
+    /// hence this run — are identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from the underlying run.
+    pub fn plain_run(
+        &self,
+        module: &Module,
+        args: &[i64],
+        config: &PipelineConfig,
+    ) -> Result<Arc<(RunResult, HierarchyStats)>, VmError> {
+        let key = PlainKey {
+            module_fingerprint: fingerprint_module(module),
+            args: args.to_vec(),
+            config_fingerprint: fingerprint_machine(config),
+        };
+        self.get_or_run(&self.plain_runs, key, || {
+            let out = run_uninstrumented(module, args, config)?;
+            self.record_run(&out.0);
+            Ok(out)
+        })
+    }
+
+    /// The Fig. 16 speedup experiment with its train-input profiling run,
+    /// reference-input baseline, and transformed-binary run all served
+    /// from the cache (the last keyed by transformed-module content).
+    /// Equivalent to [`stride_core::measure_speedup`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from any of the runs.
+    pub fn speedup(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        variant: ProfilingVariant,
+        config: &PipelineConfig,
+    ) -> Result<SpeedupOutcome, VmError> {
+        // The two-pass baseline performs its own double profiling pass;
+        // its inner edge-only run is not shared here, but the profiling
+        // outcome as a whole still memoizes.
+        let outcome = self.profiling(w, scale, variant, &w.train_args, config)?;
+        let (transformed, classification, report) = prefetch_with_profiles(
+            &w.module,
+            &outcome.edge,
+            outcome.source,
+            &outcome.stride,
+            config,
+        );
+        let base = self.baseline(w, scale, &w.ref_args, config)?;
+        let pf = self.plain_run(&transformed, &w.ref_args, config)?;
+        Ok(SpeedupOutcome {
+            baseline_cycles: base.0.cycles,
+            prefetch_cycles: pf.0.cycles,
+            speedup: base.0.cycles as f64 / pf.0.cycles.max(1) as f64,
+            classification,
+            report,
+            baseline_mem: base.1,
+            prefetch_mem: pf.1,
+        })
+    }
+
+    /// The Figs. 20–22 overhead experiment with both underlying runs
+    /// served from the cache. Equivalent to
+    /// [`stride_core::measure_overhead`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`VmError`] from either run.
+    pub fn overhead(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        variant: ProfilingVariant,
+        config: &PipelineConfig,
+    ) -> Result<OverheadOutcome, VmError> {
+        let edge = self.edge_only(w, scale, &w.train_args, config)?;
+        let outcome = self.profiling(w, scale, variant, &w.train_args, config)?;
+        let edge_run = &edge.1;
+        let loads = outcome.run.loads.max(1) as f64;
+        Ok(OverheadOutcome {
+            edge_cycles: edge_run.cycles,
+            integrated_cycles: outcome.run.cycles,
+            overhead: (outcome.run.cycles as f64 - edge_run.cycles as f64)
+                / edge_run.cycles.max(1) as f64,
+            strideprof_fraction: outcome.stats.processed as f64 / loads,
+            lfu_fraction: outcome.stats.lfu_inserts as f64 / loads,
+            call_fraction: outcome.stats.calls as f64 / loads,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_core::{measure_overhead, measure_speedup};
+    use stride_workloads::workload_by_name;
+
+    fn test_setup() -> (Workload, PipelineConfig) {
+        (
+            workload_by_name("gzip", Scale::Test).unwrap(),
+            PipelineConfig::default(),
+        )
+    }
+
+    #[test]
+    fn baseline_hits_after_first_run() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        let a = cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 0);
+        let b = cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(a.0.cycles, b.0.cycles);
+        assert!(cache.stats().sim_loads > 0);
+    }
+
+    #[test]
+    fn different_args_are_different_entries() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        cache
+            .baseline(&w, Scale::Test, &w.train_args, &cfg)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn machine_config_change_invalidates_baseline() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        let mut faster = cfg;
+        faster.hierarchy.mem_latency += 40;
+        cache
+            .baseline(&w, Scale::Test, &w.ref_args, &faster)
+            .unwrap();
+        assert_eq!(cache.stats().misses, 2, "changed hierarchy must re-run");
+    }
+
+    #[test]
+    fn prefetch_config_change_keeps_baseline_but_invalidates_profiling() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        cache
+            .profiling(
+                &w,
+                Scale::Test,
+                ProfilingVariant::EdgeCheck,
+                &w.train_args,
+                &cfg,
+            )
+            .unwrap();
+        let mut tweaked = cfg;
+        tweaked.prefetch.trip_count_threshold *= 2;
+        // baseline does not observe prefetch config: hit
+        cache
+            .baseline(&w, Scale::Test, &w.ref_args, &tweaked)
+            .unwrap();
+        // profiling does: miss
+        cache
+            .profiling(
+                &w,
+                Scale::Test,
+                ProfilingVariant::EdgeCheck,
+                &w.train_args,
+                &tweaked,
+            )
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+    }
+
+    #[test]
+    fn variants_do_not_share_profiling_entries() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        for v in [ProfilingVariant::EdgeCheck, ProfilingVariant::NaiveAll] {
+            cache
+                .profiling(&w, Scale::Test, v, &w.train_args, &cfg)
+                .unwrap();
+        }
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn cached_speedup_matches_uncached_measure() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        let cached = cache
+            .speedup(&w, Scale::Test, ProfilingVariant::EdgeCheck, &cfg)
+            .unwrap();
+        let direct = measure_speedup(
+            &w.module,
+            &w.train_args,
+            &w.ref_args,
+            ProfilingVariant::EdgeCheck,
+            &cfg,
+        )
+        .unwrap();
+        assert_eq!(cached.baseline_cycles, direct.baseline_cycles);
+        assert_eq!(cached.prefetch_cycles, direct.prefetch_cycles);
+        assert_eq!(
+            cached.report.prefetches_inserted,
+            direct.report.prefetches_inserted
+        );
+    }
+
+    #[test]
+    fn cached_overhead_matches_uncached_measure() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        let v = ProfilingVariant::NaiveLoop;
+        let cached = cache.overhead(&w, Scale::Test, v, &cfg).unwrap();
+        let direct = measure_overhead(&w.module, &w.train_args, v, &cfg).unwrap();
+        assert_eq!(cached.edge_cycles, direct.edge_cycles);
+        assert_eq!(cached.integrated_cycles, direct.integrated_cycles);
+        assert!((cached.overhead - direct.overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_reuses_speedup_profiling_run() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        let v = ProfilingVariant::EdgeCheck;
+        cache.speedup(&w, Scale::Test, v, &cfg).unwrap();
+        let before = cache.stats();
+        cache.overhead(&w, Scale::Test, v, &cfg).unwrap();
+        let after = cache.stats();
+        // only the edge-only baseline is new; the profiling run hits
+        assert_eq!(after.misses - before.misses, 1);
+        assert!(after.hits > before.hits);
+    }
+
+    #[test]
+    fn identical_transformed_modules_share_one_run() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        let copy = w.module.clone();
+        cache.plain_run(&w.module, &w.ref_args, &cfg).unwrap();
+        cache.plain_run(&copy, &w.ref_args, &cfg).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "content-identical modules share one run");
+        assert_eq!(s.hits, 1);
+    }
+
+    #[test]
+    fn noop_transform_shares_the_baseline_run() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        let base = cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        // A transform that inserted nothing leaves the module identical.
+        let untouched = w.module.clone();
+        let run = cache.plain_run(&untouched, &w.ref_args, &cfg).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(base.0.cycles, run.0.cycles);
+    }
+
+    #[test]
+    fn concurrent_requests_compute_once() {
+        let (w, cfg) = test_setup();
+        let cache = RunCache::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    cache
+                        .baseline(&w, Scale::Test, &w.ref_args, &cfg)
+                        .unwrap()
+                        .0
+                        .cycles
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one computation under contention");
+        assert_eq!(stats.hits, 3);
+    }
+}

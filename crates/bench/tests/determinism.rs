@@ -1,0 +1,53 @@
+//! Parallel runs must be byte-identical to serial runs: the figure output
+//! is a reproduction artifact, so `--jobs` may only change wall-clock,
+//! never a single byte of what is printed.
+
+use std::process::Command;
+
+fn repro_stdout(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("run repro");
+    assert!(
+        out.status.success(),
+        "repro {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn full_figure_output_is_identical_at_jobs_1_and_8() {
+    let serial = repro_stdout(&["--scale", "test", "--jobs", "1"]);
+    let parallel = repro_stdout(&["--scale", "test", "--jobs", "8"]);
+    assert!(!serial.is_empty(), "repro printed nothing");
+    assert_eq!(
+        serial, parallel,
+        "figure output must not depend on the worker count"
+    );
+}
+
+#[test]
+fn single_figure_output_is_identical_across_jobs() {
+    // Figure 16 exercises the widest fan-out (12 workloads x variants).
+    let serial = repro_stdout(&["--scale", "test", "--figure", "16", "--jobs", "1"]);
+    for jobs in ["2", "5", "8"] {
+        let parallel = repro_stdout(&["--scale", "test", "--figure", "16", "--jobs", jobs]);
+        assert_eq!(serial, parallel, "figure 16 differs at --jobs {jobs}");
+    }
+}
+
+#[test]
+fn jobs_zero_is_rejected_with_a_clear_error() {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--scale", "test", "--jobs", "0"])
+        .output()
+        .expect("run repro");
+    assert!(!out.status.success(), "--jobs 0 must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--jobs 0 is invalid"),
+        "stderr should explain the rejection, got: {err}"
+    );
+}

@@ -255,11 +255,7 @@ mod tests {
         // §1: (*s&~3)->size load has 4 dominant strides at 29/28/21/5%,
         // phase-wise constant.
         let cfg = PrefetchConfig::paper();
-        let p = profile(
-            vec![(16, 29), (24, 28), (32, 21), (48, 5)],
-            100,
-            55,
-        );
+        let p = profile(vec![(16, 29), (24, 28), (32, 21), (48, 5)], 100, 55);
         assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Pmst));
     }
 
@@ -340,7 +336,13 @@ mod tests {
         let freq = EdgeProfile::for_module(&m); // all zero
         let mut stride = StrideProfile::new();
         stride.insert(f, site.unwrap(), profile(vec![(64, 900)], 1000, 900));
-        let c = classify(&m, &stride, &freq, FreqSource::Edges, &PrefetchConfig::paper());
+        let c = classify(
+            &m,
+            &stride,
+            &freq,
+            FreqSource::Edges,
+            &PrefetchConfig::paper(),
+        );
         assert!(c.loads.is_empty());
         assert_eq!(c.filtered_low_freq, 1);
     }
@@ -379,7 +381,13 @@ mod tests {
 
         let mut stride = StrideProfile::new();
         stride.insert(f, sites[0], profile(vec![(128, 9000)], 9500, 9000));
-        let c = classify(&m, &stride, &freq, FreqSource::Edges, &PrefetchConfig::paper());
+        let c = classify(
+            &m,
+            &stride,
+            &freq,
+            FreqSource::Edges,
+            &PrefetchConfig::paper(),
+        );
         assert_eq!(c.loads.len(), 1);
         // covers line 0 (via s1) and line 1 (via s2)
         assert_eq!(c.loads[0].cover, vec![sites[0], sites[1]]);

@@ -64,11 +64,6 @@ impl PrefetchConfig {
     /// avoid a division (§3.2).
     pub fn trip_shift(&self) -> u32 {
         63 - self.trip_count_threshold.max(1).leading_zeros()
-            + if self.trip_count_threshold.is_power_of_two() {
-                0
-            } else {
-                0
-            }
     }
 }
 

@@ -161,11 +161,8 @@ mod tests {
     #[test]
     fn inserts_prefetch_after_chasing_load() {
         let m = chase_module();
-        let (out, n) = apply_dependent_prefetching(
-            &m,
-            &Classification::default(),
-            &PrefetchConfig::paper(),
-        );
+        let (out, n) =
+            apply_dependent_prefetching(&m, &Classification::default(), &PrefetchConfig::paper());
         verify_module(&out).expect("verifies");
         // both the payload (offset 8) and the chase target (offset 0) sit
         // on line 0 relative to p, so one prefetch covers them
@@ -213,8 +210,7 @@ mod tests {
             }],
             ..Classification::default()
         };
-        let (_, n) =
-            apply_dependent_prefetching(&m, &classification, &PrefetchConfig::paper());
+        let (_, n) = apply_dependent_prefetching(&m, &classification, &PrefetchConfig::paper());
         // only the chasing load's own line remains as a dependent target
         assert_eq!(n, 1);
     }
@@ -234,11 +230,8 @@ mod tests {
         fb.ret(None);
         mb.set_entry(f);
         let m = mb.finish();
-        let (out, n) = apply_dependent_prefetching(
-            &m,
-            &Classification::default(),
-            &PrefetchConfig::paper(),
-        );
+        let (out, n) =
+            apply_dependent_prefetching(&m, &Classification::default(), &PrefetchConfig::paper());
         assert_eq!(n, 0);
         assert_eq!(out.instr_count(), m.instr_count());
     }
@@ -257,8 +250,18 @@ mod tests {
         let head = fb.alloc(64i64);
         let prev = fb.mov(head);
         fb.counted_loop(fb.param(0), |fb, i| {
-            fb.bin_to(lcg_state, stride_ir::BinOp::Mul, lcg_state, 6364136223846793005i64);
-            fb.bin_to(lcg_state, stride_ir::BinOp::Add, lcg_state, 1442695040888963407i64);
+            fb.bin_to(
+                lcg_state,
+                stride_ir::BinOp::Mul,
+                lcg_state,
+                6364136223846793005i64,
+            );
+            fb.bin_to(
+                lcg_state,
+                stride_ir::BinOp::Add,
+                lcg_state,
+                1442695040888963407i64,
+            );
             let sz = fb.bin(stride_ir::BinOp::Lshr, lcg_state, 58i64);
             let sz16 = fb.mul(sz, 16i64);
             let sz2 = fb.add(sz16, 32i64);
@@ -279,11 +282,8 @@ mod tests {
         mb.set_entry(f);
         let m = mb.finish();
 
-        let (out, n) = apply_dependent_prefetching(
-            &m,
-            &Classification::default(),
-            &PrefetchConfig::paper(),
-        );
+        let (out, n) =
+            apply_dependent_prefetching(&m, &Classification::default(), &PrefetchConfig::paper());
         assert!(n >= 1);
         verify_module(&out).expect("verifies");
         let run = |m: &Module| {

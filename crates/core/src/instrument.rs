@@ -12,8 +12,7 @@ use crate::config::PrefetchConfig;
 use crate::select::{ProfilingMethod, Selection};
 use std::collections::HashMap;
 use stride_ir::{
-    split_edge, BlockId, EdgeId, FuncAnalysis, Function, InstrId, LoopId, Module, Op, Operand,
-    Reg,
+    split_edge, BlockId, EdgeId, FuncAnalysis, Function, InstrId, LoopId, Module, Op, Operand, Reg,
 };
 use stride_profiling::EdgeProfile;
 

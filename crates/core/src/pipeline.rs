@@ -10,7 +10,7 @@ use crate::select::ProfilingMethod;
 use stride_ir::Module;
 use stride_memsim::{CacheHierarchy, HierarchyConfig, HierarchyStats};
 use stride_profiling::{
-    EdgeProfile, FreqSource, ProfilerRuntime, StrideProfConfig, StrideProfile, StrideProfStats,
+    EdgeProfile, FreqSource, ProfilerRuntime, StrideProfConfig, StrideProfStats, StrideProfile,
 };
 use stride_vm::{NullRuntime, RunResult, Vm, VmConfig, VmError};
 
@@ -454,8 +454,14 @@ mod tests {
     fn speedup_on_strided_workload() {
         let m = list_walk_module();
         let cfg = small_config();
-        let out = measure_speedup(&m, &[2000, 3], &[8000, 4], ProfilingVariant::EdgeCheck, &cfg)
-            .expect("pipeline");
+        let out = measure_speedup(
+            &m,
+            &[2000, 3],
+            &[8000, 4],
+            ProfilingVariant::EdgeCheck,
+            &cfg,
+        )
+        .expect("pipeline");
         assert!(
             out.speedup > 1.02,
             "expected speedup on a strongly-strided workload, got {}",
@@ -505,8 +511,14 @@ mod tests {
         let cfg = small_config();
         let tp = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::TwoPass, &cfg)
             .expect("two-pass");
-        let nl = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::NaiveLoop, &cfg)
-            .expect("naive-loop");
+        let nl = measure_speedup(
+            &m,
+            &[2000, 3],
+            &[4000, 3],
+            ProfilingVariant::NaiveLoop,
+            &cfg,
+        )
+        .expect("naive-loop");
         let sites = |c: &Classification| {
             let mut v: Vec<_> = c.loads.iter().map(|l| (l.func, l.site)).collect();
             v.sort();
@@ -519,10 +531,22 @@ mod tests {
     fn block_check_classifies_like_edge_check() {
         let m = list_walk_module();
         let cfg = small_config();
-        let ec = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::EdgeCheck, &cfg)
-            .expect("edge-check");
-        let bc = measure_speedup(&m, &[2000, 3], &[4000, 3], ProfilingVariant::BlockCheck, &cfg)
-            .expect("block-check");
+        let ec = measure_speedup(
+            &m,
+            &[2000, 3],
+            &[4000, 3],
+            ProfilingVariant::EdgeCheck,
+            &cfg,
+        )
+        .expect("edge-check");
+        let bc = measure_speedup(
+            &m,
+            &[2000, 3],
+            &[4000, 3],
+            ProfilingVariant::BlockCheck,
+            &cfg,
+        )
+        .expect("block-check");
         let sites = |c: &Classification| {
             let mut v: Vec<_> = c.loads.iter().map(|l| (l.func, l.site)).collect();
             v.sort();

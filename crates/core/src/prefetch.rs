@@ -17,8 +17,8 @@ use crate::classify::{Classification, ClassifiedLoad, StrideClass};
 use crate::config::PrefetchConfig;
 use std::collections::HashMap;
 use stride_ir::{
-    ensure_preheader, insert_at_end, insert_before, BinOp, CmpOp, FuncAnalysis, FuncId, Module,
-    Op, Operand,
+    ensure_preheader, insert_at_end, insert_before, BinOp, CmpOp, FuncAnalysis, FuncId, Module, Op,
+    Operand,
 };
 
 /// What the prefetch pass did (the per-benchmark numbers behind
@@ -106,7 +106,13 @@ pub fn apply_prefetching(
                     report.wsst += 1;
                 }
                 (None, StrideClass::Ssst) => {
-                    insert_ssst(func, load, config.out_loop_distance, config.line_size, &mut report);
+                    insert_ssst(
+                        func,
+                        load,
+                        config.out_loop_distance,
+                        config.line_size,
+                        &mut report,
+                    );
                     report.ssst_out_loop += 1;
                 }
                 (None, _) => {
@@ -177,7 +183,9 @@ fn insert_ssst(
                 None,
                 Op::Prefetch {
                     addr,
-                    offset: repr_offset.saturating_add(ahead).saturating_add(dir * j * line),
+                    offset: repr_offset
+                        .saturating_add(ahead)
+                        .saturating_add(dir * j * line),
                 },
             ));
             report.prefetches_inserted += 1;
@@ -226,7 +234,17 @@ fn insert_register_stride(
         .collect();
     let prev = func.new_reg();
     let pre = ensure_preheader(func, l.header, &outside);
-    insert_at_end(func, pre, vec![(None, Op::Const { dst: prev, value: 0 })]);
+    insert_at_end(
+        func,
+        pre,
+        vec![(
+            None,
+            Op::Const {
+                dst: prev,
+                value: 0,
+            },
+        )],
+    );
 
     let stride = func.new_reg();
     let tmp = func.new_reg();
@@ -243,7 +261,13 @@ fn insert_register_stride(
                 rhs: Operand::Reg(prev),
             },
         ),
-        (None, Op::Mov { dst: prev, src: addr }),
+        (
+            None,
+            Op::Mov {
+                dst: prev,
+                src: addr,
+            },
+        ),
         (
             None,
             Op::Bin {
@@ -315,9 +339,7 @@ mod tests {
 
     /// A chasing loop plus full synthetic profiles; returns
     /// (module, repr_site, classification ready to apply).
-    fn classified_module(
-        profile: LoadStrideProfile,
-    ) -> (Module, InstrId, Classification) {
+    fn classified_module(profile: LoadStrideProfile) -> (Module, InstrId, Classification) {
         let mut mb = ModuleBuilder::new();
         let f = mb.declare_function("main", 1);
         let mut fb = mb.function(f);
@@ -445,7 +467,14 @@ mod tests {
         // predicate computed by a stride == S compare
         let cmp = &f.block(block).instrs[idx - 2];
         assert!(
-            matches!(cmp.op, Op::Cmp { op: CmpOp::Eq, rhs: Operand::Imm(32), .. }),
+            matches!(
+                cmp.op,
+                Op::Cmp {
+                    op: CmpOp::Eq,
+                    rhs: Operand::Imm(32),
+                    ..
+                }
+            ),
             "got {:?}",
             cmp.op
         );

@@ -35,7 +35,10 @@ impl ProfilingMethod {
     /// True if the method guards strideProf calls with the trip-count
     /// predicate.
     pub fn is_guarded(self) -> bool {
-        matches!(self, ProfilingMethod::EdgeCheck | ProfilingMethod::BlockCheck)
+        matches!(
+            self,
+            ProfilingMethod::EdgeCheck | ProfilingMethod::BlockCheck
+        )
     }
 
     /// True if out-loop loads are profiled.

@@ -145,8 +145,14 @@ mod tests {
         let cfg = Cfg::compute(m.function(f));
         assert_eq!(cfg.num_blocks(), 4);
         assert_eq!(cfg.num_edges(), 4);
-        assert_eq!(cfg.succs(BlockId::new(0)), &[BlockId::new(1), BlockId::new(2)]);
-        assert_eq!(cfg.preds(BlockId::new(3)), &[BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(
+            cfg.succs(BlockId::new(0)),
+            &[BlockId::new(1), BlockId::new(2)]
+        );
+        assert_eq!(
+            cfg.preds(BlockId::new(3)),
+            &[BlockId::new(1), BlockId::new(2)]
+        );
         // deterministic edge numbering: block order, successor order
         assert_eq!(cfg.edge(EdgeId::new(0)), (BlockId::new(0), BlockId::new(1)));
         assert_eq!(cfg.edge(EdgeId::new(1)), (BlockId::new(0), BlockId::new(2)));

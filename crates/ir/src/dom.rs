@@ -128,9 +128,9 @@ impl PostDomTree {
         let n = cfg.num_blocks();
         // Build the reverse graph with a virtual exit node index n.
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n + 1]; // reverse succ = preds
-        for b in 0..n {
+        for (b, sb) in succs.iter_mut().enumerate().take(n) {
             for &p in cfg.preds(BlockId::new(b as u32)) {
-                succs[b].push(p.index());
+                sb.push(p.index());
             }
         }
         for &e in exits {

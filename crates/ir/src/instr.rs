@@ -224,7 +224,11 @@ pub enum Op {
         on_false: Operand,
     },
     /// `dst = mem[addr + offset]` (8-byte load).
-    Load { dst: Reg, addr: Operand, offset: i64 },
+    Load {
+        dst: Reg,
+        addr: Operand,
+        offset: i64,
+    },
     /// `mem[addr + offset] = value` (8-byte store).
     Store {
         value: Operand,

@@ -182,8 +182,8 @@ impl LoopForest {
             for &(u, v) in &irreducible_edges {
                 if sccs[u.index()] == sccs[v.index()] {
                     let comp = sccs[u.index()];
-                    for b in 0..n {
-                        if sccs[b] == comp {
+                    for (b, &c) in sccs.iter().enumerate().take(n) {
+                        if c == comp {
                             irreducible.insert(BlockId::new(b as u32));
                         }
                     }

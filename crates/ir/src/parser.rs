@@ -37,11 +37,10 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 
 /// Strips a prefix or errors.
 fn expect<'a>(s: &'a str, prefix: &str, line: usize) -> Result<&'a str, ParseError> {
-    s.strip_prefix(prefix)
-        .ok_or_else(|| ParseError {
-            line,
-            message: format!("expected `{prefix}` in `{s}`"),
-        })
+    s.strip_prefix(prefix).ok_or_else(|| ParseError {
+        line,
+        message: format!("expected `{prefix}` in `{s}`"),
+    })
 }
 
 fn parse_u32(s: &str, what: &str, line: usize) -> Result<u32, ParseError> {
@@ -160,11 +159,10 @@ fn parse_rhs(dst: Reg, rhs: &str, line: usize) -> Result<Op, ParseError> {
     let (head, rest) = rhs.split_once(' ').unwrap_or((rhs, ""));
     if let Some((op_name, cmp)) = head.split_once('.') {
         if op_name == "cmp" {
-            let op = cmp_op_of(cmp)
-                .ok_or_else(|| ParseError {
-                    line,
-                    message: format!("unknown compare `{cmp}`"),
-                })?;
+            let op = cmp_op_of(cmp).ok_or_else(|| ParseError {
+                line,
+                message: format!("unknown compare `{cmp}`"),
+            })?;
             let (l, r) = split2(rest, "operands", line)?;
             return Ok(Op::Cmp {
                 dst,

@@ -193,10 +193,7 @@ mod tests {
 
     #[test]
     fn prints_terminators() {
-        assert_eq!(
-            term_to_string(&Terminator::Ret { value: None }),
-            "ret"
-        );
+        assert_eq!(term_to_string(&Terminator::Ret { value: None }), "ret");
         assert_eq!(
             term_to_string(&Terminator::Br {
                 target: crate::types::BlockId::new(2)

@@ -268,8 +268,16 @@ mod tests {
         let mut m = mb.finish();
         let func = m.function_mut(f);
         let r = func.new_reg();
-        insert_at_front(func, BlockId::new(0), vec![(None, Op::Const { dst: r, value: 1 })]);
-        insert_at_end(func, BlockId::new(0), vec![(None, Op::Const { dst: r, value: 2 })]);
+        insert_at_front(
+            func,
+            BlockId::new(0),
+            vec![(None, Op::Const { dst: r, value: 1 })],
+        );
+        insert_at_end(
+            func,
+            BlockId::new(0),
+            vec![(None, Op::Const { dst: r, value: 2 })],
+        );
         let b0 = &func.blocks[0];
         assert_eq!(b0.instrs.len(), 3);
         assert!(matches!(b0.instrs[0].op, Op::Const { value: 1, .. }));

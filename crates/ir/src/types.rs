@@ -118,7 +118,9 @@ mod tests {
     #[test]
     fn ids_are_ordered_and_hashable() {
         assert!(BlockId::new(1) < BlockId::new(2));
-        let set: HashSet<Reg> = [Reg::new(1), Reg::new(1), Reg::new(2)].into_iter().collect();
+        let set: HashSet<Reg> = [Reg::new(1), Reg::new(1), Reg::new(2)]
+            .into_iter()
+            .collect();
         assert_eq!(set.len(), 2);
     }
 

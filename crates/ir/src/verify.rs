@@ -172,13 +172,11 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
                         });
                     }
                 }
-                Op::GlobalAddr { global, .. } => {
-                    if global.index() >= module.globals.len() {
-                        return Err(VerifyError::UnknownGlobal {
-                            func: name.clone(),
-                            instr: instr.id,
-                        });
-                    }
+                Op::GlobalAddr { global, .. } if global.index() >= module.globals.len() => {
+                    return Err(VerifyError::UnknownGlobal {
+                        func: name.clone(),
+                        instr: instr.id,
+                    });
                 }
                 _ => {}
             }
@@ -200,15 +198,17 @@ pub fn verify_function(module: &Module, func: &Function) -> Result<(), VerifyErr
                         });
                     }
                 }
-                if let Terminator::CondBr { cond, .. } = term {
-                    if let Operand::Reg(r) = cond {
-                        if r.0 >= func.num_regs {
-                            return Err(VerifyError::RegOutOfRange {
-                                func: name.clone(),
-                                instr: InstrId::new(u32::MAX),
-                                reg: r.0,
-                            });
-                        }
+                if let Terminator::CondBr {
+                    cond: Operand::Reg(r),
+                    ..
+                } = term
+                {
+                    if r.0 >= func.num_regs {
+                        return Err(VerifyError::RegOutOfRange {
+                            func: name.clone(),
+                            instr: InstrId::new(u32::MAX),
+                            reg: r.0,
+                        });
                     }
                 }
             }
@@ -387,7 +387,10 @@ mod tests {
     fn detects_bad_entry() {
         let mut m = valid_module();
         m.entry = FuncId::new(9);
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadEntry { .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadEntry { .. })
+        ));
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct Cache {
     set_mask: u64,
     line_shift: u32,
     ways: Vec<Way>,
+    /// Per-set most-recently-used way offset. A lookup hint only: the
+    /// stamps stay authoritative for LRU eviction, so hit/miss results and
+    /// eviction order are identical to a plain linear scan.
+    mru: Vec<u32>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -76,6 +80,7 @@ impl Cache {
                 };
                 (sets * geometry.ways as u64) as usize
             ],
+            mru: vec![0; sets as usize],
             tick: 0,
             hits: 0,
             misses: 0,
@@ -98,10 +103,23 @@ impl Cache {
     /// on hit. Does not allocate on miss (use [`Cache::install`]).
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
-        let (range, line) = self.set_range(addr);
-        for w in &mut self.ways[range] {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let ways = self.geometry.ways as usize;
+        let base = set * ways;
+        // Fast path: most accesses re-touch the way touched last.
+        let m = self.mru[set] as usize;
+        let w = &mut self.ways[base + m];
+        if w.valid && w.tag == line {
+            w.stamp = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        for i in 0..ways {
+            let w = &mut self.ways[base + i];
             if w.valid && w.tag == line {
                 w.stamp = self.tick;
+                self.mru[set] = i as u32;
                 self.hits += 1;
                 return true;
             }
@@ -122,26 +140,43 @@ impl Cache {
         self.tick += 1;
         let tick = self.tick;
         let line_shift = self.line_shift;
-        let (range, line) = self.set_range(addr);
-        let set = &mut self.ways[range];
-        // already present: refresh
-        if let Some(w) = set.iter_mut().find(|w| w.valid && w.tag == line) {
+        let line = addr >> line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let ways = self.geometry.ways as usize;
+        let base = set_idx * ways;
+        // Fast path: re-install of the way touched last (refresh).
+        let m = self.mru[set_idx] as usize;
+        let w = &mut self.ways[base + m];
+        if w.valid && w.tag == line {
             w.stamp = tick;
             return None;
         }
+        let set = &mut self.ways[base..base + ways];
+        // already present: refresh
+        if let Some((i, w)) = set
+            .iter_mut()
+            .enumerate()
+            .find(|(_, w)| w.valid && w.tag == line)
+        {
+            w.stamp = tick;
+            self.mru[set_idx] = i as u32;
+            return None;
+        }
         // empty way
-        if let Some(w) = set.iter_mut().find(|w| !w.valid) {
+        if let Some((i, w)) = set.iter_mut().enumerate().find(|(_, w)| !w.valid) {
             *w = Way {
                 tag: line,
                 valid: true,
                 stamp: tick,
             };
+            self.mru[set_idx] = i as u32;
             return None;
         }
         // evict LRU
-        let victim = set
+        let (i, victim) = set
             .iter_mut()
-            .min_by_key(|w| w.stamp)
+            .enumerate()
+            .min_by_key(|(_, w)| w.stamp)
             .expect("nonzero associativity");
         let evicted = victim.tag << line_shift;
         *victim = Way {
@@ -149,6 +184,7 @@ impl Cache {
             valid: true,
             stamp: tick,
         };
+        self.mru[set_idx] = i as u32;
         Some(evicted)
     }
 
@@ -216,8 +252,8 @@ mod tests {
     fn lru_evicts_least_recent() {
         let mut c = small();
         // set index = (addr/64) & 3; choose three lines mapping to set 0
-        let a = 0 * 64 * 4;
-        let b = 1 * 64 * 4;
+        let a = 0;
+        let b = 64 * 4;
         let d = 2 * 64 * 4;
         c.install(a);
         c.install(b);
@@ -257,6 +293,85 @@ mod tests {
         let before = c.stats();
         let _ = c.contains(0);
         assert_eq!(c.stats(), before);
+    }
+
+    /// Regression for the MRU fast path: the exact sequence of evictions
+    /// must match a plain linear-scan LRU model over a mixed access /
+    /// install / invalidate workload.
+    #[test]
+    fn eviction_order_matches_reference_lru() {
+        // Reference model: per-set list of (tag, last-use tick).
+        struct RefLru {
+            sets: Vec<Vec<(u64, u64)>>,
+            ways: usize,
+            tick: u64,
+        }
+        impl RefLru {
+            fn access(&mut self, set: usize, tag: u64) -> bool {
+                self.tick += 1;
+                if let Some(e) = self.sets[set].iter_mut().find(|e| e.0 == tag) {
+                    e.1 = self.tick;
+                    return true;
+                }
+                false
+            }
+            fn install(&mut self, set: usize, tag: u64) -> Option<u64> {
+                self.tick += 1;
+                if let Some(e) = self.sets[set].iter_mut().find(|e| e.0 == tag) {
+                    e.1 = self.tick;
+                    return None;
+                }
+                if self.sets[set].len() < self.ways {
+                    self.sets[set].push((tag, self.tick));
+                    return None;
+                }
+                let i = (0..self.sets[set].len())
+                    .min_by_key(|&i| self.sets[set][i].1)
+                    .unwrap();
+                let evicted = self.sets[set][i].0;
+                self.sets[set][i] = (tag, self.tick);
+                Some(evicted)
+            }
+        }
+
+        let mut c = Cache::new(CacheGeometry {
+            size_bytes: 1024,
+            ways: 4,
+            line_size: 64,
+        }); // 4 sets x 4 ways
+        let mut r = RefLru {
+            sets: vec![Vec::new(); 4],
+            ways: 4,
+            tick: 0,
+        };
+        // Deterministic pseudo-random mixed workload with heavy re-touch
+        // (exercising the MRU hint) and enough distinct lines to evict.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut last = 0u64;
+        for step in 0..5000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let addr = if step % 3 == 0 { last } else { (x % 48) * 64 };
+            last = addr;
+            let line = addr / 64;
+            let set = (line % 4) as usize;
+            match step % 5 {
+                0..=2 => {
+                    assert_eq!(c.access(addr), r.access(set, line), "step {step}");
+                }
+                3 => {
+                    let ev = c.install(addr);
+                    let rv = r.install(set, line);
+                    assert_eq!(ev, rv.map(|t| t * 64), "step {step}: eviction order");
+                }
+                _ => {
+                    c.invalidate(addr);
+                    r.sets[set].retain(|e| e.0 != line);
+                    // keep model ticks aligned (invalidate does not tick)
+                }
+            }
+        }
     }
 
     #[test]

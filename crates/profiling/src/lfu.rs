@@ -142,7 +142,8 @@ impl Lfu {
 
         if self.since_merge >= self.config.merge_period {
             self.merge();
-            cost += 2 * (self.config.temp_entries + self.config.final_entries) as u64
+            cost += 2
+                * (self.config.temp_entries + self.config.final_entries) as u64
                 * self.config.cost_per_probe;
         }
         cost
@@ -158,7 +159,7 @@ impl Lfu {
                 self.steady.push(t);
             }
         }
-        self.steady.sort_by(|a, b| b.count.cmp(&a.count));
+        self.steady.sort_by_key(|e| std::cmp::Reverse(e.count));
         self.steady.truncate(self.config.final_entries);
     }
 

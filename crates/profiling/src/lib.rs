@@ -36,10 +36,10 @@ pub use refdist::{RefDistSummary, ReferenceDistanceProfiler};
 pub use runtime::{
     ProfilerRuntime, COST_PROFILE_EDGE, COST_TRIP_CHECK_BASE, COST_TRIP_CHECK_PER_EDGE,
 };
-pub use text::{
-    edge_profile_from_text, edge_profile_to_text, stride_profile_from_text,
-    stride_profile_to_text, ProfileParseError,
-};
 pub use stride_prof::{
     ChunkSampling, StrideProfConfig, StrideProfData, StrideProfEngine, StrideProfStats,
+};
+pub use text::{
+    edge_profile_from_text, edge_profile_to_text, stride_profile_from_text, stride_profile_to_text,
+    ProfileParseError,
 };

@@ -2,7 +2,6 @@
 //! strides and the counters the Fig. 5 classification reads.
 
 use crate::stride_prof::{StrideProfConfig, StrideProfData};
-use std::collections::HashMap;
 use stride_ir::{FuncId, InstrId};
 
 /// Final stride profile of one load site.
@@ -78,9 +77,15 @@ impl LoadStrideProfile {
 }
 
 /// Stride profiles for every profiled load of a module.
+///
+/// Stored as dense per-function tables indexed by the raw `FuncId` /
+/// `InstrId` values: lookups on the feedback path are two bounds-checked
+/// array reads instead of a hash, and iteration is in deterministic
+/// (function, site) order.
 #[derive(Clone, Debug, Default)]
 pub struct StrideProfile {
-    map: HashMap<(FuncId, InstrId), LoadStrideProfile>,
+    funcs: Vec<Vec<Option<LoadStrideProfile>>>,
+    len: usize,
 }
 
 impl StrideProfile {
@@ -91,28 +96,45 @@ impl StrideProfile {
 
     /// Records the profile of one load site (replacing any previous one).
     pub fn insert(&mut self, func: FuncId, site: InstrId, profile: LoadStrideProfile) {
-        self.map.insert((func, site), profile);
+        let f = func.index();
+        if f >= self.funcs.len() {
+            self.funcs.resize_with(f + 1, Vec::new);
+        }
+        let table = &mut self.funcs[f];
+        let i = site.index();
+        if i >= table.len() {
+            table.resize_with(i + 1, || None);
+        }
+        if table[i].is_none() {
+            self.len += 1;
+        }
+        table[i] = Some(profile);
     }
 
     /// The profile of one load site.
     pub fn get(&self, func: FuncId, site: InstrId) -> Option<&LoadStrideProfile> {
-        self.map.get(&(func, site))
+        self.funcs.get(func.index())?.get(site.index())?.as_ref()
     }
 
     /// Number of profiled sites.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.len
     }
 
     /// True if no site was profiled.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.len == 0
     }
 
-    /// Iterates over all `(func, site, profile)` entries in unspecified
-    /// order.
+    /// Iterates over all `(func, site, profile)` entries in (function,
+    /// site) order.
     pub fn iter(&self) -> impl Iterator<Item = (FuncId, InstrId, &LoadStrideProfile)> {
-        self.map.iter().map(|(&(f, s), p)| (f, s, p))
+        self.funcs.iter().enumerate().flat_map(|(f, table)| {
+            table.iter().enumerate().filter_map(move |(i, p)| {
+                p.as_ref()
+                    .map(|p| (FuncId::new(f as u32), InstrId::new(i as u32), p))
+            })
+        })
     }
 
     /// Merges another profile into this one (multi-run PGO: profiles from
@@ -122,29 +144,35 @@ impl StrideProfile {
     /// the two lists.
     pub fn merge(&mut self, other: &StrideProfile) {
         for (func, site, theirs) in other.iter() {
-            match self.map.get_mut(&(func, site)) {
-                None => {
-                    self.map.insert((func, site), theirs.clone());
-                }
-                Some(ours) => {
-                    // keep at least the LFU's final-buffer width so small
-                    // per-run lists can still surface each other's strides
-                    let keep = ours.top.len().max(theirs.top.len()).max(8);
-                    for &(stride, count) in &theirs.top {
-                        match ours.top.iter_mut().find(|(s, _)| *s == stride) {
-                            Some((_, c)) => *c += count,
-                            None => ours.top.push((stride, count)),
-                        }
-                    }
-                    ours.top.sort_by(|a, b| b.1.cmp(&a.1));
-                    ours.top.truncate(keep);
-                    ours.total_freq += theirs.total_freq;
-                    ours.num_zero_stride += theirs.num_zero_stride;
-                    ours.num_zero_diff += theirs.num_zero_diff;
-                    ours.total_diffs += theirs.total_diffs;
+            if self.get(func, site).is_none() {
+                self.insert(func, site, theirs.clone());
+                continue;
+            }
+            let ours = self.get_mut(func, site).expect("site just checked");
+            // keep at least the LFU's final-buffer width so small
+            // per-run lists can still surface each other's strides
+            let keep = ours.top.len().max(theirs.top.len()).max(8);
+            for &(stride, count) in &theirs.top {
+                match ours.top.iter_mut().find(|(s, _)| *s == stride) {
+                    Some((_, c)) => *c += count,
+                    None => ours.top.push((stride, count)),
                 }
             }
+            ours.top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+            ours.top.truncate(keep);
+            ours.total_freq += theirs.total_freq;
+            ours.num_zero_stride += theirs.num_zero_stride;
+            ours.num_zero_diff += theirs.num_zero_diff;
+            ours.total_diffs += theirs.total_diffs;
         }
+    }
+
+    /// Mutable access to one site's profile, if present.
+    fn get_mut(&mut self, func: FuncId, site: InstrId) -> Option<&mut LoadStrideProfile> {
+        self.funcs
+            .get_mut(func.index())?
+            .get_mut(site.index())?
+            .as_mut()
     }
 }
 

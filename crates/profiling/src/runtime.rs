@@ -31,7 +31,11 @@ impl ProfilerRuntime {
     /// Creates a runtime for `module` (the *original*, pre-instrumentation
     /// module — edge counters are keyed by its CFG) with one stride slot
     /// per `(func, load)` in `slot_sites`.
-    pub fn new(module: &Module, slot_sites: Vec<(FuncId, InstrId)>, config: StrideProfConfig) -> Self {
+    pub fn new(
+        module: &Module,
+        slot_sites: Vec<(FuncId, InstrId)>,
+        config: StrideProfConfig,
+    ) -> Self {
         let slots = slot_sites
             .iter()
             .map(|_| StrideProfData::new(&config))
@@ -161,11 +165,7 @@ mod tests {
         let f = FuncId::new(0);
         let s0 = InstrId::new(0);
         let s1 = InstrId::new(1);
-        let mut rt = ProfilerRuntime::new(
-            &m,
-            vec![(f, s0), (f, s1)],
-            StrideProfConfig::plain(),
-        );
+        let mut rt = ProfilerRuntime::new(&m, vec![(f, s0), (f, s1)], StrideProfConfig::plain());
         for i in 0..50u64 {
             rt.stride_prof(f, s0, 0, 0x1000 + i * 64);
             rt.stride_prof(f, s1, 1, 0x9000 + i * 8);

@@ -48,11 +48,10 @@ fn parse_tagged(s: &str, tag: &str, line: usize) -> Result<u64, ProfileParseErro
     let Some(v) = s.strip_prefix(tag) else {
         return perr(line, format!("expected `{tag}` in `{s}`"));
     };
-    v.parse()
-        .map_err(|_| ProfileParseError {
-            line,
-            message: format!("bad number in `{s}`"),
-        })
+    v.parse().map_err(|_| ProfileParseError {
+        line,
+        message: format!("bad number in `{s}`"),
+    })
 }
 
 fn parse_id(s: &str, prefix: &str, line: usize) -> Result<u32, ProfileParseError> {
@@ -195,10 +194,12 @@ pub fn stride_profile_from_text(text: &str) -> Result<StrideProfile, ProfilePars
         let num_zero_stride = parse_tagged(fields[3], "zero=", lineno)?;
         let num_zero_diff = parse_tagged(fields[4], "zdiff=", lineno)?;
         let total_diffs = parse_tagged(fields[5], "diffs=", lineno)?;
-        let top_s = fields[6].strip_prefix("top=").ok_or_else(|| ProfileParseError {
-            line: lineno,
-            message: "missing top=".into(),
-        })?;
+        let top_s = fields[6]
+            .strip_prefix("top=")
+            .ok_or_else(|| ProfileParseError {
+                line: lineno,
+                message: "missing top=".into(),
+            })?;
         let mut top = Vec::new();
         if !top_s.is_empty() {
             for pair in top_s.split(',') {

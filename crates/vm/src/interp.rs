@@ -5,12 +5,10 @@
 
 use crate::cost::CostModel;
 use crate::memory::{layout_globals, Heap, Memory};
-use stride_ir::{
-    BlockId, EdgeId, FuncId, InstrId, Module, Op, Operand, Reg, Terminator,
-};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use stride_ir::{BlockId, EdgeId, FuncId, InstrId, Module, Op, Operand, Reg, Terminator};
 
 /// Whether a memory access is a load or a store.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -127,7 +125,10 @@ impl fmt::Display for VmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             VmError::OutOfFuel { executed } => {
-                write!(f, "instruction budget exhausted after {executed} instructions")
+                write!(
+                    f,
+                    "instruction budget exhausted after {executed} instructions"
+                )
             }
             VmError::CallDepthExceeded { limit } => {
                 write!(f, "call depth exceeded limit of {limit}")
@@ -276,6 +277,10 @@ impl<'a> Vm<'a> {
 
         let cost = self.config.cost;
         let fuel = self.config.fuel;
+        // Register files of returned frames, reused by later calls so the
+        // call-heavy workloads do not allocate per dynamic call. Bounded by
+        // the deepest call stack seen.
+        let mut reg_pool: Vec<Vec<i64>> = Vec::new();
 
         'outer: loop {
             let depth = stack.len();
@@ -383,7 +388,9 @@ impl<'a> Vm<'a> {
                             });
                         }
                         let cf = &self.module.functions[callee.index()];
-                        let mut new_regs = vec![0i64; cf.num_regs as usize];
+                        let mut new_regs = reg_pool.pop().unwrap_or_default();
+                        new_regs.clear();
+                        new_regs.resize(cf.num_regs as usize, 0);
                         for (i, a) in args.iter().enumerate() {
                             new_regs[i] = eval(regs, *a);
                         }
@@ -455,7 +462,8 @@ impl<'a> Vm<'a> {
                             Operand::Imm(v) => v,
                         });
                         let ret_reg = frame.ret_reg;
-                        stack.pop();
+                        let finished = stack.pop().expect("current frame");
+                        reg_pool.push(finished.regs);
                         match stack.last_mut() {
                             Some(caller) => {
                                 if let (Some(dst), Some(v)) = (ret_reg, v) {
@@ -482,7 +490,8 @@ mod tests {
 
     fn run_entry(module: &Module, args: &[i64]) -> RunResult {
         let mut vm = Vm::new(module, VmConfig::default());
-        vm.run(args, &mut FlatTiming, &mut NullRuntime).expect("run")
+        vm.run(args, &mut FlatTiming, &mut NullRuntime)
+            .expect("run")
     }
 
     #[test]

@@ -25,12 +25,7 @@ impl Lcg {
     /// Emits one LCG step and returns a register holding the next raw
     /// 64-bit value.
     pub fn next(&self, fb: &mut FunctionBuilder<'_>) -> Reg {
-        fb.bin_to(
-            self.state,
-            BinOp::Mul,
-            self.state,
-            6364136223846793005i64,
-        );
+        fb.bin_to(self.state, BinOp::Mul, self.state, 6364136223846793005i64);
         fb.bin_to(self.state, BinOp::Add, self.state, 1442695040888963407i64);
         // use the upper bits: they have the best statistical quality
         fb.bin(BinOp::Lshr, self.state, 33i64)
@@ -277,7 +272,7 @@ mod tests {
         let f = mb.declare_function("main", 1);
         let mut fb = mb.function(f);
         let seed = fb.param(0);
-    let lcg = Lcg::init(&mut fb, seed);
+        let lcg = Lcg::init(&mut fb, seed);
         let a = lcg.next(&mut fb);
         let b = lcg.next(&mut fb);
         let differ = fb.cmp(CmpOp::Ne, a, b);
@@ -294,7 +289,7 @@ mod tests {
         let f = mb.declare_function("main", 1);
         let mut fb = mb.function(f);
         let seed = fb.param(0);
-    let lcg = Lcg::init(&mut fb, seed);
+        let lcg = Lcg::init(&mut fb, seed);
         // max over 100 draws of next_bounded(10) must be < 10
         let max = fb.mov(0i64);
         fb.counted_loop(100i64, |fb, _| {

@@ -52,7 +52,7 @@ fn build_module() -> Module {
             let toff = fb.mul(mat, 8i64);
             let ta = fb.add(tex_base, toff);
             let (shade, _) = fb.load(ta, 0); // irregular texture sample
-            // shading math: eon is compute-heavy, not memory-bound
+                                             // shading math: eon is compute-heavy, not memory-bound
             let mut c = fb.add(geo, shade);
             for k in 0..12 {
                 let a = fb.mul(c, 2654435761i64 + k);

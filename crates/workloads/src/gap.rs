@@ -92,7 +92,7 @@ fn build_module() -> Module {
         let woff = fb.mul(v, 8i64);
         let wa = fb.add(ws_base, woff);
         let (n, _) = fb.load(wa, 0); // random workspace probe
-        // interpreter bookkeeping between bag visits
+                                     // interpreter bookkeeping between bag visits
         let x1 = fb.bin(BinOp::Xor, n, v);
         let x2 = fb.mul(x1, 0x2545f491i64);
         let x3 = fb.bin(BinOp::Lshr, x2, 13i64);

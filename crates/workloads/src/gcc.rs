@@ -8,7 +8,7 @@
 //!
 //! Entry arguments: `[num_functions, passes, seed]`.
 
-use crate::common::{emit_build_list, Lcg, NODE_DATA, NODE_NEXT, Peripheral};
+use crate::common::{emit_build_list, Lcg, Peripheral, NODE_DATA, NODE_NEXT};
 use crate::spec::{Scale, Workload};
 use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
 
@@ -40,7 +40,7 @@ fn build_module() -> Module {
         let num_funcs = fb.param(0);
         let passes = fb.param(1);
         let seed = fb.param(2);
-    let lcg = Lcg::init(&mut fb, seed);
+        let lcg = Lcg::init(&mut fb, seed);
 
         let sym_base = fb.global_addr(symtab);
         let d = fb.mov(sym_base);
@@ -55,8 +55,7 @@ fn build_module() -> Module {
             fb.counted_loop(num_funcs, |fb, _| {
                 // parse: build this function's insn list (churned — gcc's
                 // obstacks get reused)
-                let head =
-                    emit_build_list(fb, &lcg, INSNS_PER_FUNCTION, 48, 0, 20i64);
+                let head = emit_build_list(fb, &lcg, INSNS_PER_FUNCTION, 48, 0, 20i64);
                 // two optimization walks over a *short* list
                 fb.counted_loop(2i64, |fb, _| {
                     let p = fb.mov(head);
@@ -118,7 +117,7 @@ mod tests {
     fn insn_walks_are_short_loops() {
         // The walk loop's trip count (24) is below the paper's TT = 128,
         // so the trip-count filter must reject gcc's in-loop loads.
-        assert!(INSNS_PER_FUNCTION < 128);
+        assert!(std::hint::black_box(INSNS_PER_FUNCTION) < 128);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!
 //! Entry arguments: `[num_words, sentences, churn_percent, seed]`.
 
-use crate::common::{emit_build_list, Lcg, NODE_NEXT, NODE_PTR, Peripheral};
+use crate::common::{emit_build_list, Lcg, Peripheral, NODE_NEXT, NODE_PTR};
 use crate::spec::{Scale, Workload};
 use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
 
@@ -59,7 +59,7 @@ fn build_module() -> Module {
         let sentences = fb.param(1);
         let churn = fb.param(2);
         let seed = fb.param(3);
-    let lcg = Lcg::init(&mut fb, seed);
+        let lcg = Lcg::init(&mut fb, seed);
 
         // Fill the dictionary with pseudo-random connector data.
         let dict_base = fb.global_addr(dict);
@@ -94,15 +94,15 @@ fn build_module() -> Module {
             let p = fb.mov(head);
             fb.while_nonzero(p, |fb, p| {
                 let (s, _) = fb.load(p, NODE_PTR); // S2: word string ptr
-                // hash first: its out-loop load is the *first touch* of
-                // the string line, so under edge-check (which never
-                // prefetches out-loop loads) the string miss stays
-                // uncovered; naive-all covers it (the §4.1 bonus).
+                                                   // hash first: its out-loop load is the *first touch* of
+                                                   // the string line, so under edge-check (which never
+                                                   // prefetches out-loop loads) the string miss stays
+                                                   // uncovered; naive-all covers it (the §4.1 bonus).
                 let idx = fb.call(hash, &[Operand::Reg(s)]);
                 let off = fb.mul(idx, 8i64);
                 let da = fb.add(dict_base, off);
                 let (dv, _) = fb.load(da, 0); // random dictionary probe
-                // connector matching (linguistic work per word)
+                                              // connector matching (linguistic work per word)
                 let acc = fb.mov(idx);
                 let q = fb.mov(conn_base);
                 fb.counted_loop(CONNECTORS, |fb, _| {

@@ -8,7 +8,7 @@
 //!
 //! Entry arguments: `[ops, runs, churn_percent, seed]`.
 
-use crate::common::{emit_build_list, Lcg, NODE_DATA, NODE_NEXT, Peripheral};
+use crate::common::{emit_build_list, Lcg, Peripheral, NODE_DATA, NODE_NEXT};
 use crate::spec::{Scale, Workload};
 use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
 
@@ -115,7 +115,9 @@ mod tests {
         let mut bump = 0x1000_0000u64;
         let mut x: u64 = 12345;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let displaced = (x >> 33) % 100 < 40;
             let addr = if displaced { bump + 48 } else { bump };
             engine.stride_prof(&cfg, &mut data, addr);

@@ -4,7 +4,7 @@
 use stride_ir::Module;
 
 /// How large to build the workloads.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Scale {
     /// Tiny inputs for unit/integration tests (sub-second in debug
     /// builds).

@@ -54,7 +54,7 @@ fn build_module() -> Module {
             let noff = fb.mul(net, 8i64);
             let na = fb.add(nets_base, noff);
             let (wire, _) = fb.load(na, 0); // irregular net terminal
-            // wirelength arithmetic
+                                            // wirelength arithmetic
             let a1 = fb.sub(wire, x);
             let a2 = fb.mul(a1, a1);
             let a3 = fb.bin(BinOp::Shr, a2, 4i64);

@@ -7,7 +7,7 @@
 //!
 //! Entry arguments: `[records, queries, seed]`.
 
-use crate::common::{emit_build_list, Lcg, NODE_DATA, NODE_NEXT, NODE_PTR, Peripheral};
+use crate::common::{emit_build_list, Lcg, Peripheral, NODE_DATA, NODE_NEXT, NODE_PTR};
 use crate::spec::{Scale, Workload};
 use stride_ir::{BinOp, Module, ModuleBuilder, Operand};
 
@@ -36,7 +36,7 @@ fn build_module() -> Module {
         let records = fb.param(0);
         let queries = fb.param(1);
         let seed = fb.param(2);
-    let lcg = Lcg::init(&mut fb, seed);
+        let lcg = Lcg::init(&mut fb, seed);
 
         // 5% churn (the free-list dance breaks two strides per event):
         // most records stay in insertion order.
@@ -50,7 +50,7 @@ fn build_module() -> Module {
                 let key = fb.call(get_key, &[Operand::Reg(p)]);
                 let (attr_p, _) = fb.load(p, NODE_PTR);
                 let (attr, _) = fb.load(attr_p, 0); // satellite block
-                // catalog lookup: hash-indexed, uncovered
+                                                    // catalog lookup: hash-indexed, uncovered
                 let h0 = fb.bin(BinOp::Lshr, key, 17i64);
                 let h1 = fb.bin(BinOp::Xor, key, h0);
                 let h = fb.mul(h1, 0x9e3779b97f4a7c15u64 as i64);

@@ -12,9 +12,7 @@
 //! cargo run --release --example gc_sweep
 //! ```
 
-use stride_prefetch::core::{
-    measure_speedup, PipelineConfig, ProfilingVariant, StrideClass,
-};
+use stride_prefetch::core::{measure_speedup, PipelineConfig, ProfilingVariant, StrideClass};
 use stride_prefetch::ir::{BinOp, CmpOp, Module, ModuleBuilder, Operand};
 
 /// Builds a heap of `count` objects and sweeps it `sweeps` times.

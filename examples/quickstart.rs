@@ -5,9 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use stride_prefetch::core::{
-    measure_overhead, measure_speedup, PipelineConfig, ProfilingVariant,
-};
+use stride_prefetch::core::{measure_overhead, measure_speedup, PipelineConfig, ProfilingVariant};
 use stride_prefetch::ir::{BinOp, ModuleBuilder, Operand};
 
 fn main() {
@@ -40,8 +38,7 @@ fn main() {
         ProfilingVariant::SampleEdgeCheck,
         ProfilingVariant::NaiveLoop,
     ] {
-        let out = measure_speedup(&module, &[3], &[5], variant, &config)
-            .expect("pipeline run");
+        let out = measure_speedup(&module, &[3], &[5], variant, &config).expect("pipeline run");
         println!(
             "{variant:<20} speedup {:.3}  ({} -> {} cycles, {} loads classified, {} prefetches inserted)",
             out.speedup,

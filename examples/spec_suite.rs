@@ -29,7 +29,9 @@ fn variant_by_name(name: &str) -> Option<ProfilingVariant> {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "edge-check".into());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "edge-check".into());
     let Some(variant) = variant_by_name(&arg) else {
         eprintln!("unknown variant: {arg}");
         std::process::exit(2);
@@ -55,7 +57,6 @@ fn main() {
             out.classification.loads.len(),
         );
     }
-    let geomean =
-        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    let geomean = (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
     println!("\n{arg} geometric-mean speedup: {geomean:.3}");
 }

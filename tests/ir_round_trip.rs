@@ -13,8 +13,7 @@ use stride_prefetch::workloads::{all_workloads, Scale};
 
 fn assert_round_trip(module: &Module, what: &str) -> Module {
     let text = module_to_string(module);
-    let parsed = module_from_string(&text)
-        .unwrap_or_else(|e| panic!("{what}: parse failed: {e}"));
+    let parsed = module_from_string(&text).unwrap_or_else(|e| panic!("{what}: parse failed: {e}"));
     let text2 = module_to_string(&parsed);
     assert_eq!(text, text2, "{what}: print->parse->print not a fixed point");
     verify_module(&parsed).unwrap_or_else(|e| panic!("{what}: parsed module invalid: {e}"));
@@ -31,7 +30,12 @@ fn workload_modules_round_trip_and_run_identically() {
                 .expect("run")
                 .return_value
         };
-        assert_eq!(run(&w.module), run(&parsed), "{}: behaviour changed", w.name);
+        assert_eq!(
+            run(&w.module),
+            run(&parsed),
+            "{}: behaviour changed",
+            w.name
+        );
     }
 }
 
@@ -50,8 +54,13 @@ fn prefetch_transformed_modules_round_trip() {
     let config = PipelineConfig::default();
     for name in ["mcf", "gap", "parser"] {
         let w = stride_prefetch::workloads::workload_by_name(name, Scale::Test).unwrap();
-        let outcome = run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, &config)
-            .expect("profiling");
+        let outcome = run_profiling(
+            &w.module,
+            &w.train_args,
+            ProfilingVariant::NaiveAll,
+            &config,
+        )
+        .expect("profiling");
         let (transformed, _, _) = prefetch_with_profiles(
             &w.module,
             &outcome.edge,

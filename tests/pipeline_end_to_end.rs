@@ -101,9 +101,15 @@ fn mcf_has_the_largest_speedup_of_the_headline_benchmarks() {
     let cfg = config();
     let run = |name: &str, train: &[i64], reference: &[i64]| {
         let w = workload_by_name(name, Scale::Test).unwrap();
-        measure_speedup(&w.module, train, reference, ProfilingVariant::EdgeCheck, &cfg)
-            .unwrap_or_else(|e| panic!("{name}: {e}"))
-            .speedup
+        measure_speedup(
+            &w.module,
+            train,
+            reference,
+            ProfilingVariant::EdgeCheck,
+            &cfg,
+        )
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
+        .speedup
     };
     let mcf = run("mcf", &[8_000, 2, 11], &[24_000, 3, 13]);
     let gap = run("gap", &[8_000, 2, 31], &[20_000, 2, 33]);
@@ -121,13 +127,8 @@ fn gap_sweep_is_classified_pmst_at_paper_scale_inputs() {
     // Use a mid-size input so the trip-count and frequency filters pass.
     let w = workload_by_name("gap", Scale::Test).unwrap();
     let cfg = config();
-    let outcome = run_profiling(
-        &w.module,
-        &[3000, 2, 31],
-        ProfilingVariant::NaiveLoop,
-        &cfg,
-    )
-    .unwrap();
+    let outcome =
+        run_profiling(&w.module, &[3000, 2, 31], ProfilingVariant::NaiveLoop, &cfg).unwrap();
     let (_, classification, _) = stride_prefetch::core::prefetch_with_profiles(
         &w.module,
         &outcome.edge,
@@ -162,5 +163,9 @@ fn wsst_prefetching_can_be_enabled() {
     .unwrap();
     // WSST prefetching may or may not help (the paper found it does not),
     // but it must not be catastrophic.
-    assert!(out.speedup > 0.9, "WSST prefetching tanked: {:.3}", out.speedup);
+    assert!(
+        out.speedup > 0.9,
+        "WSST prefetching tanked: {:.3}",
+        out.speedup
+    );
 }

@@ -3,11 +3,12 @@
 //! the binary that in-memory feedback produces — the cross-compilation
 //! workflow §3.2 motivates the one-pass method with.
 
-use stride_prefetch::core::{prefetch_with_profiles, run_profiling, PipelineConfig, ProfilingVariant};
+use stride_prefetch::core::{
+    prefetch_with_profiles, run_profiling, PipelineConfig, ProfilingVariant,
+};
 use stride_prefetch::ir::module_to_string;
 use stride_prefetch::profiling::{
-    edge_profile_from_text, edge_profile_to_text, stride_profile_from_text,
-    stride_profile_to_text,
+    edge_profile_from_text, edge_profile_to_text, stride_profile_from_text, stride_profile_to_text,
 };
 use stride_prefetch::workloads::{all_workloads, Scale};
 
@@ -15,8 +16,13 @@ use stride_prefetch::workloads::{all_workloads, Scale};
 fn feedback_through_profile_files_is_identical() {
     let config = PipelineConfig::default();
     for w in all_workloads(Scale::Test).into_iter().take(6) {
-        let outcome = run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, &config)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let outcome = run_profiling(
+            &w.module,
+            &w.train_args,
+            ProfilingVariant::NaiveAll,
+            &config,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
 
         // in-memory feedback
         let (direct, _, _) = prefetch_with_profiles(
@@ -32,8 +38,8 @@ fn feedback_through_profile_files_is_identical() {
         let stride_text = stride_profile_to_text(&outcome.stride);
         let edge2 = edge_profile_from_text(&edge_text, &w.module)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-        let stride2 = stride_profile_from_text(&stride_text)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let stride2 =
+            stride_profile_from_text(&stride_text).unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let (via_files, _, _) =
             prefetch_with_profiles(&w.module, &edge2, outcome.source, &stride2, &config);
 
@@ -52,10 +58,20 @@ fn merged_profiles_from_two_runs_strengthen_the_feedback() {
     // profile must keep every load classification available from either.
     let config = PipelineConfig::default();
     let w = stride_prefetch::workloads::workload_by_name("mcf", Scale::Test).unwrap();
-    let run_a = run_profiling(&w.module, &[4_000, 2, 11], ProfilingVariant::NaiveLoop, &config)
-        .expect("run a");
-    let run_b = run_profiling(&w.module, &[4_000, 2, 99], ProfilingVariant::NaiveLoop, &config)
-        .expect("run b");
+    let run_a = run_profiling(
+        &w.module,
+        &[4_000, 2, 11],
+        ProfilingVariant::NaiveLoop,
+        &config,
+    )
+    .expect("run a");
+    let run_b = run_profiling(
+        &w.module,
+        &[4_000, 2, 99],
+        ProfilingVariant::NaiveLoop,
+        &config,
+    )
+    .expect("run b");
 
     let mut merged_stride = run_a.stride.clone();
     merged_stride.merge(&run_b.stride);

@@ -25,8 +25,7 @@ fn instrumentation_preserves_semantics_for_every_workload_and_method() {
         let expected = plain_result(&w.module, &w.train_args);
         for method in ProfilingMethod::ALL {
             let inst = instrument(&w.module, method, &PrefetchConfig::paper());
-            verify_module(&inst.module)
-                .unwrap_or_else(|e| panic!("{} {method}: {e}", w.name));
+            verify_module(&inst.module).unwrap_or_else(|e| panic!("{} {method}: {e}", w.name));
             let mut vm = Vm::new(&inst.module, VmConfig::default());
             let mut rt = ProfilerRuntime::new(
                 &w.module,
@@ -62,8 +61,9 @@ fn prefetching_preserves_semantics_for_every_workload() {
                 &outcome.stride,
                 &config,
             );
-            verify_module(&transformed)
-                .unwrap_or_else(|e| panic!("{} {variant}: transformed module invalid: {e}", w.name));
+            verify_module(&transformed).unwrap_or_else(|e| {
+                panic!("{} {variant}: transformed module invalid: {e}", w.name)
+            });
             let got = plain_result(&transformed, &w.ref_args);
             assert_eq!(
                 got, expected,
@@ -126,9 +126,13 @@ fn edge_only_instrumentation_counts_consistently() {
 fn instrumented_run_costs_more_than_plain() {
     let config = PipelineConfig::default();
     for w in all_workloads(Scale::Test) {
-        let outcome =
-            run_profiling(&w.module, &w.train_args, ProfilingVariant::NaiveAll, &config)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
+        let outcome = run_profiling(
+            &w.module,
+            &w.train_args,
+            ProfilingVariant::NaiveAll,
+            &config,
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", w.name));
         let mut vm = Vm::new(&w.module, VmConfig::default());
         let mut hierarchy = CacheHierarchy::new(HierarchyConfig::itanium733());
         let plain = vm

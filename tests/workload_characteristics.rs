@@ -3,8 +3,8 @@
 //! tests that keep the workloads honest when they are tuned.
 
 use stride_prefetch::core::{
-    classify_profile, load_mix, run_profiling, run_uninstrumented, PipelineConfig,
-    PrefetchConfig, ProfilingVariant, StrideClass,
+    classify_profile, load_mix, run_profiling, run_uninstrumented, PipelineConfig, PrefetchConfig,
+    ProfilingVariant, StrideClass,
 };
 use stride_prefetch::workloads::{workload_by_name, Scale};
 
@@ -55,9 +55,7 @@ fn gap_sweep_has_multiple_phased_strides() {
         .iter()
         .filter(|(f, _, p)| *f == main_fn.id && p.total_freq > 1000)
         .filter(|(_, _, p)| p.top.len() >= 3 && p.top1_ratio() < 0.5)
-        .max_by(|(_, _, a), (_, _, b)| {
-            a.zero_diff_ratio().total_cmp(&b.zero_diff_ratio())
-        })
+        .max_by(|(_, _, a), (_, _, b)| a.zero_diff_ratio().total_cmp(&b.zero_diff_ratio()))
         .map(|(_, _, p)| p.clone())
         .expect("gap sweep load with multiple dominant strides");
     assert!(sweep.zero_diff_ratio() > 0.6, "sweep must be phased");
@@ -166,8 +164,7 @@ fn gzip_scan_is_line_friendly() {
     let w = workload_by_name("gzip", Scale::Test).unwrap();
     let config = PipelineConfig::default();
     let (run, mem) = run_uninstrumented(&w.module, &w.train_args, &config).unwrap();
-    let miss_rate =
-        (mem.l2_hits + mem.l3_hits + mem.mem_accesses) as f64 / run.loads.max(1) as f64;
+    let miss_rate = (mem.l2_hits + mem.l3_hits + mem.mem_accesses) as f64 / run.loads.max(1) as f64;
     assert!(
         miss_rate < 0.35,
         "gzip should be cache-friendly, miss rate {miss_rate:.2}"
