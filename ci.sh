@@ -19,4 +19,17 @@ echo "== smoke: repro --figure 16 --jobs 2 (test scale) =="
 cargo run --release -q -p stride-bench --bin repro -- \
     --figure 16 --scale test --jobs 2
 
+echo "== smoke: seeded fault campaign (faultsim, test scale) =="
+cargo run --release -q -p stride-bench --bin faultsim -- \
+    --scale test --seed 42 --jobs 2
+
+echo "== smoke: repro partial results under injected failure =="
+inject_out=$(mktemp)
+cargo run --release -q -p stride-bench --bin repro -- \
+    --figure 16 --scale test --jobs 2 --inject 'seed=3;fuel=100@181.mcf' \
+    > "$inject_out"
+grep -q '^!! 181.mcf' "$inject_out" \
+    || { echo "expected a structured !! diagnostic for 181.mcf" >&2; exit 1; }
+rm -f "$inject_out"
+
 echo "ci.sh: all checks passed"

@@ -37,6 +37,7 @@ fn main() {
         let cache = RunCache::new();
         let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
         fig16_speedups(&ctx, &[ProfilingVariant::EdgeCheck])
+            .into_strict()
             .expect("pipeline")
             .len()
     });
@@ -44,18 +45,22 @@ fn main() {
         let cache = RunCache::new();
         let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
         fig16_speedups(&ctx, &[ProfilingVariant::SampleEdgeCheck])
+            .into_strict()
             .expect("pipeline")
             .len()
     });
     report.run("fig17_load_mix/suite", 5, None, || {
         let cache = RunCache::new();
         let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
-        fig17_load_mix(&ctx).expect("pipeline").len()
+        fig17_load_mix(&ctx).into_strict().expect("pipeline").len()
     });
     report.run("fig18_19_distributions/suite_naive_all", 5, None, || {
         let cache = RunCache::new();
         let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
-        fig18_19_distributions(&ctx).expect("pipeline").len()
+        fig18_19_distributions(&ctx)
+            .into_strict()
+            .expect("pipeline")
+            .len()
     });
     report.run(
         "fig20_22_overhead/suite_edge_check_vs_naive",
@@ -68,6 +73,7 @@ fn main() {
                 &ctx,
                 &[ProfilingVariant::EdgeCheck, ProfilingVariant::NaiveLoop],
             )
+            .into_strict()
             .expect("pipeline")
             .len()
         },
@@ -79,7 +85,10 @@ fn main() {
         || {
             let cache = RunCache::new();
             let ctx = FigureCtx::new(Scale::Test, &config, &cache, 1);
-            fig23_25_sensitivity(&ctx).expect("pipeline").len()
+            fig23_25_sensitivity(&ctx)
+                .into_strict()
+                .expect("pipeline")
+                .len()
         },
     );
 

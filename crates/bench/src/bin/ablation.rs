@@ -12,7 +12,7 @@
 //! cache: prefetch-parameter sweeps only change the transformed binary, so
 //! every sweep point reuses the same baselines and edge-only runs.
 
-use stride_bench::{default_jobs, geomean, parallel_map, parse_jobs, RunCache};
+use stride_bench::{default_jobs, geomean, parallel_map_isolated, parse_jobs, RunCache};
 use stride_core::{PipelineConfig, PrefetchConfig, ProfilingVariant};
 use stride_workloads::{workload_by_name, Scale, Workload};
 
@@ -23,6 +23,9 @@ fn headline(scale: Scale) -> Vec<Workload> {
         .collect()
 }
 
+/// Geomean speedup over the workloads that completed; failed or panicked
+/// units are reported on stderr and skipped, so one broken sweep point
+/// does not abort the whole ablation.
 fn suite_speedup(
     cache: &RunCache,
     workloads: &[Workload],
@@ -30,12 +33,22 @@ fn suite_speedup(
     config: &PipelineConfig,
     jobs: usize,
 ) -> f64 {
-    let speedups: Vec<f64> = parallel_map(workloads, jobs, |_, w| {
+    let results = parallel_map_isolated(workloads, jobs, |_, w| {
         cache
             .speedup(w, scale, ProfilingVariant::EdgeCheck, config)
-            .unwrap_or_else(|e| panic!("{}: {e}", w.name))
-            .speedup
+            .map(|out| out.speedup)
     });
+    let mut speedups = Vec::new();
+    for (w, r) in workloads.iter().zip(results) {
+        match r {
+            Ok(Ok(s)) => speedups.push(s),
+            Ok(Err(e)) => eprintln!("!! {}: {e} (excluded from geomean)", w.name),
+            Err(tf) => eprintln!(
+                "!! {}: panic: {} (excluded from geomean)",
+                w.name, tf.message
+            ),
+        }
+    }
     geomean(&speedups)
 }
 
@@ -145,14 +158,18 @@ fn main() {
         // perlbmk is the interesting case: its churned op chain defeats
         // stride prefetching but not dependence-based prefetching.
         let perl = workload_by_name("perlbmk", scale).unwrap();
-        let s = cache
-            .speedup(&perl, scale, ProfilingVariant::EdgeCheck, &config)
-            .expect("perlbmk");
+        let perl_speedup = match cache.speedup(&perl, scale, ProfilingVariant::EdgeCheck, &config) {
+            Ok(s) => format!("{:.3}", s.speedup),
+            Err(e) => {
+                eprintln!("!! perlbmk: {e}");
+                "failed".to_string()
+            }
+        };
         println!(
-            "  dependent prefetch {}: headline geomean {:.3}, perlbmk {:.3}",
+            "  dependent prefetch {}: headline geomean {:.3}, perlbmk {}",
             if enabled { "on " } else { "off" },
             suite_speedup(&cache, &workloads, scale, &config, jobs),
-            s.speedup
+            perl_speedup
         );
     }
 
@@ -167,21 +184,30 @@ fn main() {
         ProfilingVariant::BlockCheck,
         ProfilingVariant::TwoPass,
     ] {
-        let results: Vec<(f64, f64)> = parallel_map(&workloads, jobs, |_, w| {
-            let s = cache
-                .speedup(w, scale, variant, &base)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            let o = cache
-                .overhead(w, scale, variant, &base)
-                .unwrap_or_else(|e| panic!("{}: {e}", w.name));
-            (s.speedup, o.overhead)
+        let results = parallel_map_isolated(&workloads, jobs, |_, w| {
+            let s = cache.speedup(w, scale, variant, &base)?;
+            let o = cache.overhead(w, scale, variant, &base)?;
+            Ok::<_, stride_core::PipelineError>((s.speedup, o.overhead))
         });
-        let speedups: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let overheads: Vec<f64> = results.iter().map(|r| r.1).collect();
+        let mut speedups = Vec::new();
+        let mut overheads = Vec::new();
+        for (w, r) in workloads.iter().zip(results) {
+            match r {
+                Ok(Ok((s, o))) => {
+                    speedups.push(s);
+                    overheads.push(o);
+                }
+                Ok(Err(e)) => eprintln!("!! {} ({variant}): {e} (excluded)", w.name),
+                Err(tf) => eprintln!(
+                    "!! {} ({variant}): panic: {} (excluded)",
+                    w.name, tf.message
+                ),
+            }
+        }
         println!(
             "  {variant:<20} geomean speedup {:.3}, mean overhead {:>6.1}%",
             geomean(&speedups),
-            overheads.iter().sum::<f64>() / overheads.len() as f64 * 100.0
+            overheads.iter().sum::<f64>() / overheads.len().max(1) as f64 * 100.0
         );
     }
 }

@@ -1,0 +1,212 @@
+//! Seeded fault-injection campaign against the reproduction pipeline.
+//!
+//! ```text
+//! faultsim [--scale test|paper] [--jobs N] [--seed N] [--plan SPEC]
+//! ```
+//!
+//! Runs every scenario of a fault campaign (the built-in 14-scenario
+//! campaign by default, or a single `--plan` spec) against its workload,
+//! with each scenario panic-isolated, and checks the degradation
+//! invariant for each: under injected profile loss the classifier may
+//! only move loads *out of* SSST/PMST/WSST toward no-prefetch — the
+//! faulted prefetch set must be a subset of the clean one. The campaign
+//! report is byte-identical at every `--jobs` level and for every rerun
+//! of the same seed.
+//!
+//! Exit status: 0 when every scenario either completed with the
+//! invariant held or degraded to a structured diagnostic; 1 when any
+//! scenario panicked or violated the invariant.
+
+use stride_bench::{default_jobs, parallel_map_isolated, parse_jobs, RunCache};
+use stride_core::{
+    degradation_violations, FaultInjector, FaultPlan, PipelineConfig, ProfilingVariant,
+};
+use stride_workloads::{workload_by_name, Scale, Workload};
+
+/// The built-in campaign: every fault kind at least once, single and
+/// compound, spread over the three headline benchmarks.
+const CAMPAIGN: &[(&str, &str)] = &[
+    ("truncate=0", "mcf"),
+    ("truncate=1", "gap"),
+    ("truncate=2", "parser"),
+    ("drop-sites=1", "mcf"),
+    ("drop-sites=2", "gap"),
+    ("corrupt=1", "parser"),
+    ("drop-updates=90", "mcf"),
+    ("clamp-freq=64", "gap"),
+    ("clamp-stride=10", "parser"),
+    ("fuel=20000", "mcf"),
+    ("addr-limit=4096", "gap"),
+    ("malformed-ir", "parser"),
+    ("stale-profile", "mcf"),
+    ("truncate=1;drop-updates=50;clamp-freq=1000", "gap"),
+];
+
+/// One scenario's deterministic report line(s).
+struct ScenarioReport {
+    line: String,
+    violations: usize,
+}
+
+fn run_scenario(
+    cache: &RunCache,
+    workload: &Workload,
+    scale: Scale,
+    config: &PipelineConfig,
+    seed: u64,
+    spec: &str,
+) -> Result<ScenarioReport, String> {
+    let plan = FaultPlan::parse(&format!("seed={seed};{spec}")).map_err(|e| e.to_string())?;
+    let injector = FaultInjector::new(plan);
+    let variant = ProfilingVariant::EdgeCheck;
+    let clean = cache
+        .speedup(workload, scale, variant, config)
+        .map_err(|e| format!("clean pipeline failed: {e}"))?;
+    match cache.speedup_faulted(workload, scale, variant, config, &injector) {
+        Ok(faulted) => {
+            let violations = degradation_violations(&clean.classification, &faulted.classification);
+            let verdict = if violations.is_empty() {
+                "invariant held".to_string()
+            } else {
+                format!("INVARIANT VIOLATED: {}", violations.join("; "))
+            };
+            Ok(ScenarioReport {
+                line: format!(
+                    "ok: prefetch sites {} -> {}, speedup {:.3} -> {:.3}, {}",
+                    clean.classification.loads.len(),
+                    faulted.classification.loads.len(),
+                    clean.speedup,
+                    faulted.speedup,
+                    verdict
+                ),
+                violations: violations.len(),
+            })
+        }
+        Err(e) => {
+            // The pipeline degraded to a structured error: no prefetch set
+            // at all, so the invariant holds trivially. Indent multi-line
+            // diagnostics (the malformed-ir renderer shows the offending
+            // source line with a caret).
+            let detail = e.to_string().replace('\n', "\n        ");
+            Ok(ScenarioReport {
+                line: format!("degraded: {detail}"),
+                violations: 0,
+            })
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::Test;
+    let mut jobs = default_jobs();
+    let mut seed = 42u64;
+    let mut single_plan: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = match args.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("paper") => Scale::Paper,
+                    _ => usage(),
+                };
+            }
+            "--jobs" => {
+                i += 1;
+                jobs = match parse_jobs(args.get(i).map(String::as_str)) {
+                    Ok(n) => n,
+                    Err(msg) => {
+                        eprintln!("faultsim: {msg}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--plan" => {
+                i += 1;
+                single_plan = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let config = PipelineConfig::default();
+    let cache = RunCache::new();
+    let scenarios: Vec<(String, &str)> = match &single_plan {
+        Some(spec) => vec![(spec.clone(), "mcf")],
+        None => CAMPAIGN
+            .iter()
+            .map(|&(spec, w)| (spec.to_string(), w))
+            .collect(),
+    };
+    println!(
+        "== fault campaign: seed {seed}, {} scenario(s), scale {} ==",
+        scenarios.len(),
+        match scale {
+            Scale::Test => "test",
+            Scale::Paper => "paper",
+        }
+    );
+
+    let results = parallel_map_isolated(&scenarios, jobs, |_, (spec, wname)| {
+        let workload = workload_by_name(wname, scale)
+            .unwrap_or_else(|| panic!("unknown campaign workload {wname}"));
+        run_scenario(&cache, &workload, scale, &config, seed, spec)
+    });
+
+    let mut panics = 0usize;
+    let mut violations = 0usize;
+    let mut degraded = 0usize;
+    for ((spec, wname), result) in scenarios.iter().zip(results) {
+        let label = format!("{spec}@{wname}");
+        match result {
+            Ok(Ok(report)) => {
+                if report.line.starts_with("degraded:") {
+                    degraded += 1;
+                }
+                violations += report.violations;
+                println!("  {label:<46} {}", report.line);
+            }
+            Ok(Err(msg)) => {
+                degraded += 1;
+                println!("  {label:<46} unusable: {msg}");
+            }
+            Err(tf) => {
+                panics += 1;
+                println!("  {label:<46} PANIC: {}", tf.message);
+            }
+        }
+    }
+    println!(
+        "campaign: {} scenario(s), {} degraded to diagnostics, {} panic(s), {} invariant violation(s)",
+        scenarios.len(),
+        degraded,
+        panics,
+        violations
+    );
+    if panics > 0 || violations > 0 {
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: faultsim [--scale test|paper] [--jobs N] [--seed N] [--plan SPEC]\n\
+         \n\
+         \x20 --scale test|paper workload scale (default: test)\n\
+         \x20 --jobs N           worker threads (default: available parallelism)\n\
+         \x20 --seed N           campaign seed (default: 42)\n\
+         \x20 --plan SPEC        run one fault plan instead of the built-in campaign,\n\
+         \x20                    e.g. 'truncate=2;fuel=20000' (see repro --inject)"
+    );
+    std::process::exit(2);
+}

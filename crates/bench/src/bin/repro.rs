@@ -2,11 +2,19 @@
 //!
 //! ```text
 //! repro [--figure N] [--scale test|paper] [--jobs N] [--bench-json PATH]
+//!       [--inject PLAN]
 //! ```
 //!
 //! Without `--figure`, every figure (15–25) is produced. `--scale test`
 //! runs tiny inputs for a quick smoke pass; the default `paper` scale
 //! produces the numbers recorded in EXPERIMENTS.md.
+//!
+//! `--inject` applies a deterministic fault plan (see
+//! `stride_core::FaultPlan::parse`) to the speedup pipeline: e.g.
+//! `--inject 'seed=42;fuel=100000@181.mcf'` forces one workload's
+//! profiling run out of fuel. Figures degrade gracefully — failed rows
+//! are replaced by `!!` diagnostic lines while every other row is
+//! produced, byte-identically at any `--jobs` level.
 //!
 //! Runs fan out over `--jobs` worker threads (default: the machine's
 //! available parallelism) and repeated simulations are shared across
@@ -17,7 +25,7 @@
 use std::time::Instant;
 
 use stride_bench::*;
-use stride_core::{PipelineConfig, ProfilingVariant};
+use stride_core::{FaultInjector, FaultPlan, PipelineConfig, ProfilingVariant};
 use stride_workloads::Scale;
 
 fn main() {
@@ -26,6 +34,7 @@ fn main() {
     let mut scale = Scale::Paper;
     let mut jobs = default_jobs();
     let mut bench_json: Option<String> = None;
+    let mut inject: Option<FaultPlan> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +72,17 @@ fn main() {
                 i += 1;
                 bench_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--inject" => {
+                i += 1;
+                let spec = args.get(i).cloned().unwrap_or_else(|| usage());
+                inject = match FaultPlan::parse(&spec) {
+                    Ok(plan) => Some(plan),
+                    Err(e) => {
+                        eprintln!("repro: {e}");
+                        std::process::exit(2);
+                    }
+                };
+            }
             _ => usage(),
         }
         i += 1;
@@ -70,7 +90,11 @@ fn main() {
 
     let config = PipelineConfig::default();
     let cache = RunCache::new();
-    let ctx = FigureCtx::new(scale, &config, &cache, jobs);
+    let injector = inject.map(FaultInjector::new);
+    if let Some(inj) = &injector {
+        println!("fault plan: {}", inj.plan().spec());
+    }
+    let ctx = FigureCtx::new(scale, &config, &cache, jobs).with_injector(injector.as_ref());
     let mut summary = PerfSummary {
         scale: match scale {
             Scale::Test => "test".to_string(),
@@ -105,8 +129,10 @@ fn main() {
     if wanted(16) {
         measured("fig16", &mut summary, &mut || {
             println!("== Figure 16: speedup of stride prefetching ==");
-            let rows = fig16_speedups(&ctx, &ProfilingVariant::EVALUATED).expect("fig16 pipeline");
-            println!("{}", render_speedups(&rows));
+            let partial = fig16_speedups(&ctx, &ProfilingVariant::EVALUATED);
+            print!("{}", render_speedups(&partial.rows));
+            print!("{}", render_diagnostics(&partial.failures));
+            println!();
         });
     }
     if wanted(17) {
@@ -114,59 +140,72 @@ fn main() {
             println!("== Figure 17: in-loop vs out-loop load references ==");
             println!("{:<14}{:>10}{:>10}", "benchmark", "in-loop", "out-loop");
             let mut avg = (0.0, 0.0);
-            let rows = fig17_load_mix(&ctx).expect("fig17 pipeline");
-            let n = rows.len() as f64;
-            for (name, inf, outf) in rows {
+            let partial = fig17_load_mix(&ctx);
+            let n = partial.rows.len().max(1) as f64;
+            for (name, inf, outf) in &partial.rows {
                 println!("{name:<14}{:>9.1}%{:>9.1}%", inf * 100.0, outf * 100.0);
                 avg.0 += inf;
                 avg.1 += outf;
             }
             println!(
-                "{:<14}{:>9.1}%{:>9.1}%\n",
+                "{:<14}{:>9.1}%{:>9.1}%",
                 "average",
                 avg.0 / n * 100.0,
                 avg.1 / n * 100.0
             );
+            print!("{}", render_diagnostics(&partial.failures));
+            println!();
         });
     }
     if wanted(18) || wanted(19) {
         measured("fig18_19", &mut summary, &mut || {
-            let rows = fig18_19_distributions(&ctx).expect("fig18/19 pipeline");
+            let partial = fig18_19_distributions(&ctx);
             if wanted(18) {
                 println!("== Figure 18: out-loop loads by stride property ==");
-                let out_rows: Vec<_> = rows.iter().map(|(n, o, _)| (*n, *o)).collect();
-                println!("{}", render_distribution(&out_rows));
+                let out_rows: Vec<_> = partial.rows.iter().map(|(n, o, _)| (*n, *o)).collect();
+                print!("{}", render_distribution(&out_rows));
+                print!("{}", render_diagnostics(&partial.failures));
+                println!();
             }
             if wanted(19) {
                 println!("== Figure 19: in-loop loads by stride property ==");
-                let in_rows: Vec<_> = rows.iter().map(|(n, _, i)| (*n, *i)).collect();
-                println!("{}", render_distribution(&in_rows));
+                let in_rows: Vec<_> = partial.rows.iter().map(|(n, _, i)| (*n, *i)).collect();
+                print!("{}", render_distribution(&in_rows));
+                print!("{}", render_diagnostics(&partial.failures));
+                println!();
             }
         });
     }
     if wanted(20) || wanted(21) || wanted(22) {
         measured("fig20_22", &mut summary, &mut || {
-            let rows =
-                fig20_22_overheads(&ctx, &ProfilingVariant::EVALUATED).expect("fig20-22 pipeline");
+            let partial = fig20_22_overheads(&ctx, &ProfilingVariant::EVALUATED);
             if wanted(20) {
                 println!("== Figure 20: profiling overhead over edge profiling alone ==");
-                println!("{}", render_overheads(&rows, 0));
+                print!("{}", render_overheads(&partial.rows, 0));
+                print!("{}", render_diagnostics(&partial.failures));
+                println!();
             }
             if wanted(21) {
                 println!("== Figure 21: % load references processed by strideProf ==");
-                println!("{}", render_overheads(&rows, 1));
+                print!("{}", render_overheads(&partial.rows, 1));
+                print!("{}", render_diagnostics(&partial.failures));
+                println!();
             }
             if wanted(22) {
                 println!("== Figure 22: % load references processed by LFU ==");
-                println!("{}", render_overheads(&rows, 2));
+                print!("{}", render_overheads(&partial.rows, 2));
+                print!("{}", render_diagnostics(&partial.failures));
+                println!();
             }
         });
     }
     if wanted(23) || wanted(24) || wanted(25) {
         measured("fig23_25", &mut summary, &mut || {
             println!("== Figures 23-25: sensitivity to input data sets (sample-edge-check) ==");
-            let rows = fig23_25_sensitivity(&ctx).expect("fig23-25 pipeline");
-            println!("{}", render_sensitivity(&rows));
+            let partial = fig23_25_sensitivity(&ctx);
+            print!("{}", render_sensitivity(&partial.rows));
+            print!("{}", render_diagnostics(&partial.failures));
+            println!();
         });
     }
 
@@ -185,12 +224,15 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--figure N] [--scale test|paper] [--jobs N] [--bench-json PATH]\n\
+         \x20            [--inject PLAN]\n\
          \n\
          \x20 --figure N         produce only figure N (15-25); default: all\n\
          \x20 --scale test|paper workload scale (default: paper)\n\
          \x20 --jobs N           worker threads (default: available parallelism; must be >= 1)\n\
          \x20 --bench-json PATH  write a machine-readable perf summary (wall-clock,\n\
-         \x20                    simulated loads/sec, run-cache hits) to PATH"
+         \x20                    simulated loads/sec, run-cache hits) to PATH\n\
+         \x20 --inject PLAN      deterministic fault plan, e.g. 'seed=42;fuel=1000@181.mcf'\n\
+         \x20                    (failed rows degrade to !! diagnostics; others complete)"
     );
     std::process::exit(2);
 }

@@ -9,7 +9,35 @@
 //! order regardless of scheduling, and figure output is byte-identical at
 //! any `--jobs` level.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One task's panic, captured by [`parallel_map_isolated`] instead of
+/// tearing down the whole campaign.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// Input-order index of the task that panicked.
+    pub index: usize,
+    /// The panic payload, when it was a string (the overwhelmingly common
+    /// case); `"non-string panic payload"` otherwise.
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Number of worker threads to use when `--jobs` is not given: the
 /// machine's available parallelism (1 if it cannot be determined).
@@ -59,6 +87,25 @@ where
     collected.sort_unstable_by_key(|&(i, _)| i);
     assert_eq!(collected.len(), items.len(), "each index claimed once");
     collected.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Like [`parallel_map`], but each task runs under `catch_unwind`: a
+/// panicking task yields `Err(TaskFailure)` in its input-order slot while
+/// every sibling task runs to completion. Used by the figure generators
+/// so one broken workload degrades to a diagnostic row instead of taking
+/// the whole campaign down.
+pub fn parallel_map_isolated<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, TaskFailure>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map(items, jobs, |i, item| {
+        catch_unwind(AssertUnwindSafe(|| f(i, item))).map_err(|payload| TaskFailure {
+            index: i,
+            message: payload_message(payload),
+        })
+    })
 }
 
 /// Parses a `--jobs` argument value: a positive integer.
@@ -115,6 +162,44 @@ mod tests {
         let empty: Vec<i32> = Vec::new();
         assert!(parallel_map(&empty, 8, |_, x| *x).is_empty());
         assert_eq!(parallel_map(&[5], 8, |_, x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn isolated_panics_become_failures_and_siblings_complete() {
+        let items: Vec<u64> = (0..20).collect();
+        for jobs in [1, 4] {
+            let out = parallel_map_isolated(&items, jobs, |_, &x| {
+                if x == 7 {
+                    panic!("workload {x} exploded");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), 20);
+            for (i, r) in out.iter().enumerate() {
+                if i == 7 {
+                    let f = r.as_ref().unwrap_err();
+                    assert_eq!(f.index, 7);
+                    assert_eq!(f.message, "workload 7 exploded");
+                    assert_eq!(f.to_string(), "task 7 panicked: workload 7 exploded");
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u64 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_failures_are_deterministic_across_jobs() {
+        let items: Vec<u64> = (0..31).collect();
+        let run = |jobs| {
+            parallel_map_isolated(&items, jobs, |_, &x| {
+                if x % 5 == 0 {
+                    panic!("bad {x}");
+                }
+                x
+            })
+        };
+        assert_eq!(run(1), run(8));
     }
 
     #[test]

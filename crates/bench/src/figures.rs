@@ -6,14 +6,23 @@
 //! them in the layout of the corresponding figure. The `repro` binary
 //! drives these. Results are collected in input order, so figure output is
 //! byte-identical at every `--jobs` level.
+//!
+//! # Graceful degradation
+//!
+//! Every generator returns a [`Partial`]: the rows whose pipeline
+//! completed, plus one [`Diagnostic`] per failed unit. A unit fails
+//! either with a structured [`PipelineError`] (e.g. an injected fuel
+//! fault) or by panicking — panics are caught per-unit by
+//! [`crate::exec::parallel_map_isolated`], so one broken workload cannot
+//! take down its siblings. Failures are reported in input order, keeping
+//! the output byte-identical at every `--jobs` level.
 
-use crate::exec::parallel_map;
+use crate::exec::parallel_map_isolated;
 use crate::runcache::RunCache;
 use stride_core::{
-    class_distribution, load_mix, prefetch_with_profiles, ClassDistribution, LoadPopulation,
-    OverheadOutcome, PipelineConfig, ProfilingVariant,
+    class_distribution, load_mix, prefetch_with_profiles, ClassDistribution, FaultInjector,
+    LoadPopulation, OverheadOutcome, PipelineConfig, PipelineError, ProfilingVariant,
 };
-use stride_vm::VmError;
 use stride_workloads::{all_workloads, Scale, Workload};
 
 /// Geometric mean of a slice of ratios.
@@ -37,6 +46,8 @@ pub struct FigureCtx<'a> {
     pub jobs: usize,
     /// The benchmark suite, built once.
     pub workloads: Vec<Workload>,
+    /// Optional fault plan applied to the speedup pipeline (`--inject`).
+    pub injector: Option<&'a FaultInjector>,
 }
 
 impl<'a> FigureCtx<'a> {
@@ -48,13 +59,107 @@ impl<'a> FigureCtx<'a> {
             cache,
             jobs,
             workloads: all_workloads(scale),
+            injector: None,
+        }
+    }
+
+    /// Attaches a fault injector (applied by the Fig. 16 speedup units).
+    pub fn with_injector(mut self, injector: Option<&'a FaultInjector>) -> Self {
+        self.injector = injector;
+        self
+    }
+}
+
+/// One failed figure unit, in a form stable across runs and `--jobs`
+/// levels (no paths, addresses or timing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workload whose unit failed.
+    pub workload: &'static str,
+    /// What failed and why (includes the variant for per-variant units).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.workload, self.detail)
+    }
+}
+
+/// A figure's partial result: the rows that completed plus one
+/// diagnostic per failed unit, both in deterministic input order.
+#[derive(Clone, Debug)]
+pub struct Partial<T> {
+    /// Rows whose every unit completed.
+    pub rows: Vec<T>,
+    /// One entry per failed unit.
+    pub failures: Vec<Diagnostic>,
+}
+
+impl<T> Partial<T> {
+    /// Did every unit complete?
+    pub fn complete(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// The rows, or the first failure as an error message — for callers
+    /// that want the pre-degradation all-or-nothing behaviour.
+    pub fn into_strict(self) -> Result<Vec<T>, String> {
+        match self.failures.first() {
+            Some(d) => Err(d.to_string()),
+            None => Ok(self.rows),
         }
     }
 }
 
-/// Collects `Vec<Result<T, VmError>>` into `Result<Vec<T>, VmError>`.
-fn sequence<T>(results: Vec<Result<T, VmError>>) -> Result<Vec<T>, VmError> {
-    results.into_iter().collect()
+/// Renders failure diagnostics as `!!`-prefixed lines (empty input
+/// renders nothing).
+pub fn render_diagnostics(failures: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in failures {
+        out.push_str(&format!("!! {d}\n"));
+    }
+    out
+}
+
+/// Runs `run` over `units` with per-unit panic isolation. Returns the
+/// per-unit outcomes in input order plus a diagnostic per failure;
+/// `describe` labels a unit for its diagnostic.
+fn isolate<U, R>(
+    ctx: &FigureCtx<'_>,
+    units: &[U],
+    describe: impl Fn(&U) -> (&'static str, String),
+    run: impl Fn(usize, &U) -> Result<R, PipelineError> + Sync,
+) -> (Vec<Option<R>>, Vec<Diagnostic>)
+where
+    U: Sync,
+    R: Send,
+{
+    let results = parallel_map_isolated(units, ctx.jobs, |i, u| run(i, u));
+    let mut out = Vec::with_capacity(units.len());
+    let mut failures = Vec::new();
+    for (u, r) in units.iter().zip(results) {
+        match r {
+            Ok(Ok(v)) => out.push(Some(v)),
+            Ok(Err(e)) => {
+                let (workload, what) = describe(u);
+                failures.push(Diagnostic {
+                    workload,
+                    detail: format!("{what}{e}"),
+                });
+                out.push(None);
+            }
+            Err(tf) => {
+                let (workload, what) = describe(u);
+                failures.push(Diagnostic {
+                    workload,
+                    detail: format!("{what}panic: {}", tf.message),
+                });
+                out.push(None);
+            }
+        }
+    }
+    (out, failures)
 }
 
 /// Fig. 15: the benchmark table.
@@ -78,38 +183,48 @@ pub struct SpeedupRow {
     pub speedups: Vec<(ProfilingVariant, f64)>,
 }
 
+fn unit_speedup(ctx: &FigureCtx<'_>, wi: usize, v: ProfilingVariant) -> Result<f64, PipelineError> {
+    let w = &ctx.workloads[wi];
+    let out = match ctx.injector {
+        Some(inj) => ctx
+            .cache
+            .speedup_faulted(w, ctx.scale, v, ctx.config, inj)?,
+        None => ctx.cache.speedup(w, ctx.scale, v, ctx.config)?,
+    };
+    Ok(out.speedup)
+}
+
 /// Fig. 16: speedup of stride prefetching per profiling method. Every
-/// (workload, variant) pair is an independent unit of work.
-///
-/// # Errors
-///
-/// Propagates [`VmError`] from any run.
-pub fn fig16_speedups(
-    ctx: &FigureCtx<'_>,
-    variants: &[ProfilingVariant],
-) -> Result<Vec<SpeedupRow>, VmError> {
+/// (workload, variant) pair is an independent unit of work; a workload
+/// with any failed unit is degraded to diagnostics while the remaining
+/// rows complete.
+pub fn fig16_speedups(ctx: &FigureCtx<'_>, variants: &[ProfilingVariant]) -> Partial<SpeedupRow> {
     let units: Vec<(usize, ProfilingVariant)> = (0..ctx.workloads.len())
         .flat_map(|wi| variants.iter().map(move |&v| (wi, v)))
         .collect();
-    let speedups = sequence(parallel_map(&units, ctx.jobs, |_, &(wi, v)| {
-        ctx.cache
-            .speedup(&ctx.workloads[wi], ctx.scale, v, ctx.config)
-            .map(|out| out.speedup)
-    }))?;
+    let (vals, failures) = isolate(
+        ctx,
+        &units,
+        |&(wi, v)| (ctx.workloads[wi].name, format!("{v}: ")),
+        |_, &(wi, v)| unit_speedup(ctx, wi, v),
+    );
     let rows = ctx
         .workloads
         .iter()
         .enumerate()
-        .map(|(wi, w)| SpeedupRow {
-            name: w.name,
-            speedups: variants
+        .filter_map(|(wi, w)| {
+            let speedups: Option<Vec<(ProfilingVariant, f64)>> = variants
                 .iter()
                 .enumerate()
-                .map(|(vi, &v)| (v, speedups[wi * variants.len() + vi]))
-                .collect(),
+                .map(|(vi, &v)| vals[wi * variants.len() + vi].map(|s| (v, s)))
+                .collect();
+            speedups.map(|speedups| SpeedupRow {
+                name: w.name,
+                speedups,
+            })
         })
         .collect();
-    Ok(rows)
+    Partial { rows, failures }
 }
 
 /// Renders Fig. 16 rows (plus a geometric-mean line per variant).
@@ -141,55 +256,65 @@ pub fn render_speedups(rows: &[SpeedupRow]) -> String {
 
 /// Fig. 17: percentage of in-loop vs out-loop load references per
 /// benchmark (dynamic counts on the reference input).
-///
-/// # Errors
-///
-/// Propagates [`VmError`].
-pub fn fig17_load_mix(ctx: &FigureCtx<'_>) -> Result<Vec<(&'static str, f64, f64)>, VmError> {
-    sequence(parallel_map(&ctx.workloads, ctx.jobs, |_, w| {
-        let run = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
-        let mix = load_mix(&w.module, &run.0);
-        let f = mix.in_loop_fraction();
-        Ok((w.name, f, 1.0 - f))
-    }))
+pub fn fig17_load_mix(ctx: &FigureCtx<'_>) -> Partial<(&'static str, f64, f64)> {
+    let (vals, failures) = isolate(
+        ctx,
+        &ctx.workloads,
+        |w| (w.name, String::new()),
+        |_, w| {
+            let run = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
+            let mix = load_mix(&w.module, &run.0);
+            let f = mix.in_loop_fraction();
+            Ok((w.name, f, 1.0 - f))
+        },
+    );
+    Partial {
+        rows: vals.into_iter().flatten().collect(),
+        failures,
+    }
 }
 
 /// Figs. 18/19: distribution of (out-loop / in-loop) load references by
 /// stride property, from a naive-all profile on the train input.
-///
-/// # Errors
-///
-/// Propagates [`VmError`].
 pub fn fig18_19_distributions(
     ctx: &FigureCtx<'_>,
-) -> Result<Vec<(&'static str, ClassDistribution, ClassDistribution)>, VmError> {
-    sequence(parallel_map(&ctx.workloads, ctx.jobs, |_, w| {
-        let outcome = ctx.cache.profiling(
-            w,
-            ctx.scale,
-            ProfilingVariant::NaiveAll,
-            &w.train_args,
-            ctx.config,
-        )?;
-        let run = ctx
-            .cache
-            .baseline(w, ctx.scale, &w.train_args, ctx.config)?;
-        let out_loop = class_distribution(
-            &w.module,
-            &outcome.stride,
-            &run.0,
-            LoadPopulation::OutLoop,
-            &ctx.config.prefetch,
-        );
-        let in_loop = class_distribution(
-            &w.module,
-            &outcome.stride,
-            &run.0,
-            LoadPopulation::InLoop,
-            &ctx.config.prefetch,
-        );
-        Ok((w.name, out_loop, in_loop))
-    }))
+) -> Partial<(&'static str, ClassDistribution, ClassDistribution)> {
+    let (vals, failures) = isolate(
+        ctx,
+        &ctx.workloads,
+        |w| (w.name, String::new()),
+        |_, w| {
+            let outcome = ctx.cache.profiling(
+                w,
+                ctx.scale,
+                ProfilingVariant::NaiveAll,
+                &w.train_args,
+                ctx.config,
+            )?;
+            let run = ctx
+                .cache
+                .baseline(w, ctx.scale, &w.train_args, ctx.config)?;
+            let out_loop = class_distribution(
+                &w.module,
+                &outcome.stride,
+                &run.0,
+                LoadPopulation::OutLoop,
+                &ctx.config.prefetch,
+            );
+            let in_loop = class_distribution(
+                &w.module,
+                &outcome.stride,
+                &run.0,
+                LoadPopulation::InLoop,
+                &ctx.config.prefetch,
+            );
+            Ok((w.name, out_loop, in_loop))
+        },
+    );
+    Partial {
+        rows: vals.into_iter().flatten().collect(),
+        failures,
+    }
 }
 
 /// Renders a Figs. 18/19 distribution table.
@@ -218,35 +343,40 @@ pub type OverheadRow = (&'static str, Vec<(ProfilingVariant, OverheadOutcome)>);
 /// per benchmark and variant, on the train input. The per-variant
 /// profiling runs are shared with Fig. 16 through the run cache, and the
 /// edge-only baseline is one run per workload.
-///
-/// # Errors
-///
-/// Propagates [`VmError`].
 pub fn fig20_22_overheads(
     ctx: &FigureCtx<'_>,
     variants: &[ProfilingVariant],
-) -> Result<Vec<OverheadRow>, VmError> {
+) -> Partial<OverheadRow> {
     let units: Vec<(usize, ProfilingVariant)> = (0..ctx.workloads.len())
         .flat_map(|wi| variants.iter().map(move |&v| (wi, v)))
         .collect();
-    let outcomes = sequence(parallel_map(&units, ctx.jobs, |_, &(wi, v)| {
-        ctx.cache
-            .overhead(&ctx.workloads[wi], ctx.scale, v, ctx.config)
-    }))?;
+    let (vals, failures) = isolate(
+        ctx,
+        &units,
+        |&(wi, v)| (ctx.workloads[wi].name, format!("{v}: ")),
+        |_, &(wi, v)| {
+            ctx.cache
+                .overhead(&ctx.workloads[wi], ctx.scale, v, ctx.config)
+        },
+    );
     let rows = ctx
         .workloads
         .iter()
         .enumerate()
-        .map(|(wi, w)| {
-            let cols = variants
+        .filter_map(|(wi, w)| {
+            let cols: Option<Vec<(ProfilingVariant, OverheadOutcome)>> = variants
                 .iter()
                 .enumerate()
-                .map(|(vi, &v)| (v, outcomes[wi * variants.len() + vi].clone()))
+                .map(|(vi, &v)| {
+                    vals[wi * variants.len() + vi]
+                        .as_ref()
+                        .map(|o| (v, o.clone()))
+                })
                 .collect();
-            (w.name, cols)
+            cols.map(|cols| (w.name, cols))
         })
         .collect();
-    Ok(rows)
+    Partial { rows, failures }
 }
 
 /// Renders one of Figs. 20–22 from the overhead data: `field` selects the
@@ -273,7 +403,7 @@ pub fn render_overheads(
                 0 => o.overhead,
                 1 => o.strideprof_fraction,
                 2 => o.lfu_fraction,
-                _ => panic!("field out of range"),
+                _ => 0.0,
             };
             sums[i] += x;
             out.push_str(&format!("{:>19.1}%", x * 100.0));
@@ -307,36 +437,41 @@ pub struct SensitivityRow {
 /// sample-edge-check profiling (§4.3). All four binaries run on the
 /// reference input. The two profiling runs and the baseline come from the
 /// run cache; the four transformed binaries are unique and run fresh.
-///
-/// # Errors
-///
-/// Propagates [`VmError`].
-pub fn fig23_25_sensitivity(ctx: &FigureCtx<'_>) -> Result<Vec<SensitivityRow>, VmError> {
+pub fn fig23_25_sensitivity(ctx: &FigureCtx<'_>) -> Partial<SensitivityRow> {
     let variant = ProfilingVariant::SampleEdgeCheck;
-    sequence(parallel_map(&ctx.workloads, ctx.jobs, |_, w| {
-        let train_prof = ctx
-            .cache
-            .profiling(w, ctx.scale, variant, &w.train_args, ctx.config)?;
-        let ref_prof = ctx
-            .cache
-            .profiling(w, ctx.scale, variant, &w.ref_args, ctx.config)?;
-        let baseline = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
-        let speedup_with = |edge: &stride_profiling::EdgeProfile,
-                            stride: &stride_profiling::StrideProfile|
-         -> Result<f64, VmError> {
-            let (m, _, _) =
-                prefetch_with_profiles(&w.module, edge, train_prof.source, stride, ctx.config);
-            let run = ctx.cache.plain_run(&m, &w.ref_args, ctx.config)?;
-            Ok(baseline.0.cycles as f64 / run.0.cycles.max(1) as f64)
-        };
-        Ok(SensitivityRow {
-            name: w.name,
-            train: speedup_with(&train_prof.edge, &train_prof.stride)?,
-            reference: speedup_with(&ref_prof.edge, &ref_prof.stride)?,
-            edge_ref_stride_train: speedup_with(&ref_prof.edge, &train_prof.stride)?,
-            edge_train_stride_ref: speedup_with(&train_prof.edge, &ref_prof.stride)?,
-        })
-    }))
+    let (vals, failures) = isolate(
+        ctx,
+        &ctx.workloads,
+        |w| (w.name, String::new()),
+        |_, w| {
+            let train_prof =
+                ctx.cache
+                    .profiling(w, ctx.scale, variant, &w.train_args, ctx.config)?;
+            let ref_prof = ctx
+                .cache
+                .profiling(w, ctx.scale, variant, &w.ref_args, ctx.config)?;
+            let baseline = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
+            let speedup_with = |edge: &stride_profiling::EdgeProfile,
+                                stride: &stride_profiling::StrideProfile|
+             -> Result<f64, PipelineError> {
+                let (m, _, _) =
+                    prefetch_with_profiles(&w.module, edge, train_prof.source, stride, ctx.config);
+                let run = ctx.cache.plain_run(&m, &w.ref_args, ctx.config)?;
+                Ok(baseline.0.cycles as f64 / run.0.cycles.max(1) as f64)
+            };
+            Ok(SensitivityRow {
+                name: w.name,
+                train: speedup_with(&train_prof.edge, &train_prof.stride)?,
+                reference: speedup_with(&ref_prof.edge, &ref_prof.stride)?,
+                edge_ref_stride_train: speedup_with(&ref_prof.edge, &train_prof.stride)?,
+                edge_train_stride_ref: speedup_with(&train_prof.edge, &ref_prof.stride)?,
+            })
+        },
+    );
+    Partial {
+        rows: vals.into_iter().flatten().collect(),
+        failures,
+    }
 }
 
 /// Renders the Figs. 23–25 sensitivity table.
@@ -359,12 +494,12 @@ pub fn render_sensitivity(rows: &[SensitivityRow]) -> String {
 ///
 /// # Errors
 ///
-/// Propagates [`VmError`].
+/// Propagates the pipeline's [`PipelineError`].
 pub fn speedup_of(
     w: &Workload,
     variant: ProfilingVariant,
     config: &PipelineConfig,
-) -> Result<f64, VmError> {
+) -> Result<f64, PipelineError> {
     Ok(
         stride_core::measure_speedup(&w.module, &w.train_args, &w.ref_args, variant, config)?
             .speedup,
@@ -374,6 +509,7 @@ pub fn speedup_of(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use stride_core::{FaultInjector, FaultPlan};
 
     #[test]
     fn geomean_basics() {
@@ -406,7 +542,7 @@ mod tests {
         let config = PipelineConfig::default();
         let cache = RunCache::new();
         let ctx = FigureCtx::new(Scale::Test, &config, &cache, 2);
-        let rows = fig17_load_mix(&ctx).unwrap();
+        let rows = fig17_load_mix(&ctx).into_strict().unwrap();
         assert_eq!(rows.len(), 12);
         for (name, in_f, out_f) in rows {
             assert!((in_f + out_f - 1.0).abs() < 1e-9, "{name}: fractions");
@@ -419,13 +555,58 @@ mod tests {
         let cache = RunCache::new();
         let ctx = FigureCtx::new(Scale::Test, &config, &cache, 2);
         let variants = [ProfilingVariant::EdgeCheck];
-        fig16_speedups(&ctx, &variants).unwrap();
+        fig16_speedups(&ctx, &variants).into_strict().unwrap();
         let after_fig16 = cache.stats();
-        fig20_22_overheads(&ctx, &variants).unwrap();
+        fig20_22_overheads(&ctx, &variants).into_strict().unwrap();
         let after_fig20 = cache.stats();
         // fig20-22 adds only the 12 edge-only baselines; all 12 profiling
         // runs hit the cache.
         assert_eq!(after_fig20.misses - after_fig16.misses, 12);
         assert!(after_fig20.hits >= after_fig16.hits + 12);
+    }
+
+    #[test]
+    fn injected_fuel_fault_degrades_one_row_and_keeps_the_rest() {
+        let config = PipelineConfig::default();
+        let cache = RunCache::new();
+        let plan = FaultPlan::parse("seed=1;fuel=100@181.mcf").unwrap();
+        let injector = FaultInjector::new(plan);
+        let ctx = FigureCtx::new(Scale::Test, &config, &cache, 2).with_injector(Some(&injector));
+        let partial = fig16_speedups(&ctx, &[ProfilingVariant::EdgeCheck]);
+        assert_eq!(partial.rows.len(), 11, "only the targeted row degrades");
+        assert!(partial.rows.iter().all(|r| r.name != "181.mcf"));
+        assert_eq!(partial.failures.len(), 1);
+        let d = &partial.failures[0];
+        assert_eq!(d.workload, "181.mcf");
+        assert!(d.detail.contains("budget exhausted"), "{}", d.detail);
+        let rendered = render_diagnostics(&partial.failures);
+        assert!(rendered.starts_with("!! 181.mcf:"));
+    }
+
+    #[test]
+    fn injected_profile_faults_uphold_degradation_invariant() {
+        // A global table-truncation fault may only shrink the prefetch
+        // set; the classified sites under fault are a subset of clean.
+        let config = PipelineConfig::default();
+        let cache = RunCache::new();
+        let w = stride_workloads::workload_by_name("mcf", Scale::Test).unwrap();
+        let clean = cache
+            .speedup(&w, Scale::Test, ProfilingVariant::EdgeCheck, &config)
+            .unwrap();
+        let plan = FaultPlan::parse("seed=5;truncate=1;drop-sites=2").unwrap();
+        let injector = FaultInjector::new(plan);
+        let faulted = cache
+            .speedup_faulted(
+                &w,
+                Scale::Test,
+                ProfilingVariant::EdgeCheck,
+                &config,
+                &injector,
+            )
+            .unwrap();
+        let violations =
+            stride_core::degradation_violations(&clean.classification, &faulted.classification);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(faulted.classification.loads.len() <= clean.classification.loads.len());
     }
 }

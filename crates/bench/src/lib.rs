@@ -8,11 +8,12 @@ pub mod figures;
 pub mod perf;
 pub mod runcache;
 
-pub use exec::{default_jobs, parallel_map, parse_jobs};
+pub use exec::{default_jobs, parallel_map, parallel_map_isolated, parse_jobs, TaskFailure};
 pub use figures::{
     fig15_table, fig16_speedups, fig17_load_mix, fig18_19_distributions, fig20_22_overheads,
-    fig23_25_sensitivity, geomean, render_distribution, render_overheads, render_sensitivity,
-    render_speedups, speedup_of, FigureCtx, SensitivityRow, SpeedupRow,
+    fig23_25_sensitivity, geomean, render_diagnostics, render_distribution, render_overheads,
+    render_sensitivity, render_speedups, speedup_of, Diagnostic, FigureCtx, Partial,
+    SensitivityRow, SpeedupRow,
 };
 pub use perf::{BenchEntry, BenchReport, FigurePerf, PerfSummary};
 pub use runcache::{RunCache, RunCacheStats};

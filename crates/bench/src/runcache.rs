@@ -24,13 +24,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use stride_core::{
-    prefetch_with_profiles, run_edge_only, run_profiling, run_uninstrumented, OverheadOutcome,
-    PipelineConfig, ProfileOutcome, ProfilingVariant, SpeedupOutcome,
+    corrupt_ir_text, prefetch_with_profiles, run_edge_only, run_profiling, run_uninstrumented,
+    FaultInjector, OverheadOutcome, PipelineConfig, PipelineError, ProfileOutcome,
+    ProfilingVariant, SpeedupOutcome,
 };
 use stride_ir::Module;
 use stride_memsim::HierarchyStats;
 use stride_profiling::EdgeProfile;
-use stride_vm::{RunResult, VmError};
+use stride_vm::RunResult;
 use stride_workloads::{Scale, Workload};
 
 /// What a cached run is keyed by (beyond workload/scale/config).
@@ -63,7 +64,7 @@ struct PlainKey {
     config_fingerprint: u64,
 }
 
-type Slot<T> = Arc<OnceLock<Result<Arc<T>, VmError>>>;
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, PipelineError>>>;
 
 /// Counters describing cache effectiveness and total simulation volume.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -146,10 +147,10 @@ impl RunCache {
         map: &Mutex<HashMap<K, Slot<T>>>,
         key: K,
         compute: F,
-    ) -> Result<Arc<T>, VmError>
+    ) -> Result<Arc<T>, PipelineError>
     where
         K: std::hash::Hash + Eq,
-        F: FnOnce() -> Result<T, VmError>,
+        F: FnOnce() -> Result<T, PipelineError>,
     {
         let slot = {
             let mut map = map.lock().expect("run-cache lock");
@@ -174,14 +175,14 @@ impl RunCache {
     ///
     /// # Errors
     ///
-    /// Propagates [`VmError`] from the underlying run.
+    /// Propagates the underlying run's [`PipelineError`].
     pub fn baseline(
         &self,
         w: &Workload,
         _scale: Scale,
         args: &[i64],
         config: &PipelineConfig,
-    ) -> Result<Arc<(RunResult, HierarchyStats)>, VmError> {
+    ) -> Result<Arc<(RunResult, HierarchyStats)>, PipelineError> {
         self.plain_run(&w.module, args, config)
     }
 
@@ -191,14 +192,14 @@ impl RunCache {
     ///
     /// # Errors
     ///
-    /// Propagates [`VmError`] from the underlying run.
+    /// Propagates the underlying run's [`PipelineError`].
     pub fn edge_only(
         &self,
         w: &Workload,
         scale: Scale,
         args: &[i64],
         config: &PipelineConfig,
-    ) -> Result<Arc<(EdgeProfile, RunResult)>, VmError> {
+    ) -> Result<Arc<(EdgeProfile, RunResult)>, PipelineError> {
         let key = Key {
             workload: w.name,
             scale,
@@ -217,7 +218,7 @@ impl RunCache {
     ///
     /// # Errors
     ///
-    /// Propagates [`VmError`] from the underlying run.
+    /// Propagates the underlying run's [`PipelineError`].
     pub fn profiling(
         &self,
         w: &Workload,
@@ -225,7 +226,7 @@ impl RunCache {
         variant: ProfilingVariant,
         args: &[i64],
         config: &PipelineConfig,
-    ) -> Result<Arc<ProfileOutcome>, VmError> {
+    ) -> Result<Arc<ProfileOutcome>, PipelineError> {
         let key = Key {
             workload: w.name,
             scale,
@@ -248,13 +249,13 @@ impl RunCache {
     ///
     /// # Errors
     ///
-    /// Propagates [`VmError`] from the underlying run.
+    /// Propagates the underlying run's [`PipelineError`].
     pub fn plain_run(
         &self,
         module: &Module,
         args: &[i64],
         config: &PipelineConfig,
-    ) -> Result<Arc<(RunResult, HierarchyStats)>, VmError> {
+    ) -> Result<Arc<(RunResult, HierarchyStats)>, PipelineError> {
         let key = PlainKey {
             module_fingerprint: fingerprint_module(module),
             args: args.to_vec(),
@@ -274,14 +275,14 @@ impl RunCache {
     ///
     /// # Errors
     ///
-    /// Propagates [`VmError`] from any of the runs.
+    /// Propagates the first failing run's [`PipelineError`].
     pub fn speedup(
         &self,
         w: &Workload,
         scale: Scale,
         variant: ProfilingVariant,
         config: &PipelineConfig,
-    ) -> Result<SpeedupOutcome, VmError> {
+    ) -> Result<SpeedupOutcome, PipelineError> {
         // The two-pass baseline performs its own double profiling pass;
         // its inner edge-only run is not shared here, but the profiling
         // outcome as a whole still memoizes.
@@ -306,20 +307,77 @@ impl RunCache {
         })
     }
 
+    /// [`RunCache::speedup`] under a fault plan: the profiling run uses
+    /// the injector's VM overrides (and is cached under that distinct
+    /// config fingerprint), the collected profiles are mutated per the
+    /// plan, and the measurement runs stay clean — still served from and
+    /// shared with the unfaulted cache entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates injected profiling-run failures (fuel, address limit)
+    /// and the parser's located error for a `malformed-ir` scenario.
+    pub fn speedup_faulted(
+        &self,
+        w: &Workload,
+        scale: Scale,
+        variant: ProfilingVariant,
+        config: &PipelineConfig,
+        injector: &FaultInjector,
+    ) -> Result<SpeedupOutcome, PipelineError> {
+        if !injector.affects(w.name) {
+            return self.speedup(w, scale, variant, config);
+        }
+        if injector.wants_malformed_ir(w.name) {
+            let text = corrupt_ir_text(
+                injector.plan().seed,
+                &stride_ir::module_to_string(&w.module),
+            );
+            if let Err(e) = stride_ir::module_from_string(&text) {
+                // Render the offending source line (with a caret) into the
+                // diagnostic so the campaign report shows exactly what the
+                // parser rejected.
+                return Err(PipelineError::Malformed(format!(
+                    "injected IR corruption: {}",
+                    e.render(&text)
+                )));
+            }
+        }
+        let mut profiling_config = *config;
+        profiling_config.vm = injector.vm_overrides(w.name, profiling_config.vm);
+        let outcome = self.profiling(w, scale, variant, &w.train_args, &profiling_config)?;
+        let mut edge = outcome.edge.clone();
+        let mut stride = outcome.stride.clone();
+        injector.apply_to_profiles(w.name, &mut edge, &mut stride);
+        let (transformed, classification, report) =
+            prefetch_with_profiles(&w.module, &edge, outcome.source, &stride, config);
+        let base = self.baseline(w, scale, &w.ref_args, config)?;
+        let pf = self.plain_run(&transformed, &w.ref_args, config)?;
+        Ok(SpeedupOutcome {
+            baseline_cycles: base.0.cycles,
+            prefetch_cycles: pf.0.cycles,
+            speedup: base.0.cycles as f64 / pf.0.cycles.max(1) as f64,
+            classification,
+            report,
+            baseline_mem: base.1,
+            prefetch_mem: pf.1,
+        })
+    }
+
     /// The Figs. 20–22 overhead experiment with both underlying runs
     /// served from the cache. Equivalent to
     /// [`stride_core::measure_overhead`].
     ///
     /// # Errors
     ///
-    /// Propagates [`VmError`] from either run.
+    /// Propagates the first failing run's [`PipelineError`].
     pub fn overhead(
         &self,
         w: &Workload,
         scale: Scale,
         variant: ProfilingVariant,
         config: &PipelineConfig,
-    ) -> Result<OverheadOutcome, VmError> {
+    ) -> Result<OverheadOutcome, PipelineError> {
         let edge = self.edge_only(w, scale, &w.train_args, config)?;
         let outcome = self.profiling(w, scale, variant, &w.train_args, config)?;
         let edge_run = &edge.1;

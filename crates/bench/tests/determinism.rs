@@ -39,6 +39,75 @@ fn single_figure_output_is_identical_across_jobs() {
 }
 
 #[test]
+fn fault_campaign_report_is_identical_across_jobs_and_reruns() {
+    let run = |jobs: &str| {
+        let out = Command::new(env!("CARGO_BIN_EXE_faultsim"))
+            .args(["--scale", "test", "--seed", "9", "--jobs", jobs])
+            .output()
+            .expect("run faultsim");
+        assert!(
+            out.status.success(),
+            "faultsim --jobs {jobs} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    assert!(!serial.is_empty(), "faultsim printed nothing");
+    let report = String::from_utf8_lossy(&serial).into_owned();
+    assert!(
+        report.contains("0 panic(s), 0 invariant violation(s)"),
+        "campaign must complete without panics or violations, got:\n{report}"
+    );
+    for jobs in ["4", "8"] {
+        assert_eq!(
+            run(jobs),
+            serial,
+            "campaign report differs at --jobs {jobs}"
+        );
+    }
+    // Rerunning the same seed reproduces the report byte for byte.
+    assert_eq!(run("1"), serial, "same seed must reproduce the report");
+}
+
+#[test]
+fn injected_failure_yields_partial_results_identically_across_jobs() {
+    // Force one workload to die mid-run; every other figure row must
+    // still be emitted, plus a structured `!!` diagnostic for the
+    // casualty — and the whole partial report must not depend on the
+    // worker count.
+    let inject = "seed=3;fuel=100@181.mcf";
+    let serial = repro_stdout(&[
+        "--scale", "test", "--figure", "16", "--inject", inject, "--jobs", "1",
+    ]);
+    let text = String::from_utf8_lossy(&serial).into_owned();
+    assert!(
+        text.contains("!! 181.mcf"),
+        "missing structured diagnostic for the injected failure:\n{text}"
+    );
+    assert!(
+        text.contains("budget exhausted"),
+        "diagnostic should carry the VM error detail:\n{text}"
+    );
+    assert!(
+        text.contains("197.parser") && text.contains("254.gap"),
+        "sibling workloads must still produce rows:\n{text}"
+    );
+    assert!(
+        !text.lines().any(|l| l.contains("181.mcf")
+            && !l.starts_with("!!")
+            && !l.starts_with("fault plan:")),
+        "the failed workload must not contribute a data row:\n{text}"
+    );
+    for jobs in ["4", "8"] {
+        let parallel = repro_stdout(&[
+            "--scale", "test", "--figure", "16", "--inject", inject, "--jobs", jobs,
+        ]);
+        assert_eq!(parallel, serial, "partial report differs at --jobs {jobs}");
+    }
+}
+
+#[test]
 fn jobs_zero_is_rejected_with_a_clear_error() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["--scale", "test", "--jobs", "0"])

@@ -36,7 +36,11 @@ impl std::fmt::Display for StrideClass {
 /// ignoring the frequency/trip-count filters (used both by Fig. 5 and by
 /// the Figs. 18/19 distribution reports).
 pub fn classify_profile(p: &LoadStrideProfile, config: &PrefetchConfig) -> Option<StrideClass> {
-    if p.total_freq == 0 {
+    // Degenerate profiles never classify: nothing recorded, an empty
+    // top-N table (e.g. fault-truncated), or a table whose entries all
+    // carry zero frequency. Each would otherwise divide by or compare
+    // against vacuous quantities.
+    if p.total_freq == 0 || p.top.is_empty() || p.top.iter().all(|&(_, f)| f == 0) {
         return None;
     }
     if p.top1_ratio() > config.ssst_threshold {
@@ -248,6 +252,79 @@ mod tests {
         assert_eq!(classify_profile(&p, &cfg), None);
         let empty = profile(vec![], 0, 0);
         assert_eq!(classify_profile(&empty, &cfg), None);
+    }
+
+    #[test]
+    fn zero_total_stride_profile_never_classifies() {
+        let cfg = PrefetchConfig::paper();
+        // Non-empty top table but a zero total: a fault-clamped profile.
+        let p = profile(vec![(64, 0)], 0, 0);
+        assert_eq!(classify_profile(&p, &cfg), None);
+        // Zero total with leftover top frequencies (inconsistent, as a
+        // partial counter wipe can produce) must also be rejected rather
+        // than divide by zero.
+        let p = LoadStrideProfile {
+            top: vec![(64, 80)],
+            total_freq: 0,
+            num_zero_stride: 0,
+            num_zero_diff: 0,
+            total_diffs: 0,
+        };
+        assert_eq!(classify_profile(&p, &cfg), None);
+    }
+
+    #[test]
+    fn truncated_empty_top_table_never_classifies() {
+        let cfg = PrefetchConfig::paper();
+        // total_freq survived but the top-N entries were dropped (table
+        // truncation fault): ratios are vacuous, so no class.
+        let p = profile(vec![], 1000, 900);
+        assert_eq!(classify_profile(&p, &cfg), None);
+        // All-zero entry frequencies behave the same.
+        let p = profile(vec![(64, 0), (8, 0)], 1000, 900);
+        assert_eq!(classify_profile(&p, &cfg), None);
+    }
+
+    #[test]
+    fn classify_filters_zero_trip_count_loop() {
+        use stride_ir::ModuleBuilder;
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        let mut site = None;
+        fb.while_nonzero(p, |fb, p| {
+            site = Some(fb.load_to(p, p, 0));
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let cfg = &analysis.cfg;
+        let l = analysis.loops.loops()[0].id;
+
+        // Hot body edge but a never-taken entry edge: the trip-count
+        // estimate is 0 (division guarded), so the load is trip-filtered
+        // without panicking.
+        let mut freq = EdgeProfile::for_module(&m);
+        let outs = analysis.loops.header_out_edges(l, cfg);
+        let body_edge = cfg.edge_id(outs[0].0, outs[0].1).unwrap();
+        for _ in 0..10_000 {
+            freq.increment(f, body_edge);
+        }
+
+        let mut stride = StrideProfile::new();
+        stride.insert(f, site.unwrap(), profile(vec![(64, 9000)], 9500, 9000));
+        let c = classify(
+            &m,
+            &stride,
+            &freq,
+            FreqSource::Edges,
+            &PrefetchConfig::paper(),
+        );
+        assert!(c.loads.is_empty());
+        assert_eq!(c.filtered_low_trip, 1);
     }
 
     #[test]

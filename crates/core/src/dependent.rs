@@ -108,7 +108,9 @@ pub fn apply_dependent_prefetching(
         let out_func = out.function_mut(func.id);
         for (site, reg, offsets) in plans {
             // Insert after the chasing load: find it and splice behind it.
-            let (block, idx) = out_func.find_instr(site).expect("chasing load exists");
+            let Some((block, idx)) = out_func.find_instr(site) else {
+                continue; // site vanished between analysis and insertion
+            };
             let ops: Vec<(Option<Reg>, Op)> = offsets
                 .iter()
                 .map(|&offset| {

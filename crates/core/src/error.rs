@@ -1,0 +1,88 @@
+//! Unified failure taxonomy for the profile-guided pipeline.
+//!
+//! Every fallible stage — parsing IR text, running the VM, reading
+//! profiles back — reports through [`PipelineError`] so callers (the
+//! repro harness, the ablation driver, the fault simulator) can degrade
+//! gracefully: log the failing stage with full context and keep
+//! producing results for the stages and workloads that still work.
+//!
+//! The type is `Clone` so memoized pipeline runs (see the bench crate's
+//! run cache) can hand the same failure to every waiter.
+
+use std::fmt;
+
+use stride_ir::ParseError;
+use stride_vm::VmError;
+
+/// Why a pipeline stage failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The VM aborted while executing a module (fuel exhaustion, wild
+    /// demand access, unknown function, ...).
+    Vm(VmError),
+    /// IR text failed to parse.
+    Parse(ParseError),
+    /// A module or profile was structurally unusable and could not be
+    /// degraded around (e.g. an entry function that does not exist).
+    Malformed(String),
+    /// A fault-injection plan string could not be parsed.
+    BadFaultPlan(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Vm(e) => write!(f, "vm: {e}"),
+            PipelineError::Parse(e) => write!(f, "parse: {e}"),
+            PipelineError::Malformed(what) => write!(f, "malformed input: {what}"),
+            PipelineError::BadFaultPlan(what) => write!(f, "bad fault plan: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<VmError> for PipelineError {
+    fn from(e: VmError) -> Self {
+        PipelineError::Vm(e)
+    }
+}
+
+impl From<ParseError> for PipelineError {
+    fn from(e: ParseError) -> Self {
+        PipelineError::Parse(e)
+    }
+}
+
+impl PipelineError {
+    /// One-line diagnostic suitable for a campaign report. Stable across
+    /// runs and job counts: contains no addresses, times or paths.
+    pub fn diagnostic(&self) -> String {
+        self.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_vm_and_parse_errors() {
+        let e: PipelineError = VmError::OutOfFuel { executed: 10 }.into();
+        assert_eq!(e, PipelineError::Vm(VmError::OutOfFuel { executed: 10 }));
+        assert!(e.to_string().contains("budget exhausted"));
+
+        let p = stride_ir::module_from_string("fn @main(").unwrap_err();
+        let e: PipelineError = p.into();
+        assert!(matches!(e, PipelineError::Parse(_)));
+        assert!(e.to_string().starts_with("parse: "));
+    }
+
+    #[test]
+    fn is_cloneable_for_memoized_slots() {
+        let e = PipelineError::Malformed("no entry function".into());
+        let c = e.clone();
+        assert_eq!(e, c);
+        assert_eq!(c.diagnostic(), "malformed input: no entry function");
+    }
+}

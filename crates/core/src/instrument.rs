@@ -214,12 +214,15 @@ fn instrument_with(
         // --- strideProf calls ---------------------------------------------
         let func_id = func.id;
         for load in selection.loads.iter().filter(|l| l.func == func_id) {
-            let (block, idx) = func
-                .find_instr(load.site)
-                .expect("profiled load present in copy");
+            // A stale selection (site removed or repurposed between
+            // selection and instrumentation) is skipped: the load simply
+            // goes unprofiled, which the classifier tolerates.
+            let Some((block, idx)) = func.find_instr(load.site) else {
+                continue;
+            };
             let instr = &func.block(block).instrs[idx];
             let Op::Load { addr, offset, .. } = instr.op else {
-                panic!("selection names a non-load instruction {}", load.site);
+                continue;
             };
             let load_pred = instr.pred;
 

@@ -1,3 +1,7 @@
+// Library code must degrade gracefully instead of panicking; unwrap and
+// expect are allowed only under cfg(test).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 //! The paper's contribution: integrated stride + frequency profiling and
 //! stride-profile-guided compiler prefetching (Wu, PLDI 2002).
 //!
@@ -48,12 +52,14 @@
 //! let out = measure_speedup(&module, &[3], &[4],
 //!                           ProfilingVariant::EdgeCheck, &config)?;
 //! assert!(out.speedup > 1.0);
-//! # Ok::<(), stride_vm::VmError>(())
+//! # Ok::<(), stride_core::PipelineError>(())
 //! ```
 
 pub mod classify;
 pub mod config;
 pub mod dependent;
+pub mod error;
+pub mod faults;
 pub mod instrument;
 pub mod pipeline;
 pub mod prefetch;
@@ -63,6 +69,11 @@ pub mod select;
 pub use classify::{classify, classify_profile, Classification, ClassifiedLoad, StrideClass};
 pub use config::PrefetchConfig;
 pub use dependent::apply_dependent_prefetching;
+pub use error::PipelineError;
+pub use faults::{
+    corrupt_ir_text, degradation_violations, measure_speedup_faulted, FaultInjector, FaultKind,
+    FaultPlan, FaultRng, FaultScenario,
+};
 pub use instrument::{
     instrument, instrument_edges_only, instrument_two_pass, select_two_pass, InstrumentedModule,
 };

@@ -4,6 +4,7 @@
 
 use crate::classify::{classify, Classification};
 use crate::config::PrefetchConfig;
+use crate::error::PipelineError;
 use crate::instrument::{instrument, instrument_edges_only, instrument_two_pass, select_two_pass};
 use crate::prefetch::{apply_prefetching, PrefetchReport};
 use crate::select::ProfilingMethod;
@@ -12,7 +13,7 @@ use stride_memsim::{CacheHierarchy, HierarchyConfig, HierarchyStats};
 use stride_profiling::{
     EdgeProfile, FreqSource, ProfilerRuntime, StrideProfConfig, StrideProfStats, StrideProfile,
 };
-use stride_vm::{NullRuntime, RunResult, Vm, VmConfig, VmError};
+use stride_vm::{NullRuntime, RunResult, Vm, VmConfig};
 
 /// The profiling variants of the evaluation (§4): the four instrumentation
 /// methods with and without sampling, plus the two-pass baseline.
@@ -148,12 +149,12 @@ pub struct ProfileOutcome {
 ///
 /// # Errors
 ///
-/// Propagates [`VmError`] from the VM.
+/// Propagates the VM failure as [`PipelineError::Vm`].
 pub fn run_uninstrumented(
     module: &Module,
     args: &[i64],
     config: &PipelineConfig,
-) -> Result<(RunResult, HierarchyStats), VmError> {
+) -> Result<(RunResult, HierarchyStats), PipelineError> {
     let mut vm = Vm::new(module, config.vm);
     let mut hierarchy = CacheHierarchy::new(config.hierarchy);
     let run = vm.run(args, &mut hierarchy, &mut NullRuntime)?;
@@ -165,12 +166,12 @@ pub fn run_uninstrumented(
 ///
 /// # Errors
 ///
-/// Propagates [`VmError`] from the VM.
+/// Propagates the VM failure as [`PipelineError::Vm`].
 pub fn run_edge_only(
     module: &Module,
     args: &[i64],
     config: &PipelineConfig,
-) -> Result<(EdgeProfile, RunResult), VmError> {
+) -> Result<(EdgeProfile, RunResult), PipelineError> {
     let instrumented = instrument_edges_only(module);
     let mut vm = Vm::new(&instrumented, config.vm);
     let mut hierarchy = CacheHierarchy::new(config.hierarchy);
@@ -184,13 +185,13 @@ pub fn run_edge_only(
 ///
 /// # Errors
 ///
-/// Propagates [`VmError`] from the VM.
+/// Propagates the VM failure as [`PipelineError::Vm`].
 pub fn run_profiling(
     module: &Module,
     args: &[i64],
     variant: ProfilingVariant,
     config: &PipelineConfig,
-) -> Result<ProfileOutcome, VmError> {
+) -> Result<ProfileOutcome, PipelineError> {
     if variant == ProfilingVariant::TwoPass {
         // Pass 1: frequency profile.
         let (edge, _run1) = run_edge_only(module, args, config)?;
@@ -285,14 +286,14 @@ pub struct SpeedupOutcome {
 ///
 /// # Errors
 ///
-/// Propagates [`VmError`] from any of the three runs.
+/// Propagates the first failing run as [`PipelineError::Vm`].
 pub fn measure_speedup(
     module: &Module,
     train_args: &[i64],
     ref_args: &[i64],
     variant: ProfilingVariant,
     config: &PipelineConfig,
-) -> Result<SpeedupOutcome, VmError> {
+) -> Result<SpeedupOutcome, PipelineError> {
     let outcome = run_profiling(module, train_args, variant, config)?;
     let (transformed, classification, report) = prefetch_with_profiles(
         module,
@@ -339,13 +340,13 @@ pub struct OverheadOutcome {
 ///
 /// # Errors
 ///
-/// Propagates [`VmError`] from either run.
+/// Propagates the first failing run as [`PipelineError::Vm`].
 pub fn measure_overhead(
     module: &Module,
     train_args: &[i64],
     variant: ProfilingVariant,
     config: &PipelineConfig,
-) -> Result<OverheadOutcome, VmError> {
+) -> Result<OverheadOutcome, PipelineError> {
     let (_, edge_run) = run_edge_only(module, train_args, config)?;
     let outcome = run_profiling(module, train_args, variant, config)?;
     let loads = outcome.run.loads.max(1) as f64;

@@ -143,7 +143,9 @@ fn insert_ssst(
     line_size: u64,
     report: &mut PrefetchReport,
 ) {
-    let (block, idx) = func.find_instr(load.site).expect("classified load exists");
+    let Some((block, idx)) = func.find_instr(load.site) else {
+        return; // stale profile entry: the load no longer exists
+    };
     let Op::Load { addr, .. } = func.block(block).instrs[idx].op else {
         return;
     };
@@ -218,7 +220,9 @@ fn insert_register_stride(
     conditional_on_stride: Option<i64>,
     report: &mut PrefetchReport,
 ) {
-    let (block, idx) = func.find_instr(load.site).expect("classified load exists");
+    let Some((block, idx)) = func.find_instr(load.site) else {
+        return; // stale profile entry: the load no longer exists
+    };
     let Op::Load { addr, .. } = func.block(block).instrs[idx].op else {
         return;
     };

@@ -27,15 +27,25 @@ impl DomTree {
         let mut idom: Vec<Option<BlockId>> = vec![None; n];
         idom[entry.index()] = Some(entry);
 
+        // Fingers only ever walk reachable blocks whose idom is already
+        // set; a `None` here would mean a broken invariant, so stop the
+        // walk deterministically instead of panicking.
+        let num = |b: BlockId| rpo_number[b.index()].unwrap_or(u32::MAX);
         let intersect = |idom: &[Option<BlockId>], a: BlockId, b: BlockId| -> BlockId {
             let mut finger1 = a;
             let mut finger2 = b;
             while finger1 != finger2 {
-                while rpo_number[finger1.index()].unwrap() > rpo_number[finger2.index()].unwrap() {
-                    finger1 = idom[finger1.index()].unwrap();
+                while num(finger1) > num(finger2) {
+                    match idom[finger1.index()] {
+                        Some(next) => finger1 = next,
+                        None => return finger1,
+                    }
                 }
-                while rpo_number[finger2.index()].unwrap() > rpo_number[finger1.index()].unwrap() {
-                    finger2 = idom[finger2.index()].unwrap();
+                while num(finger2) > num(finger1) {
+                    match idom[finger2.index()] {
+                        Some(next) => finger2 = next,
+                        None => return finger2,
+                    }
                 }
             }
             finger1
@@ -171,15 +181,23 @@ impl PostDomTree {
 
         let mut idom: Vec<Option<usize>> = vec![None; n + 1];
         idom[n] = Some(n);
+        // Same invariant-preserving walk as in `DomTree::compute`.
+        let num = |b: usize| rpo_number[b].unwrap_or(u32::MAX);
         let intersect = |idom: &[Option<usize>], a: usize, b: usize| -> usize {
             let mut f1 = a;
             let mut f2 = b;
             while f1 != f2 {
-                while rpo_number[f1].unwrap() > rpo_number[f2].unwrap() {
-                    f1 = idom[f1].unwrap();
+                while num(f1) > num(f2) {
+                    match idom[f1] {
+                        Some(next) => f1 = next,
+                        None => return f1,
+                    }
                 }
-                while rpo_number[f2].unwrap() > rpo_number[f1].unwrap() {
-                    f2 = idom[f2].unwrap();
+                while num(f2) > num(f1) {
+                    match idom[f2] {
+                        Some(next) => f2 = next,
+                        None => return f2,
+                    }
                 }
             }
             f1

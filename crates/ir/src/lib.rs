@@ -1,3 +1,6 @@
+// Library code must degrade gracefully instead of panicking; unwrap and
+// expect are allowed only under cfg(test).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Compiler intermediate representation for the stride-prefetch
 //! reproduction (Wu, *Efficient Discovery of Regular Stride Patterns in
 //! Irregular Programs and Its Use in Compiler Prefetching*, PLDI 2002).

@@ -302,8 +302,9 @@ fn tarjan_sccs(cfg: &Cfg, n: usize) -> Vec<usize> {
                     st[parent].lowlink = st[parent].lowlink.min(low);
                 }
                 if st[v].lowlink == st[v].index {
-                    loop {
-                        let w = scc_stack.pop().expect("scc stack underflow");
+                    // The SCC stack cannot underflow before reaching `v`;
+                    // an empty stack ends the component deterministically.
+                    while let Some(w) = scc_stack.pop() {
                         st[w].on_stack = false;
                         comp[w] = next_comp;
                         if w == v {

@@ -11,26 +11,77 @@ use crate::types::{BlockId, EdgeId, FuncId, GlobalId, InstrId, Reg};
 use std::error::Error;
 use std::fmt;
 
-/// A parse failure with its 1-based line number.
+/// A parse failure with its 1-based line and column numbers.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Line the error occurred on (1-based).
     pub line: usize,
+    /// Column the error occurred at (1-based; 1 when the offending token
+    /// could not be located within the line).
+    pub col: usize,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(f, "line {}, col {}: {}", self.line, self.col, self.message)
     }
 }
 
 impl Error for ParseError {}
 
+impl ParseError {
+    /// Fills in `col` by locating the first backtick-quoted fragment of the
+    /// message within the offending source line.
+    fn locate_in(mut self, source: &str) -> Self {
+        let Some(line_text) = source.lines().nth(self.line.saturating_sub(1)) else {
+            return self;
+        };
+        let fragment = self
+            .message
+            .split('`')
+            .nth(1)
+            .filter(|f| !f.is_empty())
+            .map(str::to_owned);
+        if let Some(f) = fragment {
+            if let Some(pos) = line_text.find(f.trim()) {
+                self.col = pos + 1;
+            }
+        }
+        self
+    }
+
+    /// Renders the error with the offending source line and a caret, e.g.
+    ///
+    /// ```text
+    /// line 4, col 10: unknown operation `blorp`
+    ///     4 |     r0 = blorp 5    ; i0
+    ///       |          ^
+    /// ```
+    ///
+    /// `source` must be the text the module was parsed from; if the line
+    /// cannot be found, only the message itself is rendered.
+    pub fn render(&self, source: &str) -> String {
+        let mut out = self.to_string();
+        if let Some(line_text) = source.lines().nth(self.line.saturating_sub(1)) {
+            let gutter = format!("{:>5}", self.line);
+            out.push_str(&format!("\n{gutter} | {line_text}"));
+            let pad: String = line_text
+                .chars()
+                .take(self.col.saturating_sub(1))
+                .map(|c| if c == '\t' { '\t' } else { ' ' })
+                .collect();
+            out.push_str(&format!("\n      | {pad}^"));
+        }
+        out
+    }
+}
+
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
         line,
+        col: 1,
         message: message.into(),
     })
 }
@@ -39,6 +90,7 @@ fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
 fn expect<'a>(s: &'a str, prefix: &str, line: usize) -> Result<&'a str, ParseError> {
     s.strip_prefix(prefix).ok_or_else(|| ParseError {
         line,
+        col: 1,
         message: format!("expected `{prefix}` in `{s}`"),
     })
 }
@@ -46,6 +98,7 @@ fn expect<'a>(s: &'a str, prefix: &str, line: usize) -> Result<&'a str, ParseErr
 fn parse_u32(s: &str, what: &str, line: usize) -> Result<u32, ParseError> {
     s.trim().parse().map_err(|_| ParseError {
         line,
+        col: 1,
         message: format!("bad {what}: `{s}`"),
     })
 }
@@ -53,6 +106,7 @@ fn parse_u32(s: &str, what: &str, line: usize) -> Result<u32, ParseError> {
 fn parse_i64(s: &str, what: &str, line: usize) -> Result<i64, ParseError> {
     s.trim().parse().map_err(|_| ParseError {
         line,
+        col: 1,
         message: format!("bad {what}: `{s}`"),
     })
 }
@@ -84,6 +138,7 @@ fn parse_mem(s: &str, line: usize) -> Result<(Operand, i64), ParseError> {
         .and_then(|x| x.strip_suffix(']'))
         .ok_or_else(|| ParseError {
             line,
+            col: 1,
             message: format!("expected `[base + offset]`, got `{t}`"),
         })?;
     let Some((base, off)) = inner.rsplit_once('+') else {
@@ -98,6 +153,7 @@ fn parse_mem(s: &str, line: usize) -> Result<(Operand, i64), ParseError> {
 fn split2<'a>(s: &'a str, what: &str, line: usize) -> Result<(&'a str, &'a str), ParseError> {
     s.split_once(',').ok_or_else(|| ParseError {
         line,
+        col: 1,
         message: format!("expected two comma-separated {what} in `{s}`"),
     })
 }
@@ -137,6 +193,7 @@ fn parse_edge_list(s: &str, line: usize) -> Result<Vec<EdgeId>, ParseError> {
         .and_then(|x| x.strip_suffix(']'))
         .ok_or_else(|| ParseError {
             line,
+            col: 1,
             message: format!("expected `[e..]`, got `{s}`"),
         })?;
     if inner.is_empty() {
@@ -161,6 +218,7 @@ fn parse_rhs(dst: Reg, rhs: &str, line: usize) -> Result<Op, ParseError> {
         if op_name == "cmp" {
             let op = cmp_op_of(cmp).ok_or_else(|| ParseError {
                 line,
+                col: 1,
                 message: format!("unknown compare `{cmp}`"),
             })?;
             let (l, r) = split2(rest, "operands", line)?;
@@ -255,6 +313,7 @@ fn parse_call(dst: Option<Reg>, rest: &str, line: usize) -> Result<Op, ParseErro
     let rest = rest.trim();
     let open = rest.find('(').ok_or_else(|| ParseError {
         line,
+        col: 1,
         message: format!("call missing `(` in `{rest}`"),
     })?;
     let callee_s = expect(&rest[..open], "fn", line)?;
@@ -263,6 +322,7 @@ fn parse_call(dst: Option<Reg>, rest: &str, line: usize) -> Result<Op, ParseErro
         .strip_suffix(')')
         .ok_or_else(|| ParseError {
             line,
+            col: 1,
             message: "call missing `)`".into(),
         })?;
     let args = if args_s.trim().is_empty() {
@@ -279,8 +339,20 @@ fn parse_call(dst: Option<Reg>, rest: &str, line: usize) -> Result<Op, ParseErro
 /// Parses one instruction line (without indentation), e.g.
 /// `(r3) ? r4 = load [r2 + 8]    ; i7`.
 pub fn instr_from_string(text: &str, line: usize) -> Result<Instr, ParseError> {
+    instr_from_string_inner(text, line).map_err(|mut e| {
+        // Locate the column within the single-line `text`, then restore the
+        // caller-supplied line number.
+        e.line = 1;
+        let mut e = e.locate_in(text);
+        e.line = line;
+        e
+    })
+}
+
+fn instr_from_string_inner(text: &str, line: usize) -> Result<Instr, ParseError> {
     let (body, id_part) = text.rsplit_once(';').ok_or_else(|| ParseError {
         line,
+        col: 1,
         message: "missing `; iN` id annotation".into(),
     })?;
     let id_s = expect(id_part.trim(), "i", line)?;
@@ -291,6 +363,7 @@ pub fn instr_from_string(text: &str, line: usize) -> Result<Instr, ParseError> {
     if body.starts_with('(') {
         let close = body.find(')').ok_or_else(|| ParseError {
             line,
+            col: 1,
             message: "unterminated predicate".into(),
         })?;
         pred = Some(parse_reg(&body[1..close], line)?);
@@ -383,6 +456,7 @@ pub fn instr_from_string(text: &str, line: usize) -> Result<Instr, ParseError> {
     // dst = rhs
     let (dst_s, rhs) = body.split_once('=').ok_or_else(|| ParseError {
         line,
+        col: 1,
         message: format!("unrecognized instruction `{body}`"),
     })?;
     // `rX = call fnN(...)` routes through parse_rhs -> parse_call
@@ -428,6 +502,10 @@ pub fn term_from_string(text: &str, line: usize) -> Result<Terminator, ParseErro
 /// *not* implicitly verified; run [`crate::verify_module`] on it if the
 /// text is untrusted.
 pub fn module_from_string(text: &str) -> Result<Module, ParseError> {
+    module_from_string_inner(text).map_err(|e| e.locate_in(text))
+}
+
+fn module_from_string_inner(text: &str) -> Result<Module, ParseError> {
     let mut module = Module::new();
     let lines: Vec<&str> = text.lines().collect();
     let mut i = 0usize;
@@ -488,16 +566,19 @@ fn parse_function(lines: &[&str], i: &mut usize) -> Result<Function, ParseError>
     let rest = expect(header, "func fn", lineno)?;
     let (id_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
         line: lineno,
+        col: 1,
         message: "malformed func header".into(),
     })?;
     let id = FuncId::new(parse_u32(id_s, "function id", lineno)?);
     let open = rest.find('(').ok_or_else(|| ParseError {
         line: lineno,
+        col: 1,
         message: "func header missing `(`".into(),
     })?;
     let name = rest[..open].to_string();
     let close = rest.find(')').ok_or_else(|| ParseError {
         line: lineno,
+        col: 1,
         message: "func header missing `)`".into(),
     })?;
     let mut num_params = None;
@@ -518,6 +599,7 @@ fn parse_function(lines: &[&str], i: &mut usize) -> Result<Function, ParseError>
         .and_then(|t| t.strip_suffix('{'))
         .ok_or_else(|| ParseError {
             line: lineno,
+            col: 1,
             message: "func header missing `entry=bN {`".into(),
         })?;
     let entry = parse_block_id(entry_s, lineno)?;
@@ -684,6 +766,27 @@ mod tests {
         let e = module_from_string(bad).unwrap_err();
         assert_eq!(e.line, 4);
         assert!(e.to_string().contains("blorp"));
+    }
+
+    #[test]
+    fn reports_column_and_renders_source_line() {
+        let bad = "entry fn0\nfunc fn0 main(params=0, regs=1) entry=b0 {\nb0:\n    r0 = blorp 5    ; i0\n    ret\n}\n";
+        let e = module_from_string(bad).unwrap_err();
+        assert_eq!(e.line, 4);
+        assert_eq!(e.col, 10); // `blorp` starts at column 10
+        let rendered = e.render(bad);
+        assert!(rendered.contains("r0 = blorp 5"));
+        let caret_line = rendered.lines().last().unwrap();
+        assert!(caret_line.ends_with('^'));
+        // the caret sits under the offending token
+        assert_eq!(caret_line.find('^').unwrap(), "      | ".len() + 9);
+    }
+
+    #[test]
+    fn single_instruction_errors_carry_caller_line_and_local_column() {
+        let e = instr_from_string("r0 = blorp 5    ; i0", 42).unwrap_err();
+        assert_eq!(e.line, 42);
+        assert_eq!(e.col, 6);
     }
 
     #[test]

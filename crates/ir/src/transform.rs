@@ -64,17 +64,17 @@ pub fn ensure_preheader(
 /// Inserts instructions immediately before the instruction `site`,
 /// allocating fresh ids; returns the ids of the inserted instructions.
 ///
-/// # Panics
-///
-/// Panics if `site` is not found in `func`.
+/// If `site` is not found in `func` (e.g. a stale profile named an
+/// instruction the module no longer has), nothing is inserted and an
+/// empty id list is returned.
 pub fn insert_before(
     func: &mut Function,
     site: InstrId,
     ops: Vec<(Option<Reg>, Op)>,
 ) -> Vec<InstrId> {
-    let (block, idx) = func
-        .find_instr(site)
-        .unwrap_or_else(|| panic!("instruction {site} not found in {}", func.name));
+    let Some((block, idx)) = func.find_instr(site) else {
+        return Vec::new();
+    };
     let mut ids = Vec::with_capacity(ops.len());
     let new: Vec<Instr> = ops
         .into_iter()

@@ -22,7 +22,7 @@ pub enum FreqSource {
 /// frequencies are well defined even for entry blocks and single-block
 /// functions), and one counter per block (used by the block-check method,
 /// which profiles block frequencies instead of edge frequencies).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct EdgeProfile {
     counts: Vec<Vec<u64>>,
 }
@@ -53,13 +53,15 @@ impl EdgeProfile {
         EdgeId::new((cfg.num_edges() + 1 + block.index()) as u32)
     }
 
-    /// Increments one counter.
+    /// Increments one counter, saturating at `u64::MAX` so arbitrarily
+    /// long campaigns cannot overflow-panic in debug builds.
     ///
     /// # Panics
     ///
     /// Panics if the ids are out of range.
     pub fn increment(&mut self, func: FuncId, edge: EdgeId) {
-        self.counts[func.index()][edge.index()] += 1;
+        let c = &mut self.counts[func.index()][edge.index()];
+        *c = c.saturating_add(1);
     }
 
     /// Sets one counter to an absolute value (profile-file loading).
@@ -85,14 +87,14 @@ impl EdgeProfile {
     /// counters, plus the virtual entry counter if it is the function's
     /// entry block.
     pub fn block_freq(&self, func: FuncId, cfg: &Cfg, entry: BlockId, block: BlockId) -> u64 {
-        let mut freq = 0;
+        let mut freq: u64 = 0;
         for &p in cfg.preds(block) {
             if let Some(e) = cfg.edge_id(p, block) {
-                freq += self.count(func, e);
+                freq = freq.saturating_add(self.count(func, e));
             }
         }
         if block == entry {
-            freq += self.count(func, Self::entry_edge(cfg));
+            freq = freq.saturating_add(self.count(func, Self::entry_edge(cfg)));
         }
         freq
     }
@@ -106,7 +108,7 @@ impl EdgeProfile {
             .into_iter()
             .filter_map(|(a, b)| cfg.edge_id(a, b))
             .map(|e| self.count(func, e))
-            .sum()
+            .fold(0u64, u64::saturating_add)
     }
 
     /// Frequency of entering the loop from outside (the pre-head frequency
@@ -117,7 +119,7 @@ impl EdgeProfile {
             .into_iter()
             .filter_map(|(a, b)| cfg.edge_id(a, b))
             .map(|e| self.count(func, e))
-            .sum()
+            .fold(0u64, u64::saturating_add)
     }
 
     /// Average trip count of a loop (Fig. 10):
@@ -172,7 +174,7 @@ impl EdgeProfile {
                     .entry_edges(l, cfg)
                     .into_iter()
                     .map(|(from, _)| self.count(func, Self::block_counter(cfg, from)))
-                    .sum();
+                    .fold(0u64, u64::saturating_add);
                 if entry == 0 {
                     return 0.0;
                 }
@@ -184,7 +186,22 @@ impl EdgeProfile {
 
     /// Total of all edge counters (for overhead sanity checks).
     pub fn total(&self) -> u64 {
-        self.counts.iter().flatten().sum()
+        self.counts
+            .iter()
+            .flatten()
+            .fold(0u64, |a, &c| a.saturating_add(c))
+    }
+
+    /// Clamps every counter to at most `cap`, modeling saturated hardware
+    /// frequency counters (fault injection / degradation testing). Since
+    /// clamping only lowers frequencies and trip counts, the classifier
+    /// can only become *more* conservative under it.
+    pub fn clamp(&mut self, cap: u64) {
+        for table in &mut self.counts {
+            for c in table {
+                *c = (*c).min(cap);
+            }
+        }
     }
 
     /// Merges another edge profile into this one by summing counters
@@ -203,7 +220,7 @@ impl EdgeProfile {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             assert_eq!(a.len(), b.len(), "profiles built for different modules");
             for (x, y) in a.iter_mut().zip(b) {
-                *x += *y;
+                *x = x.saturating_add(*y);
             }
         }
     }
@@ -343,6 +360,40 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.count(f, e), 4);
         assert_eq!(b.count(f, e), 3); // other untouched
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_overflowing() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut prof = EdgeProfile::for_module(&m);
+        let e = EdgeId::new(0);
+        prof.set(f, e, u64::MAX);
+        prof.increment(f, e); // would overflow-panic in debug without saturation
+        assert_eq!(prof.count(f, e), u64::MAX);
+        let mut other = EdgeProfile::for_module(&m);
+        other.set(f, e, 1);
+        prof.merge(&other);
+        assert_eq!(prof.count(f, e), u64::MAX);
+        assert_eq!(prof.total(), u64::MAX);
+    }
+
+    #[test]
+    fn clamp_caps_every_counter() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("f", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut prof = EdgeProfile::for_module(&m);
+        prof.set(f, EdgeId::new(0), 1_000_000);
+        prof.clamp(100);
+        assert_eq!(prof.count(f, EdgeId::new(0)), 100);
     }
 
     #[test]

@@ -103,14 +103,14 @@ impl Lfu {
     /// Inserts one value; returns the cycle cost of the operation.
     pub fn insert(&mut self, value: i64) -> u64 {
         let key = self.key_of(value);
-        self.total += 1;
+        self.total = self.total.saturating_add(1);
         self.since_merge += 1;
         let mut cost = self.config.cost_base;
 
         let mut found = false;
         for (probes, e) in self.temp.iter_mut().enumerate() {
             if e.key == key {
-                e.count += 1;
+                e.count = e.count.saturating_add(1);
                 cost += (probes as u64 + 1) * self.config.cost_per_probe;
                 found = true;
                 break;
@@ -154,7 +154,7 @@ impl Lfu {
         self.since_merge = 0;
         for t in self.temp.drain(..) {
             if let Some(s) = self.steady.iter_mut().find(|s| s.key == t.key) {
-                s.count += t.count;
+                s.count = s.count.saturating_add(t.count);
             } else {
                 self.steady.push(t);
             }

@@ -154,16 +154,46 @@ impl StrideProfile {
             let keep = ours.top.len().max(theirs.top.len()).max(8);
             for &(stride, count) in &theirs.top {
                 match ours.top.iter_mut().find(|(s, _)| *s == stride) {
-                    Some((_, c)) => *c += count,
+                    Some((_, c)) => *c = c.saturating_add(count),
                     None => ours.top.push((stride, count)),
                 }
             }
             ours.top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
             ours.top.truncate(keep);
-            ours.total_freq += theirs.total_freq;
-            ours.num_zero_stride += theirs.num_zero_stride;
-            ours.num_zero_diff += theirs.num_zero_diff;
-            ours.total_diffs += theirs.total_diffs;
+            ours.total_freq = ours.total_freq.saturating_add(theirs.total_freq);
+            ours.num_zero_stride = ours.num_zero_stride.saturating_add(theirs.num_zero_stride);
+            ours.num_zero_diff = ours.num_zero_diff.saturating_add(theirs.num_zero_diff);
+            ours.total_diffs = ours.total_diffs.saturating_add(theirs.total_diffs);
+        }
+    }
+
+    /// Keeps only the profiles `keep` accepts (fault injection and
+    /// profile filtering: dropping a site can only move its load toward
+    /// "not prefetched").
+    pub fn retain(&mut self, mut keep: impl FnMut(FuncId, InstrId, &LoadStrideProfile) -> bool) {
+        for (f, table) in self.funcs.iter_mut().enumerate() {
+            for (i, slot) in table.iter_mut().enumerate() {
+                let drop_it = match slot {
+                    Some(p) => !keep(FuncId::new(f as u32), InstrId::new(i as u32), p),
+                    None => false,
+                };
+                if drop_it {
+                    *slot = None;
+                    self.len -= 1;
+                }
+            }
+        }
+    }
+
+    /// Mutates every profile in place, in deterministic (function, site)
+    /// order (fault injection: truncating top tables, dropping counters).
+    pub fn for_each_mut(&mut self, mut f: impl FnMut(FuncId, InstrId, &mut LoadStrideProfile)) {
+        for (fi, table) in self.funcs.iter_mut().enumerate() {
+            for (i, slot) in table.iter_mut().enumerate() {
+                if let Some(p) = slot {
+                    f(FuncId::new(fi as u32), InstrId::new(i as u32), p);
+                }
+            }
         }
     }
 

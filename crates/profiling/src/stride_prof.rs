@@ -190,7 +190,7 @@ impl StrideProfEngine {
         data: &mut StrideProfData,
         address: u64,
     ) -> u64 {
-        self.stats.calls += 1;
+        self.stats.calls = self.stats.calls.saturating_add(1);
         let mut cost = config.cost_call;
 
         // --- chunk sampling (Fig. 9, shared static state) ----------------
@@ -216,7 +216,7 @@ impl StrideProfEngine {
             data.number_to_skip = f - 1;
         }
 
-        self.stats.processed += 1;
+        self.stats.processed = self.stats.processed.saturating_add(1);
 
         // --- first observation: just remember the address -----------------
         let Some(prev) = data.prev_address else {
@@ -231,7 +231,7 @@ impl StrideProfEngine {
             address == prev
         };
         if same {
-            data.num_zero_stride += 1;
+            data.num_zero_stride = data.num_zero_stride.saturating_add(1);
             return cost + config.cost_zero_stride;
         }
 
@@ -239,9 +239,9 @@ impl StrideProfEngine {
         let stride = address.wrapping_sub(prev) as i64;
         match data.prev_stride {
             Some(ps) => {
-                data.total_diffs += 1;
+                data.total_diffs = data.total_diffs.saturating_add(1);
                 if stride == ps {
-                    data.num_zero_diff += 1;
+                    data.num_zero_diff = data.num_zero_diff.saturating_add(1);
                 } else {
                     // Fig. 6/7: prev_stride is updated only when the diff is
                     // non-zero, so it tracks the current phase.
@@ -253,7 +253,7 @@ impl StrideProfEngine {
         data.prev_address = Some(address);
         cost += config.cost_stride_path;
         cost += data.lfu.insert(stride);
-        self.stats.lfu_inserts += 1;
+        self.stats.lfu_inserts = self.stats.lfu_inserts.saturating_add(1);
         cost
     }
 }
@@ -416,6 +416,26 @@ mod tests {
         let c_full = engine.stride_prof(&cfg, &mut data, 0x1000);
         let c_skip = engine.stride_prof(&cfg, &mut data, 0x1040);
         assert!(c_skip < c_full, "skip {c_skip} vs full {c_full}");
+    }
+
+    #[test]
+    fn saturated_counters_do_not_overflow_panic() {
+        let cfg = StrideProfConfig::plain();
+        let mut engine = StrideProfEngine::new();
+        engine.stats.calls = u64::MAX;
+        engine.stats.processed = u64::MAX;
+        let mut data = StrideProfData::new(&cfg);
+        data.num_zero_stride = u64::MAX;
+        data.num_zero_diff = u64::MAX;
+        data.total_diffs = u64::MAX;
+        // first observation, then a zero stride, then two equal strides:
+        // exercises every saturating counter path
+        for a in [0x1000, 0x1000, 0x1040, 0x1080] {
+            engine.stride_prof(&cfg, &mut data, a);
+        }
+        assert_eq!(engine.stats.calls, u64::MAX);
+        assert_eq!(data.num_zero_stride, u64::MAX);
+        assert_eq!(data.total_diffs, u64::MAX);
     }
 
     #[test]

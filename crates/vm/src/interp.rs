@@ -94,6 +94,11 @@ pub struct VmConfig {
     pub fuel: u64,
     /// Maximum call depth.
     pub max_call_depth: usize,
+    /// Exclusive upper bound of the simulated address space. Demand
+    /// accesses at or above it abort with
+    /// [`VmError::InvalidMemoryAccess`]; prefetches of such addresses are
+    /// dropped silently (prefetch is non-faulting, as on Itanium).
+    pub addr_limit: u64,
 }
 
 impl Default for VmConfig {
@@ -102,6 +107,7 @@ impl Default for VmConfig {
             cost: CostModel::itanium(),
             fuel: 4_000_000_000,
             max_call_depth: 1 << 14,
+            addr_limit: 1 << 40,
         }
     }
 }
@@ -119,6 +125,27 @@ pub enum VmError {
         /// The configured limit.
         limit: usize,
     },
+    /// A demand load or store touched an address outside the simulated
+    /// address space (`addr >= VmConfig::addr_limit`).
+    InvalidMemoryAccess {
+        /// The faulting address.
+        addr: u64,
+    },
+    /// The entry point or a call named a function id the module does not
+    /// define.
+    UnknownFunction {
+        /// The out-of-range function index.
+        func: u32,
+    },
+    /// A function was invoked with the wrong number of arguments.
+    ArityMismatch {
+        /// The function index invoked.
+        func: u32,
+        /// Parameters the function declares.
+        expected: u32,
+        /// Arguments actually supplied.
+        got: usize,
+    },
 }
 
 impl fmt::Display for VmError {
@@ -132,6 +159,22 @@ impl fmt::Display for VmError {
             }
             VmError::CallDepthExceeded { limit } => {
                 write!(f, "call depth exceeded limit of {limit}")
+            }
+            VmError::InvalidMemoryAccess { addr } => {
+                write!(f, "invalid memory access at {addr:#x}")
+            }
+            VmError::UnknownFunction { func } => {
+                write!(f, "unknown function f{func}")
+            }
+            VmError::ArityMismatch {
+                func,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "function f{func} expects {expected} arguments, got {got}"
+                )
             }
         }
     }
@@ -257,14 +300,18 @@ impl<'a> Vm<'a> {
             ..RunResult::default()
         };
 
-        let f = self.module.function(func);
-        assert_eq!(
-            args.len(),
-            f.num_params as usize,
-            "entry function {} expects {} arguments",
-            f.name,
-            f.num_params
-        );
+        let Some(f) = self.module.functions.get(func.index()) else {
+            return Err(VmError::UnknownFunction {
+                func: func.index() as u32,
+            });
+        };
+        if args.len() != f.num_params as usize {
+            return Err(VmError::ArityMismatch {
+                func: func.index() as u32,
+                expected: f.num_params,
+                got: args.len(),
+            });
+        }
         let mut regs = vec![0i64; f.num_regs as usize];
         regs[..args.len()].copy_from_slice(args);
         let mut stack = vec![Frame {
@@ -341,6 +388,9 @@ impl<'a> Vm<'a> {
                     }
                     Op::Load { dst, addr, offset } => {
                         let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                        if a >= self.config.addr_limit {
+                            return Err(VmError::InvalidMemoryAccess { addr: a });
+                        }
                         let stall = timing.access(a, result.cycles, AccessKind::Load);
                         result.cycles += stall;
                         result.mem_stall_cycles += stall;
@@ -354,6 +404,9 @@ impl<'a> Vm<'a> {
                         offset,
                     } => {
                         let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                        if a >= self.config.addr_limit {
+                            return Err(VmError::InvalidMemoryAccess { addr: a });
+                        }
                         let stall = timing.access(a, result.cycles, AccessKind::Store);
                         result.cycles += stall;
                         result.mem_stall_cycles += stall;
@@ -363,8 +416,12 @@ impl<'a> Vm<'a> {
                     }
                     Op::Prefetch { addr, offset } => {
                         let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
-                        timing.prefetch(a, result.cycles);
-                        result.prefetches += 1;
+                        // Prefetch is non-faulting: a wild address (e.g. from
+                        // a degraded profile) is dropped, not an error.
+                        if a < self.config.addr_limit {
+                            timing.prefetch(a, result.cycles);
+                            result.prefetches += 1;
+                        }
                     }
                     Op::Alloc { dst, size } => {
                         let sz = eval(regs, *size).max(0) as u64;
@@ -387,7 +444,18 @@ impl<'a> Vm<'a> {
                                 limit: self.config.max_call_depth,
                             });
                         }
-                        let cf = &self.module.functions[callee.index()];
+                        let Some(cf) = self.module.functions.get(callee.index()) else {
+                            return Err(VmError::UnknownFunction {
+                                func: callee.index() as u32,
+                            });
+                        };
+                        if args.len() > cf.num_regs as usize {
+                            return Err(VmError::ArityMismatch {
+                                func: callee.index() as u32,
+                                expected: cf.num_params,
+                                got: args.len(),
+                            });
+                        }
                         let mut new_regs = reg_pool.pop().unwrap_or_default();
                         new_regs.clear();
                         new_regs.resize(cf.num_regs as usize, 0);
@@ -462,8 +530,9 @@ impl<'a> Vm<'a> {
                             Operand::Imm(v) => v,
                         });
                         let ret_reg = frame.ret_reg;
-                        let finished = stack.pop().expect("current frame");
-                        reg_pool.push(finished.regs);
+                        if let Some(finished) = stack.pop() {
+                            reg_pool.push(finished.regs);
+                        }
                         match stack.last_mut() {
                             Some(caller) => {
                                 if let (Some(dst), Some(v)) = (ret_reg, v) {
@@ -831,6 +900,70 @@ mod tests {
         let r = vm.run(&[], &mut TenCycle, &mut NullRuntime).expect("run");
         assert_eq!(r.mem_stall_cycles, 20);
         assert!(r.cycles >= 20);
+    }
+
+    #[test]
+    fn wild_demand_access_is_an_error_not_a_panic() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let a = fb.const_(1i64 << 50);
+        let _ = fb.load(a, 0);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let err = vm.run(&[], &mut FlatTiming, &mut NullRuntime).unwrap_err();
+        assert_eq!(err, VmError::InvalidMemoryAccess { addr: 1u64 << 50 });
+    }
+
+    #[test]
+    fn wild_prefetch_is_dropped_silently() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let a = fb.const_(1i64 << 50);
+        fb.prefetch(a, 0);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let r = run_entry(&m, &[]);
+        assert_eq!(r.prefetches, 0);
+    }
+
+    #[test]
+    fn unknown_entry_function_is_an_error() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let err = vm
+            .run_function(FuncId::new(7), &[], &mut FlatTiming, &mut NullRuntime)
+            .unwrap_err();
+        assert_eq!(err, VmError::UnknownFunction { func: 7 });
+    }
+
+    #[test]
+    fn entry_arity_mismatch_is_an_error() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 2);
+        let mut fb = mb.function(f);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let err = vm.run(&[1], &mut FlatTiming, &mut NullRuntime).unwrap_err();
+        assert_eq!(
+            err,
+            VmError::ArityMismatch {
+                func: 0,
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

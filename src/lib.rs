@@ -34,7 +34,7 @@
 //!     &PipelineConfig::default(),
 //! )?;
 //! assert!(out.speedup >= 0.9); // test-scale inputs: no regression
-//! # Ok::<(), stride_prefetch::vm::VmError>(())
+//! # Ok::<(), stride_prefetch::core::PipelineError>(())
 //! ```
 
 pub use stride_core as core;
