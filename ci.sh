@@ -32,4 +32,40 @@ grep -q '^!! 181.mcf' "$inject_out" \
     || { echo "expected a structured !! diagnostic for 181.mcf" >&2; exit 1; }
 rm -f "$inject_out"
 
+echo "== smoke: strided daemon round trips =="
+db_dir=$(mktemp -d)
+srv_out=$(mktemp)
+entry_file=$(mktemp)
+cargo run --release -q -p stride-server --bin strided -- \
+    serve --addr 127.0.0.1:0 --db "$db_dir" --workers 2 > "$srv_out" &
+srv_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$srv_out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "strided did not report its address" >&2; kill "$srv_pid"; exit 1; }
+ctl() { cargo run --release -q -p stride-bench --bin stridectl -- --addr "$addr" "$@"; }
+submit_out=$(ctl submit mcf --builtin mcf --scale test)
+echo "$submit_out" | grep -q '^module ' || { echo "submit failed: $submit_out" >&2; exit 1; }
+train=$(echo "$submit_out" | sed -n 's/^built-in [^ ]* train=\([^ ]*\) .*/\1/p')
+ref=$(echo "$submit_out" | sed -n 's/.* ref=\(.*\)$/\1/p')
+ctl profile mcf --variant edge-check --args "$train" | grep -q '^# profdb v1' \
+    || { echo "profile round trip failed" >&2; exit 1; }
+ctl classify mcf --variant edge-check --args "$train" | grep -q '^loads ' \
+    || { echo "classify round trip failed" >&2; exit 1; }
+ctl prefetch mcf --variant edge-check --train "$train" --ref "$ref" | grep -q '^speedup ' \
+    || { echo "prefetch round trip failed" >&2; exit 1; }
+ctl get-profile mcf > "$entry_file"
+grep -q '^runs ' "$entry_file" || { echo "get-profile round trip failed" >&2; exit 1; }
+ctl merge-profile --file "$entry_file" | grep -q 'run(s)' \
+    || { echo "merge-profile round trip failed" >&2; exit 1; }
+ctl stats | grep -q '^requests ' || { echo "stats round trip failed" >&2; exit 1; }
+ctl shutdown | grep -q 'shutting down' || { echo "shutdown round trip failed" >&2; exit 1; }
+wait "$srv_pid" || { echo "strided exited non-zero" >&2; exit 1; }
+grep -q 'shut down cleanly' "$srv_out" \
+    || { echo "strided did not shut down cleanly" >&2; exit 1; }
+rm -rf "$db_dir" "$srv_out" "$entry_file"
+
 echo "ci.sh: all checks passed"

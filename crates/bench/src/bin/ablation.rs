@@ -29,13 +29,18 @@ fn headline(scale: Scale) -> Vec<Workload> {
 fn suite_speedup(
     cache: &RunCache,
     workloads: &[Workload],
-    scale: Scale,
     config: &PipelineConfig,
     jobs: usize,
 ) -> f64 {
     let results = parallel_map_isolated(workloads, jobs, |_, w| {
         cache
-            .speedup(w, scale, ProfilingVariant::EdgeCheck, config)
+            .speedup(
+                &w.module,
+                &w.train_args,
+                &w.ref_args,
+                ProfilingVariant::EdgeCheck,
+                config,
+            )
             .map(|out| out.speedup)
     });
     let mut speedups = Vec::new();
@@ -96,7 +101,7 @@ fn main() {
         };
         println!(
             "  SSST_threshold {t:<5}: geomean speedup {:.3}",
-            suite_speedup(&cache, &workloads, scale, &config, jobs)
+            suite_speedup(&cache, &workloads, &config, jobs)
         );
     }
 
@@ -111,7 +116,7 @@ fn main() {
         };
         println!(
             "  C = {c:<3}: geomean speedup {:.3}",
-            suite_speedup(&cache, &workloads, scale, &config, jobs)
+            suite_speedup(&cache, &workloads, &config, jobs)
         );
     }
 
@@ -126,7 +131,7 @@ fn main() {
         };
         println!(
             "  TT = {tt:<5}: geomean speedup {:.3}",
-            suite_speedup(&cache, &workloads, scale, &config, jobs)
+            suite_speedup(&cache, &workloads, &config, jobs)
         );
     }
 
@@ -142,7 +147,7 @@ fn main() {
         println!(
             "  WSST prefetch {}: geomean speedup {:.3}",
             if enabled { "on " } else { "off" },
-            suite_speedup(&cache, &workloads, scale, &config, jobs)
+            suite_speedup(&cache, &workloads, &config, jobs)
         );
     }
 
@@ -158,7 +163,13 @@ fn main() {
         // perlbmk is the interesting case: its churned op chain defeats
         // stride prefetching but not dependence-based prefetching.
         let perl = workload_by_name("perlbmk", scale).unwrap();
-        let perl_speedup = match cache.speedup(&perl, scale, ProfilingVariant::EdgeCheck, &config) {
+        let perl_speedup = match cache.speedup(
+            &perl.module,
+            &perl.train_args,
+            &perl.ref_args,
+            ProfilingVariant::EdgeCheck,
+            &config,
+        ) {
             Ok(s) => format!("{:.3}", s.speedup),
             Err(e) => {
                 eprintln!("!! perlbmk: {e}");
@@ -168,7 +179,7 @@ fn main() {
         println!(
             "  dependent prefetch {}: headline geomean {:.3}, perlbmk {}",
             if enabled { "on " } else { "off" },
-            suite_speedup(&cache, &workloads, scale, &config, jobs),
+            suite_speedup(&cache, &workloads, &config, jobs),
             perl_speedup
         );
     }
@@ -185,8 +196,8 @@ fn main() {
         ProfilingVariant::TwoPass,
     ] {
         let results = parallel_map_isolated(&workloads, jobs, |_, w| {
-            let s = cache.speedup(w, scale, variant, &base)?;
-            let o = cache.overhead(w, scale, variant, &base)?;
+            let s = cache.speedup(&w.module, &w.train_args, &w.ref_args, variant, &base)?;
+            let o = cache.overhead(&w.module, &w.train_args, variant, &base)?;
             Ok::<_, stride_core::PipelineError>((s.speedup, o.overhead))
         });
         let mut speedups = Vec::new();

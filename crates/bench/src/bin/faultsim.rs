@@ -51,7 +51,6 @@ struct ScenarioReport {
 fn run_scenario(
     cache: &RunCache,
     workload: &Workload,
-    scale: Scale,
     config: &PipelineConfig,
     seed: u64,
     spec: &str,
@@ -60,9 +59,23 @@ fn run_scenario(
     let injector = FaultInjector::new(plan);
     let variant = ProfilingVariant::EdgeCheck;
     let clean = cache
-        .speedup(workload, scale, variant, config)
+        .speedup(
+            &workload.module,
+            &workload.train_args,
+            &workload.ref_args,
+            variant,
+            config,
+        )
         .map_err(|e| format!("clean pipeline failed: {e}"))?;
-    match cache.speedup_faulted(workload, scale, variant, config, &injector) {
+    match cache.speedup_faulted(
+        &workload.module,
+        workload.name,
+        &workload.train_args,
+        &workload.ref_args,
+        variant,
+        config,
+        &injector,
+    ) {
         Ok(faulted) => {
             let violations = degradation_violations(&clean.classification, &faulted.classification);
             let verdict = if violations.is_empty() {
@@ -160,7 +173,7 @@ fn main() {
     let results = parallel_map_isolated(&scenarios, jobs, |_, (spec, wname)| {
         let workload = workload_by_name(wname, scale)
             .unwrap_or_else(|| panic!("unknown campaign workload {wname}"));
-        run_scenario(&cache, &workload, scale, &config, seed, spec)
+        run_scenario(&cache, &workload, &config, seed, spec)
     });
 
     let mut panics = 0usize;

@@ -1,0 +1,453 @@
+//! `stridectl` — command-line client for the `strided` daemon.
+//!
+//! ```text
+//! stridectl [--addr HOST:PORT] submit NAME (--file PATH | --builtin WL [--scale S])
+//! stridectl [--addr HOST:PORT] profile NAME [--variant V] [--args 1,2]
+//! stridectl [--addr HOST:PORT] classify NAME [--variant V] [--args 1,2]
+//! stridectl [--addr HOST:PORT] prefetch NAME [--variant V] [--train 1,2] [--ref 3,4]
+//! stridectl [--addr HOST:PORT] get-profile NAME
+//! stridectl [--addr HOST:PORT] merge-profile --file PATH
+//! stridectl [--addr HOST:PORT] stats
+//! stridectl [--addr HOST:PORT] shutdown
+//! stridectl serve-bench [--jobs 1,4,8] [--requests N] [--workload WL]
+//!                       [--scale test|paper] [--bench-json PATH]
+//! ```
+//!
+//! Every subcommand except `serve-bench` is one framed round trip against
+//! a running daemon; `serve-bench` starts an in-process loopback daemon
+//! and measures request throughput at several client concurrency levels.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use stride_core::ProfilingVariant;
+use stride_ir::module_to_string;
+use stride_server::{Client, Request, Response, Server, ServerConfig, ServiceConfig};
+use stride_workloads::{workload_by_name, Scale};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: stridectl [--addr HOST:PORT] COMMAND [FLAGS]\n\
+         \n\
+         commands (one round trip against a running `strided serve`):\n\
+         \x20 submit NAME --file PATH            register a module from an IR file\n\
+         \x20 submit NAME --builtin WL           register a built-in Fig. 15 workload\n\
+         \x20                [--scale test|paper]  (prints its train/ref args)\n\
+         \x20 profile NAME [--variant V] [--args 1,2]\n\
+         \x20 classify NAME [--variant V] [--args 1,2]\n\
+         \x20 prefetch NAME [--variant V] [--train 1,2] [--ref 3,4]\n\
+         \x20 get-profile NAME                   fetch the accumulated db entry\n\
+         \x20 merge-profile --file PATH          merge a saved entry into the db\n\
+         \x20 stats\n\
+         \x20 shutdown\n\
+         \n\
+         serve-bench (self-contained loopback throughput benchmark):\n\
+         \x20 serve-bench [--jobs 1,4,8] [--requests N] [--workload WL]\n\
+         \x20             [--scale test|paper] [--bench-json PATH]\n\
+         \n\
+         \x20 --addr defaults to 127.0.0.1:7311; variants are the pipeline's\n\
+         \x20 hyphenated names (edge-check, naive-loop, sample-block-check, ...)"
+    );
+    ExitCode::from(2)
+}
+
+/// `--flag value` lookup over the raw argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_scale(s: &str) -> Option<Scale> {
+    match s {
+        "test" => Some(Scale::Test),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+fn parse_int_args(s: &str) -> Result<Vec<i64>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| p.parse::<i64>().map_err(|_| format!("bad integer `{p}`")))
+        .collect()
+}
+
+fn parse_variant(args: &[String]) -> Result<ProfilingVariant, String> {
+    match flag_value(args, "--variant") {
+        Some(v) => v.parse::<ProfilingVariant>(),
+        None => Ok(ProfilingVariant::EdgeCheck),
+    }
+}
+
+/// Sends one request and renders the response; exit code 0 only for `ok`.
+fn round_trip(addr: &str, req: &Request) -> ExitCode {
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("stridectl: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.call(req) {
+        Ok(Response::Ok(body)) => {
+            print!("{body}");
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Err { kind, message }) => {
+            eprintln!("stridectl: server error [{kind}]\n{message}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("stridectl: transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7311".to_string());
+    // The command is the first argument that is neither `--addr` nor its
+    // value.
+    let mut cmd_at = None;
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "--addr" {
+            skip = true;
+            continue;
+        }
+        cmd_at = Some(i);
+        break;
+    }
+    let Some(cmd_at) = cmd_at else {
+        return usage();
+    };
+    let cmd = args[cmd_at].as_str();
+    let rest = &args[cmd_at + 1..];
+
+    let name_of = |rest: &[String]| -> Option<String> {
+        rest.first().filter(|s| !s.starts_with("--")).cloned()
+    };
+
+    match cmd {
+        "submit" => {
+            let Some(workload) = name_of(rest) else {
+                return usage();
+            };
+            let text = if let Some(path) = flag_value(rest, "--file") {
+                match std::fs::read_to_string(&path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("stridectl: cannot read {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else if let Some(builtin) = flag_value(rest, "--builtin") {
+                let scale = match flag_value(rest, "--scale") {
+                    Some(s) => match parse_scale(&s) {
+                        Some(s) => s,
+                        None => return usage(),
+                    },
+                    None => Scale::Test,
+                };
+                let Some(w) = workload_by_name(&builtin, scale) else {
+                    eprintln!("stridectl: unknown built-in workload `{builtin}`");
+                    return ExitCode::FAILURE;
+                };
+                println!(
+                    "built-in {} train={} ref={}",
+                    w.name,
+                    w.train_args
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(","),
+                    w.ref_args
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                );
+                module_to_string(&w.module)
+            } else {
+                return usage();
+            };
+            round_trip(&addr, &Request::SubmitModule { workload, text })
+        }
+        "profile" | "classify" => {
+            let Some(workload) = name_of(rest) else {
+                return usage();
+            };
+            let variant = match parse_variant(rest) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("stridectl: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let args_list = match parse_int_args(&flag_value(rest, "--args").unwrap_or_default()) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("stridectl: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let req = if cmd == "profile" {
+                Request::Profile {
+                    workload,
+                    variant,
+                    args: args_list,
+                }
+            } else {
+                Request::Classify {
+                    workload,
+                    variant,
+                    args: args_list,
+                }
+            };
+            round_trip(&addr, &req)
+        }
+        "prefetch" => {
+            let Some(workload) = name_of(rest) else {
+                return usage();
+            };
+            let variant = match parse_variant(rest) {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("stridectl: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let train = parse_int_args(&flag_value(rest, "--train").unwrap_or_default());
+            let refa = parse_int_args(&flag_value(rest, "--ref").unwrap_or_default());
+            match (train, refa) {
+                (Ok(train_args), Ok(ref_args)) => round_trip(
+                    &addr,
+                    &Request::Prefetch {
+                        workload,
+                        variant,
+                        train_args,
+                        ref_args,
+                    },
+                ),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("stridectl: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "get-profile" => match name_of(rest) {
+            Some(workload) => round_trip(&addr, &Request::GetProfile { workload }),
+            None => usage(),
+        },
+        "merge-profile" => {
+            let Some(path) = flag_value(rest, "--file") else {
+                return usage();
+            };
+            match std::fs::read_to_string(&path) {
+                Ok(entry_text) => round_trip(&addr, &Request::MergeProfile { entry_text }),
+                Err(e) => {
+                    eprintln!("stridectl: cannot read {path}: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "stats" => round_trip(&addr, &Request::Stats),
+        "shutdown" => round_trip(&addr, &Request::Shutdown),
+        "serve-bench" => serve_bench(rest),
+        _ => usage(),
+    }
+}
+
+struct BenchRow {
+    jobs: usize,
+    requests: usize,
+    wall_s: f64,
+    req_per_s: f64,
+    errors: usize,
+}
+
+/// Starts a loopback daemon and measures end-to-end request throughput at
+/// each `--jobs` level: every client thread opens its own connection and
+/// issues `--requests` alternating profile/classify round trips.
+fn serve_bench(rest: &[String]) -> ExitCode {
+    let jobs_levels: Vec<usize> = match flag_value(rest, "--jobs")
+        .unwrap_or_else(|| "1,4,8".to_string())
+        .split(',')
+        .map(|p| p.parse::<usize>().map_err(|_| p.to_string()))
+        .collect::<Result<Vec<_>, _>>()
+    {
+        Ok(v) if !v.is_empty() && v.iter().all(|&j| j >= 1) => v,
+        _ => return usage(),
+    };
+    let requests: usize = match flag_value(rest, "--requests") {
+        Some(s) => match s.parse() {
+            Ok(n) => n,
+            Err(_) => return usage(),
+        },
+        None => 64,
+    };
+    let scale = match flag_value(rest, "--scale") {
+        Some(s) => match parse_scale(&s) {
+            Some(s) => s,
+            None => return usage(),
+        },
+        None => Scale::Test,
+    };
+    let builtin = flag_value(rest, "--workload").unwrap_or_else(|| "mcf".to_string());
+    let Some(w) = workload_by_name(&builtin, scale) else {
+        eprintln!("stridectl: unknown built-in workload `{builtin}`");
+        return ExitCode::FAILURE;
+    };
+
+    let max_jobs = jobs_levels.iter().copied().max().unwrap_or(1);
+    let db_root =
+        std::env::temp_dir().join(format!("stridectl-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&db_root);
+    let mut config = ServerConfig::loopback(ServiceConfig::new(db_root.clone()));
+    config.workers = max_jobs;
+    config.queue_cap = max_jobs * 4;
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stridectl: cannot start loopback daemon: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.addr();
+
+    // Register the module once; warm the run cache so every level measures
+    // service/wire throughput, not first-run simulation cost.
+    let setup = (|| -> Result<(), String> {
+        let mut c = Client::connect(addr).map_err(|e| e.to_string())?;
+        let resp = c
+            .call(&Request::SubmitModule {
+                workload: w.name.to_string(),
+                text: module_to_string(&w.module),
+            })
+            .map_err(|e| e.to_string())?;
+        if let Response::Err { kind, message } = resp {
+            return Err(format!("[{kind}] {message}"));
+        }
+        let resp = c
+            .call(&Request::Profile {
+                workload: w.name.to_string(),
+                variant: ProfilingVariant::EdgeCheck,
+                args: w.train_args.clone(),
+            })
+            .map_err(|e| e.to_string())?;
+        if let Response::Err { kind, message } = resp {
+            return Err(format!("[{kind}] {message}"));
+        }
+        Ok(())
+    })();
+    if let Err(e) = setup {
+        eprintln!("stridectl: serve-bench setup failed: {e}");
+        server.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(&db_root);
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "serve-bench: workload {} ({} requests per client)",
+        w.name, requests
+    );
+    println!(
+        "{:>5}  {:>9}  {:>9}  {:>10}  {:>7}",
+        "jobs", "requests", "wall(s)", "req/s", "errors"
+    );
+    let mut rows = Vec::new();
+    for &jobs in &jobs_levels {
+        let start = Instant::now();
+        let errors: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let w = &w;
+                    scope.spawn(move || {
+                        let Ok(mut client) = Client::connect(addr) else {
+                            return requests;
+                        };
+                        let mut errors = 0usize;
+                        for i in 0..requests {
+                            let req = if i % 2 == 0 {
+                                Request::Profile {
+                                    workload: w.name.to_string(),
+                                    variant: ProfilingVariant::EdgeCheck,
+                                    args: w.train_args.clone(),
+                                }
+                            } else {
+                                Request::Classify {
+                                    workload: w.name.to_string(),
+                                    variant: ProfilingVariant::EdgeCheck,
+                                    args: w.train_args.clone(),
+                                }
+                            };
+                            match client.call(&req) {
+                                Ok(Response::Ok(_)) => {}
+                                Ok(Response::Err { .. }) | Err(_) => errors += 1,
+                            }
+                        }
+                        errors
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(requests))
+                .sum()
+        });
+        let wall_s = start.elapsed().as_secs_f64();
+        let total = jobs * requests;
+        let req_per_s = if wall_s > 0.0 {
+            total as f64 / wall_s
+        } else {
+            0.0
+        };
+        println!("{jobs:>5}  {total:>9}  {wall_s:>9.3}  {req_per_s:>10.1}  {errors:>7}");
+        rows.push(BenchRow {
+            jobs,
+            requests: total,
+            wall_s,
+            req_per_s,
+            errors,
+        });
+    }
+
+    server.shutdown_and_join();
+    let _ = std::fs::remove_dir_all(&db_root);
+
+    if let Some(path) = flag_value(rest, "--bench-json") {
+        let mut out = String::from("{\n  \"bench\": \"serve-bench\",\n");
+        out.push_str(&format!("  \"workload\": \"{}\",\n", w.name));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"jobs\": {}, \"requests\": {}, \"wall_s\": {:.6}, \"req_per_s\": {:.1}, \"errors\": {}}}{}\n",
+                r.jobs,
+                r.requests,
+                r.wall_s,
+                r.req_per_s,
+                r.errors,
+                if i + 1 == rows.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("stridectl: cannot write --bench-json file {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("serve-bench summary written to {path}");
+    }
+    let failed = rows.iter().any(|r| r.errors > 0);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

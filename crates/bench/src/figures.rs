@@ -17,8 +17,8 @@
 //! take down its siblings. Failures are reported in input order, keeping
 //! the output byte-identical at every `--jobs` level.
 
-use crate::exec::parallel_map_isolated;
-use crate::runcache::RunCache;
+use stride_core::exec::parallel_map_isolated;
+use stride_core::runcache::RunCache;
 use stride_core::{
     class_distribution, load_mix, prefetch_with_profiles, ClassDistribution, FaultInjector,
     LoadPopulation, OverheadOutcome, PipelineConfig, PipelineError, ProfilingVariant,
@@ -186,10 +186,18 @@ pub struct SpeedupRow {
 fn unit_speedup(ctx: &FigureCtx<'_>, wi: usize, v: ProfilingVariant) -> Result<f64, PipelineError> {
     let w = &ctx.workloads[wi];
     let out = match ctx.injector {
-        Some(inj) => ctx
+        Some(inj) => ctx.cache.speedup_faulted(
+            &w.module,
+            w.name,
+            &w.train_args,
+            &w.ref_args,
+            v,
+            ctx.config,
+            inj,
+        )?,
+        None => ctx
             .cache
-            .speedup_faulted(w, ctx.scale, v, ctx.config, inj)?,
-        None => ctx.cache.speedup(w, ctx.scale, v, ctx.config)?,
+            .speedup(&w.module, &w.train_args, &w.ref_args, v, ctx.config)?,
     };
     Ok(out.speedup)
 }
@@ -262,7 +270,7 @@ pub fn fig17_load_mix(ctx: &FigureCtx<'_>) -> Partial<(&'static str, f64, f64)> 
         &ctx.workloads,
         |w| (w.name, String::new()),
         |_, w| {
-            let run = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
+            let run = ctx.cache.plain_run(&w.module, &w.ref_args, ctx.config)?;
             let mix = load_mix(&w.module, &run.0);
             let f = mix.in_loop_fraction();
             Ok((w.name, f, 1.0 - f))
@@ -285,15 +293,12 @@ pub fn fig18_19_distributions(
         |w| (w.name, String::new()),
         |_, w| {
             let outcome = ctx.cache.profiling(
-                w,
-                ctx.scale,
+                &w.module,
                 ProfilingVariant::NaiveAll,
                 &w.train_args,
                 ctx.config,
             )?;
-            let run = ctx
-                .cache
-                .baseline(w, ctx.scale, &w.train_args, ctx.config)?;
+            let run = ctx.cache.plain_run(&w.module, &w.train_args, ctx.config)?;
             let out_loop = class_distribution(
                 &w.module,
                 &outcome.stride,
@@ -355,8 +360,8 @@ pub fn fig20_22_overheads(
         &units,
         |&(wi, v)| (ctx.workloads[wi].name, format!("{v}: ")),
         |_, &(wi, v)| {
-            ctx.cache
-                .overhead(&ctx.workloads[wi], ctx.scale, v, ctx.config)
+            let w = &ctx.workloads[wi];
+            ctx.cache.overhead(&w.module, &w.train_args, v, ctx.config)
         },
     );
     let rows = ctx
@@ -444,13 +449,13 @@ pub fn fig23_25_sensitivity(ctx: &FigureCtx<'_>) -> Partial<SensitivityRow> {
         &ctx.workloads,
         |w| (w.name, String::new()),
         |_, w| {
-            let train_prof =
-                ctx.cache
-                    .profiling(w, ctx.scale, variant, &w.train_args, ctx.config)?;
+            let train_prof = ctx
+                .cache
+                .profiling(&w.module, variant, &w.train_args, ctx.config)?;
             let ref_prof = ctx
                 .cache
-                .profiling(w, ctx.scale, variant, &w.ref_args, ctx.config)?;
-            let baseline = ctx.cache.baseline(w, ctx.scale, &w.ref_args, ctx.config)?;
+                .profiling(&w.module, variant, &w.ref_args, ctx.config)?;
+            let baseline = ctx.cache.plain_run(&w.module, &w.ref_args, ctx.config)?;
             let speedup_with = |edge: &stride_profiling::EdgeProfile,
                                 stride: &stride_profiling::StrideProfile|
              -> Result<f64, PipelineError> {
@@ -591,14 +596,22 @@ mod tests {
         let cache = RunCache::new();
         let w = stride_workloads::workload_by_name("mcf", Scale::Test).unwrap();
         let clean = cache
-            .speedup(&w, Scale::Test, ProfilingVariant::EdgeCheck, &config)
+            .speedup(
+                &w.module,
+                &w.train_args,
+                &w.ref_args,
+                ProfilingVariant::EdgeCheck,
+                &config,
+            )
             .unwrap();
         let plan = FaultPlan::parse("seed=5;truncate=1;drop-sites=2").unwrap();
         let injector = FaultInjector::new(plan);
         let faulted = cache
             .speedup_faulted(
-                &w,
-                Scale::Test,
+                &w.module,
+                w.name,
+                &w.train_args,
+                &w.ref_args,
                 ProfilingVariant::EdgeCheck,
                 &config,
                 &injector,

@@ -3,12 +3,17 @@
 //! memoization store that shares simulations across figures, and the
 //! std-only perf measurement used by the bench targets and `--bench-json`.
 
-pub mod exec;
 pub mod figures;
 pub mod perf;
-pub mod runcache;
 
-pub use exec::{default_jobs, parallel_map, parallel_map_isolated, parse_jobs, TaskFailure};
+// The execution engine and run cache moved to `stride_core` so the profile
+// daemon (`stride-server`) can share them without depending on this crate;
+// re-exported here so existing `stride_bench::` imports keep working.
+pub use stride_core::exec::{
+    default_jobs, parallel_map, parallel_map_isolated, parse_jobs, TaskFailure,
+};
+pub use stride_core::runcache::{fingerprint_module, RunCache, RunCacheStats};
+
 pub use figures::{
     fig15_table, fig16_speedups, fig17_load_mix, fig18_19_distributions, fig20_22_overheads,
     fig23_25_sensitivity, geomean, render_diagnostics, render_distribution, render_overheads,
@@ -16,4 +21,3 @@ pub use figures::{
     SensitivityRow, SpeedupRow,
 };
 pub use perf::{BenchEntry, BenchReport, FigurePerf, PerfSummary};
-pub use runcache::{RunCache, RunCacheStats};

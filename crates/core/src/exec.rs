@@ -1,13 +1,14 @@
-//! The parallel execution engine behind `repro --jobs N` and `ablation
-//! --jobs N`: a std-only scoped-thread job pool.
+//! The parallel execution engine behind `repro --jobs N`, `ablation
+//! --jobs N` and the profile daemon's worker pool: a std-only
+//! scoped-thread job pool.
 //!
 //! Every unit of work in the reproduction — one (workload, variant, phase)
-//! simulation — owns its VM, memory simulator and profiling state, so the
-//! fan-out is embarrassingly parallel. Determinism is preserved by
-//! construction: workers pull indices from a shared atomic counter but
-//! write results into per-index slots, so the collected `Vec` is in input
-//! order regardless of scheduling, and figure output is byte-identical at
-//! any `--jobs` level.
+//! simulation, or one service request — owns its VM, memory simulator and
+//! profiling state, so the fan-out is embarrassingly parallel. Determinism
+//! is preserved by construction: workers pull indices from a shared atomic
+//! counter but write results into per-index slots, so the collected `Vec`
+//! is in input order regardless of scheduling, and figure output is
+//! byte-identical at any `--jobs` level.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};

@@ -59,17 +59,20 @@ pub mod classify;
 pub mod config;
 pub mod dependent;
 pub mod error;
+pub mod exec;
 pub mod faults;
 pub mod instrument;
 pub mod pipeline;
 pub mod prefetch;
 pub mod report;
+pub mod runcache;
 pub mod select;
 
 pub use classify::{classify, classify_profile, Classification, ClassifiedLoad, StrideClass};
 pub use config::PrefetchConfig;
 pub use dependent::apply_dependent_prefetching;
 pub use error::PipelineError;
+pub use exec::{default_jobs, parallel_map, parallel_map_isolated, parse_jobs, TaskFailure};
 pub use faults::{
     corrupt_ir_text, degradation_violations, measure_speedup_faulted, FaultInjector, FaultKind,
     FaultPlan, FaultRng, FaultScenario,
@@ -84,4 +87,5 @@ pub use pipeline::{
 };
 pub use prefetch::{apply_prefetching, prefetch_distance, round_pow2, PrefetchReport};
 pub use report::{class_distribution, load_mix, ClassDistribution, LoadMix, LoadPopulation};
+pub use runcache::{fingerprint_module, RunCache, RunCacheStats};
 pub use select::{select_profiled_loads, ProfiledLoad, ProfilingMethod, Selection};

@@ -101,6 +101,27 @@ impl ProfilingVariant {
     }
 }
 
+impl std::str::FromStr for ProfilingVariant {
+    type Err = String;
+
+    /// Parses the hyphenated names printed by `Display` (CLI flags and the
+    /// profile daemon's wire protocol).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "edge-check" => Ok(ProfilingVariant::EdgeCheck),
+            "naive-loop" => Ok(ProfilingVariant::NaiveLoop),
+            "naive-all" => Ok(ProfilingVariant::NaiveAll),
+            "sample-edge-check" => Ok(ProfilingVariant::SampleEdgeCheck),
+            "sample-naive-loop" => Ok(ProfilingVariant::SampleNaiveLoop),
+            "sample-naive-all" => Ok(ProfilingVariant::SampleNaiveAll),
+            "block-check" => Ok(ProfilingVariant::BlockCheck),
+            "sample-block-check" => Ok(ProfilingVariant::SampleBlockCheck),
+            "two-pass" => Ok(ProfilingVariant::TwoPass),
+            _ => Err(format!("unknown profiling variant `{s}`")),
+        }
+    }
+}
+
 impl std::fmt::Display for ProfilingVariant {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

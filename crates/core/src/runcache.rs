@@ -1,40 +1,42 @@
-//! Run memoization for the reproduction harness.
+//! Content-addressed run memoization for the pipeline.
 //!
-//! Most figures re-simulate identical configurations: Figs. 16 and 20–22
-//! share every (workload, variant) train-input profiling run, Figs. 16, 17
-//! and 23–25 share the uninstrumented reference-input baselines, the
-//! edge-only overhead baseline of Figs. 20–22 is one run per workload (not
-//! one per variant), and transformed-binary runs are keyed by module
-//! *content*, so profiling variants or profile sources that select the
-//! same prefetches share one reference run. The [`RunCache`] shares those
-//! results across figures (and across worker threads — it is `Sync`, with
-//! per-key [`OnceLock`]s so a result is computed exactly once even under
-//! contention).
+//! Most consumers re-simulate identical configurations: the repro harness
+//! shares every (workload, variant) train-input profiling run between the
+//! speedup and overhead figures, the uninstrumented reference-input
+//! baselines between Figs. 16, 17 and 23–25, and transformed-binary runs
+//! whenever two profile sources select the same prefetches; the profile
+//! daemon sees the same module resubmitted by many clients. The
+//! [`RunCache`] shares those results across callers (and across worker
+//! threads — it is `Sync`, with per-key [`OnceLock`]s so a result is
+//! computed exactly once even under contention).
 //!
-//! Keys include a fingerprint of the parts of the [`PipelineConfig`] that
-//! can affect the run: baselines depend only on the VM cost model and the
-//! cache hierarchy, while profiling runs also depend on the prefetch
-//! (instrumentation) parameters — so an ablation sweep over feedback
-//! thresholds still shares its baselines across every sweep point.
+//! Every key is **content-addressed**: runs are keyed by a fingerprint of
+//! the module itself (not its name or origin), the entry arguments, and a
+//! fingerprint of the parts of the [`PipelineConfig`] the run can observe.
+//! Baselines depend only on the VM cost model and the cache hierarchy,
+//! while profiling runs also depend on the prefetch (instrumentation)
+//! parameters — so an ablation sweep over feedback thresholds still shares
+//! its baselines across every sweep point, and two clients submitting
+//! byte-identical modules under different names share every run.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
-use stride_core::{
-    corrupt_ir_text, prefetch_with_profiles, run_edge_only, run_profiling, run_uninstrumented,
-    FaultInjector, OverheadOutcome, PipelineConfig, PipelineError, ProfileOutcome,
-    ProfilingVariant, SpeedupOutcome,
+use crate::error::PipelineError;
+use crate::faults::{corrupt_ir_text, FaultInjector};
+use crate::pipeline::{
+    prefetch_with_profiles, run_edge_only, run_profiling, run_uninstrumented, OverheadOutcome,
+    PipelineConfig, ProfileOutcome, ProfilingVariant, SpeedupOutcome,
 };
 use stride_ir::Module;
 use stride_memsim::HierarchyStats;
 use stride_profiling::EdgeProfile;
 use stride_vm::RunResult;
-use stride_workloads::{Scale, Workload};
 
-/// What a cached run is keyed by (beyond workload/scale/config).
+/// What a cached instrumented run is keyed by (beyond module/args/config).
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum RunKind {
     /// Edge-frequency-only instrumented run.
@@ -43,10 +45,11 @@ enum RunKind {
     Profiling(ProfilingVariant),
 }
 
+/// Key of an instrumented run: the module *content*, the run kind, the
+/// arguments, and the config fingerprint.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct Key {
-    workload: &'static str,
-    scale: Scale,
+    module_fingerprint: u64,
     kind: RunKind,
     args: Vec<i64>,
     config_fingerprint: u64,
@@ -80,7 +83,8 @@ pub struct RunCacheStats {
     pub sim_accesses: u64,
 }
 
-/// The memoizing run store shared by all figure generators and workers.
+/// The memoizing run store shared by all figure generators, service
+/// workers and worker threads.
 #[derive(Default)]
 pub struct RunCache {
     plain_runs: Mutex<HashMap<PlainKey, Slot<(RunResult, HierarchyStats)>>>,
@@ -112,7 +116,7 @@ fn fingerprint_full(config: &PipelineConfig) -> u64 {
 /// Content fingerprint of a module. The `Debug` form covers every field
 /// the interpreter can observe (functions, blocks, instructions, globals,
 /// entry), so equal fingerprints mean behaviourally identical programs.
-fn fingerprint_module(module: &Module) -> u64 {
+pub fn fingerprint_module(module: &Module) -> u64 {
     let mut h = DefaultHasher::new();
     format!("{module:?}").hash(&mut h);
     h.finish()
@@ -153,7 +157,9 @@ impl RunCache {
         F: FnOnce() -> Result<T, PipelineError>,
     {
         let slot = {
-            let mut map = map.lock().expect("run-cache lock");
+            // A worker that panicked while holding the lock only ever
+            // held it to clone a slot out; the map itself stays valid.
+            let mut map = map.lock().unwrap_or_else(PoisonError::into_inner);
             map.entry(key).or_default().clone()
         };
         let mut ran = false;
@@ -169,23 +175,6 @@ impl RunCache {
         result.clone()
     }
 
-    /// Uninstrumented run of `w.module` with `args` (memoized). Keyed by
-    /// module content, so it shares entries with [`RunCache::plain_run`]
-    /// when a prefetch transform turns out to be a no-op.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the underlying run's [`PipelineError`].
-    pub fn baseline(
-        &self,
-        w: &Workload,
-        _scale: Scale,
-        args: &[i64],
-        config: &PipelineConfig,
-    ) -> Result<Arc<(RunResult, HierarchyStats)>, PipelineError> {
-        self.plain_run(&w.module, args, config)
-    }
-
     /// Edge-frequency-only instrumented run (memoized). The edge-only
     /// instrumentation does not read the prefetch config, so ablation
     /// sweeps share this run too.
@@ -195,20 +184,18 @@ impl RunCache {
     /// Propagates the underlying run's [`PipelineError`].
     pub fn edge_only(
         &self,
-        w: &Workload,
-        scale: Scale,
+        module: &Module,
         args: &[i64],
         config: &PipelineConfig,
     ) -> Result<Arc<(EdgeProfile, RunResult)>, PipelineError> {
         let key = Key {
-            workload: w.name,
-            scale,
+            module_fingerprint: fingerprint_module(module),
             kind: RunKind::EdgeOnly,
             args: args.to_vec(),
             config_fingerprint: fingerprint_machine(config),
         };
         self.get_or_run(&self.edge_runs, key, || {
-            let out = run_edge_only(&w.module, args, config)?;
+            let out = run_edge_only(module, args, config)?;
             self.record_run(&out.1);
             Ok(out)
         })
@@ -221,31 +208,29 @@ impl RunCache {
     /// Propagates the underlying run's [`PipelineError`].
     pub fn profiling(
         &self,
-        w: &Workload,
-        scale: Scale,
+        module: &Module,
         variant: ProfilingVariant,
         args: &[i64],
         config: &PipelineConfig,
     ) -> Result<Arc<ProfileOutcome>, PipelineError> {
         let key = Key {
-            workload: w.name,
-            scale,
+            module_fingerprint: fingerprint_module(module),
             kind: RunKind::Profiling(variant),
             args: args.to_vec(),
             config_fingerprint: fingerprint_full(config),
         };
         self.get_or_run(&self.profiles, key, || {
-            let out = run_profiling(&w.module, args, variant, config)?;
+            let out = run_profiling(module, args, variant, config)?;
             self.record_run(&out.run);
             Ok(out)
         })
     }
 
-    /// Uninstrumented run of an arbitrary (e.g. transformed) module,
-    /// memoized by the module's *content*: Figs. 16 and 23–25 transform
-    /// the same workload under many profile sources, and whenever two
-    /// sources select the same prefetches the resulting modules — and
-    /// hence this run — are identical.
+    /// Uninstrumented run of a module (baseline or transformed), memoized
+    /// by the module's *content*: the repro harness transforms the same
+    /// workload under many profile sources, and whenever two sources
+    /// select the same prefetches the resulting modules — and hence this
+    /// run — are identical.
     ///
     /// # Errors
     ///
@@ -271,31 +256,32 @@ impl RunCache {
     /// The Fig. 16 speedup experiment with its train-input profiling run,
     /// reference-input baseline, and transformed-binary run all served
     /// from the cache (the last keyed by transformed-module content).
-    /// Equivalent to [`stride_core::measure_speedup`].
+    /// Equivalent to [`crate::measure_speedup`].
     ///
     /// # Errors
     ///
     /// Propagates the first failing run's [`PipelineError`].
     pub fn speedup(
         &self,
-        w: &Workload,
-        scale: Scale,
+        module: &Module,
+        train_args: &[i64],
+        ref_args: &[i64],
         variant: ProfilingVariant,
         config: &PipelineConfig,
     ) -> Result<SpeedupOutcome, PipelineError> {
         // The two-pass baseline performs its own double profiling pass;
         // its inner edge-only run is not shared here, but the profiling
         // outcome as a whole still memoizes.
-        let outcome = self.profiling(w, scale, variant, &w.train_args, config)?;
+        let outcome = self.profiling(module, variant, train_args, config)?;
         let (transformed, classification, report) = prefetch_with_profiles(
-            &w.module,
+            module,
             &outcome.edge,
             outcome.source,
             &outcome.stride,
             config,
         );
-        let base = self.baseline(w, scale, &w.ref_args, config)?;
-        let pf = self.plain_run(&transformed, &w.ref_args, config)?;
+        let base = self.plain_run(module, ref_args, config)?;
+        let pf = self.plain_run(&transformed, ref_args, config)?;
         Ok(SpeedupOutcome {
             baseline_cycles: base.0.cycles,
             prefetch_cycles: pf.0.cycles,
@@ -311,28 +297,29 @@ impl RunCache {
     /// the injector's VM overrides (and is cached under that distinct
     /// config fingerprint), the collected profiles are mutated per the
     /// plan, and the measurement runs stay clean — still served from and
-    /// shared with the unfaulted cache entries.
+    /// shared with the unfaulted cache entries. `workload` is the name
+    /// the plan's `@workload` scoping matches against.
     ///
     /// # Errors
     ///
     /// Propagates injected profiling-run failures (fuel, address limit)
     /// and the parser's located error for a `malformed-ir` scenario.
+    #[allow(clippy::too_many_arguments)]
     pub fn speedup_faulted(
         &self,
-        w: &Workload,
-        scale: Scale,
+        module: &Module,
+        workload: &str,
+        train_args: &[i64],
+        ref_args: &[i64],
         variant: ProfilingVariant,
         config: &PipelineConfig,
         injector: &FaultInjector,
     ) -> Result<SpeedupOutcome, PipelineError> {
-        if !injector.affects(w.name) {
-            return self.speedup(w, scale, variant, config);
+        if !injector.affects(workload) {
+            return self.speedup(module, train_args, ref_args, variant, config);
         }
-        if injector.wants_malformed_ir(w.name) {
-            let text = corrupt_ir_text(
-                injector.plan().seed,
-                &stride_ir::module_to_string(&w.module),
-            );
+        if injector.wants_malformed_ir(workload) {
+            let text = corrupt_ir_text(injector.plan().seed, &stride_ir::module_to_string(module));
             if let Err(e) = stride_ir::module_from_string(&text) {
                 // Render the offending source line (with a caret) into the
                 // diagnostic so the campaign report shows exactly what the
@@ -344,15 +331,15 @@ impl RunCache {
             }
         }
         let mut profiling_config = *config;
-        profiling_config.vm = injector.vm_overrides(w.name, profiling_config.vm);
-        let outcome = self.profiling(w, scale, variant, &w.train_args, &profiling_config)?;
+        profiling_config.vm = injector.vm_overrides(workload, profiling_config.vm);
+        let outcome = self.profiling(module, variant, train_args, &profiling_config)?;
         let mut edge = outcome.edge.clone();
         let mut stride = outcome.stride.clone();
-        injector.apply_to_profiles(w.name, &mut edge, &mut stride);
+        injector.apply_to_profiles(workload, &mut edge, &mut stride);
         let (transformed, classification, report) =
-            prefetch_with_profiles(&w.module, &edge, outcome.source, &stride, config);
-        let base = self.baseline(w, scale, &w.ref_args, config)?;
-        let pf = self.plain_run(&transformed, &w.ref_args, config)?;
+            prefetch_with_profiles(module, &edge, outcome.source, &stride, config);
+        let base = self.plain_run(module, ref_args, config)?;
+        let pf = self.plain_run(&transformed, ref_args, config)?;
         Ok(SpeedupOutcome {
             baseline_cycles: base.0.cycles,
             prefetch_cycles: pf.0.cycles,
@@ -365,21 +352,20 @@ impl RunCache {
     }
 
     /// The Figs. 20–22 overhead experiment with both underlying runs
-    /// served from the cache. Equivalent to
-    /// [`stride_core::measure_overhead`].
+    /// served from the cache. Equivalent to [`crate::measure_overhead`].
     ///
     /// # Errors
     ///
     /// Propagates the first failing run's [`PipelineError`].
     pub fn overhead(
         &self,
-        w: &Workload,
-        scale: Scale,
+        module: &Module,
+        train_args: &[i64],
         variant: ProfilingVariant,
         config: &PipelineConfig,
     ) -> Result<OverheadOutcome, PipelineError> {
-        let edge = self.edge_only(w, scale, &w.train_args, config)?;
-        let outcome = self.profiling(w, scale, variant, &w.train_args, config)?;
+        let edge = self.edge_only(module, train_args, config)?;
+        let outcome = self.profiling(module, variant, train_args, config)?;
         let edge_run = &edge.1;
         let loads = outcome.run.loads.max(1) as f64;
         Ok(OverheadOutcome {
@@ -397,24 +383,42 @@ impl RunCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stride_core::{measure_overhead, measure_speedup};
-    use stride_workloads::workload_by_name;
+    use crate::pipeline::{measure_overhead, measure_speedup};
+    use stride_ir::{ModuleBuilder, Operand};
 
-    fn test_setup() -> (Workload, PipelineConfig) {
-        (
-            workload_by_name("gzip", Scale::Test).unwrap(),
-            PipelineConfig::default(),
-        )
+    /// A small strided workload: repeated sweeps over a flat array.
+    fn sweep_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 1 << 18);
+        let f = mb.declare_function("main", 2);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let sum = fb.mov(0i64);
+        fb.counted_loop(fb.param(0), |fb, _| {
+            fb.counted_loop(fb.param(1), |fb, i| {
+                let off = fb.mul(i, 64i64);
+                let a = fb.add(base, off);
+                let (v, _) = fb.load(a, 0);
+                fb.bin_to(sum, stride_ir::BinOp::Add, sum, v);
+            });
+        });
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        mb.finish()
     }
+
+    const TRAIN: &[i64] = &[3, 500];
+    const REF: &[i64] = &[4, 900];
 
     #[test]
     fn baseline_hits_after_first_run() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
-        let a = cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        let a = cache.plain_run(&m, REF, &cfg).unwrap();
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 0);
-        let b = cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        let b = cache.plain_run(&m, REF, &cfg).unwrap();
         assert_eq!(cache.stats().misses, 1);
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(a.0.cycles, b.0.cycles);
@@ -423,58 +427,43 @@ mod tests {
 
     #[test]
     fn different_args_are_different_entries() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
-        cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
-        cache
-            .baseline(&w, Scale::Test, &w.train_args, &cfg)
-            .unwrap();
+        cache.plain_run(&m, REF, &cfg).unwrap();
+        cache.plain_run(&m, TRAIN, &cfg).unwrap();
         assert_eq!(cache.stats().misses, 2);
         assert_eq!(cache.stats().hits, 0);
     }
 
     #[test]
     fn machine_config_change_invalidates_baseline() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
-        cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        cache.plain_run(&m, REF, &cfg).unwrap();
         let mut faster = cfg;
         faster.hierarchy.mem_latency += 40;
-        cache
-            .baseline(&w, Scale::Test, &w.ref_args, &faster)
-            .unwrap();
+        cache.plain_run(&m, REF, &faster).unwrap();
         assert_eq!(cache.stats().misses, 2, "changed hierarchy must re-run");
     }
 
     #[test]
     fn prefetch_config_change_keeps_baseline_but_invalidates_profiling() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
-        cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
+        cache.plain_run(&m, REF, &cfg).unwrap();
         cache
-            .profiling(
-                &w,
-                Scale::Test,
-                ProfilingVariant::EdgeCheck,
-                &w.train_args,
-                &cfg,
-            )
+            .profiling(&m, ProfilingVariant::EdgeCheck, TRAIN, &cfg)
             .unwrap();
         let mut tweaked = cfg;
         tweaked.prefetch.trip_count_threshold *= 2;
         // baseline does not observe prefetch config: hit
-        cache
-            .baseline(&w, Scale::Test, &w.ref_args, &tweaked)
-            .unwrap();
+        cache.plain_run(&m, REF, &tweaked).unwrap();
         // profiling does: miss
         cache
-            .profiling(
-                &w,
-                Scale::Test,
-                ProfilingVariant::EdgeCheck,
-                &w.train_args,
-                &tweaked,
-            )
+            .profiling(&m, ProfilingVariant::EdgeCheck, TRAIN, &tweaked)
             .unwrap();
         let s = cache.stats();
         assert_eq!(s.hits, 1);
@@ -483,31 +472,24 @@ mod tests {
 
     #[test]
     fn variants_do_not_share_profiling_entries() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
         for v in [ProfilingVariant::EdgeCheck, ProfilingVariant::NaiveAll] {
-            cache
-                .profiling(&w, Scale::Test, v, &w.train_args, &cfg)
-                .unwrap();
+            cache.profiling(&m, v, TRAIN, &cfg).unwrap();
         }
         assert_eq!(cache.stats().misses, 2);
     }
 
     #[test]
     fn cached_speedup_matches_uncached_measure() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
         let cached = cache
-            .speedup(&w, Scale::Test, ProfilingVariant::EdgeCheck, &cfg)
+            .speedup(&m, TRAIN, REF, ProfilingVariant::EdgeCheck, &cfg)
             .unwrap();
-        let direct = measure_speedup(
-            &w.module,
-            &w.train_args,
-            &w.ref_args,
-            ProfilingVariant::EdgeCheck,
-            &cfg,
-        )
-        .unwrap();
+        let direct = measure_speedup(&m, TRAIN, REF, ProfilingVariant::EdgeCheck, &cfg).unwrap();
         assert_eq!(cached.baseline_cycles, direct.baseline_cycles);
         assert_eq!(cached.prefetch_cycles, direct.prefetch_cycles);
         assert_eq!(
@@ -518,11 +500,12 @@ mod tests {
 
     #[test]
     fn cached_overhead_matches_uncached_measure() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
         let v = ProfilingVariant::NaiveLoop;
-        let cached = cache.overhead(&w, Scale::Test, v, &cfg).unwrap();
-        let direct = measure_overhead(&w.module, &w.train_args, v, &cfg).unwrap();
+        let cached = cache.overhead(&m, TRAIN, v, &cfg).unwrap();
+        let direct = measure_overhead(&m, TRAIN, v, &cfg).unwrap();
         assert_eq!(cached.edge_cycles, direct.edge_cycles);
         assert_eq!(cached.integrated_cycles, direct.integrated_cycles);
         assert!((cached.overhead - direct.overhead).abs() < 1e-12);
@@ -530,12 +513,13 @@ mod tests {
 
     #[test]
     fn overhead_reuses_speedup_profiling_run() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
         let v = ProfilingVariant::EdgeCheck;
-        cache.speedup(&w, Scale::Test, v, &cfg).unwrap();
+        cache.speedup(&m, TRAIN, REF, v, &cfg).unwrap();
         let before = cache.stats();
-        cache.overhead(&w, Scale::Test, v, &cfg).unwrap();
+        cache.overhead(&m, TRAIN, v, &cfg).unwrap();
         let after = cache.stats();
         // only the edge-only baseline is new; the profiling run hits
         assert_eq!(after.misses - before.misses, 1);
@@ -543,42 +527,43 @@ mod tests {
     }
 
     #[test]
-    fn identical_transformed_modules_share_one_run() {
-        let (w, cfg) = test_setup();
+    fn identical_modules_share_one_run_regardless_of_origin() {
+        let m = sweep_module();
+        let copy = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
-        let copy = w.module.clone();
-        cache.plain_run(&w.module, &w.ref_args, &cfg).unwrap();
-        cache.plain_run(&copy, &w.ref_args, &cfg).unwrap();
+        cache.plain_run(&m, REF, &cfg).unwrap();
+        cache.plain_run(&copy, REF, &cfg).unwrap();
         let s = cache.stats();
         assert_eq!(s.misses, 1, "content-identical modules share one run");
         assert_eq!(s.hits, 1);
     }
 
     #[test]
-    fn noop_transform_shares_the_baseline_run() {
-        let (w, cfg) = test_setup();
+    fn profiling_runs_are_content_addressed_too() {
+        let m = sweep_module();
+        let copy = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
-        let base = cache.baseline(&w, Scale::Test, &w.ref_args, &cfg).unwrap();
-        // A transform that inserted nothing leaves the module identical.
-        let untouched = w.module.clone();
-        let run = cache.plain_run(&untouched, &w.ref_args, &cfg).unwrap();
-        assert_eq!(cache.stats().hits, 1);
-        assert_eq!(base.0.cycles, run.0.cycles);
+        cache
+            .profiling(&m, ProfilingVariant::EdgeCheck, TRAIN, &cfg)
+            .unwrap();
+        cache
+            .profiling(&copy, ProfilingVariant::EdgeCheck, TRAIN, &cfg)
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "a resubmitted identical module hits");
+        assert_eq!(s.hits, 1);
     }
 
     #[test]
     fn concurrent_requests_compute_once() {
-        let (w, cfg) = test_setup();
+        let m = sweep_module();
+        let cfg = PipelineConfig::default();
         let cache = RunCache::new();
         std::thread::scope(|s| {
             for _ in 0..4 {
-                s.spawn(|| {
-                    cache
-                        .baseline(&w, Scale::Test, &w.ref_args, &cfg)
-                        .unwrap()
-                        .0
-                        .cycles
-                });
+                s.spawn(|| cache.plain_run(&m, REF, &cfg).unwrap().0.cycles);
             }
         });
         let stats = cache.stats();

@@ -1,0 +1,64 @@
+//! Stable content hashing for database keys.
+//!
+//! `std::hash::DefaultHasher` is explicitly not stable across Rust
+//! releases, so on-disk keys use FNV-1a over the module's canonical text
+//! rendering: the same module always hashes to the same key, on any
+//! toolchain, forever.
+
+use stride_ir::{module_to_string, Module};
+
+/// 64-bit FNV-1a over a byte string.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content hash of a module: FNV-1a of its canonical text form. Any
+/// change to the IR — and therefore to counter spaces or site ids —
+/// changes the hash, which is what marks database entries stale.
+pub fn module_hash(module: &Module) -> u64 {
+    fnv1a64(module_to_string(module).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{ModuleBuilder, Operand};
+
+    fn module(extra_load: bool) -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 4096);
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let (v, _) = fb.load(base, 0);
+        if extra_load {
+            let _ = fb.load(base, 8);
+        }
+        fb.ret(Some(Operand::Reg(v)));
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn equal_modules_hash_equal() {
+        assert_eq!(module_hash(&module(false)), module_hash(&module(false)));
+    }
+
+    #[test]
+    fn different_modules_hash_differently() {
+        assert_ne!(module_hash(&module(false)), module_hash(&module(true)));
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,299 @@
+//! The on-disk store: one text file per `(workload, module hash)` key
+//! under a root directory, with atomic replace on write.
+
+use crate::entry::{DbError, ProfileEntry};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One key in the database, as listed without parsing whole entries.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DbRecord {
+    /// Workload name.
+    pub workload: String,
+    /// Module content hash.
+    pub module_hash: u64,
+    /// Runs merged into the entry.
+    pub runs: u64,
+}
+
+/// A profile database rooted at a directory.
+///
+/// Concurrency: writes are atomic (temp file + rename), but read-merge-
+/// write sequences are not serialized here — the profile daemon holds the
+/// database behind a lock, and the CLI is single-shot.
+#[derive(Debug)]
+pub struct ProfileDb {
+    root: PathBuf,
+}
+
+const SUFFIX: &str = ".profdb";
+
+fn io_err(path: &Path, e: std::io::Error) -> DbError {
+    DbError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Workload names become file-name stems, so keep them to a safe charset.
+fn check_workload_name(name: &str) -> Result<(), DbError> {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.');
+    if ok {
+        Ok(())
+    } else {
+        Err(DbError::KeyMismatch(format!(
+            "workload name `{name}` not storable (allowed: alphanumerics, `_`, `-`, `.`)"
+        )))
+    }
+}
+
+impl ProfileDb {
+    /// Opens (creating if needed) a database rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] when the directory cannot be created.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self, DbError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        Ok(ProfileDb { root })
+    }
+
+    /// The database's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, workload: &str, module_hash: u64) -> PathBuf {
+        self.root
+            .join(format!("{workload}@{module_hash:016x}{SUFFIX}"))
+    }
+
+    /// Writes `entry`, replacing any previous entry under its key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on filesystem trouble and
+    /// [`DbError::KeyMismatch`] for unstorable workload names.
+    pub fn store(&self, entry: &ProfileEntry) -> Result<(), DbError> {
+        check_workload_name(&entry.workload)?;
+        let path = self.path_for(&entry.workload, entry.module_hash);
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, entry.to_text()).map_err(|e| io_err(&tmp, e))?;
+        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        Ok(())
+    }
+
+    /// Loads the entry under `(workload, module_hash)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::NotFound`] when absent, [`DbError::Parse`] for a
+    /// corrupt file, [`DbError::Io`] otherwise.
+    pub fn load(&self, workload: &str, module_hash: u64) -> Result<ProfileEntry, DbError> {
+        check_workload_name(workload)?;
+        let path = self.path_for(workload, module_hash);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(DbError::NotFound {
+                    workload: workload.to_string(),
+                    module_hash,
+                })
+            }
+            Err(e) => return Err(io_err(&path, e)),
+        };
+        let entry = ProfileEntry::from_text(&text)?;
+        if entry.workload != workload || entry.module_hash != module_hash {
+            return Err(DbError::KeyMismatch(format!(
+                "file {} holds entry for {} @ {:016x}",
+                path.display(),
+                entry.workload,
+                entry.module_hash
+            )));
+        }
+        Ok(entry)
+    }
+
+    /// Merges `entry` into the stored entry under the same key (or inserts
+    /// it) and returns the accumulated entry.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/store failures and merge key mismatches.
+    pub fn merge_store(&self, entry: &ProfileEntry) -> Result<ProfileEntry, DbError> {
+        let merged = match self.load(&entry.workload, entry.module_hash) {
+            Ok(mut existing) => {
+                existing.merge(entry)?;
+                existing
+            }
+            Err(DbError::NotFound { .. }) => entry.clone(),
+            Err(e) => return Err(e),
+        };
+        self.store(&merged)?;
+        Ok(merged)
+    }
+
+    /// Lists all keys, sorted by `(workload, module_hash)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on directory trouble; unreadable or foreign
+    /// files are skipped.
+    pub fn list(&self) -> Result<Vec<DbRecord>, DbError> {
+        let mut out = Vec::new();
+        let dir = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
+        for item in dir {
+            let item = item.map_err(|e| io_err(&self.root, e))?;
+            let name = item.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(SUFFIX)) else {
+                continue;
+            };
+            let Some((workload, hash_s)) = stem.rsplit_once('@') else {
+                continue;
+            };
+            let Ok(module_hash) = u64::from_str_radix(hash_s, 16) else {
+                continue;
+            };
+            let Ok(entry) = self.load(workload, module_hash) else {
+                continue;
+            };
+            out.push(DbRecord {
+                workload: workload.to_string(),
+                module_hash,
+                runs: entry.runs,
+            });
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Deletes the entry under a key (no-op when absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] when removal fails for another reason.
+    pub fn remove(&self, workload: &str, module_hash: u64) -> Result<(), DbError> {
+        let path = self.path_for(workload, module_hash);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(io_err(&path, e)),
+        }
+    }
+
+    /// Garbage-collects entries `live` rejects (stale module hashes,
+    /// retired workloads). Returns the removed keys.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listing and removal failures.
+    pub fn gc(&self, mut live: impl FnMut(&str, u64) -> bool) -> Result<Vec<DbRecord>, DbError> {
+        let mut removed = Vec::new();
+        for rec in self.list()? {
+            if !live(&rec.workload, rec.module_hash) {
+                self.remove(&rec.workload, rec.module_hash)?;
+                removed.push(rec);
+            }
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{FuncId, InstrId};
+    use stride_profiling::{LoadStrideProfile, StrideProfile};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("profdb-test-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn entry(workload: &str, hash: u64, total: u64) -> ProfileEntry {
+        let mut stride = StrideProfile::new();
+        stride.insert(
+            FuncId::new(0),
+            InstrId::new(1),
+            LoadStrideProfile {
+                top: vec![(48, total)],
+                total_freq: total,
+                num_zero_stride: 0,
+                num_zero_diff: total,
+                total_diffs: total,
+            },
+        );
+        ProfileEntry {
+            workload: workload.into(),
+            module_hash: hash,
+            runs: 1,
+            edge_tables: vec![vec![total, 0, 3]],
+            stride,
+        }
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let db = ProfileDb::open(tmpdir("roundtrip")).unwrap();
+        let e = entry("mcf", 0x1234, 10);
+        db.store(&e).unwrap();
+        assert_eq!(db.load("mcf", 0x1234).unwrap(), e);
+        let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn missing_entries_are_not_found() {
+        let db = ProfileDb::open(tmpdir("missing")).unwrap();
+        assert!(matches!(db.load("mcf", 1), Err(DbError::NotFound { .. })));
+        let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn merge_store_accumulates() {
+        let db = ProfileDb::open(tmpdir("merge")).unwrap();
+        let first = db.merge_store(&entry("gap", 7, 10)).unwrap();
+        assert_eq!(first.runs, 1);
+        let second = db.merge_store(&entry("gap", 7, 5)).unwrap();
+        assert_eq!(second.runs, 2);
+        assert_eq!(second.edge_tables[0][0], 15);
+        assert_eq!(
+            db.load("gap", 7)
+                .unwrap()
+                .stride
+                .get(FuncId::new(0), InstrId::new(1))
+                .unwrap()
+                .total_freq,
+            15
+        );
+        let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn list_and_gc() {
+        let db = ProfileDb::open(tmpdir("gc")).unwrap();
+        db.store(&entry("mcf", 1, 1)).unwrap();
+        db.store(&entry("mcf", 2, 1)).unwrap();
+        db.store(&entry("gap", 9, 1)).unwrap();
+        let recs = db.list().unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0].workload, "gap");
+        // keep only mcf's current module (hash 2)
+        let removed = db.gc(|w, h| w != "mcf" || h == 2).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert_eq!(removed[0].module_hash, 1);
+        assert_eq!(db.list().unwrap().len(), 2);
+        let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn hostile_workload_names_are_rejected() {
+        let db = ProfileDb::open(tmpdir("names")).unwrap();
+        let mut e = entry("ok", 1, 1);
+        e.workload = "../escape".into();
+        assert!(db.store(&e).is_err());
+        assert!(db.load("a/b", 1).is_err());
+        let _ = fs::remove_dir_all(db.root());
+    }
+}

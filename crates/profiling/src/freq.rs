@@ -184,6 +184,22 @@ impl EdgeProfile {
         }
     }
 
+    /// Read-only view of the raw per-function counter tables, in function
+    /// order (profile-database serialization: the tables carry the whole
+    /// counter space without needing the module).
+    pub fn tables(&self) -> &[Vec<u64>] {
+        &self.counts
+    }
+
+    /// Rebuilds a profile from raw counter tables produced by
+    /// [`EdgeProfile::tables`] (profile-database loading). The caller is
+    /// responsible for the tables matching the target module's counter
+    /// space; reads against a mismatched module degrade to 0 per
+    /// [`EdgeProfile::count`].
+    pub fn from_tables(counts: Vec<Vec<u64>>) -> Self {
+        EdgeProfile { counts }
+    }
+
     /// Total of all edge counters (for overhead sanity checks).
     pub fn total(&self) -> u64 {
         self.counts

@@ -82,7 +82,7 @@ impl LoadStrideProfile {
 /// `InstrId` values: lookups on the feedback path are two bounds-checked
 /// array reads instead of a hash, and iteration is in deterministic
 /// (function, site) order.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StrideProfile {
     funcs: Vec<Vec<Option<LoadStrideProfile>>>,
     len: usize,

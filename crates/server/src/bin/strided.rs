@@ -1,0 +1,103 @@
+//! `strided` — the stride-profiling daemon.
+//!
+//! ```text
+//! strided serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!               [--db PATH] [--fuel N] [--inject SPEC]
+//! ```
+//!
+//! Prints `listening on ADDR` once the socket is bound (scripts wait for
+//! that line), then serves until a `shutdown` request arrives.
+
+use std::process::ExitCode;
+use stride_core::{FaultInjector, FaultPlan};
+use stride_server::{Server, ServerConfig, ServiceConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: strided serve [--addr HOST:PORT] [--workers N] [--queue N]\n\
+         \x20                    [--db PATH] [--fuel N] [--inject SPEC]\n\
+         \n\
+         \x20 --addr     listen address (default 127.0.0.1:7311; :0 = ephemeral)\n\
+         \x20 --workers  worker threads (default 4)\n\
+         \x20 --queue    connection queue capacity (default 64)\n\
+         \x20 --db       profile database directory (default ./profdb)\n\
+         \x20 --fuel     per-request fuel deadline (default 2000000000)\n\
+         \x20 --inject   server-side fault plan, e.g. profile-zero-noise@mcf:0.5"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("serve") {
+        return usage();
+    }
+
+    let mut addr = "127.0.0.1:7311".to_string();
+    let mut workers = 4usize;
+    let mut queue_cap = 64usize;
+    let mut db = std::path::PathBuf::from("profdb");
+    let mut fuel: Option<u64> = None;
+    let mut inject: Option<String> = None;
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("strided: `{flag}` needs a value");
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--workers" => match value.parse() {
+                Ok(n) => workers = n,
+                Err(_) => return usage(),
+            },
+            "--queue" => match value.parse() {
+                Ok(n) => queue_cap = n,
+                Err(_) => return usage(),
+            },
+            "--db" => db = std::path::PathBuf::from(value),
+            "--fuel" => match value.parse() {
+                Ok(n) => fuel = Some(n),
+                Err(_) => return usage(),
+            },
+            "--inject" => inject = Some(value.clone()),
+            _ => {
+                eprintln!("strided: unknown flag `{flag}`");
+                return usage();
+            }
+        }
+    }
+
+    let mut service = ServiceConfig::new(db);
+    if let Some(fuel) = fuel {
+        service.request_fuel = fuel;
+    }
+    if let Some(spec) = inject {
+        match FaultPlan::parse(&spec) {
+            Ok(plan) => service.injector = Some(FaultInjector::new(plan)),
+            Err(e) => {
+                eprintln!("strided: bad --inject plan: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let config = ServerConfig {
+        addr,
+        workers,
+        queue_cap,
+        service,
+    };
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("strided: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.join();
+    println!("strided: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,44 @@
+//! A blocking client for the daemon: one TCP connection, framed
+//! request/response round trips. This is all `stridectl` needs.
+
+use crate::proto::{read_frame, write_frame, Request, Response};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a running daemon. Requests are pipelinable in
+/// principle, but [`Client::call`] keeps the simple lockstep discipline:
+/// send one frame, read one frame.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Request/response ping-pong over small frames: Nagle only adds
+        // latency here, never useful batching.
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends `req` and waits for the daemon's response.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, a server that hung up mid-exchange, or an
+    /// unparseable response frame. Server-side failures are *not* `Err`:
+    /// they arrive as [`Response::Err`] with a typed [`crate::ErrorKind`].
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.to_bytes())?;
+        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        Response::from_bytes(&payload)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+}

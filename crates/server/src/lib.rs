@@ -1,0 +1,35 @@
+// Library code must degrade gracefully instead of panicking; unwrap and
+// expect are allowed only under cfg(test).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+//! The stride-profiling service: a long-running daemon that accepts
+//! modules over a framed TCP protocol, runs the paper's profiling and
+//! prefetching pipeline on them, and accumulates profiles across runs in
+//! an on-disk [`stride_profdb::ProfileDb`].
+//!
+//! The design is deliberately std-only (no async runtime, no
+//! serialization framework): a `TcpListener`, a bounded connection queue
+//! for backpressure, and a pool of worker threads that reuse the
+//! reproduction's panic-isolating execution engine
+//! ([`stride_core::parallel_map_isolated`]) so a panicking request
+//! degrades to a typed wire error while sibling requests complete.
+//! Requests are plain text inside length-prefixed frames, auditable with
+//! a hexdump.
+//!
+//! Determinism contract: a `profile` response carries exactly the bytes
+//! that [`stride_core::run_profiling`] + [`stride_profdb::ProfileEntry`]
+//! produce for the same module/variant/args, at any worker count and
+//! client concurrency — the loopback integration test holds the daemon to
+//! byte identity with direct pipeline calls.
+
+pub mod client;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod service;
+
+pub use client::Client;
+pub use proto::{read_frame, write_frame, ErrorKind, Request, Response, MAX_FRAME};
+pub use queue::BoundedQueue;
+pub use server::{Server, ServerConfig};
+pub use service::{render_classification, render_speedup, Service, ServiceConfig};

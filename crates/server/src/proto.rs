@@ -1,0 +1,520 @@
+//! Wire protocol: length-prefixed frames carrying line-oriented text
+//! requests and responses.
+//!
+//! A frame is a big-endian `u32` payload length followed by the payload.
+//! A request payload is one header line — `verb key=value ...` — plus an
+//! optional body after the first newline (IR text, profile entries). A
+//! response payload is `ok` or `err <kind>` on the first line, body
+//! after.
+
+use std::io::{Read, Write};
+use stride_core::{PipelineError, ProfilingVariant};
+use stride_profdb::DbError;
+
+/// Frames larger than this are rejected as a protocol error (guards the
+/// daemon against a garbage length prefix allocating gigabytes).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// I/O failures, truncated frames, and oversized lengths.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "truncated frame length",
+            ));
+        }
+        filled += n;
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one frame.
+///
+/// # Errors
+///
+/// Propagates I/O failures; rejects payloads over [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    // One write per frame: splitting the length prefix from the payload
+    // creates a write-write-read pattern that Nagle + delayed ACK turn
+    // into ~40 ms stalls per round trip on loopback TCP.
+    let mut frame = Vec::with_capacity(4 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    frame.extend_from_slice(payload);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// A service request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Register (or replace) a workload's module from IR text.
+    SubmitModule {
+        /// Workload name the module is stored under.
+        workload: String,
+        /// IR text (`stride_ir` syntax).
+        text: String,
+    },
+    /// Run one profiling pass and merge the result into the database.
+    Profile {
+        /// A previously submitted workload.
+        workload: String,
+        /// Profiling variant.
+        variant: ProfilingVariant,
+        /// Entry-function arguments (the train input).
+        args: Vec<i64>,
+    },
+    /// Profile and report the Fig. 5 classification.
+    Classify {
+        /// A previously submitted workload.
+        workload: String,
+        /// Profiling variant.
+        variant: ProfilingVariant,
+        /// Entry-function arguments (the train input).
+        args: Vec<i64>,
+    },
+    /// The full speedup experiment: profile on the train input, feed
+    /// back, measure baseline vs. prefetching binaries on the ref input.
+    Prefetch {
+        /// A previously submitted workload.
+        workload: String,
+        /// Profiling variant.
+        variant: ProfilingVariant,
+        /// Train input.
+        train_args: Vec<i64>,
+        /// Reference input.
+        ref_args: Vec<i64>,
+    },
+    /// Fetch the accumulated database entry for a workload's current
+    /// module.
+    GetProfile {
+        /// A previously submitted workload.
+        workload: String,
+    },
+    /// Merge a client-supplied profile entry into the database.
+    MergeProfile {
+        /// A serialized [`stride_profdb::ProfileEntry`].
+        entry_text: String,
+    },
+    /// Service counters.
+    Stats,
+    /// Drain queued work and stop the daemon.
+    Shutdown,
+}
+
+fn fmt_args(args: &[i64]) -> String {
+    args.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_args(s: &str) -> Result<Vec<i64>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| {
+            p.parse::<i64>()
+                .map_err(|_| format!("bad argument `{p}` (expected integer)"))
+        })
+        .collect()
+}
+
+/// The `key=value` fields of a request header line.
+type Fields<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits a header line into its verb and `key=value` fields.
+fn fields(header: &str) -> Result<(&str, Fields<'_>), String> {
+    let mut parts = header.split_whitespace();
+    let Some(verb) = parts.next() else {
+        return Err("empty request".to_string());
+    };
+    let mut kv = Vec::new();
+    for part in parts {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(format!("expected key=value, got `{part}`"));
+        };
+        kv.push((k, v));
+    }
+    Ok((verb, kv))
+}
+
+fn take<'a>(kv: &[(&str, &'a str)], key: &str) -> Result<&'a str, String> {
+    kv.iter()
+        .find(|(k, _)| *k == key)
+        .map(|&(_, v)| v)
+        .ok_or_else(|| format!("missing `{key}=`"))
+}
+
+impl Request {
+    /// Serializes for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let text = match self {
+            Request::SubmitModule { workload, text } => {
+                format!("submit workload={workload}\n{text}")
+            }
+            Request::Profile {
+                workload,
+                variant,
+                args,
+            } => format!(
+                "profile workload={workload} variant={variant} args={}",
+                fmt_args(args)
+            ),
+            Request::Classify {
+                workload,
+                variant,
+                args,
+            } => format!(
+                "classify workload={workload} variant={variant} args={}",
+                fmt_args(args)
+            ),
+            Request::Prefetch {
+                workload,
+                variant,
+                train_args,
+                ref_args,
+            } => format!(
+                "prefetch workload={workload} variant={variant} train={} ref={}",
+                fmt_args(train_args),
+                fmt_args(ref_args)
+            ),
+            Request::GetProfile { workload } => format!("get-profile workload={workload}"),
+            Request::MergeProfile { entry_text } => format!("merge-profile\n{entry_text}"),
+            Request::Stats => "stats".to_string(),
+            Request::Shutdown => "shutdown".to_string(),
+        };
+        text.into_bytes()
+    }
+
+    /// Parses a request payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the malformed header (surfaced to the
+    /// client as an [`ErrorKind::Proto`] error).
+    pub fn from_bytes(payload: &[u8]) -> Result<Request, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
+        let (header, body) = match text.split_once('\n') {
+            Some((h, b)) => (h, b),
+            None => (text, ""),
+        };
+        let (verb, kv) = fields(header)?;
+        let variant_of = |kv: &[(&str, &str)]| -> Result<ProfilingVariant, String> {
+            take(kv, "variant")?.parse::<ProfilingVariant>()
+        };
+        match verb {
+            "submit" => Ok(Request::SubmitModule {
+                workload: take(&kv, "workload")?.to_string(),
+                text: body.to_string(),
+            }),
+            "profile" => Ok(Request::Profile {
+                workload: take(&kv, "workload")?.to_string(),
+                variant: variant_of(&kv)?,
+                args: parse_args(take(&kv, "args")?)?,
+            }),
+            "classify" => Ok(Request::Classify {
+                workload: take(&kv, "workload")?.to_string(),
+                variant: variant_of(&kv)?,
+                args: parse_args(take(&kv, "args")?)?,
+            }),
+            "prefetch" => Ok(Request::Prefetch {
+                workload: take(&kv, "workload")?.to_string(),
+                variant: variant_of(&kv)?,
+                train_args: parse_args(take(&kv, "train")?)?,
+                ref_args: parse_args(take(&kv, "ref")?)?,
+            }),
+            "get-profile" => Ok(Request::GetProfile {
+                workload: take(&kv, "workload")?.to_string(),
+            }),
+            "merge-profile" => Ok(Request::MergeProfile {
+                entry_text: body.to_string(),
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown request verb `{other}`")),
+        }
+    }
+}
+
+/// Typed failure categories on the wire — the client can react to the
+/// kind without parsing prose.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The pipeline VM aborted (fuel, wild access, ...).
+    Vm,
+    /// IR or profile text failed to parse.
+    Parse,
+    /// Structurally unusable input.
+    Malformed,
+    /// A fault-injection plan string was invalid.
+    BadFaultPlan,
+    /// The request handler panicked (isolated; the daemon keeps serving).
+    Panic,
+    /// The connection queue was full — retry later.
+    Busy,
+    /// The request itself violated the protocol.
+    Proto,
+    /// No such workload / profile entry.
+    NotFound,
+    /// The stored profile was taken on a different module version.
+    Stale,
+}
+
+impl ErrorKind {
+    /// Stable wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::Vm => "vm",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Malformed => "malformed",
+            ErrorKind::BadFaultPlan => "bad-fault-plan",
+            ErrorKind::Panic => "panic",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Proto => "proto",
+            ErrorKind::NotFound => "not-found",
+            ErrorKind::Stale => "stale",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "vm" => ErrorKind::Vm,
+            "parse" => ErrorKind::Parse,
+            "malformed" => ErrorKind::Malformed,
+            "bad-fault-plan" => ErrorKind::BadFaultPlan,
+            "panic" => ErrorKind::Panic,
+            "busy" => ErrorKind::Busy,
+            "proto" => ErrorKind::Proto,
+            "not-found" => ErrorKind::NotFound,
+            "stale" => ErrorKind::Stale,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&PipelineError> for ErrorKind {
+    fn from(e: &PipelineError) -> Self {
+        match e {
+            PipelineError::Vm(_) => ErrorKind::Vm,
+            PipelineError::Parse(_) => ErrorKind::Parse,
+            PipelineError::Malformed(_) => ErrorKind::Malformed,
+            PipelineError::BadFaultPlan(_) => ErrorKind::BadFaultPlan,
+        }
+    }
+}
+
+impl From<&DbError> for ErrorKind {
+    fn from(e: &DbError) -> Self {
+        match e {
+            DbError::Io(_) => ErrorKind::Malformed,
+            DbError::Parse(_) => ErrorKind::Parse,
+            DbError::Stale { .. } => ErrorKind::Stale,
+            DbError::KeyMismatch(_) => ErrorKind::Malformed,
+            DbError::NotFound { .. } => ErrorKind::NotFound,
+        }
+    }
+}
+
+/// A service response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Success; `body` is request-specific text.
+    Ok(String),
+    /// Typed failure.
+    Err {
+        /// Failure category.
+        kind: ErrorKind,
+        /// Human-readable detail (may be multi-line, e.g. caret
+        /// diagnostics).
+        message: String,
+    },
+}
+
+impl Response {
+    /// Builds an error response from any typed error.
+    pub fn err(kind: ErrorKind, message: impl Into<String>) -> Response {
+        Response::Err {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// Serializes for the wire.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            Response::Ok(body) => format!("ok\n{body}").into_bytes(),
+            Response::Err { kind, message } => format!("err {kind}\n{message}").into_bytes(),
+        }
+    }
+
+    /// Parses a response payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the payload is not a valid response.
+    pub fn from_bytes(payload: &[u8]) -> Result<Response, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "response is not UTF-8".to_string())?;
+        let (header, body) = match text.split_once('\n') {
+            Some((h, b)) => (h, b),
+            None => (text, ""),
+        };
+        if header == "ok" {
+            return Ok(Response::Ok(body.to_string()));
+        }
+        if let Some(kind_s) = header.strip_prefix("err ") {
+            let kind = ErrorKind::parse(kind_s.trim())
+                .ok_or_else(|| format!("unknown error kind `{kind_s}`"))?;
+            return Ok(Response::Err {
+                kind,
+                message: body.to_string(),
+            });
+        }
+        Err(format!("bad response header `{header}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_frames_are_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        assert!(read_frame(&mut &buf[..]).is_err());
+    }
+
+    #[test]
+    fn truncated_frames_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(6);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let requests = [
+            Request::SubmitModule {
+                workload: "mcf".into(),
+                text: "fn @main() {\n}\n".into(),
+            },
+            Request::Profile {
+                workload: "mcf".into(),
+                variant: stride_core::ProfilingVariant::EdgeCheck,
+                args: vec![3, 500],
+            },
+            Request::Classify {
+                workload: "gap".into(),
+                variant: stride_core::ProfilingVariant::SampleNaiveAll,
+                args: vec![],
+            },
+            Request::Prefetch {
+                workload: "parser".into(),
+                variant: stride_core::ProfilingVariant::TwoPass,
+                train_args: vec![1],
+                ref_args: vec![-2, 9],
+            },
+            Request::GetProfile {
+                workload: "mcf".into(),
+            },
+            Request::MergeProfile {
+                entry_text: "# profdb v1\nworkload x\nmodule 00ff\nruns 1\n".into(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in requests {
+            let back = Request::from_bytes(&req.to_bytes()).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(Request::from_bytes(b"").is_err());
+        assert!(Request::from_bytes(b"bogus-verb").is_err());
+        assert!(Request::from_bytes(b"profile workload=x").is_err());
+        assert!(Request::from_bytes(b"profile workload=x variant=nope args=1").is_err());
+        assert!(Request::from_bytes(b"profile workload=x variant=edge-check args=one").is_err());
+        assert!(Request::from_bytes(&[0xff, 0xfe]).is_err());
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Ok("body\nlines\n".into()),
+            Response::Ok(String::new()),
+            Response::err(ErrorKind::Vm, "vm: out of fuel"),
+            Response::err(ErrorKind::Busy, ""),
+        ];
+        for resp in responses {
+            let back = Response::from_bytes(&resp.to_bytes()).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn every_error_kind_round_trips() {
+        for kind in [
+            ErrorKind::Vm,
+            ErrorKind::Parse,
+            ErrorKind::Malformed,
+            ErrorKind::BadFaultPlan,
+            ErrorKind::Panic,
+            ErrorKind::Busy,
+            ErrorKind::Proto,
+            ErrorKind::NotFound,
+            ErrorKind::Stale,
+        ] {
+            assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(ErrorKind::parse("nope"), None);
+    }
+}

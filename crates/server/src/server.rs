@@ -1,0 +1,285 @@
+//! The daemon: acceptor thread, bounded connection queue, worker pool,
+//! graceful drain-then-shutdown.
+
+use crate::proto::{read_frame, write_frame, ErrorKind, Request, Response};
+use crate::queue::BoundedQueue;
+use crate::service::{Service, ServiceConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use stride_core::parallel_map_isolated;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Bounded connection-queue capacity; connections arriving beyond it
+    /// are answered with a `busy` error and closed (backpressure instead
+    /// of unbounded memory).
+    pub queue_cap: usize,
+    /// Everything request handling needs.
+    pub service: ServiceConfig,
+}
+
+impl ServerConfig {
+    /// Loopback on an ephemeral port, 4 workers, a 64-connection queue.
+    pub fn loopback(service: ServiceConfig) -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            service,
+        }
+    }
+}
+
+struct Shared {
+    queue: BoundedQueue<TcpStream>,
+    service: Service,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon; dropping the handle does *not* stop it — send a
+/// `shutdown` request or call [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and `workers` worker threads, and
+    /// returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Socket or database-directory failures.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let service = Service::new(config.service)
+            .map_err(|e| io::Error::other(format!("profile db: {e}")))?;
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_cap.max(1)),
+            service,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+        }
+        for _ in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        Ok(Server {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Triggers shutdown as if a `shutdown` request had arrived: stop
+    /// accepting, drain queued connections, stop the workers.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for the daemon to finish (after a shutdown trigger).
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Convenience: trigger shutdown and wait.
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    // Close the queue: workers drain the backlog and stop. Wake the
+    // acceptor (blocked in accept) with a throwaway connection.
+    shared.queue.close();
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            // Accept errors are transient (EMFILE, aborted handshakes);
+            // only a shutdown ends the loop below.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the wake-up connection (or a late client) is dropped
+        }
+        let _ = stream.set_nodelay(true); // small-frame ping-pong protocol
+        if let Err(stream) = shared.queue.try_push(stream) {
+            // Backpressure: answer `busy` on the acceptor thread (cheap)
+            // and close.
+            let mut stream = stream;
+            let resp = Response::err(ErrorKind::Busy, "connection queue full, retry later");
+            let _ = write_frame(&mut stream, &resp.to_bytes());
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.queue.pop() {
+        serve_connection(stream, shared);
+    }
+}
+
+/// Serves one connection to EOF (or protocol breakdown). Each request is
+/// handled under `catch_unwind` via the reproduction's panic-isolating
+/// map, so a handler bug answers `err panic` and the daemon lives on.
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return, // client done
+            Err(_) => return,   // torn connection
+        };
+        let req = match Request::from_bytes(&payload) {
+            Ok(r) => r,
+            Err(msg) => {
+                let resp = Response::err(ErrorKind::Proto, msg);
+                if write_frame(&mut stream, &resp.to_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if matches!(req, Request::Shutdown) {
+            let resp = Response::Ok("shutting down\n".to_string());
+            let _ = write_frame(&mut stream, &resp.to_bytes());
+            if let Ok(addr) = stream.local_addr() {
+                trigger_shutdown(shared, addr);
+            }
+            return;
+        }
+        let mut results = parallel_map_isolated(std::slice::from_ref(&req), 1, |_, r| {
+            shared.service.handle(r)
+        });
+        let resp = match results.pop() {
+            Some(Ok(resp)) => resp,
+            Some(Err(failure)) => Response::err(
+                ErrorKind::Panic,
+                format!("request handler panicked: {}", failure.message),
+            ),
+            None => Response::err(ErrorKind::Panic, "request handler vanished"),
+        };
+        if write_frame(&mut stream, &resp.to_bytes()).is_err() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+
+    fn tmp_config(tag: &str) -> ServerConfig {
+        let root =
+            std::env::temp_dir().join(format!("stride-server-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        ServerConfig::loopback(ServiceConfig::new(root))
+    }
+
+    #[test]
+    fn starts_serves_and_shuts_down() {
+        let cfg = tmp_config("basic");
+        let root = cfg.service.db_root.clone();
+        let server = Server::start(cfg).unwrap();
+        let addr = server.addr();
+        let mut client = Client::connect(addr).unwrap();
+        let resp = client.call(&Request::Stats).unwrap();
+        assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+        let resp = client.call(&Request::Shutdown).unwrap();
+        assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+        server.join();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn protocol_garbage_gets_typed_error() {
+        let cfg = tmp_config("proto");
+        let root = cfg.service.db_root.clone();
+        let server = Server::start(cfg).unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        write_frame(&mut stream, b"no-such-verb x=1").unwrap();
+        let payload = read_frame(&mut stream).unwrap().unwrap();
+        let resp = Response::from_bytes(&payload).unwrap();
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    kind: ErrorKind::Proto,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        drop(stream);
+        server.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn busy_when_queue_overflows() {
+        let mut cfg = tmp_config("busy");
+        let root = cfg.service.db_root.clone();
+        cfg.workers = 1;
+        cfg.queue_cap = 1;
+        let server = Server::start(cfg).unwrap();
+        let addr = server.addr();
+        // Occupy the single worker with an open connection...
+        let hold = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // ...fill the queue with a second...
+        let fill = TcpStream::connect(addr).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        // ...so a third is refused with `busy`.
+        let mut refused = TcpStream::connect(addr).unwrap();
+        let payload = read_frame(&mut refused).unwrap().unwrap();
+        let resp = Response::from_bytes(&payload).unwrap();
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    kind: ErrorKind::Busy,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        // Close both held connections before joining: a worker that pops
+        // one during the drain would otherwise block on it forever.
+        drop(hold);
+        drop(fill);
+        server.shutdown_and_join();
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

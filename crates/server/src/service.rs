@@ -1,0 +1,598 @@
+//! Request handling: the daemon's state (module registry, run cache,
+//! profile database) and the pure `Request -> Response` function the
+//! worker pool drives.
+
+use crate::proto::{ErrorKind, Request, Response};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use stride_core::{
+    classify, corrupt_ir_text, run_profiling, Classification, FaultInjector, PipelineConfig,
+    PipelineError, ProfilingVariant, RunCache, SpeedupOutcome,
+};
+use stride_ir::{module_from_string, module_to_string, Module};
+use stride_profdb::{module_hash, DbError, ProfileDb, ProfileEntry};
+use stride_profiling::{EdgeProfile, StrideProfile};
+
+/// Daemon configuration independent of the listening socket.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Where the profile database lives.
+    pub db_root: PathBuf,
+    /// Per-request fuel deadline: every request's VM runs get at most
+    /// this many dynamic instructions (clamped into the pipeline config,
+    /// so a hostile module cannot wedge a worker).
+    pub request_fuel: u64,
+    /// Pipeline configuration shared by all requests.
+    pub pipeline: PipelineConfig,
+    /// Optional server-side fault injection (soak testing the typed
+    /// error paths).
+    pub injector: Option<FaultInjector>,
+}
+
+impl ServiceConfig {
+    /// Defaults: database under `dir`, a 2-billion-instruction deadline,
+    /// paper pipeline configuration, no fault injection.
+    pub fn new(db_root: impl Into<PathBuf>) -> Self {
+        ServiceConfig {
+            db_root: db_root.into(),
+            request_fuel: 2_000_000_000,
+            pipeline: PipelineConfig::default(),
+            injector: None,
+        }
+    }
+}
+
+/// Monotonic service counters (the `stats` response).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// The daemon's shared state; `handle` is safe to call from any number of
+/// worker threads.
+pub struct Service {
+    config: ServiceConfig,
+    effective: PipelineConfig,
+    db: Mutex<ProfileDb>,
+    modules: Mutex<HashMap<String, Arc<Module>>>,
+    cache: RunCache,
+    counters: Counters,
+}
+
+impl Service {
+    /// Opens the database and builds the service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError`] when the database root cannot be created.
+    pub fn new(config: ServiceConfig) -> Result<Self, DbError> {
+        let db = ProfileDb::open(&config.db_root)?;
+        let mut effective = config.pipeline;
+        effective.vm.fuel = effective.vm.fuel.min(config.request_fuel);
+        Ok(Service {
+            effective,
+            db: Mutex::new(db),
+            modules: Mutex::new(HashMap::new()),
+            cache: RunCache::new(),
+            counters: Counters::default(),
+            config,
+        })
+    }
+
+    /// The pipeline configuration requests actually run under (fuel
+    /// deadline applied).
+    pub fn pipeline_config(&self) -> &PipelineConfig {
+        &self.effective
+    }
+
+    fn module_of(&self, workload: &str) -> Result<Arc<Module>, Response> {
+        self.modules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(workload)
+            .cloned()
+            .ok_or_else(|| {
+                Response::err(
+                    ErrorKind::NotFound,
+                    format!("no module submitted for workload `{workload}`"),
+                )
+            })
+    }
+
+    /// Runs one profiling pass, applying any server-side fault plan that
+    /// targets `workload`. Faulted runs bypass the run cache so clean
+    /// requests never see perturbed results.
+    fn profiles_for(
+        &self,
+        workload: &str,
+        module: &Module,
+        variant: ProfilingVariant,
+        args: &[i64],
+    ) -> Result<(EdgeProfile, StrideProfile, stride_profiling::FreqSource), PipelineError> {
+        if let Some(injector) = self
+            .config
+            .injector
+            .as_ref()
+            .filter(|i| i.affects(workload))
+        {
+            if injector.wants_malformed_ir(workload) {
+                let text = corrupt_ir_text(injector.plan().seed, &module_to_string(module));
+                module_from_string(&text)?;
+            }
+            let mut config = self.effective;
+            config.vm = injector.vm_overrides(workload, config.vm);
+            let outcome = run_profiling(module, args, variant, &config)?;
+            let (mut edge, mut stride) = (outcome.edge, outcome.stride);
+            injector.apply_to_profiles(workload, &mut edge, &mut stride);
+            return Ok((edge, stride, outcome.source));
+        }
+        let outcome = self
+            .cache
+            .profiling(module, variant, args, &self.effective)?;
+        Ok((outcome.edge.clone(), outcome.stride.clone(), outcome.source))
+    }
+
+    /// Handles one request. Never panics by contract of the individual
+    /// handlers; the worker pool still wraps this in `catch_unwind` so a
+    /// bug degrades to an [`ErrorKind::Panic`] wire error.
+    pub fn handle(&self, req: &Request) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let resp = self.dispatch(req);
+        if matches!(resp, Response::Err { .. }) {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        resp
+    }
+
+    fn dispatch(&self, req: &Request) -> Response {
+        match req {
+            Request::SubmitModule { workload, text } => self.submit(workload, text),
+            Request::Profile {
+                workload,
+                variant,
+                args,
+            } => self.profile(workload, *variant, args),
+            Request::Classify {
+                workload,
+                variant,
+                args,
+            } => self.classify_req(workload, *variant, args),
+            Request::Prefetch {
+                workload,
+                variant,
+                train_args,
+                ref_args,
+            } => self.prefetch(workload, *variant, train_args, ref_args),
+            Request::GetProfile { workload } => self.get_profile(workload),
+            Request::MergeProfile { entry_text } => self.merge_profile(entry_text),
+            Request::Stats => Response::Ok(self.stats_body()),
+            // The server layer intercepts Shutdown before dispatch; reply
+            // affirmatively anyway for direct (in-process) callers.
+            Request::Shutdown => Response::Ok("shutting down\n".to_string()),
+        }
+    }
+
+    fn submit(&self, workload: &str, text: &str) -> Response {
+        let module = match module_from_string(text) {
+            Ok(m) => m,
+            Err(e) => {
+                // Caret-rendered diagnostic: line, source, position.
+                return Response::err(ErrorKind::Parse, e.render(text));
+            }
+        };
+        let hash = module_hash(&module);
+        self.modules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(workload.to_string(), Arc::new(module));
+        Response::Ok(format!("module {hash:016x}\n"))
+    }
+
+    fn profile(&self, workload: &str, variant: ProfilingVariant, args: &[i64]) -> Response {
+        let module = match self.module_of(workload) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let (edge, stride, _) = match self.profiles_for(workload, &module, variant, args) {
+            Ok(p) => p,
+            Err(e) => return pipeline_err(&e),
+        };
+        let entry = ProfileEntry::from_run(workload, module_hash(&module), &edge, &stride);
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        if let Err(e) = db.merge_store(&entry) {
+            return db_err(&e);
+        }
+        // The response is the *fresh* run's entry (runs=1): deterministic
+        // bytes regardless of how many runs the database has accumulated.
+        Response::Ok(entry.to_text())
+    }
+
+    fn classify_req(&self, workload: &str, variant: ProfilingVariant, args: &[i64]) -> Response {
+        let module = match self.module_of(workload) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let (edge, stride, source) = match self.profiles_for(workload, &module, variant, args) {
+            Ok(p) => p,
+            Err(e) => return pipeline_err(&e),
+        };
+        let classification = classify(&module, &stride, &edge, source, &self.effective.prefetch);
+        Response::Ok(render_classification(&classification))
+    }
+
+    fn prefetch(
+        &self,
+        workload: &str,
+        variant: ProfilingVariant,
+        train_args: &[i64],
+        ref_args: &[i64],
+    ) -> Response {
+        let module = match self.module_of(workload) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let result = match self
+            .config
+            .injector
+            .as_ref()
+            .filter(|i| i.affects(workload))
+        {
+            Some(injector) => self.cache.speedup_faulted(
+                &module,
+                workload,
+                train_args,
+                ref_args,
+                variant,
+                &self.effective,
+                injector,
+            ),
+            None => self
+                .cache
+                .speedup(&module, train_args, ref_args, variant, &self.effective),
+        };
+        match result {
+            Ok(outcome) => Response::Ok(render_speedup(&outcome)),
+            Err(e) => pipeline_err(&e),
+        }
+    }
+
+    fn get_profile(&self, workload: &str) -> Response {
+        let module = match self.module_of(workload) {
+            Ok(m) => m,
+            Err(resp) => return resp,
+        };
+        let hash = module_hash(&module);
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        match db.load(workload, hash) {
+            Ok(entry) => Response::Ok(entry.to_text()),
+            Err(e) => db_err(&e),
+        }
+    }
+
+    fn merge_profile(&self, entry_text: &str) -> Response {
+        let entry = match ProfileEntry::from_text(entry_text) {
+            Ok(e) => e,
+            Err(e) => return db_err(&e),
+        };
+        // Staleness check: if the workload's module is registered, the
+        // incoming entry must match its current content hash.
+        if let Ok(module) = self.module_of(&entry.workload) {
+            if let Err(e) = entry.check_fresh(module_hash(&module)) {
+                return db_err(&e);
+            }
+        }
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        match db.merge_store(&entry) {
+            Ok(merged) => Response::Ok(format!("{}\n", merged.summary())),
+            Err(e) => db_err(&e),
+        }
+    }
+
+    fn stats_body(&self) -> String {
+        let cache = self.cache.stats();
+        let db_entries = self
+            .db
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .list()
+            .map(|l| l.len())
+            .unwrap_or(0);
+        let modules = self
+            .modules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len();
+        format!(
+            "requests {}\nerrors {}\nmodules {}\ndb-entries {}\ncache-hits {}\ncache-misses {}\n",
+            self.counters.requests.load(Ordering::Relaxed),
+            self.counters.errors.load(Ordering::Relaxed),
+            modules,
+            db_entries,
+            cache.hits,
+            cache.misses,
+        )
+    }
+}
+
+fn pipeline_err(e: &PipelineError) -> Response {
+    Response::err(ErrorKind::from(e), e.to_string())
+}
+
+fn db_err(e: &DbError) -> Response {
+    Response::err(ErrorKind::from(e), e.to_string())
+}
+
+/// Deterministic text rendering of a classification (the `classify`
+/// response body). Stable across worker counts and request interleavings.
+pub fn render_classification(c: &Classification) -> String {
+    let mut out = format!(
+        "loads {} filtered-low-freq {} filtered-low-trip {} no-pattern {}\n",
+        c.loads.len(),
+        c.filtered_low_freq,
+        c.filtered_low_trip,
+        c.no_pattern
+    );
+    for l in &c.loads {
+        let _ = writeln!(
+            out,
+            "load {} {} class={} stride={} tc={:.2} freq={}",
+            l.func, l.site, l.class, l.dominant_stride, l.trip_count, l.freq
+        );
+    }
+    out
+}
+
+/// Deterministic text rendering of a speedup outcome (the `prefetch`
+/// response body).
+pub fn render_speedup(o: &SpeedupOutcome) -> String {
+    format!(
+        "baseline-cycles {}\nprefetch-cycles {}\nspeedup {:.6}\nprefetch-sites {}\nprefetches-inserted {}\nprefetches-issued {}\n",
+        o.baseline_cycles,
+        o.prefetch_cycles,
+        o.speedup,
+        o.classification.loads.len(),
+        o.report.prefetches_inserted,
+        o.prefetch_mem.prefetches_issued,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stride_ir::{ModuleBuilder, Operand};
+
+    fn tmp_service(tag: &str) -> Service {
+        let root =
+            std::env::temp_dir().join(format!("stride-service-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        Service::new(ServiceConfig::new(root)).unwrap()
+    }
+
+    /// Repeated strided sweeps over a big array (profilable, prefetchable).
+    fn sweep_text() -> String {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 1 << 18);
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let sum = fb.mov(0i64);
+        fb.counted_loop(fb.param(0), |fb, _| {
+            fb.counted_loop(2000i64, |fb, i| {
+                let off = fb.mul(i, 64i64);
+                let a = fb.add(base, off);
+                let (v, _) = fb.load(a, 0);
+                fb.bin_to(sum, stride_ir::BinOp::Add, sum, v);
+            });
+        });
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        module_to_string(&mb.finish())
+    }
+
+    fn ok_body(resp: Response) -> String {
+        match resp {
+            Response::Ok(body) => body,
+            Response::Err { kind, message } => panic!("unexpected error {kind}: {message}"),
+        }
+    }
+
+    #[test]
+    fn submit_profile_get_round_trip() {
+        let svc = tmp_service("roundtrip");
+        let text = sweep_text();
+        let body = ok_body(svc.handle(&Request::SubmitModule {
+            workload: "sweep".into(),
+            text: text.clone(),
+        }));
+        assert!(body.starts_with("module "), "{body}");
+
+        let profile = Request::Profile {
+            workload: "sweep".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            args: vec![3],
+        };
+        let first = ok_body(svc.handle(&profile));
+        assert!(first.contains("runs 1"), "{first}");
+        // Same request twice: identical fresh-run bytes...
+        assert_eq!(ok_body(svc.handle(&profile)), first);
+        // ...while the database accumulated both runs.
+        let stored = ok_body(svc.handle(&Request::GetProfile {
+            workload: "sweep".into(),
+        }));
+        assert!(stored.contains("runs 2"), "{stored}");
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn classify_and_prefetch_report() {
+        let svc = tmp_service("classify");
+        ok_body(svc.handle(&Request::SubmitModule {
+            workload: "sweep".into(),
+            text: sweep_text(),
+        }));
+        let c = ok_body(svc.handle(&Request::Classify {
+            workload: "sweep".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            args: vec![4],
+        }));
+        assert!(c.starts_with("loads "), "{c}");
+        let p = ok_body(svc.handle(&Request::Prefetch {
+            workload: "sweep".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            train_args: vec![3],
+            ref_args: vec![5],
+        }));
+        assert!(p.contains("speedup "), "{p}");
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn unknown_workload_is_not_found() {
+        let svc = tmp_service("notfound");
+        let resp = svc.handle(&Request::GetProfile {
+            workload: "nope".into(),
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    kind: ErrorKind::NotFound,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn bad_ir_is_a_located_parse_error() {
+        let svc = tmp_service("badir");
+        let resp = svc.handle(&Request::SubmitModule {
+            workload: "x".into(),
+            text: "fn @main( {".into(),
+        });
+        let Response::Err { kind, message } = resp else {
+            panic!("expected parse error")
+        };
+        assert_eq!(kind, ErrorKind::Parse);
+        assert!(message.contains('^'), "caret diagnostic: {message}");
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn fuel_deadline_is_enforced() {
+        let root = std::env::temp_dir().join(format!("stride-service-fuel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = ServiceConfig::new(root);
+        cfg.request_fuel = 10_000; // far below what the sweep needs
+        let svc = Service::new(cfg).unwrap();
+        ok_body(svc.handle(&Request::SubmitModule {
+            workload: "sweep".into(),
+            text: sweep_text(),
+        }));
+        let resp = svc.handle(&Request::Profile {
+            workload: "sweep".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            args: vec![3],
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    kind: ErrorKind::Vm,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn server_side_faults_surface_as_typed_errors() {
+        let root =
+            std::env::temp_dir().join(format!("stride-service-fault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let mut cfg = ServiceConfig::new(root);
+        let plan = stride_core::FaultPlan::parse("seed=7;malformed-ir@sweep").unwrap();
+        cfg.injector = Some(FaultInjector::new(plan));
+        let svc = Service::new(cfg).unwrap();
+        ok_body(svc.handle(&Request::SubmitModule {
+            workload: "sweep".into(),
+            text: sweep_text(),
+        }));
+        let resp = svc.handle(&Request::Profile {
+            workload: "sweep".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            args: vec![3],
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    kind: ErrorKind::Parse,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        // A workload the plan does not target still profiles cleanly.
+        ok_body(svc.handle(&Request::SubmitModule {
+            workload: "clean".into(),
+            text: sweep_text(),
+        }));
+        ok_body(svc.handle(&Request::Profile {
+            workload: "clean".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            args: vec![3],
+        }));
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn stale_merge_is_rejected() {
+        let svc = tmp_service("stale");
+        ok_body(svc.handle(&Request::SubmitModule {
+            workload: "sweep".into(),
+            text: sweep_text(),
+        }));
+        let entry = ProfileEntry {
+            workload: "sweep".into(),
+            module_hash: 0xdead_beef,
+            runs: 1,
+            edge_tables: vec![],
+            stride: StrideProfile::new(),
+        };
+        let resp = svc.handle(&Request::MergeProfile {
+            entry_text: entry.to_text(),
+        });
+        assert!(
+            matches!(
+                resp,
+                Response::Err {
+                    kind: ErrorKind::Stale,
+                    ..
+                }
+            ),
+            "{resp:?}"
+        );
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn stats_count_requests() {
+        let svc = tmp_service("stats");
+        let _ = svc.handle(&Request::GetProfile {
+            workload: "nope".into(),
+        });
+        let body = ok_body(svc.handle(&Request::Stats));
+        assert!(body.contains("requests 2"), "{body}");
+        assert!(body.contains("errors 1"), "{body}");
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+}

@@ -14,7 +14,10 @@
 //!   frequency profiles;
 //! * [`core`] — the paper's contribution: integrated instrumentation,
 //!   SSST/PMST/WSST classification and prefetch insertion;
-//! * [`workloads`] — the synthetic SPECINT2000 suite.
+//! * [`workloads`] — the synthetic SPECINT2000 suite;
+//! * [`profdb`] — the on-disk cross-run profile database with merge
+//!   semantics;
+//! * [`server`] — the `strided` daemon, wire protocol and client.
 //!
 //! See the repository README for a quick start and EXPERIMENTS.md for the
 //! paper-vs-measured results.
@@ -40,6 +43,8 @@
 pub use stride_core as core;
 pub use stride_ir as ir;
 pub use stride_memsim as memsim;
+pub use stride_profdb as profdb;
 pub use stride_profiling as profiling;
+pub use stride_server as server;
 pub use stride_vm as vm;
 pub use stride_workloads as workloads;

@@ -1,0 +1,370 @@
+//! Property tests for the profile database's cross-run merge: counter
+//! conservation, commutativity and associativity (up to the order of
+//! equal-count strides in a top table), identity against the empty entry,
+//! and invariance of the Fig. 5 per-site classification under self-merge.
+//! Inputs come from a deterministic splitmix64 PRNG (std-only — this
+//! container builds offline), so every run checks the same case set.
+
+use stride_prefetch::core::{classify, classify_profile, PipelineConfig, PrefetchConfig};
+use stride_prefetch::core::{run_profiling, ProfilingVariant};
+use stride_prefetch::ir::{FuncId, InstrId};
+use stride_prefetch::profdb::{module_hash, ProfileDb, ProfileEntry};
+use stride_prefetch::profiling::{LoadStrideProfile, StrideProfile};
+
+/// Deterministic splitmix64 generator.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
+
+/// The profiled sites and counter-table shape two mergeable entries must
+/// share (a matching module hash implies it in production).
+struct Shape {
+    tables: Vec<usize>,
+    sites: Vec<(u32, u32)>,
+}
+
+fn random_shape(rng: &mut Rng) -> Shape {
+    let funcs = rng.range(1, 4) as usize;
+    let tables = (0..funcs).map(|_| rng.range(3, 11) as usize).collect();
+    let mut sites: Vec<(u32, u32)> = (0..rng.range(1, 5))
+        .map(|_| (rng.range(0, funcs as u64) as u32, rng.range(0, 8) as u32))
+        .collect();
+    sites.sort_unstable();
+    sites.dedup();
+    Shape { tables, sites }
+}
+
+/// Strides are drawn from this pool so a merged top table never exceeds
+/// the 8-slot floor the merge keeps: truncation would make association
+/// order observable, which is exactly the slack the contract allows.
+const STRIDE_POOL: [i64; 8] = [-64, -8, 0, 4, 8, 16, 64, 4096];
+
+fn random_entry(rng: &mut Rng, shape: &Shape) -> ProfileEntry {
+    let edge_tables: Vec<Vec<u64>> = shape
+        .tables
+        .iter()
+        .map(|&len| (0..len).map(|_| rng.range(0, 1000)).collect())
+        .collect();
+    let mut stride = StrideProfile::new();
+    for &(f, s) in &shape.sites {
+        let picks = rng.range(1, STRIDE_POOL.len() as u64 + 1) as usize;
+        let mut pool = STRIDE_POOL.to_vec();
+        let mut top = Vec::new();
+        for _ in 0..picks {
+            let at = rng.range(0, pool.len() as u64) as usize;
+            top.push((pool.swap_remove(at), rng.range(1, 10_000)));
+        }
+        top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        let top_total: u64 = top.iter().map(|&(_, c)| c).sum();
+        let total_freq = top_total + rng.range(0, 5_000);
+        let total_diffs = total_freq.saturating_sub(1);
+        stride.insert(
+            FuncId::new(f),
+            InstrId::new(s),
+            LoadStrideProfile {
+                top,
+                total_freq,
+                num_zero_stride: rng.range(0, total_freq + 1),
+                num_zero_diff: rng.range(0, total_diffs + 1),
+                total_diffs,
+            },
+        );
+    }
+    ProfileEntry {
+        workload: "prop".to_string(),
+        module_hash: 0x5eed,
+        runs: rng.range(1, 4),
+        edge_tables,
+        stride,
+    }
+}
+
+/// Site counters in a canonical, order-insensitive form: the top table
+/// re-sorted by (count desc, stride asc) so equal-count ties compare
+/// equal regardless of which merge order produced them.
+type CanonSite = (usize, usize, Vec<(u64, i64)>, u64, u64, u64, u64);
+
+fn canonical(e: &ProfileEntry) -> (u64, Vec<Vec<u64>>, Vec<CanonSite>) {
+    let mut sites: Vec<CanonSite> = e
+        .stride
+        .iter()
+        .map(|(f, s, p)| {
+            let mut top: Vec<(u64, i64)> = p.top.iter().map(|&(s, c)| (c, s)).collect();
+            top.sort_by_key(|&(c, s)| (std::cmp::Reverse(c), s));
+            (
+                f.index(),
+                s.index(),
+                top,
+                p.total_freq,
+                p.num_zero_stride,
+                p.num_zero_diff,
+                p.total_diffs,
+            )
+        })
+        .collect();
+    sites.sort_unstable();
+    (e.runs, e.edge_tables.clone(), sites)
+}
+
+fn merged(a: &ProfileEntry, b: &ProfileEntry) -> ProfileEntry {
+    let mut m = a.clone();
+    m.merge(b).expect("same-key merge succeeds");
+    m
+}
+
+fn site_totals(e: &ProfileEntry) -> Vec<(usize, usize, u64, u64, u64, u64, u64)> {
+    let mut v: Vec<_> = e
+        .stride
+        .iter()
+        .map(|(f, s, p)| {
+            let top_sum: u64 = p.top.iter().map(|&(_, c)| c).sum();
+            (
+                f.index(),
+                s.index(),
+                top_sum,
+                p.total_freq,
+                p.num_zero_stride,
+                p.num_zero_diff,
+                p.total_diffs,
+            )
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn merge_conserves_every_counter_total() {
+    let mut rng = Rng::new(0xC0115E17);
+    for case in 0..32 {
+        let shape = random_shape(&mut rng);
+        let a = random_entry(&mut rng, &shape);
+        let b = random_entry(&mut rng, &shape);
+        let m = merged(&a, &b);
+
+        assert_eq!(m.runs, a.runs + b.runs, "case {case}: runs");
+        assert_eq!(
+            m.edge_total(),
+            a.edge_total() + b.edge_total(),
+            "case {case}: edge totals"
+        );
+        let expect: Vec<_> = site_totals(&a)
+            .into_iter()
+            .zip(site_totals(&b))
+            .map(|(sa, sb)| {
+                assert_eq!((sa.0, sa.1), (sb.0, sb.1));
+                (
+                    sa.0,
+                    sa.1,
+                    sa.2 + sb.2,
+                    sa.3 + sb.3,
+                    sa.4 + sb.4,
+                    sa.5 + sb.5,
+                    sa.6 + sb.6,
+                )
+            })
+            .collect();
+        assert_eq!(site_totals(&m), expect, "case {case}: per-site counters");
+    }
+}
+
+#[test]
+fn merge_is_commutative_up_to_tie_order() {
+    let mut rng = Rng::new(0xAB5EED);
+    for case in 0..32 {
+        let shape = random_shape(&mut rng);
+        let a = random_entry(&mut rng, &shape);
+        let b = random_entry(&mut rng, &shape);
+        assert_eq!(
+            canonical(&merged(&a, &b)),
+            canonical(&merged(&b, &a)),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn merge_is_associative_up_to_tie_order() {
+    let mut rng = Rng::new(0xA550C);
+    for case in 0..32 {
+        let shape = random_shape(&mut rng);
+        let a = random_entry(&mut rng, &shape);
+        let b = random_entry(&mut rng, &shape);
+        let c = random_entry(&mut rng, &shape);
+        assert_eq!(
+            canonical(&merged(&merged(&a, &b), &c)),
+            canonical(&merged(&a, &merged(&b, &c))),
+            "case {case}"
+        );
+    }
+}
+
+#[test]
+fn empty_entry_is_the_merge_identity() {
+    let mut rng = Rng::new(0x1DE47);
+    for case in 0..32 {
+        let shape = random_shape(&mut rng);
+        let a = random_entry(&mut rng, &shape);
+        let empty = ProfileEntry {
+            workload: a.workload.clone(),
+            module_hash: a.module_hash,
+            runs: 0,
+            edge_tables: a.edge_tables.iter().map(|t| vec![0u64; t.len()]).collect(),
+            stride: StrideProfile::new(),
+        };
+        assert_eq!(merged(&a, &empty), a, "case {case}: right identity");
+        assert_eq!(
+            canonical(&merged(&empty, &a)),
+            canonical(&a),
+            "case {case}: left identity"
+        );
+    }
+}
+
+#[test]
+fn counter_saturation_never_wraps() {
+    let shape = Shape {
+        tables: vec![2],
+        sites: vec![(0, 0)],
+    };
+    let mut rng = Rng::new(0x5A7);
+    let mut a = random_entry(&mut rng, &shape);
+    a.edge_tables[0][0] = u64::MAX - 5;
+    let mut huge = a.clone();
+    huge.edge_tables[0][0] = u64::MAX;
+    let m = merged(&a, &huge);
+    assert_eq!(m.edge_tables[0][0], u64::MAX);
+}
+
+#[test]
+fn self_merge_preserves_per_site_classification() {
+    // Doubling every counter preserves the top1/top4/zero-diff ratios the
+    // Fig. 5 classifier compares, so a site's class must not move.
+    let config = PrefetchConfig::default();
+    let mut rng = Rng::new(0xF165);
+    for case in 0..64 {
+        let shape = random_shape(&mut rng);
+        let a = random_entry(&mut rng, &shape);
+        let m = merged(&a, &a);
+        for (f, s, p) in a.stride.iter() {
+            let doubled = m.stride.get(f, s).expect("site survives self-merge");
+            assert_eq!(
+                classify_profile(p, &config),
+                classify_profile(doubled, &config),
+                "case {case}: site {f} {s} changed class under self-merge"
+            );
+        }
+    }
+}
+
+/// A read-only strided sweep: loads from a zeroed global it never writes,
+/// so two back-to-back calls observe identical memory and a run of the
+/// `twice` wrapper is *exactly* the concatenation of two single runs.
+fn sweep_modules() -> (stride_prefetch::ir::Module, stride_prefetch::ir::Module) {
+    use stride_prefetch::ir::{BinOp, ModuleBuilder, Operand};
+    let build = |wrap: bool| {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 1 << 16);
+        let f = mb.declare_function("main", 1);
+        {
+            let mut fb = mb.function(f);
+            let base = fb.global_addr(g);
+            let sum = fb.mov(0i64);
+            fb.counted_loop(fb.param(0), |fb, _| {
+                fb.counted_loop(800i64, |fb, i| {
+                    let off = fb.mul(i, 64i64);
+                    let a = fb.add(base, off);
+                    let (v, _) = fb.load(a, 0);
+                    fb.bin_to(sum, BinOp::Add, sum, v);
+                });
+            });
+            fb.ret(Some(Operand::Reg(sum)));
+        }
+        if wrap {
+            let w = mb.declare_function("twice", 1);
+            let mut fb = mb.function(w);
+            let n = fb.param(0);
+            fb.call(f, &[Operand::Reg(n)]);
+            fb.call(f, &[Operand::Reg(n)]);
+            fb.ret(None);
+            mb.set_entry(w);
+        } else {
+            mb.set_entry(f);
+        }
+        mb.finish()
+    };
+    (build(false), build(true))
+}
+
+#[test]
+fn merged_runs_classify_like_the_concatenated_run() {
+    // The acceptance check: profiling a workload twice and merging the
+    // runs in the database must classify exactly like profiling the
+    // concatenated run (the same work executed back to back).
+    let config = PipelineConfig::default();
+    let (single_mod, concat_mod) = sweep_modules();
+    let args = [5i64];
+
+    let single = run_profiling(&single_mod, &args, ProfilingVariant::EdgeCheck, &config)
+        .expect("single run profiles");
+    let concat = run_profiling(&concat_mod, &args, ProfilingVariant::EdgeCheck, &config)
+        .expect("concatenated run profiles");
+
+    let hash = module_hash(&single_mod);
+    let entry = ProfileEntry::from_run("sweep", hash, &single.edge, &single.stride);
+    let root = std::env::temp_dir().join(format!("profdb-merge-accept-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let db = ProfileDb::open(&root).expect("open db");
+    db.merge_store(&entry).expect("first run");
+    let merged = db.merge_store(&entry).expect("second run");
+    let _ = std::fs::remove_dir_all(&root);
+
+    assert_eq!(merged.runs, 2);
+    assert_eq!(merged.edge_total(), entry.edge_total() * 2);
+
+    let from_merge = classify(
+        &single_mod,
+        &merged.stride,
+        &merged.edge_profile(),
+        single.source,
+        &config.prefetch,
+    );
+    let from_concat = classify(
+        &concat_mod,
+        &concat.stride,
+        &concat.edge,
+        concat.source,
+        &config.prefetch,
+    );
+    let key = |c: &stride_prefetch::core::Classification| {
+        c.loads
+            .iter()
+            .map(|l| (l.func, l.site, l.class, l.dominant_stride))
+            .collect::<Vec<_>>()
+    };
+    assert!(!from_concat.loads.is_empty(), "sweep should classify loads");
+    assert_eq!(
+        key(&from_merge),
+        key(&from_concat),
+        "merged two-run profile classifies differently from the concatenated run"
+    );
+    assert_eq!(from_merge.no_pattern, from_concat.no_pattern);
+    assert_eq!(from_merge.filtered_low_freq, from_concat.filtered_low_freq);
+}
