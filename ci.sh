@@ -68,4 +68,71 @@ grep -q 'shut down cleanly' "$srv_out" \
     || { echo "strided did not shut down cleanly" >&2; exit 1; }
 rm -rf "$db_dir" "$srv_out" "$entry_file"
 
+echo "== smoke: crash recovery (SIGKILL, restart, integrity audit) =="
+db2=$(mktemp -d)
+srv2_out=$(mktemp)
+cargo run --release -q -p stride-server --bin strided -- \
+    serve --addr 127.0.0.1:0 --db "$db2" --workers 2 > "$srv2_out" &
+srv2_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$srv2_out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "strided did not report its address" >&2; kill "$srv2_pid"; exit 1; }
+submit_out=$(ctl submit mcf --builtin mcf --scale test)
+train=$(echo "$submit_out" | sed -n 's/^built-in [^ ]* train=\([^ ]*\) .*/\1/p')
+ctl profile mcf --variant edge-check --args "$train" > /dev/null
+ctl profile mcf --variant edge-check --args "$train" > /dev/null
+kill -9 "$srv2_pid"
+wait "$srv2_pid" 2>/dev/null || true
+# The killed store must audit as healthy (a pending WAL tail is fine)...
+cargo run --release -q -p stride-profdb --bin profdb -- check --db "$db2" \
+    | grep -q '^verdict: ok' || { echo "killed store failed its audit" >&2; exit 1; }
+# ...and gc must refuse until recovery has applied the tail.
+if cargo run --release -q -p stride-profdb --bin profdb -- gc --db "$db2" --keep mcf >/dev/null 2>&1; then
+    gc_refused=no
+else
+    gc_refused=yes
+fi
+# (refusal only triggers when the kill left WAL entries pending; either
+# way the dry-run listing must work after an explicit recover)
+cargo run --release -q -p stride-profdb --bin profdb -- recover --db "$db2" \
+    | grep -q '^recovery: ' || { echo "profdb recover failed" >&2; exit 1; }
+cargo run --release -q -p stride-profdb --bin profdb -- gc --db "$db2" --keep mcf --dry-run \
+    > /dev/null || { echo "gc --dry-run failed after recovery" >&2; exit 1; }
+echo "   (gc-before-recovery refused: $gc_refused)"
+# Restart on the same directory: both acknowledged merges must survive.
+srv3_out=$(mktemp)
+cargo run --release -q -p stride-server --bin strided -- \
+    serve --addr 127.0.0.1:0 --db "$db2" --workers 2 > "$srv3_out" &
+srv3_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$srv3_out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "restarted strided did not report its address" >&2; kill "$srv3_pid"; exit 1; }
+ctl submit mcf --builtin mcf --scale test > /dev/null
+ctl get-profile mcf | grep -q '^runs 2$' \
+    || { echo "acked merges lost across SIGKILL + restart" >&2; exit 1; }
+ctl profile mcf --variant edge-check --args "$train" > /dev/null
+ctl get-profile mcf | grep -q '^runs 3$' \
+    || { echo "recovered store does not accumulate" >&2; exit 1; }
+ctl shutdown | grep -q 'shutting down' || { echo "recovered daemon shutdown failed" >&2; exit 1; }
+wait "$srv3_pid" || { echo "recovered strided exited non-zero" >&2; exit 1; }
+rm -rf "$db2" "$srv2_out" "$srv3_out"
+
+echo "== smoke: service crash-recovery campaign (two seeds, jobs-invariant) =="
+svc_a=$(mktemp)
+svc_b=$(mktemp)
+cargo run --release -q -p stride-bench --bin faultsim -- --service --seed 42 --jobs 2 > "$svc_a"
+cargo run --release -q -p stride-bench --bin faultsim -- --service --seed 7 --jobs 4 > /dev/null
+cargo run --release -q -p stride-bench --bin faultsim -- --service --seed 42 --jobs 4 > "$svc_b"
+diff "$svc_a" "$svc_b" \
+    || { echo "service campaign report differs across --jobs" >&2; exit 1; }
+rm -f "$svc_a" "$svc_b"
+
 echo "ci.sh: all checks passed"

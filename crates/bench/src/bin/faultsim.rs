@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! faultsim [--scale test|paper] [--jobs N] [--seed N] [--plan SPEC]
+//! faultsim --service [--jobs N] [--seed N]
 //! ```
 //!
 //! Runs every scenario of a fault campaign (the built-in 14-scenario
@@ -13,14 +14,28 @@
 //! report is byte-identical at every `--jobs` level and for every rerun
 //! of the same seed.
 //!
+//! `--service` switches to the crash-recovery campaign: each scenario
+//! boots a real `strided` daemon on its own database directory, streams
+//! profile merges at it, SIGKILLs the process mid-merge at a seeded
+//! point, restarts it, and holds recovery to two invariants — no
+//! acknowledged merge is ever lost, and once the interrupted merges are
+//! resent the database is byte-identical to an uninterrupted run. Some
+//! scenarios additionally run the first daemon with injected wire faults
+//! (truncated and reset response frames) so the client's retry and
+//! request-id dedup paths are exercised under crash pressure.
+//!
 //! Exit status: 0 when every scenario either completed with the
 //! invariant held or degraded to a structured diagnostic; 1 when any
 //! scenario panicked or violated the invariant.
 
 use stride_bench::{default_jobs, parallel_map_isolated, parse_jobs, RunCache};
 use stride_core::{
-    degradation_violations, FaultInjector, FaultPlan, PipelineConfig, ProfilingVariant,
+    degradation_violations, run_profiling, FaultInjector, FaultPlan, PipelineConfig,
+    ProfilingVariant,
 };
+use stride_ir::module_to_string;
+use stride_profdb::{module_hash, ProfileEntry};
+use stride_server::{Client, ErrorKind, Request, Response, RetryPolicy};
 use stride_workloads::{workload_by_name, Scale, Workload};
 
 /// The built-in campaign: every fault kind at least once, single and
@@ -109,11 +124,423 @@ fn run_scenario(
     }
 }
 
+/// splitmix64 finalizer: the campaign's only randomness primitive.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One kill/restart scenario of the `--service` campaign.
+struct ServiceScenario {
+    index: usize,
+    /// Merges acknowledged before the SIGKILL.
+    kill_after: usize,
+    /// Total merges the uninterrupted run would apply.
+    total: usize,
+    /// Per-scenario salt folded into the seed for the kill delay.
+    salt: u64,
+    /// Optional fault plan for the first (killed) daemon instance.
+    inject: Option<&'static str>,
+}
+
+/// The built-in crash-recovery campaign: every kill point from "before
+/// the first ack" to "after the last", twice over with different kill
+/// timing, plus two runs where the killed daemon also corrupts its own
+/// response frames.
+fn service_campaign() -> Vec<ServiceScenario> {
+    let mut scenarios: Vec<ServiceScenario> = (0..12)
+        .map(|i| ServiceScenario {
+            index: i,
+            kill_after: i % 6,
+            total: 6,
+            salt: (i / 6) as u64 + 1,
+            inject: None,
+        })
+        .collect();
+    scenarios.push(ServiceScenario {
+        index: 12,
+        kill_after: 2,
+        total: 6,
+        salt: 3,
+        inject: Some("net-trunc=2"),
+    });
+    scenarios.push(ServiceScenario {
+        index: 13,
+        kill_after: 3,
+        total: 6,
+        salt: 4,
+        inject: Some("net-reset=4"),
+    });
+    scenarios
+}
+
+/// Locates the `strided` binary: `$STRIDED_BIN`, else a sibling of this
+/// executable (both are workspace bins, so cargo puts them side by side).
+fn strided_bin() -> Result<std::path::PathBuf, String> {
+    if let Ok(p) = std::env::var("STRIDED_BIN") {
+        return Ok(std::path::PathBuf::from(p));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("executable has no parent directory")?;
+    let cand = dir.join("strided");
+    if cand.exists() {
+        Ok(cand)
+    } else {
+        Err(format!(
+            "strided binary not found at {} (set STRIDED_BIN)",
+            cand.display()
+        ))
+    }
+}
+
+/// A spawned `strided` child plus its stdout line stream.
+struct Daemon {
+    child: std::process::Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// SIGKILL (not a shutdown request): the crash under test.
+    fn kill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Asks for a graceful shutdown and reaps the child, killing it if
+    /// it does not exit within ten seconds.
+    fn shutdown(&mut self) {
+        if let Ok(mut c) = Client::connect_with(self.addr.as_str(), RetryPolicy::no_retries()) {
+            let _ = c.call(&Request::Shutdown);
+        }
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        loop {
+            match self.child.try_wait() {
+                Ok(Some(_)) => return,
+                Ok(None) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                _ => {
+                    self.kill();
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Spawns `strided serve` on an ephemeral port and waits for its
+/// `listening on ADDR` line.
+fn spawn_daemon(
+    bin: &std::path::Path,
+    db: &std::path::Path,
+    inject: Option<&str>,
+) -> Result<Daemon, String> {
+    let mut cmd = std::process::Command::new(bin);
+    cmd.arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--db")
+        .arg(db)
+        .arg("--workers")
+        .arg("2")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    if let Some(spec) = inject {
+        cmd.arg("--inject").arg(spec);
+    }
+    let mut child = cmd.spawn().map_err(|e| format!("spawn strided: {e}"))?;
+    let stdout = child.stdout.take().ok_or("strided stdout not captured")?;
+    let (tx, rx) = std::sync::mpsc::channel::<String>();
+    std::thread::spawn(move || {
+        use std::io::BufRead;
+        for line in std::io::BufReader::new(stdout)
+            .lines()
+            .map_while(Result::ok)
+        {
+            if tx.send(line).is_err() {
+                break;
+            }
+        }
+    });
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("strided did not report `listening on` within 10s".to_string());
+        }
+        match rx.recv_timeout(remaining) {
+            Ok(line) => {
+                if let Some(addr) = line.strip_prefix("listening on ") {
+                    return Ok(Daemon {
+                        child,
+                        addr: addr.to_string(),
+                    });
+                }
+            }
+            Err(_) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err("strided exited before binding its socket".to_string());
+            }
+        }
+    }
+}
+
+/// The i-th merge payload: the measured base entry, renamed to the
+/// scenario's workload and with every edge counter scaled by a seeded
+/// factor so each merge is distinguishable in the accumulated state.
+fn scenario_entry(base: &ProfileEntry, workload: &str, i: usize) -> ProfileEntry {
+    let mut e = base.clone();
+    e.workload = workload.to_string();
+    e.runs = 1;
+    let factor = 1 + (i as u64 % 3);
+    for table in &mut e.edge_tables {
+        for v in table.iter_mut() {
+            *v = v.saturating_mul(factor);
+        }
+    }
+    e
+}
+
+/// What the database must hold after the first `j` merges, byte for
+/// byte (`None` = no entry file yet).
+fn mirror_text(entries: &[ProfileEntry], j: usize) -> Result<Option<String>, String> {
+    let Some(first) = entries.get(..j).and_then(<[ProfileEntry]>::first) else {
+        return Ok(None);
+    };
+    let mut acc = first.clone();
+    for e in &entries[1..j] {
+        acc.merge(e).map_err(|err| format!("mirror merge: {err}"))?;
+    }
+    Ok(Some(acc.to_text()))
+}
+
+fn merge_ok(client: &mut Client, text: &str, what: &str) -> Result<(), String> {
+    match client.call(&Request::MergeProfile {
+        entry_text: text.to_string(),
+    }) {
+        Ok(Response::Ok(_)) => Ok(()),
+        Ok(Response::Err { kind, message, .. }) => {
+            Err(format!("{what} rejected [{kind}]: {message}"))
+        }
+        Err(e) => Err(format!("{what} transport failed: {e}")),
+    }
+}
+
+/// Runs one kill/restart scenario; returns its deterministic verdict
+/// line (no ports, timings, or replay counts — those vary run to run).
+fn run_service_scenario(
+    bin: &std::path::Path,
+    base: &ProfileEntry,
+    module_text: &str,
+    sc: &ServiceScenario,
+    seed: u64,
+) -> Result<String, String> {
+    let workload = format!("chaos{}", sc.index);
+    let db = std::env::temp_dir().join(format!(
+        "faultsim-service-{}-{}",
+        std::process::id(),
+        sc.index
+    ));
+    let _ = std::fs::remove_dir_all(&db);
+
+    let entries: Vec<ProfileEntry> = (0..sc.total)
+        .map(|i| scenario_entry(base, &workload, i))
+        .collect();
+    let texts: Vec<String> = entries.iter().map(ProfileEntry::to_text).collect();
+
+    // Phase 1: stream merges, then SIGKILL with one merge in flight.
+    let mut daemon = spawn_daemon(bin, &db, sc.inject)?;
+    let mut client = Client::connect(daemon.addr.as_str())
+        .map_err(|e| format!("connect to killed-phase daemon: {e}"))?;
+    for (i, text) in texts.iter().enumerate().take(sc.kill_after) {
+        merge_ok(&mut client, text, &format!("merge {i}"))?;
+    }
+    let mut inflight_acked = false;
+    if sc.kill_after < sc.total {
+        let addr = daemon.addr.clone();
+        let text = texts[sc.kill_after].clone();
+        let inflight = std::thread::spawn(move || {
+            let Ok(mut c) = Client::connect_with(addr.as_str(), RetryPolicy::no_retries()) else {
+                return false;
+            };
+            matches!(
+                c.call(&Request::MergeProfile { entry_text: text }),
+                Ok(Response::Ok(_))
+            )
+        });
+        let delay_us = mix64(seed ^ sc.salt.wrapping_mul(0x5bd1) ^ sc.index as u64) % 2_500;
+        std::thread::sleep(std::time::Duration::from_micros(delay_us));
+        daemon.kill();
+        inflight_acked = inflight.join().unwrap_or(false);
+    } else {
+        daemon.kill();
+    }
+    let acked = sc.kill_after + usize::from(inflight_acked);
+
+    // Phase 2: restart on the same directory; startup recovery runs
+    // before the socket binds, so a successful connect means recovery
+    // completed without panicking.
+    let mut daemon = spawn_daemon(bin, &db, None)?;
+    let mut client = Client::connect(daemon.addr.as_str())
+        .map_err(|e| format!("connect to recovered daemon: {e}"))?;
+    // The module registry is in-memory, so re-register the module to
+    // read the recovered entry back.
+    match client.call(&Request::SubmitModule {
+        workload: workload.clone(),
+        text: module_text.to_string(),
+    }) {
+        Ok(Response::Ok(_)) => {}
+        other => {
+            daemon.shutdown();
+            return Err(format!("re-submit after restart failed: {other:?}"));
+        }
+    }
+    let recovered: Option<String> = match client.call(&Request::GetProfile {
+        workload: workload.clone(),
+    }) {
+        Ok(Response::Ok(text)) => Some(text),
+        Ok(Response::Err {
+            kind: ErrorKind::NotFound,
+            ..
+        }) => None,
+        other => {
+            daemon.shutdown();
+            return Err(format!("get-profile after restart failed: {other:?}"));
+        }
+    };
+
+    // Invariant 1 — no acknowledged merge is lost: the recovered state
+    // must be exactly the first-j-merges state for j = acked, or
+    // j = acked + 1 when the unacknowledged in-flight merge committed
+    // just before the kill. Checked BEFORE resending anything, so a
+    // resend cannot mask a lost ack.
+    let mut matched_j = None;
+    for j in [acked, acked + 1] {
+        if j == acked + 1 && (inflight_acked || sc.kill_after >= sc.total) {
+            continue;
+        }
+        if recovered == mirror_text(&entries, j)? {
+            matched_j = Some(j);
+            break;
+        }
+    }
+    let Some(applied) = matched_j else {
+        daemon.shutdown();
+        return Err(format!(
+            "ACKED MERGE LOST OR STATE MIXED: {acked} merge(s) acknowledged, \
+             recovered entry is {}",
+            match &recovered {
+                Some(text) => format!("{} byte(s), matching no merge prefix", text.len()),
+                None => "missing".to_string(),
+            }
+        ));
+    };
+
+    // Phase 3: resend everything the crash swallowed and require byte
+    // identity with the uninterrupted run.
+    for (i, text) in texts.iter().enumerate().skip(applied) {
+        merge_ok(&mut client, text, &format!("resent merge {i}"))?;
+    }
+    let final_text = match client.call(&Request::GetProfile { workload }) {
+        Ok(Response::Ok(text)) => text,
+        other => {
+            daemon.shutdown();
+            return Err(format!("final get-profile failed: {other:?}"));
+        }
+    };
+    daemon.shutdown();
+    let _ = std::fs::remove_dir_all(&db);
+    if Some(final_text) != mirror_text(&entries, sc.total)? {
+        return Err(
+            "RECOVERED RUN DIVERGED: completed database differs from uninterrupted run".to_string(),
+        );
+    }
+    Ok("ok: no acked merge lost, recovered db byte-identical to uninterrupted run".to_string())
+}
+
+/// The `--service` campaign driver; returns the process exit code.
+fn service_main(jobs: usize, seed: u64) -> i32 {
+    let bin = match strided_bin() {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("faultsim: {e}");
+            return 2;
+        }
+    };
+    // One real profiling run supplies the base entry every scenario
+    // merges; measured once so scenarios only exercise the service.
+    let w = match workload_by_name("mcf", Scale::Test) {
+        Some(w) => w,
+        None => {
+            eprintln!("faultsim: built-in workload mcf missing");
+            return 2;
+        }
+    };
+    let config = PipelineConfig::default();
+    let out = match run_profiling(
+        &w.module,
+        &w.train_args,
+        ProfilingVariant::EdgeCheck,
+        &config,
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("faultsim: base profiling run failed: {e}");
+            return 2;
+        }
+    };
+    let base = ProfileEntry::from_run("base", module_hash(&w.module), &out.edge, &out.stride);
+    let module_text = module_to_string(&w.module);
+
+    let scenarios = service_campaign();
+    println!(
+        "== service crash-recovery campaign: seed {seed}, {} scenario(s) ==",
+        scenarios.len()
+    );
+    let results = parallel_map_isolated(&scenarios, jobs, |_, sc| {
+        run_service_scenario(&bin, &base, &module_text, sc, seed)
+    });
+
+    let mut panics = 0usize;
+    let mut violations = 0usize;
+    for (sc, result) in scenarios.iter().zip(results) {
+        let label = format!(
+            "kill-after={}{}",
+            sc.kill_after,
+            sc.inject.map(|i| format!("+{i}")).unwrap_or_default()
+        );
+        match result {
+            Ok(Ok(line)) => println!("  #{:<3} {label:<28} {line}", sc.index),
+            Ok(Err(msg)) => {
+                violations += 1;
+                println!("  #{:<3} {label:<28} FAILED: {msg}", sc.index);
+            }
+            Err(tf) => {
+                panics += 1;
+                println!("  #{:<3} {label:<28} PANIC: {}", sc.index, tf.message);
+            }
+        }
+    }
+    println!(
+        "campaign: {} scenario(s), {} panic(s), {} invariant violation(s)",
+        scenarios.len(),
+        panics,
+        violations
+    );
+    i32::from(panics > 0 || violations > 0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::Test;
     let mut jobs = default_jobs();
     let mut seed = 42u64;
+    let mut service = false;
     let mut single_plan: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -147,9 +574,14 @@ fn main() {
                 i += 1;
                 single_plan = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
+            "--service" => service = true,
             _ => usage(),
         }
         i += 1;
+    }
+
+    if service {
+        std::process::exit(service_main(jobs, seed));
     }
 
     let config = PipelineConfig::default();
@@ -214,12 +646,15 @@ fn main() {
 fn usage() -> ! {
     eprintln!(
         "usage: faultsim [--scale test|paper] [--jobs N] [--seed N] [--plan SPEC]\n\
+         \x20      faultsim --service [--jobs N] [--seed N]\n\
          \n\
          \x20 --scale test|paper workload scale (default: test)\n\
          \x20 --jobs N           worker threads (default: available parallelism)\n\
          \x20 --seed N           campaign seed (default: 42)\n\
          \x20 --plan SPEC        run one fault plan instead of the built-in campaign,\n\
-         \x20                    e.g. 'truncate=2;fuel=20000' (see repro --inject)"
+         \x20                    e.g. 'truncate=2;fuel=20000' (see repro --inject)\n\
+         \x20 --service          crash-recovery campaign: SIGKILL and restart a real\n\
+         \x20                    strided daemon mid-merge; no acked merge may be lost"
     );
     std::process::exit(2);
 }

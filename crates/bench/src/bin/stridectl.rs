@@ -21,12 +21,26 @@ use std::process::ExitCode;
 use std::time::Instant;
 use stride_core::ProfilingVariant;
 use stride_ir::module_to_string;
-use stride_server::{Client, Request, Response, Server, ServerConfig, ServiceConfig};
+use stride_server::{Client, Request, Response, RetryPolicy, Server, ServerConfig, ServiceConfig};
 use stride_workloads::{workload_by_name, Scale};
+
+/// The daemon answered with a typed error.
+const EXIT_SERVER: u8 = 1;
+/// The invocation itself was wrong (bad flags, unreadable input).
+const EXIT_USAGE: u8 = 2;
+/// The transport failed and the retry budget ran out.
+const EXIT_TRANSPORT: u8 = 3;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: stridectl [--addr HOST:PORT] COMMAND [FLAGS]\n\
+        "usage: stridectl [GLOBAL FLAGS] COMMAND [FLAGS]\n\
+         \n\
+         global flags:\n\
+         \x20 --addr HOST:PORT       daemon address (default 127.0.0.1:7311)\n\
+         \x20 --retries N            attempts per request (default 4; 1 = fail fast)\n\
+         \x20 --retry-base-ms MS     first backoff wait (default 10, doubling, capped 2000)\n\
+         \x20 --retry-seed S         jitter seed (same seed => identical backoff schedule)\n\
+         \x20 --deadline FUEL        per-request VM fuel deadline sent to the server\n\
          \n\
          commands (one round trip against a running `strided serve`):\n\
          \x20 submit NAME --file PATH            register a module from an IR file\n\
@@ -44,10 +58,46 @@ fn usage() -> ExitCode {
          \x20 serve-bench [--jobs 1,4,8] [--requests N] [--workload WL]\n\
          \x20             [--scale test|paper] [--bench-json PATH]\n\
          \n\
-         \x20 --addr defaults to 127.0.0.1:7311; variants are the pipeline's\n\
-         \x20 hyphenated names (edge-check, naive-loop, sample-block-check, ...)"
+         exit codes: 0 ok, {EXIT_SERVER} server error, {EXIT_USAGE} usage, \
+         {EXIT_TRANSPORT} transport/retries exhausted\n\
+         variants are the pipeline's hyphenated names (edge-check, naive-loop, ...)"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// Connection behaviour parsed from the global flags.
+struct NetOpts {
+    policy: RetryPolicy,
+    deadline: Option<u64>,
+}
+
+fn net_opts(args: &[String]) -> Result<NetOpts, String> {
+    let mut policy = RetryPolicy::default();
+    if let Some(v) = flag_value(args, "--retries") {
+        policy.max_attempts = v
+            .parse::<u32>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --retries `{v}` (expected integer >= 1)"))?;
+    }
+    if let Some(v) = flag_value(args, "--retry-base-ms") {
+        policy.base_delay_ms = v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --retry-base-ms `{v}`"))?;
+    }
+    if let Some(v) = flag_value(args, "--retry-seed") {
+        policy.jitter_seed = v
+            .parse::<u64>()
+            .map_err(|_| format!("bad --retry-seed `{v}`"))?;
+    }
+    let deadline = match flag_value(args, "--deadline") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| format!("bad --deadline `{v}` (expected fuel budget)"))?,
+        ),
+        None => None,
+    };
+    Ok(NetOpts { policy, deadline })
 }
 
 /// `--flag value` lookup over the raw argument list.
@@ -81,36 +131,76 @@ fn parse_variant(args: &[String]) -> Result<ProfilingVariant, String> {
     }
 }
 
-/// Sends one request and renders the response; exit code 0 only for `ok`.
-fn round_trip(addr: &str, req: &Request) -> ExitCode {
-    let mut client = match Client::connect(addr) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("stridectl: cannot connect to {addr}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    match client.call(req) {
-        Ok(Response::Ok(body)) => {
-            print!("{body}");
-            ExitCode::SUCCESS
-        }
-        Ok(Response::Err { kind, message }) => {
-            eprintln!("stridectl: server error [{kind}]\n{message}");
-            ExitCode::FAILURE
-        }
-        Err(e) => {
-            eprintln!("stridectl: transport error: {e}");
-            ExitCode::FAILURE
+fn print_trace(trace: &[String]) {
+    if !trace.is_empty() {
+        eprintln!("stridectl: retry trace:");
+        for line in trace {
+            eprintln!("  {line}");
         }
     }
 }
 
+/// Sends one request and renders the response; exit code 0 only for `ok`,
+/// [`EXIT_SERVER`] for a typed server error, [`EXIT_TRANSPORT`] when the
+/// connection or the retry budget gives out.
+fn round_trip(addr: &str, opts: &NetOpts, req: &Request) -> ExitCode {
+    let mut client = match Client::connect_with(addr, opts.policy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("stridectl: cannot connect to {addr}: {e}");
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+    client.set_deadline_fuel(opts.deadline);
+    match client.call(req) {
+        Ok(Response::Ok(body)) => {
+            // Rust leaves SIGPIPE ignored, so `print!` into a closed pipe
+            // (`stridectl profile .. | head -1`) would panic; a reader that
+            // hung up got everything it asked for.
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(body.as_bytes());
+            ExitCode::SUCCESS
+        }
+        Ok(Response::Err {
+            kind,
+            message,
+            retry_after_ms,
+        }) => {
+            eprintln!("stridectl: server error [{kind}]\n{message}");
+            if let Some(ms) = retry_after_ms {
+                eprintln!("stridectl: server suggests retrying after {ms} ms");
+            }
+            print_trace(client.trace());
+            ExitCode::from(EXIT_SERVER)
+        }
+        Err(e) => {
+            eprintln!("stridectl: transport error: {e}");
+            print_trace(client.trace());
+            ExitCode::from(EXIT_TRANSPORT)
+        }
+    }
+}
+
+/// Global flags that take a value; they may appear before the command.
+const GLOBAL_FLAGS: &[&str] = &[
+    "--addr",
+    "--retries",
+    "--retry-base-ms",
+    "--retry-seed",
+    "--deadline",
+];
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7311".to_string());
-    // The command is the first argument that is neither `--addr` nor its
-    // value.
+    let opts = match net_opts(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stridectl: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    // The command is the first argument that is not a global flag/value pair.
     let mut cmd_at = None;
     let mut skip = false;
     for (i, a) in args.iter().enumerate() {
@@ -118,7 +208,7 @@ fn main() -> ExitCode {
             skip = false;
             continue;
         }
-        if a == "--addr" {
+        if GLOBAL_FLAGS.contains(&a.as_str()) {
             skip = true;
             continue;
         }
@@ -145,7 +235,7 @@ fn main() -> ExitCode {
                     Ok(t) => t,
                     Err(e) => {
                         eprintln!("stridectl: cannot read {path}: {e}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(EXIT_USAGE);
                     }
                 }
             } else if let Some(builtin) = flag_value(rest, "--builtin") {
@@ -158,27 +248,32 @@ fn main() -> ExitCode {
                 };
                 let Some(w) = workload_by_name(&builtin, scale) else {
                     eprintln!("stridectl: unknown built-in workload `{builtin}`");
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(EXIT_USAGE);
                 };
-                println!(
-                    "built-in {} train={} ref={}",
-                    w.name,
-                    w.train_args
-                        .iter()
-                        .map(|a| a.to_string())
-                        .collect::<Vec<_>>()
-                        .join(","),
-                    w.ref_args
-                        .iter()
-                        .map(|a| a.to_string())
-                        .collect::<Vec<_>>()
-                        .join(",")
-                );
+                {
+                    // Tolerate a closed pipe, same as the response body path.
+                    use std::io::Write;
+                    let _ = writeln!(
+                        std::io::stdout(),
+                        "built-in {} train={} ref={}",
+                        w.name,
+                        w.train_args
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(","),
+                        w.ref_args
+                            .iter()
+                            .map(|a| a.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    );
+                }
                 module_to_string(&w.module)
             } else {
                 return usage();
             };
-            round_trip(&addr, &Request::SubmitModule { workload, text })
+            round_trip(&addr, &opts, &Request::SubmitModule { workload, text })
         }
         "profile" | "classify" => {
             let Some(workload) = name_of(rest) else {
@@ -188,14 +283,14 @@ fn main() -> ExitCode {
                 Ok(v) => v,
                 Err(e) => {
                     eprintln!("stridectl: {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             };
             let args_list = match parse_int_args(&flag_value(rest, "--args").unwrap_or_default()) {
                 Ok(a) => a,
                 Err(e) => {
                     eprintln!("stridectl: {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             };
             let req = if cmd == "profile" {
@@ -211,7 +306,7 @@ fn main() -> ExitCode {
                     args: args_list,
                 }
             };
-            round_trip(&addr, &req)
+            round_trip(&addr, &opts, &req)
         }
         "prefetch" => {
             let Some(workload) = name_of(rest) else {
@@ -221,7 +316,7 @@ fn main() -> ExitCode {
                 Ok(v) => v,
                 Err(e) => {
                     eprintln!("stridectl: {e}");
-                    return ExitCode::from(2);
+                    return ExitCode::from(EXIT_USAGE);
                 }
             };
             let train = parse_int_args(&flag_value(rest, "--train").unwrap_or_default());
@@ -229,6 +324,7 @@ fn main() -> ExitCode {
             match (train, refa) {
                 (Ok(train_args), Ok(ref_args)) => round_trip(
                     &addr,
+                    &opts,
                     &Request::Prefetch {
                         workload,
                         variant,
@@ -238,12 +334,12 @@ fn main() -> ExitCode {
                 ),
                 (Err(e), _) | (_, Err(e)) => {
                     eprintln!("stridectl: {e}");
-                    ExitCode::from(2)
+                    ExitCode::from(EXIT_USAGE)
                 }
             }
         }
         "get-profile" => match name_of(rest) {
-            Some(workload) => round_trip(&addr, &Request::GetProfile { workload }),
+            Some(workload) => round_trip(&addr, &opts, &Request::GetProfile { workload }),
             None => usage(),
         },
         "merge-profile" => {
@@ -251,15 +347,15 @@ fn main() -> ExitCode {
                 return usage();
             };
             match std::fs::read_to_string(&path) {
-                Ok(entry_text) => round_trip(&addr, &Request::MergeProfile { entry_text }),
+                Ok(entry_text) => round_trip(&addr, &opts, &Request::MergeProfile { entry_text }),
                 Err(e) => {
                     eprintln!("stridectl: cannot read {path}: {e}");
-                    ExitCode::FAILURE
+                    ExitCode::from(EXIT_USAGE)
                 }
             }
         }
-        "stats" => round_trip(&addr, &Request::Stats),
-        "shutdown" => round_trip(&addr, &Request::Shutdown),
+        "stats" => round_trip(&addr, &opts, &Request::Stats),
+        "shutdown" => round_trip(&addr, &opts, &Request::Shutdown),
         "serve-bench" => serve_bench(rest),
         _ => usage(),
     }
@@ -332,7 +428,7 @@ fn serve_bench(rest: &[String]) -> ExitCode {
                 text: module_to_string(&w.module),
             })
             .map_err(|e| e.to_string())?;
-        if let Response::Err { kind, message } = resp {
+        if let Response::Err { kind, message, .. } = resp {
             return Err(format!("[{kind}] {message}"));
         }
         let resp = c
@@ -342,7 +438,7 @@ fn serve_bench(rest: &[String]) -> ExitCode {
                 args: w.train_args.clone(),
             })
             .map_err(|e| e.to_string())?;
-        if let Response::Err { kind, message } = resp {
+        if let Response::Err { kind, message, .. } = resp {
             return Err(format!("[{kind}] {message}"));
         }
         Ok(())

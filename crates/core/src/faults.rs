@@ -143,6 +143,60 @@ pub enum FaultKind {
     /// space: the shape of a stale run-cache entry whose module hash no
     /// longer matches.
     StaleProfile,
+    /// Disk: the next WAL append persists only the first `at` bytes of
+    /// the record and errors — a crash mid-write. One-shot.
+    DiskTornWrite {
+        /// Bytes of the record that reach the disk.
+        at: u64,
+    },
+    /// Disk: the next WAL append silently flips bit `bit % record_bits`
+    /// — latent corruption only a checksum catches. One-shot.
+    DiskBitFlip {
+        /// Bit index (mod record size) to flip.
+        bit: u64,
+    },
+    /// Disk: the `nth` upcoming fsync (1-based) fails, so the merge must
+    /// not be acknowledged. One-shot.
+    DiskFsyncFail {
+        /// Which fsync fails.
+        nth: u64,
+    },
+    /// Disk: recovery reads at most `len` bytes of the WAL — a short
+    /// read from a failing device.
+    DiskShortRead {
+        /// Byte cap on the recovery read.
+        len: u64,
+    },
+    /// Net: the server drops its `nth` (1-based) response — the frame
+    /// vanishes and the connection closes.
+    NetDropFrame {
+        /// Which response is dropped.
+        nth: u64,
+    },
+    /// Net: the client sends its `nth` request frame twice (duplicate
+    /// delivery — what idempotency ids must absorb).
+    NetDupFrame {
+        /// Which request is duplicated.
+        nth: u64,
+    },
+    /// Net: the server truncates its `nth` response mid-frame and closes
+    /// — the client's checksum must catch the partial bytes.
+    NetTruncFrame {
+        /// Which response is truncated.
+        nth: u64,
+    },
+    /// Net: the server resets the connection before answering its `nth`
+    /// request (RST instead of FIN where the platform allows).
+    NetReset {
+        /// Which request triggers the reset.
+        nth: u64,
+    },
+    /// Net: the server stalls `ms` milliseconds before each response —
+    /// the shape of a congested or half-dead peer.
+    NetStall {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
 }
 
 impl FaultKind {
@@ -160,6 +214,15 @@ impl FaultKind {
             FaultKind::AddressLimit { .. } => "addr-limit",
             FaultKind::MalformedIr => "malformed-ir",
             FaultKind::StaleProfile => "stale-profile",
+            FaultKind::DiskTornWrite { .. } => "disk-torn",
+            FaultKind::DiskBitFlip { .. } => "disk-bitflip",
+            FaultKind::DiskFsyncFail { .. } => "disk-fsync-fail",
+            FaultKind::DiskShortRead { .. } => "disk-short-read",
+            FaultKind::NetDropFrame { .. } => "net-drop",
+            FaultKind::NetDupFrame { .. } => "net-dup",
+            FaultKind::NetTruncFrame { .. } => "net-trunc",
+            FaultKind::NetReset { .. } => "net-reset",
+            FaultKind::NetStall { .. } => "net-stall",
         }
     }
 }
@@ -192,6 +255,15 @@ impl FaultScenario {
             FaultKind::AddressLimit { limit } => format!("addr-limit={limit}"),
             FaultKind::MalformedIr => "malformed-ir".to_string(),
             FaultKind::StaleProfile => "stale-profile".to_string(),
+            FaultKind::DiskTornWrite { at } => format!("disk-torn={at}"),
+            FaultKind::DiskBitFlip { bit } => format!("disk-bitflip={bit}"),
+            FaultKind::DiskFsyncFail { nth } => format!("disk-fsync-fail={nth}"),
+            FaultKind::DiskShortRead { len } => format!("disk-short-read={len}"),
+            FaultKind::NetDropFrame { nth } => format!("net-drop={nth}"),
+            FaultKind::NetDupFrame { nth } => format!("net-dup={nth}"),
+            FaultKind::NetTruncFrame { nth } => format!("net-trunc={nth}"),
+            FaultKind::NetReset { nth } => format!("net-reset={nth}"),
+            FaultKind::NetStall { ms } => format!("net-stall={ms}"),
         };
         match &self.target {
             Some(t) => format!("{head}@{t}"),
@@ -276,6 +348,25 @@ impl FaultPlan {
                 },
                 "malformed-ir" => FaultKind::MalformedIr,
                 "stale-profile" => FaultKind::StaleProfile,
+                "disk-torn" => FaultKind::DiskTornWrite { at: num("bytes")? },
+                "disk-bitflip" => FaultKind::DiskBitFlip { bit: num("bit")? },
+                "disk-fsync-fail" => FaultKind::DiskFsyncFail {
+                    nth: num("nth")?.max(1),
+                },
+                "disk-short-read" => FaultKind::DiskShortRead { len: num("bytes")? },
+                "net-drop" => FaultKind::NetDropFrame {
+                    nth: num("nth")?.max(1),
+                },
+                "net-dup" => FaultKind::NetDupFrame {
+                    nth: num("nth")?.max(1),
+                },
+                "net-trunc" => FaultKind::NetTruncFrame {
+                    nth: num("nth")?.max(1),
+                },
+                "net-reset" => FaultKind::NetReset {
+                    nth: num("nth")?.max(1),
+                },
+                "net-stall" => FaultKind::NetStall { ms: num("ms")? },
                 other => return Err(bad(format!("unknown fault `{other}`"))),
             };
             if name != "malformed-ir" && name != "stale-profile" && value.is_none() {
@@ -396,9 +487,20 @@ impl FaultInjector {
                     }
                     *stride = stale;
                 }
+                // Disk and net faults act at the store and wire layers
+                // (the server converts them); profiles are untouched.
                 FaultKind::FuelExhaustion { .. }
                 | FaultKind::AddressLimit { .. }
-                | FaultKind::MalformedIr => {}
+                | FaultKind::MalformedIr
+                | FaultKind::DiskTornWrite { .. }
+                | FaultKind::DiskBitFlip { .. }
+                | FaultKind::DiskFsyncFail { .. }
+                | FaultKind::DiskShortRead { .. }
+                | FaultKind::NetDropFrame { .. }
+                | FaultKind::NetDupFrame { .. }
+                | FaultKind::NetTruncFrame { .. }
+                | FaultKind::NetReset { .. }
+                | FaultKind::NetStall { .. } => {}
             }
         }
     }
@@ -527,6 +629,22 @@ mod tests {
         );
         let reparsed = FaultPlan::parse(&plan.spec()).unwrap();
         assert_eq!(plan, reparsed);
+    }
+
+    #[test]
+    fn disk_and_net_faults_parse_and_are_profile_noops() {
+        let spec = "seed=5;disk-torn=12;disk-bitflip=77;disk-fsync-fail=2;disk-short-read=100;\
+                    net-drop=1;net-dup=3;net-trunc=2;net-reset=1;net-stall=40";
+        let plan = FaultPlan::parse(spec).unwrap();
+        assert_eq!(plan.scenarios.len(), 9);
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        // They act at the store/wire layers; profiles are untouched.
+        let inj = FaultInjector::new(plan);
+        let mut edge = EdgeProfile::default();
+        let mut s = sample_stride();
+        inj.apply_to_profiles("w", &mut edge, &mut s);
+        assert_eq!(s.len(), 8);
+        assert!(s.iter().all(|(_, _, p)| p.top.len() == 4));
     }
 
     #[test]

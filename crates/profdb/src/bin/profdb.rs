@@ -1,0 +1,174 @@
+//! `profdb` — offline administration for a profile database directory.
+//!
+//! ```text
+//! profdb check   [--db DIR]                  read-only integrity audit
+//! profdb list    [--db DIR]                  list entries (verified checksums)
+//! profdb recover [--db DIR]                  replay the WAL, quarantine damage
+//! profdb gc      [--db DIR] --keep A,B [--dry-run]
+//! ```
+//!
+//! `check`, `list`, and `gc` never mutate the store: they open it without
+//! running recovery, so a crash-interrupted database is reported (and, for
+//! `gc`, refused) rather than silently repaired. Only `recover` applies
+//! the WAL; it then checkpoints so the applied tail is retired and later
+//! unrecovered opens see a clean log.
+//!
+//! Exit status: 0 ok, 1 corruption/refused/failed, 2 usage.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use stride_profdb::{check, recover, DiskFaults, ProfileDb};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: profdb COMMAND [--db DIR] [FLAGS]\n\
+         \n\
+         \x20 check                  audit WAL and entry checksums (read-only)\n\
+         \x20 list                   list entries; corrupt entries are counted, not shown\n\
+         \x20 recover                replay the WAL: apply complete records, truncate a\n\
+         \x20                        torn tail, quarantine checksum failures\n\
+         \x20 gc --keep A,B          remove entries for workloads not in the keep list\n\
+         \x20    [--dry-run]         print what gc would remove, remove nothing\n\
+         \n\
+         \x20 --db DIR               database directory (default ./profdb)\n\
+         \n\
+         gc refuses to run while the WAL has an unapplied tail; run\n\
+         `profdb recover` first.\n\
+         exit codes: 0 ok, 1 corruption/refused/failed, 2 usage"
+    );
+    ExitCode::from(2)
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    let rest = &args[1..];
+    let db = PathBuf::from(flag_value(rest, "--db").unwrap_or_else(|| "profdb".to_string()));
+
+    match cmd {
+        "check" => {
+            let (report, healthy) = check(&db);
+            print!("{report}");
+            if healthy {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        "list" => {
+            let store = match ProfileDb::open_unrecovered(&db) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("profdb: cannot open {}: {e}", db.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match store.list_verified() {
+                Ok((records, corrupt)) => {
+                    for rec in &records {
+                        println!(
+                            "{} module-hash={:016x} runs={}",
+                            rec.workload, rec.module_hash, rec.runs
+                        );
+                    }
+                    println!(
+                        "{} entr{}, {} corrupt{}",
+                        records.len(),
+                        if records.len() == 1 { "y" } else { "ies" },
+                        corrupt,
+                        if store.wal_pending() {
+                            ", wal tail pending (run `profdb recover`)"
+                        } else {
+                            ""
+                        }
+                    );
+                    if corrupt == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::FAILURE
+                    }
+                }
+                Err(e) => {
+                    eprintln!("profdb: list failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "recover" => match recover(&db, &DiskFaults::default()) {
+            Ok(report) => {
+                println!("{report}");
+                // Checkpoint so the applied tail is retired from the WAL:
+                // without this, the next unrecovered open (check/list/gc)
+                // would still see the records as pending.
+                match ProfileDb::open(&db).and_then(|store| store.checkpoint()) {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(e) => {
+                        eprintln!("profdb: post-recovery checkpoint failed: {e}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("profdb: recovery failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "gc" => {
+            let Some(keep) = flag_value(rest, "--keep") else {
+                eprintln!("profdb: gc needs --keep A,B (an empty value keeps nothing)");
+                return usage();
+            };
+            let dry_run = rest.iter().any(|a| a == "--dry-run");
+            let keep: Vec<String> = keep
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            let store = match ProfileDb::open_unrecovered(&db) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("profdb: cannot open {}: {e}", db.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let live = |workload: &str, _hash: u64| keep.iter().any(|k| k == workload);
+            let outcome = if dry_run {
+                store.gc_plan(live)
+            } else {
+                store.gc(live)
+            };
+            match outcome {
+                Ok(removed) => {
+                    let verb = if dry_run { "would remove" } else { "removed" };
+                    for rec in &removed {
+                        println!(
+                            "{verb} {} module-hash={:016x} runs={}",
+                            rec.workload, rec.module_hash, rec.runs
+                        );
+                    }
+                    println!("gc: {verb} {} entr{}", removed.len(), {
+                        if removed.len() == 1 {
+                            "y"
+                        } else {
+                            "ies"
+                        }
+                    });
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("profdb: gc refused: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

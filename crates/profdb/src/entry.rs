@@ -33,6 +33,12 @@ pub enum DbError {
         /// The missing module hash.
         module_hash: u64,
     },
+    /// The operation is unsafe while the WAL holds an unrecovered tail
+    /// (e.g. gc on a store opened without recovery).
+    PendingWal {
+        /// Why the operation was refused and how to proceed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -54,6 +60,7 @@ impl fmt::Display for DbError {
                 workload,
                 module_hash,
             } => write!(f, "no profile for {workload} @ {module_hash:016x}"),
+            DbError::PendingWal { detail } => write!(f, "pending wal: {detail}"),
         }
     }
 }

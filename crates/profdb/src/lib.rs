@@ -28,8 +28,12 @@
 
 pub mod entry;
 pub mod hash;
+pub mod recovery;
 pub mod store;
+pub mod wal;
 
 pub use entry::{DbError, ProfileEntry};
 pub use hash::{fnv1a64, module_hash};
+pub use recovery::{check, recover, RecoveryReport, QUARANTINE_DIR};
 pub use store::{DbRecord, ProfileDb};
+pub use wal::{scan_wal, DiskFaults, Wal, WalRecord, WalScan};

@@ -1,0 +1,275 @@
+//! Startup recovery: turn whatever bytes a crash left behind into a
+//! consistent store, without ever panicking or aborting.
+//!
+//! The recovery state machine scans the WAL front to back:
+//!
+//! ```text
+//!         ┌────────────┐  record verifies   ┌──────────────┐
+//! scan ──▶│ good record │──────────────────▶│ replay (redo) │
+//!         └────────────┘                    └──────────────┘
+//!               │ checksum fails, boundary plausible
+//!               ▼
+//!         ┌────────────┐  bytes preserved under quarantine/
+//!         │ quarantine  │──▶ keep scanning at the next boundary
+//!         └────────────┘
+//!               │ framing lost (bad tag / length overruns EOF)
+//!               ▼
+//!         ┌────────────┐  file truncated at the last good byte
+//!         │ torn tail   │──▶ stop
+//!         └────────────┘
+//! ```
+//!
+//! Replay is **idempotent and non-regressing**: an `E` record holds the
+//! absolute post-merge entry, and it is applied only when the entry file
+//! is missing, unreadable, or older (fewer merged runs) than the record.
+//! So a record whose apply completed before the crash is a no-op, a
+//! record that never reached its entry file is redone, and a record that
+//! is *older* than the on-disk entry (possible when a later redo for the
+//! same key survived) never rolls state back. A recovered store is
+//! therefore always equal to the state just before or just after each
+//! logged merge — never a mix.
+
+use crate::entry::{DbError, ProfileEntry};
+use crate::store::{entry_file_text, write_entry_file};
+use crate::wal::{scan_wal, DiskFaults, ScanItem, Wal, WalScan, RECORD_HEADER, WAL_FILE};
+use std::fmt;
+use std::path::Path;
+
+/// Subdirectory corrupt WAL bytes are preserved under.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// What recovery found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The WAL ended in a valid checkpoint footer (clean shutdown).
+    pub clean: bool,
+    /// Redo records whose state was written to entry files.
+    pub replayed: usize,
+    /// Redo records already reflected on disk (idempotent no-ops).
+    pub already_applied: usize,
+    /// Checksum-failed records preserved under `quarantine/`.
+    pub quarantined: usize,
+    /// Redo records whose payload no longer parsed (also quarantined).
+    pub unparseable: usize,
+    /// Bytes cut from a torn tail, when one was found.
+    pub torn_tail_bytes: Option<u64>,
+    /// Idempotency ids recovered from `E` and `I` records.
+    pub applied_ids: Vec<u64>,
+}
+
+impl RecoveryReport {
+    /// Anything other than a clean, empty replay happened.
+    pub fn eventful(&self) -> bool {
+        self.replayed > 0
+            || self.quarantined > 0
+            || self.unparseable > 0
+            || self.torn_tail_bytes.is_some()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "recovery: {} replayed, {} already applied, {} quarantined, {} unparseable, {}, {}",
+            self.replayed,
+            self.already_applied,
+            self.quarantined,
+            self.unparseable,
+            match self.torn_tail_bytes {
+                Some(n) => format!("torn tail {n} byte(s) truncated"),
+                None => "no torn tail".to_string(),
+            },
+            if self.clean {
+                "clean footer"
+            } else {
+                "no clean footer"
+            }
+        )
+    }
+}
+
+fn quarantine_bytes(root: &Path, offset: u64, bytes: &[u8]) -> Result<(), DbError> {
+    let dir = root.join(QUARANTINE_DIR);
+    std::fs::create_dir_all(&dir).map_err(|e| DbError::Io(format!("{}: {e}", dir.display())))?;
+    let path = dir.join(format!("wal-{offset:012}.bin"));
+    std::fs::write(&path, bytes).map_err(|e| DbError::Io(format!("{}: {e}", path.display())))
+}
+
+/// Should `record_entry` be written over what the store currently holds
+/// for its key? Missing/corrupt files are always overwritten; otherwise
+/// only a strictly newer record (more merged runs) applies.
+fn should_apply(root: &Path, rec: &ProfileEntry) -> bool {
+    match entry_file_text(root, &rec.workload, rec.module_hash)
+        .ok()
+        .flatten()
+        .and_then(|text| ProfileEntry::from_text(&text).ok())
+    {
+        Some(current) => current.runs < rec.runs,
+        None => true,
+    }
+}
+
+/// Runs recovery over the database at `root`: replays complete WAL
+/// records, truncates a torn tail, quarantines checksum-failed bytes,
+/// and returns what happened. Safe to run any number of times.
+///
+/// # Errors
+///
+/// Returns [`DbError::Io`] only for filesystem failures while repairing;
+/// corrupt *content* never errors — it is quarantined or truncated.
+pub fn recover(root: &Path, faults: &DiskFaults) -> Result<RecoveryReport, DbError> {
+    let scan = scan_wal(root, faults)?;
+    let mut report = RecoveryReport {
+        clean: scan.clean_footer,
+        ..RecoveryReport::default()
+    };
+    let wal_path = root.join(WAL_FILE);
+    for item in &scan.items {
+        match item {
+            ScanItem::Record { offset, record } => match record.kind {
+                crate::wal::RecordKind::Entry => {
+                    if record.req_id != 0 {
+                        report.applied_ids.push(record.req_id);
+                    }
+                    let text = match std::str::from_utf8(&record.payload) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            report.unparseable += 1;
+                            quarantine_bytes(root, *offset, &record.payload)?;
+                            continue;
+                        }
+                    };
+                    match ProfileEntry::from_text(text) {
+                        Ok(entry) => {
+                            if should_apply(root, &entry) {
+                                write_entry_file(root, &entry)?;
+                                report.replayed += 1;
+                            } else {
+                                report.already_applied += 1;
+                            }
+                        }
+                        Err(_) => {
+                            report.unparseable += 1;
+                            quarantine_bytes(root, *offset, &record.payload)?;
+                        }
+                    }
+                }
+                crate::wal::RecordKind::Ids => {
+                    report.applied_ids.extend(record.unpack_ids());
+                }
+                crate::wal::RecordKind::Footer => {}
+            },
+            ScanItem::Corrupt { offset, bytes } => {
+                report.quarantined += 1;
+                quarantine_bytes(root, *offset, bytes)?;
+            }
+            ScanItem::TornTail { offset } => {
+                let cut = scan.file_len - offset;
+                if *offset == 0 {
+                    // Bad magic: the whole file is unusable. Preserve it
+                    // and start a fresh log.
+                    if let Ok(bytes) = std::fs::read(&wal_path) {
+                        quarantine_bytes(root, 0, &bytes)?;
+                        report.quarantined += 1;
+                    }
+                    let _ = std::fs::remove_file(&wal_path);
+                } else {
+                    Wal::truncate_to(&wal_path, *offset)?;
+                }
+                report.torn_tail_bytes = Some(cut);
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Read-only integrity check: scans the WAL (no repair) and loads every
+/// entry file, verifying checksum trailers. Returns a deterministic
+/// multi-line report and whether the store is healthy.
+///
+/// A pending (not yet checkpointed) WAL tail is *not* unhealthy — it
+/// just means recovery will have redo work at next open — but corrupt
+/// records, torn tails, and unreadable entries are.
+pub fn check(root: &Path) -> (String, bool) {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let mut healthy = true;
+    match scan_wal(root, &DiskFaults::default()) {
+        Ok(scan) => {
+            let corrupt = scan
+                .items
+                .iter()
+                .filter(|i| matches!(i, ScanItem::Corrupt { .. }))
+                .count();
+            let torn = scan
+                .items
+                .iter()
+                .any(|i| matches!(i, ScanItem::TornTail { .. }));
+            let _ = writeln!(
+                out,
+                "wal: {} pending record(s), {} corrupt, {}, {}",
+                scan.pending_entries(),
+                corrupt,
+                if torn { "torn tail" } else { "no torn tail" },
+                if scan.clean_footer {
+                    "clean footer"
+                } else {
+                    "no clean footer"
+                }
+            );
+            if corrupt > 0 || torn {
+                healthy = false;
+            }
+        }
+        Err(e) => {
+            let _ = writeln!(out, "wal: unreadable: {e}");
+            healthy = false;
+        }
+    }
+    match crate::store::ProfileDb::open_unrecovered(root) {
+        Ok(db) => match db.list_verified() {
+            Ok((records, bad)) => {
+                let _ = writeln!(out, "entries: {} readable, {} corrupt", records.len(), bad);
+                for rec in &records {
+                    let _ = writeln!(
+                        out,
+                        "  {} @ {:016x}: {} run(s)",
+                        rec.workload, rec.module_hash, rec.runs
+                    );
+                }
+                if bad > 0 {
+                    healthy = false;
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "entries: unlistable: {e}");
+                healthy = false;
+            }
+        },
+        Err(e) => {
+            let _ = writeln!(out, "store: unopenable: {e}");
+            healthy = false;
+        }
+    }
+    let _ = writeln!(out, "verdict: {}", if healthy { "ok" } else { "CORRUPT" });
+    (out, healthy)
+}
+
+/// The WAL byte offset where record `index` (0-based, counting every
+/// scan item) starts — test support for crash-at-offset schedules.
+pub fn record_offsets(scan: &WalScan) -> Vec<u64> {
+    scan.items
+        .iter()
+        .map(|i| match i {
+            ScanItem::Record { offset, .. }
+            | ScanItem::Corrupt { offset, .. }
+            | ScanItem::TornTail { offset } => *offset,
+        })
+        .collect()
+}
+
+/// Size in bytes of an encoded record with `payload_len` payload bytes.
+pub fn encoded_record_len(payload_len: usize) -> usize {
+    RECORD_HEADER + payload_len + crate::wal::RECORD_TRAILER
+}

@@ -1,9 +1,23 @@
 //! The on-disk store: one text file per `(workload, module hash)` key
-//! under a root directory, with atomic replace on write.
+//! under a root directory, with atomic replace on write, a write-ahead
+//! log in front of every merge, and checksum trailers on entry files.
+//!
+//! Durability contract: [`ProfileDb::merge_store_logged`] appends the
+//! post-merge state to the WAL and fsyncs it *before* rewriting the
+//! entry file — the commit point is the fsync. A crash anywhere after it
+//! is repaired by [`crate::recovery::recover`] at the next open; a crash
+//! before it loses only an unacknowledged merge. Idempotency keys
+//! (nonzero request ids) are recorded in the WAL and deduplicated both
+//! live and at replay, so a retried merge can never double-count.
 
 use crate::entry::{DbError, ProfileEntry};
+use crate::hash::fnv1a64;
+use crate::recovery::{recover, RecoveryReport};
+use crate::wal::{scan_wal, write_atomic, DiskFaults, Wal, WalRecord};
+use std::collections::{HashSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
 
 /// One key in the database, as listed without parsing whole entries.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -16,17 +30,52 @@ pub struct DbRecord {
     pub runs: u64,
 }
 
+/// Most-recent idempotency keys remembered for live dedup (and carried
+/// across checkpoints). Old ids age out FIFO.
+const APPLIED_IDS_CAP: usize = 4096;
+
+/// Auto-checkpoint once the WAL grows past this many bytes.
+const DEFAULT_WAL_LIMIT: u64 = 1 << 20;
+
+#[derive(Debug)]
+struct DbState {
+    wal: Wal,
+    applied: HashSet<u64>,
+    applied_order: VecDeque<u64>,
+    dedup_hits: u64,
+}
+
+impl DbState {
+    fn remember(&mut self, id: u64) {
+        if id == 0 || !self.applied.insert(id) {
+            return;
+        }
+        self.applied_order.push_back(id);
+        while self.applied_order.len() > APPLIED_IDS_CAP {
+            if let Some(old) = self.applied_order.pop_front() {
+                self.applied.remove(&old);
+            }
+        }
+    }
+}
+
 /// A profile database rooted at a directory.
 ///
-/// Concurrency: writes are atomic (temp file + rename), but read-merge-
-/// write sequences are not serialized here — the profile daemon holds the
-/// database behind a lock, and the CLI is single-shot.
+/// Concurrency: entry writes are atomic (temp file + fsync + rename) and
+/// the read-merge-write sequence of [`ProfileDb::merge_store_logged`] is
+/// serialized on an internal lock, so concurrent merges from the daemon's
+/// worker pool never interleave mid-merge.
 #[derive(Debug)]
 pub struct ProfileDb {
     root: PathBuf,
+    state: Mutex<DbState>,
+    recovered: bool,
+    recovery: Option<RecoveryReport>,
+    wal_limit: u64,
 }
 
 const SUFFIX: &str = ".profdb";
+const CHECKSUM_PREFIX: &str = "# checksum ";
 
 fn io_err(path: &Path, e: std::io::Error) -> DbError {
     DbError::Io(format!("{}: {e}", path.display()))
@@ -47,16 +96,135 @@ fn check_workload_name(name: &str) -> Result<(), DbError> {
     }
 }
 
+fn entry_path(root: &Path, workload: &str, module_hash: u64) -> PathBuf {
+    root.join(format!("{workload}@{module_hash:016x}{SUFFIX}"))
+}
+
+/// Entry text plus its checksum trailer line.
+fn entry_text_checksummed(entry: &ProfileEntry) -> String {
+    let text = entry.to_text();
+    format!("{text}{CHECKSUM_PREFIX}{:016x}\n", fnv1a64(text.as_bytes()))
+}
+
+/// Verifies an entry file's checksum trailer when one is present.
+/// Trailer-less files (pre-durability format) pass unverified.
+fn verify_entry_text(text: &str) -> Result<(), String> {
+    let Some(start) = text.rfind(CHECKSUM_PREFIX) else {
+        return Ok(());
+    };
+    // The trailer must be the final line.
+    let line = text[start..].trim_end();
+    if text[start + line.len()..].trim() != "" {
+        return Ok(()); // a checksum-looking line mid-file is just a comment
+    }
+    let hex = line[CHECKSUM_PREFIX.len()..].trim();
+    let Ok(want) = u64::from_str_radix(hex, 16) else {
+        return Err(format!("unparsable checksum trailer `{line}`"));
+    };
+    let got = fnv1a64(&text.as_bytes()[..start]);
+    if got != want {
+        return Err(format!(
+            "entry checksum mismatch: file says {want:016x}, content hashes to {got:016x}"
+        ));
+    }
+    Ok(())
+}
+
+/// Atomically (and durably) writes `entry` under `root`. Shared with
+/// recovery's replay path.
+pub(crate) fn write_entry_file(root: &Path, entry: &ProfileEntry) -> Result<(), DbError> {
+    let path = entry_path(root, &entry.workload, entry.module_hash);
+    write_atomic(&path, entry_text_checksummed(entry).as_bytes())
+}
+
+/// Raw text of the entry file under a key (`Ok(None)` when absent). No
+/// checksum verification — recovery wants the raw bytes to judge.
+pub(crate) fn entry_file_text(
+    root: &Path,
+    workload: &str,
+    module_hash: u64,
+) -> Result<Option<String>, DbError> {
+    let path = entry_path(root, workload, module_hash);
+    match fs::read_to_string(&path) {
+        Ok(t) => Ok(Some(t)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(io_err(&path, e)),
+    }
+}
+
 impl ProfileDb {
-    /// Opens (creating if needed) a database rooted at `root`.
+    /// Opens (creating if needed) a database rooted at `root`, running
+    /// crash recovery first: complete WAL records are replayed, torn
+    /// tails truncated, and checksum-failed records quarantined.
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::Io`] when the directory cannot be created.
+    /// Returns [`DbError::Io`] when the directory cannot be created or
+    /// repair writes fail. Corrupt content never fails the open.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self, DbError> {
+        Self::open_with(root, DiskFaults::default())
+    }
+
+    /// [`ProfileDb::open`] with injected disk faults (chaos testing).
+    ///
+    /// # Errors
+    ///
+    /// As [`ProfileDb::open`].
+    pub fn open_with(root: impl Into<PathBuf>, faults: DiskFaults) -> Result<Self, DbError> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
-        Ok(ProfileDb { root })
+        let report = recover(&root, &faults)?;
+        let pending = (report.replayed + report.already_applied) as u64;
+        let wal = Wal::open_append(&root, pending, faults)?;
+        let mut state = DbState {
+            wal,
+            applied: HashSet::new(),
+            applied_order: VecDeque::new(),
+            dedup_hits: 0,
+        };
+        for id in &report.applied_ids {
+            state.remember(*id);
+        }
+        Ok(ProfileDb {
+            root,
+            state: Mutex::new(state),
+            recovered: true,
+            recovery: Some(report),
+            wal_limit: DEFAULT_WAL_LIMIT,
+        })
+    }
+
+    /// Opens without running recovery — for inspection tools. A store
+    /// opened this way refuses to [`ProfileDb::gc`] while the WAL holds
+    /// a pending tail, since removal decisions made on unreplayed state
+    /// would be wrong.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on directory or WAL trouble.
+    pub fn open_unrecovered(root: impl Into<PathBuf>) -> Result<Self, DbError> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
+        let scan = scan_wal(&root, &DiskFaults::default())?;
+        let pending = scan.pending_entries() as u64;
+        let known = scan.known_ids();
+        let wal = Wal::open_append(&root, pending, DiskFaults::default())?;
+        let mut state = DbState {
+            wal,
+            applied: HashSet::new(),
+            applied_order: VecDeque::new(),
+            dedup_hits: 0,
+        };
+        for id in known {
+            state.remember(id);
+        }
+        Ok(ProfileDb {
+            root,
+            state: Mutex::new(state),
+            recovered: false,
+            recovery: None,
+            wal_limit: DEFAULT_WAL_LIMIT,
+        })
     }
 
     /// The database's root directory.
@@ -64,12 +232,33 @@ impl ProfileDb {
         &self.root
     }
 
-    fn path_for(&self, workload: &str, module_hash: u64) -> PathBuf {
-        self.root
-            .join(format!("{workload}@{module_hash:016x}{SUFFIX}"))
+    /// What recovery found at open (absent for
+    /// [`ProfileDb::open_unrecovered`]).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
-    /// Writes `entry`, replacing any previous entry under its key.
+    fn lock(&self) -> std::sync::MutexGuard<'_, DbState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Entry records in the WAL not yet folded away by a checkpoint.
+    pub fn wal_pending(&self) -> bool {
+        self.lock().wal.has_pending()
+    }
+
+    /// Merges deduplicated by an already-seen idempotency key.
+    pub fn dedup_hits(&self) -> u64 {
+        self.lock().dedup_hits
+    }
+
+    fn path_for(&self, workload: &str, module_hash: u64) -> PathBuf {
+        entry_path(&self.root, workload, module_hash)
+    }
+
+    /// Writes `entry`, replacing any previous entry under its key. This
+    /// is a raw write (no WAL record); use
+    /// [`ProfileDb::merge_store_logged`] for crash-safe accumulation.
     ///
     /// # Errors
     ///
@@ -77,32 +266,35 @@ impl ProfileDb {
     /// [`DbError::KeyMismatch`] for unstorable workload names.
     pub fn store(&self, entry: &ProfileEntry) -> Result<(), DbError> {
         check_workload_name(&entry.workload)?;
-        let path = self.path_for(&entry.workload, entry.module_hash);
-        let tmp = path.with_extension("tmp");
-        fs::write(&tmp, entry.to_text()).map_err(|e| io_err(&tmp, e))?;
-        fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
-        Ok(())
+        write_entry_file(&self.root, entry)
     }
 
-    /// Loads the entry under `(workload, module_hash)`.
+    /// Loads the entry under `(workload, module_hash)`, verifying its
+    /// checksum trailer when present.
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::NotFound`] when absent, [`DbError::Parse`] for a
-    /// corrupt file, [`DbError::Io`] otherwise.
+    /// Returns [`DbError::NotFound`] when absent, [`DbError::Parse`] for
+    /// a corrupt file (bad checksum included), [`DbError::Io`] otherwise.
     pub fn load(&self, workload: &str, module_hash: u64) -> Result<ProfileEntry, DbError> {
         check_workload_name(workload)?;
         let path = self.path_for(workload, module_hash);
-        let text = match fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+        let text = match entry_file_text(&self.root, workload, module_hash)? {
+            Some(t) => t,
+            None => {
                 return Err(DbError::NotFound {
                     workload: workload.to_string(),
                     module_hash,
                 })
             }
-            Err(e) => return Err(io_err(&path, e)),
         };
+        if let Err(msg) = verify_entry_text(&text) {
+            return Err(DbError::Parse(stride_profiling::ProfileParseError {
+                line: 1,
+                col: 1,
+                message: format!("{}: {msg}", path.display()),
+            }));
+        }
         let entry = ProfileEntry::from_text(&text)?;
         if entry.workload != workload || entry.module_hash != module_hash {
             return Err(DbError::KeyMismatch(format!(
@@ -115,13 +307,44 @@ impl ProfileDb {
         Ok(entry)
     }
 
-    /// Merges `entry` into the stored entry under the same key (or inserts
-    /// it) and returns the accumulated entry.
+    /// Merges `entry` into the stored entry under the same key (or
+    /// inserts it) and returns the accumulated entry. Crash-safe: see
+    /// [`ProfileDb::merge_store_logged`], which this calls with no
+    /// idempotency key.
     ///
     /// # Errors
     ///
     /// Propagates load/store failures and merge key mismatches.
     pub fn merge_store(&self, entry: &ProfileEntry) -> Result<ProfileEntry, DbError> {
+        self.merge_store_logged(entry, 0).map(|(e, _)| e)
+    }
+
+    /// The crash-safe merge: WAL-append the post-merge state, fsync,
+    /// then apply to the entry file. Returns the accumulated entry and
+    /// whether the request id was a duplicate (in which case nothing was
+    /// merged and the stored entry is returned as-is).
+    ///
+    /// An acknowledgement sent after this returns `Ok` is durable: the
+    /// fsynced redo record reconstructs the entry file even if the
+    /// process dies before (or during) the apply.
+    ///
+    /// # Errors
+    ///
+    /// Propagates load/parse/merge failures, and [`DbError::Io`] when
+    /// the WAL append or fsync fails — in which case the merge must be
+    /// treated as *not applied* and retried.
+    pub fn merge_store_logged(
+        &self,
+        entry: &ProfileEntry,
+        req_id: u64,
+    ) -> Result<(ProfileEntry, bool), DbError> {
+        check_workload_name(&entry.workload)?;
+        let mut st = self.lock();
+        if req_id != 0 && st.applied.contains(&req_id) {
+            st.dedup_hits += 1;
+            let stored = self.load(&entry.workload, entry.module_hash)?;
+            return Ok((stored, true));
+        }
         let merged = match self.load(&entry.workload, entry.module_hash) {
             Ok(mut existing) => {
                 existing.merge(entry)?;
@@ -130,18 +353,51 @@ impl ProfileDb {
             Err(DbError::NotFound { .. }) => entry.clone(),
             Err(e) => return Err(e),
         };
-        self.store(&merged)?;
-        Ok(merged)
+        st.wal
+            .append(&WalRecord::entry(req_id, &merged.to_text()))?;
+        st.wal.sync()?;
+        write_entry_file(&self.root, &merged)?;
+        st.remember(req_id);
+        if st.wal.len() > self.wal_limit {
+            let ids: Vec<u64> = st.applied_order.iter().copied().collect();
+            st.wal.checkpoint(&ids)?;
+        }
+        Ok((merged, false))
+    }
+
+    /// Folds the WAL away: all redo state is already applied, so the log
+    /// is atomically replaced by a fresh one carrying only the
+    /// idempotency-id set and a clean footer. Called on graceful daemon
+    /// shutdown and automatically when the log outgrows its limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on filesystem trouble (the old log stays).
+    pub fn checkpoint(&self) -> Result<(), DbError> {
+        let mut st = self.lock();
+        let ids: Vec<u64> = st.applied_order.iter().copied().collect();
+        st.wal.checkpoint(&ids)
     }
 
     /// Lists all keys, sorted by `(workload, module_hash)`.
     ///
     /// # Errors
     ///
-    /// Returns [`DbError::Io`] on directory trouble; unreadable or foreign
-    /// files are skipped.
+    /// Returns [`DbError::Io`] on directory trouble; unreadable or
+    /// foreign files are skipped.
     pub fn list(&self) -> Result<Vec<DbRecord>, DbError> {
+        self.list_verified().map(|(records, _)| records)
+    }
+
+    /// Like [`ProfileDb::list`], additionally counting entry files that
+    /// failed to load or verify (integrity checking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on directory trouble.
+    pub fn list_verified(&self) -> Result<(Vec<DbRecord>, usize), DbError> {
         let mut out = Vec::new();
+        let mut bad = 0usize;
         let dir = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
         for item in dir {
             let item = item.map_err(|e| io_err(&self.root, e))?;
@@ -156,6 +412,7 @@ impl ProfileDb {
                 continue;
             };
             let Ok(entry) = self.load(workload, module_hash) else {
+                bad += 1;
                 continue;
             };
             out.push(DbRecord {
@@ -165,7 +422,7 @@ impl ProfileDb {
             });
         }
         out.sort();
-        Ok(out)
+        Ok((out, bad))
     }
 
     /// Deletes the entry under a key (no-op when absent).
@@ -182,13 +439,49 @@ impl ProfileDb {
         }
     }
 
-    /// Garbage-collects entries `live` rejects (stale module hashes,
-    /// retired workloads). Returns the removed keys.
+    fn ensure_gc_safe(&self) -> Result<(), DbError> {
+        if !self.recovered && self.wal_pending() {
+            return Err(DbError::PendingWal {
+                detail: "store has an unrecovered WAL tail; open with recovery (or run \
+                         `profdb recover`) before gc"
+                    .to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    /// What [`ProfileDb::gc`] would remove, without removing anything
+    /// (the `--dry-run` listing).
     ///
     /// # Errors
     ///
-    /// Propagates listing and removal failures.
+    /// Returns [`DbError::PendingWal`] on an unrecovered WAL tail, and
+    /// propagates listing failures.
+    pub fn gc_plan(
+        &self,
+        mut live: impl FnMut(&str, u64) -> bool,
+    ) -> Result<Vec<DbRecord>, DbError> {
+        self.ensure_gc_safe()?;
+        Ok(self
+            .list()?
+            .into_iter()
+            .filter(|rec| !live(&rec.workload, rec.module_hash))
+            .collect())
+    }
+
+    /// Garbage-collects entries `live` rejects (stale module hashes,
+    /// retired workloads). Returns the removed keys.
+    ///
+    /// The WAL is checkpointed first: redo records for a removed key
+    /// would otherwise resurrect it at the next open's replay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::PendingWal`] on an unrecovered WAL tail, and
+    /// propagates listing and removal failures.
     pub fn gc(&self, mut live: impl FnMut(&str, u64) -> bool) -> Result<Vec<DbRecord>, DbError> {
+        self.ensure_gc_safe()?;
+        self.checkpoint()?;
         let mut removed = Vec::new();
         for rec in self.list()? {
             if !live(&rec.workload, rec.module_hash) {
@@ -288,6 +581,41 @@ mod tests {
     }
 
     #[test]
+    fn gc_dry_run_removes_nothing() {
+        let db = ProfileDb::open(tmpdir("gcdry")).unwrap();
+        db.store(&entry("mcf", 1, 1)).unwrap();
+        db.store(&entry("gap", 9, 1)).unwrap();
+        let planned = db.gc_plan(|w, _| w == "gap").unwrap();
+        assert_eq!(planned.len(), 1);
+        assert_eq!(planned[0].workload, "mcf");
+        assert_eq!(db.list().unwrap().len(), 2, "dry run must not remove");
+        let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn gc_refuses_on_unrecovered_wal_tail() {
+        let root = tmpdir("gcwal");
+        {
+            let db = ProfileDb::open(&root).unwrap();
+            db.merge_store(&entry("mcf", 1, 1)).unwrap();
+            // No checkpoint: the WAL keeps a pending redo record.
+        }
+        let db = ProfileDb::open_unrecovered(&root).unwrap();
+        let err = db.gc(|_, _| false).unwrap_err();
+        assert!(matches!(err, DbError::PendingWal { .. }), "{err}");
+        assert!(db.gc_plan(|_, _| false).is_err());
+        // After a recovering open, gc proceeds (and checkpoints first).
+        let db = ProfileDb::open(&root).unwrap();
+        let removed = db.gc(|_, _| false).unwrap();
+        assert_eq!(removed.len(), 1);
+        assert!(!db.wal_pending());
+        // The removal survives a reopen — no WAL resurrection.
+        let db = ProfileDb::open(&root).unwrap();
+        assert!(db.list().unwrap().is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn hostile_workload_names_are_rejected() {
         let db = ProfileDb::open(tmpdir("names")).unwrap();
         let mut e = entry("ok", 1, 1);
@@ -295,5 +623,100 @@ mod tests {
         assert!(db.store(&e).is_err());
         assert!(db.load("a/b", 1).is_err());
         let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn corrupt_entry_checksum_is_a_parse_error() {
+        let db = ProfileDb::open(tmpdir("cksum")).unwrap();
+        db.store(&entry("mcf", 5, 9)).unwrap();
+        let path = db.path_for("mcf", 5);
+        let mut text = fs::read_to_string(&path).unwrap();
+        assert!(text.contains(CHECKSUM_PREFIX));
+        text = text.replace("runs 1", "runs 7");
+        fs::write(&path, text).unwrap();
+        let err = db.load("mcf", 5).unwrap_err();
+        assert!(matches!(err, DbError::Parse(_)), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn duplicate_request_ids_merge_once() {
+        let db = ProfileDb::open(tmpdir("dedup")).unwrap();
+        let e = entry("mcf", 3, 10);
+        let (first, dup1) = db.merge_store_logged(&e, 0xfeed).unwrap();
+        assert!(!dup1);
+        assert_eq!(first.runs, 1);
+        let (second, dup2) = db.merge_store_logged(&e, 0xfeed).unwrap();
+        assert!(dup2);
+        assert_eq!(second.runs, 1, "duplicate id must not re-merge");
+        assert_eq!(second, first);
+        assert_eq!(db.dedup_hits(), 1);
+        // A different id merges normally.
+        let (third, dup3) = db.merge_store_logged(&e, 0xbeef).unwrap();
+        assert!(!dup3);
+        assert_eq!(third.runs, 2);
+        let _ = fs::remove_dir_all(db.root());
+    }
+
+    #[test]
+    fn dedup_survives_reopen_and_checkpoint() {
+        let root = tmpdir("dedup-reopen");
+        {
+            let db = ProfileDb::open(&root).unwrap();
+            db.merge_store_logged(&entry("mcf", 3, 10), 0xabc).unwrap();
+        }
+        {
+            // Reopen replays the WAL; the id must still dedup.
+            let db = ProfileDb::open(&root).unwrap();
+            let (e, dup) = db.merge_store_logged(&entry("mcf", 3, 10), 0xabc).unwrap();
+            assert!(dup);
+            assert_eq!(e.runs, 1);
+            db.checkpoint().unwrap();
+        }
+        {
+            // And survives the checkpoint via the id-carryover record.
+            let db = ProfileDb::open(&root).unwrap();
+            let (e, dup) = db.merge_store_logged(&entry("mcf", 3, 10), 0xabc).unwrap();
+            assert!(dup);
+            assert_eq!(e.runs, 1);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn reopen_after_merges_is_idempotent() {
+        let root = tmpdir("reopen");
+        {
+            let db = ProfileDb::open(&root).unwrap();
+            db.merge_store(&entry("mcf", 3, 10)).unwrap();
+            db.merge_store(&entry("mcf", 3, 5)).unwrap();
+        }
+        // The WAL still holds both redo records; replay must not
+        // double-apply them.
+        let db = ProfileDb::open(&root).unwrap();
+        let report = db.recovery_report().unwrap();
+        assert_eq!(report.replayed, 0, "{report}");
+        assert_eq!(report.already_applied, 2, "{report}");
+        let e = db.load("mcf", 3).unwrap();
+        assert_eq!(e.runs, 2);
+        assert_eq!(e.edge_tables[0][0], 15);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_fsync_failure_fails_the_merge() {
+        let root = tmpdir("fsyncfail");
+        let faults = DiskFaults {
+            fsync_fail: Some(1),
+            ..DiskFaults::default()
+        };
+        let db = ProfileDb::open_with(&root, faults).unwrap();
+        let err = db.merge_store(&entry("mcf", 3, 10)).unwrap_err();
+        assert!(matches!(err, DbError::Io(_)), "{err}");
+        // The one-shot fault is spent; the retry lands.
+        let merged = db.merge_store(&entry("mcf", 3, 10)).unwrap();
+        assert_eq!(merged.runs, 1);
+        let _ = fs::remove_dir_all(&root);
     }
 }

@@ -1,0 +1,664 @@
+//! The write-ahead log: every merge is made durable *before* the entry
+//! file is rewritten, so a crash at any byte boundary leaves the store
+//! recoverable.
+//!
+//! # Format (`wal.log`, version 1)
+//!
+//! ```text
+//! magic   8 bytes  b"SPWALv1\n"
+//! record  tag(1) | payload_len(u32 BE) | req_id(u64 BE) | payload | fnv1a64(u64 BE)
+//! ```
+//!
+//! The trailing checksum covers everything from the tag through the
+//! payload, so a torn append, a bit flip, or a garbage tail is always
+//! detectable. Record tags:
+//!
+//! * `E` — entry redo: the payload is the *post-merge* entry text. Redo
+//!   records carry absolute states, not deltas, which is what makes
+//!   replay idempotent: applying a record twice (or applying one whose
+//!   merge already reached the entry file before the crash) rewrites the
+//!   same bytes. `req_id` is the client's idempotency key (0 = none).
+//! * `I` — idempotency-id carryover: the payload is a concatenation of
+//!   big-endian `u64` request ids. Written at checkpoint so the dedup
+//!   set survives WAL truncation.
+//! * `C` — footer: the payload is the `fnv1a64` of the whole file up to
+//!   the record's first byte. A valid footer as the last record marks a
+//!   cleanly checkpointed log; recovery then knows there is no torn
+//!   tail to hunt for.
+//!
+//! The commit protocol for a merge is **append → fsync → apply**: the
+//! caller acknowledges only after the fsync, and the entry file rewrite
+//! can be redone from the log at startup if the process dies in between.
+//! Checkpoints (truncations) go through a temp file + atomic rename, the
+//! same discipline entry files use.
+
+use crate::entry::DbError;
+use crate::hash::fnv1a64;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// WAL file name inside the database root.
+pub const WAL_FILE: &str = "wal.log";
+/// Version-bearing magic at offset 0.
+pub const WAL_MAGIC: &[u8; 8] = b"SPWALv1\n";
+/// Records larger than this are treated as framing corruption, not
+/// allocated (a torn length field must not ask for gigabytes).
+pub const MAX_WAL_RECORD: usize = 64 << 20;
+
+/// Fixed bytes per record around the payload: tag + len + req_id.
+pub(crate) const RECORD_HEADER: usize = 1 + 4 + 8;
+/// Trailing checksum bytes.
+pub(crate) const RECORD_TRAILER: usize = 8;
+
+/// What a record carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecordKind {
+    /// Post-merge entry redo state.
+    Entry,
+    /// Idempotency-id carryover (checkpoint).
+    Ids,
+    /// Clean-checkpoint footer.
+    Footer,
+}
+
+impl RecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            RecordKind::Entry => b'E',
+            RecordKind::Ids => b'I',
+            RecordKind::Footer => b'C',
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<RecordKind> {
+        match tag {
+            b'E' => Some(RecordKind::Entry),
+            b'I' => Some(RecordKind::Ids),
+            b'C' => Some(RecordKind::Footer),
+            _ => None,
+        }
+    }
+}
+
+/// One WAL record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Record type.
+    pub kind: RecordKind,
+    /// Idempotency key (0 when the request carried none).
+    pub req_id: u64,
+    /// Record body (entry text for `E`, packed ids for `I`, file
+    /// checksum for `C`).
+    pub payload: Vec<u8>,
+}
+
+impl WalRecord {
+    /// Builds an entry-redo record.
+    pub fn entry(req_id: u64, entry_text: &str) -> WalRecord {
+        WalRecord {
+            kind: RecordKind::Entry,
+            req_id,
+            payload: entry_text.as_bytes().to_vec(),
+        }
+    }
+
+    /// Builds an id-carryover record.
+    pub fn ids(ids: &[u64]) -> WalRecord {
+        let mut payload = Vec::with_capacity(ids.len() * 8);
+        for id in ids {
+            payload.extend_from_slice(&id.to_be_bytes());
+        }
+        WalRecord {
+            kind: RecordKind::Ids,
+            req_id: 0,
+            payload,
+        }
+    }
+
+    /// Unpacks an id-carryover payload.
+    pub fn unpack_ids(&self) -> Vec<u64> {
+        self.payload
+            .chunks_exact(8)
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                u64::from_be_bytes(b)
+            })
+            .collect()
+    }
+}
+
+/// Serializes a record (header + payload + checksum).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(RECORD_HEADER + rec.payload.len() + RECORD_TRAILER);
+    out.push(rec.kind.tag());
+    out.extend_from_slice(&(rec.payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&rec.req_id.to_be_bytes());
+    out.extend_from_slice(&rec.payload);
+    let sum = fnv1a64(&out);
+    out.extend_from_slice(&sum.to_be_bytes());
+    out
+}
+
+/// Deterministic, injectable disk misbehaviour for chaos testing. Each
+/// field is a one-shot trigger consumed when it fires; `None` means the
+/// disk behaves.
+#[derive(Clone, Debug, Default)]
+pub struct DiskFaults {
+    /// Next WAL append writes only the first `k` bytes of the record and
+    /// reports an I/O error — the shape of a crash mid-write.
+    pub torn_write: Option<u64>,
+    /// Next WAL append silently flips bit `k % record_bits` — latent
+    /// corruption that only the checksum can catch.
+    pub bit_flip: Option<u64>,
+    /// The `n`th upcoming fsync (1-based) fails, so the merge must not
+    /// be acknowledged.
+    pub fsync_fail: Option<u64>,
+    /// Recovery reads at most `k` bytes of the WAL — the shape of a
+    /// short read from a failing device.
+    pub short_read: Option<u64>,
+}
+
+/// One scanned item: a good record, a quarantinable corrupt span, or the
+/// torn tail.
+#[derive(Clone, Debug)]
+pub enum ScanItem {
+    /// A record whose checksum verified.
+    Record {
+        /// Byte offset of the record's tag.
+        offset: u64,
+        /// The decoded record.
+        record: WalRecord,
+    },
+    /// A complete-looking record whose checksum failed: skippable, since
+    /// the length field placed a plausible boundary.
+    Corrupt {
+        /// Byte offset of the record's tag.
+        offset: u64,
+        /// The raw bytes (header through trailer) for quarantine.
+        bytes: Vec<u8>,
+    },
+    /// Unparseable bytes running to end-of-file: a torn append (or a
+    /// corrupted length field). Everything from `offset` must be
+    /// truncated.
+    TornTail {
+        /// Byte offset the tail starts at.
+        offset: u64,
+    },
+}
+
+/// A read-only scan of a WAL file.
+#[derive(Clone, Debug, Default)]
+pub struct WalScan {
+    /// Items in file order.
+    pub items: Vec<ScanItem>,
+    /// True when the last verified record is a footer whose checksum of
+    /// the preceding file bytes matches — a cleanly checkpointed log.
+    pub clean_footer: bool,
+    /// Total file bytes examined.
+    pub file_len: u64,
+}
+
+impl WalScan {
+    /// Entry-redo records in order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &WalRecord)> {
+        self.items.iter().filter_map(|i| match i {
+            ScanItem::Record { offset, record } if record.kind == RecordKind::Entry => {
+                Some((*offset, record))
+            }
+            _ => None,
+        })
+    }
+
+    /// Count of entry-redo records (the "pending tail" gc refuses on).
+    pub fn pending_entries(&self) -> usize {
+        self.entries().count()
+    }
+
+    /// All idempotency ids carried by `E` and `I` records.
+    pub fn known_ids(&self) -> Vec<u64> {
+        let mut ids = Vec::new();
+        for item in &self.items {
+            if let ScanItem::Record { record, .. } = item {
+                match record.kind {
+                    RecordKind::Entry if record.req_id != 0 => ids.push(record.req_id),
+                    RecordKind::Ids => ids.extend(record.unpack_ids()),
+                    _ => {}
+                }
+            }
+        }
+        ids
+    }
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> DbError {
+    DbError::Io(format!("{}: {e}", path.display()))
+}
+
+/// Scans WAL bytes (after the magic) into records / corrupt spans / a
+/// torn tail. Pure — no filesystem mutation.
+fn scan_bytes(bytes: &[u8], base: u64) -> WalScan {
+    let mut scan = WalScan {
+        file_len: base + bytes.len() as u64,
+        ..WalScan::default()
+    };
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let offset = base + at as u64;
+        let rest = &bytes[at..];
+        if rest.len() < RECORD_HEADER + RECORD_TRAILER {
+            scan.items.push(ScanItem::TornTail { offset });
+            return scan;
+        }
+        let tag_ok = RecordKind::from_tag(rest[0]).is_some();
+        let len = u32::from_be_bytes([rest[1], rest[2], rest[3], rest[4]]) as usize;
+        let total = RECORD_HEADER + len + RECORD_TRAILER;
+        if !tag_ok || len > MAX_WAL_RECORD || total > rest.len() {
+            // A bad tag or an implausible/overrunning length means the
+            // framing itself is lost: there is no trustworthy boundary
+            // to resynchronise at, so the rest of the file is a tail.
+            scan.items.push(ScanItem::TornTail { offset });
+            return scan;
+        }
+        let body = &rest[..RECORD_HEADER + len];
+        let want = u64::from_be_bytes({
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&rest[RECORD_HEADER + len..total]);
+            b
+        });
+        if fnv1a64(body) != want {
+            scan.items.push(ScanItem::Corrupt {
+                offset,
+                bytes: rest[..total].to_vec(),
+            });
+            scan.clean_footer = false;
+            at += total;
+            continue;
+        }
+        let kind = match RecordKind::from_tag(rest[0]) {
+            Some(k) => k,
+            None => {
+                // Unreachable (tag_ok checked above); treat as tail.
+                scan.items.push(ScanItem::TornTail { offset });
+                return scan;
+            }
+        };
+        let record = WalRecord {
+            kind,
+            req_id: u64::from_be_bytes({
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&rest[5..13]);
+                b
+            }),
+            payload: rest[RECORD_HEADER..RECORD_HEADER + len].to_vec(),
+        };
+        // A footer is only "clean" when it checksums everything before
+        // itself *and* is the final record.
+        scan.clean_footer = kind == RecordKind::Footer
+            && record.payload.len() == 8
+            && {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&record.payload);
+                // The footer covers magic + all prior records; callers pass
+                // `base` = magic length, so reconstruct the prefix sum.
+                u64::from_be_bytes(b) == fnv1a64_prefixed(base, &bytes[..at])
+            }
+            && at + total == bytes.len();
+        scan.items.push(ScanItem::Record { offset, record });
+        at += total;
+    }
+    scan
+}
+
+/// fnv1a64 of `WAL_MAGIC[..base]` followed by `rest` — the footer's
+/// coverage. `base` is always the magic length in practice.
+fn fnv1a64_prefixed(base: u64, rest: &[u8]) -> u64 {
+    let mut buf = Vec::with_capacity(base as usize + rest.len());
+    buf.extend_from_slice(&WAL_MAGIC[..(base as usize).min(WAL_MAGIC.len())]);
+    buf.extend_from_slice(rest);
+    fnv1a64(&buf)
+}
+
+/// Reads and scans the WAL under `root`, honouring an injected short
+/// read. Missing file scans empty; a bad magic is reported as a torn
+/// tail at offset 0 (the whole file is quarantined by recovery).
+///
+/// # Errors
+///
+/// Returns [`DbError::Io`] on filesystem trouble other than the file
+/// being absent.
+pub fn scan_wal(root: &Path, faults: &DiskFaults) -> Result<WalScan, DbError> {
+    let path = root.join(WAL_FILE);
+    let mut file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
+        Err(e) => return Err(io_err(&path, e)),
+    };
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes).map_err(|e| io_err(&path, e))?;
+    if let Some(cap) = faults.short_read {
+        bytes.truncate(cap as usize);
+    }
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        let mut scan = WalScan {
+            file_len: bytes.len() as u64,
+            ..WalScan::default()
+        };
+        if !bytes.is_empty() {
+            scan.items.push(ScanItem::TornTail { offset: 0 });
+        }
+        return Ok(scan);
+    }
+    Ok(scan_bytes(
+        &bytes[WAL_MAGIC.len()..],
+        WAL_MAGIC.len() as u64,
+    ))
+}
+
+/// Best-effort directory fsync so a rename survives power loss; ignored
+/// on filesystems that refuse to sync directories.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+/// Atomic file replace with durability: write temp, fsync, rename,
+/// fsync the directory.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DbError> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    f.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+    f.sync_all().map_err(|e| io_err(&tmp, e))?;
+    drop(f);
+    std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
+    if let Some(dir) = path.parent() {
+        sync_dir(dir);
+    }
+    Ok(())
+}
+
+/// An open, appendable WAL.
+#[derive(Debug)]
+pub struct Wal {
+    path: PathBuf,
+    file: File,
+    len: u64,
+    entries_since_checkpoint: u64,
+    syncs: u64,
+    faults: DiskFaults,
+}
+
+impl Wal {
+    /// Opens (creating with a fresh magic if needed) the WAL under
+    /// `root` for appending. `pending_entries` is the `E`-record count a
+    /// prior scan found, so [`Wal::has_pending`] is accurate from the
+    /// start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on filesystem trouble.
+    pub fn open_append(
+        root: &Path,
+        pending_entries: u64,
+        faults: DiskFaults,
+    ) -> Result<Wal, DbError> {
+        let path = root.join(WAL_FILE);
+        if !path.exists() {
+            write_atomic(&path, WAL_MAGIC)?;
+        }
+        let file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        let len = file.metadata().map_err(|e| io_err(&path, e))?.len();
+        Ok(Wal {
+            path,
+            file,
+            len,
+            entries_since_checkpoint: pending_entries,
+            syncs: 0,
+            faults,
+        })
+    }
+
+    /// Current file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the WAL holds no bytes past the magic.
+    pub fn is_empty(&self) -> bool {
+        self.len <= WAL_MAGIC.len() as u64
+    }
+
+    /// `E` records written (or found at open) since the last checkpoint.
+    pub fn has_pending(&self) -> bool {
+        self.entries_since_checkpoint > 0
+    }
+
+    /// Appends one record (no fsync — call [`Wal::sync`] before
+    /// acknowledging anything).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on write failure, including an injected
+    /// torn write (which leaves a detectable partial record on disk).
+    pub fn append(&mut self, rec: &WalRecord) -> Result<(), DbError> {
+        let mut bytes = encode_record(rec);
+        if let Some(bit) = self.faults.bit_flip.take() {
+            let nbits = (bytes.len() as u64) * 8;
+            let b = (bit % nbits) as usize;
+            bytes[b / 8] ^= 1 << (b % 8);
+        }
+        if let Some(k) = self.faults.torn_write.take() {
+            let cut = (k as usize).min(bytes.len());
+            let wrote = self.file.write_all(&bytes[..cut]);
+            let _ = self.file.sync_all();
+            self.len += cut as u64;
+            wrote.map_err(|e| io_err(&self.path, e))?;
+            return Err(DbError::Io(format!(
+                "{}: injected torn write after {cut} of {} record bytes",
+                self.path.display(),
+                bytes.len()
+            )));
+        }
+        self.file
+            .write_all(&bytes)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.len += bytes.len() as u64;
+        if rec.kind == RecordKind::Entry {
+            self.entries_since_checkpoint += 1;
+        }
+        Ok(())
+    }
+
+    /// Forces appended records to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on fsync failure (real or injected); the
+    /// caller must treat the preceding append as not durable.
+    pub fn sync(&mut self) -> Result<(), DbError> {
+        self.syncs += 1;
+        if let Some(n) = self.faults.fsync_fail {
+            if self.syncs >= n {
+                self.faults.fsync_fail = None;
+                return Err(DbError::Io(format!(
+                    "{}: injected fsync failure (sync #{})",
+                    self.path.display(),
+                    self.syncs
+                )));
+            }
+        }
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))
+    }
+
+    /// Checkpoints: atomically replaces the log with a fresh one holding
+    /// only the magic, an id-carryover record, and a clean footer. All
+    /// entry redo state must already be applied to entry files.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on filesystem trouble; the old log stays
+    /// in place on failure.
+    pub fn checkpoint(&mut self, carry_ids: &[u64]) -> Result<(), DbError> {
+        let mut buf = WAL_MAGIC.to_vec();
+        if !carry_ids.is_empty() {
+            buf.extend_from_slice(&encode_record(&WalRecord::ids(carry_ids)));
+        }
+        let footer = WalRecord {
+            kind: RecordKind::Footer,
+            req_id: 0,
+            payload: fnv1a64(&buf).to_be_bytes().to_vec(),
+        };
+        buf.extend_from_slice(&encode_record(&footer));
+        write_atomic(&self.path, &buf)?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.len = buf.len() as u64;
+        self.entries_since_checkpoint = 0;
+        Ok(())
+    }
+
+    /// Truncates the file to `len` bytes (recovery's torn-tail cut).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on filesystem trouble.
+    pub fn truncate_to(path: &Path, len: u64) -> Result<(), DbError> {
+        let f = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        f.set_len(len).map_err(|e| io_err(path, e))?;
+        f.sync_all().map_err(|e| io_err(path, e))?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("wal-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn records_round_trip_through_scan() {
+        let root = tmpdir("roundtrip");
+        let mut wal = Wal::open_append(&root, 0, DiskFaults::default()).unwrap();
+        wal.append(&WalRecord::entry(7, "# profdb v1\n")).unwrap();
+        wal.append(&WalRecord::ids(&[1, 2, 3])).unwrap();
+        wal.sync().unwrap();
+        let scan = scan_wal(&root, &DiskFaults::default()).unwrap();
+        assert_eq!(scan.items.len(), 2);
+        assert_eq!(scan.pending_entries(), 1);
+        assert_eq!(scan.known_ids(), vec![7, 1, 2, 3]);
+        assert!(!scan.clean_footer);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_leaves_a_clean_footer() {
+        let root = tmpdir("footer");
+        let mut wal = Wal::open_append(&root, 0, DiskFaults::default()).unwrap();
+        wal.append(&WalRecord::entry(9, "x")).unwrap();
+        wal.sync().unwrap();
+        assert!(wal.has_pending());
+        wal.checkpoint(&[9]).unwrap();
+        assert!(!wal.has_pending());
+        let scan = scan_wal(&root, &DiskFaults::default()).unwrap();
+        assert!(scan.clean_footer, "{scan:?}");
+        assert_eq!(scan.pending_entries(), 0);
+        assert_eq!(scan.known_ids(), vec![9]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_append_is_a_torn_tail() {
+        let root = tmpdir("torn");
+        let mut wal = Wal::open_append(&root, 0, DiskFaults::default()).unwrap();
+        wal.append(&WalRecord::entry(1, "first")).unwrap();
+        wal.sync().unwrap();
+        // Crash mid-append: only half the record lands.
+        let rec = encode_record(&WalRecord::entry(2, "second"));
+        let mut f = OpenOptions::new()
+            .append(true)
+            .open(root.join(WAL_FILE))
+            .unwrap();
+        f.write_all(&rec[..rec.len() / 2]).unwrap();
+        drop(f);
+        let scan = scan_wal(&root, &DiskFaults::default()).unwrap();
+        assert_eq!(scan.pending_entries(), 1);
+        assert!(matches!(scan.items.last(), Some(ScanItem::TornTail { .. })));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bit_flip_is_quarantinable_not_fatal() {
+        let root = tmpdir("flip");
+        let faults = DiskFaults {
+            bit_flip: Some(200),
+            ..DiskFaults::default()
+        };
+        let mut wal = Wal::open_append(&root, 0, faults).unwrap();
+        wal.append(&WalRecord::entry(1, "will be flipped")).unwrap();
+        wal.append(&WalRecord::entry(2, "clean after")).unwrap();
+        wal.sync().unwrap();
+        let scan = scan_wal(&root, &DiskFaults::default()).unwrap();
+        let corrupt = scan
+            .items
+            .iter()
+            .filter(|i| matches!(i, ScanItem::Corrupt { .. }))
+            .count();
+        assert_eq!(corrupt, 1, "{scan:?}");
+        // The record after the corruption still scans.
+        assert_eq!(scan.pending_entries(), 1);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn injected_fsync_failure_surfaces() {
+        let root = tmpdir("fsync");
+        let faults = DiskFaults {
+            fsync_fail: Some(1),
+            ..DiskFaults::default()
+        };
+        let mut wal = Wal::open_append(&root, 0, faults).unwrap();
+        wal.append(&WalRecord::entry(1, "x")).unwrap();
+        assert!(wal.sync().is_err());
+        // One-shot: the next sync succeeds.
+        assert!(wal.sync().is_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn short_read_truncates_the_scan() {
+        let root = tmpdir("short");
+        let mut wal = Wal::open_append(&root, 0, DiskFaults::default()).unwrap();
+        wal.append(&WalRecord::entry(1, "first")).unwrap();
+        wal.append(&WalRecord::entry(2, "second")).unwrap();
+        wal.sync().unwrap();
+        let full = scan_wal(&root, &DiskFaults::default()).unwrap();
+        assert_eq!(full.pending_entries(), 2);
+        let faults = DiskFaults {
+            short_read: Some(full.file_len - 3),
+            ..DiskFaults::default()
+        };
+        let short = scan_wal(&root, &faults).unwrap();
+        assert_eq!(short.pending_entries(), 1);
+        assert!(matches!(
+            short.items.last(),
+            Some(ScanItem::TornTail { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

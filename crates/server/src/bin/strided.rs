@@ -96,6 +96,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Surface what startup recovery had to do before accepting traffic, so
+    // operators (and the chaos harness) can audit crash handling.
+    match server.service().recovery_report() {
+        Some(report) if report.eventful() => println!("{report}"),
+        _ => println!("recovery: clean start"),
+    }
     println!("listening on {}", server.addr());
     server.join();
     println!("strided: shut down cleanly");

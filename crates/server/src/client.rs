@@ -1,44 +1,362 @@
-//! A blocking client for the daemon: one TCP connection, framed
-//! request/response round trips. This is all `stridectl` needs.
+//! A blocking, resilient client for the daemon: one TCP connection,
+//! framed request/response round trips, deterministic retry with
+//! exponential backoff, reconnect-on-reset, and idempotency ids that
+//! make a retried `merge-profile` merge exactly once.
 
-use crate::proto::{read_frame, write_frame, Request, Response};
+use crate::proto::{
+    encode_frame, encode_request, read_frame, ErrorKind, Request, RequestMeta, Response,
+};
 use std::io;
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Retry configuration: how many attempts a [`Client::call`] gets and
+/// how the waits between them grow.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts (first try included). 1 disables retries.
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in milliseconds.
+    pub base_delay_ms: u64,
+    /// Ceiling on any single backoff, in milliseconds.
+    pub max_delay_ms: u64,
+    /// Seed for the deterministic jitter. The same seed produces a
+    /// byte-identical schedule on every run, at any parallelism — chaos
+    /// campaigns stay reproducible.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_delay_ms: 10,
+            max_delay_ms: 2_000,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that fails fast (single attempt, no waits).
+    pub fn no_retries() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// The full backoff schedule a policy produces: one wait (milliseconds)
+/// before each retry, so `max_attempts - 1` entries. Pure — this *is*
+/// the schedule [`Client::call`] sleeps through, exposed so tests can
+/// assert determinism without a server.
+///
+/// Wait `i` is `min(base << i, max)`, half fixed and half scaled by a
+/// `splitmix64(seed ^ (i+1))` fraction — jitter that decorrelates
+/// clients with different seeds while staying reproducible for equal
+/// ones.
+pub fn backoff_schedule(policy: &RetryPolicy) -> Vec<u64> {
+    let retries = policy.max_attempts.saturating_sub(1);
+    (0..retries)
+        .map(|i| {
+            let exp = policy
+                .base_delay_ms
+                .saturating_mul(1u64 << i.min(32))
+                .min(policy.max_delay_ms);
+            let jitter = splitmix64_mix(policy.jitter_seed ^ (u64::from(i) + 1)) % 1_000;
+            exp / 2 + exp / 2 * jitter / 1_000 + exp % 2
+        })
+        .collect()
+}
 
 /// One connection to a running daemon. Requests are pipelinable in
 /// principle, but [`Client::call`] keeps the simple lockstep discipline:
-/// send one frame, read one frame.
+/// send one frame, read one frame (retrying per the policy).
 pub struct Client {
-    stream: TcpStream,
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    policy: RetryPolicy,
+    /// Deadline (fuel budget) attached to every request's meta.
+    deadline_fuel: Option<u64>,
+    /// Idempotency-id stream state.
+    id_state: u64,
+    /// Calls made (drives the id stream and the dup-request fault).
+    calls: u64,
+    /// Injected fault: duplicate the request frame of the `nth` call.
+    dup_request_nth: Option<u64>,
+    /// Human-readable retry/reconnect events from the most recent call.
+    trace: Vec<String>,
+}
+
+fn connect_stream(addr: SocketAddr) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    // Request/response ping-pong over small frames: Nagle only adds
+    // latency here, never useful batching.
+    stream.set_nodelay(true)?;
+    Ok(stream)
 }
 
 impl Client {
-    /// Connects to a daemon at `addr`.
+    /// Connects to a daemon at `addr` with the default retry policy.
     ///
     /// # Errors
     ///
     /// Connection failures.
     pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        // Request/response ping-pong over small frames: Nagle only adds
-        // latency here, never useful batching.
-        stream.set_nodelay(true)?;
-        Ok(Client { stream })
+        Self::connect_with(addr, RetryPolicy::default())
     }
 
-    /// Sends `req` and waits for the daemon's response.
+    /// Connects with an explicit retry policy.
     ///
     /// # Errors
     ///
-    /// Transport failures, a server that hung up mid-exchange, or an
-    /// unparseable response frame. Server-side failures are *not* `Err`:
-    /// they arrive as [`Response::Err`] with a typed [`crate::ErrorKind`].
+    /// Connection failures (the initial connect is not retried — a
+    /// daemon that is not there yet is the caller's loop to write).
+    pub fn connect_with<A: ToSocketAddrs>(addr: A, policy: RetryPolicy) -> io::Result<Client> {
+        let addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })?;
+        let stream = connect_stream(addr)?;
+        // Ids must differ across clients even with equal jitter seeds,
+        // or two clients' distinct merges would wrongly deduplicate:
+        // fold in the OS-assigned ephemeral port.
+        let local = stream
+            .local_addr()
+            .map(|a| u64::from(a.port()))
+            .unwrap_or(0);
+        Ok(Client {
+            addr,
+            stream: Some(stream),
+            policy,
+            deadline_fuel: None,
+            id_state: splitmix64_mix(policy.jitter_seed ^ (local << 17) ^ 0x1d_c0de),
+            calls: 0,
+            dup_request_nth: None,
+            trace: Vec::new(),
+        })
+    }
+
+    /// Attaches a deadline (VM fuel budget) to every subsequent request.
+    pub fn set_deadline_fuel(&mut self, fuel: Option<u64>) {
+        self.deadline_fuel = fuel;
+    }
+
+    /// Overrides the idempotency-id stream (tests pin ids this way).
+    pub fn set_id_state(&mut self, state: u64) {
+        self.id_state = state;
+    }
+
+    /// Injected fault: send the `nth` (1-based) call's request frame
+    /// twice — duplicate delivery the server's idempotency ids must
+    /// absorb.
+    pub fn set_dup_request_nth(&mut self, nth: Option<u64>) {
+        self.dup_request_nth = nth;
+    }
+
+    /// Retry/reconnect events from the most recent [`Client::call`]
+    /// (empty when it succeeded first try).
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    fn next_req_id(&mut self) -> u64 {
+        // splitmix64 stream; 0 is reserved for "no id".
+        loop {
+            self.id_state = self.id_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let id = splitmix64_mix(self.id_state);
+            if id != 0 {
+                return id;
+            }
+        }
+    }
+
+    /// Sends `req` and waits for the daemon's response, retrying
+    /// transport failures and `busy` shedding per the policy (with
+    /// reconnect between attempts). A `merge-profile` request carries an
+    /// idempotency id that is stable across its retries, so a duplicate
+    /// arrival merges exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures that survive the whole retry budget (the
+    /// message carries the attempt count; [`Client::trace`] has the
+    /// per-attempt detail). Server-side failures other than `busy` are
+    /// *not* `Err`: they arrive as [`Response::Err`] with a typed
+    /// [`crate::ErrorKind`].
     pub fn call(&mut self, req: &Request) -> io::Result<Response> {
-        write_frame(&mut self.stream, &req.to_bytes())?;
-        let payload = read_frame(&mut self.stream)?.ok_or_else(|| {
+        self.trace.clear();
+        self.calls += 1;
+        let meta = RequestMeta {
+            // Only merges get ids: they are the requests whose retry
+            // must not double-count. (An id on every request would cost
+            // WAL traffic for no dedup value.)
+            req_id: match req {
+                Request::MergeProfile { .. } => self.next_req_id(),
+                _ => 0,
+            },
+            deadline_fuel: self.deadline_fuel,
+        };
+        let payload = encode_request(&meta, req);
+        let duplicate = self.dup_request_nth == Some(self.calls);
+        let schedule = backoff_schedule(&self.policy);
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..self.policy.max_attempts {
+            if attempt > 0 {
+                let base_wait = schedule
+                    .get(attempt as usize - 1)
+                    .copied()
+                    .unwrap_or(self.policy.max_delay_ms);
+                // A server-provided retry-after hint extends (never
+                // shortens) the backoff.
+                let wait = match &last_err {
+                    Some(e) => match parse_retry_after(e) {
+                        Some(hint) => base_wait.max(hint),
+                        None => base_wait,
+                    },
+                    None => base_wait,
+                };
+                std::thread::sleep(std::time::Duration::from_millis(wait));
+            }
+            match self.attempt(&payload, duplicate) {
+                Ok(resp) => {
+                    if let Response::Err {
+                        kind: ErrorKind::Busy,
+                        message,
+                        retry_after_ms,
+                    } = &resp
+                    {
+                        if attempt + 1 < self.policy.max_attempts {
+                            self.trace.push(format!(
+                                "attempt {}: busy ({message}), retry-after {:?} ms",
+                                attempt + 1,
+                                retry_after_ms
+                            ));
+                            last_err = Some(busy_as_err(*retry_after_ms));
+                            // Busy answers close nothing server-side, but
+                            // shed connections are per-accept: reconnect.
+                            self.stream = None;
+                            continue;
+                        }
+                    }
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.trace
+                        .push(format!("attempt {}: {} ({})", attempt + 1, e, e.kind()));
+                    self.stream = None; // reconnect next attempt
+                    last_err = Some(e);
+                }
+            }
+        }
+        let detail = self.trace.join("; ");
+        Err(io::Error::new(
+            last_err.map(|e| e.kind()).unwrap_or(io::ErrorKind::Other),
+            format!(
+                "retries exhausted after {} attempt(s): {detail}",
+                self.policy.max_attempts
+            ),
+        ))
+    }
+
+    /// One send/receive attempt over the current (or a fresh) stream.
+    fn attempt(&mut self, payload: &[u8], duplicate: bool) -> io::Result<Response> {
+        if self.stream.is_none() {
+            self.stream = Some(connect_stream(self.addr)?);
+            self.trace.push(format!("reconnected to {}", self.addr));
+        }
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(io::Error::other("no connection"));
+        };
+        let frame = encode_frame(payload)?;
+        if duplicate {
+            // Duplicate delivery: the same request frame twice in one
+            // write. Both responses are read below so the lockstep
+            // discipline survives.
+            let mut twice = Vec::with_capacity(frame.len() * 2);
+            twice.extend_from_slice(&frame);
+            twice.extend_from_slice(&frame);
+            stream.write_all(&twice)?;
+        } else {
+            stream.write_all(&frame)?;
+        }
+        stream.flush()?;
+        let payload = read_frame(stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
         })?;
-        Response::from_bytes(&payload)
-            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+        let resp = Response::from_bytes(&payload)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+        if duplicate {
+            // Drain the duplicate's response; the first answer wins.
+            let _ = read_frame(stream)?;
+        }
+        Ok(resp)
+    }
+}
+
+/// Encodes a busy response as an io::Error whose message carries the
+/// retry-after hint (so the backoff loop can honour it uniformly).
+fn busy_as_err(retry_after_ms: Option<u64>) -> io::Error {
+    match retry_after_ms {
+        Some(ms) => io::Error::other(format!("server busy; retry-after={ms}")),
+        None => io::Error::other("server busy"),
+    }
+}
+
+fn parse_retry_after(e: &io::Error) -> Option<u64> {
+    let text = e.to_string();
+    let at = text.find("retry-after=")?;
+    let rest = &text[at + "retry-after=".len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_deterministic_and_bounded() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            jitter_seed: 42,
+        };
+        let a = backoff_schedule(&policy);
+        let b = backoff_schedule(&policy);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert_eq!(a.len(), 5);
+        for (i, &wait) in a.iter().enumerate() {
+            let exp = (10u64 << i).min(100);
+            assert!(wait >= exp / 2, "wait {wait} below half-floor of {exp}");
+            assert!(wait <= exp + 1, "wait {wait} above cap {exp}");
+        }
+        // A different seed jitters differently (overwhelmingly likely
+        // over 5 slots).
+        let other = backoff_schedule(&RetryPolicy {
+            jitter_seed: 43,
+            ..policy
+        });
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn no_retries_schedule_is_empty() {
+        assert!(backoff_schedule(&RetryPolicy::no_retries()).is_empty());
+    }
+
+    #[test]
+    fn retry_after_hints_parse() {
+        let e = busy_as_err(Some(75));
+        assert_eq!(parse_retry_after(&e), Some(75));
+        let e = busy_as_err(None);
+        assert_eq!(parse_retry_after(&e), None);
     }
 }

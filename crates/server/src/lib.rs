@@ -28,8 +28,11 @@ pub mod queue;
 pub mod server;
 pub mod service;
 
-pub use client::Client;
-pub use proto::{read_frame, write_frame, ErrorKind, Request, Response, MAX_FRAME};
+pub use client::{backoff_schedule, Client, RetryPolicy};
+pub use proto::{
+    decode_request, encode_frame, encode_request, read_frame, write_frame, ErrorKind, Request,
+    RequestMeta, Response, MAX_FRAME, PROTO_VERSION,
+};
 pub use queue::BoundedQueue;
 pub use server::{Server, ServerConfig};
 pub use service::{render_classification, render_speedup, Service, ServiceConfig};

@@ -1,25 +1,41 @@
-//! Wire protocol: length-prefixed frames carrying line-oriented text
-//! requests and responses.
+//! Wire protocol: length-prefixed, checksummed, versioned frames
+//! carrying line-oriented text requests and responses.
 //!
-//! A frame is a big-endian `u32` payload length followed by the payload.
-//! A request payload is one header line — `verb key=value ...` — plus an
-//! optional body after the first newline (IR text, profile entries). A
-//! response payload is `ok` or `err <kind>` on the first line, body
-//! after.
+//! A v2 frame is a big-endian `u32` *wire length* followed by that many
+//! bytes: a protocol version byte (`2`), the payload, and a trailing
+//! `fnv1a64` (big-endian `u64`) over the version byte and payload. The
+//! checksum turns a truncated, duplicated-at-an-offset, or bit-flipped
+//! frame into a typed protocol error instead of a misparse; the version
+//! byte turns a speaks-something-else peer into the same.
+//!
+//! A request payload is an optional `@req` meta line (idempotency id and
+//! deadline — see [`RequestMeta`]), then one header line — `verb
+//! key=value ...` — plus an optional body after the first newline (IR
+//! text, profile entries). A response payload is `ok` or `err <kind>
+//! [retry-after=MS]` on the first line, body after.
 
 use std::io::{Read, Write};
 use stride_core::{PipelineError, ProfilingVariant};
-use stride_profdb::DbError;
+use stride_profdb::{fnv1a64, DbError};
 
 /// Frames larger than this are rejected as a protocol error (guards the
 /// daemon against a garbage length prefix allocating gigabytes).
 pub const MAX_FRAME: usize = 16 << 20;
 
-/// Reads one frame; `Ok(None)` on clean EOF at a frame boundary.
+/// Protocol version carried in every frame.
+pub const PROTO_VERSION: u8 = 2;
+
+/// Version byte + checksum trailer added around each payload.
+const FRAME_OVERHEAD: usize = 1 + 8;
+
+/// Reads one frame and verifies its version byte and checksum; returns
+/// the payload, or `Ok(None)` on clean EOF at a frame boundary.
 ///
 /// # Errors
 ///
-/// I/O failures, truncated frames, and oversized lengths.
+/// I/O failures and `InvalidData` for oversized lengths, runt frames,
+/// version mismatches, and checksum failures — all of which a server
+/// answers with a typed `proto` error before hanging up.
 pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
     let mut len_buf = [0u8; 4];
     let mut filled = 0;
@@ -37,15 +53,69 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
         filled += n;
     }
     let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME {
+    if len > MAX_FRAME + FRAME_OVERHEAD {
         return Err(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte limit"),
         ));
     }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload)?;
-    Ok(Some(payload))
+    if len < FRAME_OVERHEAD {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("runt frame of {len} bytes (minimum is {FRAME_OVERHEAD})"),
+        ));
+    }
+    let mut wire = vec![0u8; len];
+    r.read_exact(&mut wire)?;
+    if wire[0] != PROTO_VERSION {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!(
+                "unsupported protocol version {} (this build speaks {PROTO_VERSION})",
+                wire[0]
+            ),
+        ));
+    }
+    let body_end = len - 8;
+    let want = u64::from_be_bytes({
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&wire[body_end..]);
+        b
+    });
+    let got = fnv1a64(&wire[..body_end]);
+    if got != want {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame checksum mismatch (got {got:016x}, frame says {want:016x})"),
+        ));
+    }
+    wire.truncate(body_end);
+    wire.remove(0);
+    Ok(Some(wire))
+}
+
+/// Encodes a payload as a full wire frame (length prefix, version byte,
+/// payload, checksum) — exposed so fault injectors can manipulate exact
+/// frame bytes.
+///
+/// # Errors
+///
+/// Rejects payloads over [`MAX_FRAME`].
+pub fn encode_frame(payload: &[u8]) -> std::io::Result<Vec<u8>> {
+    if payload.len() > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame too large",
+        ));
+    }
+    let wire_len = payload.len() + FRAME_OVERHEAD;
+    let mut frame = Vec::with_capacity(4 + wire_len);
+    frame.extend_from_slice(&(wire_len as u32).to_be_bytes());
+    frame.push(PROTO_VERSION);
+    frame.extend_from_slice(payload);
+    let sum = fnv1a64(&frame[4..]);
+    frame.extend_from_slice(&sum.to_be_bytes());
+    Ok(frame)
 }
 
 /// Writes one frame.
@@ -54,20 +124,86 @@ pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
 ///
 /// Propagates I/O failures; rejects payloads over [`MAX_FRAME`].
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
-    if payload.len() > MAX_FRAME {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "frame too large",
-        ));
-    }
     // One write per frame: splitting the length prefix from the payload
     // creates a write-write-read pattern that Nagle + delayed ACK turn
     // into ~40 ms stalls per round trip on loopback TCP.
-    let mut frame = Vec::with_capacity(4 + payload.len());
-    frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    frame.extend_from_slice(payload);
+    let frame = encode_frame(payload)?;
     w.write_all(&frame)?;
     w.flush()
+}
+
+/// Per-request metadata riding in front of the request proper: the
+/// client's idempotency id (0 = none; recorded in the WAL so a retried
+/// merge cannot double-count) and an optional deadline expressed as a
+/// VM fuel budget (the server clamps its per-request fuel to it).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RequestMeta {
+    /// Idempotency key; 0 means the request carries none.
+    pub req_id: u64,
+    /// Deadline as a fuel budget; `None` accepts the server default.
+    pub deadline_fuel: Option<u64>,
+}
+
+impl RequestMeta {
+    /// True when the meta carries nothing (encoded as no `@req` line,
+    /// which is also the v1-compatible form).
+    pub fn is_empty(&self) -> bool {
+        self.req_id == 0 && self.deadline_fuel.is_none()
+    }
+}
+
+/// Serializes a request with its meta line.
+pub fn encode_request(meta: &RequestMeta, req: &Request) -> Vec<u8> {
+    let body = req.to_bytes();
+    if meta.is_empty() {
+        return body;
+    }
+    let mut line = format!("@req id={:016x}", meta.req_id);
+    if let Some(fuel) = meta.deadline_fuel {
+        line.push_str(&format!(" deadline={fuel}"));
+    }
+    line.push('\n');
+    let mut out = line.into_bytes();
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Parses a request payload with its optional `@req` meta line.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed meta or request (surfaced
+/// to the client as an [`ErrorKind::Proto`] error).
+pub fn decode_request(payload: &[u8]) -> Result<(RequestMeta, Request), String> {
+    if !payload.starts_with(b"@req") {
+        return Ok((RequestMeta::default(), Request::from_bytes(payload)?));
+    }
+    let text = std::str::from_utf8(payload).map_err(|_| "request is not UTF-8".to_string())?;
+    let (meta_line, rest) = text.split_once('\n').unwrap_or((text, ""));
+    let mut meta = RequestMeta::default();
+    for part in meta_line
+        .strip_prefix("@req")
+        .unwrap_or("")
+        .split_whitespace()
+    {
+        let Some((k, v)) = part.split_once('=') else {
+            return Err(format!("bad @req field `{part}` (expected key=value)"));
+        };
+        match k {
+            "id" => {
+                meta.req_id = u64::from_str_radix(v, 16)
+                    .map_err(|_| format!("bad @req id `{v}` (expected hex)"))?;
+            }
+            "deadline" => {
+                meta.deadline_fuel = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad @req deadline `{v}` (expected integer)"))?,
+                );
+            }
+            other => return Err(format!("unknown @req field `{other}`")),
+        }
+    }
+    Ok((meta, Request::from_bytes(rest.as_bytes())?))
 }
 
 /// A service request.
@@ -345,6 +481,7 @@ impl From<&DbError> for ErrorKind {
             DbError::Stale { .. } => ErrorKind::Stale,
             DbError::KeyMismatch(_) => ErrorKind::Malformed,
             DbError::NotFound { .. } => ErrorKind::NotFound,
+            DbError::PendingWal { .. } => ErrorKind::Malformed,
         }
     }
 }
@@ -361,6 +498,9 @@ pub enum Response {
         /// Human-readable detail (may be multi-line, e.g. caret
         /// diagnostics).
         message: String,
+        /// Load-shedding hint: retry no sooner than this many
+        /// milliseconds (set on `busy` responses).
+        retry_after_ms: Option<u64>,
     },
 }
 
@@ -370,6 +510,16 @@ impl Response {
         Response::Err {
             kind,
             message: message.into(),
+            retry_after_ms: None,
+        }
+    }
+
+    /// Builds a load-shedding `busy` response with a retry-after hint.
+    pub fn busy(message: impl Into<String>, retry_after_ms: u64) -> Response {
+        Response::Err {
+            kind: ErrorKind::Busy,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
         }
     }
 
@@ -377,7 +527,14 @@ impl Response {
     pub fn to_bytes(&self) -> Vec<u8> {
         match self {
             Response::Ok(body) => format!("ok\n{body}").into_bytes(),
-            Response::Err { kind, message } => format!("err {kind}\n{message}").into_bytes(),
+            Response::Err {
+                kind,
+                message,
+                retry_after_ms,
+            } => match retry_after_ms {
+                Some(ms) => format!("err {kind} retry-after={ms}\n{message}").into_bytes(),
+                None => format!("err {kind}\n{message}").into_bytes(),
+            },
         }
     }
 
@@ -395,12 +552,26 @@ impl Response {
         if header == "ok" {
             return Ok(Response::Ok(body.to_string()));
         }
-        if let Some(kind_s) = header.strip_prefix("err ") {
-            let kind = ErrorKind::parse(kind_s.trim())
-                .ok_or_else(|| format!("unknown error kind `{kind_s}`"))?;
+        if let Some(rest) = header.strip_prefix("err ") {
+            let mut parts = rest.split_whitespace();
+            let kind_s = parts.next().unwrap_or("");
+            let kind =
+                ErrorKind::parse(kind_s).ok_or_else(|| format!("unknown error kind `{kind_s}`"))?;
+            let mut retry_after_ms = None;
+            for part in parts {
+                if let Some(ms) = part.strip_prefix("retry-after=") {
+                    retry_after_ms = Some(
+                        ms.parse::<u64>()
+                            .map_err(|_| format!("bad retry-after `{ms}`"))?,
+                    );
+                } else {
+                    return Err(format!("unknown error field `{part}`"));
+                }
+            }
             return Ok(Response::Err {
                 kind,
                 message: body.to_string(),
+                retry_after_ms,
             });
         }
         Err(format!("bad response header `{header}`"))
@@ -493,11 +664,88 @@ mod tests {
             Response::Ok(String::new()),
             Response::err(ErrorKind::Vm, "vm: out of fuel"),
             Response::err(ErrorKind::Busy, ""),
+            Response::busy("queue full", 50),
         ];
         for resp in responses {
             let back = Response::from_bytes(&resp.to_bytes()).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn corrupted_frames_are_typed_protocol_errors() {
+        let mut good = Vec::new();
+        write_frame(&mut good, b"stats").unwrap();
+
+        // Bit flip in the payload: checksum catches it.
+        let mut flipped = good.clone();
+        let last = flipped.len() - 9;
+        flipped[last] ^= 0x40;
+        let err = read_frame(&mut &flipped[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Wrong version byte (re-checksummed so only the version trips).
+        let mut wrong_ver = good.clone();
+        wrong_ver[4] = 1;
+        let sum = fnv1a64(&wrong_ver[4..wrong_ver.len() - 8]);
+        let at = wrong_ver.len() - 8;
+        wrong_ver[at..].copy_from_slice(&sum.to_be_bytes());
+        let err = read_frame(&mut &wrong_ver[..]).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Runt frame: length says fewer bytes than version + checksum.
+        let mut runt = Vec::new();
+        runt.extend_from_slice(&3u32.to_be_bytes());
+        runt.extend_from_slice(&[PROTO_VERSION, 0, 0]);
+        let err = read_frame(&mut &runt[..]).unwrap_err();
+        assert!(err.to_string().contains("runt"), "{err}");
+
+        // Truncated mid-payload: an EOF error, not a hang or misparse.
+        let mut cut = good.clone();
+        cut.truncate(good.len() - 3);
+        assert!(read_frame(&mut &cut[..]).is_err());
+    }
+
+    #[test]
+    fn request_meta_round_trips() {
+        let req = Request::Stats;
+        // No meta: payload is byte-identical to the bare request (v1
+        // compatible) and decodes to the default meta.
+        let bare = encode_request(&RequestMeta::default(), &req);
+        assert_eq!(bare, req.to_bytes());
+        let (meta, back) = decode_request(&bare).unwrap();
+        assert!(meta.is_empty());
+        assert_eq!(back, req);
+
+        // Full meta survives, including in front of a request body.
+        let meta = RequestMeta {
+            req_id: 0xdead_beef_0123,
+            deadline_fuel: Some(750_000),
+        };
+        let merge = Request::MergeProfile {
+            entry_text: "# profdb v1\nworkload x\nmodule 00ff\nruns 1\n".into(),
+        };
+        let bytes = encode_request(&meta, &merge);
+        let (meta_back, req_back) = decode_request(&bytes).unwrap();
+        assert_eq!(meta_back, meta);
+        assert_eq!(req_back, merge);
+
+        // Id without deadline.
+        let meta = RequestMeta {
+            req_id: 7,
+            deadline_fuel: None,
+        };
+        let (meta_back, _) = decode_request(&encode_request(&meta, &req)).unwrap();
+        assert_eq!(meta_back, meta);
+    }
+
+    #[test]
+    fn malformed_request_meta_is_rejected() {
+        assert!(decode_request(b"@req id=zz\nstats").is_err());
+        assert!(decode_request(b"@req deadline=-1\nstats").is_err());
+        assert!(decode_request(b"@req bogus=1\nstats").is_err());
+        assert!(decode_request(b"@req id\nstats").is_err());
     }
 
     #[test]

@@ -1,15 +1,52 @@
 //! The daemon: acceptor thread, bounded connection queue, worker pool,
 //! graceful drain-then-shutdown.
 
-use crate::proto::{read_frame, write_frame, ErrorKind, Request, Response};
+use crate::proto::{
+    decode_request, encode_frame, read_frame, write_frame, ErrorKind, Request, Response,
+};
 use crate::queue::BoundedQueue;
 use crate::service::{Service, ServiceConfig};
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::io::Write as _;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use stride_core::parallel_map_isolated;
+use stride_core::{parallel_map_isolated, FaultInjector, FaultKind};
+
+/// Milliseconds a shed client should wait before retrying (the hint on
+/// `busy` responses).
+pub const BUSY_RETRY_AFTER_MS: u64 = 50;
+
+/// Server-side network faults, distilled from the fault plan: each acts
+/// on the `nth` (1-based, across all connections) response.
+#[derive(Clone, Copy, Debug, Default)]
+struct NetFaults {
+    drop_nth: Option<u64>,
+    trunc_nth: Option<u64>,
+    reset_nth: Option<u64>,
+    stall_ms: Option<u64>,
+}
+
+fn net_faults_of(injector: Option<&FaultInjector>) -> NetFaults {
+    let mut faults = NetFaults::default();
+    let Some(injector) = injector else {
+        return faults;
+    };
+    for scenario in &injector.plan().scenarios {
+        match scenario.kind {
+            FaultKind::NetDropFrame { nth } => faults.drop_nth = Some(nth),
+            FaultKind::NetTruncFrame { nth } => faults.trunc_nth = Some(nth),
+            FaultKind::NetReset { nth } => faults.reset_nth = Some(nth),
+            FaultKind::NetStall { ms } => faults.stall_ms = Some(ms),
+            // NetDupFrame is a client-side fault (duplicate request
+            // delivery); a server duplicating responses would desync
+            // every lockstep client.
+            _ => {}
+        }
+    }
+    faults
+}
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -42,6 +79,10 @@ struct Shared {
     queue: BoundedQueue<TcpStream>,
     service: Service,
     shutdown: AtomicBool,
+    net_faults: NetFaults,
+    /// Responses sent across all connections (drives nth-response net
+    /// faults).
+    responses: AtomicU64,
 }
 
 /// A running daemon; dropping the handle does *not* stop it — send a
@@ -62,12 +103,15 @@ impl Server {
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let net_faults = net_faults_of(config.service.injector.as_ref());
         let service = Service::new(config.service)
             .map_err(|e| io::Error::other(format!("profile db: {e}")))?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_cap.max(1)),
             service,
             shutdown: AtomicBool::new(false),
+            net_faults,
+            responses: AtomicU64::new(0),
         });
 
         let mut threads = Vec::new();
@@ -97,11 +141,19 @@ impl Server {
         trigger_shutdown(&self.shared, self.addr);
     }
 
-    /// Waits for the daemon to finish (after a shutdown trigger).
+    /// Waits for the daemon to finish (after a shutdown trigger), then
+    /// checkpoints the profile database so a graceful exit leaves no
+    /// redo work for the next startup.
     pub fn join(self) {
         for t in self.threads {
             let _ = t.join();
         }
+        self.shared.service.checkpoint();
+    }
+
+    /// Access to the in-process service (tests, direct callers).
+    pub fn service(&self) -> &Service {
+        &self.shared.service
     }
 
     /// Convenience: trigger shutdown and wait.
@@ -136,10 +188,10 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         }
         let _ = stream.set_nodelay(true); // small-frame ping-pong protocol
         if let Err(stream) = shared.queue.try_push(stream) {
-            // Backpressure: answer `busy` on the acceptor thread (cheap)
-            // and close.
+            // Backpressure: answer `busy` with a retry-after hint on the
+            // acceptor thread (cheap) and close.
             let mut stream = stream;
-            let resp = Response::err(ErrorKind::Busy, "connection queue full, retry later");
+            let resp = Response::busy("connection queue full, retry later", BUSY_RETRY_AFTER_MS);
             let _ = write_frame(&mut stream, &resp.to_bytes());
         }
     }
@@ -159,10 +211,18 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
         let payload = match read_frame(&mut stream) {
             Ok(Some(p)) => p,
             Ok(None) => return, // client done
-            Err(_) => return,   // torn connection
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Garbage frame (oversized, runt, bad version, checksum
+                // failure): answer with a typed error, then hang up —
+                // the stream position is untrustworthy after this.
+                let resp = Response::err(ErrorKind::Proto, e.to_string());
+                let _ = write_frame(&mut stream, &resp.to_bytes());
+                return;
+            }
+            Err(_) => return, // torn connection
         };
-        let req = match Request::from_bytes(&payload) {
-            Ok(r) => r,
+        let (meta, req) = match decode_request(&payload) {
+            Ok(pair) => pair,
             Err(msg) => {
                 let resp = Response::err(ErrorKind::Proto, msg);
                 if write_frame(&mut stream, &resp.to_bytes()).is_err() {
@@ -180,7 +240,7 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             return;
         }
         let mut results = parallel_map_isolated(std::slice::from_ref(&req), 1, |_, r| {
-            shared.service.handle(r)
+            shared.service.handle_meta(&meta, r)
         });
         let resp = match results.pop() {
             Some(Ok(resp)) => resp,
@@ -190,10 +250,41 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             ),
             None => Response::err(ErrorKind::Panic, "request handler vanished"),
         };
-        if write_frame(&mut stream, &resp.to_bytes()).is_err() {
+        if !send_response(&mut stream, shared, &resp) {
             return;
         }
     }
+}
+
+/// Writes one response, applying any injected network faults. Returns
+/// false when the connection should be dropped (fault fired or write
+/// failed).
+fn send_response(stream: &mut TcpStream, shared: &Shared, resp: &Response) -> bool {
+    let n = shared.responses.fetch_add(1, Ordering::SeqCst) + 1;
+    let faults = shared.net_faults;
+    if let Some(ms) = faults.stall_ms {
+        std::thread::sleep(std::time::Duration::from_millis(ms));
+    }
+    if faults.drop_nth == Some(n) {
+        // The response vanishes; the client sees a closed connection.
+        let _ = stream.shutdown(Shutdown::Both);
+        return false;
+    }
+    if faults.reset_nth == Some(n) {
+        let _ = stream.shutdown(Shutdown::Both);
+        return false;
+    }
+    if faults.trunc_nth == Some(n) {
+        // Half a frame, then close: the client's frame checksum (or the
+        // short read itself) must catch this.
+        if let Ok(frame) = encode_frame(&resp.to_bytes()) {
+            let _ = stream.write_all(&frame[..frame.len() / 2]);
+            let _ = stream.flush();
+        }
+        let _ = stream.shutdown(Shutdown::Both);
+        return false;
+    }
+    write_frame(stream, &resp.to_bytes()).is_ok()
 }
 
 #[cfg(test)]

@@ -2,19 +2,38 @@
 //! profile database) and the pure `Request -> Response` function the
 //! worker pool drives.
 
-use crate::proto::{ErrorKind, Request, Response};
+use crate::proto::{ErrorKind, Request, RequestMeta, Response};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use stride_core::{
-    classify, corrupt_ir_text, run_profiling, Classification, FaultInjector, PipelineConfig,
-    PipelineError, ProfilingVariant, RunCache, SpeedupOutcome,
+    classify, corrupt_ir_text, run_profiling, Classification, FaultInjector, FaultKind,
+    PipelineConfig, PipelineError, ProfilingVariant, RunCache, SpeedupOutcome,
 };
 use stride_ir::{module_from_string, module_to_string, Module};
-use stride_profdb::{module_hash, DbError, ProfileDb, ProfileEntry};
+use stride_profdb::{module_hash, DbError, DiskFaults, ProfileDb, ProfileEntry};
 use stride_profiling::{EdgeProfile, StrideProfile};
+
+/// Converts the plan's disk fault kinds into the store's injectable
+/// [`DiskFaults`] (later clauses win for the same kind).
+fn disk_faults_of(injector: Option<&FaultInjector>) -> DiskFaults {
+    let mut faults = DiskFaults::default();
+    let Some(injector) = injector else {
+        return faults;
+    };
+    for scenario in &injector.plan().scenarios {
+        match scenario.kind {
+            FaultKind::DiskTornWrite { at } => faults.torn_write = Some(at),
+            FaultKind::DiskBitFlip { bit } => faults.bit_flip = Some(bit),
+            FaultKind::DiskFsyncFail { nth } => faults.fsync_fail = Some(nth),
+            FaultKind::DiskShortRead { len } => faults.short_read = Some(len),
+            _ => {}
+        }
+    }
+    faults
+}
 
 /// Daemon configuration independent of the listening socket.
 #[derive(Clone, Debug)]
@@ -70,7 +89,7 @@ impl Service {
     ///
     /// Returns [`DbError`] when the database root cannot be created.
     pub fn new(config: ServiceConfig) -> Result<Self, DbError> {
-        let db = ProfileDb::open(&config.db_root)?;
+        let db = ProfileDb::open_with(&config.db_root, disk_faults_of(config.injector.as_ref()))?;
         let mut effective = config.pipeline;
         effective.vm.fuel = effective.vm.fuel.min(config.request_fuel);
         Ok(Service {
@@ -112,6 +131,7 @@ impl Service {
         module: &Module,
         variant: ProfilingVariant,
         args: &[i64],
+        config: &PipelineConfig,
     ) -> Result<(EdgeProfile, StrideProfile, stride_profiling::FreqSource), PipelineError> {
         if let Some(injector) = self
             .config
@@ -123,57 +143,93 @@ impl Service {
                 let text = corrupt_ir_text(injector.plan().seed, &module_to_string(module));
                 module_from_string(&text)?;
             }
-            let mut config = self.effective;
+            let mut config = *config;
             config.vm = injector.vm_overrides(workload, config.vm);
             let outcome = run_profiling(module, args, variant, &config)?;
             let (mut edge, mut stride) = (outcome.edge, outcome.stride);
             injector.apply_to_profiles(workload, &mut edge, &mut stride);
             return Ok((edge, stride, outcome.source));
         }
-        let outcome = self
-            .cache
-            .profiling(module, variant, args, &self.effective)?;
+        let outcome = self.cache.profiling(module, variant, args, config)?;
         Ok((outcome.edge.clone(), outcome.stride.clone(), outcome.source))
     }
 
-    /// Handles one request. Never panics by contract of the individual
-    /// handlers; the worker pool still wraps this in `catch_unwind` so a
-    /// bug degrades to an [`ErrorKind::Panic`] wire error.
+    /// Handles one request with no metadata (server-default deadline, no
+    /// idempotency id).
     pub fn handle(&self, req: &Request) -> Response {
+        self.handle_meta(&RequestMeta::default(), req)
+    }
+
+    /// Handles one request under its metadata: the client's deadline
+    /// clamps the fuel budget, and a nonzero idempotency id makes a
+    /// retried `merge-profile` merge exactly once. Never panics by
+    /// contract of the individual handlers; the worker pool still wraps
+    /// this in `catch_unwind` so a bug degrades to an
+    /// [`ErrorKind::Panic`] wire error.
+    pub fn handle_meta(&self, meta: &RequestMeta, req: &Request) -> Response {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        let resp = self.dispatch(req);
+        let resp = self.dispatch(meta, req);
         if matches!(resp, Response::Err { .. }) {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
         resp
     }
 
-    fn dispatch(&self, req: &Request) -> Response {
+    /// The pipeline configuration one request runs under: the server's
+    /// effective config, with the VM fuel further clamped to the
+    /// client's deadline. Deadlines only shrink budgets.
+    fn config_for(&self, meta: &RequestMeta) -> PipelineConfig {
+        let mut config = self.effective;
+        if let Some(fuel) = meta.deadline_fuel {
+            config.vm.fuel = config.vm.fuel.min(fuel);
+        }
+        config
+    }
+
+    fn dispatch(&self, meta: &RequestMeta, req: &Request) -> Response {
+        let config = self.config_for(meta);
         match req {
             Request::SubmitModule { workload, text } => self.submit(workload, text),
             Request::Profile {
                 workload,
                 variant,
                 args,
-            } => self.profile(workload, *variant, args),
+            } => self.profile(workload, *variant, args, &config),
             Request::Classify {
                 workload,
                 variant,
                 args,
-            } => self.classify_req(workload, *variant, args),
+            } => self.classify_req(workload, *variant, args, &config),
             Request::Prefetch {
                 workload,
                 variant,
                 train_args,
                 ref_args,
-            } => self.prefetch(workload, *variant, train_args, ref_args),
+            } => self.prefetch(workload, *variant, train_args, ref_args, &config),
             Request::GetProfile { workload } => self.get_profile(workload),
-            Request::MergeProfile { entry_text } => self.merge_profile(entry_text),
+            Request::MergeProfile { entry_text } => self.merge_profile(entry_text, meta.req_id),
             Request::Stats => Response::Ok(self.stats_body()),
             // The server layer intercepts Shutdown before dispatch; reply
             // affirmatively anyway for direct (in-process) callers.
             Request::Shutdown => Response::Ok("shutting down\n".to_string()),
         }
+    }
+
+    /// Folds the database's WAL away (graceful-shutdown hook). Errors
+    /// are ignored: a failed checkpoint just leaves redo work for the
+    /// next startup's recovery.
+    pub fn checkpoint(&self) {
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        let _ = db.checkpoint();
+    }
+
+    /// What startup recovery found in the database (for operator logs).
+    pub fn recovery_report(&self) -> Option<stride_profdb::RecoveryReport> {
+        self.db
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recovery_report()
+            .cloned()
     }
 
     fn submit(&self, workload: &str, text: &str) -> Response {
@@ -192,12 +248,18 @@ impl Service {
         Response::Ok(format!("module {hash:016x}\n"))
     }
 
-    fn profile(&self, workload: &str, variant: ProfilingVariant, args: &[i64]) -> Response {
+    fn profile(
+        &self,
+        workload: &str,
+        variant: ProfilingVariant,
+        args: &[i64],
+        config: &PipelineConfig,
+    ) -> Response {
         let module = match self.module_of(workload) {
             Ok(m) => m,
             Err(resp) => return resp,
         };
-        let (edge, stride, _) = match self.profiles_for(workload, &module, variant, args) {
+        let (edge, stride, _) = match self.profiles_for(workload, &module, variant, args, config) {
             Ok(p) => p,
             Err(e) => return pipeline_err(&e),
         };
@@ -211,16 +273,23 @@ impl Service {
         Response::Ok(entry.to_text())
     }
 
-    fn classify_req(&self, workload: &str, variant: ProfilingVariant, args: &[i64]) -> Response {
+    fn classify_req(
+        &self,
+        workload: &str,
+        variant: ProfilingVariant,
+        args: &[i64],
+        config: &PipelineConfig,
+    ) -> Response {
         let module = match self.module_of(workload) {
             Ok(m) => m,
             Err(resp) => return resp,
         };
-        let (edge, stride, source) = match self.profiles_for(workload, &module, variant, args) {
-            Ok(p) => p,
-            Err(e) => return pipeline_err(&e),
-        };
-        let classification = classify(&module, &stride, &edge, source, &self.effective.prefetch);
+        let (edge, stride, source) =
+            match self.profiles_for(workload, &module, variant, args, config) {
+                Ok(p) => p,
+                Err(e) => return pipeline_err(&e),
+            };
+        let classification = classify(&module, &stride, &edge, source, &config.prefetch);
         Response::Ok(render_classification(&classification))
     }
 
@@ -230,6 +299,7 @@ impl Service {
         variant: ProfilingVariant,
         train_args: &[i64],
         ref_args: &[i64],
+        config: &PipelineConfig,
     ) -> Response {
         let module = match self.module_of(workload) {
             Ok(m) => m,
@@ -242,17 +312,11 @@ impl Service {
             .filter(|i| i.affects(workload))
         {
             Some(injector) => self.cache.speedup_faulted(
-                &module,
-                workload,
-                train_args,
-                ref_args,
-                variant,
-                &self.effective,
-                injector,
+                &module, workload, train_args, ref_args, variant, config, injector,
             ),
             None => self
                 .cache
-                .speedup(&module, train_args, ref_args, variant, &self.effective),
+                .speedup(&module, train_args, ref_args, variant, config),
         };
         match result {
             Ok(outcome) => Response::Ok(render_speedup(&outcome)),
@@ -273,11 +337,20 @@ impl Service {
         }
     }
 
-    fn merge_profile(&self, entry_text: &str) -> Response {
+    fn merge_profile(&self, entry_text: &str, req_id: u64) -> Response {
         let entry = match ProfileEntry::from_text(entry_text) {
             Ok(e) => e,
             Err(e) => return db_err(&e),
         };
+        // Recovery orders replay by the runs counter, so an entry that
+        // contributes no runs would be indistinguishable from an
+        // already-applied one.
+        if entry.runs == 0 {
+            return Response::err(
+                ErrorKind::Malformed,
+                "merge-profile entry must carry runs >= 1",
+            );
+        }
         // Staleness check: if the workload's module is registered, the
         // incoming entry must match its current content hash.
         if let Ok(module) = self.module_of(&entry.workload) {
@@ -286,32 +359,41 @@ impl Service {
             }
         }
         let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
-        match db.merge_store(&entry) {
-            Ok(merged) => Response::Ok(format!("{}\n", merged.summary())),
+        match db.merge_store_logged(&entry, req_id) {
+            Ok((merged, deduped)) => {
+                let dedup_note = if deduped {
+                    " (duplicate request id)"
+                } else {
+                    ""
+                };
+                Response::Ok(format!("{}{dedup_note}\n", merged.summary()))
+            }
             Err(e) => db_err(&e),
         }
     }
 
     fn stats_body(&self) -> String {
         let cache = self.cache.stats();
-        let db_entries = self
-            .db
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .list()
-            .map(|l| l.len())
-            .unwrap_or(0);
+        let (db_entries, db_runs, dedup_hits, wal_pending) = {
+            let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+            let records = db.list().unwrap_or_default();
+            let runs: u64 = records.iter().map(|r| r.runs).sum();
+            (records.len(), runs, db.dedup_hits(), db.wal_pending())
+        };
         let modules = self
             .modules
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .len();
         format!(
-            "requests {}\nerrors {}\nmodules {}\ndb-entries {}\ncache-hits {}\ncache-misses {}\n",
+            "requests {}\nerrors {}\nmodules {}\ndb-entries {}\ndb-runs {}\ndedup-hits {}\nwal-pending {}\ncache-hits {}\ncache-misses {}\n",
             self.counters.requests.load(Ordering::Relaxed),
             self.counters.errors.load(Ordering::Relaxed),
             modules,
             db_entries,
+            db_runs,
+            dedup_hits,
+            if wal_pending { 1 } else { 0 },
             cache.hits,
             cache.misses,
         )
@@ -396,7 +478,7 @@ mod tests {
     fn ok_body(resp: Response) -> String {
         match resp {
             Response::Ok(body) => body,
-            Response::Err { kind, message } => panic!("unexpected error {kind}: {message}"),
+            Response::Err { kind, message, .. } => panic!("unexpected error {kind}: {message}"),
         }
     }
 
@@ -476,7 +558,7 @@ mod tests {
             workload: "x".into(),
             text: "fn @main( {".into(),
         });
-        let Response::Err { kind, message } = resp else {
+        let Response::Err { kind, message, .. } = resp else {
             panic!("expected parse error")
         };
         assert_eq!(kind, ErrorKind::Parse);

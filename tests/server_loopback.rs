@@ -18,7 +18,7 @@ use stride_prefetch::workloads::{workload_by_name, Scale};
 fn ok_body(resp: Response) -> String {
     match resp {
         Response::Ok(body) => body,
-        Response::Err { kind, message } => panic!("unexpected error [{kind}]: {message}"),
+        Response::Err { kind, message, .. } => panic!("unexpected error [{kind}]: {message}"),
     }
 }
 
