@@ -6,8 +6,18 @@ cd "$(dirname "$0")"
 echo "== build (release, workspace) =="
 cargo build --release --workspace
 
-echo "== test =="
-cargo test -q --workspace
+echo "== test (per package, timed) =="
+pkgs=$(cargo metadata --no-deps --format-version 1 |
+    python3 -c "import json,sys; print(' '.join(sorted(p['name'] for p in json.load(sys.stdin)['packages'])))")
+test_summary=""
+for pkg in $pkgs; do
+    pkg_start=$(date +%s%N)
+    cargo test -q -p "$pkg"
+    pkg_ms=$(( ($(date +%s%N) - pkg_start) / 1000000 ))
+    test_summary="${test_summary}$(printf '%10sms  %s' "$pkg_ms" "$pkg")"$'\n'
+done
+echo "-- test timing summary --"
+printf '%s' "$test_summary"
 
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -18,6 +28,16 @@ cargo fmt --all --check
 echo "== smoke: repro --figure 16 --jobs 2 (test scale) =="
 cargo run --release -q -p stride-bench --bin repro -- \
     --figure 16 --scale test --jobs 2
+
+echo "== smoke: metrics snapshot byte-identical across --jobs =="
+m1=$(mktemp)
+m8=$(mktemp)
+cargo run --release -q -p stride-bench --bin repro -- \
+    --scale test --jobs 1 --metrics-json "$m1" > /dev/null
+cargo run --release -q -p stride-bench --bin repro -- \
+    --scale test --jobs 8 --metrics-json "$m8" > /dev/null
+cmp "$m1" "$m8" || { echo "metrics snapshot differs between --jobs 1 and 8" >&2; exit 1; }
+rm -f "$m1" "$m8"
 
 echo "== smoke: seeded fault campaign (faultsim, test scale) =="
 cargo run --release -q -p stride-bench --bin faultsim -- \
@@ -62,6 +82,10 @@ grep -q '^runs ' "$entry_file" || { echo "get-profile round trip failed" >&2; ex
 ctl merge-profile --file "$entry_file" | grep -q 'run(s)' \
     || { echo "merge-profile round trip failed" >&2; exit 1; }
 ctl stats | grep -q '^requests ' || { echo "stats round trip failed" >&2; exit 1; }
+ctl stats | grep -q '^counter server.req.profile ' \
+    || { echo "stats body lacks structured metrics" >&2; exit 1; }
+ctl top | grep -q '== counters (by value) ==' \
+    || { echo "top round trip failed" >&2; exit 1; }
 ctl shutdown | grep -q 'shutting down' || { echo "shutdown round trip failed" >&2; exit 1; }
 wait "$srv_pid" || { echo "strided exited non-zero" >&2; exit 1; }
 grep -q 'shut down cleanly' "$srv_out" \

@@ -25,8 +25,11 @@
 use std::time::Instant;
 
 use stride_bench::*;
-use stride_core::{FaultInjector, FaultPlan, PipelineConfig, ProfilingVariant};
-use stride_workloads::Scale;
+use stride_core::{
+    instrument, profiling_instr_count, FaultInjector, FaultPlan, PipelineConfig, ProfilingVariant,
+    Registry, TraceEvent,
+};
+use stride_workloads::{all_workloads, Scale};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -34,6 +37,7 @@ fn main() {
     let mut scale = Scale::Paper;
     let mut jobs = default_jobs();
     let mut bench_json: Option<String> = None;
+    let mut metrics_json: Option<String> = None;
     let mut inject: Option<FaultPlan> = None;
     let mut i = 1;
     while i < args.len() {
@@ -71,6 +75,10 @@ fn main() {
             "--bench-json" => {
                 i += 1;
                 bench_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--metrics-json" => {
+                i += 1;
+                metrics_json = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--inject" => {
                 i += 1;
@@ -219,18 +227,78 @@ fn main() {
         }
         eprintln!("perf summary written to {path}");
     }
+    if let Some(path) = metrics_json {
+        let reg = metrics_registry(&summary, &stats, scale, &config);
+        if let Err(e) = std::fs::write(&path, reg.snapshot_json()) {
+            eprintln!("repro: cannot write --metrics-json file {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("metrics snapshot written to {path}");
+    }
+}
+
+/// Builds the deterministic metrics snapshot of one repro invocation.
+///
+/// Every recorded quantity is logical — simulated loads and accesses,
+/// run-cache hit counts, static instrumentation footprints — never
+/// wall-clock or thread-dependent, so the snapshot is byte-identical at
+/// any `--jobs` level for the same figure set, scale and fault plan.
+fn metrics_registry(
+    summary: &PerfSummary,
+    cache: &stride_core::RunCacheStats,
+    scale: Scale,
+    config: &PipelineConfig,
+) -> Registry {
+    let reg = Registry::new();
+    reg.add("repro.cache.hits", cache.hits);
+    reg.add("repro.cache.misses", cache.misses);
+    reg.add("repro.cache.sim_loads", cache.sim_loads);
+    reg.add("repro.cache.sim_accesses", cache.sim_accesses);
+    let loads_hist = reg.histogram("repro.figure.sim_loads");
+    for (i, f) in summary.figures.iter().enumerate() {
+        reg.add(&format!("repro.figure.{}.sim_loads", f.figure), f.sim_loads);
+        reg.add(
+            &format!("repro.figure.{}.sim_accesses", f.figure),
+            f.sim_accesses,
+        );
+        loads_hist.observe(f.sim_loads);
+        // Figures run serially; their index is the logical clock.
+        reg.trace(TraceEvent {
+            clock: i as u64,
+            label: "repro.figure",
+            a: f.sim_loads,
+            b: f.sim_accesses,
+        });
+    }
+    // Static instrumentation footprint per evaluated variant: how many
+    // profiling pseudo-instructions each method plants across the
+    // benchmark suite (the code-growth side of Figs. 20-22).
+    for variant in ProfilingVariant::EVALUATED {
+        let count: u64 = all_workloads(scale)
+            .iter()
+            .map(|w| {
+                profiling_instr_count(
+                    &instrument(&w.module, variant.method(), &config.prefetch).module,
+                ) as u64
+            })
+            .sum();
+        reg.add(&format!("repro.instr.{variant}"), count);
+    }
+    reg
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--figure N] [--scale test|paper] [--jobs N] [--bench-json PATH]\n\
-         \x20            [--inject PLAN]\n\
+         \x20            [--metrics-json PATH] [--inject PLAN]\n\
          \n\
          \x20 --figure N         produce only figure N (15-25); default: all\n\
          \x20 --scale test|paper workload scale (default: paper)\n\
          \x20 --jobs N           worker threads (default: available parallelism; must be >= 1)\n\
          \x20 --bench-json PATH  write a machine-readable perf summary (wall-clock,\n\
          \x20                    simulated loads/sec, run-cache hits) to PATH\n\
+         \x20 --metrics-json PATH  write the deterministic metrics snapshot (logical\n\
+         \x20                    counters/histograms/trace; byte-identical at any --jobs)\n\
          \x20 --inject PLAN      deterministic fault plan, e.g. 'seed=42;fuel=1000@181.mcf'\n\
          \x20                    (failed rows degrade to !! diagnostics; others complete)"
     );

@@ -8,6 +8,7 @@
 //! stridectl [--addr HOST:PORT] get-profile NAME
 //! stridectl [--addr HOST:PORT] merge-profile --file PATH
 //! stridectl [--addr HOST:PORT] stats
+//! stridectl [--addr HOST:PORT] top
 //! stridectl [--addr HOST:PORT] shutdown
 //! stridectl serve-bench [--jobs 1,4,8] [--requests N] [--workload WL]
 //!                       [--scale test|paper] [--bench-json PATH]
@@ -51,7 +52,9 @@ fn usage() -> ExitCode {
          \x20 prefetch NAME [--variant V] [--train 1,2] [--ref 3,4]\n\
          \x20 get-profile NAME                   fetch the accumulated db entry\n\
          \x20 merge-profile --file PATH          merge a saved entry into the db\n\
-         \x20 stats\n\
+         \x20 stats                              raw stats body (legacy keys + metrics)\n\
+         \x20 top                                sorted live-metrics view (counters by\n\
+         \x20                                    value, gauges, latency histograms)\n\
          \x20 shutdown\n\
          \n\
          serve-bench (self-contained loopback throughput benchmark):\n\
@@ -177,6 +180,122 @@ fn round_trip(addr: &str, opts: &NetOpts, req: &Request) -> ExitCode {
             eprintln!("stridectl: transport error: {e}");
             print_trace(client.trace());
             ExitCode::from(EXIT_TRANSPORT)
+        }
+    }
+}
+
+/// One `stats` round trip rendered as a sorted, `top`-like dashboard:
+/// counters descending by value, gauges with their high-water marks,
+/// histograms with count/sum/mean, and the tail of the trace ring.
+/// Deterministic for a given stats body — lines with equal values sort
+/// by name.
+fn top_view(addr: &str, opts: &NetOpts) -> ExitCode {
+    let mut client = match Client::connect_with(addr, opts.policy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("stridectl: cannot connect to {addr}: {e}");
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+    client.set_deadline_fuel(opts.deadline);
+    let body = match client.call(&Request::Stats) {
+        Ok(Response::Ok(body)) => body,
+        Ok(Response::Err { kind, message, .. }) => {
+            eprintln!("stridectl: server error [{kind}]\n{message}");
+            print_trace(client.trace());
+            return ExitCode::from(EXIT_SERVER);
+        }
+        Err(e) => {
+            eprintln!("stridectl: transport error: {e}");
+            print_trace(client.trace());
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+
+    use std::io::Write;
+    let mut out = String::new();
+    render_top(&body, &mut out);
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}
+
+/// Renders a stats body (legacy `key value` lines followed by a metrics
+/// registry snapshot) into the `top` dashboard text.
+fn render_top(body: &str, out: &mut String) {
+    let mut legacy: Vec<(&str, &str)> = Vec::new();
+    let mut counters: Vec<(u64, &str)> = Vec::new();
+    let mut gauges: Vec<(&str, &str, &str)> = Vec::new();
+    let mut hists: Vec<(&str, u64, u64)> = Vec::new();
+    let mut traces: Vec<&str> = Vec::new();
+    for line in body.lines() {
+        let mut parts = line.split(' ');
+        match parts.next() {
+            Some("counter") => {
+                if let (Some(name), Some(v)) = (parts.next(), parts.next()) {
+                    counters.push((v.parse().unwrap_or(0), name));
+                }
+            }
+            Some("gauge") => {
+                // gauge <name> <value> max <max>
+                if let (Some(name), Some(v), Some(_), Some(m)) =
+                    (parts.next(), parts.next(), parts.next(), parts.next())
+                {
+                    gauges.push((name, v, m));
+                }
+            }
+            Some("histogram") => {
+                // histogram <name> count <c> sum <s> buckets ...
+                if let (Some(name), Some(_), Some(c), Some(_), Some(s)) = (
+                    parts.next(),
+                    parts.next(),
+                    parts.next(),
+                    parts.next(),
+                    parts.next(),
+                ) {
+                    hists.push((name, c.parse().unwrap_or(0), s.parse().unwrap_or(0)));
+                }
+            }
+            Some("trace") => traces.push(line),
+            Some(key) if !key.is_empty() => {
+                if let Some(v) = parts.next() {
+                    legacy.push((key, v));
+                }
+            }
+            _ => {}
+        }
+    }
+    out.push_str("== daemon ==\n");
+    for (k, v) in &legacy {
+        out.push_str(&format!("{k:<28}{v:>12}\n"));
+    }
+    if !counters.is_empty() {
+        counters.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(b.1)));
+        out.push_str("\n== counters (by value) ==\n");
+        for (v, name) in &counters {
+            out.push_str(&format!("{v:>12}  {name}\n"));
+        }
+    }
+    if !gauges.is_empty() {
+        out.push_str("\n== gauges (current / high water) ==\n");
+        for (name, v, m) in &gauges {
+            out.push_str(&format!("{v:>12} /{m:>11}  {name}\n"));
+        }
+    }
+    if !hists.is_empty() {
+        out.push_str("\n== histograms (count / sum / mean) ==\n");
+        for (name, c, s) in &hists {
+            let mean = s.checked_div(*c).unwrap_or(0);
+            out.push_str(&format!("{c:>8} {s:>14} {mean:>12}  {name}\n"));
+        }
+    }
+    if !traces.is_empty() {
+        out.push_str("\n== trace (most recent last) ==\n");
+        let skip = traces.len().saturating_sub(16);
+        if skip > 0 {
+            out.push_str(&format!("  ... {skip} earlier events elided ...\n"));
+        }
+        for line in &traces[skip..] {
+            out.push_str(&format!("  {line}\n"));
         }
     }
 }
@@ -355,6 +474,7 @@ fn main() -> ExitCode {
             }
         }
         "stats" => round_trip(&addr, &opts, &Request::Stats),
+        "top" => top_view(&addr, &opts),
         "shutdown" => round_trip(&addr, &opts, &Request::Shutdown),
         "serve-bench" => serve_bench(rest),
         _ => usage(),

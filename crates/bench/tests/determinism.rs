@@ -108,6 +108,48 @@ fn injected_failure_yields_partial_results_identically_across_jobs() {
 }
 
 #[test]
+fn metrics_snapshot_is_identical_across_jobs() {
+    // The observability snapshot is denominated purely in logical units
+    // (simulated loads, cache hit counts, static instruction counts), so
+    // like the figures it must not depend on the worker count.
+    let dir =
+        std::env::temp_dir().join(format!("repro-metrics-determinism-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let mut snapshots = Vec::new();
+    for jobs in ["1", "4", "8"] {
+        let path = dir.join(format!("metrics-j{jobs}.json"));
+        let path_str = path.to_str().expect("utf-8 temp path");
+        let stdout = repro_stdout(&[
+            "--scale",
+            "test",
+            "--jobs",
+            jobs,
+            "--metrics-json",
+            path_str,
+        ]);
+        assert!(!stdout.is_empty(), "repro printed nothing at --jobs {jobs}");
+        let snap = std::fs::read(&path).expect("metrics snapshot written");
+        assert!(!snap.is_empty(), "empty metrics snapshot at --jobs {jobs}");
+        snapshots.push((jobs, snap));
+    }
+    let (_, reference) = &snapshots[0];
+    let text = String::from_utf8_lossy(reference).into_owned();
+    for key in [
+        "repro.cache.hits",
+        "repro.cache.misses",
+        "repro.figure.fig16.sim_loads",
+        "repro.instr.edge-check",
+        "repro.figure.sim_loads",
+    ] {
+        assert!(text.contains(key), "snapshot missing {key}:\n{text}");
+    }
+    for (jobs, snap) in &snapshots[1..] {
+        assert_eq!(snap, reference, "metrics snapshot differs at --jobs {jobs}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn jobs_zero_is_rejected_with_a_clear_error() {
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args(["--scale", "test", "--jobs", "0"])

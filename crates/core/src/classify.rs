@@ -43,14 +43,16 @@ pub fn classify_profile(p: &LoadStrideProfile, config: &PrefetchConfig) -> Optio
     if p.total_freq == 0 || p.top.is_empty() || p.top.iter().all(|&(_, f)| f == 0) {
         return None;
     }
-    if p.top1_ratio() > config.ssst_threshold {
+    // The Fig. 5 thresholds are documented as minima, so a ratio exactly
+    // at a threshold qualifies (inclusive comparison).
+    if p.top1_ratio() >= config.ssst_threshold {
         Some(StrideClass::Ssst)
-    } else if p.top4_ratio() > config.pmst_threshold
-        && p.zero_diff_ratio() > config.pmst_diff_threshold
+    } else if p.top4_ratio() >= config.pmst_threshold
+        && p.zero_diff_ratio() >= config.pmst_diff_threshold
     {
         Some(StrideClass::Pmst)
-    } else if p.top1_ratio() > config.wsst_threshold
-        && p.zero_diff_ratio() > config.wsst_diff_threshold
+    } else if p.top1_ratio() >= config.wsst_threshold
+        && p.zero_diff_ratio() >= config.wsst_diff_threshold
     {
         Some(StrideClass::Wsst)
     } else {
@@ -152,7 +154,7 @@ pub fn classify(
 
         // --- frequency filter ------------------------------------------
         let freq_val = freq.block_freq_via(source, func_id, &analysis.cfg, func.entry, block);
-        if freq_val <= config.frequency_threshold {
+        if freq_val < config.frequency_threshold {
             out.filtered_low_freq += 1;
             continue;
         }
@@ -162,7 +164,7 @@ pub fn classify(
         let trip_count = match loop_id {
             Some(l) => {
                 let tc = freq.trip_count_via(source, func_id, &analysis.cfg, &analysis.loops, l);
-                if tc <= config.trip_count_threshold as f64 {
+                if tc < config.trip_count_threshold as f64 {
                     out.filtered_low_trip += 1;
                     continue;
                 }
@@ -223,6 +225,114 @@ mod tests {
         // 80% single stride -> SSST
         let p = profile(vec![(64, 80), (8, 20)], 100, 50);
         assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Ssst));
+    }
+
+    #[test]
+    fn ssst_boundary_is_inclusive_at_threshold() {
+        let cfg = PrefetchConfig::paper();
+        // top1 exactly at the 0.70 minimum qualifies (70/100 and the
+        // 0.70 literal round to the same f64, so the comparison is exact).
+        let p = profile(vec![(64, 70), (8, 30)], 100, 0);
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Ssst));
+        // One reference below: top1 0.69, and with no zero diffs neither
+        // PMST nor WSST can catch it.
+        let p = profile(vec![(64, 69)], 100, 0);
+        assert_eq!(classify_profile(&p, &cfg), None);
+    }
+
+    #[test]
+    fn pmst_boundary_is_inclusive_at_thresholds() {
+        let cfg = PrefetchConfig::paper();
+        // top4 exactly 0.60 and zero-diff exactly 0.40, top1 well under
+        // the SSST and WSST minima.
+        let p = profile(vec![(16, 20), (24, 20), (32, 10), (40, 10)], 100, 40);
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Pmst));
+        // Zero-diff one below the minimum: not PMST, and top1 0.20 is
+        // below the WSST minimum, so no class at all.
+        let p = profile(vec![(16, 20), (24, 20), (32, 10), (40, 10)], 100, 39);
+        assert_eq!(classify_profile(&p, &cfg), None);
+    }
+
+    #[test]
+    fn wsst_boundary_is_inclusive_at_thresholds() {
+        let cfg = PrefetchConfig::paper();
+        // top1 exactly 0.25 and zero-diff exactly 0.10.
+        let p = profile(vec![(32, 25)], 100, 10);
+        assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Wsst));
+        let p = profile(vec![(32, 25)], 100, 9);
+        assert_eq!(classify_profile(&p, &cfg), None);
+        let p = profile(vec![(32, 24)], 100, 10);
+        assert_eq!(classify_profile(&p, &cfg), None);
+    }
+
+    /// Builds a one-loop pointer-chasing module and classifies it with the
+    /// given entry/body edge frequencies and a strong SSST profile.
+    fn classify_one_loop(entry_count: u64, body_count: u64) -> Classification {
+        use stride_ir::ModuleBuilder;
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        let mut site = None;
+        fb.while_nonzero(p, |fb, p| {
+            site = Some(fb.load_to(p, p, 0));
+        });
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let func = m.function(f);
+        let analysis = FuncAnalysis::compute(func);
+        let cfg = &analysis.cfg;
+        let l = analysis.loops.loops()[0].id;
+
+        let mut freq = EdgeProfile::for_module(&m);
+        let (a, b) = analysis.loops.entry_edges(l, cfg)[0];
+        let entry_edge = cfg.edge_id(a, b).unwrap();
+        for _ in 0..entry_count {
+            freq.increment(f, entry_edge);
+        }
+        let outs = analysis.loops.header_out_edges(l, cfg);
+        let body_edge = cfg.edge_id(outs[0].0, outs[0].1).unwrap();
+        for _ in 0..body_count {
+            freq.increment(f, body_edge);
+        }
+
+        let mut stride = StrideProfile::new();
+        stride.insert(f, site.unwrap(), profile(vec![(64, 9000)], 9500, 9000));
+        classify(
+            &m,
+            &stride,
+            &freq,
+            FreqSource::Edges,
+            &PrefetchConfig::paper(),
+        )
+    }
+
+    #[test]
+    fn trip_count_filter_is_inclusive_at_tt() {
+        // header/entry = 2048/16 = 128.0 exactly: a loop averaging exactly
+        // TT iterations is kept (the threshold is a minimum).
+        let c = classify_one_loop(16, 2048);
+        assert_eq!(c.loads.len(), 1);
+        assert_eq!(c.filtered_low_trip, 0);
+        assert!((c.loads[0].trip_count - 128.0).abs() < 1e-12);
+        // One body iteration fewer: 2047/16 < 128, filtered.
+        let c = classify_one_loop(16, 2047);
+        assert!(c.loads.is_empty());
+        assert_eq!(c.filtered_low_trip, 1);
+    }
+
+    #[test]
+    fn frequency_filter_is_inclusive_at_ft() {
+        // Body block executed exactly FT = 2000 times: kept.
+        let c = classify_one_loop(1, 2000);
+        assert_eq!(c.loads.len(), 1);
+        assert_eq!(c.loads[0].freq, 2000);
+        // One execution fewer: rejected by the frequency filter (which
+        // runs before the trip-count filter).
+        let c = classify_one_loop(1, 1999);
+        assert!(c.loads.is_empty());
+        assert_eq!(c.filtered_low_freq, 1);
     }
 
     #[test]

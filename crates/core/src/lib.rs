@@ -62,6 +62,7 @@ pub mod error;
 pub mod exec;
 pub mod faults;
 pub mod instrument;
+pub mod obs;
 pub mod pipeline;
 pub mod prefetch;
 pub mod report;
@@ -78,12 +79,14 @@ pub use faults::{
     FaultPlan, FaultRng, FaultScenario,
 };
 pub use instrument::{
-    instrument, instrument_edges_only, instrument_two_pass, select_two_pass, InstrumentedModule,
+    instrument, instrument_edges_only, instrument_two_pass, profiling_instr_count, select_two_pass,
+    InstrumentedModule,
 };
+pub use obs::{Counter, Gauge, Histogram, Registry, TraceEvent, Tracer};
 pub use pipeline::{
-    measure_overhead, measure_speedup, prefetch_with_profiles, run_edge_only, run_profiling,
-    run_uninstrumented, OverheadOutcome, PipelineConfig, ProfileOutcome, ProfilingVariant,
-    SpeedupOutcome,
+    measure_overhead, measure_speedup, observe_hierarchy, observe_overhead, observe_profile,
+    observe_speedup, prefetch_with_profiles, run_edge_only, run_profiling, run_uninstrumented,
+    OverheadOutcome, PipelineConfig, ProfileOutcome, ProfilingVariant, SpeedupOutcome,
 };
 pub use prefetch::{apply_prefetching, prefetch_distance, round_pow2, PrefetchReport};
 pub use report::{class_distribution, load_mix, ClassDistribution, LoadMix, LoadPopulation};

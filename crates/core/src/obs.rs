@@ -1,0 +1,554 @@
+//! Deterministic observability: a metrics registry (counters, gauges,
+//! fixed-bucket histograms) and a bounded structured event tracer.
+//!
+//! Everything here is std-only and designed around the repo's determinism
+//! contract: snapshots are rendered in sorted name order, histograms use a
+//! pure power-of-two bucket function, and *time* is always a logical clock
+//! (VM instruction fuel, simulated cycles, request sequence numbers) —
+//! never wall-clock. A registry fed exclusively from exactly-once
+//! computations (the `RunCache` guarantees per-key exactly-once execution)
+//! therefore snapshots to byte-identical text at any `--jobs` level.
+//!
+//! Hot-path cost: metric handles are `Arc`-shared atomics — registration
+//! allocates once, updates are a single atomic RMW with no allocation.
+//! Trace events are `Copy` (`&'static str` label + integer fields) written
+//! into a preallocated ring, so recording never allocates either.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Number of histogram buckets: bucket 0 holds zero values, bucket `i`
+/// (1..=64) holds values in `[2^(i-1), 2^i)`. Covers all of `u64` with a
+/// pure function — no configuration, no float math, no clamping surprises.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// The bucket a value falls into: 0 for 0, else `floor(log2(v)) + 1`.
+/// Pure — byte-identical bucketing everywhere, forever.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of a bucket (the inverse of [`bucket_index`]):
+/// bucket 0 starts at 0, bucket `i >= 1` at `2^(i-1)`.
+pub fn bucket_lower_bound(index: usize) -> u64 {
+    if index == 0 {
+        0
+    } else {
+        1u64 << (index - 1)
+    }
+}
+
+/// A monotonically increasing counter handle. Clone freely; all clones
+/// share the same cell.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n` (saturating at `u64::MAX` is not needed — counters count
+    /// events, and 2^64 events do not happen).
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeInner {
+    value: AtomicU64,
+    max: AtomicU64,
+}
+
+/// A gauge: a settable level plus its high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<GaugeInner>);
+
+impl Gauge {
+    /// Sets the current level, raising the high-water mark if exceeded.
+    pub fn set(&self, v: u64) {
+        self.0.value.store(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.value.load(Ordering::Relaxed)
+    }
+
+    /// Highest level ever set.
+    pub fn max_seen(&self) -> u64 {
+        self.0.max.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+/// A fixed-bucket histogram over `u64` samples (power-of-two buckets, see
+/// [`bucket_index`]). Observation is three relaxed atomic adds.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&self, value: u64) {
+        self.0.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Samples observed.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.0.sum.load(Ordering::Relaxed)
+    }
+
+    /// Occupancy of one bucket.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.0.buckets[index].load(Ordering::Relaxed)
+    }
+
+    /// `(bucket index, occupancy)` for every nonempty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(usize, u64)> {
+        (0..HISTOGRAM_BUCKETS)
+            .filter_map(|i| {
+                let c = self.bucket(i);
+                (c > 0).then_some((i, c))
+            })
+            .collect()
+    }
+}
+
+/// One structured trace event. `Copy` by construction: the label is a
+/// `&'static str`, the clock is a *logical* timestamp (fuel, cycles, or a
+/// sequence number — never wall time), and `a`/`b` carry event-specific
+/// integer payloads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Logical timestamp.
+    pub clock: u64,
+    /// Static event label (e.g. `"figure"`, `"request"`).
+    pub label: &'static str,
+    /// First payload field.
+    pub a: u64,
+    /// Second payload field.
+    pub b: u64,
+}
+
+#[derive(Debug)]
+struct TracerState {
+    events: Vec<TraceEvent>,
+    next: usize,
+    total: u64,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s. The buffer is allocated once
+/// at construction; recording overwrites the oldest slot and never
+/// allocates. Snapshots sort by `(clock, label, a, b)` so concurrent
+/// recorders with logical clocks still render deterministically.
+#[derive(Debug)]
+pub struct Tracer {
+    capacity: usize,
+    state: Mutex<TracerState>,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` events (0 disables tracing).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Tracer {
+            capacity,
+            state: Mutex::new(TracerState {
+                events: Vec::with_capacity(capacity),
+                next: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TracerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut st = self.lock();
+        st.total += 1;
+        if st.events.len() < self.capacity {
+            st.events.push(event);
+        } else {
+            let at = st.next;
+            st.events[at] = event;
+        }
+        st.next = (st.next + 1) % self.capacity;
+    }
+
+    /// Events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.lock().total
+    }
+
+    /// The retained events in deterministic `(clock, label, a, b)` order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut events = self.lock().events.clone();
+        events.sort_by(|x, y| (x.clock, x.label, x.a, x.b).cmp(&(y.clock, y.label, y.a, y.b)));
+        events
+    }
+}
+
+/// The registry: named metrics plus one tracer. Lookup-or-create takes a
+/// lock and may allocate; keep the returned handle for hot paths.
+#[derive(Debug)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+    tracer: Tracer,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with a 1024-event tracer.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(1024)
+    }
+
+    /// An empty registry with a tracer of the given capacity.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Registry {
+            counters: Mutex::new(BTreeMap::new()),
+            gauges: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            tracer: Tracer::with_capacity(capacity),
+        }
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Convenience: add `n` to the counter named `name` (registration
+    /// path — not for hot loops).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// The registry's tracer.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Records a trace event.
+    pub fn trace(&self, event: TraceEvent) {
+        self.tracer.record(event);
+    }
+
+    fn sorted_counters(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    fn sorted_gauges(&self) -> Vec<(String, u64, u64)> {
+        self.gauges
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get(), v.max_seen()))
+            .collect()
+    }
+
+    fn sorted_histograms(&self) -> Vec<(String, Histogram)> {
+        self.histograms
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Stable text rendering: one line per metric, sections in fixed
+    /// order, names sorted (BTreeMap order). Byte-identical for equal
+    /// metric contents.
+    pub fn snapshot_text(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in self.sorted_counters() {
+            out.push_str(&format!("counter {name} {v}\n"));
+        }
+        for (name, v, max) in self.sorted_gauges() {
+            out.push_str(&format!("gauge {name} {v} max {max}\n"));
+        }
+        for (name, h) in self.sorted_histograms() {
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(i, c)| format!("{i}:{c}"))
+                .collect();
+            out.push_str(&format!(
+                "histogram {name} count {} sum {} buckets {}\n",
+                h.count(),
+                h.sum(),
+                if buckets.is_empty() {
+                    "-".to_string()
+                } else {
+                    buckets.join(",")
+                }
+            ));
+        }
+        for e in self.tracer.snapshot() {
+            out.push_str(&format!("trace {} {} {} {}\n", e.clock, e.label, e.a, e.b));
+        }
+        out
+    }
+
+    /// Stable JSON rendering (same ordering contract as
+    /// [`Registry::snapshot_text`]).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters = self.sorted_counters();
+        for (i, (name, v)) in counters.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!("{sep}\n    \"{name}\": {v}"));
+        }
+        out.push_str(if counters.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        let gauges = self.sorted_gauges();
+        out.push_str("  \"gauges\": {");
+        for (i, (name, v, max)) in gauges.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    \"{name}\": {{\"value\": {v}, \"max\": {max}}}"
+            ));
+        }
+        out.push_str(if gauges.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        let histograms = self.sorted_histograms();
+        out.push_str("  \"histograms\": {");
+        for (i, (name, h)) in histograms.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            let buckets: Vec<String> = h
+                .nonzero_buckets()
+                .into_iter()
+                .map(|(b, c)| format!("\"{b}\": {c}"))
+                .collect();
+            out.push_str(&format!(
+                "{sep}\n    \"{name}\": {{\"count\": {}, \"sum\": {}, \"buckets\": {{{}}}}}",
+                h.count(),
+                h.sum(),
+                buckets.join(", ")
+            ));
+        }
+        out.push_str(if histograms.is_empty() {
+            "},\n"
+        } else {
+            "\n  },\n"
+        });
+        out.push_str("  \"trace\": [");
+        let events = self.tracer.snapshot();
+        for (i, e) in events.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            out.push_str(&format!(
+                "{sep}\n    {{\"clock\": {}, \"label\": \"{}\", \"a\": {}, \"b\": {}}}",
+                e.clock, e.label, e.a, e.b
+            ));
+        }
+        out.push_str(if events.is_empty() { "]\n" } else { "\n  ]\n" });
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_math_is_pure_pow2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            // The lower bound maps back into its own bucket.
+            assert_eq!(bucket_index(bucket_lower_bound(i)), i);
+        }
+        // And the value just below each bound lands in the bucket below.
+        for i in 2..HISTOGRAM_BUCKETS {
+            assert_eq!(bucket_index(bucket_lower_bound(i) - 1), i - 1);
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_share_state_across_clones() {
+        let reg = Registry::new();
+        let c = reg.counter("x");
+        let c2 = reg.counter("x");
+        c.add(3);
+        c2.inc();
+        assert_eq!(reg.counter("x").get(), 4);
+
+        let g = reg.gauge("depth");
+        g.set(5);
+        g.set(2);
+        assert_eq!(g.get(), 2);
+        assert_eq!(reg.gauge("depth").max_seen(), 5);
+    }
+
+    #[test]
+    fn histogram_counts_sum_and_buckets() {
+        let reg = Registry::new();
+        let h = reg.histogram("lat");
+        for v in [0, 1, 1, 3, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1005);
+        assert_eq!(h.bucket(0), 1); // the zero
+        assert_eq!(h.bucket(1), 2); // the two ones
+        assert_eq!(h.bucket(2), 1); // the three
+        assert_eq!(h.bucket(10), 1); // 1000 in [512, 1024)
+    }
+
+    #[test]
+    fn tracer_ring_evicts_oldest() {
+        let t = Tracer::with_capacity(3);
+        for i in 0..5u64 {
+            t.record(TraceEvent {
+                clock: i,
+                label: "e",
+                a: i,
+                b: 0,
+            });
+        }
+        assert_eq!(t.total_recorded(), 5);
+        let kept: Vec<u64> = t.snapshot().iter().map(|e| e.clock).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn snapshots_are_sorted_and_stable() {
+        let mk = |order_flip: bool| {
+            let reg = Registry::new();
+            let names = if order_flip {
+                ["b.second", "a.first"]
+            } else {
+                ["a.first", "b.second"]
+            };
+            for n in names {
+                reg.counter(n).add(7);
+            }
+            reg.histogram("h").observe(9);
+            reg.gauge("g").set(2);
+            reg.trace(TraceEvent {
+                clock: 1,
+                label: "x",
+                a: 0,
+                b: 0,
+            });
+            (reg.snapshot_text(), reg.snapshot_json())
+        };
+        // Registration order must not leak into the rendering.
+        assert_eq!(mk(false), mk(true));
+        let (text, json) = mk(false);
+        assert!(text.contains("counter a.first 7\n"), "{text}");
+        assert!(text.starts_with("counter a.first"), "{text}");
+        assert!(json.contains("\"a.first\": 7"), "{json}");
+        assert!(json.contains("\"buckets\": {\"4\": 1}"), "{json}");
+    }
+
+    #[test]
+    fn out_of_order_recording_snapshots_identically() {
+        let forward = Tracer::with_capacity(8);
+        let backward = Tracer::with_capacity(8);
+        let ev = |i: u64| TraceEvent {
+            clock: i,
+            label: "e",
+            a: 10 - i,
+            b: 0,
+        };
+        for i in 0..4 {
+            forward.record(ev(i));
+        }
+        for i in (0..4).rev() {
+            backward.record(ev(i));
+        }
+        assert_eq!(forward.snapshot(), backward.snapshot());
+    }
+}

@@ -6,6 +6,7 @@ use crate::classify::{classify, Classification};
 use crate::config::PrefetchConfig;
 use crate::error::PipelineError;
 use crate::instrument::{instrument, instrument_edges_only, instrument_two_pass, select_two_pass};
+use crate::obs::Registry;
 use crate::prefetch::{apply_prefetching, PrefetchReport};
 use crate::select::ProfilingMethod;
 use stride_ir::Module;
@@ -382,6 +383,88 @@ pub fn measure_overhead(
     })
 }
 
+// ---------------------------------------------------------------------
+// Observability: recording pipeline outcomes into a metrics registry.
+//
+// All quantities below are *logical* — VM cycles (fuel), load counts,
+// cache events — never wall-clock, so a registry fed only through these
+// helpers snapshots byte-identically regardless of scheduling.
+// ---------------------------------------------------------------------
+
+/// Records one cache-hierarchy statistics block under `prefix`.
+pub fn observe_hierarchy(reg: &Registry, prefix: &str, mem: &HierarchyStats) {
+    reg.add(&format!("{prefix}.mem.l1_hits"), mem.l1_hits);
+    reg.add(&format!("{prefix}.mem.l2_hits"), mem.l2_hits);
+    reg.add(&format!("{prefix}.mem.l3_hits"), mem.l3_hits);
+    reg.add(&format!("{prefix}.mem.accesses"), mem.mem_accesses);
+    reg.add(&format!("{prefix}.mem.tlb_misses"), mem.tlb_misses);
+    reg.add(&format!("{prefix}.mem.way_hint_hits"), mem.way_hint_hits);
+    reg.add(&format!("{prefix}.prefetch.issued"), mem.prefetches_issued);
+    reg.add(
+        &format!("{prefix}.prefetch.dropped"),
+        mem.prefetches_dropped,
+    );
+    reg.add(&format!("{prefix}.prefetch.timely"), mem.prefetch_timely);
+    reg.add(&format!("{prefix}.prefetch.late"), mem.prefetch_late);
+}
+
+/// Records one pipeline stage's fuel-denominated timing: a cycle counter,
+/// the shared per-stage histogram, and a trace event whose logical clock
+/// is the stage's own cycle count.
+fn observe_stage(reg: &Registry, label: &'static str, cycles: u64) {
+    reg.add(&format!("pipeline.stage.{label}.cycles"), cycles);
+    reg.histogram("pipeline.stage.cycles").observe(cycles);
+    reg.trace(crate::obs::TraceEvent {
+        clock: cycles,
+        label: "pipeline.stage",
+        a: cycles,
+        b: 0,
+    });
+}
+
+/// Records a profiling run: stage timing plus the `strideProf` and LFU
+/// observability counters (Figs. 21/22 inputs).
+pub fn observe_profile(reg: &Registry, outcome: &ProfileOutcome) {
+    observe_stage(reg, "profile", outcome.run.cycles);
+    reg.add("profile.run.loads", outcome.run.loads);
+    reg.add("profile.strideprof.calls", outcome.stats.calls);
+    reg.add("profile.strideprof.processed", outcome.stats.processed);
+    reg.add("profile.strideprof.lfu_inserts", outcome.stats.lfu_inserts);
+    reg.add("profile.lfu.hits", outcome.stats.lfu.hits);
+    reg.add("profile.lfu.evictions", outcome.stats.lfu.evictions);
+    reg.add("profile.lfu.merges", outcome.stats.lfu.merges);
+}
+
+/// Records a Fig. 16 speedup experiment: baseline and prefetch stage
+/// timings plus both runs' hierarchy statistics.
+pub fn observe_speedup(reg: &Registry, outcome: &SpeedupOutcome) {
+    observe_stage(reg, "baseline", outcome.baseline_cycles);
+    observe_stage(reg, "prefetch", outcome.prefetch_cycles);
+    reg.add(
+        "speedup.prefetches_inserted",
+        outcome.report.prefetches_inserted as u64,
+    );
+    reg.add(
+        "speedup.classified_loads",
+        outcome.classification.loads.len() as u64,
+    );
+    observe_hierarchy(reg, "speedup.baseline", &outcome.baseline_mem);
+    observe_hierarchy(reg, "speedup.prefetch", &outcome.prefetch_mem);
+}
+
+/// Records a Figs. 20–22 overhead experiment: edge-only and integrated
+/// stage timings plus the instrumentation-overhead delta.
+pub fn observe_overhead(reg: &Registry, outcome: &OverheadOutcome) {
+    observe_stage(reg, "edge_only", outcome.edge_cycles);
+    observe_stage(reg, "integrated", outcome.integrated_cycles);
+    reg.add(
+        "overhead.extra_cycles",
+        outcome
+            .integrated_cycles
+            .saturating_sub(outcome.edge_cycles),
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -523,6 +606,39 @@ mod tests {
             plain.overhead
         );
         assert!(sampled.strideprof_fraction < plain.strideprof_fraction);
+    }
+
+    #[test]
+    fn observed_metrics_snapshot_is_deterministic() {
+        let m = list_walk_module();
+        let cfg = small_config();
+        let snapshot_of = || {
+            let reg = Registry::new();
+            let outcome =
+                run_profiling(&m, &[1000, 2], ProfilingVariant::EdgeCheck, &cfg).expect("run");
+            observe_profile(&reg, &outcome);
+            let speedup = measure_speedup(
+                &m,
+                &[1000, 2],
+                &[2000, 2],
+                ProfilingVariant::EdgeCheck,
+                &cfg,
+            )
+            .expect("speedup");
+            observe_speedup(&reg, &speedup);
+            let overhead =
+                measure_overhead(&m, &[1000, 2], ProfilingVariant::EdgeCheck, &cfg).expect("ovh");
+            observe_overhead(&reg, &overhead);
+            reg.snapshot_text()
+        };
+        let a = snapshot_of();
+        let b = snapshot_of();
+        assert_eq!(a, b, "re-running the pipeline must reproduce the metrics");
+        assert!(a.contains("counter pipeline.stage.profile.cycles "));
+        assert!(a.contains("counter profile.lfu.hits "));
+        assert!(a.contains("counter speedup.prefetch.mem.way_hint_hits "));
+        assert!(a.contains("histogram pipeline.stage.cycles "));
+        assert!(a.contains("trace "));
     }
 
     #[test]

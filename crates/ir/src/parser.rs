@@ -32,21 +32,37 @@ impl fmt::Display for ParseError {
 impl Error for ParseError {}
 
 impl ParseError {
-    /// Fills in `col` by locating the first backtick-quoted fragment of the
+    /// Fills in `col` by locating a backtick-quoted fragment of the
     /// message within the offending source line.
+    ///
+    /// Messages quote the offending source text *last* ("expected `X` in
+    /// `Y`" quotes the expectation first and the culprit second), so
+    /// fragments are tried right to left; within the line a match on a
+    /// token boundary wins over a bare substring match, so a fragment
+    /// that merely prefixes an earlier, innocent token (`rr` inside
+    /// `r1 = add r1, rr`) still points at the real culprit.
     fn locate_in(mut self, source: &str) -> Self {
         let Some(line_text) = source.lines().nth(self.line.saturating_sub(1)) else {
             return self;
         };
-        let fragment = self
+        let fragments: Vec<&str> = self
             .message
             .split('`')
-            .nth(1)
+            .skip(1)
+            .step_by(2)
+            .map(str::trim)
             .filter(|f| !f.is_empty())
-            .map(str::to_owned);
-        if let Some(f) = fragment {
-            if let Some(pos) = line_text.find(f.trim()) {
+            .collect();
+        for f in fragments.iter().rev() {
+            if let Some(pos) = find_token(line_text, f) {
                 self.col = pos + 1;
+                return self;
+            }
+        }
+        for f in fragments.iter().rev() {
+            if let Some(pos) = line_text.find(f) {
+                self.col = pos + 1;
+                return self;
             }
         }
         self
@@ -76,6 +92,31 @@ impl ParseError {
         }
         out
     }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// First occurrence of `frag` in `line` that sits on a token boundary
+/// (only enforced on the ends of `frag` that are themselves ident-like,
+/// so punctuation-delimited fragments like `size=` still match).
+fn find_token(line: &str, frag: &str) -> Option<usize> {
+    let first_is_ident = frag.chars().next().is_some_and(is_ident_char);
+    let last_is_ident = frag.chars().next_back().is_some_and(is_ident_char);
+    line.match_indices(frag).find_map(|(pos, m)| {
+        let before_ok = !first_is_ident
+            || line[..pos]
+                .chars()
+                .next_back()
+                .is_none_or(|c| !is_ident_char(c));
+        let after_ok = !last_is_ident
+            || line[pos + m.len()..]
+                .chars()
+                .next()
+                .is_none_or(|c| !is_ident_char(c));
+        (before_ok && after_ok).then_some(pos)
+    })
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
@@ -111,14 +152,27 @@ fn parse_i64(s: &str, what: &str, line: usize) -> Result<i64, ParseError> {
     })
 }
 
+/// Parses a `<prefix><number>` token (`r3`, `b0`, `e12`, ...), quoting
+/// the *whole* token on failure so the column locator can find it: an
+/// error about the stripped remainder (`bad register: `1``) would point
+/// at the wrong spot whenever the digits also occur earlier in the line.
+fn parse_prefixed_id(s: &str, prefix: &str, what: &str, line: usize) -> Result<u32, ParseError> {
+    let t = s.trim();
+    t.strip_prefix(prefix)
+        .and_then(|d| d.parse::<u32>().ok())
+        .ok_or_else(|| ParseError {
+            line,
+            col: 1,
+            message: format!("bad {what} `{t}` (expected `{prefix}N`)"),
+        })
+}
+
 fn parse_reg(s: &str, line: usize) -> Result<Reg, ParseError> {
-    let rest = expect(s.trim(), "r", line)?;
-    Ok(Reg::new(parse_u32(rest, "register", line)?))
+    Ok(Reg::new(parse_prefixed_id(s, "r", "register", line)?))
 }
 
 fn parse_block_id(s: &str, line: usize) -> Result<BlockId, ParseError> {
-    let rest = expect(s.trim(), "b", line)?;
-    Ok(BlockId::new(parse_u32(rest, "block id", line)?))
+    Ok(BlockId::new(parse_prefixed_id(s, "b", "block id", line)?))
 }
 
 fn parse_operand(s: &str, line: usize) -> Result<Operand, ParseError> {
@@ -201,10 +255,7 @@ fn parse_edge_list(s: &str, line: usize) -> Result<Vec<EdgeId>, ParseError> {
     }
     inner
         .split(',')
-        .map(|e| {
-            let rest = expect(e.trim(), "e", line)?;
-            Ok(EdgeId::new(parse_u32(rest, "edge id", line)?))
-        })
+        .map(|e| Ok(EdgeId::new(parse_prefixed_id(e, "e", "edge id", line)?)))
         .collect()
 }
 
@@ -266,13 +317,10 @@ fn parse_rhs(dst: Reg, rhs: &str, line: usize) -> Result<Op, ParseError> {
             dst,
             size: parse_operand(rest, line)?,
         }),
-        "globaladdr" => {
-            let g = expect(rest.trim(), "g", line)?;
-            Ok(Op::GlobalAddr {
-                dst,
-                global: GlobalId::new(parse_u32(g, "global id", line)?),
-            })
-        }
+        "globaladdr" => Ok(Op::GlobalAddr {
+            dst,
+            global: GlobalId::new(parse_prefixed_id(rest, "g", "global id", line)?),
+        }),
         "call" => parse_call(Some(dst), rest, line),
         "trip_check" => {
             let mut header = None;
@@ -316,8 +364,7 @@ fn parse_call(dst: Option<Reg>, rest: &str, line: usize) -> Result<Op, ParseErro
         col: 1,
         message: format!("call missing `(` in `{rest}`"),
     })?;
-    let callee_s = expect(&rest[..open], "fn", line)?;
-    let callee = FuncId::new(parse_u32(callee_s, "function id", line)?);
+    let callee = FuncId::new(parse_prefixed_id(&rest[..open], "fn", "function id", line)?);
     let args_s = rest[open + 1..]
         .strip_suffix(')')
         .ok_or_else(|| ParseError {
@@ -355,8 +402,7 @@ fn instr_from_string_inner(text: &str, line: usize) -> Result<Instr, ParseError>
         col: 1,
         message: "missing `; iN` id annotation".into(),
     })?;
-    let id_s = expect(id_part.trim(), "i", line)?;
-    let id = InstrId::new(parse_u32(id_s, "instruction id", line)?);
+    let id = InstrId::new(parse_prefixed_id(id_part, "i", "instruction id", line)?);
     let mut body = body.trim();
 
     let mut pred = None;
@@ -402,12 +448,11 @@ fn instr_from_string_inner(text: &str, line: usize) -> Result<Instr, ParseError>
         });
     }
     if let Some(rest) = body.strip_prefix("profile_edge ") {
-        let e = expect(rest.trim(), "e", line)?;
         return Ok(Instr {
             id,
             pred,
             op: Op::ProfileEdge {
-                edge: EdgeId::new(parse_u32(e, "edge id", line)?),
+                edge: EdgeId::new(parse_prefixed_id(rest, "e", "edge id", line)?),
             },
         });
     }
@@ -417,8 +462,7 @@ fn instr_from_string_inner(text: &str, line: usize) -> Result<Instr, ParseError>
         let mut mem = None;
         for field in rest.split_whitespace() {
             if let Some(v) = field.strip_prefix("site=") {
-                let s = expect(v, "i", line)?;
-                site = Some(InstrId::new(parse_u32(s, "site id", line)?));
+                site = Some(InstrId::new(parse_prefixed_id(v, "i", "site id", line)?));
             } else if let Some(v) = field.strip_prefix("slot=") {
                 slot = Some(parse_u32(v, "slot", line)?);
             } else if field.starts_with('[') {
@@ -522,8 +566,7 @@ fn module_from_string_inner(text: &str) -> Result<Module, ParseError> {
             // `global g0 name size=256`
             let mut parts = rest.split_whitespace();
             let gid_s = parts.next().unwrap_or("");
-            let g = expect(gid_s, "g", lineno)?;
-            let gid = GlobalId::new(parse_u32(g, "global id", lineno)?);
+            let gid = GlobalId::new(parse_prefixed_id(gid_s, "g", "global id", lineno)?);
             let name = parts.next().unwrap_or("").to_string();
             let size_s = parts.next().unwrap_or("");
             let size_v = expect(size_s, "size=", lineno)?;
@@ -539,8 +582,7 @@ fn module_from_string_inner(text: &str) -> Result<Module, ParseError> {
         }
         if let Some(rest) = line.strip_prefix("entry ") {
             i += 1;
-            let f = expect(rest.trim(), "fn", lineno)?;
-            module.entry = FuncId::new(parse_u32(f, "entry function", lineno)?);
+            module.entry = FuncId::new(parse_prefixed_id(rest, "fn", "entry function", lineno)?);
             continue;
         }
         if line.starts_with("func ") {
@@ -563,13 +605,13 @@ fn parse_function(lines: &[&str], i: &mut usize) -> Result<Function, ParseError>
     let header = lines[*i].trim();
     *i += 1;
     // `func fn0 name(params=2, regs=7) entry=b0 {`
-    let rest = expect(header, "func fn", lineno)?;
+    let rest = expect(header, "func ", lineno)?;
     let (id_s, rest) = rest.split_once(' ').ok_or_else(|| ParseError {
         line: lineno,
         col: 1,
         message: "malformed func header".into(),
     })?;
-    let id = FuncId::new(parse_u32(id_s, "function id", lineno)?);
+    let id = FuncId::new(parse_prefixed_id(id_s, "fn", "function id", lineno)?);
     let open = rest.find('(').ok_or_else(|| ParseError {
         line: lineno,
         col: 1,

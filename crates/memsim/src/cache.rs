@@ -57,6 +57,9 @@ pub struct Cache {
     tick: u64,
     hits: u64,
     misses: u64,
+    /// Hits served by the MRU fast path without scanning the set
+    /// (observability only — never affects hit/miss results).
+    way_hint_hits: u64,
 }
 
 impl Cache {
@@ -84,6 +87,7 @@ impl Cache {
             tick: 0,
             hits: 0,
             misses: 0,
+            way_hint_hits: 0,
         }
     }
 
@@ -113,6 +117,7 @@ impl Cache {
         if w.valid && w.tag == line {
             w.stamp = self.tick;
             self.hits += 1;
+            self.way_hint_hits += 1;
             return true;
         }
         for i in 0..ways {
@@ -201,6 +206,13 @@ impl Cache {
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Hits the MRU way hint served without a set scan (a subset of the
+    /// hit count; Fig.-20-style overhead accounting for the simulator
+    /// itself).
+    pub fn way_hint_hits(&self) -> u64 {
+        self.way_hint_hits
     }
 }
 

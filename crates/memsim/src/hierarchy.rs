@@ -107,6 +107,10 @@ pub struct HierarchyStats {
     /// Demand accesses that found an in-flight prefetch (partial latency
     /// hidden).
     pub prefetch_late: u64,
+    /// Lookups (across L1/L2/L3 and the TLB) the MRU way hint served
+    /// without a set scan. Pure observability: the hint never changes
+    /// hit/miss results.
+    pub way_hint_hits: u64,
 }
 
 impl HierarchyStats {
@@ -156,7 +160,12 @@ impl CacheHierarchy {
 
     /// Statistics so far.
     pub fn stats(&self) -> HierarchyStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.way_hint_hits = self.l1.way_hint_hits()
+            + self.l2.way_hint_hits()
+            + self.l3.way_hint_hits()
+            + self.tlb.as_ref().map_or(0, Cache::way_hint_hits);
+        stats
     }
 
     /// The configuration.

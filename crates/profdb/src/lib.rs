@@ -36,4 +36,4 @@ pub use entry::{DbError, ProfileEntry};
 pub use hash::{fnv1a64, module_hash};
 pub use recovery::{check, recover, RecoveryReport, QUARANTINE_DIR};
 pub use store::{DbRecord, ProfileDb};
-pub use wal::{scan_wal, DiskFaults, Wal, WalRecord, WalScan};
+pub use wal::{scan_wal, DiskFaults, Wal, WalRecord, WalScan, WalStats};

@@ -252,6 +252,11 @@ impl ProfileDb {
         self.lock().dedup_hits
     }
 
+    /// WAL observability counters (appends/syncs/checkpoints since open).
+    pub fn wal_stats(&self) -> crate::wal::WalStats {
+        self.lock().wal.stats()
+    }
+
     fn path_for(&self, workload: &str, module_hash: u64) -> PathBuf {
         entry_path(&self.root, workload, module_hash)
     }

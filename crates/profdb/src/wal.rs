@@ -379,6 +379,17 @@ pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), DbError> {
     Ok(())
 }
 
+/// Observability counters of one [`Wal`] handle (since open).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records appended (including failed injected-fault appends).
+    pub appends: u64,
+    /// Fsyncs attempted.
+    pub syncs: u64,
+    /// Checkpoints taken (log folded away).
+    pub checkpoints: u64,
+}
+
 /// An open, appendable WAL.
 #[derive(Debug)]
 pub struct Wal {
@@ -386,7 +397,9 @@ pub struct Wal {
     file: File,
     len: u64,
     entries_since_checkpoint: u64,
+    appends: u64,
     syncs: u64,
+    checkpoints: u64,
     faults: DiskFaults,
 }
 
@@ -418,7 +431,9 @@ impl Wal {
             file,
             len,
             entries_since_checkpoint: pending_entries,
+            appends: 0,
             syncs: 0,
+            checkpoints: 0,
             faults,
         })
     }
@@ -446,6 +461,7 @@ impl Wal {
     /// Returns [`DbError::Io`] on write failure, including an injected
     /// torn write (which leaves a detectable partial record on disk).
     pub fn append(&mut self, rec: &WalRecord) -> Result<(), DbError> {
+        self.appends += 1;
         let mut bytes = encode_record(rec);
         if let Some(bit) = self.faults.bit_flip.take() {
             let nbits = (bytes.len() as u64) * 8;
@@ -521,7 +537,17 @@ impl Wal {
             .map_err(|e| io_err(&self.path, e))?;
         self.len = buf.len() as u64;
         self.entries_since_checkpoint = 0;
+        self.checkpoints += 1;
         Ok(())
+    }
+
+    /// Observability counters for this handle.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appends: self.appends,
+            syncs: self.syncs,
+            checkpoints: self.checkpoints,
+        }
     }
 
     /// Truncates the file to `len` bytes (recovery's torn-tail cut).

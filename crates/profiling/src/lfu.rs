@@ -74,6 +74,27 @@ struct Entry {
     count: u64,
 }
 
+/// Observability counters of one [`Lfu`] instance (never affect the
+/// profile itself).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LfuStats {
+    /// Insertions that found their key already in the temp buffer.
+    pub hits: u64,
+    /// Insertions that displaced the least-frequently-used temp entry.
+    pub evictions: u64,
+    /// Temp-into-steady merges performed.
+    pub merges: u64,
+}
+
+impl LfuStats {
+    /// Saturating field-wise accumulation.
+    pub fn absorb(&mut self, other: LfuStats) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.evictions = self.evictions.saturating_add(other.evictions);
+        self.merges = self.merges.saturating_add(other.merges);
+    }
+}
+
 /// One LFU value profiler instance (one per profiled load).
 #[derive(Clone, Debug)]
 pub struct Lfu {
@@ -82,6 +103,7 @@ pub struct Lfu {
     steady: Vec<Entry>,
     since_merge: u64,
     total: u64,
+    stats: LfuStats,
 }
 
 impl Lfu {
@@ -93,6 +115,7 @@ impl Lfu {
             steady: Vec::with_capacity(config.final_entries),
             since_merge: 0,
             total: 0,
+            stats: LfuStats::default(),
         }
     }
 
@@ -112,6 +135,7 @@ impl Lfu {
             if e.key == key {
                 e.count = e.count.saturating_add(1);
                 cost += (probes as u64 + 1) * self.config.cost_per_probe;
+                self.stats.hits = self.stats.hits.saturating_add(1);
                 found = true;
                 break;
             }
@@ -137,6 +161,7 @@ impl Lfu {
                     repr: value,
                     count: 1,
                 };
+                self.stats.evictions = self.stats.evictions.saturating_add(1);
             }
         }
 
@@ -152,6 +177,7 @@ impl Lfu {
     /// Merges temp counts into the steady buffer and clears temp.
     fn merge(&mut self) {
         self.since_merge = 0;
+        self.stats.merges = self.stats.merges.saturating_add(1);
         for t in self.temp.drain(..) {
             if let Some(s) = self.steady.iter_mut().find(|s| s.key == t.key) {
                 s.count = s.count.saturating_add(t.count);
@@ -173,6 +199,11 @@ impl Lfu {
     /// Total values inserted.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// Observability counters accumulated so far.
+    pub fn stats(&self) -> LfuStats {
+        self.stats
     }
 }
 

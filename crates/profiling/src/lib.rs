@@ -30,7 +30,7 @@ pub mod stride_prof;
 pub mod text;
 
 pub use freq::{EdgeProfile, FreqSource};
-pub use lfu::{Lfu, LfuConfig};
+pub use lfu::{Lfu, LfuConfig, LfuStats};
 pub use profile::{LoadStrideProfile, StrideProfile};
 pub use refdist::{RefDistSummary, ReferenceDistanceProfiler};
 pub use runtime::{

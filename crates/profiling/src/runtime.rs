@@ -66,14 +66,17 @@ impl ProfilerRuntime {
     }
 
     /// Finalizes the run: returns the edge profile, the stride profile
-    /// (with fine-sampling scaling undone) and the aggregate statistics.
+    /// (with fine-sampling scaling undone) and the aggregate statistics,
+    /// including the summed per-load LFU counters.
     pub fn finish(mut self) -> (EdgeProfile, StrideProfile, StrideProfStats) {
         let mut stride = StrideProfile::new();
+        let mut stats = self.engine.stats;
         for (i, data) in self.slots.iter_mut().enumerate() {
             let (func, site) = self.slot_sites[i];
+            stats.lfu.absorb(data.lfu_stats());
             stride.insert(func, site, LoadStrideProfile::from_data(data, &self.config));
         }
-        (self.edges, stride, self.engine.stats)
+        (self.edges, stride, stats)
     }
 }
 

@@ -148,6 +148,11 @@ impl StrideProfData {
     pub fn total_freq(&self) -> u64 {
         self.lfu.total()
     }
+
+    /// Observability counters of this load's LFU instance.
+    pub fn lfu_stats(&self) -> crate::lfu::LfuStats {
+        self.lfu.stats()
+    }
 }
 
 /// Aggregate counters across all loads, reported in Figs. 21 and 22.
@@ -161,6 +166,11 @@ pub struct StrideProfStats {
     /// Invocations that reached the LFU routine (Fig. 22); the gap to
     /// `processed` is the zero-stride fast path.
     pub lfu_inserts: u64,
+    /// Aggregate LFU-internal counters (temp-buffer hits, evictions,
+    /// merges) across all profiled loads. Filled in by
+    /// [`crate::ProfilerRuntime::finish`], which owns the per-load LFU
+    /// instances.
+    pub lfu: crate::lfu::LfuStats,
 }
 
 /// The shared `strideProf` engine: global sampling state + statistics.

@@ -83,6 +83,11 @@ struct Shared {
     /// Responses sent across all connections (drives nth-response net
     /// faults).
     responses: AtomicU64,
+    /// Connections refused with `busy` because the queue was full.
+    shed: stride_core::Counter,
+    /// Connection-queue depth; its high-water mark survives in the
+    /// gauge's max.
+    queue_depth: stride_core::Gauge,
 }
 
 /// A running daemon; dropping the handle does *not* stop it — send a
@@ -106,12 +111,16 @@ impl Server {
         let net_faults = net_faults_of(config.service.injector.as_ref());
         let service = Service::new(config.service)
             .map_err(|e| io::Error::other(format!("profile db: {e}")))?;
+        let shed = service.obs().counter("server.shed");
+        let queue_depth = service.obs().gauge("server.queue_depth");
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_cap.max(1)),
             service,
             shutdown: AtomicBool::new(false),
             net_faults,
             responses: AtomicU64::new(0),
+            shed,
+            queue_depth,
         });
 
         let mut threads = Vec::new();
@@ -190,9 +199,12 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if let Err(stream) = shared.queue.try_push(stream) {
             // Backpressure: answer `busy` with a retry-after hint on the
             // acceptor thread (cheap) and close.
+            shared.shed.inc();
             let mut stream = stream;
             let resp = Response::busy("connection queue full, retry later", BUSY_RETRY_AFTER_MS);
             let _ = write_frame(&mut stream, &resp.to_bytes());
+        } else {
+            shared.queue_depth.set(shared.queue.len() as u64);
         }
     }
 }

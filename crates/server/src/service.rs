@@ -9,8 +9,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use stride_core::{
-    classify, corrupt_ir_text, run_profiling, Classification, FaultInjector, FaultKind,
-    PipelineConfig, PipelineError, ProfilingVariant, RunCache, SpeedupOutcome,
+    classify, corrupt_ir_text, run_profiling, Classification, FaultInjector, FaultKind, Histogram,
+    PipelineConfig, PipelineError, ProfilingVariant, Registry, RunCache, SpeedupOutcome,
+    TraceEvent,
 };
 use stride_ir::{module_from_string, module_to_string, Module};
 use stride_profdb::{module_hash, DbError, DiskFaults, ProfileDb, ProfileEntry};
@@ -71,6 +72,41 @@ struct Counters {
     errors: AtomicU64,
 }
 
+/// Pre-registered metric handles for the request path. Updates through
+/// these are lock-free atomic adds; registration (which takes the
+/// registry lock and allocates) happens once at service construction.
+struct ServiceMetrics {
+    latency_profile: Histogram,
+    latency_classify: Histogram,
+    latency_prefetch: Histogram,
+    retried_merges: stride_core::Counter,
+}
+
+impl ServiceMetrics {
+    fn new(obs: &Registry) -> Self {
+        ServiceMetrics {
+            latency_profile: obs.histogram("server.latency.profile.cycles"),
+            latency_classify: obs.histogram("server.latency.classify.cycles"),
+            latency_prefetch: obs.histogram("server.latency.prefetch.cycles"),
+            retried_merges: obs.counter("server.merge.retried"),
+        }
+    }
+}
+
+/// The verb name a request is counted under (`server.req.<verb>`).
+fn verb_of(req: &Request) -> &'static str {
+    match req {
+        Request::SubmitModule { .. } => "submit",
+        Request::Profile { .. } => "profile",
+        Request::Classify { .. } => "classify",
+        Request::Prefetch { .. } => "prefetch",
+        Request::GetProfile { .. } => "get-profile",
+        Request::MergeProfile { .. } => "merge-profile",
+        Request::Stats => "stats",
+        Request::Shutdown => "shutdown",
+    }
+}
+
 /// The daemon's shared state; `handle` is safe to call from any number of
 /// worker threads.
 pub struct Service {
@@ -80,6 +116,8 @@ pub struct Service {
     modules: Mutex<HashMap<String, Arc<Module>>>,
     cache: RunCache,
     counters: Counters,
+    obs: Arc<Registry>,
+    metrics: ServiceMetrics,
 }
 
 impl Service {
@@ -92,14 +130,24 @@ impl Service {
         let db = ProfileDb::open_with(&config.db_root, disk_faults_of(config.injector.as_ref()))?;
         let mut effective = config.pipeline;
         effective.vm.fuel = effective.vm.fuel.min(config.request_fuel);
+        let obs = Arc::new(Registry::new());
+        let metrics = ServiceMetrics::new(&obs);
         Ok(Service {
             effective,
             db: Mutex::new(db),
             modules: Mutex::new(HashMap::new()),
             cache: RunCache::new(),
             counters: Counters::default(),
+            obs,
+            metrics,
             config,
         })
+    }
+
+    /// The service's metrics registry (shared with the surrounding
+    /// server, which contributes acceptor-side counters).
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// The pipeline configuration requests actually run under (fuel
@@ -132,7 +180,15 @@ impl Service {
         variant: ProfilingVariant,
         args: &[i64],
         config: &PipelineConfig,
-    ) -> Result<(EdgeProfile, StrideProfile, stride_profiling::FreqSource), PipelineError> {
+    ) -> Result<
+        (
+            EdgeProfile,
+            StrideProfile,
+            stride_profiling::FreqSource,
+            u64,
+        ),
+        PipelineError,
+    > {
         if let Some(injector) = self
             .config
             .injector
@@ -148,10 +204,15 @@ impl Service {
             let outcome = run_profiling(module, args, variant, &config)?;
             let (mut edge, mut stride) = (outcome.edge, outcome.stride);
             injector.apply_to_profiles(workload, &mut edge, &mut stride);
-            return Ok((edge, stride, outcome.source));
+            return Ok((edge, stride, outcome.source, outcome.run.cycles));
         }
         let outcome = self.cache.profiling(module, variant, args, config)?;
-        Ok((outcome.edge.clone(), outcome.stride.clone(), outcome.source))
+        Ok((
+            outcome.edge.clone(),
+            outcome.stride.clone(),
+            outcome.source,
+            outcome.run.cycles,
+        ))
     }
 
     /// Handles one request with no metadata (server-default deadline, no
@@ -167,11 +228,24 @@ impl Service {
     /// this in `catch_unwind` so a bug degrades to an
     /// [`ErrorKind::Panic`] wire error.
     pub fn handle_meta(&self, meta: &RequestMeta, req: &Request) -> Response {
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        // The request sequence number doubles as the trace event's
+        // logical clock: metrics never read wall-clock time.
+        let seq = self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.add(&format!("server.req.{}", verb_of(req)), 1);
         let resp = self.dispatch(meta, req);
-        if matches!(resp, Response::Err { .. }) {
+        let failed = if let Response::Err { kind, .. } = &resp {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
-        }
+            self.obs.add(&format!("server.error.{kind}"), 1);
+            1
+        } else {
+            0
+        };
+        self.obs.trace(TraceEvent {
+            clock: seq,
+            label: "server.request",
+            a: seq,
+            b: failed,
+        });
         resp
     }
 
@@ -259,10 +333,12 @@ impl Service {
             Ok(m) => m,
             Err(resp) => return resp,
         };
-        let (edge, stride, _) = match self.profiles_for(workload, &module, variant, args, config) {
-            Ok(p) => p,
-            Err(e) => return pipeline_err(&e),
-        };
+        let (edge, stride, _, cycles) =
+            match self.profiles_for(workload, &module, variant, args, config) {
+                Ok(p) => p,
+                Err(e) => return pipeline_err(&e),
+            };
+        self.metrics.latency_profile.observe(cycles);
         let entry = ProfileEntry::from_run(workload, module_hash(&module), &edge, &stride);
         let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
         if let Err(e) = db.merge_store(&entry) {
@@ -284,11 +360,12 @@ impl Service {
             Ok(m) => m,
             Err(resp) => return resp,
         };
-        let (edge, stride, source) =
+        let (edge, stride, source, cycles) =
             match self.profiles_for(workload, &module, variant, args, config) {
                 Ok(p) => p,
                 Err(e) => return pipeline_err(&e),
             };
+        self.metrics.latency_classify.observe(cycles);
         let classification = classify(&module, &stride, &edge, source, &config.prefetch);
         Response::Ok(render_classification(&classification))
     }
@@ -319,7 +396,17 @@ impl Service {
                 .speedup(&module, train_args, ref_args, variant, config),
         };
         match result {
-            Ok(outcome) => Response::Ok(render_speedup(&outcome)),
+            Ok(outcome) => {
+                // Request latency in VM cycles: both measured runs. A
+                // cache hit replays the same outcome, so the observation
+                // is identical however the request was served.
+                self.metrics.latency_prefetch.observe(
+                    outcome
+                        .baseline_cycles
+                        .saturating_add(outcome.prefetch_cycles),
+                );
+                Response::Ok(render_speedup(&outcome))
+            }
             Err(e) => pipeline_err(&e),
         }
     }
@@ -362,6 +449,7 @@ impl Service {
         match db.merge_store_logged(&entry, req_id) {
             Ok((merged, deduped)) => {
                 let dedup_note = if deduped {
+                    self.metrics.retried_merges.inc();
                     " (duplicate request id)"
                 } else {
                     ""
@@ -374,18 +462,25 @@ impl Service {
 
     fn stats_body(&self) -> String {
         let cache = self.cache.stats();
-        let (db_entries, db_runs, dedup_hits, wal_pending) = {
+        let (db_entries, db_runs, dedup_hits, wal_pending, wal, recovery) = {
             let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
             let records = db.list().unwrap_or_default();
             let runs: u64 = records.iter().map(|r| r.runs).sum();
-            (records.len(), runs, db.dedup_hits(), db.wal_pending())
+            (
+                records.len(),
+                runs,
+                db.dedup_hits(),
+                db.wal_pending(),
+                db.wal_stats(),
+                db.recovery_report().cloned(),
+            )
         };
         let modules = self
             .modules
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .len();
-        format!(
+        let mut out = format!(
             "requests {}\nerrors {}\nmodules {}\ndb-entries {}\ndb-runs {}\ndedup-hits {}\nwal-pending {}\ncache-hits {}\ncache-misses {}\n",
             self.counters.requests.load(Ordering::Relaxed),
             self.counters.errors.load(Ordering::Relaxed),
@@ -396,7 +491,24 @@ impl Service {
             if wal_pending { 1 } else { 0 },
             cache.hits,
             cache.misses,
-        )
+        );
+        let _ = write!(
+            out,
+            "wal-appends {}\nwal-syncs {}\nwal-checkpoints {}\n",
+            wal.appends, wal.syncs, wal.checkpoints,
+        );
+        if let Some(r) = recovery {
+            let _ = write!(
+                out,
+                "recovery-replayed {}\nrecovery-quarantined {}\n",
+                r.replayed, r.quarantined,
+            );
+        }
+        // Structured metrics (per-verb counters, per-error-kind tallies,
+        // latency histograms, acceptor-side counters) follow the legacy
+        // key-value block; each line is `counter|gauge|histogram|trace ...`.
+        out.push_str(&self.obs.snapshot_text());
+        out
     }
 }
 
@@ -675,6 +787,69 @@ mod tests {
         let body = ok_body(svc.handle(&Request::Stats));
         assert!(body.contains("requests 2"), "{body}");
         assert!(body.contains("errors 1"), "{body}");
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn stats_expose_structured_metrics() {
+        let svc = tmp_service("metrics");
+        ok_body(svc.handle(&Request::SubmitModule {
+            workload: "sweep".into(),
+            text: sweep_text(),
+        }));
+        ok_body(svc.handle(&Request::Profile {
+            workload: "sweep".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            args: vec![2],
+        }));
+        let _ = svc.handle(&Request::GetProfile {
+            workload: "nope".into(),
+        });
+        let body = ok_body(svc.handle(&Request::Stats));
+        // WAL counters: the profile request appended nothing (merge_store
+        // is unlogged) but the handle reports zeros rather than omitting.
+        assert!(body.contains("wal-appends "), "{body}");
+        assert!(body.contains("wal-syncs "), "{body}");
+        assert!(body.contains("recovery-replayed 0"), "{body}");
+        // Per-verb and per-error-kind counters.
+        assert!(body.contains("counter server.req.submit 1"), "{body}");
+        assert!(body.contains("counter server.req.profile 1"), "{body}");
+        assert!(body.contains("counter server.error.not-found 1"), "{body}");
+        // The profile request landed one observation in its latency
+        // histogram, denominated in VM cycles.
+        assert!(
+            body.contains("histogram server.latency.profile.cycles count 1 sum "),
+            "{body}"
+        );
+        // Per-request trace events with the sequence number as clock.
+        assert!(body.contains("trace 0 server.request 0 0"), "{body}");
+        let _ = std::fs::remove_dir_all(&svc.config.db_root);
+    }
+
+    #[test]
+    fn duplicate_merge_counts_as_retried() {
+        let svc = tmp_service("retried");
+        ok_body(svc.handle(&Request::SubmitModule {
+            workload: "sweep".into(),
+            text: sweep_text(),
+        }));
+        let entry_text = ok_body(svc.handle(&Request::Profile {
+            workload: "sweep".into(),
+            variant: ProfilingVariant::EdgeCheck,
+            args: vec![2],
+        }));
+        let meta = RequestMeta {
+            req_id: 77,
+            ..RequestMeta::default()
+        };
+        let req = Request::MergeProfile {
+            entry_text: entry_text.clone(),
+        };
+        ok_body(svc.handle_meta(&meta, &req));
+        let dup = ok_body(svc.handle_meta(&meta, &req));
+        assert!(dup.contains("duplicate request id"), "{dup}");
+        let body = ok_body(svc.handle(&Request::Stats));
+        assert!(body.contains("counter server.merge.retried 1"), "{body}");
         let _ = std::fs::remove_dir_all(&svc.config.db_root);
     }
 }

@@ -1,0 +1,460 @@
+//! Negative-case table tests for the IR parser: one case per diagnostic
+//! kind, pinning the exact 1-based line and column and the caret
+//! rendering. The column must point at the offending token even when
+//! that token shares a prefix with (or duplicates) an earlier, innocent
+//! token on the same line.
+
+use stride_prefetch::ir::{instr_from_string, module_from_string, ParseError};
+
+/// One parser rejection: the module text, the expected error line, the
+/// token the caret must sit under (`None` pins column 1 for diagnostics
+/// with no quotable source fragment), and a required message substring.
+struct Case {
+    name: &'static str,
+    source: String,
+    line: usize,
+    col_token: Option<&'static str>,
+    msg: &'static str,
+}
+
+/// Wraps one instruction line into a well-formed single-block module;
+/// the instruction sits on line 4 at indentation 4.
+fn with_instr(instr: &str) -> String {
+    format!(
+        "entry fn0\nfunc fn0 main(params=0, regs=4) entry=b0 {{\nb0:\n    {instr}\n    ret\n}}\n"
+    )
+}
+
+/// Wraps one terminator line into a well-formed module (line 4).
+fn with_term(term: &str) -> String {
+    format!("entry fn0\nfunc fn0 main(params=0, regs=4) entry=b0 {{\nb0:\n    {term}\n}}\n")
+}
+
+/// The expected 1-based column: first occurrence of `col_token` within
+/// the error line, or 1 when the diagnostic has nothing to point at.
+fn expected_col(case: &Case) -> usize {
+    match case.col_token {
+        None => 1,
+        Some(tok) => {
+            let line_text = case
+                .source
+                .lines()
+                .nth(case.line - 1)
+                .unwrap_or_else(|| panic!("{}: line {} missing", case.name, case.line));
+            line_text
+                .find(tok)
+                .unwrap_or_else(|| panic!("{}: token `{tok}` not on line {}", case.name, case.line))
+                + 1
+        }
+    }
+}
+
+fn check(case: &Case, e: &ParseError) {
+    assert_eq!(e.line, case.line, "{}: line ({e})", case.name);
+    assert!(
+        e.message.contains(case.msg),
+        "{}: message `{}` lacks `{}`",
+        case.name,
+        e.message,
+        case.msg
+    );
+    let col = expected_col(case);
+    assert_eq!(e.col, col, "{}: column ({e})", case.name);
+
+    // Exact caret rendering: message line, gutter + source line, caret
+    // under column `col` (none of the table's sources contain tabs).
+    let rendered = e.render(&case.source);
+    let lines: Vec<&str> = rendered.lines().collect();
+    assert_eq!(lines.len(), 3, "{}: render shape:\n{rendered}", case.name);
+    assert_eq!(
+        lines[0],
+        format!("line {}, col {col}: {}", case.line, e.message),
+        "{}: header line",
+        case.name
+    );
+    let line_text = case.source.lines().nth(case.line - 1).unwrap();
+    assert_eq!(
+        lines[1],
+        format!("{:>5} | {line_text}", case.line),
+        "{}: source line",
+        case.name
+    );
+    assert_eq!(
+        lines[2],
+        format!("      | {}^", " ".repeat(col - 1)),
+        "{}: caret line",
+        case.name
+    );
+}
+
+#[test]
+fn every_module_diagnostic_kind_reports_exact_line_column_and_caret() {
+    let cases = vec![
+        Case {
+            name: "unexpected-top-level",
+            source: "blorp\n".into(),
+            line: 1,
+            col_token: Some("blorp"),
+            msg: "unexpected top-level line",
+        },
+        Case {
+            name: "bad-global-id",
+            source: "global gx tbl size=8\n".into(),
+            line: 1,
+            col_token: Some("gx"),
+            msg: "bad global id",
+        },
+        Case {
+            name: "global-missing-size",
+            source: "global g0 tbl sz=8\n".into(),
+            line: 1,
+            col_token: Some("sz=8"),
+            msg: "expected `size=`",
+        },
+        Case {
+            name: "bad-global-size",
+            source: "global g0 tbl size=q\n".into(),
+            line: 1,
+            col_token: Some("q"),
+            msg: "bad size",
+        },
+        Case {
+            name: "globals-out-of-order",
+            source: "global g1 tbl size=8\n".into(),
+            line: 1,
+            col_token: None,
+            msg: "globals out of order",
+        },
+        Case {
+            name: "bad-entry-function",
+            source: "entry f0\n".into(),
+            line: 1,
+            col_token: Some("f0"),
+            msg: "bad entry function",
+        },
+        Case {
+            name: "malformed-func-header",
+            source: "func fn0\n".into(),
+            line: 1,
+            col_token: None,
+            msg: "malformed func header",
+        },
+        Case {
+            name: "bad-function-id",
+            source: "func f0 main(params=0, regs=1) entry=b0 {\nb0:\n    ret\n}\n".into(),
+            line: 1,
+            col_token: Some("f0"),
+            msg: "bad function id",
+        },
+        Case {
+            name: "func-missing-open-paren",
+            source: "func fn0 main params=0 {\n}\n".into(),
+            line: 1,
+            col_token: None,
+            msg: "func header missing `(`",
+        },
+        Case {
+            name: "bad-func-params",
+            source: "func fn0 main(params=x, regs=1) entry=b0 {\n}\n".into(),
+            line: 1,
+            col_token: Some("x"),
+            msg: "bad params",
+        },
+        Case {
+            name: "unknown-func-field",
+            source: "func fn0 main(params=0, regs=1, foo=3) entry=b0 {\n}\n".into(),
+            line: 1,
+            col_token: Some("foo=3"),
+            msg: "unknown func field",
+        },
+        Case {
+            name: "func-missing-entry",
+            source: "func fn0 main(params=0, regs=1) {\n}\n".into(),
+            line: 1,
+            col_token: None,
+            msg: "func header missing `entry=bN {`",
+        },
+        Case {
+            name: "func-missing-params-regs",
+            source: "func fn0 main(regs=1) entry=b0 {\n}\n".into(),
+            line: 1,
+            col_token: None,
+            msg: "func header missing params/regs",
+        },
+        Case {
+            name: "functions-out-of-order",
+            source: "func fn1 main(params=0, regs=1) entry=b0 {\nb0:\n    ret\n}\n".into(),
+            line: 1,
+            col_token: None,
+            msg: "functions out of order",
+        },
+        Case {
+            name: "unterminated-function",
+            source: "func fn0 main(params=0, regs=1) entry=b0 {\nb0:\n    ret\n".into(),
+            line: 3,
+            col_token: None,
+            msg: "unterminated function (missing `}`)",
+        },
+        Case {
+            name: "block-missing-terminator-before-brace",
+            source: "func fn0 main(params=0, regs=1) entry=b0 {\nb0:\n}\n".into(),
+            line: 3,
+            col_token: Some("}"),
+            msg: "block missing terminator before `}`",
+        },
+        Case {
+            name: "previous-block-missing-terminator",
+            source: "func fn0 main(params=0, regs=1) entry=b0 {\nb0:\nb1:\n    ret\n}\n".into(),
+            line: 3,
+            col_token: None,
+            msg: "previous block missing terminator",
+        },
+        Case {
+            name: "blocks-out-of-order",
+            source: "func fn0 main(params=0, regs=1) entry=b0 {\nb1:\n    ret\n}\n".into(),
+            line: 2,
+            col_token: None,
+            msg: "blocks out of order",
+        },
+        Case {
+            name: "instruction-outside-block",
+            source: "func fn0 main(params=0, regs=1) entry=b0 {\n    ret\n}\n".into(),
+            line: 2,
+            col_token: Some("ret"),
+            msg: "instruction outside a block",
+        },
+        Case {
+            name: "unrecognized-terminator",
+            source: with_term("frob"),
+            line: 4,
+            col_token: Some("frob"),
+            msg: "unrecognized terminator",
+        },
+        Case {
+            name: "bad-terminator-target",
+            source: with_term("br bx"),
+            line: 4,
+            col_token: Some("bx"),
+            msg: "bad block id",
+        },
+        Case {
+            name: "condbr-missing-target",
+            source: with_term("condbr r0, b0"),
+            line: 4,
+            col_token: Some("b0"),
+            msg: "expected two comma-separated targets",
+        },
+        Case {
+            name: "bad-instruction-id",
+            source: with_instr("r0 = const 5    ; ix"),
+            line: 4,
+            col_token: Some("ix"),
+            msg: "bad instruction id",
+        },
+        Case {
+            name: "unterminated-predicate",
+            source: with_instr("(r1 r0 = const 5    ; i0"),
+            line: 4,
+            col_token: None,
+            msg: "unterminated predicate",
+        },
+        Case {
+            name: "predicate-missing-question",
+            source: with_instr("(r1) r0 = const 5    ; i0"),
+            line: 4,
+            col_token: Some("r0 = const 5"),
+            msg: "expected `?`",
+        },
+        Case {
+            name: "unknown-operation",
+            source: with_instr("r0 = blorp 5    ; i0"),
+            line: 4,
+            col_token: Some("blorp"),
+            msg: "unknown operation",
+        },
+        Case {
+            name: "unknown-compare",
+            source: with_instr("r0 = cmp.zz r1, 4    ; i0"),
+            line: 4,
+            col_token: Some("zz"),
+            msg: "unknown compare",
+        },
+        Case {
+            name: "bin-missing-operand",
+            source: with_instr("r0 = add r1    ; i0"),
+            line: 4,
+            col_token: Some("r1"),
+            msg: "expected two comma-separated operands",
+        },
+        // Regression: `rr` must not be located at the `r` of the earlier
+        // `r0`/`r1` tokens, and the quoted token must be the whole `rr`.
+        Case {
+            name: "bad-register",
+            source: with_instr("r0 = add r1, rr    ; i0"),
+            line: 4,
+            col_token: Some("rr"),
+            msg: "bad register `rr`",
+        },
+        Case {
+            name: "bad-immediate",
+            source: with_instr("r0 = mov 5x    ; i0"),
+            line: 4,
+            col_token: Some("5x"),
+            msg: "bad immediate",
+        },
+        Case {
+            name: "bad-constant",
+            source: with_instr("r0 = const x    ; i0"),
+            line: 4,
+            col_token: Some("x"),
+            msg: "bad constant",
+        },
+        Case {
+            name: "mem-missing-brackets",
+            source: with_instr("r0 = load r1 + 8    ; i0"),
+            line: 4,
+            col_token: Some("r1 + 8"),
+            msg: "expected `[base + offset]`",
+        },
+        Case {
+            name: "mem-missing-plus",
+            source: with_instr("r0 = load [r1]    ; i0"),
+            line: 4,
+            col_token: Some("r1"),
+            msg: "expected `base + offset`",
+        },
+        Case {
+            name: "bad-mem-offset",
+            source: with_instr("r0 = load [r1 + q]    ; i0"),
+            line: 4,
+            col_token: Some("q"),
+            msg: "bad memory offset",
+        },
+        Case {
+            name: "store-missing-comma",
+            source: with_instr("store r1 [r0 + 0]    ; i0"),
+            line: 4,
+            col_token: Some("r1 [r0 + 0]"),
+            msg: "expected two comma-separated operands",
+        },
+        Case {
+            name: "bad-global-ref",
+            source: with_instr("r0 = globaladdr x0    ; i0"),
+            line: 4,
+            col_token: Some("x0"),
+            msg: "bad global id",
+        },
+        Case {
+            name: "call-missing-open-paren",
+            source: with_instr("r0 = call fn0    ; i0"),
+            line: 4,
+            col_token: Some("fn0"),
+            msg: "call missing `(`",
+        },
+        Case {
+            name: "call-missing-close-paren",
+            source: with_instr("r0 = call fn0(r1    ; i0"),
+            line: 4,
+            col_token: None,
+            msg: "call missing `)`",
+        },
+        Case {
+            name: "bad-callee-id",
+            source: with_instr("r0 = call f0(r1)    ; i0"),
+            line: 4,
+            col_token: Some("f0"),
+            msg: "bad function id",
+        },
+        Case {
+            name: "unknown-trip-check-field",
+            source: with_instr("r0 = trip_check header=b0 in=[] out=[] lift=2    ; i0"),
+            line: 4,
+            col_token: Some("lift=2"),
+            msg: "unknown trip_check field",
+        },
+        Case {
+            name: "trip-check-missing-fields",
+            source: with_instr("r0 = trip_check header=b0 in=[] out=[]    ; i0"),
+            line: 4,
+            col_token: None,
+            msg: "trip_check missing fields",
+        },
+        Case {
+            name: "bad-edge-list",
+            source: with_instr("r0 = trip_check header=b0 in=e0 out=[] shift=2    ; i0"),
+            line: 4,
+            col_token: Some("e0"),
+            msg: "expected `[e..]`",
+        },
+        Case {
+            name: "bad-edge-id",
+            source: with_instr("r0 = trip_check header=b0 in=[ex] out=[] shift=2    ; i0"),
+            line: 4,
+            col_token: Some("ex"),
+            msg: "bad edge id",
+        },
+        Case {
+            name: "unknown-stride-prof-field",
+            source: with_instr("stride_prof site=i0 slot=1 wat=2 [r1 + 0]    ; i1"),
+            line: 4,
+            col_token: Some("wat=2"),
+            msg: "unknown stride_prof field",
+        },
+        Case {
+            name: "stride-prof-missing-fields",
+            source: with_instr("stride_prof site=i0 slot=1    ; i1"),
+            line: 4,
+            col_token: None,
+            msg: "stride_prof missing fields",
+        },
+        Case {
+            name: "bad-profile-edge-id",
+            source: with_instr("profile_edge ee    ; i0"),
+            line: 4,
+            col_token: Some("ee"),
+            msg: "bad edge id `ee`",
+        },
+    ];
+    for case in &cases {
+        let e = module_from_string(&case.source)
+            .map(|_| ())
+            .expect_err(case.name);
+        check(case, &e);
+    }
+}
+
+#[test]
+fn single_instruction_diagnostics_carry_caller_line_and_local_column() {
+    // `instr_from_string` keeps the caller-supplied line number but
+    // locates the column within the single line it was handed.
+    let e = instr_from_string("r0 = const 5", 42).expect_err("no id annotation");
+    assert_eq!((e.line, e.col), (42, 1), "{e}");
+    assert!(e.message.contains("missing `; iN` id annotation"), "{e}");
+
+    let e = instr_from_string("frob everything ; i0", 7).expect_err("no `=`");
+    assert_eq!((e.line, e.col), (7, 1), "{e}");
+    assert!(e.message.contains("unrecognized instruction"), "{e}");
+
+    let e = instr_from_string("r0 = add r1, rr ; i0", 9).expect_err("bad register");
+    assert_eq!(e.line, 9, "{e}");
+    // Column 14 is the `rr`, not the `r` of `r0` or `r1`.
+    assert_eq!(e.col, 14, "{e}");
+}
+
+#[test]
+fn caret_alignment_accounts_for_tab_indentation() {
+    // A tab-indented instruction: the caret pad must reuse the tab so the
+    // caret still lands under the token in a tab-expanding terminal.
+    let source =
+        "entry fn0\nfunc fn0 main(params=0, regs=4) entry=b0 {\nb0:\n\tr0 = blorp 5\t; i0\n\tret\n}\n";
+    let e = module_from_string(source).map(|_| ()).expect_err("blorp");
+    assert_eq!(e.line, 4, "{e}");
+    let line_text = source.lines().nth(3).unwrap();
+    assert_eq!(e.col, line_text.find("blorp").unwrap() + 1, "{e}");
+    let caret_line = e.render(source).lines().last().unwrap().to_string();
+    assert!(caret_line.ends_with('^'), "{caret_line:?}");
+    assert!(
+        caret_line.starts_with("      | \t"),
+        "tab preserved in pad: {caret_line:?}"
+    );
+}
