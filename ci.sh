@@ -19,8 +19,17 @@ done
 echo "-- test timing summary --"
 printf '%s' "$test_summary"
 
+echo "== feature matrix: vm-selfprof on/off =="
+# The dispatch profiler must compile and pass tests in both configurations;
+# the default build carries no trace of it.
+cargo test -q -p stride-vm --features vm-selfprof
+cargo test -q -p stride-core --features vm-selfprof
+cargo build --release -q -p stride-bench --features vm-selfprof --bin selfprof
+
 echo "== clippy =="
 cargo clippy --workspace --all-targets -- -D warnings
+cargo clippy -p stride-vm -p stride-core -p stride-bench --all-targets \
+    --features vm-selfprof -- -D warnings
 
 echo "== fmt =="
 cargo fmt --all --check
@@ -28,6 +37,34 @@ cargo fmt --all --check
 echo "== smoke: repro --figure 16 --jobs 2 (test scale) =="
 cargo run --release -q -p stride-bench --bin repro -- \
     --figure 16 --scale test --jobs 2
+
+echo "== smoke: fused vs unfused figure output byte-identical =="
+fz=$(mktemp)
+nf=$(mktemp)
+cargo run --release -q -p stride-bench --bin repro -- \
+    --scale test --jobs 2 > "$fz"
+cargo run --release -q -p stride-bench --bin repro -- \
+    --scale test --jobs 2 --no-fuse > "$nf"
+cmp "$fz" "$nf" || { echo "figure output differs between fused and --no-fuse" >&2; exit 1; }
+rm -f "$fz" "$nf"
+
+echo "== bench-regression guard: repro wall vs recorded baseline =="
+# The newest BENCH_*.json records the paper-scale repro wall time of the
+# last data point; a fresh run more than 10% over it fails the build.
+guard_json=$(mktemp)
+cargo run --release -q -p stride-bench --bin repro -- \
+    --scale paper --jobs 1 --bench-json "$guard_json" > /dev/null
+baseline_file=$(ls BENCH_*.json | grep -v metrics | sort | tail -1)
+python3 - "$guard_json" "$baseline_file" <<'EOF'
+import json, sys
+fresh = json.load(open(sys.argv[1]))["total_wall_s"]
+rec = json.load(open(sys.argv[2]))
+base = rec.get("repro", rec)["total_wall_s"]
+limit = base * 1.10
+print(f"repro paper wall: fresh {fresh:.3f}s, baseline {base:.3f}s, limit {limit:.3f}s")
+sys.exit(1 if fresh > limit else 0)
+EOF
+rm -f "$guard_json"
 
 echo "== smoke: metrics snapshot byte-identical across --jobs =="
 m1=$(mktemp)

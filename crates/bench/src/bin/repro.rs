@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--figure N] [--scale test|paper] [--jobs N] [--bench-json PATH]
-//!       [--inject PLAN]
+//!       [--inject PLAN] [--no-fuse]
 //! ```
 //!
 //! Without `--figure`, every figure (15–25) is produced. `--scale test`
@@ -39,6 +39,7 @@ fn main() {
     let mut bench_json: Option<String> = None;
     let mut metrics_json: Option<String> = None;
     let mut inject: Option<FaultPlan> = None;
+    let mut no_fuse = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -91,12 +92,16 @@ fn main() {
                     }
                 };
             }
+            "--no-fuse" => no_fuse = true,
             _ => usage(),
         }
         i += 1;
     }
 
-    let config = PipelineConfig::default();
+    let mut config = PipelineConfig::default();
+    // A/B switch for the self-applied-PGO work: figures are byte-identical
+    // either way, only wall-clock moves.
+    config.vm.fuse = !no_fuse;
     let cache = RunCache::new();
     let injector = inject.map(FaultInjector::new);
     if let Some(inj) = &injector {
@@ -109,6 +114,7 @@ fn main() {
             Scale::Paper => "paper".to_string(),
         },
         jobs,
+        fuse: !no_fuse,
         ..PerfSummary::default()
     };
     let wanted = |n: u32| figure.is_none() || figure == Some(n);
@@ -290,7 +296,7 @@ fn metrics_registry(
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--figure N] [--scale test|paper] [--jobs N] [--bench-json PATH]\n\
-         \x20            [--metrics-json PATH] [--inject PLAN]\n\
+         \x20            [--metrics-json PATH] [--inject PLAN] [--no-fuse]\n\
          \n\
          \x20 --figure N         produce only figure N (15-25); default: all\n\
          \x20 --scale test|paper workload scale (default: paper)\n\
@@ -300,7 +306,9 @@ fn usage() -> ! {
          \x20 --metrics-json PATH  write the deterministic metrics snapshot (logical\n\
          \x20                    counters/histograms/trace; byte-identical at any --jobs)\n\
          \x20 --inject PLAN      deterministic fault plan, e.g. 'seed=42;fuel=1000@181.mcf'\n\
-         \x20                    (failed rows degrade to !! diagnostics; others complete)"
+         \x20                    (failed rows degrade to !! diagnostics; others complete)\n\
+         \x20 --no-fuse          disable superinstruction fusion in the interpreter\n\
+         \x20                    (A/B baseline; figure output is byte-identical)"
     );
     std::process::exit(2);
 }

@@ -639,17 +639,31 @@ fn serve_bench(rest: &[String]) -> ExitCode {
     let _ = std::fs::remove_dir_all(&db_root);
 
     if let Some(path) = flag_value(rest, "--bench-json") {
+        // Scaling quality per row: throughput relative to the jobs=1 row
+        // of the same invocation. A multi-client row that fails to beat
+        // the single client by at least 20% is flagged `flat_scaling` so
+        // regression tooling can spot serialization in the service path
+        // without parsing throughput numbers.
+        let base_rps = rows
+            .iter()
+            .find(|r| r.jobs == 1)
+            .map(|r| r.req_per_s)
+            .filter(|&rps| rps > 0.0);
         let mut out = String::from("{\n  \"bench\": \"serve-bench\",\n");
         out.push_str(&format!("  \"workload\": \"{}\",\n", w.name));
         out.push_str("  \"rows\": [\n");
         for (i, r) in rows.iter().enumerate() {
+            let speedup = base_rps.map(|b| r.req_per_s / b);
+            let flat = r.jobs > 1 && speedup.is_some_and(|s| s < 1.2);
             out.push_str(&format!(
-                "    {{\"jobs\": {}, \"requests\": {}, \"wall_s\": {:.6}, \"req_per_s\": {:.1}, \"errors\": {}}}{}\n",
+                "    {{\"jobs\": {}, \"requests\": {}, \"wall_s\": {:.6}, \"req_per_s\": {:.1}, \"errors\": {}, \"speedup_vs_jobs1\": {}, \"flat_scaling\": {}}}{}\n",
                 r.jobs,
                 r.requests,
                 r.wall_s,
                 r.req_per_s,
                 r.errors,
+                speedup.map_or("null".to_string(), |s| format!("{s:.3}")),
+                flat,
                 if i + 1 == rows.len() { "" } else { "," }
             ));
         }

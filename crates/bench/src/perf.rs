@@ -147,6 +147,9 @@ pub struct PerfSummary {
     pub scale: String,
     /// Worker threads used.
     pub jobs: usize,
+    /// Whether superinstruction fusion was enabled (`repro --no-fuse`
+    /// clears it; the A/B switch for the self-applied-PGO measurements).
+    pub fuse: bool,
     /// Per-figure measurements, in production order.
     pub figures: Vec<FigurePerf>,
     /// Run-cache hits across the whole invocation.
@@ -169,6 +172,7 @@ impl PerfSummary {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"scale\": {},\n", json_string(&self.scale)));
         out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"fuse\": {},\n", self.fuse));
         out.push_str(&format!("  \"total_wall_s\": {total:.3},\n"));
         out.push_str(&format!("  \"sim_loads\": {loads},\n"));
         out.push_str(&format!("  \"sim_accesses\": {accesses},\n"));
@@ -259,6 +263,7 @@ mod tests {
         let s = PerfSummary {
             scale: "test".into(),
             jobs: 2,
+            fuse: true,
             figures: vec![
                 FigurePerf {
                     figure: "fig16".into(),
@@ -278,6 +283,7 @@ mod tests {
         };
         let j = s.to_json();
         assert!(j.contains("\"sim_loads\": 1500"));
+        assert!(j.contains("\"fuse\": true"));
         assert!(j.contains("\"loads_per_sec\": 1500"));
         assert!(j.contains("\"run_cache_hits\": 3"));
         assert!(j.contains("\"figures\": ["));

@@ -565,6 +565,9 @@ pub fn measure_speedup_faulted(
         report,
         baseline_mem: base_mem,
         prefetch_mem: pf_mem,
+        vm_fused_dispatch: base.fused_dispatch + pf.fused_dispatch,
+        vm_fastpath_load_hits: base.fastpath_load_hits + pf.fastpath_load_hits,
+        vm_selfprof_overhead_cycles: base.selfprof_overhead_cycles + pf.selfprof_overhead_cycles,
     })
 }
 

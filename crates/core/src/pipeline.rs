@@ -301,6 +301,15 @@ pub struct SpeedupOutcome {
     pub baseline_mem: HierarchyStats,
     /// Hierarchy statistics of the prefetching run.
     pub prefetch_mem: HierarchyStats,
+    /// Fused superinstructions dispatched across both reference runs
+    /// (interpreter meta-counter, not a logical output).
+    pub vm_fused_dispatch: u64,
+    /// Last-line load fast-path hits across both reference runs
+    /// (interpreter meta-counter, not a logical output).
+    pub vm_fastpath_load_hits: u64,
+    /// Self-profiling probes fired across both reference runs (zero
+    /// unless `stride-vm` is built with `vm-selfprof`).
+    pub vm_selfprof_overhead_cycles: u64,
 }
 
 /// Profiles on `train_args`, feeds back, and compares uninstrumented
@@ -334,6 +343,9 @@ pub fn measure_speedup(
         report,
         baseline_mem: base_mem,
         prefetch_mem: pf_mem,
+        vm_fused_dispatch: base.fused_dispatch + pf.fused_dispatch,
+        vm_fastpath_load_hits: base.fastpath_load_hits + pf.fastpath_load_hits,
+        vm_selfprof_overhead_cycles: base.selfprof_overhead_cycles + pf.selfprof_overhead_cycles,
     })
 }
 
@@ -433,6 +445,22 @@ pub fn observe_profile(reg: &Registry, outcome: &ProfileOutcome) {
     reg.add("profile.lfu.hits", outcome.stats.lfu.hits);
     reg.add("profile.lfu.evictions", outcome.stats.lfu.evictions);
     reg.add("profile.lfu.merges", outcome.stats.lfu.merges);
+    observe_vm_meta(
+        reg,
+        outcome.run.fused_dispatch,
+        outcome.run.fastpath_load_hits,
+        outcome.run.selfprof_overhead_cycles,
+    );
+}
+
+/// Records the interpreter's own meta-counters (dispatch fusion, memory
+/// fast path, self-profiling probes). These describe how the VM executed,
+/// not what the guest program did, so they sit in a dedicated `vm.*`
+/// namespace and are excluded from the byte-identity contract.
+fn observe_vm_meta(reg: &Registry, fused: u64, fastpath: u64, selfprof: u64) {
+    reg.add("vm.fused_dispatch", fused);
+    reg.add("vm.fastpath_load_hits", fastpath);
+    reg.add("vm.selfprof_overhead_cycles", selfprof);
 }
 
 /// Records a Fig. 16 speedup experiment: baseline and prefetch stage
@@ -450,6 +478,12 @@ pub fn observe_speedup(reg: &Registry, outcome: &SpeedupOutcome) {
     );
     observe_hierarchy(reg, "speedup.baseline", &outcome.baseline_mem);
     observe_hierarchy(reg, "speedup.prefetch", &outcome.prefetch_mem);
+    observe_vm_meta(
+        reg,
+        outcome.vm_fused_dispatch,
+        outcome.vm_fastpath_load_hits,
+        outcome.vm_selfprof_overhead_cycles,
+    );
 }
 
 /// Records a Figs. 20–22 overhead experiment: edge-only and integrated
@@ -639,6 +673,33 @@ mod tests {
         assert!(a.contains("counter speedup.prefetch.mem.way_hint_hits "));
         assert!(a.contains("histogram pipeline.stage.cycles "));
         assert!(a.contains("trace "));
+        assert!(a.contains("counter vm.fused_dispatch "));
+        assert!(a.contains("counter vm.fastpath_load_hits "));
+        assert!(a.contains("counter vm.selfprof_overhead_cycles "));
+    }
+
+    #[test]
+    fn vm_meta_counters_report_real_activity() {
+        let m = list_walk_module();
+        let cfg = small_config();
+        let speedup = measure_speedup(
+            &m,
+            &[1000, 2],
+            &[2000, 2],
+            ProfilingVariant::EdgeCheck,
+            &cfg,
+        )
+        .expect("speedup");
+        assert!(
+            speedup.vm_fused_dispatch > 0,
+            "list walk dispatches fused superinstructions"
+        );
+        assert!(
+            speedup.vm_fastpath_load_hits > 0,
+            "sequential list layout repeats cache lines"
+        );
+        #[cfg(not(feature = "vm-selfprof"))]
+        assert_eq!(speedup.vm_selfprof_overhead_cycles, 0);
     }
 
     #[test]

@@ -290,6 +290,10 @@ impl RunCache {
             report,
             baseline_mem: base.1,
             prefetch_mem: pf.1,
+            vm_fused_dispatch: base.0.fused_dispatch + pf.0.fused_dispatch,
+            vm_fastpath_load_hits: base.0.fastpath_load_hits + pf.0.fastpath_load_hits,
+            vm_selfprof_overhead_cycles: base.0.selfprof_overhead_cycles
+                + pf.0.selfprof_overhead_cycles,
         })
     }
 
@@ -348,6 +352,10 @@ impl RunCache {
             report,
             baseline_mem: base.1,
             prefetch_mem: pf.1,
+            vm_fused_dispatch: base.0.fused_dispatch + pf.0.fused_dispatch,
+            vm_fastpath_load_hits: base.0.fastpath_load_hits + pf.0.fastpath_load_hits,
+            vm_selfprof_overhead_cycles: base.0.selfprof_overhead_cycles
+                + pf.0.selfprof_overhead_cycles,
         })
     }
 

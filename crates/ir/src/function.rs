@@ -4,7 +4,7 @@ use crate::instr::{Instr, Op, Terminator};
 use crate::types::{BlockId, FuncId, GlobalId, InstrId, Reg};
 
 /// A basic block: a straight-line instruction sequence plus a terminator.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Block {
     /// The block's id; equals its index in [`Function::blocks`].
     pub id: BlockId,
@@ -15,7 +15,7 @@ pub struct Block {
 }
 
 /// A function: a register file size, parameters, and a CFG of blocks.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Function {
     /// The function's id; equals its index in [`Module::functions`].
     pub id: FuncId,
@@ -116,7 +116,7 @@ impl Function {
 }
 
 /// A global data region of fixed size, zero-initialized by the VM.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Global {
     /// The global's id; equals its index in [`Module::globals`].
     pub id: GlobalId,
@@ -127,7 +127,7 @@ pub struct Global {
 }
 
 /// A whole program: functions, globals, and an entry point.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 pub struct Module {
     /// All functions, indexed by [`FuncId`].
     pub functions: Vec<Function>,

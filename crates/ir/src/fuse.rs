@@ -1,0 +1,413 @@
+//! Superinstruction fusion: the pre-execution peephole pass of the
+//! self-applied-PGO loop.
+//!
+//! Profiling the interpreter with its own opcode/pair profiler (the
+//! `vm-selfprof` feature of `stride-vm`) shows the same two dynamic
+//! digrams dominating every Fig. 15 workload: an address computation
+//! (`Bin`) immediately consumed by a `Load`, and a `Cmp` immediately
+//! consumed by the block's `CondBr`. This pass rewrites those pairs into
+//! [`Op::FusedBinLoad`] and [`Terminator::FusedCmpBr`] superinstructions
+//! so the interpreter pays one dispatch (fetch, fuel check, predicate
+//! test) where it paid two.
+//!
+//! Fusion is a pure pre-execution *decode* step: the fused module is never
+//! serialized, parsed, or fed back into instrumentation, and every fused
+//! form preserves the original semantics exactly —
+//!
+//! * both destination registers are still written, so later reads of the
+//!   address or predicate register observe the same values;
+//! * the original `Load`'s [`InstrId`] rides along as
+//!   [`Op::FusedBinLoad::site`], so dynamic per-site load counts attribute
+//!   to the unfused program;
+//! * the VM charges a fused instruction the *sum* of its halves' base
+//!   costs and counts it as two dynamic instructions with two fuel checks,
+//!   so cycle counts and out-of-fuel abort points are byte-identical to
+//!   sequential execution.
+//!
+//! Only unpredicated pairs fuse: a qualifying predicate squashes each half
+//! independently, which a single superinstruction cannot reproduce.
+
+use crate::function::{Block, Function, Module};
+use crate::instr::{Instr, Op, Operand, Terminator};
+
+/// What [`fuse_module`] rewrote (observability; per-module static counts).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FuseStats {
+    /// `Bin`+`Load` pairs fused into [`Op::FusedBinLoad`].
+    pub bin_loads: u64,
+    /// `Cmp`+`CondBr` pairs fused into [`Terminator::FusedCmpBr`].
+    pub cmp_brs: u64,
+    /// `Bin`+`Bin` pairs fused into [`Op::FusedBinBin`].
+    pub bin_bins: u64,
+}
+
+impl FuseStats {
+    /// Total static superinstructions created.
+    pub fn total(&self) -> u64 {
+        self.bin_loads + self.cmp_brs + self.bin_bins
+    }
+}
+
+/// True if `instrs[i]` and `instrs[i + 1]` form a fusible `Bin`+`Load`
+/// pair: both unpredicated, and the load's address is exactly the `Bin`'s
+/// destination register (offset folding stays with the load).
+fn fusible_bin_load(a: &Instr, b: &Instr) -> bool {
+    if a.pred.is_some() || b.pred.is_some() {
+        return false;
+    }
+    match (&a.op, &b.op) {
+        (Op::Bin { dst, .. }, Op::Load { addr, .. }) => *addr == Operand::Reg(*dst),
+        _ => false,
+    }
+}
+
+/// True if `a` and `b` are adjacent unpredicated `Bin`s (the hottest
+/// dispatch digram: ~40% of all dynamic pairs). Sequential-execution
+/// semantics carry over directly, so any two qualify.
+fn fusible_bin_bin(a: &Instr, b: &Instr) -> bool {
+    a.pred.is_none()
+        && b.pred.is_none()
+        && matches!(a.op, Op::Bin { .. })
+        && matches!(b.op, Op::Bin { .. })
+}
+
+fn fuse_block(block: &mut Block, stats: &mut FuseStats) {
+    // Bin+Load pairs: one forward scan; a fused instruction is itself a
+    // load consumer, so scanning resumes after the pair (no refusing).
+    let mut out: Vec<Instr> = Vec::with_capacity(block.instrs.len());
+    let mut i = 0;
+    while i < block.instrs.len() {
+        if i + 1 < block.instrs.len() && fusible_bin_load(&block.instrs[i], &block.instrs[i + 1]) {
+            let (
+                Op::Bin { dst, op, lhs, rhs },
+                Op::Load {
+                    dst: load_dst,
+                    offset,
+                    ..
+                },
+            ) = (&block.instrs[i].op, &block.instrs[i + 1].op)
+            else {
+                unreachable!("fusible_bin_load matched a non Bin+Load pair");
+            };
+            out.push(Instr {
+                // Keep the Bin's id for the fused instruction; the Load's
+                // id is preserved as the site for load accounting.
+                id: block.instrs[i].id,
+                pred: None,
+                op: Op::FusedBinLoad {
+                    bin_dst: *dst,
+                    op: *op,
+                    lhs: *lhs,
+                    rhs: *rhs,
+                    load_dst: *load_dst,
+                    offset: *offset,
+                    site: block.instrs[i + 1].id,
+                },
+            });
+            stats.bin_loads += 1;
+            i += 2;
+        } else if i + 1 < block.instrs.len()
+            && fusible_bin_bin(&block.instrs[i], &block.instrs[i + 1])
+            // Lookahead: leave the second Bin free when it is the address
+            // computation of the following load (`mul; add; load` — the
+            // canonical strided shape) so the more specific Bin+Load
+            // superinstruction forms there instead.
+            && !(i + 2 < block.instrs.len()
+                && fusible_bin_load(&block.instrs[i + 1], &block.instrs[i + 2]))
+        {
+            let (
+                Op::Bin {
+                    dst: a_dst,
+                    op: a_op,
+                    lhs: a_lhs,
+                    rhs: a_rhs,
+                },
+                Op::Bin {
+                    dst: b_dst,
+                    op: b_op,
+                    lhs: b_lhs,
+                    rhs: b_rhs,
+                },
+            ) = (&block.instrs[i].op, &block.instrs[i + 1].op)
+            else {
+                unreachable!("fusible_bin_bin matched a non Bin+Bin pair");
+            };
+            out.push(Instr {
+                id: block.instrs[i].id,
+                pred: None,
+                op: Op::FusedBinBin {
+                    a_dst: *a_dst,
+                    a_op: *a_op,
+                    a_lhs: *a_lhs,
+                    a_rhs: *a_rhs,
+                    b_dst: *b_dst,
+                    b_op: *b_op,
+                    b_lhs: *b_lhs,
+                    b_rhs: *b_rhs,
+                    b_id: block.instrs[i + 1].id,
+                },
+            });
+            stats.bin_bins += 1;
+            i += 2;
+        } else {
+            out.push(block.instrs[i].clone());
+            i += 1;
+        }
+    }
+    block.instrs = out;
+
+    // Block-final Cmp feeding the CondBr. The compare must be unpredicated
+    // and the branch condition must read exactly its destination; the
+    // verifier's `then_ != else_` invariant carries over from the CondBr.
+    if let Terminator::CondBr {
+        cond: Operand::Reg(c),
+        then_,
+        else_,
+    } = block.term
+    {
+        if let Some(last) = block.instrs.last() {
+            if last.pred.is_none() {
+                if let Op::Cmp { dst, op, lhs, rhs } = last.op {
+                    if dst == c {
+                        block.term = Terminator::FusedCmpBr {
+                            id: last.id,
+                            dst,
+                            op,
+                            lhs,
+                            rhs,
+                            then_,
+                            else_,
+                        };
+                        block.instrs.pop();
+                        stats.cmp_brs += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn fuse_function(func: &mut Function, stats: &mut FuseStats) {
+    for block in &mut func.blocks {
+        fuse_block(block, stats);
+    }
+}
+
+/// Rewrites adjacent `Bin`+`Load` and block-final `Cmp`+`CondBr` pairs of
+/// every function into superinstructions, returning the fused module and
+/// what was fused. `next_instr`, `num_regs`, globals and the entry point
+/// are unchanged; instruction ids of the surviving halves are preserved.
+pub fn fuse_module(module: &Module) -> (Module, FuseStats) {
+    let mut fused = module.clone();
+    let mut stats = FuseStats::default();
+    for func in &mut fused.functions {
+        fuse_function(func, &mut stats);
+    }
+    (fused, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ModuleBuilder;
+    use crate::instr::{BinOp, CmpOp};
+    use crate::verify::verify_module;
+
+    /// base+offset loads in a counted loop: the canonical fusible shape.
+    fn strided_module() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 1 << 12);
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let sum = fb.mov(0i64);
+        fb.counted_loop(fb.param(0), |fb, i| {
+            let off = fb.mul(i, 8i64);
+            let a = fb.add(base, off);
+            let (v, _) = fb.load(a, 0);
+            fb.bin_to(sum, BinOp::Add, sum, v);
+        });
+        fb.ret(Some(Operand::Reg(sum)));
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    #[test]
+    fn fuses_adjacent_bin_load() {
+        let m = strided_module();
+        let (fused, stats) = fuse_module(&m);
+        assert_eq!(stats.bin_loads, 1, "add feeding the load fuses");
+        let has_fused = fused.functions[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, Op::FusedBinLoad { .. }));
+        assert!(has_fused);
+    }
+
+    #[test]
+    fn fuses_block_final_cmp_condbr() {
+        let m = strided_module();
+        let (fused, stats) = fuse_module(&m);
+        assert!(stats.cmp_brs >= 1, "loop latch compare fuses");
+        let has_fused = fused.functions[0]
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::FusedCmpBr { .. }));
+        assert!(has_fused);
+    }
+
+    #[test]
+    fn fused_module_verifies() {
+        let m = strided_module();
+        let (fused, stats) = fuse_module(&m);
+        assert!(stats.total() > 0);
+        verify_module(&fused).expect("fused module verifies");
+    }
+
+    #[test]
+    fn preserves_ids_and_register_file() {
+        let m = strided_module();
+        let (fused, _) = fuse_module(&m);
+        for (orig, f) in m.functions.iter().zip(&fused.functions) {
+            assert_eq!(orig.next_instr, f.next_instr);
+            assert_eq!(orig.num_regs, f.num_regs);
+            assert_eq!(orig.entry, f.entry);
+            assert_eq!(orig.blocks.len(), f.blocks.len());
+        }
+        assert_eq!(m.globals.len(), fused.globals.len());
+    }
+
+    #[test]
+    fn predicated_halves_do_not_fuse() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let p = fb.const_(1);
+        let a = fb.const_(0x2000);
+        let dst = fb.new_reg();
+        fb.emit_pred(
+            p,
+            Op::Bin {
+                dst,
+                op: BinOp::Add,
+                lhs: Operand::Reg(a),
+                rhs: Operand::Imm(8),
+            },
+        );
+        let (_v, _) = fb.load(dst, 0);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let (_, stats) = fuse_module(&m);
+        assert_eq!(stats.bin_loads, 0, "predicated Bin must not fuse");
+    }
+
+    #[test]
+    fn load_of_other_register_does_not_fuse() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let a = fb.const_(0x2000);
+        let _unrelated = fb.add(a, 16i64);
+        let (_v, _) = fb.load(a, 0); // loads `a`, not the Bin's dst
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+        let (_, stats) = fuse_module(&m);
+        assert_eq!(stats.bin_loads, 0);
+    }
+
+    #[test]
+    fn cmp_not_feeding_branch_does_not_fuse() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let then_ = fb.new_block();
+        let else_ = fb.new_block();
+        let c = fb.cmp(CmpOp::Gt, fb.param(0), 3i64);
+        let other = fb.cmp(CmpOp::Lt, fb.param(0), 100i64);
+        let _ = other;
+        fb.cond_br(c, then_, else_); // branches on c, but `other` is last
+        fb.switch_to(then_);
+        fb.ret(Some(Operand::Imm(1)));
+        fb.switch_to(else_);
+        fb.ret(Some(Operand::Imm(0)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        let (_, stats) = fuse_module(&m);
+        assert_eq!(stats.cmp_brs, 0, "branch cond must be the final Cmp's dst");
+    }
+
+    #[test]
+    fn fused_load_dst_may_overwrite_bin_dst() {
+        // p = p + 8; p = mem[p]  — pointer chase through the same register.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let p = fb.mov(fb.param(0));
+        fb.bin_to(p, BinOp::Add, p, 8i64);
+        fb.load_to(p, p, 0);
+        fb.ret(Some(Operand::Reg(p)));
+        mb.set_entry(f);
+        let m_pre = mb.finish();
+        let (fused, _) = fuse_module(&m_pre);
+        verify_module(&fused).expect("self-overwriting fused load verifies");
+    }
+
+    #[test]
+    fn fuses_adjacent_bin_bin() {
+        // Two dependent arithmetic ops with no load following.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 2);
+        let mut fb = mb.function(f);
+        let s = fb.add(fb.param(0), fb.param(1));
+        let d = fb.mul(s, 10i64);
+        fb.ret(Some(Operand::Reg(d)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        let (fused, stats) = fuse_module(&m);
+        assert_eq!(stats.bin_bins, 1);
+        let has_fused = fused.functions[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .any(|i| matches!(i.op, Op::FusedBinBin { .. }));
+        assert!(has_fused);
+        verify_module(&fused).expect("bin+bin fused module verifies");
+    }
+
+    #[test]
+    fn bin_load_wins_over_bin_bin_in_mul_add_load() {
+        // mul; add; load: the add must pair with the load, not the mul.
+        let m = strided_module();
+        let (_, stats) = fuse_module(&m);
+        assert_eq!(stats.bin_loads, 1, "address compute pairs with its load");
+    }
+
+    #[test]
+    fn bin_bin_second_half_may_read_first_half_dst() {
+        // a = p + 8; b = a * 2 — read-after-write through the pair.
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("main", 1);
+        let mut fb = mb.function(f);
+        let a = fb.add(fb.param(0), 8i64);
+        let b = fb.mul(a, 2i64);
+        fb.ret(Some(Operand::Reg(b)));
+        mb.set_entry(f);
+        let m = mb.finish();
+        let (fused, stats) = fuse_module(&m);
+        assert_eq!(stats.bin_bins, 1);
+        verify_module(&fused).expect("raw-dependent pair verifies");
+    }
+
+    #[test]
+    fn idempotent_on_already_fused_modules() {
+        let m = strided_module();
+        let (once, s1) = fuse_module(&m);
+        let (twice, s2) = fuse_module(&once);
+        assert_eq!(s2.total(), 0, "no pairs left to fuse");
+        assert!(s1.total() > 0);
+        assert_eq!(format!("{once:?}"), format!("{twice:?}"));
+    }
+}

@@ -133,6 +133,34 @@ impl Cache {
         false
     }
 
+    /// Applies `n` guaranteed hits of `addr`'s line in one batch. Exactly
+    /// equivalent to calling [`Cache::access`] `n` times *when the line is
+    /// resident in the MRU way of its set* (each such access would take the
+    /// MRU fast path: tick +1, stamp refresh, hit +1, way-hint hit +1). If
+    /// the precondition does not hold — the caller's tracking was wrong —
+    /// the accesses are replayed individually so statistics stay exact.
+    pub fn note_repeat_hits(&mut self, addr: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let ways = self.geometry.ways as usize;
+        let m = self.mru[set] as usize;
+        let w = &mut self.ways[set * ways + m];
+        if w.valid && w.tag == line {
+            self.tick += n;
+            w.stamp = self.tick;
+            self.hits += n;
+            self.way_hint_hits += n;
+        } else {
+            debug_assert!(false, "note_repeat_hits: line not in the MRU way");
+            for _ in 0..n {
+                self.access(addr);
+            }
+        }
+    }
+
     /// Checks for presence without touching LRU or statistics.
     pub fn contains(&self, addr: u64) -> bool {
         let (range, line) = self.set_range(addr);
@@ -287,6 +315,24 @@ mod tests {
         assert_eq!(c.install(a), None); // refresh, nothing evicted
         let d = 2 * 64 * 4;
         assert_eq!(c.install(d), Some(b)); // b was LRU
+    }
+
+    #[test]
+    fn batched_repeat_hits_match_individual_accesses() {
+        let mut a = small();
+        let mut b = small();
+        for c in [&mut a, &mut b] {
+            c.install(0x1000);
+            c.access(0x1000);
+        }
+        for _ in 0..7 {
+            a.access(0x1000);
+        }
+        b.note_repeat_hits(0x1000, 7);
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.way_hint_hits(), b.way_hint_hits());
+        // Full state (ticks, stamps, MRU hints) must be identical too.
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
     }
 
     #[test]

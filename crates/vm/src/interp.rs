@@ -26,6 +26,21 @@ pub trait MemoryTiming {
     fn access(&mut self, addr: u64, cycle: u64, kind: AccessKind) -> u64;
     /// Issues a non-blocking prefetch of `addr` at time `cycle`.
     fn prefetch(&mut self, addr: u64, cycle: u64);
+
+    /// Opt-in for the VM's last-line load fast path. `Some(line)` promises
+    /// that a demand **load** of the same `line`-aligned block as the
+    /// immediately preceding demand access — with no other access or
+    /// prefetch in between — would return 0 stall from [`Self::access`]
+    /// and change no observable state beyond what
+    /// [`Self::note_line_repeats`] applies. Implementations that must see
+    /// every access (tracers) keep the `None` default.
+    fn repeat_line_size(&self) -> Option<u64> {
+        None
+    }
+
+    /// Applies the statistics of `n` batched same-line repeat loads of
+    /// `addr` (see [`Self::repeat_line_size`]). Default: nothing.
+    fn note_line_repeats(&mut self, _addr: u64, _n: u64) {}
 }
 
 /// A memory system with no stalls (used for functional tests).
@@ -37,6 +52,10 @@ impl MemoryTiming for FlatTiming {
         0
     }
     fn prefetch(&mut self, _addr: u64, _cycle: u64) {}
+    /// Stateless and stall-free: every access is trivially a repeat hit.
+    fn repeat_line_size(&self) -> Option<u64> {
+        Some(64)
+    }
 }
 
 /// The profiling runtime invoked by the profiling pseudo-instructions.
@@ -99,6 +118,11 @@ pub struct VmConfig {
     /// [`VmError::InvalidMemoryAccess`]; prefetches of such addresses are
     /// dropped silently (prefetch is non-faulting, as on Itanium).
     pub addr_limit: u64,
+    /// Execute through the superinstruction-fused clone of the module
+    /// (`stride_ir::fuse_module`). Fusion is a pure dispatch optimization:
+    /// every logical output — return value, cycles, instruction/load/store
+    /// counts, per-site load counts — is byte-identical with it on or off.
+    pub fuse: bool,
 }
 
 impl Default for VmConfig {
@@ -108,6 +132,7 @@ impl Default for VmConfig {
             fuel: 4_000_000_000,
             max_call_depth: 1 << 14,
             addr_limit: 1 << 40,
+            fuse: true,
         }
     }
 }
@@ -204,6 +229,18 @@ pub struct RunResult {
     pub profiling_cycles: u64,
     /// Dynamic execution count per load site: `load_site_counts[func][instr]`.
     pub load_site_counts: Vec<Vec<u64>>,
+    /// Superinstructions dispatched (meta-counter: measures how much
+    /// dispatch work fusion saved; not a logical output — it differs
+    /// between fused and unfused runs by design).
+    pub fused_dispatch: u64,
+    /// Demand accesses (loads and stores) served by the VM's last-line
+    /// fast path without calling into the memory timing model
+    /// (meta-counter; depends on the timing model's
+    /// [`MemoryTiming::repeat_line_size`] opt-in).
+    pub fastpath_load_hits: u64,
+    /// Dispatch probes recorded by the `vm-selfprof` feature (meta-counter;
+    /// always 0 when the feature is off).
+    pub selfprof_overhead_cycles: u64,
 }
 
 impl RunResult {
@@ -225,17 +262,32 @@ struct Frame {
     ret_reg: Option<Reg>,
 }
 
+/// Operand evaluation, hoisted out of the dispatch loop.
+#[inline]
+fn eval(regs: &[i64], o: Operand) -> i64 {
+    match o {
+        Operand::Reg(r) => regs[r.index()],
+        Operand::Imm(v) => v,
+    }
+}
+
 /// The virtual machine. Owns the simulated memory and heap; borrows the
 /// module, timing model and profiling runtime for the duration of a run.
 pub struct Vm<'a> {
     module: &'a Module,
     config: VmConfig,
+    /// Superinstruction-fused clone of `module`, shared through the
+    /// process-wide decode cache (None when `config.fuse` is off).
+    fused: Option<std::sync::Arc<Module>>,
     /// Simulated memory, exposed so harnesses can pre-initialize data.
     pub mem: Memory,
     /// Simulated heap.
     pub heap: Heap,
     global_bases: Vec<u64>,
     alloc_sizes: HashMap<u64, u64>,
+    /// Dispatch profile accumulated across runs (`vm-selfprof` builds).
+    #[cfg(feature = "vm-selfprof")]
+    pub selfprof: crate::selfprof::SelfProfile,
 }
 
 impl<'a> Vm<'a> {
@@ -243,13 +295,17 @@ impl<'a> Vm<'a> {
     pub fn new(module: &'a Module, config: VmConfig) -> Self {
         let sizes: Vec<u64> = module.globals.iter().map(|g| g.size).collect();
         let global_bases = layout_globals(&sizes);
+        let fused = config.fuse.then(|| decode_cache::fused(module));
         Vm {
             module,
             config,
+            fused,
             mem: Memory::new(),
             heap: Heap::new(),
             global_bases,
             alloc_sizes: HashMap::new(),
+            #[cfg(feature = "vm-selfprof")]
+            selfprof: crate::selfprof::SelfProfile::new(),
         }
     }
 
@@ -290,9 +346,14 @@ impl<'a> Vm<'a> {
         timing: &mut dyn MemoryTiming,
         profiling: &mut dyn ProfilingRuntime,
     ) -> Result<RunResult, VmError> {
+        // Execute from the fused clone when fusion is on. The clone has
+        // the same functions, ids and register files; the fused arms below
+        // keep all accounting byte-identical to sequential execution.
+        let fused_arc = self.fused.clone();
+        let module: &Module = fused_arc.as_deref().unwrap_or(self.module);
+
         let mut result = RunResult {
-            load_site_counts: self
-                .module
+            load_site_counts: module
                 .functions
                 .iter()
                 .map(|f| vec![0u64; f.next_instr as usize])
@@ -300,7 +361,7 @@ impl<'a> Vm<'a> {
             ..RunResult::default()
         };
 
-        let Some(f) = self.module.functions.get(func.index()) else {
+        let Some(f) = module.functions.get(func.index()) else {
             return Err(VmError::UnknownFunction {
                 func: func.index() as u32,
             });
@@ -312,243 +373,489 @@ impl<'a> Vm<'a> {
                 got: args.len(),
             });
         }
-        let mut regs = vec![0i64; f.num_regs as usize];
-        regs[..args.len()].copy_from_slice(args);
-        let mut stack = vec![Frame {
+        let mut entry_regs = vec![0i64; f.num_regs as usize];
+        entry_regs[..args.len()].copy_from_slice(args);
+        // The running frame lives in a local; `stack` holds only suspended
+        // callers, so dispatch never re-indexes the stack.
+        let mut cur = Frame {
             func,
             block: f.entry,
             idx: 0,
-            regs,
+            regs: entry_regs,
             ret_reg: None,
-        }];
+        };
+        let mut stack: Vec<Frame> = Vec::new();
 
+        // Loop-invariant configuration, hoisted out of dispatch.
         let cost = self.config.cost;
         let fuel = self.config.fuel;
+        let addr_limit = self.config.addr_limit;
+        let max_depth = self.config.max_call_depth;
         // Register files of returned frames, reused by later calls so the
         // call-heavy workloads do not allocate per dynamic call. Bounded by
         // the deepest call stack seen.
         let mut reg_pool: Vec<Vec<i64>> = Vec::new();
 
+        // Last-line load fast path (see MemoryTiming::repeat_line_size):
+        // demand loads and stores of the line touched by the immediately
+        // preceding demand access skip the timing model; their statistics
+        // are batched into the model at the next slow event or at run exit.
+        let repeat_mask = timing.repeat_line_size().map(|s| !(s - 1));
+        let mut last_line: u64 = u64::MAX; // sentinel: no MRU line known
+        let mut last_addr: u64 = 0;
+        let mut pending_repeats: u64 = 0;
+
+        #[cfg(feature = "vm-selfprof")]
+        let mut prev_kind: Option<crate::selfprof::OpKind> = None;
+
+        let mut error: Option<VmError> = None;
+
         'outer: loop {
-            let depth = stack.len();
-            let Some(frame) = stack.last_mut() else { break };
-            let function = &self.module.functions[frame.func.index()];
-            let block = &function.blocks[frame.block.index()];
+            let function = &module.functions[cur.func.index()];
+            'blocks: loop {
+                let block = &function.blocks[cur.block.index()];
+                let instrs = &block.instrs;
+                while cur.idx < instrs.len() {
+                    let instr = &instrs[cur.idx];
+                    cur.idx += 1;
+                    result.instructions += 1;
+                    if result.instructions > fuel {
+                        error = Some(VmError::OutOfFuel {
+                            executed: result.instructions,
+                        });
+                        break 'outer;
+                    }
 
-            if frame.idx < block.instrs.len() {
-                let instr = &block.instrs[frame.idx];
-                frame.idx += 1;
-                result.instructions += 1;
-                if result.instructions > fuel {
-                    return Err(VmError::OutOfFuel {
-                        executed: result.instructions,
-                    });
+                    #[cfg(feature = "vm-selfprof")]
+                    {
+                        let k = crate::selfprof::OpKind::of_op(&instr.op);
+                        self.selfprof.record(prev_kind, k);
+                        prev_kind = Some(k);
+                        result.selfprof_overhead_cycles += 1;
+                    }
+
+                    // Qualifying predicate: a squashed instruction still
+                    // costs its issue slot on an in-order machine? On
+                    // Itanium a predicated-off instruction occupies the
+                    // slot but completes without effect; charge 1 cycle.
+                    if let Some(p) = instr.pred {
+                        if cur.regs[p.index()] == 0 {
+                            result.cycles += 1;
+                            continue;
+                        }
+                    }
+
+                    result.cycles += cost.base_cost(&instr.op);
+                    let regs = &mut cur.regs;
+
+                    // Arms ordered hottest-first per the vm-selfprof
+                    // opcode/digram profile of the Fig. 15 workloads.
+                    match &instr.op {
+                        Op::FusedBinBin {
+                            a_dst,
+                            a_op,
+                            a_lhs,
+                            a_rhs,
+                            b_dst,
+                            b_op,
+                            b_lhs,
+                            b_rhs,
+                            b_id: _,
+                        } => {
+                            result.fused_dispatch += 1;
+                            // base_cost above charged the sum of both
+                            // halves; each half keeps its own dynamic
+                            // instruction slot and fuel check.
+                            regs[a_dst.index()] = a_op.eval(eval(regs, *a_lhs), eval(regs, *a_rhs));
+                            result.instructions += 1;
+                            if result.instructions > fuel {
+                                error = Some(VmError::OutOfFuel {
+                                    executed: result.instructions,
+                                });
+                                break 'outer;
+                            }
+                            regs[b_dst.index()] = b_op.eval(eval(regs, *b_lhs), eval(regs, *b_rhs));
+                        }
+                        Op::FusedBinLoad {
+                            bin_dst,
+                            op,
+                            lhs,
+                            rhs,
+                            load_dst,
+                            offset,
+                            site,
+                        } => {
+                            result.fused_dispatch += 1;
+                            // Bin half (base_cost above charged the sum of
+                            // both halves' base costs).
+                            let av = op.eval(eval(regs, *lhs), eval(regs, *rhs));
+                            regs[bin_dst.index()] = av;
+                            // Load half: its own dynamic-instruction slot
+                            // and fuel check, so OutOfFuel aborts at the
+                            // same point as unfused execution.
+                            result.instructions += 1;
+                            if result.instructions > fuel {
+                                error = Some(VmError::OutOfFuel {
+                                    executed: result.instructions,
+                                });
+                                break 'outer;
+                            }
+                            let a = av.wrapping_add(*offset) as u64;
+                            if a >= addr_limit {
+                                error = Some(VmError::InvalidMemoryAccess { addr: a });
+                                break 'outer;
+                            }
+                            result.loads += 1;
+                            result.load_site_counts[cur.func.index()][site.index()] += 1;
+                            if let Some(mask) = repeat_mask {
+                                if a & mask == last_line {
+                                    pending_repeats += 1;
+                                    result.fastpath_load_hits += 1;
+                                } else {
+                                    if pending_repeats != 0 {
+                                        timing.note_line_repeats(last_addr, pending_repeats);
+                                        pending_repeats = 0;
+                                    }
+                                    let stall = timing.access(a, result.cycles, AccessKind::Load);
+                                    result.cycles += stall;
+                                    result.mem_stall_cycles += stall;
+                                    last_line = a & mask;
+                                    last_addr = a;
+                                }
+                            } else {
+                                let stall = timing.access(a, result.cycles, AccessKind::Load);
+                                result.cycles += stall;
+                                result.mem_stall_cycles += stall;
+                            }
+                            regs[load_dst.index()] = self.mem.read_u64(a) as i64;
+                        }
+                        Op::Bin { dst, op, lhs, rhs } => {
+                            regs[dst.index()] = op.eval(eval(regs, *lhs), eval(regs, *rhs));
+                        }
+                        Op::Load { dst, addr, offset } => {
+                            let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                            if a >= addr_limit {
+                                error = Some(VmError::InvalidMemoryAccess { addr: a });
+                                break 'outer;
+                            }
+                            result.loads += 1;
+                            result.load_site_counts[cur.func.index()][instr.id.index()] += 1;
+                            if let Some(mask) = repeat_mask {
+                                if a & mask == last_line {
+                                    pending_repeats += 1;
+                                    result.fastpath_load_hits += 1;
+                                } else {
+                                    if pending_repeats != 0 {
+                                        timing.note_line_repeats(last_addr, pending_repeats);
+                                        pending_repeats = 0;
+                                    }
+                                    let stall = timing.access(a, result.cycles, AccessKind::Load);
+                                    result.cycles += stall;
+                                    result.mem_stall_cycles += stall;
+                                    last_line = a & mask;
+                                    last_addr = a;
+                                }
+                            } else {
+                                let stall = timing.access(a, result.cycles, AccessKind::Load);
+                                result.cycles += stall;
+                                result.mem_stall_cycles += stall;
+                            }
+                            regs[dst.index()] = self.mem.read_u64(a) as i64;
+                        }
+                        Op::Cmp { dst, op, lhs, rhs } => {
+                            regs[dst.index()] = op.eval(eval(regs, *lhs), eval(regs, *rhs));
+                        }
+                        Op::Mov { dst, src } => regs[dst.index()] = eval(regs, *src),
+                        Op::Const { dst, value } => regs[dst.index()] = *value,
+                        Op::Store {
+                            value,
+                            addr,
+                            offset,
+                        } => {
+                            let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                            if a >= addr_limit {
+                                error = Some(VmError::InvalidMemoryAccess { addr: a });
+                                break 'outer;
+                            }
+                            result.stores += 1;
+                            // The hierarchy's hit path is kind-agnostic, so
+                            // a same-line store repeats exactly like a load.
+                            if let Some(mask) = repeat_mask {
+                                if a & mask == last_line {
+                                    pending_repeats += 1;
+                                    result.fastpath_load_hits += 1;
+                                } else {
+                                    if pending_repeats != 0 {
+                                        timing.note_line_repeats(last_addr, pending_repeats);
+                                        pending_repeats = 0;
+                                    }
+                                    let stall = timing.access(a, result.cycles, AccessKind::Store);
+                                    result.cycles += stall;
+                                    result.mem_stall_cycles += stall;
+                                    last_line = a & mask;
+                                    last_addr = a;
+                                }
+                            } else {
+                                let stall = timing.access(a, result.cycles, AccessKind::Store);
+                                result.cycles += stall;
+                                result.mem_stall_cycles += stall;
+                            }
+                            let v = eval(regs, *value) as u64;
+                            self.mem.write_u64(a, v);
+                        }
+                        Op::Select {
+                            dst,
+                            cond,
+                            on_true,
+                            on_false,
+                        } => {
+                            regs[dst.index()] = if eval(regs, *cond) != 0 {
+                                eval(regs, *on_true)
+                            } else {
+                                eval(regs, *on_false)
+                            };
+                        }
+                        Op::GlobalAddr { dst, global } => {
+                            regs[dst.index()] = self.global_bases[global.index()] as i64;
+                        }
+                        Op::Prefetch { addr, offset } => {
+                            let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                            // Prefetch is non-faulting: a wild address (e.g.
+                            // from a degraded profile) is dropped, not an
+                            // error.
+                            if a < addr_limit {
+                                if pending_repeats != 0 {
+                                    timing.note_line_repeats(last_addr, pending_repeats);
+                                    pending_repeats = 0;
+                                }
+                                // Prefetch installs can displace the MRU
+                                // hint; drop the repeat guarantee.
+                                last_line = u64::MAX;
+                                timing.prefetch(a, result.cycles);
+                                result.prefetches += 1;
+                            }
+                        }
+                        Op::Call {
+                            dst,
+                            callee,
+                            args: call_args,
+                        } => {
+                            if stack.len() + 1 >= max_depth {
+                                error = Some(VmError::CallDepthExceeded { limit: max_depth });
+                                break 'outer;
+                            }
+                            let Some(cf) = module.functions.get(callee.index()) else {
+                                error = Some(VmError::UnknownFunction {
+                                    func: callee.index() as u32,
+                                });
+                                break 'outer;
+                            };
+                            if call_args.len() > cf.num_regs as usize {
+                                error = Some(VmError::ArityMismatch {
+                                    func: callee.index() as u32,
+                                    expected: cf.num_params,
+                                    got: call_args.len(),
+                                });
+                                break 'outer;
+                            }
+                            let mut new_regs = reg_pool.pop().unwrap_or_default();
+                            new_regs.clear();
+                            new_regs.resize(cf.num_regs as usize, 0);
+                            for (i, a) in call_args.iter().enumerate() {
+                                new_regs[i] = eval(regs, *a);
+                            }
+                            let new_frame = Frame {
+                                func: *callee,
+                                block: cf.entry,
+                                idx: 0,
+                                regs: new_regs,
+                                ret_reg: *dst,
+                            };
+                            stack.push(std::mem::replace(&mut cur, new_frame));
+                            continue 'outer;
+                        }
+                        Op::ProfileStride {
+                            site,
+                            addr,
+                            offset,
+                            slot,
+                        } => {
+                            let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
+                            let c = profiling.stride_prof(cur.func, *site, *slot, a);
+                            result.cycles += c;
+                            result.profiling_cycles += c;
+                        }
+                        Op::ProfileEdge { edge } => {
+                            let c = profiling.profile_edge(cur.func, *edge);
+                            result.cycles += c;
+                            result.profiling_cycles += c;
+                        }
+                        Op::TripCountCheck {
+                            dst,
+                            incoming,
+                            outgoing,
+                            shift,
+                            ..
+                        } => {
+                            let (pred, c) =
+                                profiling.trip_count_check(cur.func, incoming, outgoing, *shift);
+                            result.cycles += c;
+                            result.profiling_cycles += c;
+                            cur.regs[dst.index()] = pred as i64;
+                        }
+                        Op::Alloc { dst, size } => {
+                            let sz = eval(regs, *size).max(0) as u64;
+                            let a = self.heap.alloc(sz);
+                            self.alloc_sizes.insert(a, sz);
+                            regs[dst.index()] = a as i64;
+                        }
+                        Op::Free { addr } => {
+                            let a = eval(regs, *addr) as u64;
+                            if let Some(sz) = self.alloc_sizes.remove(&a) {
+                                self.heap.free(a, sz);
+                            }
+                        }
+                    }
                 }
 
-                // Qualifying predicate: a squashed instruction still costs
-                // its issue slot on an in-order machine? On Itanium a
-                // predicated-off instruction occupies the slot but
-                // completes without effect; charge 1 cycle.
-                if let Some(p) = instr.pred {
-                    if frame.regs[p.index()] == 0 {
-                        result.cycles += 1;
-                        continue;
-                    }
-                }
-
-                result.cycles += cost.base_cost(&instr.op);
-                let regs = &mut frame.regs;
-                let eval = |regs: &[i64], o: Operand| -> i64 {
-                    match o {
-                        Operand::Reg(r) => regs[r.index()],
-                        Operand::Imm(v) => v,
-                    }
-                };
-
-                match &instr.op {
-                    Op::Const { dst, value } => regs[dst.index()] = *value,
-                    Op::Mov { dst, src } => regs[dst.index()] = eval(regs, *src),
-                    Op::Bin { dst, op, lhs, rhs } => {
-                        regs[dst.index()] = op.eval(eval(regs, *lhs), eval(regs, *rhs));
-                    }
-                    Op::Cmp { dst, op, lhs, rhs } => {
-                        regs[dst.index()] = op.eval(eval(regs, *lhs), eval(regs, *rhs));
-                    }
-                    Op::Select {
-                        dst,
-                        cond,
-                        on_true,
-                        on_false,
-                    } => {
-                        regs[dst.index()] = if eval(regs, *cond) != 0 {
-                            eval(regs, *on_true)
-                        } else {
-                            eval(regs, *on_false)
-                        };
-                    }
-                    Op::Load { dst, addr, offset } => {
-                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
-                        if a >= self.config.addr_limit {
-                            return Err(VmError::InvalidMemoryAccess { addr: a });
-                        }
-                        let stall = timing.access(a, result.cycles, AccessKind::Load);
-                        result.cycles += stall;
-                        result.mem_stall_cycles += stall;
-                        result.loads += 1;
-                        result.load_site_counts[frame.func.index()][instr.id.index()] += 1;
-                        regs[dst.index()] = self.mem.read_u64(a) as i64;
-                    }
-                    Op::Store {
-                        value,
-                        addr,
-                        offset,
-                    } => {
-                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
-                        if a >= self.config.addr_limit {
-                            return Err(VmError::InvalidMemoryAccess { addr: a });
-                        }
-                        let stall = timing.access(a, result.cycles, AccessKind::Store);
-                        result.cycles += stall;
-                        result.mem_stall_cycles += stall;
-                        result.stores += 1;
-                        let v = eval(regs, *value) as u64;
-                        self.mem.write_u64(a, v);
-                    }
-                    Op::Prefetch { addr, offset } => {
-                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
-                        // Prefetch is non-faulting: a wild address (e.g. from
-                        // a degraded profile) is dropped, not an error.
-                        if a < self.config.addr_limit {
-                            timing.prefetch(a, result.cycles);
-                            result.prefetches += 1;
-                        }
-                    }
-                    Op::Alloc { dst, size } => {
-                        let sz = eval(regs, *size).max(0) as u64;
-                        let a = self.heap.alloc(sz);
-                        self.alloc_sizes.insert(a, sz);
-                        regs[dst.index()] = a as i64;
-                    }
-                    Op::Free { addr } => {
-                        let a = eval(regs, *addr) as u64;
-                        if let Some(sz) = self.alloc_sizes.remove(&a) {
-                            self.heap.free(a, sz);
-                        }
-                    }
-                    Op::GlobalAddr { dst, global } => {
-                        regs[dst.index()] = self.global_bases[global.index()] as i64;
-                    }
-                    Op::Call { dst, callee, args } => {
-                        if depth >= self.config.max_call_depth {
-                            return Err(VmError::CallDepthExceeded {
-                                limit: self.config.max_call_depth,
-                            });
-                        }
-                        let Some(cf) = self.module.functions.get(callee.index()) else {
-                            return Err(VmError::UnknownFunction {
-                                func: callee.index() as u32,
-                            });
-                        };
-                        if args.len() > cf.num_regs as usize {
-                            return Err(VmError::ArityMismatch {
-                                func: callee.index() as u32,
-                                expected: cf.num_params,
-                                got: args.len(),
-                            });
-                        }
-                        let mut new_regs = reg_pool.pop().unwrap_or_default();
-                        new_regs.clear();
-                        new_regs.resize(cf.num_regs as usize, 0);
-                        for (i, a) in args.iter().enumerate() {
-                            new_regs[i] = eval(regs, *a);
-                        }
-                        let new_frame = Frame {
-                            func: *callee,
-                            block: cf.entry,
-                            idx: 0,
-                            regs: new_regs,
-                            ret_reg: *dst,
-                        };
-                        stack.push(new_frame);
-                        continue 'outer;
-                    }
-                    Op::ProfileEdge { edge } => {
-                        let c = profiling.profile_edge(frame.func, *edge);
-                        result.cycles += c;
-                        result.profiling_cycles += c;
-                    }
-                    Op::TripCountCheck {
-                        dst,
-                        incoming,
-                        outgoing,
-                        shift,
-                        ..
-                    } => {
-                        let (pred, c) =
-                            profiling.trip_count_check(frame.func, incoming, outgoing, *shift);
-                        result.cycles += c;
-                        result.profiling_cycles += c;
-                        regs[dst.index()] = pred as i64;
-                    }
-                    Op::ProfileStride {
-                        site,
-                        addr,
-                        offset,
-                        slot,
-                    } => {
-                        let a = (eval(regs, *addr)).wrapping_add(*offset) as u64;
-                        let c = profiling.stride_prof(frame.func, *site, *slot, a);
-                        result.cycles += c;
-                        result.profiling_cycles += c;
-                    }
-                }
-            } else {
                 // Terminator.
                 result.instructions += 1;
                 if result.instructions > fuel {
-                    return Err(VmError::OutOfFuel {
+                    error = Some(VmError::OutOfFuel {
                         executed: result.instructions,
                     });
+                    break 'outer;
                 }
-                result.cycles += cost.branch;
+
+                #[cfg(feature = "vm-selfprof")]
+                {
+                    let k = crate::selfprof::OpKind::of_term(&block.term);
+                    self.selfprof.record(prev_kind, k);
+                    prev_kind = Some(k);
+                    result.selfprof_overhead_cycles += 1;
+                }
+
                 match &block.term {
+                    Terminator::FusedCmpBr {
+                        dst,
+                        op,
+                        lhs,
+                        rhs,
+                        then_,
+                        else_,
+                        ..
+                    } => {
+                        result.fused_dispatch += 1;
+                        // Cmp half.
+                        result.cycles += cost.alu;
+                        let c = op.eval(eval(&cur.regs, *lhs), eval(&cur.regs, *rhs));
+                        cur.regs[dst.index()] = c;
+                        // Branch half: its own dynamic-instruction slot and
+                        // fuel check.
+                        result.instructions += 1;
+                        if result.instructions > fuel {
+                            error = Some(VmError::OutOfFuel {
+                                executed: result.instructions,
+                            });
+                            break 'outer;
+                        }
+                        result.cycles += cost.branch;
+                        cur.block = if c != 0 { *then_ } else { *else_ };
+                        cur.idx = 0;
+                        continue 'blocks;
+                    }
                     Terminator::Br { target } => {
-                        frame.block = *target;
-                        frame.idx = 0;
+                        result.cycles += cost.branch;
+                        cur.block = *target;
+                        cur.idx = 0;
+                        continue 'blocks;
                     }
                     Terminator::CondBr { cond, then_, else_ } => {
-                        let c = match cond {
-                            Operand::Reg(r) => frame.regs[r.index()],
-                            Operand::Imm(v) => *v,
-                        };
-                        frame.block = if c != 0 { *then_ } else { *else_ };
-                        frame.idx = 0;
+                        result.cycles += cost.branch;
+                        let c = eval(&cur.regs, *cond);
+                        cur.block = if c != 0 { *then_ } else { *else_ };
+                        cur.idx = 0;
+                        continue 'blocks;
                     }
                     Terminator::Ret { value } => {
-                        let v = value.map(|o| match o {
-                            Operand::Reg(r) => frame.regs[r.index()],
-                            Operand::Imm(v) => v,
-                        });
-                        let ret_reg = frame.ret_reg;
-                        if let Some(finished) = stack.pop() {
-                            reg_pool.push(finished.regs);
-                        }
-                        match stack.last_mut() {
+                        result.cycles += cost.branch;
+                        let v = value.map(|o| eval(&cur.regs, o));
+                        match stack.pop() {
                             Some(caller) => {
-                                if let (Some(dst), Some(v)) = (ret_reg, v) {
-                                    caller.regs[dst.index()] = v;
+                                let finished = std::mem::replace(&mut cur, caller);
+                                reg_pool.push(finished.regs);
+                                if let (Some(dst), Some(v)) = (finished.ret_reg, v) {
+                                    cur.regs[dst.index()] = v;
                                 }
+                                continue 'outer;
                             }
                             None => {
                                 result.return_value = v;
-                                break;
+                                break 'outer;
                             }
                         }
                     }
                 }
             }
         }
-        Ok(result)
+
+        // Settle batched fast-path hits so the timing model's statistics
+        // cover the whole run (including error aborts).
+        if pending_repeats != 0 {
+            timing.note_line_repeats(last_addr, pending_repeats);
+        }
+        match error {
+            Some(e) => Err(e),
+            None => Ok(result),
+        }
+    }
+}
+
+/// Process-wide fusion decode cache: module → superinstruction-fused clone
+/// (`stride_ir::fuse_module`), so harnesses that build many short-lived
+/// [`Vm`]s over the same module pay the fusion pass once. Keyed by the
+/// module's structural hash, with full structural equality verification
+/// (each entry keeps a clone of the unfused module) so hash collisions
+/// cannot alias distinct modules. Bounded: past capacity, new modules are
+/// fused but not retained.
+mod decode_cache {
+    use std::collections::hash_map::DefaultHasher;
+    use std::collections::HashMap;
+    use std::hash::{Hash, Hasher};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use stride_ir::Module;
+
+    const CAPACITY: usize = 64;
+
+    type Shelf = HashMap<u64, Vec<(Module, Arc<Module>)>>;
+
+    static CACHE: OnceLock<Mutex<Shelf>> = OnceLock::new();
+
+    pub(crate) fn fused(module: &Module) -> Arc<Module> {
+        let mut h = DefaultHasher::new();
+        module.hash(&mut h);
+        let key = h.finish();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Ok(shelf) = cache.lock() {
+            if let Some(bucket) = shelf.get(&key) {
+                for (stored, fused) in bucket {
+                    if stored == module {
+                        return Arc::clone(fused);
+                    }
+                }
+            }
+        }
+        let (fused, _stats) = stride_ir::fuse_module(module);
+        let fused = Arc::new(fused);
+        if let Ok(mut shelf) = cache.lock() {
+            if shelf.len() < CAPACITY || shelf.contains_key(&key) {
+                let bucket = shelf.entry(key).or_default();
+                if !bucket.iter().any(|(stored, _)| stored == module) {
+                    bucket.push((module.clone(), Arc::clone(&fused)));
+                }
+            }
+        }
+        fused
     }
 }
 
@@ -964,6 +1271,225 @@ mod tests {
                 got: 1
             }
         );
+    }
+
+    /// Strided sum + pointer-ish reloads + a call: exercises FusedBinLoad,
+    /// FusedCmpBr, and plain ops in one workload.
+    fn fusible_workload() -> Module {
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("arr", 1 << 12);
+        let helper = mb.declare_function("helper", 1);
+        {
+            let mut fb = mb.function(helper);
+            let x = fb.param(0);
+            let y = fb.mul(x, 3i64);
+            fb.ret(Some(Operand::Reg(y)));
+        }
+        let f = mb.declare_function("main", 1);
+        {
+            let mut fb = mb.function(f);
+            let base = fb.global_addr(g);
+            let sum = fb.mov(0i64);
+            fb.counted_loop(fb.param(0), |fb, i| {
+                let off = fb.mul(i, 8i64);
+                let a = fb.add(base, off);
+                let (v, _) = fb.load(a, 0);
+                fb.store(v, a, 64);
+                let h = fb.call(helper, &[Operand::Reg(v)]);
+                fb.bin_to(sum, BinOp::Add, sum, h);
+            });
+            fb.ret(Some(Operand::Reg(sum)));
+        }
+        mb.set_entry(f);
+        mb.finish()
+    }
+
+    /// Asserts every logical output of two runs matches (meta-counters like
+    /// fused_dispatch are intentionally excluded — they describe the
+    /// interpreter, not the program).
+    fn assert_logical_identity(a: &RunResult, b: &RunResult) {
+        assert_eq!(a.return_value, b.return_value);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.loads, b.loads);
+        assert_eq!(a.stores, b.stores);
+        assert_eq!(a.prefetches, b.prefetches);
+        assert_eq!(a.mem_stall_cycles, b.mem_stall_cycles);
+        assert_eq!(a.profiling_cycles, b.profiling_cycles);
+        assert_eq!(a.load_site_counts, b.load_site_counts);
+    }
+
+    #[test]
+    fn fused_and_unfused_runs_are_byte_identical() {
+        let m = fusible_workload();
+        let mut fused_vm = Vm::new(&m, VmConfig::default());
+        let fused = fused_vm
+            .run(&[50], &mut FlatTiming, &mut NullRuntime)
+            .expect("fused run");
+        let mut plain_vm = Vm::new(
+            &m,
+            VmConfig {
+                fuse: false,
+                ..VmConfig::default()
+            },
+        );
+        let plain = plain_vm
+            .run(&[50], &mut FlatTiming, &mut NullRuntime)
+            .expect("unfused run");
+        assert!(fused.fused_dispatch > 0, "fusion must actually engage");
+        assert_eq!(plain.fused_dispatch, 0);
+        assert_logical_identity(&fused, &plain);
+    }
+
+    #[test]
+    fn fused_out_of_fuel_aborts_at_identical_instruction() {
+        // Sweep fuel across the whole run, including values that land
+        // between the two halves of a superinstruction.
+        let m = fusible_workload();
+        let full = Vm::new(&m, VmConfig::default())
+            .run(&[6], &mut FlatTiming, &mut NullRuntime)
+            .expect("full run")
+            .instructions;
+        for fuel in 1..=full {
+            let mut fused_vm = Vm::new(
+                &m,
+                VmConfig {
+                    fuel,
+                    ..VmConfig::default()
+                },
+            );
+            let fused = fused_vm.run(&[6], &mut FlatTiming, &mut NullRuntime);
+            let mut plain_vm = Vm::new(
+                &m,
+                VmConfig {
+                    fuel,
+                    fuse: false,
+                    ..VmConfig::default()
+                },
+            );
+            let plain = plain_vm.run(&[6], &mut FlatTiming, &mut NullRuntime);
+            match (&fused, &plain) {
+                (Err(a), Err(b)) => assert_eq!(a, b, "fuel {fuel}"),
+                (Ok(a), Ok(b)) => assert_logical_identity(a, b),
+                _ => panic!("fuel {fuel}: one run aborted, the other finished"),
+            }
+        }
+    }
+
+    #[test]
+    fn decode_cache_shares_fused_modules() {
+        let m = fusible_workload();
+        let a = Vm::new(&m, VmConfig::default());
+        let b = Vm::new(&m, VmConfig::default());
+        let (fa, fb) = (a.fused.as_ref().unwrap(), b.fused.as_ref().unwrap());
+        assert!(std::sync::Arc::ptr_eq(fa, fb), "same module fuses once");
+        let off = Vm::new(
+            &m,
+            VmConfig {
+                fuse: false,
+                ..VmConfig::default()
+            },
+        );
+        assert!(off.fused.is_none());
+    }
+
+    #[test]
+    fn last_line_fast_path_batches_exactly() {
+        // A timing model that counts its calls and knows its line size.
+        #[derive(Default)]
+        struct Counting {
+            accesses: u64,
+            noted: u64,
+        }
+        impl MemoryTiming for Counting {
+            fn access(&mut self, _a: u64, _c: u64, _k: AccessKind) -> u64 {
+                self.accesses += 1;
+                0
+            }
+            fn prefetch(&mut self, _a: u64, _c: u64) {}
+            fn repeat_line_size(&self) -> Option<u64> {
+                Some(64)
+            }
+            fn note_line_repeats(&mut self, _addr: u64, n: u64) {
+                self.noted += n;
+            }
+        }
+
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("buf", 256);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        // Four loads and a store of one line, then a load of another line.
+        let _ = fb.load(base, 0);
+        let _ = fb.load(base, 8);
+        let _ = fb.load(base, 16);
+        let _ = fb.load(base, 24);
+        fb.store(1i64, base, 32);
+        let _ = fb.load(base, 128);
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let mut t = Counting::default();
+        let r = vm.run(&[], &mut t, &mut NullRuntime).expect("run");
+        assert_eq!(r.loads, 5);
+        assert_eq!(r.stores, 1);
+        assert_eq!(r.fastpath_load_hits, 4, "same-line loads and stores batch");
+        assert_eq!(t.accesses, 2, "only line-changing accesses reach the model");
+        assert_eq!(t.noted, 4, "batched repeats are settled");
+        assert_eq!(t.accesses + t.noted, r.loads + r.stores, "no access lost");
+    }
+
+    #[test]
+    fn fast_path_flushes_before_stores_and_prefetches() {
+        #[derive(Default)]
+        struct Ordered {
+            events: Vec<(char, u64)>,
+        }
+        impl MemoryTiming for Ordered {
+            fn access(&mut self, a: u64, _c: u64, k: AccessKind) -> u64 {
+                self.events.push((
+                    match k {
+                        AccessKind::Load => 'l',
+                        AccessKind::Store => 's',
+                    },
+                    a,
+                ));
+                0
+            }
+            fn prefetch(&mut self, a: u64, _c: u64) {
+                self.events.push(('p', a));
+            }
+            fn repeat_line_size(&self) -> Option<u64> {
+                Some(64)
+            }
+            fn note_line_repeats(&mut self, addr: u64, n: u64) {
+                self.events.push(('r', addr));
+                self.events.push(('n', n));
+            }
+        }
+
+        let mut mb = ModuleBuilder::new();
+        let g = mb.add_global("buf", 256);
+        let f = mb.declare_function("main", 0);
+        let mut fb = mb.function(f);
+        let base = fb.global_addr(g);
+        let _ = fb.load(base, 0);
+        let _ = fb.load(base, 8); // pending repeat
+        fb.store(1i64, base, 128); // different line: must flush first
+        let _ = fb.load(base, 136); // store's line is MRU: repeat
+        fb.prefetch(base, 192); // must flush before the prefetch
+        fb.ret(None);
+        mb.set_entry(f);
+        let m = mb.finish();
+
+        let mut vm = Vm::new(&m, VmConfig::default());
+        let mut t = Ordered::default();
+        vm.run(&[], &mut t, &mut NullRuntime).expect("run");
+        let tags: Vec<char> = t.events.iter().map(|e| e.0).collect();
+        assert_eq!(tags, vec!['l', 'r', 'n', 's', 'r', 'n', 'p']);
     }
 
     #[test]

@@ -32,6 +32,8 @@
 pub mod cost;
 pub mod interp;
 pub mod memory;
+#[cfg(feature = "vm-selfprof")]
+pub mod selfprof;
 pub mod trace;
 
 pub use cost::CostModel;

@@ -13,6 +13,7 @@
 //! tell apart.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -22,10 +23,34 @@ pub const GLOBAL_BASE: u64 = 0x0000_1000;
 /// Base address of the simulated heap.
 pub const HEAP_BASE: u64 = 0x1000_0000;
 
+/// splitmix64 over page numbers. Page lookups sit on the VM's load/store
+/// path, where SipHash pays for a collision resistance the simulator does
+/// not need (page numbers are not attacker-controlled, and the map's
+/// iteration order is never observed).
+#[derive(Default)]
+struct PageHasher(u64);
+
+impl Hasher for PageHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 << 8) ^ u64::from(b);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+    fn finish(&self) -> u64 {
+        let mut z = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
 /// Sparse byte-addressable memory.
 #[derive(Debug, Default)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>, BuildHasherDefault<PageHasher>>,
 }
 
 impl Memory {
@@ -36,14 +61,37 @@ impl Memory {
 
     /// Reads one little-endian `u64`, returning 0 for untouched bytes.
     pub fn read_u64(&self, addr: u64) -> u64 {
-        let mut bytes = [0u8; 8];
-        self.read_bytes(addr, &mut bytes);
-        u64::from_le_bytes(bytes)
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        // Fast path: the access lies within one page (the overwhelmingly
+        // common case — all VM-visible data is 8-byte aligned).
+        if off <= PAGE_SIZE - 8 {
+            match self.pages.get(&(addr >> PAGE_SHIFT)) {
+                Some(p) => {
+                    let mut b = [0u8; 8];
+                    b.copy_from_slice(&p[off..off + 8]);
+                    u64::from_le_bytes(b)
+                }
+                None => 0,
+            }
+        } else {
+            let mut bytes = [0u8; 8];
+            self.read_bytes(addr, &mut bytes);
+            u64::from_le_bytes(bytes)
+        }
     }
 
     /// Writes one little-endian `u64`.
     pub fn write_u64(&mut self, addr: u64, value: u64) {
-        self.write_bytes(addr, &value.to_le_bytes());
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        if off <= PAGE_SIZE - 8 {
+            let p = self
+                .pages
+                .entry(addr >> PAGE_SHIFT)
+                .or_insert_with(|| Box::new([0u8; PAGE_SIZE]));
+            p[off..off + 8].copy_from_slice(&value.to_le_bytes());
+        } else {
+            self.write_bytes(addr, &value.to_le_bytes());
+        }
     }
 
     /// Reads `buf.len()` bytes starting at `addr`.
@@ -197,6 +245,20 @@ mod tests {
         assert_eq!(mem.page_count(), 2);
         // neighbors unaffected
         assert_eq!(mem.read_u64(addr - 8), 0);
+    }
+
+    #[test]
+    fn fast_and_bytewise_paths_agree() {
+        let mut mem = Memory::new();
+        mem.write_bytes(100, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(
+            mem.read_u64(100),
+            u64::from_le_bytes([1, 2, 3, 4, 5, 6, 7, 8])
+        );
+        mem.write_u64(101, 0xAABB);
+        let mut b = [0u8; 8];
+        mem.read_bytes(101, &mut b);
+        assert_eq!(u64::from_le_bytes(b), 0xAABB);
     }
 
     #[test]
