@@ -196,4 +196,117 @@ diff "$svc_a" "$svc_b" \
     || { echo "service campaign report differs across --jobs" >&2; exit 1; }
 rm -f "$svc_a" "$svc_b"
 
+echo "== smoke: sharded cluster — routing, typed shedding, recovery, convergence =="
+cl_root=$(mktemp -d)
+declare -a shard_addr shard_pid shard_out
+for k in 0 1 2; do
+    shard_out[$k]=$(mktemp)
+    cargo run --release -q -p stride-server --bin strided -- \
+        serve --addr 127.0.0.1:0 --db "$cl_root/s$k" --workers 2 > "${shard_out[$k]}" &
+    shard_pid[$k]=$!
+done
+for k in 0 1 2; do
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "${shard_out[$k]}")
+        [ -n "$addr" ] && break
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "cluster shard $k did not report its address" >&2; exit 1; }
+    shard_addr[$k]=$addr
+done
+rt_out=$(mktemp)
+cargo run --release -q -p stride-server --bin strided-router -- \
+    serve --addr 127.0.0.1:0 --workers 2 \
+    --shard "${shard_addr[0]}" --shard "${shard_addr[1]}" --shard "${shard_addr[2]}" \
+    > "$rt_out" &
+rt_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$rt_out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "strided-router did not report its address" >&2; exit 1; }
+rctl() { cargo run --release -q -p stride-bench --bin stridectl -- --addr "$addr" --retries 1 "$@"; }
+# Seed an entry through the router (submit + profile route to mcf's
+# owning shard), then fan five keys across the shard map.
+submit_out=$(rctl submit mcf --builtin mcf --scale test)
+train=$(echo "$submit_out" | sed -n 's/^built-in [^ ]* train=\([^ ]*\) .*/\1/p')
+rctl profile mcf --variant edge-check --args "$train" > /dev/null
+rctl get-profile mcf > "$cl_root/entry.mcf"
+for i in 0 1 2 3 4; do
+    sed "s/^workload .*/workload wl$i/" "$cl_root/entry.mcf" > "$cl_root/entry.wl$i"
+    rctl merge-profile --file "$cl_root/entry.wl$i" > /dev/null \
+        || { echo "healthy-cluster merge wl$i failed" >&2; exit 1; }
+done
+# SIGKILL shard 1: its key range sheds with a typed error naming the
+# shard; every other range keeps serving.
+kill -9 "${shard_pid[1]}"
+wait "${shard_pid[1]}" 2>/dev/null || true
+dead_keys=""
+live=0
+for i in 0 1 2 3 4; do
+    if out=$(rctl merge-profile --file "$cl_root/entry.wl$i" 2>&1); then
+        live=$((live + 1))
+    else
+        echo "$out" | grep -q 'server error \[unavailable\] (shard 1)' \
+            || { echo "dead-shard merge wl$i lacked typed unavailable: $out" >&2; exit 1; }
+        dead_keys="$dead_keys $i"
+    fi
+done
+[ -n "$dead_keys" ] || { echo "no key routed to the killed shard" >&2; exit 1; }
+[ "$live" -gt 0 ] || { echo "live shards stopped serving during the outage" >&2; exit 1; }
+# Restart the victim on a fresh port (startup recovery replays its WAL)
+# and re-point the router; the outage's queued deltas drain.
+shard_out[1]=$(mktemp)
+cargo run --release -q -p stride-server --bin strided -- \
+    serve --addr 127.0.0.1:0 --db "$cl_root/s1" --workers 2 > "${shard_out[1]}" &
+shard_pid[1]=$!
+new_addr=""
+for _ in $(seq 1 100); do
+    new_addr=$(sed -n 's/^listening on //p' "${shard_out[1]}")
+    [ -n "$new_addr" ] && break
+    sleep 0.1
+done
+[ -n "$new_addr" ] || { echo "restarted shard 1 did not report its address" >&2; exit 1; }
+rctl route-update --shard 1 --replica 0 --to "$new_addr" | grep -q '^routed shard=1' \
+    || { echo "route-update failed" >&2; exit 1; }
+# One more merge round, then every key — shed or not — must have
+# converged to the same three applied merges.
+for i in 0 1 2 3 4; do
+    rctl merge-profile --file "$cl_root/entry.wl$i" > /dev/null \
+        || { echo "post-recovery merge wl$i failed" >&2; exit 1; }
+    rctl submit "wl$i" --builtin mcf --scale test > /dev/null
+    rctl get-profile "wl$i" | grep -q '^runs 3$' \
+        || { echo "wl$i did not converge to 3 merges (acked or queued merge lost)" >&2; exit 1; }
+done
+rctl stats | grep -q 'lag shard=1 replica=0 queued=0' \
+    || { echo "replication lag did not drain after route-update" >&2; exit 1; }
+rctl stats --json | python3 -c '
+import json, sys
+d = json.load(sys.stdin)
+assert len(d["shards"]) == 3, d["shards"]
+assert d["aggregate"]["db-entries"] == 6, d["aggregate"]
+assert d["router"]["counter.router.shed_unavailable"] > 0, d["router"]
+'
+rctl shutdown | grep -q 'shutting down' || { echo "cluster shutdown failed" >&2; exit 1; }
+wait "$rt_pid" || { echo "strided-router exited non-zero" >&2; exit 1; }
+for k in 0 1 2; do
+    wait "${shard_pid[$k]}" || { echo "cluster shard $k exited non-zero" >&2; exit 1; }
+done
+cargo run --release -q -p stride-profdb --bin profdb -- check --db "$cl_root/s1" \
+    | grep -q '^verdict: ok' || { echo "recovered shard store failed its audit" >&2; exit 1; }
+rm -rf "$cl_root" "$rt_out" "${shard_out[@]}"
+
+echo "== smoke: cluster chaos campaign (two seeds, jobs-invariant) =="
+cl_a=$(mktemp)
+cl_b=$(mktemp)
+cargo run --release -q -p stride-bench --bin faultsim -- --cluster --seed 42 --jobs 1 > "$cl_a"
+cargo run --release -q -p stride-bench --bin faultsim -- --cluster --seed 7 --jobs 4 > /dev/null
+cargo run --release -q -p stride-bench --bin faultsim -- --cluster --seed 42 --jobs 4 > "$cl_b"
+diff "$cl_a" "$cl_b" \
+    || { echo "cluster campaign report differs across --jobs" >&2; exit 1; }
+rm -f "$cl_a" "$cl_b"
+
 echo "ci.sh: all checks passed"

@@ -3,6 +3,7 @@
 //! ```text
 //! faultsim [--scale test|paper] [--jobs N] [--seed N] [--plan SPEC]
 //! faultsim --service [--jobs N] [--seed N]
+//! faultsim --cluster [--jobs N] [--seed N]
 //! ```
 //!
 //! Runs every scenario of a fault campaign (the built-in 14-scenario
@@ -24,6 +25,21 @@
 //! (truncated and reset response frames) so the client's retry and
 //! request-id dedup paths are exercised under crash pressure.
 //!
+//! `--cluster` escalates to the sharded-service chaos campaign: each
+//! scenario boots a real `strided-router` over 3 shards × 2 replica
+//! `strided` daemons, drives seeded merge traffic through the router,
+//! SIGKILLs a seeded victim (one replica or a whole shard) mid-traffic,
+//! and plays adversarial replication weather — delta batches dropped,
+//! duplicated, and reordered straight at the replicas. Invariants: a
+//! fully dead shard sheds only its own key range with a typed
+//! `unavailable shard=K` error while every other range keeps serving;
+//! after restart + `route-update` the replication lag drains; and every
+//! replica store ends byte-identical to an uninterrupted single-store
+//! reference applying the same deltas — so no acknowledged merge can be
+//! lost and no duplicate can double-count. Merges carry power-of-two
+//! edge-counter scaling, so any lost or double-applied delta produces a
+//! unique byte difference.
+//!
 //! Exit status: 0 when every scenario either completed with the
 //! invariant held or degraded to a structured diagnostic; 1 when any
 //! scenario panicked or violated the invariant.
@@ -34,7 +50,9 @@ use stride_core::{
     ProfilingVariant,
 };
 use stride_ir::module_to_string;
-use stride_profdb::{module_hash, ProfileEntry};
+use stride_profdb::{
+    encode_delta_batch, module_hash, DeltaRecord, ProfileDb, ProfileEntry, ShardMap,
+};
 use stride_server::{Client, ErrorKind, Request, Response, RetryPolicy};
 use stride_workloads::{workload_by_name, Scale, Workload};
 
@@ -124,12 +142,56 @@ fn run_scenario(
     }
 }
 
-/// splitmix64 finalizer: the campaign's only randomness primitive.
-fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
+/// splitmix64 stream increment.
+const MIX_GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// splitmix64 finalizer without the increment — the same mix the
+/// client's idempotency-id stream uses, so the cluster campaign can
+/// predict the req-id the router stamps on each merge's delta.
+fn mix_final(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// splitmix64 step: the campaign's only randomness primitive.
+fn mix64(x: u64) -> u64 {
+    mix_final(x.wrapping_add(MIX_GAMMA))
+}
+
+/// The client's idempotency-id stream from `set_id_state(state)`: the
+/// req-ids its next `n` merge calls will carry.
+fn id_stream(mut state: u64, n: usize) -> Vec<u64> {
+    let mut ids = Vec::with_capacity(n);
+    while ids.len() < n {
+        state = state.wrapping_add(MIX_GAMMA);
+        let id = mix_final(state);
+        if id != 0 {
+            ids.push(id);
+        }
+    }
+    ids
+}
+
+/// Seeded shuffle/sample source for the chaos schedules.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(MIX_GAMMA);
+        mix_final(self.0)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn shuffle<T>(&mut self, v: &mut [T]) {
+        for i in (1..v.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            v.swap(i, j);
+        }
+    }
 }
 
 /// One kill/restart scenario of the `--service` campaign.
@@ -195,6 +257,24 @@ fn strided_bin() -> Result<std::path::PathBuf, String> {
     }
 }
 
+/// Locates the `strided-router` binary the same way.
+fn router_bin() -> Result<std::path::PathBuf, String> {
+    if let Ok(p) = std::env::var("STRIDED_ROUTER_BIN") {
+        return Ok(std::path::PathBuf::from(p));
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let dir = exe.parent().ok_or("executable has no parent directory")?;
+    let cand = dir.join("strided-router");
+    if cand.exists() {
+        Ok(cand)
+    } else {
+        Err(format!(
+            "strided-router binary not found at {} (set STRIDED_ROUTER_BIN)",
+            cand.display()
+        ))
+    }
+}
+
 /// A spawned `strided` child plus its stdout line stream.
 struct Daemon {
     child: std::process::Child,
@@ -250,8 +330,33 @@ fn spawn_daemon(
     if let Some(spec) = inject {
         cmd.arg("--inject").arg(spec);
     }
-    let mut child = cmd.spawn().map_err(|e| format!("spawn strided: {e}"))?;
-    let stdout = child.stdout.take().ok_or("strided stdout not captured")?;
+    wait_listening(cmd, "strided")
+}
+
+/// Spawns `strided-router serve` over the given shard topology (one
+/// comma-joined `--shard` flag per shard) and waits for its bind line.
+fn spawn_router(bin: &std::path::Path, shards: &[Vec<String>]) -> Result<Daemon, String> {
+    let mut cmd = std::process::Command::new(bin);
+    cmd.arg("serve")
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .arg("--workers")
+        .arg("2")
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null());
+    for row in shards {
+        cmd.arg("--shard").arg(row.join(","));
+    }
+    wait_listening(cmd, "strided-router")
+}
+
+/// Spawns the command and waits for its `listening on ADDR` stdout line.
+fn wait_listening(mut cmd: std::process::Command, what: &str) -> Result<Daemon, String> {
+    let mut child = cmd.spawn().map_err(|e| format!("spawn {what}: {e}"))?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| format!("{what} stdout not captured"))?;
     let (tx, rx) = std::sync::mpsc::channel::<String>();
     std::thread::spawn(move || {
         use std::io::BufRead;
@@ -270,7 +375,7 @@ fn spawn_daemon(
         if remaining.is_zero() {
             let _ = child.kill();
             let _ = child.wait();
-            return Err("strided did not report `listening on` within 10s".to_string());
+            return Err(format!("{what} did not report `listening on` within 10s"));
         }
         match rx.recv_timeout(remaining) {
             Ok(line) => {
@@ -284,7 +389,7 @@ fn spawn_daemon(
             Err(_) => {
                 let _ = child.kill();
                 let _ = child.wait();
-                return Err("strided exited before binding its socket".to_string());
+                return Err(format!("{what} exited before binding its socket"));
             }
         }
     }
@@ -535,12 +640,462 @@ fn service_main(jobs: usize, seed: u64) -> i32 {
     i32::from(panics > 0 || violations > 0)
 }
 
+/// Cluster topology the `--cluster` campaign boots per scenario.
+const CLUSTER_SHARDS: usize = 3;
+const CLUSTER_REPLICAS: usize = 2;
+/// Distinct `(workload, module-hash)` keys per scenario.
+const CLUSTER_KEYS: usize = 8;
+/// Merges per key; each round scales edge counters by `1 << round`, so
+/// every applied-delta subset has a unique counter sum.
+const CLUSTER_ROUNDS: usize = 4;
+
+/// One scenario of the `--cluster` chaos campaign.
+struct ClusterScenario {
+    index: usize,
+    /// `(shard, kill both replicas?)` — `None` is the pure
+    /// drop/dup/reorder weather scenario.
+    kill: Option<(usize, bool)>,
+    /// Per-scenario salt folded into the seed.
+    salt: u64,
+}
+
+/// The built-in cluster campaign: a whole-shard outage (typed shedding),
+/// a single-replica outage (lag queue + redelivery), pure replication
+/// weather, and a second whole-shard outage on a different shard.
+fn cluster_campaign() -> Vec<ClusterScenario> {
+    vec![
+        ClusterScenario {
+            index: 0,
+            kill: Some((1, true)),
+            salt: 1,
+        },
+        ClusterScenario {
+            index: 1,
+            kill: Some((2, false)),
+            salt: 2,
+        },
+        ClusterScenario {
+            index: 2,
+            kill: None,
+            salt: 3,
+        },
+        ClusterScenario {
+            index: 3,
+            kill: Some((0, true)),
+            salt: 4,
+        },
+    ]
+}
+
+/// The i-th merge of a key: the base entry renamed to the key with every
+/// edge counter scaled by `1 << round`.
+fn cluster_entry(base: &ProfileEntry, workload: &str, hash: u64, round: usize) -> ProfileEntry {
+    let mut e = base.clone();
+    e.workload = workload.to_string();
+    e.module_hash = hash;
+    e.runs = 1;
+    let factor = 1u64 << round;
+    for table in &mut e.edge_tables {
+        for v in table.iter_mut() {
+            *v = v.saturating_mul(factor);
+        }
+    }
+    e
+}
+
+/// Sorted `(name, bytes)` of a store's entry files — the converged state
+/// a replica must share byte-for-byte with the reference.
+fn entry_files(dir: &std::path::Path) -> Result<Vec<(String, Vec<u8>)>, String> {
+    let mut files = Vec::new();
+    let rd = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for de in rd {
+        let de = de.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = de.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".profdb") {
+            let bytes =
+                std::fs::read(de.path()).map_err(|e| format!("{}: {e}", de.path().display()))?;
+            files.push((name, bytes));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// The scenario's processes; SIGKILLed on drop so an early error return
+/// never leaks daemons.
+struct Cluster {
+    router: Option<Daemon>,
+    backends: Vec<Vec<Option<Daemon>>>,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for d in self.router.iter_mut() {
+            d.kill();
+        }
+        for d in self.backends.iter_mut().flatten().flatten() {
+            d.kill();
+        }
+    }
+}
+
+/// Runs one cluster chaos scenario; returns its deterministic verdict
+/// line. The kill point, victim, and chaos schedules are all functions
+/// of `(seed, salt)`, so the line is identical at any `--jobs` level.
+fn run_cluster_scenario(
+    strided: &std::path::Path,
+    router: &std::path::Path,
+    base: &ProfileEntry,
+    sc: &ClusterScenario,
+    seed: u64,
+) -> Result<String, String> {
+    let map = ShardMap::new(CLUSTER_SHARDS as u32);
+    let keys: Vec<(String, u64)> = (0..CLUSTER_KEYS)
+        .map(|i| (format!("c{}k{i}", sc.index), 0x4100 + i as u64))
+        .collect();
+    let owner: Vec<usize> = keys
+        .iter()
+        .map(|(w, h)| map.shard_of(w, *h) as usize)
+        .collect();
+    for k in 0..CLUSTER_SHARDS {
+        if !owner.contains(&k) {
+            return Err(format!(
+                "scenario key set covers no key on shard {k}; widen CLUSTER_KEYS"
+            ));
+        }
+    }
+
+    // Every merge, its wire text, and the exact delta record the router
+    // will fan out for it (req-id predicted from the client id stream).
+    let total = CLUSTER_KEYS * CLUSTER_ROUNDS;
+    let texts: Vec<String> = (0..total)
+        .map(|i| {
+            let (w, h) = &keys[i % CLUSTER_KEYS];
+            cluster_entry(base, w, *h, i / CLUSTER_KEYS).to_text()
+        })
+        .collect();
+    let id0 = mix64(seed ^ sc.salt.wrapping_mul(0xc2b2_ae3d));
+    let records: Vec<DeltaRecord> = id_stream(id0, total)
+        .into_iter()
+        .zip(&texts)
+        .map(|(req_id, t)| DeltaRecord {
+            req_id,
+            entry_text: t.clone(),
+        })
+        .collect();
+
+    // Boot 3 shards × 2 replicas plus the router over them.
+    let root = std::env::temp_dir().join(format!(
+        "faultsim-cluster-{}-{}",
+        std::process::id(),
+        sc.index
+    ));
+    let _ = std::fs::remove_dir_all(&root);
+    let db_dir = |k: usize, r: usize| root.join(format!("s{k}r{r}"));
+    let mut cluster = Cluster {
+        router: None,
+        backends: Vec::new(),
+    };
+    let mut topology = Vec::new();
+    for k in 0..CLUSTER_SHARDS {
+        let mut row = Vec::new();
+        let mut addrs = Vec::new();
+        for r in 0..CLUSTER_REPLICAS {
+            let d = spawn_daemon(strided, &db_dir(k, r), None)?;
+            addrs.push(d.addr.clone());
+            row.push(Some(d));
+        }
+        cluster.backends.push(row);
+        topology.push(addrs);
+    }
+    cluster.router = Some(spawn_router(router, &topology)?);
+    let router_addr = match &cluster.router {
+        Some(d) => d.addr.clone(),
+        None => return Err("router vanished".to_string()),
+    };
+    let mut client = Client::connect_with(router_addr.as_str(), RetryPolicy::no_retries())
+        .map_err(|e| format!("connect to router: {e}"))?;
+    client.set_id_state(id0);
+
+    // Phase 1: merge traffic with a seeded mid-stream SIGKILL. A fully
+    // dead shard must shed exactly its own key range with a typed
+    // `unavailable shard=K`; every other key must keep being served.
+    let kill_at = sc
+        .kill
+        .map(|_| CLUSTER_KEYS + (mix64(seed ^ sc.salt) % (total as u64 / 2)) as usize);
+    let mut dead_shard = None;
+    let mut acked = 0usize;
+    let mut shed = 0usize;
+    for i in 0..total {
+        if Some(i) == kill_at {
+            if let Some((k, both)) = sc.kill {
+                for r in 0..CLUSTER_REPLICAS {
+                    if both || r == 0 {
+                        if let Some(mut d) = cluster.backends[k][r].take() {
+                            d.kill();
+                        }
+                    }
+                }
+                if both {
+                    dead_shard = Some(k);
+                }
+            }
+        }
+        let resp = client
+            .call(&Request::MergeProfile {
+                entry_text: texts[i].clone(),
+            })
+            .map_err(|e| format!("merge {i} transport: {e}"))?;
+        let own = owner[i % CLUSTER_KEYS];
+        if dead_shard == Some(own) {
+            match resp {
+                Response::Err {
+                    kind: ErrorKind::Unavailable,
+                    shard,
+                    retry_after_ms,
+                    ..
+                } => {
+                    if shard != Some(own as u32) {
+                        return Err(format!(
+                            "merge {i}: unavailable did not name dead shard {own}: {shard:?}"
+                        ));
+                    }
+                    if retry_after_ms.is_none() {
+                        return Err(format!("merge {i}: unavailable without retry-after hint"));
+                    }
+                    shed += 1;
+                }
+                other => {
+                    return Err(format!(
+                        "merge {i} for dead shard {own} answered {other:?} \
+                         (expected typed unavailable)"
+                    ))
+                }
+            }
+        } else {
+            match resp {
+                Response::Ok(_) => acked += 1,
+                other => {
+                    return Err(format!(
+                        "merge {i} on live shard {own} failed: {other:?} — \
+                         unaffected key ranges must keep serving"
+                    ))
+                }
+            }
+        }
+    }
+
+    // Phase 2: restart the victims on fresh ports (startup recovery
+    // replays their WAL), but do not re-point the router yet.
+    if let Some((k, both)) = sc.kill {
+        for r in 0..CLUSTER_REPLICAS {
+            if both || r == 0 {
+                cluster.backends[k][r] = Some(spawn_daemon(strided, &db_dir(k, r), None)?);
+            }
+        }
+    }
+
+    // Phase 3: replication weather. Deliver each shard's deltas straight
+    // at its replicas with seeded drops, duplicates, and a full shuffle —
+    // an adversarial at-least-once network. Request-id dedup plus the
+    // commutative merge must absorb all of it.
+    let mut rng = Rng(mix64(seed ^ 0x51ab ^ sc.salt));
+    for k in 0..CLUSTER_SHARDS {
+        let owned: Vec<&DeltaRecord> = (0..total)
+            .filter(|i| owner[i % CLUSTER_KEYS] == k)
+            .map(|i| &records[i])
+            .collect();
+        for r in 0..CLUSTER_REPLICAS {
+            let Some(d) = &cluster.backends[k][r] else {
+                continue;
+            };
+            let mut sched: Vec<&DeltaRecord> = Vec::new();
+            for rec in &owned {
+                if rng.below(3) != 0 {
+                    sched.push(rec); // dropped with probability 1/3
+                }
+                if rng.below(3) == 0 {
+                    sched.push(rec); // duplicated with probability 1/3
+                }
+            }
+            rng.shuffle(&mut sched);
+            let mut c = Client::connect_with(d.addr.as_str(), RetryPolicy::no_retries())
+                .map_err(|e| format!("chaos connect s{k}r{r}: {e}"))?;
+            for chunk in sched.chunks(3) {
+                let batch: Vec<DeltaRecord> = chunk.iter().map(|r| (*r).clone()).collect();
+                match c.call(&Request::SyncDelta {
+                    batch_text: encode_delta_batch(&batch),
+                }) {
+                    Ok(Response::Ok(_)) => {}
+                    other => return Err(format!("chaos sync-delta to s{k}r{r}: {other:?}")),
+                }
+            }
+        }
+    }
+
+    // Phase 4: re-point the router at the restarted replicas; the lag
+    // queues drain every delivery the outage deferred.
+    if let Some((k, both)) = sc.kill {
+        for r in 0..CLUSTER_REPLICAS {
+            if both || r == 0 {
+                let addr = match &cluster.backends[k][r] {
+                    Some(d) => d.addr.clone(),
+                    None => return Err(format!("restarted s{k}r{r} vanished")),
+                };
+                match client.call(&Request::RouteUpdate {
+                    shard: k as u32,
+                    replica: r as u32,
+                    addr,
+                }) {
+                    Ok(Response::Ok(_)) => {}
+                    other => return Err(format!("route-update s{k}r{r}: {other:?}")),
+                }
+            }
+        }
+    }
+    let mut settled = false;
+    for _ in 0..200 {
+        let body = match client.call(&Request::Stats) {
+            Ok(Response::Ok(b)) => b,
+            other => return Err(format!("settle stats: {other:?}")),
+        };
+        let lag: Vec<&str> = body.lines().filter(|l| l.starts_with("lag ")).collect();
+        if lag.len() == CLUSTER_SHARDS * CLUSTER_REPLICAS
+            && lag.iter().all(|l| l.ends_with("queued=0"))
+        {
+            settled = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    if !settled {
+        return Err("replication lag did not settle within 10s".to_string());
+    }
+
+    // Phase 5: stop the whole cluster (router shutdown fans out), then
+    // hold every replica store to byte identity with an uninterrupted
+    // reference applying the same deltas once, in submission order.
+    match client.call(&Request::Shutdown) {
+        Ok(Response::Ok(_)) => {}
+        other => return Err(format!("cluster shutdown: {other:?}")),
+    }
+    for d in cluster.backends.iter_mut().flatten().flatten() {
+        d.shutdown();
+    }
+    if let Some(mut d) = cluster.router.take() {
+        d.shutdown();
+    }
+    for k in 0..CLUSTER_SHARDS {
+        let ref_dir = root.join(format!("ref{k}"));
+        let db = ProfileDb::open(&ref_dir).map_err(|e| format!("reference db: {e}"))?;
+        let owned: Vec<DeltaRecord> = (0..total)
+            .filter(|i| owner[i % CLUSTER_KEYS] == k)
+            .map(|i| records[i].clone())
+            .collect();
+        db.apply_deltas(&owned)
+            .map_err(|e| format!("reference apply shard {k}: {e}"))?;
+        let want = entry_files(&ref_dir)?;
+        if want.is_empty() {
+            return Err(format!("reference store for shard {k} is empty"));
+        }
+        for r in 0..CLUSTER_REPLICAS {
+            let got = entry_files(&db_dir(k, r))?;
+            if got != want {
+                return Err(format!(
+                    "DIVERGED: shard {k} replica {r} store differs from the uninterrupted \
+                     reference ({} vs {} entry file(s)) — an acked merge was lost, a \
+                     duplicate double-counted, or replicas split",
+                    got.len(),
+                    want.len()
+                ));
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(format!(
+        "ok: {total} merges ({acked} acked, {shed} shed typed-unavailable), \
+         drop/dup/reorder absorbed, {} replica stores byte-identical to reference",
+        CLUSTER_SHARDS * CLUSTER_REPLICAS
+    ))
+}
+
+/// The `--cluster` campaign driver; returns the process exit code.
+fn cluster_main(jobs: usize, seed: u64) -> i32 {
+    let (strided, router) = match (strided_bin(), router_bin()) {
+        (Ok(s), Ok(r)) => (s, r),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("faultsim: {e}");
+            return 2;
+        }
+    };
+    let w = match workload_by_name("mcf", Scale::Test) {
+        Some(w) => w,
+        None => {
+            eprintln!("faultsim: built-in workload mcf missing");
+            return 2;
+        }
+    };
+    let out = match run_profiling(
+        &w.module,
+        &w.train_args,
+        ProfilingVariant::EdgeCheck,
+        &PipelineConfig::default(),
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("faultsim: base profiling run failed: {e}");
+            return 2;
+        }
+    };
+    let base = ProfileEntry::from_run("base", module_hash(&w.module), &out.edge, &out.stride);
+
+    let scenarios = cluster_campaign();
+    println!(
+        "== cluster chaos campaign: seed {seed}, {} scenario(s), {}x{} topology ==",
+        scenarios.len(),
+        CLUSTER_SHARDS,
+        CLUSTER_REPLICAS
+    );
+    let results = parallel_map_isolated(&scenarios, jobs, |_, sc| {
+        run_cluster_scenario(&strided, &router, &base, sc, seed)
+    });
+
+    let mut panics = 0usize;
+    let mut violations = 0usize;
+    for (sc, result) in scenarios.iter().zip(results) {
+        let label = match sc.kill {
+            Some((k, true)) => format!("kill-shard={k}+chaos"),
+            Some((k, false)) => format!("kill-replica={k}.0+chaos"),
+            None => "no-kill+chaos".to_string(),
+        };
+        match result {
+            Ok(Ok(line)) => println!("  #{:<3} {label:<24} {line}", sc.index),
+            Ok(Err(msg)) => {
+                violations += 1;
+                println!("  #{:<3} {label:<24} FAILED: {msg}", sc.index);
+            }
+            Err(tf) => {
+                panics += 1;
+                println!("  #{:<3} {label:<24} PANIC: {}", sc.index, tf.message);
+            }
+        }
+    }
+    println!(
+        "campaign: {} scenario(s), {} panic(s), {} invariant violation(s)",
+        scenarios.len(),
+        panics,
+        violations
+    );
+    i32::from(panics > 0 || violations > 0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = Scale::Test;
     let mut jobs = default_jobs();
     let mut seed = 42u64;
     let mut service = false;
+    let mut cluster = false;
     let mut single_plan: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
@@ -575,11 +1130,15 @@ fn main() {
                 single_plan = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             "--service" => service = true,
+            "--cluster" => cluster = true,
             _ => usage(),
         }
         i += 1;
     }
 
+    if cluster {
+        std::process::exit(cluster_main(jobs, seed));
+    }
     if service {
         std::process::exit(service_main(jobs, seed));
     }
@@ -647,6 +1206,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: faultsim [--scale test|paper] [--jobs N] [--seed N] [--plan SPEC]\n\
          \x20      faultsim --service [--jobs N] [--seed N]\n\
+         \x20      faultsim --cluster [--jobs N] [--seed N]\n\
          \n\
          \x20 --scale test|paper workload scale (default: test)\n\
          \x20 --jobs N           worker threads (default: available parallelism)\n\
@@ -654,7 +1214,10 @@ fn usage() -> ! {
          \x20 --plan SPEC        run one fault plan instead of the built-in campaign,\n\
          \x20                    e.g. 'truncate=2;fuel=20000' (see repro --inject)\n\
          \x20 --service          crash-recovery campaign: SIGKILL and restart a real\n\
-         \x20                    strided daemon mid-merge; no acked merge may be lost"
+         \x20                    strided daemon mid-merge; no acked merge may be lost\n\
+         \x20 --cluster          sharded chaos campaign: router + 3x2 strided cluster,\n\
+         \x20                    shard kills and delta drop/dup/reorder; replicas must\n\
+         \x20                    converge byte-identically with typed shedding only"
     );
     std::process::exit(2);
 }

@@ -52,7 +52,15 @@ fn usage() -> ExitCode {
          \x20 prefetch NAME [--variant V] [--train 1,2] [--ref 3,4]\n\
          \x20 get-profile NAME                   fetch the accumulated db entry\n\
          \x20 merge-profile --file PATH          merge a saved entry into the db\n\
-         \x20 stats                              raw stats body (legacy keys + metrics)\n\
+         \x20 stats [--json]                     raw stats body (legacy keys + metrics);\n\
+         \x20                                    --json: one object per shard replica\n\
+         \x20                                    plus a summed aggregate (works against\n\
+         \x20                                    a router or a single daemon)\n\
+         \x20 gc                                 drop db entries for retired/stale\n\
+         \x20                                    modules (router fans out cluster-wide)\n\
+         \x20 route-update --shard K --replica R --to HOST:PORT\n\
+         \x20                                    re-point one shard replica (router only;\n\
+         \x20                                    drains its queued replication deltas)\n\
          \x20 top                                sorted live-metrics view (counters by\n\
          \x20                                    value, gauges, latency histograms)\n\
          \x20 shutdown\n\
@@ -168,8 +176,12 @@ fn round_trip(addr: &str, opts: &NetOpts, req: &Request) -> ExitCode {
             kind,
             message,
             retry_after_ms,
+            shard,
         }) => {
-            eprintln!("stridectl: server error [{kind}]\n{message}");
+            match shard {
+                Some(k) => eprintln!("stridectl: server error [{kind}] (shard {k})\n{message}"),
+                None => eprintln!("stridectl: server error [{kind}]\n{message}"),
+            }
             if let Some(ms) = retry_after_ms {
                 eprintln!("stridectl: server suggests retrying after {ms} ms");
             }
@@ -217,6 +229,140 @@ fn top_view(addr: &str, opts: &NetOpts) -> ExitCode {
     render_top(&body, &mut out);
     let _ = std::io::stdout().write_all(out.as_bytes());
     ExitCode::SUCCESS
+}
+
+/// One `stats` round trip rendered as JSON: one object per shard
+/// replica (parsed from the router's `== shard K replica R addr A ==`
+/// sections) plus a summed aggregate. Against a single daemon (no
+/// section headers) the whole body is the aggregate and `shards` is
+/// empty.
+fn stats_json(addr: &str, opts: &NetOpts) -> ExitCode {
+    let mut client = match Client::connect_with(addr, opts.policy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("stridectl: cannot connect to {addr}: {e}");
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+    client.set_deadline_fuel(opts.deadline);
+    let body = match client.call(&Request::Stats) {
+        Ok(Response::Ok(body)) => body,
+        Ok(Response::Err { kind, message, .. }) => {
+            eprintln!("stridectl: server error [{kind}]\n{message}");
+            print_trace(client.trace());
+            return ExitCode::from(EXIT_SERVER);
+        }
+        Err(e) => {
+            eprintln!("stridectl: transport error: {e}");
+            print_trace(client.trace());
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+    use std::io::Write;
+    let _ = std::io::stdout().write_all(render_stats_json(&body).as_bytes());
+    ExitCode::SUCCESS
+}
+
+/// The `key value` integer lines of one stats section, sorted by key
+/// (metrics-registry lines — `counter name v` — keep their prefixed
+/// form, so `counter router.forwarded` aggregates separately from a
+/// legacy `requests` line).
+fn section_ints(lines: &[&str]) -> std::collections::BTreeMap<String, u64> {
+    let mut map = std::collections::BTreeMap::new();
+    for line in lines {
+        let mut parts = line.split(' ');
+        let (key, value) = match parts.next() {
+            Some("counter") => {
+                let (Some(name), Some(v)) = (parts.next(), parts.next()) else {
+                    continue;
+                };
+                (format!("counter.{name}"), v)
+            }
+            Some(key) if !key.is_empty() && !key.starts_with("==") => {
+                let Some(v) = parts.next() else { continue };
+                // Two-token lines only: gauges/histograms/traces carry
+                // more structure than one integer and stay out of JSON.
+                if parts.next().is_some() {
+                    continue;
+                }
+                (key.to_string(), v)
+            }
+            _ => continue,
+        };
+        if let Ok(n) = value.parse::<u64>() {
+            map.insert(key, n);
+        }
+    }
+    map
+}
+
+fn json_object(map: &std::collections::BTreeMap<String, u64>, indent: &str) -> String {
+    let fields: Vec<String> = map
+        .iter()
+        .map(|(k, v)| format!("{indent}  \"{k}\": {v}"))
+        .collect();
+    format!("{{\n{}\n{indent}}}", fields.join(",\n"))
+}
+
+/// Renders a stats body into the `--json` document. Deterministic for a
+/// given body: keys sorted, shards in section order.
+fn render_stats_json(body: &str) -> String {
+    // Slice the body into sections at `== ... ==` headers.
+    let mut sections: Vec<(Option<String>, Vec<&str>)> = vec![(None, Vec::new())];
+    for line in body.lines() {
+        if let Some(header) = line.strip_prefix("== ").and_then(|l| l.strip_suffix(" ==")) {
+            sections.push((Some(header.to_string()), Vec::new()));
+        } else if let Some(last) = sections.last_mut() {
+            last.1.push(line);
+        }
+    }
+
+    let mut shard_objs: Vec<String> = Vec::new();
+    let mut router_obj: Option<String> = None;
+    let mut aggregate = std::collections::BTreeMap::new();
+    for (header, lines) in &sections {
+        let ints = section_ints(lines);
+        match header.as_deref() {
+            Some("router") => router_obj = Some(json_object(&ints, "  ")),
+            Some(h) if h.starts_with("shard ") => {
+                // `shard K replica R addr A`
+                let mut parts = h.split_whitespace();
+                let shard = parts.nth(1).unwrap_or("0");
+                let replica = parts.nth(1).unwrap_or("0");
+                let addr = parts.nth(1).unwrap_or("");
+                for (k, v) in &ints {
+                    *aggregate.entry(k.clone()).or_insert(0) += v;
+                }
+                shard_objs.push(format!(
+                    "    {{\"shard\": {shard}, \"replica\": {replica}, \"addr\": \"{addr}\", \"stats\": {}}}",
+                    json_object(&ints, "    ")
+                ));
+            }
+            // `== daemon ==`-less single-daemon body: the leading
+            // headerless section carries the stats.
+            _ => {
+                for (k, v) in &ints {
+                    *aggregate.entry(k.clone()).or_insert(0) += v;
+                }
+            }
+        }
+    }
+
+    let mut out = String::from("{\n");
+    if let Some(router) = router_obj {
+        out.push_str(&format!("  \"router\": {router},\n"));
+    }
+    out.push_str("  \"shards\": [\n");
+    out.push_str(&shard_objs.join(",\n"));
+    if !shard_objs.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"aggregate\": {}\n}}\n",
+        json_object(&aggregate, "  ")
+    ));
+    out
 }
 
 /// Renders a stats body (legacy `key value` lines followed by a metrics
@@ -473,7 +619,33 @@ fn main() -> ExitCode {
                 }
             }
         }
-        "stats" => round_trip(&addr, &opts, &Request::Stats),
+        "stats" => {
+            if rest.iter().any(|a| a == "--json") {
+                stats_json(&addr, &opts)
+            } else {
+                round_trip(&addr, &opts, &Request::Stats)
+            }
+        }
+        "gc" => round_trip(&addr, &opts, &Request::Gc),
+        "route-update" => {
+            let parsed = (
+                flag_value(rest, "--shard").and_then(|v| v.parse::<u32>().ok()),
+                flag_value(rest, "--replica").and_then(|v| v.parse::<u32>().ok()),
+                flag_value(rest, "--to"),
+            );
+            let (Some(shard), Some(replica), Some(to)) = parsed else {
+                return usage();
+            };
+            round_trip(
+                &addr,
+                &opts,
+                &Request::RouteUpdate {
+                    shard,
+                    replica,
+                    addr: to,
+                },
+            )
+        }
         "top" => top_view(&addr, &opts),
         "shutdown" => round_trip(&addr, &opts, &Request::Shutdown),
         "serve-bench" => serve_bench(rest),

@@ -139,12 +139,16 @@ impl ProfileEntry {
     }
 
     /// Merges another run (or accumulated entry) into this one: edge
-    /// counters and site counters sum saturating, top-stride tables merge
-    /// by stride value, `runs` adds up.
+    /// counters and site counters sum saturating, top-stride tables join
+    /// by stride value into canonical `(count desc, stride asc)` order,
+    /// `runs` adds up.
     ///
-    /// The operation is commutative and associative up to the order of
-    /// equal-count strides in a truncated top table, and conserves every
-    /// counter total (saturating at `u64::MAX`).
+    /// The operation is commutative and associative **byte-for-byte**
+    /// (saturating addition is itself associative, and the canonical top
+    /// order is total), and conserves every counter total (saturating at
+    /// `u64::MAX`). Replication relies on this: replicas of a shard apply
+    /// the same set of merge deltas in whatever order the network
+    /// delivers them and must converge to identical store bytes.
     ///
     /// # Errors
     ///

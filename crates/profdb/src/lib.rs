@@ -18,9 +18,12 @@
 //!   merge by saturating sums, so the ratios the classifier reads
 //!   (`top1freq/total_freq`, `zdiff/total_freq`, trip counts) converge to
 //!   the run-weighted average;
-//! * per-site top-stride tables merge by stride value (LFU-style), re-sort
-//!   and keep at least the LFU final-buffer width, so a stride dominant in
-//!   either run stays visible in the merged table.
+//! * per-site top-stride tables join by stride value (LFU-style) into
+//!   canonical `(count desc, stride asc)` order without truncation, so a
+//!   stride dominant in either run stays visible in the merged table and
+//!   the merge is commutative/associative byte-for-byte — the property
+//!   replication ([`repl`]) cashes in for delivery-order-independent
+//!   convergence.
 //!
 //! Entries are human-auditable text files (one per key) with a versioned
 //! header; a content hash of the module guards against feeding a profile
@@ -29,11 +32,15 @@
 pub mod entry;
 pub mod hash;
 pub mod recovery;
+pub mod repl;
+pub mod shard;
 pub mod store;
 pub mod wal;
 
 pub use entry::{DbError, ProfileEntry};
 pub use hash::{fnv1a64, module_hash};
 pub use recovery::{check, recover, RecoveryReport, QUARANTINE_DIR};
+pub use repl::{decode_delta_batch, encode_delta_batch, DeltaApplyReport, DeltaRecord};
+pub use shard::{ShardMap, SHARD_MAP_VERSION};
 pub use store::{DbRecord, ProfileDb};
-pub use wal::{scan_wal, DiskFaults, Wal, WalRecord, WalScan, WalStats};
+pub use wal::{scan_wal, DiskFaults, SegmentConfig, Wal, WalRecord, WalScan, WalStats};

@@ -28,10 +28,19 @@
 //! same key survived) never rolls state back. A recovered store is
 //! therefore always equal to the state just before or just after each
 //! logged merge — never a mix.
+//!
+//! With a segmented WAL the same machine runs over the whole chain,
+//! sealed segments first (ascending), the active log last — but the
+//! torn-tail *truncation* arm is reserved for the active log. A sealed
+//! segment was fsynced before its rename, so a torn tail there is not a
+//! crash artifact; it is real damage to immutable history. Recovery
+//! preserves the damaged bytes under `quarantine/`, leaves the segment
+//! untouched, and reports it; [`check`] flags the store CORRUPT until an
+//! operator decides.
 
 use crate::entry::{DbError, ProfileEntry};
 use crate::store::{entry_file_text, write_entry_file};
-use crate::wal::{scan_wal, DiskFaults, ScanItem, Wal, WalScan, RECORD_HEADER, WAL_FILE};
+use crate::wal::{scan_chain, DiskFaults, ScanItem, SegmentScan, Wal, WalScan, RECORD_HEADER};
 use std::fmt;
 use std::path::Path;
 
@@ -51,8 +60,12 @@ pub struct RecoveryReport {
     pub quarantined: usize,
     /// Redo records whose payload no longer parsed (also quarantined).
     pub unparseable: usize,
-    /// Bytes cut from a torn tail, when one was found.
+    /// Bytes cut from a torn tail of the *active* log, when one was
+    /// found.
     pub torn_tail_bytes: Option<u64>,
+    /// Sealed segments with a torn tail or bad magic — preserved and
+    /// reported, never truncated (damaged immutable history).
+    pub torn_sealed_segments: usize,
     /// Idempotency ids recovered from `E` and `I` records.
     pub applied_ids: Vec<u64>,
 }
@@ -64,6 +77,7 @@ impl RecoveryReport {
             || self.quarantined > 0
             || self.unparseable > 0
             || self.torn_tail_bytes.is_some()
+            || self.torn_sealed_segments > 0
     }
 }
 
@@ -85,14 +99,37 @@ impl fmt::Display for RecoveryReport {
             } else {
                 "no clean footer"
             }
-        )
+        )?;
+        if self.torn_sealed_segments > 0 {
+            write!(
+                f,
+                ", {} torn sealed segment(s) preserved",
+                self.torn_sealed_segments
+            )?;
+        }
+        Ok(())
     }
 }
 
-fn quarantine_bytes(root: &Path, offset: u64, bytes: &[u8]) -> Result<(), DbError> {
+/// Quarantine file name: sealed segments carry their index so bytes from
+/// different segments at the same offset never collide; the active log
+/// keeps the pre-segmentation name.
+fn quarantine_name(segment: Option<u64>, offset: u64) -> String {
+    match segment {
+        Some(idx) => format!("wal-seg{idx:06}-{offset:012}.bin"),
+        None => format!("wal-{offset:012}.bin"),
+    }
+}
+
+fn quarantine_bytes(
+    root: &Path,
+    segment: Option<u64>,
+    offset: u64,
+    bytes: &[u8],
+) -> Result<(), DbError> {
     let dir = root.join(QUARANTINE_DIR);
     std::fs::create_dir_all(&dir).map_err(|e| DbError::Io(format!("{}: {e}", dir.display())))?;
-    let path = dir.join(format!("wal-{offset:012}.bin"));
+    let path = dir.join(quarantine_name(segment, offset));
     std::fs::write(&path, bytes).map_err(|e| DbError::Io(format!("{}: {e}", path.display())))
 }
 
@@ -111,21 +148,41 @@ fn should_apply(root: &Path, rec: &ProfileEntry) -> bool {
 }
 
 /// Runs recovery over the database at `root`: replays complete WAL
-/// records, truncates a torn tail, quarantines checksum-failed bytes,
-/// and returns what happened. Safe to run any number of times.
+/// records of the whole segment chain (sealed segments oldest-first,
+/// active log last), truncates a torn tail of the active log,
+/// quarantines checksum-failed bytes, preserves-and-reports damage in
+/// sealed segments, and returns what happened. Safe to run any number
+/// of times.
 ///
 /// # Errors
 ///
 /// Returns [`DbError::Io`] only for filesystem failures while repairing;
 /// corrupt *content* never errors — it is quarantined or truncated.
 pub fn recover(root: &Path, faults: &DiskFaults) -> Result<RecoveryReport, DbError> {
-    let scan = scan_wal(root, faults)?;
-    let mut report = RecoveryReport {
-        clean: scan.clean_footer,
-        ..RecoveryReport::default()
-    };
-    let wal_path = root.join(WAL_FILE);
-    for item in &scan.items {
+    let chain = scan_chain(root, faults)?;
+    let mut report = RecoveryReport::default();
+    for seg in &chain {
+        recover_segment(root, seg, &mut report)?;
+    }
+    // Clean means "nothing for replay to ever look at again": a fully
+    // compacted chain whose active log ends in a valid footer. Leftover
+    // sealed segments (e.g. a crash between a compaction's fresh-log
+    // write and its deletes) are replayable history, hence not clean.
+    report.clean = chain.len() == 1
+        && chain
+            .last()
+            .is_some_and(|seg| seg.is_active() && seg.scan.clean_footer);
+    Ok(report)
+}
+
+/// Recovery for one segment of the chain (see [`recover`]).
+fn recover_segment(
+    root: &Path,
+    seg: &SegmentScan,
+    report: &mut RecoveryReport,
+) -> Result<(), DbError> {
+    let seg_path = root.join(&seg.name);
+    for item in &seg.scan.items {
         match item {
             ScanItem::Record { offset, record } => match record.kind {
                 crate::wal::RecordKind::Entry => {
@@ -136,7 +193,7 @@ pub fn recover(root: &Path, faults: &DiskFaults) -> Result<RecoveryReport, DbErr
                         Ok(t) => t,
                         Err(_) => {
                             report.unparseable += 1;
-                            quarantine_bytes(root, *offset, &record.payload)?;
+                            quarantine_bytes(root, seg.index, *offset, &record.payload)?;
                             continue;
                         }
                     };
@@ -151,7 +208,7 @@ pub fn recover(root: &Path, faults: &DiskFaults) -> Result<RecoveryReport, DbErr
                         }
                         Err(_) => {
                             report.unparseable += 1;
-                            quarantine_bytes(root, *offset, &record.payload)?;
+                            quarantine_bytes(root, seg.index, *offset, &record.payload)?;
                         }
                     }
                 }
@@ -162,62 +219,131 @@ pub fn recover(root: &Path, faults: &DiskFaults) -> Result<RecoveryReport, DbErr
             },
             ScanItem::Corrupt { offset, bytes } => {
                 report.quarantined += 1;
-                quarantine_bytes(root, *offset, bytes)?;
+                quarantine_bytes(root, seg.index, *offset, bytes)?;
             }
-            ScanItem::TornTail { offset } => {
-                let cut = scan.file_len - offset;
+            ScanItem::TornTail { offset } if seg.is_active() => {
+                let cut = seg.scan.file_len - offset;
                 if *offset == 0 {
                     // Bad magic: the whole file is unusable. Preserve it
                     // and start a fresh log.
-                    if let Ok(bytes) = std::fs::read(&wal_path) {
-                        quarantine_bytes(root, 0, &bytes)?;
+                    if let Ok(bytes) = std::fs::read(&seg_path) {
+                        quarantine_bytes(root, seg.index, 0, &bytes)?;
                         report.quarantined += 1;
                     }
-                    let _ = std::fs::remove_file(&wal_path);
+                    let _ = std::fs::remove_file(&seg_path);
                 } else {
-                    Wal::truncate_to(&wal_path, *offset)?;
+                    Wal::truncate_to(&seg_path, *offset)?;
                 }
                 report.torn_tail_bytes = Some(cut);
             }
+            ScanItem::TornTail { offset } => {
+                // Sealed segment: preserve a copy of the damaged span and
+                // leave the file untouched — never silently truncate
+                // immutable history.
+                if let Ok(bytes) = std::fs::read(&seg_path) {
+                    let at = (*offset).min(bytes.len() as u64) as usize;
+                    quarantine_bytes(root, seg.index, *offset, &bytes[at..])?;
+                }
+                report.torn_sealed_segments += 1;
+            }
         }
     }
-    Ok(report)
+    Ok(())
 }
 
-/// Read-only integrity check: scans the WAL (no repair) and loads every
-/// entry file, verifying checksum trailers. Returns a deterministic
-/// multi-line report and whether the store is healthy.
+/// Read-only integrity check: scans the whole WAL segment chain (no
+/// repair) and loads every entry file, verifying checksum trailers.
+/// Returns a deterministic multi-line report and whether the store is
+/// healthy.
 ///
 /// A pending (not yet checkpointed) WAL tail is *not* unhealthy — it
 /// just means recovery will have redo work at next open — but corrupt
-/// records, torn tails, and unreadable entries are.
+/// records, torn tails (in *any* segment: a torn sealed segment is
+/// damaged immutable history and is reported, never repaired here),
+/// chain gaps (a missing middle segment), and unreadable entries are.
 pub fn check(root: &Path) -> (String, bool) {
     use std::fmt::Write as _;
     let mut out = String::new();
     let mut healthy = true;
-    match scan_wal(root, &DiskFaults::default()) {
-        Ok(scan) => {
-            let corrupt = scan
-                .items
+    match scan_chain(root, &DiskFaults::default()) {
+        Ok(chain) => {
+            let pending: usize = chain.iter().map(|s| s.scan.pending_entries()).sum();
+            let corrupt: usize = chain
                 .iter()
-                .filter(|i| matches!(i, ScanItem::Corrupt { .. }))
-                .count();
-            let torn = scan
-                .items
+                .map(|s| {
+                    s.scan
+                        .items
+                        .iter()
+                        .filter(|i| matches!(i, ScanItem::Corrupt { .. }))
+                        .count()
+                })
+                .sum();
+            let torn = chain
                 .iter()
+                .flat_map(|s| &s.scan.items)
                 .any(|i| matches!(i, ScanItem::TornTail { .. }));
+            let clean = chain.len() == 1 && chain[0].scan.clean_footer;
             let _ = writeln!(
                 out,
-                "wal: {} pending record(s), {} corrupt, {}, {}",
-                scan.pending_entries(),
-                corrupt,
+                "wal: {} segment(s), {pending} pending record(s), {corrupt} corrupt, {}, {}",
+                chain.len(),
                 if torn { "torn tail" } else { "no torn tail" },
-                if scan.clean_footer {
+                if clean {
                     "clean footer"
                 } else {
                     "no clean footer"
                 }
             );
+            for seg in &chain {
+                let seg_corrupt = seg
+                    .scan
+                    .items
+                    .iter()
+                    .filter(|i| matches!(i, ScanItem::Corrupt { .. }))
+                    .count();
+                let seg_torn = seg
+                    .scan
+                    .items
+                    .iter()
+                    .any(|i| matches!(i, ScanItem::TornTail { .. }));
+                let _ = writeln!(
+                    out,
+                    "  segment {}: {} record(s), {} corrupt, {}{}",
+                    seg.name,
+                    seg.scan.pending_entries(),
+                    seg_corrupt,
+                    if seg_torn {
+                        if seg.is_active() {
+                            "torn tail (repairable: active log)"
+                        } else {
+                            "TORN (sealed history damaged)"
+                        }
+                    } else {
+                        "intact"
+                    },
+                    if seg.is_active() {
+                        ", active"
+                    } else {
+                        ", sealed"
+                    }
+                );
+                if seg_torn && !seg.is_active() {
+                    healthy = false;
+                }
+            }
+            // Chain consistency: sealed indices must be contiguous. A
+            // gap means a whole segment of history vanished.
+            let indices: Vec<u64> = chain.iter().filter_map(|s| s.index).collect();
+            for pair in indices.windows(2) {
+                if pair[1] != pair[0] + 1 {
+                    let _ = writeln!(
+                        out,
+                        "  chain: GAP between sealed segments {:06} and {:06}",
+                        pair[0], pair[1]
+                    );
+                    healthy = false;
+                }
+            }
             if corrupt > 0 || torn {
                 healthy = false;
             }

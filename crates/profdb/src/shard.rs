@@ -1,0 +1,127 @@
+//! Shard assignment for the clustered profile service.
+//!
+//! Every profile key — `(workload, module content hash)` — is owned by
+//! exactly one shard, chosen by hashing the key with fnv1a64 and reducing
+//! modulo the shard count. The router consults the map on every request;
+//! shard daemons never need it (they serve whatever keys land on them),
+//! so the map is a pure function with no persistent state.
+//!
+//! **Stability contract:** the mapping is part of the cluster's on-disk
+//! contract. Re-mapping a key silently would strand its accumulated
+//! profile on the old shard, so any change to the key encoding or the
+//! hash (not the shard *count* — resharding is an explicit operation)
+//! must bump [`SHARD_MAP_VERSION`], and the golden-vector test in this
+//! module pins the current assignment byte-for-byte.
+
+use crate::hash::fnv1a64;
+
+/// Version of the key→shard hash scheme (not of any particular cluster
+/// size). Bump when [`ShardMap::key_hash`] changes meaning.
+pub const SHARD_MAP_VERSION: u32 = 1;
+
+/// Pure key→shard assignment for a fixed number of shards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardMap {
+    shards: u32,
+}
+
+impl ShardMap {
+    /// A map over `shards` shards (clamped to at least one).
+    pub fn new(shards: u32) -> ShardMap {
+        ShardMap {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The stable 64-bit hash of a profile key, independent of the shard
+    /// count: fnv1a64 over `workload`, a NUL separator (workload names
+    /// reject control characters, so the encoding is injective), and the
+    /// big-endian module hash.
+    pub fn key_hash(workload: &str, module_hash: u64) -> u64 {
+        let mut buf = Vec::with_capacity(workload.len() + 9);
+        buf.extend_from_slice(workload.as_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&module_hash.to_be_bytes());
+        fnv1a64(&buf)
+    }
+
+    /// The shard owning `(workload, module_hash)`.
+    pub fn shard_of(&self, workload: &str, module_hash: u64) -> u32 {
+        (Self::key_hash(workload, module_hash) % u64::from(self.shards)) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Golden vectors for the shard assignment.
+    ///
+    /// These pins are the cluster's compatibility contract: a profile key
+    /// must map to the same shard in every build, or an upgraded router
+    /// silently reads/writes the wrong shard and accumulated profiles
+    /// appear lost. If this test ever fails because `key_hash` changed
+    /// on purpose, you are re-sharding every deployed cluster: bump
+    /// `SHARD_MAP_VERSION`, update the vectors in the same commit, and
+    /// provide a migration path for existing stores. Never "fix" the
+    /// vectors without the version bump.
+    #[test]
+    fn golden_shard_assignment() {
+        assert_eq!(SHARD_MAP_VERSION, 1, "vectors below pin version 1");
+        let vectors: &[(&str, u64, u64)] = &[
+            // (workload, module_hash, expected key_hash)
+            ("mcf", 0x0000_0000_0000_0000, 0xd6dd_3c4f_6f55_2e1f),
+            ("mcf", 0xdead_beef_cafe_f00d, 0x5bd6_aae3_fbb1_e936),
+            ("181.mcf", 0xdead_beef_cafe_f00d, 0xd5d9_ff42_2511_ed08),
+            ("bzip2", 0x0123_4567_89ab_cdef, 0x8d21_9321_e397_cd36),
+            ("gap-bfs", 0xffff_ffff_ffff_ffff, 0x4e74_762a_c297_5b8d),
+            ("x.y_z-0", 0x0000_0000_0000_0001, 0xf8cf_0d8b_0e86_055d),
+        ];
+        for &(workload, module_hash, expect) in vectors {
+            assert_eq!(
+                ShardMap::key_hash(workload, module_hash),
+                expect,
+                "key_hash({workload:?}, {module_hash:#x}) drifted"
+            );
+        }
+        // Spot-pin the reductions actually used by the chaos campaign's
+        // 3-shard topology.
+        let map = ShardMap::new(3);
+        let assigned: Vec<u32> = vectors
+            .iter()
+            .map(|&(w, h, _)| map.shard_of(w, h))
+            .collect();
+        assert_eq!(assigned, vec![1, 1, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    fn shard_of_is_bounded_and_total() {
+        for shards in 1..8u32 {
+            let map = ShardMap::new(shards);
+            for i in 0..64u64 {
+                assert!(map.shard_of("w", i.wrapping_mul(0x9e37_79b9)) < shards);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardMap::new(0).shards(), 1);
+        assert_eq!(ShardMap::new(0).shard_of("mcf", 7), 0);
+    }
+
+    #[test]
+    fn key_encoding_separates_workload_from_hash() {
+        // "ab" + hash X must not collide with "a" + some other encoding:
+        // the NUL separator keeps the preimage unambiguous.
+        assert_ne!(
+            ShardMap::key_hash("ab", 0x6261_0000_0000_0000),
+            ShardMap::key_hash("a", 0x0062_0000_0000_0000),
+        );
+    }
+}

@@ -13,7 +13,7 @@
 use crate::entry::{DbError, ProfileEntry};
 use crate::hash::fnv1a64;
 use crate::recovery::{recover, RecoveryReport};
-use crate::wal::{scan_wal, write_atomic, DiskFaults, Wal, WalRecord};
+use crate::wal::{scan_chain, write_atomic, DiskFaults, SegmentConfig, Wal, WalRecord};
 use std::collections::{HashSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -33,9 +33,6 @@ pub struct DbRecord {
 /// Most-recent idempotency keys remembered for live dedup (and carried
 /// across checkpoints). Old ids age out FIFO.
 const APPLIED_IDS_CAP: usize = 4096;
-
-/// Auto-checkpoint once the WAL grows past this many bytes.
-const DEFAULT_WAL_LIMIT: u64 = 1 << 20;
 
 #[derive(Debug)]
 struct DbState {
@@ -71,7 +68,7 @@ pub struct ProfileDb {
     state: Mutex<DbState>,
     recovered: bool,
     recovery: Option<RecoveryReport>,
-    wal_limit: u64,
+    segments: SegmentConfig,
 }
 
 const SUFFIX: &str = ".profdb";
@@ -190,7 +187,7 @@ impl ProfileDb {
             state: Mutex::new(state),
             recovered: true,
             recovery: Some(report),
-            wal_limit: DEFAULT_WAL_LIMIT,
+            segments: SegmentConfig::default(),
         })
     }
 
@@ -205,10 +202,10 @@ impl ProfileDb {
     pub fn open_unrecovered(root: impl Into<PathBuf>) -> Result<Self, DbError> {
         let root = root.into();
         fs::create_dir_all(&root).map_err(|e| io_err(&root, e))?;
-        let scan = scan_wal(&root, &DiskFaults::default())?;
-        let pending = scan.pending_entries() as u64;
-        let known = scan.known_ids();
-        let wal = Wal::open_append(&root, pending, DiskFaults::default())?;
+        let chain = scan_chain(&root, &DiskFaults::default())?;
+        let pending: usize = chain.iter().map(|s| s.scan.pending_entries()).sum();
+        let known: Vec<u64> = chain.iter().flat_map(|s| s.scan.known_ids()).collect();
+        let wal = Wal::open_append(&root, pending as u64, DiskFaults::default())?;
         let mut state = DbState {
             wal,
             applied: HashSet::new(),
@@ -223,8 +220,24 @@ impl ProfileDb {
             state: Mutex::new(state),
             recovered: false,
             recovery: None,
-            wal_limit: DEFAULT_WAL_LIMIT,
+            segments: SegmentConfig::default(),
         })
+    }
+
+    /// Adjusts the WAL segmentation policy: when the active log seals
+    /// into a numbered segment and when the chain compacts. Call before
+    /// sharing the handle (tests shrink the thresholds to force churn;
+    /// capacity tuning raises them).
+    pub fn configure_segments(&mut self, config: SegmentConfig) {
+        self.segments = SegmentConfig {
+            seal_bytes: config.seal_bytes.max(1),
+            max_live_segments: config.max_live_segments.max(1),
+        };
+    }
+
+    /// The active segmentation policy.
+    pub fn segment_config(&self) -> SegmentConfig {
+        self.segments
     }
 
     /// The database's root directory.
@@ -363,17 +376,26 @@ impl ProfileDb {
         st.wal.sync()?;
         write_entry_file(&self.root, &merged)?;
         st.remember(req_id);
-        if st.wal.len() > self.wal_limit {
+        // Segment policy, applied inside the same critical section so
+        // the live-segment bound holds between any two merges: roll the
+        // active log once it outgrows its cap, and compact the chain
+        // once the roll would leave too many live segments.
+        if st.wal.len() > self.segments.seal_bytes {
+            st.wal.seal()?;
+        }
+        if st.wal.live_segments() > self.segments.max_live_segments {
             let ids: Vec<u64> = st.applied_order.iter().copied().collect();
             st.wal.checkpoint(&ids)?;
         }
         Ok((merged, false))
     }
 
-    /// Folds the WAL away: all redo state is already applied, so the log
-    /// is atomically replaced by a fresh one carrying only the
-    /// idempotency-id set and a clean footer. Called on graceful daemon
-    /// shutdown and automatically when the log outgrows its limit.
+    /// Folds the whole WAL chain away (compaction): all redo state is
+    /// already applied, so the active log is atomically replaced by a
+    /// fresh one carrying only the idempotency-id set and a clean
+    /// footer, and sealed segments are deleted. Called on graceful
+    /// daemon shutdown and automatically when the chain outgrows
+    /// [`SegmentConfig::max_live_segments`].
     ///
     /// # Errors
     ///
@@ -428,6 +450,39 @@ impl ProfileDb {
         }
         out.sort();
         Ok((out, bad))
+    }
+
+    /// Order-independent fingerprint of the store's *profile content*:
+    /// fnv1a64 over every entry file's name and bytes in sorted name
+    /// order. WAL/quarantine state is deliberately excluded — two
+    /// replicas that applied the same set of merge deltas must compare
+    /// equal even when their logs sealed and compacted differently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on directory or file read trouble.
+    pub fn content_digest(&self) -> Result<u64, DbError> {
+        let mut names: Vec<String> = Vec::new();
+        let dir = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
+        for item in dir {
+            let item = item.map_err(|e| io_err(&self.root, e))?;
+            if let Some(name) = item.file_name().to_str() {
+                if name.ends_with(SUFFIX) {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        let mut buf = Vec::new();
+        for name in &names {
+            buf.extend_from_slice(name.as_bytes());
+            buf.push(0);
+            let path = self.root.join(name);
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+            buf.extend_from_slice(&(bytes.len() as u64).to_be_bytes());
+            buf.extend_from_slice(&bytes);
+        }
+        Ok(fnv1a64(&buf))
     }
 
     /// Deletes the entry under a key (no-op when absent).

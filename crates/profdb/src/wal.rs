@@ -9,6 +9,25 @@
 //! record  tag(1) | payload_len(u32 BE) | req_id(u64 BE) | payload | fnv1a64(u64 BE)
 //! ```
 //!
+//! # Segment chain
+//!
+//! Under sustained merge traffic the log is kept *bounded* by splitting
+//! it into segments. The active log is always `wal.log`; once it grows
+//! past [`SegmentConfig::seal_bytes`] it is **sealed** — renamed to
+//! `wal.NNNNNN.log` (ascending indices) — and a fresh active log starts.
+//! Once the live chain (sealed + active) exceeds
+//! [`SegmentConfig::max_live_segments`], a **compaction** checkpoint
+//! folds the whole chain away: every redo record is already applied to
+//! entry files, so the sealed segments are deleted and the fresh active
+//! log carries only the idempotency-id set and a clean footer.
+//!
+//! Sealed segments are immutable history: recovery replays them front to
+//! back but only ever truncates a torn tail on the *active* log — damage
+//! inside a sealed segment is preserved, quarantined, and reported,
+//! never silently cut (a torn middle segment means lost history, which
+//! an operator must see). A store that never seals is exactly the old
+//! single-file layout, so pre-segmentation databases open unchanged.
+//!
 //! The trailing checksum covers everything from the tag through the
 //! payload, so a torn append, a bit flip, or a garbage tail is always
 //! detectable. Record tags:
@@ -42,6 +61,63 @@ use std::path::{Path, PathBuf};
 pub const WAL_FILE: &str = "wal.log";
 /// Version-bearing magic at offset 0.
 pub const WAL_MAGIC: &[u8; 8] = b"SPWALv1\n";
+
+/// File name of sealed segment `index` (`wal.000003.log`).
+pub fn segment_file_name(index: u64) -> String {
+    format!("wal.{index:06}.log")
+}
+
+/// Parses a sealed-segment file name back to its index.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("wal.")?.strip_suffix(".log")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Sealed segments under `root`, ascending by index.
+///
+/// # Errors
+///
+/// Returns [`DbError::Io`] when the directory cannot be read.
+pub fn sealed_segments(root: &Path) -> Result<Vec<(u64, PathBuf)>, DbError> {
+    let mut out = Vec::new();
+    let dir = match std::fs::read_dir(root) {
+        Ok(d) => d,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(out),
+        Err(e) => return Err(io_err(root, e)),
+    };
+    for item in dir {
+        let item = item.map_err(|e| io_err(root, e))?;
+        if let Some(idx) = item.file_name().to_str().and_then(parse_segment_name) {
+            out.push((idx, item.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// When to seal the active log and when to compact the chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentConfig {
+    /// Seal (roll) the active log once it exceeds this many bytes.
+    pub seal_bytes: u64,
+    /// Compact (checkpoint the whole chain away) once live segments —
+    /// sealed plus the active log — exceed this count.
+    pub max_live_segments: usize,
+}
+
+impl Default for SegmentConfig {
+    fn default() -> Self {
+        // 4 × 256 KiB bounds on-disk log bytes near the pre-segmentation
+        // 1 MiB auto-checkpoint threshold.
+        SegmentConfig {
+            seal_bytes: 256 << 10,
+            max_live_segments: 4,
+        }
+    }
+}
 /// Records larger than this are treated as framing corruption, not
 /// allocated (a torn length field must not ask for gigabytes).
 pub const MAX_WAL_RECORD: usize = 64 << 20;
@@ -320,23 +396,70 @@ fn fnv1a64_prefixed(base: u64, rest: &[u8]) -> u64 {
     fnv1a64(&buf)
 }
 
-/// Reads and scans the WAL under `root`, honouring an injected short
-/// read. Missing file scans empty; a bad magic is reported as a torn
-/// tail at offset 0 (the whole file is quarantined by recovery).
+/// Reads and scans the active WAL under `root`, honouring an injected
+/// short read. Missing file scans empty; a bad magic is reported as a
+/// torn tail at offset 0 (the whole file is quarantined by recovery).
 ///
 /// # Errors
 ///
 /// Returns [`DbError::Io`] on filesystem trouble other than the file
 /// being absent.
 pub fn scan_wal(root: &Path, faults: &DiskFaults) -> Result<WalScan, DbError> {
-    let path = root.join(WAL_FILE);
-    let mut file = match File::open(&path) {
+    scan_file(&root.join(WAL_FILE), faults)
+}
+
+/// One scanned segment of the WAL chain, in chain order.
+#[derive(Clone, Debug)]
+pub struct SegmentScan {
+    /// Sealed segment index; `None` for the active `wal.log`.
+    pub index: Option<u64>,
+    /// File name within the database root.
+    pub name: String,
+    /// The segment's scan.
+    pub scan: WalScan,
+}
+
+impl SegmentScan {
+    /// True for the active (newest, appendable) log.
+    pub fn is_active(&self) -> bool {
+        self.index.is_none()
+    }
+}
+
+/// Scans the whole WAL chain: sealed segments in ascending index order,
+/// then the active log last. The injected short read applies to the
+/// active log only (sealed segments are immutable history; the fault
+/// models a torn *append*).
+///
+/// # Errors
+///
+/// Returns [`DbError::Io`] on filesystem trouble.
+pub fn scan_chain(root: &Path, faults: &DiskFaults) -> Result<Vec<SegmentScan>, DbError> {
+    let mut out = Vec::new();
+    for (idx, path) in sealed_segments(root)? {
+        out.push(SegmentScan {
+            index: Some(idx),
+            name: segment_file_name(idx),
+            scan: scan_file(&path, &DiskFaults::default())?,
+        });
+    }
+    out.push(SegmentScan {
+        index: None,
+        name: WAL_FILE.to_string(),
+        scan: scan_wal(root, faults)?,
+    });
+    Ok(out)
+}
+
+/// Reads and scans one WAL segment file.
+fn scan_file(path: &Path, faults: &DiskFaults) -> Result<WalScan, DbError> {
+    let mut file = match File::open(path) {
         Ok(f) => f,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(WalScan::default()),
-        Err(e) => return Err(io_err(&path, e)),
+        Err(e) => return Err(io_err(path, e)),
     };
     let mut bytes = Vec::new();
-    file.read_to_end(&mut bytes).map_err(|e| io_err(&path, e))?;
+    file.read_to_end(&mut bytes).map_err(|e| io_err(path, e))?;
     if let Some(cap) = faults.short_read {
         bytes.truncate(cap as usize);
     }
@@ -388,18 +511,28 @@ pub struct WalStats {
     pub syncs: u64,
     /// Checkpoints taken (log folded away).
     pub checkpoints: u64,
+    /// Active-log seals (segment rolls).
+    pub seals: u64,
+    /// Sealed segments folded away by compaction checkpoints.
+    pub segments_compacted: u64,
+    /// Live segments right now (sealed + the active log).
+    pub live_segments: u64,
 }
 
-/// An open, appendable WAL.
+/// An open, appendable WAL (the active segment of the chain).
 #[derive(Debug)]
 pub struct Wal {
+    root: PathBuf,
     path: PathBuf,
     file: File,
     len: u64,
+    sealed: Vec<u64>,
     entries_since_checkpoint: u64,
     appends: u64,
     syncs: u64,
     checkpoints: u64,
+    seals: u64,
+    segments_compacted: u64,
     faults: DiskFaults,
 }
 
@@ -426,14 +559,19 @@ impl Wal {
             .open(&path)
             .map_err(|e| io_err(&path, e))?;
         let len = file.metadata().map_err(|e| io_err(&path, e))?.len();
+        let sealed = sealed_segments(root)?.into_iter().map(|(i, _)| i).collect();
         Ok(Wal {
+            root: root.to_path_buf(),
             path,
             file,
             len,
+            sealed,
             entries_since_checkpoint: pending_entries,
             appends: 0,
             syncs: 0,
             checkpoints: 0,
+            seals: 0,
+            segments_compacted: 0,
             faults,
         })
     }
@@ -511,9 +649,47 @@ impl Wal {
         self.file.sync_all().map_err(|e| io_err(&self.path, e))
     }
 
-    /// Checkpoints: atomically replaces the log with a fresh one holding
-    /// only the magic, an id-carryover record, and a clean footer. All
-    /// entry redo state must already be applied to entry files.
+    /// Live segments in the chain: sealed ones plus the active log.
+    pub fn live_segments(&self) -> usize {
+        self.sealed.len() + 1
+    }
+
+    /// Seals the active log: fsyncs it, renames it to the next
+    /// `wal.NNNNNN.log` slot, and starts a fresh active log. Pending
+    /// entries stay pending — they now live in the sealed segment until
+    /// the next checkpoint folds the chain away. Returns the new
+    /// segment's index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on filesystem trouble; on failure the
+    /// active log stays in place (a completed rename with a failed
+    /// fresh-log write is repaired at reopen, which recreates `wal.log`).
+    pub fn seal(&mut self) -> Result<u64, DbError> {
+        self.file.sync_all().map_err(|e| io_err(&self.path, e))?;
+        let idx = self.sealed.last().map_or(0, |i| i + 1);
+        let seg = self.root.join(segment_file_name(idx));
+        std::fs::rename(&self.path, &seg).map_err(|e| io_err(&seg, e))?;
+        sync_dir(&self.root);
+        write_atomic(&self.path, WAL_MAGIC)?;
+        self.file = OpenOptions::new()
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| io_err(&self.path, e))?;
+        self.len = WAL_MAGIC.len() as u64;
+        self.sealed.push(idx);
+        self.seals += 1;
+        Ok(idx)
+    }
+
+    /// Checkpoints: atomically replaces the active log with a fresh one
+    /// holding only the magic, an id-carryover record, and a clean
+    /// footer, then deletes the sealed segments (compaction). All entry
+    /// redo state must already be applied to entry files.
+    ///
+    /// Segment deletion is best-effort and ordered *after* the fresh
+    /// log is durable: a leftover sealed segment only causes idempotent
+    /// already-applied replay at the next open, never data loss.
     ///
     /// # Errors
     ///
@@ -538,6 +714,11 @@ impl Wal {
         self.len = buf.len() as u64;
         self.entries_since_checkpoint = 0;
         self.checkpoints += 1;
+        self.segments_compacted += self.sealed.len() as u64;
+        for idx in std::mem::take(&mut self.sealed) {
+            let _ = std::fs::remove_file(self.root.join(segment_file_name(idx)));
+        }
+        sync_dir(&self.root);
         Ok(())
     }
 
@@ -547,6 +728,9 @@ impl Wal {
             appends: self.appends,
             syncs: self.syncs,
             checkpoints: self.checkpoints,
+            seals: self.seals,
+            segments_compacted: self.segments_compacted,
+            live_segments: self.live_segments() as u64,
         }
     }
 
@@ -664,6 +848,79 @@ mod tests {
         // One-shot: the next sync succeeds.
         assert!(wal.sync().is_ok());
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seal_rolls_the_active_log_and_chain_scans_in_order() {
+        let root = tmpdir("seal");
+        let mut wal = Wal::open_append(&root, 0, DiskFaults::default()).unwrap();
+        wal.append(&WalRecord::entry(1, "first")).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.seal().unwrap(), 0);
+        assert_eq!(wal.live_segments(), 2);
+        wal.append(&WalRecord::entry(2, "second")).unwrap();
+        wal.sync().unwrap();
+        assert_eq!(wal.seal().unwrap(), 1);
+        wal.append(&WalRecord::entry(3, "third")).unwrap();
+        wal.sync().unwrap();
+        assert!(wal.has_pending());
+
+        let chain = scan_chain(&root, &DiskFaults::default()).unwrap();
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain[0].index, Some(0));
+        assert_eq!(chain[1].index, Some(1));
+        assert!(chain[2].is_active());
+        let ids: Vec<u64> = chain.iter().flat_map(|seg| seg.scan.known_ids()).collect();
+        assert_eq!(ids, vec![1, 2, 3], "chain order is oldest-first");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sealed_indices_resume_after_reopen() {
+        let root = tmpdir("seal-reopen");
+        {
+            let mut wal = Wal::open_append(&root, 0, DiskFaults::default()).unwrap();
+            wal.append(&WalRecord::entry(1, "x")).unwrap();
+            wal.sync().unwrap();
+            wal.seal().unwrap();
+        }
+        let mut wal = Wal::open_append(&root, 1, DiskFaults::default()).unwrap();
+        assert_eq!(wal.live_segments(), 2);
+        assert_eq!(wal.seal().unwrap(), 1, "indices continue past history");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn checkpoint_compacts_sealed_segments() {
+        let root = tmpdir("compact");
+        let mut wal = Wal::open_append(&root, 0, DiskFaults::default()).unwrap();
+        for i in 0..3u64 {
+            wal.append(&WalRecord::entry(i + 1, "entry")).unwrap();
+            wal.sync().unwrap();
+            wal.seal().unwrap();
+        }
+        assert_eq!(wal.live_segments(), 4);
+        wal.checkpoint(&[1, 2, 3]).unwrap();
+        assert_eq!(wal.live_segments(), 1);
+        let stats = wal.stats();
+        assert_eq!(stats.seals, 3);
+        assert_eq!(stats.segments_compacted, 3);
+        assert!(sealed_segments(&root).unwrap().is_empty());
+        let scan = scan_wal(&root, &DiskFaults::default()).unwrap();
+        assert!(scan.clean_footer);
+        assert_eq!(scan.known_ids(), vec![1, 2, 3]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn segment_names_round_trip() {
+        assert_eq!(segment_file_name(7), "wal.000007.log");
+        assert_eq!(parse_segment_name("wal.000007.log"), Some(7));
+        assert_eq!(parse_segment_name("wal.1000000.log"), Some(1_000_000));
+        assert_eq!(parse_segment_name(WAL_FILE), None);
+        assert_eq!(parse_segment_name("wal.x.log"), None);
+        assert_eq!(parse_segment_name("wal..log"), None);
+        assert_eq!(parse_segment_name("entry@00.profdb"), None);
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Cluster-grade durability properties of the profile store:
+//!
+//! * **Convergence** — three replicas fed the same delta batches in
+//!   different orders, with duplicated deliveries, end byte-identical.
+//!   This is the property the shard replication protocol leans on: the
+//!   router may deliver batches in any order and retry freely.
+//! * **Bounded segments** — sustained merge traffic seals and compacts
+//!   WAL segments so the live chain stays bounded, and recovery of the
+//!   segmented store is byte-identical to the running one.
+//! * **Torn history** — a torn *sealed* segment (damaged history, not a
+//!   crashed tail) is reported and preserved, never truncated.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use stride_ir::{FuncId, InstrId};
+use stride_profdb::wal::{segment_file_name, SegmentConfig};
+use stride_profdb::{check, recover, DeltaRecord, DiskFaults, ProfileDb, ProfileEntry};
+use stride_profiling::{LoadStrideProfile, StrideProfile};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("profdb-repl-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+/// splitmix64: deterministic, seedable, std-only.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+fn entry(workload: &str, module_hash: u64, stride: i64, count: u64) -> ProfileEntry {
+    let mut sp = StrideProfile::new();
+    sp.insert(
+        FuncId::new(0),
+        InstrId::new(1),
+        LoadStrideProfile {
+            top: vec![(stride, count)],
+            total_freq: count,
+            num_zero_stride: 0,
+            num_zero_diff: count,
+            total_diffs: count,
+        },
+    );
+    ProfileEntry {
+        workload: workload.into(),
+        module_hash,
+        runs: 1,
+        edge_tables: vec![vec![count, 0, 3]],
+        stride: sp,
+    }
+}
+
+/// Sorted (name, bytes) of every entry file in a store — the ground
+/// truth for byte-identical comparison (WAL/quarantine excluded: two
+/// replicas with different log histories must still compare equal).
+fn entry_files(root: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(root)
+        .expect("read store dir")
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            let name = p.file_name()?.to_str()?.to_string();
+            name.ends_with(".profdb")
+                .then(|| (name, fs::read(&p).expect("read entry file")))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn replicas_converge_byte_identically_under_permutation_and_duplication() {
+    // A batch stream over several keys with tied stride counts (the
+    // hard case for canonical ordering) and overlapping ids.
+    let keys: &[(&str, u64)] = &[("mcf", 0x1), ("mcf", 0x2), ("bfs", 0x1), ("sssp", 0x9)];
+    let mut rng = Rng(0x5eed_0007);
+    let mut batches: Vec<Vec<DeltaRecord>> = Vec::new();
+    let mut req_id = 0u64;
+    for _ in 0..12 {
+        let mut batch = Vec::new();
+        for _ in 0..1 + rng.below(4) {
+            req_id += 1;
+            let (w, h) = keys[rng.below(keys.len())];
+            let stride = [-32i64, 8, 16, 48, 64][rng.below(5)];
+            let count = 1 + rng.next() % 50;
+            batch.push(DeltaRecord {
+                req_id,
+                entry_text: entry(w, h, stride, count).to_text(),
+            });
+        }
+        batches.push(batch);
+    }
+
+    let mut digests = Vec::new();
+    let mut contents = Vec::new();
+    for replica in 0..3 {
+        let root = tmpdir(&format!("conv-{replica}"));
+        let db = ProfileDb::open(&root).expect("open replica");
+        // Each replica sees its own delivery order, plus duplicated
+        // batches (network retries): a different schedule per replica.
+        let mut order: Vec<usize> = (0..batches.len()).collect();
+        let mut sched = Rng(0xface_0000 + replica as u64);
+        sched.shuffle(&mut order);
+        let dups: Vec<usize> = (0..4).map(|_| sched.below(batches.len())).collect();
+        order.extend(dups);
+        for idx in order {
+            db.apply_deltas(&batches[idx]).expect("apply batch");
+        }
+        digests.push(db.content_digest().expect("digest"));
+        contents.push(entry_files(&root));
+        drop(db);
+        let _ = fs::remove_dir_all(&root);
+    }
+    assert_eq!(digests[0], digests[1], "replica 0 vs 1 digest diverged");
+    assert_eq!(digests[1], digests[2], "replica 1 vs 2 digest diverged");
+    assert_eq!(contents[0], contents[1], "replica 0 vs 1 bytes diverged");
+    assert_eq!(contents[1], contents[2], "replica 1 vs 2 bytes diverged");
+}
+
+#[test]
+fn sustained_merge_traffic_keeps_live_segments_bounded() {
+    let root = tmpdir("soak");
+    let mut db = ProfileDb::open(&root).expect("open");
+    // Tiny segments so the soak crosses many seal/compact cycles.
+    db.configure_segments(SegmentConfig {
+        seal_bytes: 8 << 10,
+        max_live_segments: 4,
+    });
+    let config = db.segment_config();
+
+    const MERGES: u64 = 10_000;
+    let mut max_live = 0u64;
+    for i in 0..MERGES {
+        let e = entry("soak", i % 7, 8 * ((i % 5) as i64 + 1), 1 + i % 3);
+        db.merge_store_logged(&e, i + 1).expect("merge");
+        if i % 64 == 0 {
+            max_live = max_live.max(db.wal_stats().live_segments);
+        }
+    }
+    let stats = db.wal_stats();
+    assert!(
+        stats.seals >= 10,
+        "soak never sealed a segment (seals={}) — seal threshold not exercised",
+        stats.seals
+    );
+    assert!(
+        stats.segments_compacted >= 10,
+        "soak never compacted (segments_compacted={})",
+        stats.segments_compacted
+    );
+    max_live = max_live.max(stats.live_segments);
+    assert!(
+        max_live <= config.max_live_segments as u64 + 1,
+        "live segments unbounded: saw {max_live}, configured cap {}",
+        config.max_live_segments
+    );
+
+    let digest = db.content_digest().expect("digest");
+    drop(db);
+    // Recovery of the segmented store must reproduce the exact bytes.
+    let before = entry_files(&root);
+    let db2 = ProfileDb::open(&root).expect("reopen");
+    assert_eq!(db2.content_digest().expect("digest"), digest);
+    assert_eq!(entry_files(&root), before, "recovery changed entry bytes");
+    let (summary, healthy) = check(&root);
+    assert!(healthy, "segmented store unhealthy after soak:\n{summary}");
+    drop(db2);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_middle_segment_is_reported_and_preserved() {
+    let root = tmpdir("torn-mid");
+    let mut db = ProfileDb::open(&root).expect("open");
+    db.configure_segments(SegmentConfig {
+        seal_bytes: 1, // seal after every merge: each record gets a segment
+        max_live_segments: 100,
+    });
+    for i in 0..4u64 {
+        let e = entry("mcf", 0xabc, 16, 10 + i);
+        db.merge_store_logged(&e, i + 1).expect("merge");
+    }
+    let want_files = entry_files(&root);
+    drop(db);
+
+    // Tear a *middle* sealed segment mid-record: damaged history, not a
+    // crashed tail.
+    let victim = root.join(segment_file_name(1));
+    let bytes = fs::read(&victim).expect("read sealed segment");
+    assert!(bytes.len() > 12, "segment too small to tear");
+    let torn = &bytes[..bytes.len() - 5];
+    fs::write(&victim, torn).expect("tear segment");
+
+    let (summary, healthy) = check(&root);
+    assert!(!healthy, "check missed the torn sealed segment:\n{summary}");
+    assert!(
+        summary.contains("TORN (sealed history damaged)"),
+        "check did not flag the sealed tear:\n{summary}"
+    );
+
+    let report = recover(&root, &DiskFaults::default()).expect("recover");
+    assert_eq!(
+        report.torn_sealed_segments, 1,
+        "recovery did not report the torn sealed segment: {report:?}"
+    );
+    // The sealed segment must be preserved byte-for-byte — truncation is
+    // only legal on the active tail, where torn bytes are an unfinished
+    // append rather than lost history.
+    assert_eq!(
+        fs::read(&victim).expect("re-read"),
+        torn,
+        "recovery modified a sealed segment"
+    );
+    // A quarantine copy of the damaged tail exists for forensics.
+    let quarantined = fs::read_dir(root.join("quarantine"))
+        .map(|d| d.count())
+        .unwrap_or(0);
+    assert!(quarantined >= 1, "no quarantine copy of the torn tail");
+    // Entry files are untouched: the torn record was already applied.
+    assert_eq!(entry_files(&root), want_files);
+    let _ = fs::remove_dir_all(&root);
+}

@@ -140,26 +140,35 @@ impl StrideProfile {
     /// Merges another profile into this one (multi-run PGO: profiles from
     /// several training runs are combined before feedback). Sites present
     /// in both have their counters summed and their top-stride lists
-    /// merged by stride value, re-sorted, and truncated to the longer of
-    /// the two lists.
+    /// joined by stride value (counts sum saturating) and re-sorted into
+    /// the canonical `(count desc, stride asc)` order.
+    ///
+    /// The join keeps every stride of both lists — no truncation — so the
+    /// operation is commutative and associative *byte-for-byte*, not just
+    /// up to tie order: any delivery order of the same set of profiles
+    /// converges to the identical table. Replication (profdb WAL deltas)
+    /// leans on exactly this property; weaken it and replicas diverge.
     pub fn merge(&mut self, other: &StrideProfile) {
+        // Canonicalize the accumulated side first: single-run tables keep
+        // their LFU emission order until their first merge, and a site the
+        // incoming profile does not mention would otherwise keep that
+        // order forever, breaking byte commutativity.
+        self.for_each_mut(|_, _, p| canonicalize_top(&mut p.top));
         for (func, site, theirs) in other.iter() {
             if self.get(func, site).is_none() {
-                self.insert(func, site, theirs.clone());
+                let mut copied = theirs.clone();
+                canonicalize_top(&mut copied.top);
+                self.insert(func, site, copied);
                 continue;
             }
             let ours = self.get_mut(func, site).expect("site just checked");
-            // keep at least the LFU's final-buffer width so small
-            // per-run lists can still surface each other's strides
-            let keep = ours.top.len().max(theirs.top.len()).max(8);
             for &(stride, count) in &theirs.top {
                 match ours.top.iter_mut().find(|(s, _)| *s == stride) {
                     Some((_, c)) => *c = c.saturating_add(count),
                     None => ours.top.push((stride, count)),
                 }
             }
-            ours.top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
-            ours.top.truncate(keep);
+            canonicalize_top(&mut ours.top);
             ours.total_freq = ours.total_freq.saturating_add(theirs.total_freq);
             ours.num_zero_stride = ours.num_zero_stride.saturating_add(theirs.num_zero_stride);
             ours.num_zero_diff = ours.num_zero_diff.saturating_add(theirs.num_zero_diff);
@@ -204,6 +213,14 @@ impl StrideProfile {
             .get_mut(site.index())?
             .as_mut()
     }
+}
+
+/// Sorts a top-stride table into the canonical total order: count
+/// descending, then stride ascending. The order is total (no two entries
+/// share a stride after a join), so the sorted table is independent of
+/// the order entries were inserted or merged in.
+fn canonicalize_top(top: &mut [(i64, u64)]) {
+    top.sort_by(|&(sa, ca), &(sb, cb)| cb.cmp(&ca).then(sa.cmp(&sb)));
 }
 
 #[cfg(test)]
@@ -306,6 +323,46 @@ mod tests {
         // dominant stride stays 64; the 8-byte stride appears behind it
         assert_eq!(merged.top1().unwrap().0, 64);
         assert!(merged.top.iter().any(|&(s, _)| s == 8));
+    }
+
+    #[test]
+    fn merge_is_byte_commutative_and_associative_even_with_tied_counts() {
+        // Three single-site profiles whose top tables tie on count: the
+        // canonical (count desc, stride asc) join must make every merge
+        // order produce the *identical* table, not just an equivalent set.
+        let mk = |top: Vec<(i64, u64)>| {
+            let mut sp = StrideProfile::new();
+            sp.insert(
+                FuncId::new(0),
+                InstrId::new(1),
+                LoadStrideProfile {
+                    top,
+                    total_freq: 10,
+                    num_zero_stride: 1,
+                    num_zero_diff: 2,
+                    total_diffs: 9,
+                },
+            );
+            sp
+        };
+        let a = mk(vec![(64, 5), (8, 5)]);
+        let b = mk(vec![(16, 5), (24, 3)]);
+        let c = mk(vec![(-32, 5), (8, 2)]);
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut c_ba = c.clone();
+        let mut ba = b.clone();
+        ba.merge(&a);
+        c_ba.merge(&ba);
+        assert_eq!(ab_c, c_ba, "merge must be order-independent");
+        let merged = ab_c.get(FuncId::new(0), InstrId::new(1)).unwrap();
+        assert_eq!(
+            merged.top,
+            vec![(8, 7), (-32, 5), (16, 5), (64, 5), (24, 3)],
+            "ties break by ascending stride, nothing truncated"
+        );
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! `strided-router` — the shard router daemon.
+//!
+//! ```text
+//! strided-router serve [--addr HOST:PORT] [--workers N]
+//!                      --shard ADDR[,ADDR...] [--shard ...]
+//! ```
+//!
+//! Each `--shard` flag declares one shard's replica addresses, in shard
+//! order (the first flag is shard 0). Prints `routing N shard(s)` and
+//! `listening on ADDR` once bound; scripts wait for the latter.
+
+use std::process::ExitCode;
+use stride_server::{RouterConfig, RouterServer};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: strided-router serve [--addr HOST:PORT] [--workers N]\n\
+         \x20                           --shard ADDR[,ADDR...] [--shard ...]\n\
+         \n\
+         \x20 --addr     listen address (default 127.0.0.1:7310; :0 = ephemeral)\n\
+         \x20 --workers  worker threads (default 4)\n\
+         \x20 --shard    one shard's replica addresses, comma-separated;\n\
+         \x20            repeat per shard (flag order = shard index)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("serve") {
+        return usage();
+    }
+
+    let mut addr = "127.0.0.1:7310".to_string();
+    let mut workers = 4usize;
+    let mut shards: Vec<Vec<String>> = Vec::new();
+
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let Some(value) = it.next() else {
+            eprintln!("strided-router: `{flag}` needs a value");
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => addr = value.clone(),
+            "--workers" => match value.parse() {
+                Ok(n) => workers = n,
+                Err(_) => return usage(),
+            },
+            "--shard" => {
+                let replicas: Vec<String> = value
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if replicas.is_empty() {
+                    eprintln!("strided-router: `--shard` needs at least one address");
+                    return usage();
+                }
+                shards.push(replicas);
+            }
+            _ => {
+                eprintln!("strided-router: unknown flag `{flag}`");
+                return usage();
+            }
+        }
+    }
+    if shards.is_empty() {
+        eprintln!("strided-router: at least one `--shard` is required");
+        return usage();
+    }
+
+    let config = RouterConfig {
+        addr,
+        workers,
+        ..RouterConfig::loopback(shards)
+    };
+    println!("routing {} shard(s)", config.shards.len());
+    let server = match RouterServer::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("strided-router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    server.join();
+    println!("strided-router: shut down cleanly");
+    ExitCode::SUCCESS
+}

@@ -93,6 +93,9 @@ pub struct Client {
     dup_request_nth: Option<u64>,
     /// Human-readable retry/reconnect events from the most recent call.
     trace: Vec<String>,
+    /// Optional `client.retries` counter: bumped once per retry attempt
+    /// (the router shares one across its backend clients).
+    retry_counter: Option<stride_core::Counter>,
 }
 
 fn connect_stream(addr: SocketAddr) -> io::Result<TcpStream> {
@@ -140,6 +143,7 @@ impl Client {
             calls: 0,
             dup_request_nth: None,
             trace: Vec::new(),
+            retry_counter: None,
         })
     }
 
@@ -164,6 +168,12 @@ impl Client {
     /// (empty when it succeeded first try).
     pub fn trace(&self) -> &[String] {
         &self.trace
+    }
+
+    /// Attaches a metrics counter bumped once per retry attempt (the
+    /// `client.retries` observability counter).
+    pub fn set_retry_counter(&mut self, counter: Option<stride_core::Counter>) {
+        self.retry_counter = counter;
     }
 
     fn next_req_id(&mut self) -> u64 {
@@ -209,6 +219,9 @@ impl Client {
         let mut last_err: Option<io::Error> = None;
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
+                if let Some(counter) = &self.retry_counter {
+                    counter.inc();
+                }
                 let base_wait = schedule
                     .get(attempt as usize - 1)
                     .copied()
@@ -226,15 +239,19 @@ impl Client {
             }
             match self.attempt(&payload, duplicate) {
                 Ok(resp) => {
+                    // `busy` (shed load) and `unavailable` (dead shard,
+                    // may come back) are the transient server answers:
+                    // both retry with the server's hint honoured.
                     if let Response::Err {
-                        kind: ErrorKind::Busy,
+                        kind: kind @ (ErrorKind::Busy | ErrorKind::Unavailable),
                         message,
                         retry_after_ms,
+                        ..
                     } = &resp
                     {
                         if attempt + 1 < self.policy.max_attempts {
                             self.trace.push(format!(
-                                "attempt {}: busy ({message}), retry-after {:?} ms",
+                                "attempt {}: {kind} ({message}), retry-after {:?} ms",
                                 attempt + 1,
                                 retry_after_ms
                             ));

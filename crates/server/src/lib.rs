@@ -25,6 +25,7 @@
 pub mod client;
 pub mod proto;
 pub mod queue;
+pub mod router;
 pub mod server;
 pub mod service;
 
@@ -34,5 +35,6 @@ pub use proto::{
     RequestMeta, Response, MAX_FRAME, PROTO_VERSION,
 };
 pub use queue::BoundedQueue;
+pub use router::{Router, RouterConfig, RouterServer};
 pub use server::{Server, ServerConfig};
 pub use service::{render_classification, render_speedup, Service, ServiceConfig};

@@ -257,6 +257,27 @@ pub enum Request {
         /// A serialized [`stride_profdb::ProfileEntry`].
         entry_text: String,
     },
+    /// Replica-to-replica delta exchange: apply a checksummed batch of
+    /// replicated merges (see [`stride_profdb::repl`]), exactly-once per
+    /// delta id.
+    SyncDelta {
+        /// A serialized delta batch (`# profdb delta-batch v1`).
+        batch_text: String,
+    },
+    /// Garbage-collect database entries whose module is retired or
+    /// stale (fanned out cluster-wide by the router).
+    Gc,
+    /// Router-only: re-point one replica of a shard at a new address
+    /// (a crashed daemon restarts on a fresh port; the router re-learns
+    /// it without a reboot). A plain daemon rejects this verb.
+    RouteUpdate {
+        /// Shard whose replica moved.
+        shard: u32,
+        /// Replica index within the shard.
+        replica: u32,
+        /// The replica's new `host:port`.
+        addr: String,
+    },
     /// Service counters.
     Stats,
     /// Drain queued work and stop the daemon.
@@ -343,6 +364,13 @@ impl Request {
             ),
             Request::GetProfile { workload } => format!("get-profile workload={workload}"),
             Request::MergeProfile { entry_text } => format!("merge-profile\n{entry_text}"),
+            Request::SyncDelta { batch_text } => format!("sync-delta\n{batch_text}"),
+            Request::Gc => "gc".to_string(),
+            Request::RouteUpdate {
+                shard,
+                replica,
+                addr,
+            } => format!("route-update shard={shard} replica={replica} addr={addr}"),
             Request::Stats => "stats".to_string(),
             Request::Shutdown => "shutdown".to_string(),
         };
@@ -392,6 +420,19 @@ impl Request {
             "merge-profile" => Ok(Request::MergeProfile {
                 entry_text: body.to_string(),
             }),
+            "sync-delta" => Ok(Request::SyncDelta {
+                batch_text: body.to_string(),
+            }),
+            "gc" => Ok(Request::Gc),
+            "route-update" => Ok(Request::RouteUpdate {
+                shard: take(&kv, "shard")?
+                    .parse()
+                    .map_err(|_| "bad shard index".to_string())?,
+                replica: take(&kv, "replica")?
+                    .parse()
+                    .map_err(|_| "bad replica index".to_string())?,
+                addr: take(&kv, "addr")?.to_string(),
+            }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!("unknown request verb `{other}`")),
@@ -421,6 +462,9 @@ pub enum ErrorKind {
     NotFound,
     /// The stored profile was taken on a different module version.
     Stale,
+    /// The shard owning the request's key range has no live replica —
+    /// the rest of the cluster keeps serving; retry this key later.
+    Unavailable,
 }
 
 impl ErrorKind {
@@ -436,6 +480,7 @@ impl ErrorKind {
             ErrorKind::Proto => "proto",
             ErrorKind::NotFound => "not-found",
             ErrorKind::Stale => "stale",
+            ErrorKind::Unavailable => "unavailable",
         }
     }
 
@@ -451,6 +496,7 @@ impl ErrorKind {
             "proto" => ErrorKind::Proto,
             "not-found" => ErrorKind::NotFound,
             "stale" => ErrorKind::Stale,
+            "unavailable" => ErrorKind::Unavailable,
             _ => return None,
         })
     }
@@ -499,8 +545,12 @@ pub enum Response {
         /// diagnostics).
         message: String,
         /// Load-shedding hint: retry no sooner than this many
-        /// milliseconds (set on `busy` responses).
+        /// milliseconds (set on `busy` and `unavailable` responses).
         retry_after_ms: Option<u64>,
+        /// The shard whose key range the failure is confined to (set by
+        /// the router on `unavailable`, so a client can tell a dead key
+        /// range from a dead cluster).
+        shard: Option<u32>,
     },
 }
 
@@ -511,6 +561,7 @@ impl Response {
             kind,
             message: message.into(),
             retry_after_ms: None,
+            shard: None,
         }
     }
 
@@ -520,6 +571,18 @@ impl Response {
             kind: ErrorKind::Busy,
             message: message.into(),
             retry_after_ms: Some(retry_after_ms),
+            shard: None,
+        }
+    }
+
+    /// Builds the router's shard-down response: typed `unavailable`,
+    /// scoped to the dead shard, with a retry hint.
+    pub fn unavailable(shard: u32, retry_after_ms: u64, message: impl Into<String>) -> Response {
+        Response::Err {
+            kind: ErrorKind::Unavailable,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+            shard: Some(shard),
         }
     }
 
@@ -531,10 +594,17 @@ impl Response {
                 kind,
                 message,
                 retry_after_ms,
-            } => match retry_after_ms {
-                Some(ms) => format!("err {kind} retry-after={ms}\n{message}").into_bytes(),
-                None => format!("err {kind}\n{message}").into_bytes(),
-            },
+                shard,
+            } => {
+                let mut header = format!("err {kind}");
+                if let Some(k) = shard {
+                    header.push_str(&format!(" shard={k}"));
+                }
+                if let Some(ms) = retry_after_ms {
+                    header.push_str(&format!(" retry-after={ms}"));
+                }
+                format!("{header}\n{message}").into_bytes()
+            }
         }
     }
 
@@ -558,12 +628,15 @@ impl Response {
             let kind =
                 ErrorKind::parse(kind_s).ok_or_else(|| format!("unknown error kind `{kind_s}`"))?;
             let mut retry_after_ms = None;
+            let mut shard = None;
             for part in parts {
                 if let Some(ms) = part.strip_prefix("retry-after=") {
                     retry_after_ms = Some(
                         ms.parse::<u64>()
                             .map_err(|_| format!("bad retry-after `{ms}`"))?,
                     );
+                } else if let Some(k) = part.strip_prefix("shard=") {
+                    shard = Some(k.parse::<u32>().map_err(|_| format!("bad shard `{k}`"))?);
                 } else {
                     return Err(format!("unknown error field `{part}`"));
                 }
@@ -572,6 +645,7 @@ impl Response {
                 kind,
                 message: body.to_string(),
                 retry_after_ms,
+                shard,
             });
         }
         Err(format!("bad response header `{header}`"))
@@ -638,6 +712,15 @@ mod tests {
             Request::MergeProfile {
                 entry_text: "# profdb v1\nworkload x\nmodule 00ff\nruns 1\n".into(),
             },
+            Request::SyncDelta {
+                batch_text: "# profdb delta-batch v1\ncount 0\nchecksum 0000000000000000\n".into(),
+            },
+            Request::Gc,
+            Request::RouteUpdate {
+                shard: 2,
+                replica: 1,
+                addr: "127.0.0.1:9999".into(),
+            },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -665,11 +748,27 @@ mod tests {
             Response::err(ErrorKind::Vm, "vm: out of fuel"),
             Response::err(ErrorKind::Busy, ""),
             Response::busy("queue full", 50),
+            Response::unavailable(2, 250, "shard 2 has no live replica"),
         ];
         for resp in responses {
             let back = Response::from_bytes(&resp.to_bytes()).unwrap();
             assert_eq!(back, resp);
         }
+    }
+
+    #[test]
+    fn unavailable_wire_header_is_pinned() {
+        // The chaos campaign and ci.sh grep for this exact shape: a dead
+        // shard must answer `err unavailable shard=K retry-after=MS` for
+        // its key range only.
+        let resp = Response::unavailable(1, 200, "no live replica");
+        let bytes = resp.to_bytes();
+        let text = std::str::from_utf8(&bytes).unwrap();
+        assert!(
+            text.starts_with("err unavailable shard=1 retry-after=200\n"),
+            "{text}"
+        );
+        assert_eq!(Response::from_bytes(&bytes).unwrap(), resp);
     }
 
     #[test]
@@ -760,6 +859,7 @@ mod tests {
             ErrorKind::Proto,
             ErrorKind::NotFound,
             ErrorKind::Stale,
+            ErrorKind::Unavailable,
         ] {
             assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));
         }

@@ -1,0 +1,627 @@
+//! The shard router: a thin daemon speaking wire protocol v2 on both
+//! sides. Every profile key `(workload, module-hash)` is owned by one
+//! shard per [`stride_profdb::ShardMap`]; the router forwards each
+//! request to the owning shard's replicas and composes fan-out verbs
+//! (`stats`, `gc`, `shutdown`) across the whole cluster.
+//!
+//! # Replication
+//!
+//! A `merge-profile` arriving at the router is converted into a
+//! [`stride_profdb::repl`] delta — the *pre-merge* entry plus its
+//! idempotency id — and sent as a `sync-delta` batch to **every**
+//! replica of the owning shard. The merge is acknowledged once at least
+//! one replica applied it durably; replicas that missed the delivery get
+//! the batch queued in a per-replica *lag queue*, drained in order
+//! before that replica's next delivery. Delivery is therefore
+//! at-least-once in any order — exactly what the store's
+//! delivery-order-independent delta merge absorbs into byte-identical
+//! convergence.
+//!
+//! # Degradation
+//!
+//! A shard with no reachable replica answers `err unavailable shard=K
+//! retry-after=MS` *for its key range only*; requests owned by live
+//! shards keep succeeding. A crashed replica that restarts on a new
+//! port is re-learned via the `route-update` verb, which also requeues
+//! every known module submission so the replica can serve staleness
+//! checks again.
+
+use crate::client::{Client, RetryPolicy};
+use crate::proto::{
+    decode_request, read_frame, write_frame, ErrorKind, Request, RequestMeta, Response,
+};
+use crate::queue::BoundedQueue;
+use std::collections::{HashMap, VecDeque};
+use std::fmt::Write as _;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use stride_core::{Counter, Registry};
+use stride_profdb::{encode_delta_batch, DeltaRecord, ProfileEntry, ShardMap, SHARD_MAP_VERSION};
+
+/// Retry-after hint on `unavailable` responses, in milliseconds.
+pub const UNAVAILABLE_RETRY_AFTER_MS: u64 = 200;
+
+/// Ceiling on one replica's lag queue; beyond it the oldest entries are
+/// dropped (counted — a replica that lags this far needs recovery-based
+/// catch-up anyway, which WAL replay plus client retries provide).
+const LAG_QUEUE_CAP: usize = 4096;
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Replica addresses per shard: `shards[k]` lists shard `k`'s
+    /// replicas.
+    pub shards: Vec<Vec<String>>,
+    /// Worker threads serving client connections.
+    pub workers: usize,
+    /// Retry policy for backend calls (kept short: the router's own
+    /// callers have retry loops too).
+    pub backend_retry: RetryPolicy,
+}
+
+impl RouterConfig {
+    /// Loopback router over the given shard topology with a fail-fast
+    /// backend policy.
+    pub fn loopback(shards: Vec<Vec<String>>) -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            shards,
+            workers: 4,
+            backend_retry: RetryPolicy {
+                max_attempts: 2,
+                base_delay_ms: 10,
+                max_delay_ms: 100,
+                jitter_seed: 0,
+            },
+        }
+    }
+}
+
+/// One backend replica: its (mutable — `route-update`) address, a lazy
+/// connection, and the lag queue of deliveries it has missed.
+struct Replica {
+    addr: Mutex<String>,
+    client: Mutex<Option<Client>>,
+    lag: Mutex<VecDeque<Request>>,
+}
+
+impl Replica {
+    fn new(addr: String) -> Replica {
+        Replica {
+            addr: Mutex::new(addr),
+            client: Mutex::new(None),
+            lag: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn addr(&self) -> String {
+        self.addr
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+}
+
+/// Router state shared by all worker threads.
+pub struct Router {
+    map: ShardMap,
+    shards: Vec<Vec<Replica>>,
+    /// Modules seen at this router: workload → (hash, IR text). The text
+    /// is kept so a restarted replica can be re-taught its modules.
+    modules: Mutex<HashMap<String, (u64, String)>>,
+    obs: Arc<Registry>,
+    forwarded: Counter,
+    shed_unavailable: Counter,
+    retries: Counter,
+    lag_dropped: Counter,
+    policy: RetryPolicy,
+    /// Router-generated idempotency ids for merges arriving without one.
+    id_seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+fn splitmix64_mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Router {
+    /// Builds the router over a shard topology.
+    pub fn new(shards: Vec<Vec<String>>, policy: RetryPolicy) -> Router {
+        let obs = Arc::new(Registry::new());
+        let forwarded = obs.counter("router.forwarded");
+        let shed_unavailable = obs.counter("router.shed_unavailable");
+        let retries = obs.counter("client.retries");
+        let lag_dropped = obs.counter("router.lag_dropped");
+        let map = ShardMap::new(shards.len() as u32);
+        let shards = shards
+            .into_iter()
+            .map(|replicas| replicas.into_iter().map(Replica::new).collect())
+            .collect();
+        Router {
+            map,
+            shards,
+            modules: Mutex::new(HashMap::new()),
+            obs,
+            forwarded,
+            shed_unavailable,
+            retries,
+            lag_dropped,
+            policy,
+            id_seq: AtomicU64::new(0x7007_c0de),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The router's metrics registry.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
+    }
+
+    /// One call to one replica over its cached connection (connecting
+    /// lazily, reconnecting after `route-update`).
+    fn call_replica(
+        &self,
+        replica: &Replica,
+        deadline_fuel: Option<u64>,
+        req: &Request,
+    ) -> io::Result<Response> {
+        let mut slot = replica
+            .client
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            let mut client = Client::connect_with(replica.addr(), self.policy)?;
+            client.set_retry_counter(Some(self.retries.clone()));
+            *slot = Some(client);
+        }
+        let Some(client) = slot.as_mut() else {
+            return Err(io::Error::other("no backend connection"));
+        };
+        client.set_deadline_fuel(deadline_fuel);
+        let result = client.call(req);
+        if result.is_err() {
+            // Poisoned transport: reconnect fresh on the next call.
+            *slot = None;
+        }
+        result
+    }
+
+    /// Drains a replica's lag queue in order; stops (requeueing the
+    /// failed delivery at the front) on the first failure. Returns true
+    /// when the queue emptied.
+    fn drain_lag(&self, replica: &Replica) -> bool {
+        loop {
+            let Some(req) = replica
+                .lag
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+            else {
+                return true;
+            };
+            match self.call_replica(replica, None, &req) {
+                Ok(Response::Ok(_)) => continue,
+                // A typed refusal (stale, malformed) cannot succeed
+                // later either: drop it rather than wedge the queue.
+                Ok(Response::Err { .. }) => continue,
+                Err(_) => {
+                    replica
+                        .lag
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push_front(req);
+                    return false;
+                }
+            }
+        }
+    }
+
+    fn enqueue_lag(&self, replica: &Replica, req: Request) {
+        let mut lag = replica.lag.lock().unwrap_or_else(PoisonError::into_inner);
+        while lag.len() >= LAG_QUEUE_CAP {
+            lag.pop_front();
+            self.lag_dropped.inc();
+        }
+        lag.push_back(req);
+    }
+
+    /// Total queued lag deliveries per shard/replica (quiesce probe).
+    fn lag_lines(&self) -> String {
+        let mut out = String::new();
+        for (k, replicas) in self.shards.iter().enumerate() {
+            for (r, replica) in replicas.iter().enumerate() {
+                let queued = replica
+                    .lag
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .len();
+                let _ = writeln!(out, "lag shard={k} replica={r} queued={queued}");
+            }
+        }
+        out
+    }
+
+    fn shard_replicas(&self, shard: u32) -> &[Replica] {
+        &self.shards[shard as usize]
+    }
+
+    /// Handles one client request at the router.
+    pub fn handle(&self, meta: &RequestMeta, req: &Request) -> Response {
+        match req {
+            Request::SubmitModule { workload, text } => self.submit(workload, text),
+            Request::MergeProfile { entry_text } => self.merge(meta, entry_text),
+            Request::Profile { workload, .. }
+            | Request::Classify { workload, .. }
+            | Request::Prefetch { workload, .. }
+            | Request::GetProfile { workload } => self.route_by_workload(workload, meta, req),
+            Request::SyncDelta { .. } => Response::err(
+                ErrorKind::Malformed,
+                "sync-delta is replica-to-replica; submit merges via merge-profile",
+            ),
+            Request::Stats => Response::Ok(self.fan_out_body(&Request::Stats)),
+            Request::Gc => Response::Ok(self.fan_out_body(&Request::Gc)),
+            Request::RouteUpdate {
+                shard,
+                replica,
+                addr,
+            } => self.route_update(*shard, *replica, addr),
+            // The server loop intercepts Shutdown; answer direct callers.
+            Request::Shutdown => Response::Ok("shutting down\n".to_string()),
+        }
+    }
+
+    /// Registers the module locally (learning the key hash) and forwards
+    /// the submission to every replica of the owning shard.
+    fn submit(&self, workload: &str, text: &str) -> Response {
+        let module = match stride_ir::module_from_string(text) {
+            Ok(m) => m,
+            Err(e) => return Response::err(ErrorKind::Parse, e.render(text)),
+        };
+        let hash = stride_profdb::module_hash(&module);
+        self.modules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(workload.to_string(), (hash, text.to_string()));
+        let shard = self.map.shard_of(workload, hash);
+        let req = Request::SubmitModule {
+            workload: workload.to_string(),
+            text: text.to_string(),
+        };
+        let mut acked = None;
+        for replica in self.shard_replicas(shard) {
+            self.drain_lag(replica);
+            match self.call_replica(replica, None, &req) {
+                Ok(Response::Ok(body)) => acked = acked.or(Some(body)),
+                Ok(resp @ Response::Err { .. }) => return resp,
+                Err(_) => self.enqueue_lag(replica, req.clone()),
+            }
+        }
+        match acked {
+            Some(body) => {
+                self.forwarded.inc();
+                Response::Ok(body)
+            }
+            None => self.unavailable(shard, "no live replica accepted the module"),
+        }
+    }
+
+    /// Converts a merge into a replication delta and delivers it to all
+    /// replicas of the owning shard, acknowledging on the first durable
+    /// apply.
+    fn merge(&self, meta: &RequestMeta, entry_text: &str) -> Response {
+        let entry = match ProfileEntry::from_text(entry_text) {
+            Ok(e) => e,
+            Err(e) => return Response::err(ErrorKind::from(&e), e.to_string()),
+        };
+        let shard = self.map.shard_of(&entry.workload, entry.module_hash);
+        let req_id = if meta.req_id != 0 {
+            meta.req_id
+        } else {
+            // Id-less client: stamp a router id so replica dedup still
+            // sees one identity for this merge across all replicas.
+            loop {
+                let id = splitmix64_mix(
+                    self.id_seq
+                        .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed),
+                );
+                if id != 0 {
+                    break id;
+                }
+            }
+        };
+        let batch = encode_delta_batch(&[DeltaRecord {
+            req_id,
+            entry_text: entry_text.to_string(),
+        }]);
+        let req = Request::SyncDelta { batch_text: batch };
+        let mut acked = None;
+        for replica in self.shard_replicas(shard) {
+            // Ordered delivery per replica: missed deliveries go first.
+            if !self.drain_lag(replica) {
+                self.enqueue_lag(replica, req.clone());
+                continue;
+            }
+            match self.call_replica(replica, None, &req) {
+                Ok(Response::Ok(body)) => acked = acked.or(Some(body)),
+                Ok(resp @ Response::Err { .. }) => return resp,
+                Err(_) => self.enqueue_lag(replica, req.clone()),
+            }
+        }
+        match acked {
+            Some(body) => {
+                self.forwarded.inc();
+                Response::Ok(body)
+            }
+            None => self.unavailable(shard, "no live replica applied the merge"),
+        }
+    }
+
+    /// Routes a read/compute request to the first live replica of the
+    /// owning shard.
+    fn route_by_workload(&self, workload: &str, meta: &RequestMeta, req: &Request) -> Response {
+        let hash = {
+            let modules = self.modules.lock().unwrap_or_else(PoisonError::into_inner);
+            match modules.get(workload) {
+                Some(&(hash, _)) => hash,
+                None => {
+                    return Response::err(
+                        ErrorKind::NotFound,
+                        format!("no module submitted for workload `{workload}` via this router"),
+                    )
+                }
+            }
+        };
+        let shard = self.map.shard_of(workload, hash);
+        for replica in self.shard_replicas(shard) {
+            self.drain_lag(replica);
+            match self.call_replica(replica, meta.deadline_fuel, req) {
+                Ok(resp) => {
+                    self.forwarded.inc();
+                    return resp;
+                }
+                Err(_) => continue,
+            }
+        }
+        self.unavailable(shard, format!("no live replica for `{workload}`"))
+    }
+
+    /// Fans a verb out to every replica of every shard, composing the
+    /// bodies under `== shard K replica R addr A ==` section headers.
+    /// The leading `== router ==` section carries the router's own
+    /// counters and per-replica lag depths.
+    fn fan_out_body(&self, req: &Request) -> String {
+        let mut out = format!(
+            "== router ==\nshards {}\nshard-map-version {SHARD_MAP_VERSION}\n",
+            self.shards.len()
+        );
+        out.push_str(&self.lag_lines());
+        out.push_str(&self.obs.snapshot_text());
+        for (k, replicas) in self.shards.iter().enumerate() {
+            for (r, replica) in replicas.iter().enumerate() {
+                self.drain_lag(replica);
+                let addr = replica.addr();
+                let _ = writeln!(out, "== shard {k} replica {r} addr {addr} ==");
+                match self.call_replica(replica, None, req) {
+                    Ok(Response::Ok(body)) => out.push_str(&body),
+                    Ok(Response::Err { kind, message, .. }) => {
+                        let _ = writeln!(out, "err {kind}: {message}");
+                    }
+                    Err(e) => {
+                        let _ = writeln!(out, "unreachable: {e}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Re-points a replica at a new address and requeues every known
+    /// module submission so the (freshly restarted, module-less) daemon
+    /// can serve staleness checks and reads again.
+    fn route_update(&self, shard: u32, replica_idx: u32, addr: &str) -> Response {
+        let Some(replica) = self
+            .shards
+            .get(shard as usize)
+            .and_then(|rs| rs.get(replica_idx as usize))
+        else {
+            return Response::err(
+                ErrorKind::Malformed,
+                format!("no such replica: shard {shard} replica {replica_idx}"),
+            );
+        };
+        *replica.addr.lock().unwrap_or_else(PoisonError::into_inner) = addr.to_string();
+        *replica
+            .client
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+        let modules = self.modules.lock().unwrap_or_else(PoisonError::into_inner);
+        // Re-teach modules ahead of any queued deltas? No — submissions
+        // go to the *front* so staleness checks see the module before
+        // replayed merges, preserving per-replica delivery order for the
+        // deltas themselves.
+        let mut lag = replica.lag.lock().unwrap_or_else(PoisonError::into_inner);
+        for (workload, (hash, text)) in modules.iter() {
+            if self.map.shard_of(workload, *hash) == shard {
+                lag.push_front(Request::SubmitModule {
+                    workload: workload.clone(),
+                    text: text.clone(),
+                });
+            }
+        }
+        drop(lag);
+        drop(modules);
+        self.drain_lag(replica);
+        Response::Ok(format!(
+            "routed shard={shard} replica={replica_idx} addr={addr}\n"
+        ))
+    }
+
+    fn unavailable(&self, shard: u32, message: impl Into<String>) -> Response {
+        self.shed_unavailable.inc();
+        Response::unavailable(shard, UNAVAILABLE_RETRY_AFTER_MS, message)
+    }
+
+    /// Best-effort shutdown fan-out to every replica.
+    fn shutdown_backends(&self) {
+        for replicas in &self.shards {
+            for replica in replicas {
+                let _ = self.call_replica(replica, None, &Request::Shutdown);
+            }
+        }
+    }
+}
+
+struct Shared {
+    queue: BoundedQueue<TcpStream>,
+    router: Router,
+}
+
+/// A running router daemon (same lifecycle contract as
+/// [`crate::Server`]).
+pub struct RouterServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl RouterServer {
+    /// Binds, spawns the acceptor and workers, returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures.
+    pub fn start(config: RouterConfig) -> io::Result<RouterServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let router = Router::new(config.shards, config.backend_retry);
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(64),
+            router,
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || accept_loop(&listener, &shared)));
+        }
+        for _ in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+        Ok(RouterServer {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The router state (tests, in-process callers).
+    pub fn router(&self) -> &Router {
+        &self.shared.router
+    }
+
+    /// Stops accepting and drains workers (backends are left running;
+    /// a client `shutdown` request also fans out to them).
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared, self.addr);
+    }
+
+    /// Waits for the router to finish.
+    pub fn join(self) {
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+
+    /// Convenience: trigger shutdown and wait.
+    pub fn shutdown_and_join(self) {
+        self.shutdown();
+        self.join();
+    }
+}
+
+fn trigger_shutdown(shared: &Shared, addr: SocketAddr) {
+    if shared.router.shutdown.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    shared.queue.close();
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let Ok((stream, _)) = listener.accept() else {
+            if shared.router.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            continue;
+        };
+        if shared.router.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Err(stream) = shared.queue.try_push(stream) {
+            let mut stream = stream;
+            let resp = Response::busy(
+                "router connection queue full, retry later",
+                crate::server::BUSY_RETRY_AFTER_MS,
+            );
+            let _ = write_frame(&mut stream, &resp.to_bytes());
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(stream) = shared.queue.pop() {
+        serve_connection(stream, shared);
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
+    loop {
+        let payload = match read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let resp = Response::err(ErrorKind::Proto, e.to_string());
+                let _ = write_frame(&mut stream, &resp.to_bytes());
+                return;
+            }
+            Err(_) => return,
+        };
+        let (meta, req) = match decode_request(&payload) {
+            Ok(pair) => pair,
+            Err(msg) => {
+                let resp = Response::err(ErrorKind::Proto, msg);
+                if write_frame(&mut stream, &resp.to_bytes()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if matches!(req, Request::Shutdown) {
+            shared.router.shutdown_backends();
+            let resp = Response::Ok("shutting down\n".to_string());
+            let _ = write_frame(&mut stream, &resp.to_bytes());
+            if let Ok(addr) = stream.local_addr() {
+                trigger_shutdown(shared, addr);
+            }
+            return;
+        }
+        let resp = shared.router.handle(&meta, &req);
+        if write_frame(&mut stream, &resp.to_bytes()).is_err() {
+            return;
+        }
+    }
+}

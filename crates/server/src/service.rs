@@ -14,7 +14,9 @@ use stride_core::{
     TraceEvent,
 };
 use stride_ir::{module_from_string, module_to_string, Module};
-use stride_profdb::{module_hash, DbError, DiskFaults, ProfileDb, ProfileEntry};
+use stride_profdb::{
+    decode_delta_batch, module_hash, DbError, DiskFaults, ProfileDb, ProfileEntry,
+};
 use stride_profiling::{EdgeProfile, StrideProfile};
 
 /// Converts the plan's disk fault kinds into the store's injectable
@@ -80,6 +82,9 @@ struct ServiceMetrics {
     latency_classify: Histogram,
     latency_prefetch: Histogram,
     retried_merges: stride_core::Counter,
+    deltas_applied: stride_core::Counter,
+    deltas_deduped: stride_core::Counter,
+    segments_compacted: stride_core::Counter,
 }
 
 impl ServiceMetrics {
@@ -89,6 +94,9 @@ impl ServiceMetrics {
             latency_classify: obs.histogram("server.latency.classify.cycles"),
             latency_prefetch: obs.histogram("server.latency.prefetch.cycles"),
             retried_merges: obs.counter("server.merge.retried"),
+            deltas_applied: obs.counter("repl.deltas_applied"),
+            deltas_deduped: obs.counter("repl.deltas_deduped"),
+            segments_compacted: obs.counter("wal.segments_compacted"),
         }
     }
 }
@@ -102,6 +110,9 @@ fn verb_of(req: &Request) -> &'static str {
         Request::Prefetch { .. } => "prefetch",
         Request::GetProfile { .. } => "get-profile",
         Request::MergeProfile { .. } => "merge-profile",
+        Request::SyncDelta { .. } => "sync-delta",
+        Request::Gc => "gc",
+        Request::RouteUpdate { .. } => "route-update",
         Request::Stats => "stats",
         Request::Shutdown => "shutdown",
     }
@@ -118,6 +129,10 @@ pub struct Service {
     counters: Counters,
     obs: Arc<Registry>,
     metrics: ServiceMetrics,
+    /// High-water mark of the WAL's `segments_compacted` stat already
+    /// bridged into the `wal.segments_compacted` counter (the stat is
+    /// monotonic; the counter receives deltas).
+    compacted_seen: AtomicU64,
 }
 
 impl Service {
@@ -140,6 +155,7 @@ impl Service {
             counters: Counters::default(),
             obs,
             metrics,
+            compacted_seen: AtomicU64::new(0),
             config,
         })
     }
@@ -282,6 +298,12 @@ impl Service {
             } => self.prefetch(workload, *variant, train_args, ref_args, &config),
             Request::GetProfile { workload } => self.get_profile(workload),
             Request::MergeProfile { entry_text } => self.merge_profile(entry_text, meta.req_id),
+            Request::SyncDelta { batch_text } => self.sync_delta(batch_text),
+            Request::Gc => self.gc_req(),
+            Request::RouteUpdate { .. } => Response::err(
+                ErrorKind::Malformed,
+                "route-update is a router verb; this is a shard daemon",
+            ),
             Request::Stats => Response::Ok(self.stats_body()),
             // The server layer intercepts Shutdown before dispatch; reply
             // affirmatively anyway for direct (in-process) callers.
@@ -454,9 +476,65 @@ impl Service {
                 } else {
                     ""
                 };
+                self.bridge_wal_counters(&db);
                 Response::Ok(format!("{}{dedup_note}\n", merged.summary()))
             }
             Err(e) => db_err(&e),
+        }
+    }
+
+    /// Applies a replication delta batch exactly-once per delta id.
+    fn sync_delta(&self, batch_text: &str) -> Response {
+        let deltas = match decode_delta_batch(batch_text) {
+            Ok(d) => d,
+            Err(e) => return db_err(&e),
+        };
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        match db.apply_deltas(&deltas) {
+            Ok(report) => {
+                self.metrics.deltas_applied.add(report.applied as u64);
+                self.metrics.deltas_deduped.add(report.deduped as u64);
+                self.bridge_wal_counters(&db);
+                Response::Ok(format!(
+                    "applied {} deduped {}\n",
+                    report.applied, report.deduped
+                ))
+            }
+            Err(e) => db_err(&e),
+        }
+    }
+
+    /// Garbage-collects entries whose workload has no registered module
+    /// or whose module hash is stale.
+    fn gc_req(&self) -> Response {
+        let live: HashMap<String, u64> = self
+            .modules
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(w, m)| (w.clone(), module_hash(m)))
+            .collect();
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        match db.gc(|w, h| live.get(w) == Some(&h)) {
+            Ok(removed) => {
+                let mut out = format!("removed {}\n", removed.len());
+                for rec in removed {
+                    let _ = writeln!(out, "{} {:016x}", rec.workload, rec.module_hash);
+                }
+                Response::Ok(out)
+            }
+            Err(e) => db_err(&e),
+        }
+    }
+
+    /// Forwards the WAL's monotonic `segments_compacted` stat into the
+    /// metrics registry as counter deltas (idempotent under races: the
+    /// `fetch_max` hands the gap to exactly one caller).
+    fn bridge_wal_counters(&self, db: &ProfileDb) {
+        let compacted = db.wal_stats().segments_compacted;
+        let prev = self.compacted_seen.fetch_max(compacted, Ordering::Relaxed);
+        if compacted > prev {
+            self.metrics.segments_compacted.add(compacted - prev);
         }
     }
 
@@ -464,6 +542,7 @@ impl Service {
         let cache = self.cache.stats();
         let (db_entries, db_runs, dedup_hits, wal_pending, wal, recovery) = {
             let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+            self.bridge_wal_counters(&db);
             let records = db.list().unwrap_or_default();
             let runs: u64 = records.iter().map(|r| r.runs).sum();
             (
@@ -494,8 +573,8 @@ impl Service {
         );
         let _ = write!(
             out,
-            "wal-appends {}\nwal-syncs {}\nwal-checkpoints {}\n",
-            wal.appends, wal.syncs, wal.checkpoints,
+            "wal-appends {}\nwal-syncs {}\nwal-checkpoints {}\nwal-seals {}\nwal-live-segments {}\n",
+            wal.appends, wal.syncs, wal.checkpoints, wal.seals, wal.live_segments,
         );
         if let Some(r) = recovery {
             let _ = write!(

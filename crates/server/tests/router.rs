@@ -1,0 +1,208 @@
+//! Router integration: key-range sharding, merge replication across a
+//! shard's replicas, and graceful degradation when a whole shard dies.
+
+use std::collections::HashMap;
+use stride_profdb::{ProfileEntry, ShardMap};
+use stride_profiling::StrideProfile;
+use stride_server::{
+    Client, ErrorKind, Request, Response, RetryPolicy, RouterConfig, RouterServer, Server,
+    ServerConfig, ServiceConfig,
+};
+
+fn tmp_root(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("stride-router-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Boots `shards × replicas` daemons and a router over them. Returns
+/// (router, backends, roots).
+fn boot_cluster(
+    tag: &str,
+    shards: usize,
+    replicas: usize,
+) -> (RouterServer, Vec<Vec<Server>>, Vec<std::path::PathBuf>) {
+    let mut backends = Vec::new();
+    let mut topology = Vec::new();
+    let mut roots = Vec::new();
+    for k in 0..shards {
+        let mut row = Vec::new();
+        let mut addrs = Vec::new();
+        for r in 0..replicas {
+            let root = tmp_root(&format!("{tag}-s{k}r{r}"));
+            roots.push(root.clone());
+            let server = Server::start(ServerConfig::loopback(ServiceConfig::new(root)))
+                .expect("start backend");
+            addrs.push(server.addr().to_string());
+            row.push(server);
+        }
+        backends.push(row);
+        topology.push(addrs);
+    }
+    let router = RouterServer::start(RouterConfig::loopback(topology)).expect("start router");
+    (router, backends, roots)
+}
+
+fn entry_text(workload: &str, module_hash: u64) -> String {
+    ProfileEntry {
+        workload: workload.into(),
+        module_hash,
+        runs: 1,
+        edge_tables: vec![vec![5, 0, 3]],
+        stride: StrideProfile::new(),
+    }
+    .to_text()
+}
+
+/// Parses each `== shard K replica R ... ==` stats section into its
+/// `key value` integer map.
+fn stats_sections(body: &str) -> HashMap<(u32, u32), HashMap<String, u64>> {
+    let mut sections = HashMap::new();
+    let mut current: Option<(u32, u32)> = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("== shard ") {
+            let mut parts = rest.split_whitespace();
+            let k: u32 = parts.next().unwrap().parse().unwrap();
+            assert_eq!(parts.next(), Some("replica"));
+            let r: u32 = parts.next().unwrap().parse().unwrap();
+            current = Some((k, r));
+            sections.insert((k, r), HashMap::new());
+            continue;
+        }
+        if line.starts_with("== ") {
+            current = None;
+            continue;
+        }
+        let (Some(key), Some((k, v))) = (current, line.split_once(' ')) else {
+            continue;
+        };
+        if let Ok(n) = v.parse::<u64>() {
+            sections.get_mut(&key).unwrap().insert(k.to_string(), n);
+        }
+    }
+    sections
+}
+
+#[test]
+fn merges_replicate_to_every_replica_of_the_owning_shard() {
+    let (router, backends, roots) = boot_cluster("repl", 3, 2);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    // Spread keys across shards; the golden ShardMap tells us the owner.
+    let map = ShardMap::new(3);
+    let keys: Vec<(String, u64)> = (0..9u64).map(|i| (format!("wl{i}"), 0x1000 + i)).collect();
+    let mut per_shard = vec![0u64; 3];
+    for (w, h) in &keys {
+        per_shard[map.shard_of(w, *h) as usize] += 1;
+        let resp = client
+            .call(&Request::MergeProfile {
+                entry_text: entry_text(w, *h),
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    }
+    assert!(
+        per_shard.iter().all(|&n| n > 0),
+        "keys missed a shard: {per_shard:?}"
+    );
+
+    let Response::Ok(body) = client.call(&Request::Stats).unwrap() else {
+        panic!("stats failed")
+    };
+    assert!(body.contains("counter router.forwarded 9"), "{body}");
+    let sections = stats_sections(&body);
+    for k in 0..3u32 {
+        for r in 0..2u32 {
+            let s = &sections[&(k, r)];
+            assert_eq!(
+                s["db-entries"], per_shard[k as usize],
+                "shard {k} replica {r} entry count"
+            );
+            // Replication delivered every owned merge to this replica.
+            assert!(
+                body.contains(&format!("lag shard={k} replica={r} queued=0")),
+                "{body}"
+            );
+        }
+    }
+
+    let resp = client.call(&Request::Shutdown).unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    router.join();
+    for row in backends {
+        for b in row {
+            b.join();
+        }
+    }
+    for root in roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
+#[test]
+fn dead_shard_sheds_its_key_range_only() {
+    let (router, backends, roots) = boot_cluster("dead", 3, 1);
+    let mut client = Client::connect_with(router.addr(), RetryPolicy::no_retries()).unwrap();
+
+    // Kill shard 1 entirely.
+    let map = ShardMap::new(3);
+    for (k, row) in backends.into_iter().enumerate() {
+        for b in row {
+            if k == 1 {
+                b.shutdown_and_join();
+            } else {
+                // Keep serving; shut down at the end of the test.
+                std::mem::forget(b);
+            }
+        }
+    }
+
+    let mut hit_dead = 0;
+    let mut hit_live = 0;
+    for i in 0..12u64 {
+        let (w, h) = (format!("wl{i}"), 0x2000 + i);
+        let resp = client
+            .call(&Request::MergeProfile {
+                entry_text: entry_text(&w, h),
+            })
+            .unwrap();
+        if map.shard_of(&w, h) == 1 {
+            hit_dead += 1;
+            let Response::Err {
+                kind,
+                retry_after_ms,
+                shard,
+                ..
+            } = resp
+            else {
+                panic!("dead shard answered {resp:?}")
+            };
+            assert_eq!(kind, ErrorKind::Unavailable);
+            assert_eq!(shard, Some(1), "unavailable must name the dead shard");
+            assert!(retry_after_ms.is_some(), "unavailable must hint a retry");
+        } else {
+            hit_live += 1;
+            assert!(
+                matches!(resp, Response::Ok(_)),
+                "live shard degraded: {resp:?}"
+            );
+        }
+    }
+    assert!(hit_dead > 0 && hit_live > 0, "key spread missed a case");
+
+    let Response::Ok(body) = client.call(&Request::Stats).unwrap() else {
+        panic!("stats failed")
+    };
+    assert!(
+        body.contains(&format!("counter router.shed_unavailable {hit_dead}")),
+        "{body}"
+    );
+
+    // Shutdown fans out to the surviving backends and stops the router.
+    let resp = client.call(&Request::Shutdown).unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    router.join();
+    for root in roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
