@@ -309,4 +309,55 @@ diff "$cl_a" "$cl_b" \
     || { echo "cluster campaign report differs across --jobs" >&2; exit 1; }
 rm -f "$cl_a" "$cl_b"
 
+echo "== smoke: generator determinism (two seeds x two --jobs, byte-identical) =="
+gw() { cargo run --release -q -p stride-genwork --bin genwork -- "$@"; }
+gw_root=$(mktemp -d)
+for seed in 42 0xfeedbeef; do
+    gw gen --out "$gw_root/corpus-$seed-j1" --seed "$seed" --count 32 --jobs 1 > /dev/null
+    gw gen --out "$gw_root/corpus-$seed-j4" --seed "$seed" --count 32 --jobs 4 > /dev/null
+    diff -r "$gw_root/corpus-$seed-j1" "$gw_root/corpus-$seed-j4" \
+        || { echo "generated corpus differs across --jobs (seed $seed)" >&2; exit 1; }
+    gw campaign --seed "$seed" --count 48 --jobs 1 --out "$gw_root/camp-$seed-j1" > /dev/null
+    gw campaign --seed "$seed" --count 48 --jobs 4 --out "$gw_root/camp-$seed-j4" > /dev/null
+    cmp "$gw_root/camp-$seed-j1" "$gw_root/camp-$seed-j4" \
+        || { echo "campaign report differs across --jobs (seed $seed)" >&2; exit 1; }
+done
+cmp -s "$gw_root/camp-42-j1" "$gw_root/camp-0xfeedbeef-j1" \
+    && { echo "different seeds produced identical campaign reports" >&2; exit 1; }
+rm -rf "$gw_root"
+
+echo "== smoke: oracle campaign at acceptance scale (200 workloads) =="
+gw campaign --seed 42 --count 200 --jobs 4 | head -1
+
+echo "== smoke: replay driver vs single daemon (obs budgets, no acked-merge loss) =="
+rp_db=$(mktemp -d)
+rp_out=$(mktemp)
+rp_report=$(mktemp)
+cargo run --release -q -p stride-server --bin strided -- \
+    serve --addr 127.0.0.1:0 --db "$rp_db" --workers 4 > "$rp_out" &
+rp_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$rp_out")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "replay daemon did not report its address" >&2; kill "$rp_pid"; exit 1; }
+cargo run --release -q -p stride-bench --bin stridectl -- --addr "$addr" replay \
+    --clients 64 --requests 4000 --threads 8 --workloads 4 --merge-pct 20 \
+    --max-shed-frac 0.01 --report "$rp_report" \
+    || { echo "replay invariants violated" >&2; exit 1; }
+python3 - "$rp_report" <<'EOF'
+import json, sys
+d = json.load(open(sys.argv[1]))
+assert d["violations"] == [], d["violations"]
+assert d["totals"]["ok"] == d["config"]["requests"], d["totals"]
+lat = d["latency_us"]
+assert lat["merge"]["count"] + lat["read"]["count"] == d["config"]["requests"], lat
+assert all(w["runs"] >= w["acked"] for w in d["workloads"]), d["workloads"]
+EOF
+ctl shutdown | grep -q 'shutting down' || { echo "replay daemon shutdown failed" >&2; exit 1; }
+wait "$rp_pid" || { echo "replay daemon exited non-zero" >&2; exit 1; }
+rm -rf "$rp_db" "$rp_out" "$rp_report"
+
 echo "ci.sh: all checks passed"

@@ -10,13 +10,16 @@ use stride_bench::{
     fig15_table, fig16_speedups, fig17_load_mix, fig18_19_distributions, fig20_22_overheads,
     fig23_25_sensitivity, BenchReport, FigureCtx, RunCache,
 };
-use stride_core::{PipelineConfig, PrefetchConfig, ProfilingVariant};
+use stride_core::{ClassifyThresholds, PipelineConfig, PrefetchConfig, ProfilingVariant};
 use stride_workloads::Scale;
 
 fn test_config() -> PipelineConfig {
     PipelineConfig {
         prefetch: PrefetchConfig {
-            frequency_threshold: 200, // test-scale inputs
+            thresholds: ClassifyThresholds {
+                frequency_threshold: 200, // test-scale inputs
+                ..ClassifyThresholds::paper()
+            },
             ..PrefetchConfig::paper()
         },
         ..PipelineConfig::default()

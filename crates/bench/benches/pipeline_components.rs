@@ -5,8 +5,8 @@
 
 use stride_bench::BenchReport;
 use stride_core::{
-    apply_prefetching, classify, instrument, run_profiling, PipelineConfig, PrefetchConfig,
-    ProfilingMethod, ProfilingVariant,
+    apply_prefetching, classify, instrument, run_profiling, ClassifyThresholds, PipelineConfig,
+    PrefetchConfig, ProfilingMethod, ProfilingVariant,
 };
 use stride_memsim::{Cache, CacheGeometry, CacheHierarchy, HierarchyConfig};
 use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
@@ -26,7 +26,10 @@ fn main() {
 
     let pipeline = PipelineConfig {
         prefetch: PrefetchConfig {
-            frequency_threshold: 100,
+            thresholds: ClassifyThresholds {
+                frequency_threshold: 100,
+                ..ClassifyThresholds::paper()
+            },
             ..PrefetchConfig::paper()
         },
         ..PipelineConfig::default()

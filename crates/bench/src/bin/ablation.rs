@@ -13,7 +13,7 @@
 //! every sweep point reuses the same baselines and edge-only runs.
 
 use stride_bench::{default_jobs, geomean, parallel_map_isolated, parse_jobs, RunCache};
-use stride_core::{PipelineConfig, PrefetchConfig, ProfilingVariant};
+use stride_core::{ClassifyThresholds, PipelineConfig, PrefetchConfig, ProfilingVariant};
 use stride_workloads::{workload_by_name, Scale, Workload};
 
 fn headline(scale: Scale) -> Vec<Workload> {
@@ -94,7 +94,10 @@ fn main() {
     for t in [0.5, 0.6, 0.7, 0.8, 0.9, 0.99] {
         let config = PipelineConfig {
             prefetch: PrefetchConfig {
-                ssst_threshold: t,
+                thresholds: ClassifyThresholds {
+                    ssst_threshold: t,
+                    ..base.prefetch.thresholds
+                },
                 ..base.prefetch
             },
             ..base
@@ -124,7 +127,10 @@ fn main() {
     for tt in [16, 64, 128, 512, 2048] {
         let config = PipelineConfig {
             prefetch: PrefetchConfig {
-                trip_count_threshold: tt,
+                thresholds: ClassifyThresholds {
+                    trip_count_threshold: tt,
+                    ..base.prefetch.thresholds
+                },
                 ..base.prefetch
             },
             ..base

@@ -745,7 +745,7 @@ impl Drop for Cluster {
 fn run_cluster_scenario(
     strided: &std::path::Path,
     router: &std::path::Path,
-    base: &ProfileEntry,
+    bases: &[ProfileEntry],
     sc: &ClusterScenario,
     seed: u64,
 ) -> Result<String, String> {
@@ -770,8 +770,9 @@ fn run_cluster_scenario(
     let total = CLUSTER_KEYS * CLUSTER_ROUNDS;
     let texts: Vec<String> = (0..total)
         .map(|i| {
-            let (w, h) = &keys[i % CLUSTER_KEYS];
-            cluster_entry(base, w, *h, i / CLUSTER_KEYS).to_text()
+            let key = i % CLUSTER_KEYS;
+            let (w, h) = &keys[key];
+            cluster_entry(&bases[key % bases.len()], w, *h, i / CLUSTER_KEYS).to_text()
         })
         .collect();
     let id0 = mix64(seed ^ sc.salt.wrapping_mul(0xc2b2_ae3d));
@@ -1049,6 +1050,32 @@ fn cluster_main(jobs: usize, seed: u64) -> i32 {
     };
     let base = ProfileEntry::from_run("base", module_hash(&w.module), &out.edge, &out.stride);
 
+    // Second base profile from the generated-workload subsystem: half the
+    // chaos keys carry a seed-dependent genuine profile shape instead of
+    // the one fixed hand-built benchmark. Generation and profiling happen
+    // once, before the scenario fan-out, so reports stay jobs-invariant.
+    let gspec = stride_genwork::generate(seed, 0, &stride_genwork::GenConfig::campaign());
+    let gbuilt = stride_genwork::build(&gspec);
+    let gout = match run_profiling(
+        &gbuilt.module,
+        &[0],
+        ProfilingVariant::EdgeCheck,
+        &PipelineConfig::default(),
+    ) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("faultsim: generated base profiling run failed: {e}");
+            return 2;
+        }
+    };
+    let gbase = ProfileEntry::from_run(
+        "genbase",
+        module_hash(&gbuilt.module),
+        &gout.edge,
+        &gout.stride,
+    );
+    let bases = [base, gbase];
+
     let scenarios = cluster_campaign();
     println!(
         "== cluster chaos campaign: seed {seed}, {} scenario(s), {}x{} topology ==",
@@ -1057,7 +1084,7 @@ fn cluster_main(jobs: usize, seed: u64) -> i32 {
         CLUSTER_REPLICAS
     );
     let results = parallel_map_isolated(&scenarios, jobs, |_, sc| {
-        run_cluster_scenario(&strided, &router, &base, sc, seed)
+        run_cluster_scenario(&strided, &router, &bases, sc, seed)
     });
 
     let mut panics = 0usize;

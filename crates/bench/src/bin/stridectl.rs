@@ -12,17 +12,28 @@
 //! stridectl [--addr HOST:PORT] shutdown
 //! stridectl serve-bench [--jobs 1,4,8] [--requests N] [--workload WL]
 //!                       [--scale test|paper] [--bench-json PATH]
+//! stridectl [--addr HOST:PORT] replay [--clients N] [--requests N] [--threads T]
+//!                       [--seed S] [--workloads K] [--merge-pct P]
+//!                       [--max-shed-frac F] [--report PATH]
 //! ```
 //!
 //! Every subcommand except `serve-bench` is one framed round trip against
 //! a running daemon; `serve-bench` starts an in-process loopback daemon
-//! and measures request throughput at several client concurrency levels.
+//! and measures request throughput at several client concurrency levels;
+//! `replay` streams a seeded generated-workload trace (many simulated
+//! clients multiplexed over `--threads` connections) at a daemon or a
+//! sharded cluster and asserts the service invariants afterwards: no
+//! acked merge lost, shedding within budget, latency histograms complete.
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
-use stride_core::ProfilingVariant;
+use stride_core::{PipelineConfig, ProfilingVariant};
 use stride_ir::module_to_string;
-use stride_server::{Client, Request, Response, RetryPolicy, Server, ServerConfig, ServiceConfig};
+use stride_server::{
+    Client, ErrorKind, Request, Response, RetryPolicy, Server, ServerConfig, ServiceConfig,
+};
 use stride_workloads::{workload_by_name, Scale};
 
 /// The daemon answered with a typed error.
@@ -68,6 +79,15 @@ fn usage() -> ExitCode {
          serve-bench (self-contained loopback throughput benchmark):\n\
          \x20 serve-bench [--jobs 1,4,8] [--requests N] [--workload WL]\n\
          \x20             [--scale test|paper] [--bench-json PATH]\n\
+         \n\
+         replay (seeded generated-trace load driver; uses --addr):\n\
+         \x20 replay [--clients N] [--requests N] [--threads T] [--seed S]\n\
+         \x20        [--workloads K] [--merge-pct P] [--max-shed-frac F]\n\
+         \x20        [--report PATH]\n\
+         \x20        streams N requests from N simulated clients (genwork\n\
+         \x20        corpus, read-heavy mix) at a daemon or cluster, then\n\
+         \x20        asserts: every acked merge present in the db, shed\n\
+         \x20        fraction within budget, latency histograms complete\n\
          \n\
          exit codes: 0 ok, {EXIT_SERVER} server error, {EXIT_USAGE} usage, \
          {EXIT_TRANSPORT} transport/retries exhausted\n\
@@ -649,7 +669,519 @@ fn main() -> ExitCode {
         "top" => top_view(&addr, &opts),
         "shutdown" => round_trip(&addr, &opts, &Request::Shutdown),
         "serve-bench" => serve_bench(rest),
+        "replay" => replay(&addr, &opts, rest),
         _ => usage(),
+    }
+}
+
+/// `replay` parameters.
+struct ReplayCfg {
+    /// Simulated clients (each with its own request and idempotency-id
+    /// stream), multiplexed over `threads` connections.
+    clients: usize,
+    /// Total requests across all simulated clients.
+    requests: u64,
+    /// Physical connections / OS threads driving the load.
+    threads: usize,
+    /// Corpus + traffic seed.
+    seed: u64,
+    /// Generated workloads in the corpus.
+    workloads: usize,
+    /// Percent of requests that are merges (the rest are reads).
+    merge_pct: u64,
+    /// Largest tolerable `shed / requests` ratio.
+    max_shed_frac: f64,
+    /// Optional JSON report path.
+    report: Option<String>,
+}
+
+fn parse_replay_cfg(rest: &[String]) -> Result<ReplayCfg, String> {
+    let mut cfg = ReplayCfg {
+        clients: 1000,
+        requests: 100_000,
+        threads: 16,
+        seed: 42,
+        workloads: 8,
+        merge_pct: 10,
+        max_shed_frac: 0.01,
+        report: flag_value(rest, "--report"),
+    };
+    let uint = |flag: &str, min: u64| -> Result<Option<u64>, String> {
+        match flag_value(rest, flag) {
+            Some(v) => v
+                .parse::<u64>()
+                .ok()
+                .filter(|&n| n >= min)
+                .map(Some)
+                .ok_or_else(|| format!("bad {flag} `{v}` (expected integer >= {min})")),
+            None => Ok(None),
+        }
+    };
+    if let Some(n) = uint("--clients", 1)? {
+        cfg.clients = n as usize;
+    }
+    if let Some(n) = uint("--requests", 1)? {
+        cfg.requests = n;
+    }
+    if let Some(n) = uint("--threads", 1)? {
+        cfg.threads = n as usize;
+    }
+    if let Some(n) = uint("--seed", 0)? {
+        cfg.seed = n;
+    }
+    if let Some(n) = uint("--workloads", 1)? {
+        cfg.workloads = n as usize;
+    }
+    if let Some(n) = uint("--merge-pct", 0)? {
+        if n > 100 {
+            return Err(format!("bad --merge-pct `{n}` (expected 0..=100)"));
+        }
+        cfg.merge_pct = n;
+    }
+    if let Some(v) = flag_value(rest, "--max-shed-frac") {
+        cfg.max_shed_frac = v
+            .parse::<f64>()
+            .ok()
+            .filter(|f| (0.0..=1.0).contains(f))
+            .ok_or_else(|| format!("bad --max-shed-frac `{v}` (expected 0.0..=1.0)"))?;
+    }
+    cfg.threads = cfg.threads.min(cfg.clients);
+    Ok(cfg)
+}
+
+/// One corpus workload as replay traffic: its registration request plus
+/// the profile entry each simulated merge carries.
+struct ReplayWorkload {
+    name: String,
+    text: String,
+    entry_text: String,
+}
+
+/// Builds the replay corpus: `--workloads` generated programs, each
+/// profiled locally once (edge-check) so merge traffic carries genuine
+/// profile entries against the registered module hash.
+fn replay_corpus(cfg: &ReplayCfg) -> Result<Vec<ReplayWorkload>, String> {
+    let gen = stride_genwork::GenConfig::campaign();
+    (0..cfg.workloads)
+        .map(|i| {
+            let spec = stride_genwork::generate(cfg.seed, i as u32, &gen);
+            let built = stride_genwork::build(&spec);
+            let name = spec.name();
+            let hash = stride_profdb::module_hash(&built.module);
+            let outcome = stride_core::run_profiling(
+                &built.module,
+                &[0],
+                ProfilingVariant::EdgeCheck,
+                &PipelineConfig::default(),
+            )
+            .map_err(|e| format!("profiling generated workload {name}: {e}"))?;
+            let entry = stride_profdb::ProfileEntry::from_run(
+                name.clone(),
+                hash,
+                &outcome.edge,
+                &outcome.stride,
+            );
+            Ok(ReplayWorkload {
+                name,
+                text: module_to_string(&built.module),
+                entry_text: entry.to_text(),
+            })
+        })
+        .collect()
+}
+
+/// Latency quantiles of one histogram, as a rendered JSON object.
+fn latency_json(h: &stride_core::Histogram) -> String {
+    format!(
+        "{{\"count\": {}, \"sum_us\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}}}",
+        h.count(),
+        h.sum(),
+        h.quantile(0.5),
+        h.quantile(0.9),
+        h.quantile(0.99)
+    )
+}
+
+fn record_first_error(slot: &Mutex<Option<String>>, message: impl FnOnce() -> String) {
+    if let Ok(mut guard) = slot.lock() {
+        if guard.is_none() {
+            *guard = Some(message());
+        }
+    }
+}
+
+/// Streams the seeded trace and asserts the service invariants. See the
+/// usage text for the contract; exit codes: 0 all invariants held,
+/// [`EXIT_SERVER`] an invariant failed, [`EXIT_TRANSPORT`] setup could
+/// not reach the daemon, [`EXIT_USAGE`] bad flags.
+fn replay(addr: &str, opts: &NetOpts, rest: &[String]) -> ExitCode {
+    let cfg = match parse_replay_cfg(rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("stridectl: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let corpus = match replay_corpus(&cfg) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("stridectl: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+
+    // Register the corpus and seed one entry per workload so reads never
+    // race the first merge.
+    let acked: Vec<AtomicU64> = corpus.iter().map(|_| AtomicU64::new(0)).collect();
+    let mut setup = match Client::connect_with(addr, opts.policy) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("stridectl: cannot connect to {addr}: {e}");
+            return ExitCode::from(EXIT_TRANSPORT);
+        }
+    };
+    setup.set_id_state(0x5e7_0000_0000);
+    for (w, wl) in corpus.iter().enumerate() {
+        for req in [
+            Request::SubmitModule {
+                workload: wl.name.clone(),
+                text: wl.text.clone(),
+            },
+            Request::MergeProfile {
+                entry_text: wl.entry_text.clone(),
+            },
+        ] {
+            match setup.call(&req) {
+                Ok(Response::Ok(_)) => {}
+                Ok(Response::Err { kind, message, .. }) => {
+                    eprintln!(
+                        "stridectl: replay setup for {}: [{kind}] {message}",
+                        wl.name
+                    );
+                    return ExitCode::from(EXIT_SERVER);
+                }
+                Err(e) => {
+                    eprintln!("stridectl: replay setup for {}: {e}", wl.name);
+                    return ExitCode::from(EXIT_TRANSPORT);
+                }
+            }
+        }
+        acked[w].fetch_add(1, Ordering::Relaxed);
+    }
+
+    // Client-side observability: latency histograms (microseconds) and
+    // outcome counters, shared across the driver threads.
+    let reg = stride_core::Registry::new();
+    let merge_hist = reg.histogram("replay.latency.merge.us");
+    let read_hist = reg.histogram("replay.latency.read.us");
+    let ok_count = reg.counter("replay.ok");
+    let shed_count = reg.counter("replay.shed");
+    let failed_count = reg.counter("replay.failed");
+    let first_error: Mutex<Option<String>> = Mutex::new(None);
+
+    // Per-client quotas: --requests split evenly, remainder to the
+    // lowest client ids; thread t drives clients t, t+T, t+2T, ...
+    let per_client = cfg.requests / cfg.clients as u64;
+    let remainder = cfg.requests % cfg.clients as u64;
+    let quota = |c: usize| per_client + u64::from((c as u64) < remainder);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..cfg.threads {
+            let (corpus, acked, cfg) = (&corpus, &acked, &cfg);
+            let (merge_hist, read_hist) = (merge_hist.clone(), read_hist.clone());
+            let (ok_count, shed_count, failed_count) =
+                (ok_count.clone(), shed_count.clone(), failed_count.clone());
+            let first_error = &first_error;
+            scope.spawn(move || {
+                let mut client = match Client::connect_with(addr, opts.policy) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        let n: u64 = (t..cfg.clients).step_by(cfg.threads).map(quota).sum();
+                        failed_count.add(n);
+                        record_first_error(first_error, || {
+                            format!("thread {t}: cannot connect: {e}")
+                        });
+                        return;
+                    }
+                };
+                // (sim client id, its rng, requests left, merges issued)
+                let mut sims: Vec<(usize, stride_genwork::Rng, u64, u64)> = (t..cfg.clients)
+                    .step_by(cfg.threads)
+                    .map(|c| {
+                        let rng = stride_genwork::Rng::for_workload(
+                            cfg.seed ^ 0x5eed_c11e_717a_11e5,
+                            c as u32,
+                        );
+                        (c, rng, quota(c), 0u64)
+                    })
+                    .collect();
+                let mut active = sims.iter().filter(|s| s.2 > 0).count();
+                // Round-robin one request per live client per sweep, so
+                // the wire sees interleaved client streams rather than
+                // one client's burst at a time.
+                while active > 0 {
+                    for (c, rng, left, merges) in sims.iter_mut() {
+                        if *left == 0 {
+                            continue;
+                        }
+                        *left -= 1;
+                        if *left == 0 {
+                            active -= 1;
+                        }
+                        let w = rng.index(corpus.len());
+                        let is_merge = rng.next() % 100 < cfg.merge_pct;
+                        let req = if is_merge {
+                            // Disjoint per-simulated-client idempotency-id
+                            // streams: the id state encodes (client, seq).
+                            client.set_id_state(((*c as u64 + 1) << 32) | *merges);
+                            *merges += 1;
+                            Request::MergeProfile {
+                                entry_text: corpus[w].entry_text.clone(),
+                            }
+                        } else {
+                            Request::GetProfile {
+                                workload: corpus[w].name.clone(),
+                            }
+                        };
+                        let sent = Instant::now();
+                        let result = client.call(&req);
+                        let us = u64::try_from(sent.elapsed().as_micros()).unwrap_or(u64::MAX);
+                        if is_merge {
+                            merge_hist.observe(us);
+                        } else {
+                            read_hist.observe(us);
+                        }
+                        match result {
+                            Ok(Response::Ok(_)) => {
+                                ok_count.inc();
+                                if is_merge {
+                                    acked[w].fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            Ok(Response::Err {
+                                kind: ErrorKind::Busy | ErrorKind::Unavailable,
+                                ..
+                            }) => shed_count.inc(),
+                            Ok(Response::Err { kind, message, .. }) => {
+                                failed_count.inc();
+                                record_first_error(first_error, || {
+                                    format!("client {c}: [{kind}] {message}")
+                                });
+                            }
+                            Err(e) => {
+                                failed_count.inc();
+                                record_first_error(first_error, || format!("client {c}: {e}"));
+                                // Reconnect and keep draining the quota.
+                                if let Ok(fresh) = Client::connect_with(addr, opts.policy) {
+                                    client = fresh;
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = start.elapsed().as_secs_f64();
+
+    let (ok, shed, failed) = (ok_count.get(), shed_count.get(), failed_count.get());
+    let issued = merge_hist.count() + read_hist.count();
+    let acked_merges: u64 = acked.iter().map(|a| a.load(Ordering::Relaxed)).sum();
+    println!(
+        "replay: {} clients over {} threads, {} workloads, seed 0x{:x}",
+        cfg.clients, cfg.threads, cfg.workloads, cfg.seed
+    );
+    println!(
+        "replay: {issued} requests in {wall_s:.3}s ({:.1} req/s): ok {ok}, shed {shed}, \
+         failed {failed}, acked merges {acked_merges}",
+        issued as f64 / wall_s.max(1e-9)
+    );
+    for (label, h) in [("merge", &merge_hist), ("read", &read_hist)] {
+        println!(
+            "replay: {label} latency us: count {} p50 {} p90 {} p99 {}",
+            h.count(),
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99)
+        );
+    }
+
+    // Invariant 1 — the latency histograms account for every issued
+    // request (the obs layer saw the whole trace).
+    let mut violations: Vec<String> = Vec::new();
+    if issued != cfg.requests {
+        violations.push(format!(
+            "latency histograms cover {issued} requests, expected {}",
+            cfg.requests
+        ));
+    }
+    // Invariant 2 — hard failures are not tolerated at any rate.
+    if failed > 0 {
+        let detail = first_error
+            .lock()
+            .map(|g| g.clone().unwrap_or_default())
+            .unwrap_or_default();
+        violations.push(format!("{failed} failed requests (first: {detail})"));
+    }
+    // Invariant 3 — shedding stays within budget.
+    let shed_frac = shed as f64 / cfg.requests as f64;
+    if shed_frac > cfg.max_shed_frac {
+        violations.push(format!(
+            "shed fraction {shed_frac:.4} exceeds budget {:.4}",
+            cfg.max_shed_frac
+        ));
+    }
+    // Invariant 4 — no acked merge may be lost: every workload's stored
+    // entry must carry at least as many runs as merges acked to clients.
+    // (Strictly more is legal only when sheds happened: a merge the
+    // router could not acknowledge may still drain to replicas later.)
+    let mut workload_rows: Vec<(String, u64, u64)> = Vec::new();
+    for (w, wl) in corpus.iter().enumerate() {
+        let expect = acked[w].load(Ordering::Relaxed);
+        let mut runs = None;
+        for _ in 0..10 {
+            match setup.call(&Request::GetProfile {
+                workload: wl.name.clone(),
+            }) {
+                Ok(Response::Ok(body)) => {
+                    match stride_profdb::ProfileEntry::from_text(&body) {
+                        Ok(entry) => runs = Some(entry.runs),
+                        Err(e) => violations.push(format!("{}: unreadable entry: {e}", wl.name)),
+                    }
+                    break;
+                }
+                Ok(Response::Err {
+                    kind: ErrorKind::Busy | ErrorKind::Unavailable,
+                    retry_after_ms,
+                    ..
+                }) => {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        retry_after_ms.unwrap_or(100),
+                    ));
+                }
+                Ok(Response::Err { kind, message, .. }) => {
+                    violations.push(format!("{}: readback [{kind}] {message}", wl.name));
+                    break;
+                }
+                Err(e) => {
+                    violations.push(format!("{}: readback transport: {e}", wl.name));
+                    break;
+                }
+            }
+        }
+        let got = match runs {
+            Some(r) => r,
+            None => {
+                if !violations.iter().any(|v| v.starts_with(&wl.name)) {
+                    violations.push(format!("{}: readback kept shedding", wl.name));
+                }
+                0
+            }
+        };
+        if got < expect {
+            violations.push(format!(
+                "{}: acked-merge loss — db has {got} runs, {expect} acked",
+                wl.name
+            ));
+        } else if shed == 0 && failed == 0 && got != expect {
+            violations.push(format!(
+                "{}: db has {got} runs, expected exactly {expect} (no sheds to explain it)",
+                wl.name
+            ));
+        }
+        workload_rows.push((wl.name.clone(), expect, got));
+    }
+    println!(
+        "replay: verified {} workloads: acked merges all present",
+        workload_rows.len()
+    );
+
+    // Server-side observability round trip, folded into the report.
+    let server_stats = match setup.call(&Request::Stats) {
+        Ok(Response::Ok(body)) => Some(body),
+        _ => {
+            violations.push("stats round trip failed after replay".to_string());
+            None
+        }
+    };
+    let stat_counter = |name: &str| -> Option<u64> {
+        let body = server_stats.as_deref()?;
+        body.lines()
+            .filter_map(|l| l.strip_prefix(&format!("counter {name} ")))
+            .filter_map(|v| v.parse::<u64>().ok())
+            .next()
+    };
+
+    if let Some(path) = &cfg.report {
+        let mut out = String::from("{\n  \"bench\": \"replay\",\n");
+        out.push_str(&format!(
+            "  \"config\": {{\"clients\": {}, \"requests\": {}, \"threads\": {}, \
+             \"seed\": {}, \"workloads\": {}, \"merge_pct\": {}, \"max_shed_frac\": {}}},\n",
+            cfg.clients,
+            cfg.requests,
+            cfg.threads,
+            cfg.seed,
+            cfg.workloads,
+            cfg.merge_pct,
+            cfg.max_shed_frac
+        ));
+        out.push_str(&format!(
+            "  \"totals\": {{\"ok\": {ok}, \"shed\": {shed}, \"failed\": {failed}, \
+             \"acked_merges\": {acked_merges}, \"wall_s\": {wall_s:.3}}},\n"
+        ));
+        out.push_str(&format!(
+            "  \"latency_us\": {{\"merge\": {}, \"read\": {}}},\n",
+            latency_json(&merge_hist),
+            latency_json(&read_hist)
+        ));
+        out.push_str(&format!(
+            "  \"router_forwarded\": {},\n",
+            stat_counter("router.forwarded").map_or("null".into(), |v| v.to_string())
+        ));
+        out.push_str("  \"workloads\": [\n");
+        for (i, (name, expect, got)) in workload_rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{name}\", \"acked\": {expect}, \"runs\": {got}}}{}\n",
+                if i + 1 == workload_rows.len() {
+                    ""
+                } else {
+                    ","
+                }
+            ));
+        }
+        out.push_str("  ],\n  \"violations\": [");
+        for (i, v) in violations.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('"');
+            for c in v.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push_str("]\n}\n");
+        if let Err(e) = std::fs::write(path, out) {
+            eprintln!("stridectl: cannot write --report file {path}: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+        eprintln!("replay report written to {path}");
+    }
+
+    if violations.is_empty() {
+        println!("replay: all invariants held");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("stridectl: replay invariant violated: {v}");
+        }
+        ExitCode::from(EXIT_SERVER)
     }
 }
 

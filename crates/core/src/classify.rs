@@ -3,7 +3,7 @@
 //! each surviving representative into the *cover loads* that must be
 //! prefetched to span the cache lines its equivalence class touches.
 
-use crate::config::PrefetchConfig;
+use crate::config::{ClassifyThresholds, PrefetchConfig};
 use std::collections::HashMap;
 use stride_ir::{
     equivalent_load_classes, BlockId, EquivClass, FuncAnalysis, FuncId, InstrId, LoopId, Module,
@@ -35,7 +35,7 @@ impl std::fmt::Display for StrideClass {
 /// Classifies a single load's stride profile against the thresholds,
 /// ignoring the frequency/trip-count filters (used both by Fig. 5 and by
 /// the Figs. 18/19 distribution reports).
-pub fn classify_profile(p: &LoadStrideProfile, config: &PrefetchConfig) -> Option<StrideClass> {
+pub fn classify_profile(p: &LoadStrideProfile, t: &ClassifyThresholds) -> Option<StrideClass> {
     // Degenerate profiles never classify: nothing recorded, an empty
     // top-N table (e.g. fault-truncated), or a table whose entries all
     // carry zero frequency. Each would otherwise divide by or compare
@@ -45,15 +45,11 @@ pub fn classify_profile(p: &LoadStrideProfile, config: &PrefetchConfig) -> Optio
     }
     // The Fig. 5 thresholds are documented as minima, so a ratio exactly
     // at a threshold qualifies (inclusive comparison).
-    if p.top1_ratio() >= config.ssst_threshold {
+    if p.top1_ratio() >= t.ssst_threshold {
         Some(StrideClass::Ssst)
-    } else if p.top4_ratio() >= config.pmst_threshold
-        && p.zero_diff_ratio() >= config.pmst_diff_threshold
-    {
+    } else if p.top4_ratio() >= t.pmst_threshold && p.zero_diff_ratio() >= t.pmst_diff_threshold {
         Some(StrideClass::Pmst)
-    } else if p.top1_ratio() >= config.wsst_threshold
-        && p.zero_diff_ratio() >= config.wsst_diff_threshold
-    {
+    } else if p.top1_ratio() >= t.wsst_threshold && p.zero_diff_ratio() >= t.wsst_diff_threshold {
         Some(StrideClass::Wsst)
     } else {
         None
@@ -154,7 +150,7 @@ pub fn classify(
 
         // --- frequency filter ------------------------------------------
         let freq_val = freq.block_freq_via(source, func_id, &analysis.cfg, func.entry, block);
-        if freq_val < config.frequency_threshold {
+        if freq_val < config.thresholds.frequency_threshold {
             out.filtered_low_freq += 1;
             continue;
         }
@@ -164,7 +160,7 @@ pub fn classify(
         let trip_count = match loop_id {
             Some(l) => {
                 let tc = freq.trip_count_via(source, func_id, &analysis.cfg, &analysis.loops, l);
-                if tc < config.trip_count_threshold as f64 {
+                if tc < config.thresholds.trip_count_threshold as f64 {
                     out.filtered_low_trip += 1;
                     continue;
                 }
@@ -174,7 +170,7 @@ pub fn classify(
         };
 
         // --- stride-pattern classification --------------------------------
-        let Some(class) = classify_profile(profile, config) else {
+        let Some(class) = classify_profile(profile, &config.thresholds) else {
             out.no_pattern += 1;
             continue;
         };
@@ -221,7 +217,7 @@ mod tests {
 
     #[test]
     fn ssst_dominant_stride() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // 80% single stride -> SSST
         let p = profile(vec![(64, 80), (8, 20)], 100, 50);
         assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Ssst));
@@ -229,7 +225,7 @@ mod tests {
 
     #[test]
     fn ssst_boundary_is_inclusive_at_threshold() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // top1 exactly at the 0.70 minimum qualifies (70/100 and the
         // 0.70 literal round to the same f64, so the comparison is exact).
         let p = profile(vec![(64, 70), (8, 30)], 100, 0);
@@ -242,7 +238,7 @@ mod tests {
 
     #[test]
     fn pmst_boundary_is_inclusive_at_thresholds() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // top4 exactly 0.60 and zero-diff exactly 0.40, top1 well under
         // the SSST and WSST minima.
         let p = profile(vec![(16, 20), (24, 20), (32, 10), (40, 10)], 100, 40);
@@ -255,7 +251,7 @@ mod tests {
 
     #[test]
     fn wsst_boundary_is_inclusive_at_thresholds() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // top1 exactly 0.25 and zero-diff exactly 0.10.
         let p = profile(vec![(32, 25)], 100, 10);
         assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Wsst));
@@ -337,7 +333,7 @@ mod tests {
 
     #[test]
     fn pmst_needs_phased_diffs() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // top4 = 90% but alternating (no zero diffs) -> not PMST; top1 40%
         // only qualifies WSST when diffs are sometimes zero, so: none.
         let p = profile(vec![(32, 40), (64, 30), (128, 20)], 100, 0);
@@ -349,7 +345,7 @@ mod tests {
 
     #[test]
     fn wsst_weak_single_stride() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // paper's example: stride 32 in ~25-30% of refs, 10%+ zero diffs
         let p = profile(vec![(32, 30)], 100, 15);
         assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Wsst));
@@ -357,7 +353,7 @@ mod tests {
 
     #[test]
     fn no_pattern_for_noise() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         let p = profile(vec![(8, 10), (16, 9), (24, 8), (40, 7)], 100, 2);
         assert_eq!(classify_profile(&p, &cfg), None);
         let empty = profile(vec![], 0, 0);
@@ -366,7 +362,7 @@ mod tests {
 
     #[test]
     fn zero_total_stride_profile_never_classifies() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // Non-empty top table but a zero total: a fault-clamped profile.
         let p = profile(vec![(64, 0)], 0, 0);
         assert_eq!(classify_profile(&p, &cfg), None);
@@ -385,7 +381,7 @@ mod tests {
 
     #[test]
     fn truncated_empty_top_table_never_classifies() {
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         // total_freq survived but the top-N entries were dropped (table
         // truncation fault): ratios are vacuous, so no class.
         let p = profile(vec![], 1000, 900);
@@ -441,7 +437,7 @@ mod tests {
     fn figure_2_gap_load_is_pmst() {
         // §1: (*s&~3)->size load has 4 dominant strides at 29/28/21/5%,
         // phase-wise constant.
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         let p = profile(vec![(16, 29), (24, 28), (32, 21), (48, 5)], 100, 55);
         assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Pmst));
     }
@@ -449,7 +445,7 @@ mod tests {
     #[test]
     fn figure_1_parser_load_is_ssst() {
         // §1: strides the same 94% of the time.
-        let cfg = PrefetchConfig::paper();
+        let cfg = ClassifyThresholds::paper();
         let p = profile(vec![(40, 94)], 100, 90);
         assert_eq!(classify_profile(&p, &cfg), Some(StrideClass::Ssst));
     }

@@ -1,9 +1,16 @@
 //! Thresholds and knobs of the classification and prefetching algorithms
 //! (§2.2 of the paper, Fig. 5).
 
-/// All tunables of the feedback pass. Defaults follow the paper.
-#[derive(Clone, Copy, Debug)]
-pub struct PrefetchConfig {
+/// The Fig. 5 classification thresholds — the **single source of truth**
+/// for every constant the filter/classify pass compares against.
+///
+/// Both the production classifier (`classify` / `classify_profile`) and
+/// the genwork ground-truth oracle evaluate exactly these fields, so a
+/// threshold tweak cannot silently drift between the two. All thresholds
+/// are documented minima: a ratio exactly at a threshold qualifies
+/// (inclusive comparison).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClassifyThresholds {
     /// `SSST_threshold`: minimum `top1/total` ratio for a strong
     /// single-stride load (paper: 0.7).
     pub ssst_threshold: f64,
@@ -25,6 +32,40 @@ pub struct PrefetchConfig {
     /// `TT`: minimum loop trip count (paper: 128). Also the divisor of the
     /// prefetch-distance heuristic `K = min(trip_count/TT, C)`.
     pub trip_count_threshold: u64,
+}
+
+impl ClassifyThresholds {
+    /// The paper's thresholds (§2.2 / Fig. 5).
+    pub const fn paper() -> Self {
+        ClassifyThresholds {
+            ssst_threshold: 0.70,
+            pmst_threshold: 0.60,
+            pmst_diff_threshold: 0.40,
+            wsst_threshold: 0.25,
+            wsst_diff_threshold: 0.10,
+            frequency_threshold: 2000,
+            trip_count_threshold: 128,
+        }
+    }
+
+    /// `W = floor(log2(TT))`, the shift used by the trip-count check to
+    /// avoid a division (§3.2).
+    pub fn trip_shift(&self) -> u32 {
+        63 - self.trip_count_threshold.max(1).leading_zeros()
+    }
+}
+
+impl Default for ClassifyThresholds {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// All tunables of the feedback pass. Defaults follow the paper.
+#[derive(Clone, Copy, Debug)]
+pub struct PrefetchConfig {
+    /// The Fig. 5 filter/classify thresholds.
+    pub thresholds: ClassifyThresholds,
     /// `C`: maximum prefetch distance in strides (paper: 8).
     pub max_prefetch_distance: u64,
     /// Fixed prefetch distance for out-loop SSST loads (paper: 4).
@@ -45,13 +86,7 @@ impl PrefetchConfig {
     /// The paper's configuration.
     pub const fn paper() -> Self {
         PrefetchConfig {
-            ssst_threshold: 0.70,
-            pmst_threshold: 0.60,
-            pmst_diff_threshold: 0.40,
-            wsst_threshold: 0.25,
-            wsst_diff_threshold: 0.10,
-            frequency_threshold: 2000,
-            trip_count_threshold: 128,
+            thresholds: ClassifyThresholds::paper(),
             max_prefetch_distance: 8,
             out_loop_distance: 4,
             line_size: 64,
@@ -60,10 +95,9 @@ impl PrefetchConfig {
         }
     }
 
-    /// `W = floor(log2(TT))`, the shift used by the trip-count check to
-    /// avoid a division (§3.2).
+    /// `W = floor(log2(TT))` — see [`ClassifyThresholds::trip_shift`].
     pub fn trip_shift(&self) -> u32 {
-        63 - self.trip_count_threshold.max(1).leading_zeros()
+        self.thresholds.trip_shift()
     }
 }
 
@@ -80,30 +114,33 @@ mod tests {
     #[test]
     fn paper_defaults() {
         let c = PrefetchConfig::paper();
-        assert_eq!(c.ssst_threshold, 0.70);
-        assert_eq!(c.frequency_threshold, 2000);
-        assert_eq!(c.trip_count_threshold, 128);
+        assert_eq!(c.thresholds.ssst_threshold, 0.70);
+        assert_eq!(c.thresholds.frequency_threshold, 2000);
+        assert_eq!(c.thresholds.trip_count_threshold, 128);
         assert_eq!(c.max_prefetch_distance, 8);
         assert_eq!(c.out_loop_distance, 4);
         assert!(!c.enable_wsst_prefetch);
+        assert_eq!(c.thresholds, ClassifyThresholds::paper());
     }
 
     #[test]
     fn trip_shift_is_log2() {
-        let c = PrefetchConfig {
+        let t = ClassifyThresholds {
             trip_count_threshold: 128,
-            ..PrefetchConfig::paper()
+            ..ClassifyThresholds::paper()
         };
-        assert_eq!(c.trip_shift(), 7);
-        let c = PrefetchConfig {
+        assert_eq!(t.trip_shift(), 7);
+        let t = ClassifyThresholds {
             trip_count_threshold: 100,
-            ..PrefetchConfig::paper()
+            ..ClassifyThresholds::paper()
         };
-        assert_eq!(c.trip_shift(), 6); // floor(log2(100))
-        let c = PrefetchConfig {
+        assert_eq!(t.trip_shift(), 6); // floor(log2(100))
+        let t = ClassifyThresholds {
             trip_count_threshold: 1,
-            ..PrefetchConfig::paper()
+            ..ClassifyThresholds::paper()
         };
-        assert_eq!(c.trip_shift(), 0);
+        assert_eq!(t.trip_shift(), 0);
+        // PrefetchConfig delegates.
+        assert_eq!(PrefetchConfig::paper().trip_shift(), 7);
     }
 }

@@ -289,7 +289,7 @@ pub fn select_two_pass(
             .or_insert_with(|| FuncAnalysis::compute(module.function(load.func)));
         let Some(l) = load.loop_id else { continue };
         let tc = edge_profile.trip_count(load.func, &analysis.cfg, &analysis.loops, l);
-        if tc >= config.trip_count_threshold as f64 {
+        if tc >= config.thresholds.trip_count_threshold as f64 {
             let slot = out.loads.len() as u32;
             out.loads.push(crate::select::ProfiledLoad { slot, ..load });
         }

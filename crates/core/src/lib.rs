@@ -70,7 +70,7 @@ pub mod runcache;
 pub mod select;
 
 pub use classify::{classify, classify_profile, Classification, ClassifiedLoad, StrideClass};
-pub use config::PrefetchConfig;
+pub use config::{ClassifyThresholds, PrefetchConfig};
 pub use dependent::apply_dependent_prefetching;
 pub use error::PipelineError;
 pub use exec::{default_jobs, parallel_map, parallel_map_isolated, parse_jobs, TaskFailure};

@@ -148,6 +148,29 @@ impl Histogram {
             })
             .collect()
     }
+
+    /// Bucket-resolution quantile estimate: the inclusive lower bound of
+    /// the bucket holding the `q`-th sample (`q` clamped to `[0, 1]`).
+    /// With power-of-two buckets the estimate is within 2× of the true
+    /// sample value — good enough for latency dashboards and budget
+    /// assertions, with no per-sample storage. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        // Rank of the target sample, 1-based; q = 0 means the first
+        // sample, q = 1 the last.
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            seen += self.bucket(i);
+            if seen >= rank {
+                return bucket_lower_bound(i);
+            }
+        }
+        bucket_lower_bound(HISTOGRAM_BUCKETS - 1)
+    }
 }
 
 /// One structured trace event. `Copy` by construction: the label is a
@@ -453,6 +476,24 @@ mod tests {
         for i in 2..HISTOGRAM_BUCKETS {
             assert_eq!(bucket_index(bucket_lower_bound(i) - 1), i - 1);
         }
+    }
+
+    #[test]
+    fn histogram_quantiles_resolve_to_bucket_bounds() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 90 samples in [8, 16) and 10 in [1024, 2048).
+        for _ in 0..90 {
+            h.observe(9);
+        }
+        for _ in 0..10 {
+            h.observe(1500);
+        }
+        assert_eq!(h.quantile(0.0), 8);
+        assert_eq!(h.quantile(0.5), 8);
+        assert_eq!(h.quantile(0.9), 8);
+        assert_eq!(h.quantile(0.95), 1024);
+        assert_eq!(h.quantile(1.0), 1024);
     }
 
     #[test]

@@ -556,7 +556,10 @@ mod tests {
     fn small_config() -> PipelineConfig {
         PipelineConfig {
             prefetch: PrefetchConfig {
-                frequency_threshold: 500,
+                thresholds: crate::ClassifyThresholds {
+                    frequency_threshold: 500,
+                    ..crate::ClassifyThresholds::paper()
+                },
                 ..PrefetchConfig::paper()
             },
             ..PipelineConfig::default()

@@ -42,7 +42,7 @@ pub struct PrefetchReport {
 
 /// The in-loop prefetch distance `K = min(trip_count / TT, C)`, at least 1.
 pub fn prefetch_distance(trip_count: f64, config: &PrefetchConfig) -> u64 {
-    let k = (trip_count / config.trip_count_threshold as f64) as u64;
+    let k = (trip_count / config.thresholds.trip_count_threshold as f64) as u64;
     k.clamp(1, config.max_prefetch_distance)
 }
 

@@ -108,7 +108,7 @@ pub fn class_distribution(
             total += refs;
             let class = stride
                 .get(func.id, site)
-                .and_then(|p| classify_profile(p, config));
+                .and_then(|p| classify_profile(p, &config.thresholds));
             let bucket = match class {
                 Some(StrideClass::Ssst) => 0,
                 Some(StrideClass::Pmst) => 1,

@@ -466,7 +466,7 @@ mod tests {
             .profiling(&m, ProfilingVariant::EdgeCheck, TRAIN, &cfg)
             .unwrap();
         let mut tweaked = cfg;
-        tweaked.prefetch.trip_count_threshold *= 2;
+        tweaked.prefetch.thresholds.trip_count_threshold *= 2;
         // baseline does not observe prefetch config: hit
         cache.plain_run(&m, REF, &tweaked).unwrap();
         // profiling does: miss

@@ -1,0 +1,252 @@
+//! `genwork` — drive the generated-workload subsystem offline.
+//!
+//! ```text
+//! genwork campaign [--seed S] [--count N] [--jobs J] [--variant V] [--out PATH]
+//! genwork gen --out DIR [--seed S] [--count N] [--jobs J]
+//! genwork workloads [--json]
+//! ```
+//!
+//! * `campaign` — generate `N` workloads, run each through the
+//!   profile→classify pipeline, diff against the constructive oracle,
+//!   shrink and report any disagreement. Exit 1 if the pipeline and the
+//!   oracle disagree anywhere.
+//! * `gen` — write the corpus to disk: `<name>.ir` (module text) and
+//!   `<name>.truth` (ground-truth sidecar) per workload plus a
+//!   `MANIFEST` — byte-identical for a given seed at any `--jobs`.
+//! * `workloads` — the unified suite listing: hand-built Fig. 15
+//!   benchmarks (from `stride_workloads::REGISTRY`) and generated
+//!   archetypes, one enumeration path, optionally as JSON.
+
+use std::process::ExitCode;
+use stride_core::parallel_map;
+use stride_genwork::spec::ARCHETYPES;
+use stride_genwork::{
+    build, generate, ground_truth, render_report, render_truth, run_campaign, CampaignConfig,
+    CampaignVariant,
+};
+use stride_ir::module_to_string;
+use stride_workloads::REGISTRY;
+
+/// Oracle/pipeline disagreement (campaign) or write failure (gen).
+const EXIT_FAIL: u8 = 1;
+/// Bad invocation.
+const EXIT_USAGE: u8 = 2;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: genwork COMMAND [FLAGS]\n\
+         \n\
+         commands:\n\
+         \x20 campaign [--seed S] [--count N] [--jobs J] [--variant V] [--out PATH]\n\
+         \x20          run the oracle campaign; exit 1 on any disagreement\n\
+         \x20          (V: edge-check | block-check | naive-loop | naive-all)\n\
+         \x20 gen --out DIR [--seed S] [--count N] [--jobs J]\n\
+         \x20          write <name>.ir + <name>.truth per workload and a MANIFEST;\n\
+         \x20          byte-identical for a given seed at any --jobs\n\
+         \x20 workloads [--json]\n\
+         \x20          list hand-built and generated suites through one path\n\
+         \n\
+         seeds accept decimal or 0x-hex; defaults: seed 42, count 200, jobs 1"
+    );
+    ExitCode::from(EXIT_USAGE)
+}
+
+/// `--flag value` lookup over the raw argument list.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => s.parse().ok(),
+    }
+}
+
+/// Campaign/gen parameters shared by both subcommands.
+fn campaign_config(rest: &[String]) -> Result<CampaignConfig, String> {
+    let mut cfg = CampaignConfig::new(42);
+    if let Some(v) = flag_value(rest, "--seed") {
+        cfg.seed = parse_seed(&v).ok_or_else(|| format!("bad --seed `{v}`"))?;
+    }
+    if let Some(v) = flag_value(rest, "--count") {
+        cfg.count = v
+            .parse::<u32>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --count `{v}`"))?;
+    }
+    if let Some(v) = flag_value(rest, "--jobs") {
+        cfg.jobs = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("bad --jobs `{v}`"))?;
+    }
+    if let Some(v) = flag_value(rest, "--variant") {
+        cfg.variant = v.parse::<CampaignVariant>()?;
+    }
+    Ok(cfg)
+}
+
+fn write_out(path: &str, text: &str) -> Result<(), String> {
+    std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn cmd_campaign(rest: &[String]) -> ExitCode {
+    let cfg = match campaign_config(rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("genwork: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    let outcome = run_campaign(&cfg);
+    let report = render_report(&cfg, &outcome);
+    match flag_value(rest, "--out") {
+        Some(path) => {
+            if let Err(e) = write_out(&path, &report) {
+                eprintln!("genwork: {e}");
+                return ExitCode::from(EXIT_FAIL);
+            }
+            eprintln!("genwork: report written to {path}");
+        }
+        None => {
+            use std::io::Write;
+            let _ = std::io::stdout().write_all(report.as_bytes());
+        }
+    }
+    if outcome.clean() {
+        eprintln!(
+            "genwork: campaign clean — {} workloads, 0 disagreements",
+            outcome.workloads.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "genwork: {} disagreement(s) — see the shrunk specs in the report",
+            outcome.disagreements.len()
+        );
+        ExitCode::from(EXIT_FAIL)
+    }
+}
+
+fn cmd_gen(rest: &[String]) -> ExitCode {
+    let Some(dir) = flag_value(rest, "--out") else {
+        return usage();
+    };
+    let cfg = match campaign_config(rest) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("genwork: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
+    };
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("genwork: cannot create {dir}: {e}");
+        return ExitCode::from(EXIT_FAIL);
+    }
+    let indices: Vec<u32> = (0..cfg.count).collect();
+    let gen = &cfg.gen;
+    // Emission and truth derivation fan out; writes happen serially in
+    // index order so the MANIFEST and directory contents are stable.
+    let corpus: Vec<(String, String, String)> = parallel_map(&indices, cfg.jobs, |_, &index| {
+        let spec = generate(cfg.seed, index, gen);
+        let built = build(&spec);
+        let truths = ground_truth(&spec, &gen.thresholds, true);
+        (
+            spec.name(),
+            module_to_string(&built.module),
+            render_truth(&spec, &truths),
+        )
+    });
+    let mut manifest = String::from("# genwork corpus v1\n");
+    manifest.push_str(&format!("seed 0x{:016x}\ncount {}\n", cfg.seed, cfg.count));
+    for (name, ir, truth) in &corpus {
+        for (ext, text) in [("ir", ir), ("truth", truth)] {
+            let path = format!("{dir}/{name}.{ext}");
+            if let Err(e) = write_out(&path, text) {
+                eprintln!("genwork: {e}");
+                return ExitCode::from(EXIT_FAIL);
+            }
+        }
+        manifest.push_str(&format!("workload {name}\n"));
+    }
+    if let Err(e) = write_out(&format!("{dir}/MANIFEST"), &manifest) {
+        eprintln!("genwork: {e}");
+        return ExitCode::from(EXIT_FAIL);
+    }
+    eprintln!("genwork: wrote {} workloads to {dir}", corpus.len());
+    ExitCode::SUCCESS
+}
+
+fn json_str_array(items: &[&str]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| format!("\"{s}\"")).collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+fn cmd_workloads(rest: &[String]) -> ExitCode {
+    use std::io::Write;
+    let mut out = String::new();
+    if rest.iter().any(|a| a == "--json") {
+        out.push_str("{\n  \"hand_built\": [\n");
+        for (i, s) in REGISTRY.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"lang\": \"{}\", \"description\": \"{}\", \"expected_classes\": {}}}{}\n",
+                s.name,
+                s.lang,
+                s.description,
+                json_str_array(s.expected_classes),
+                if i + 1 == REGISTRY.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n  \"generated\": [\n");
+        for (i, a) in ARCHETYPES.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tag\": \"{}\", \"description\": \"{}\", \"expected_classes\": {}}}{}\n",
+                a.tag,
+                a.description,
+                json_str_array(a.expected_classes),
+                if i + 1 == ARCHETYPES.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("# workload catalog\n");
+        for s in REGISTRY {
+            out.push_str(&format!(
+                "hand-built {:<12} lang={:<4} classes={:<15} {}\n",
+                s.name,
+                s.lang,
+                s.expected_classes.join(","),
+                s.description
+            ));
+        }
+        for a in ARCHETYPES {
+            out.push_str(&format!(
+                "generated  {:<12} lang=ir   classes={:<15} {}\n",
+                a.tag,
+                a.expected_classes.join(","),
+                a.description
+            ));
+        }
+    }
+    let _ = std::io::stdout().write_all(out.as_bytes());
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "campaign" => cmd_campaign(rest),
+        "gen" => cmd_gen(rest),
+        "workloads" => cmd_workloads(rest),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,543 @@
+//! The oracle campaign: run generated workloads through the production
+//! profile→classify pipeline and diff the result against the
+//! constructive ground truth.
+//!
+//! The campaign is deterministic end to end: workload specs derive from
+//! `(seed, index)` alone, evaluation fans out over
+//! `stride_core::parallel_map` (input-order results), and the report is
+//! rendered from the ordered outcome — so the same seed produces a
+//! byte-identical report at any `--jobs` level.
+//!
+//! Any disagreement is minimized by a greedy shrinker (drop whole loop
+//! nests, then halve passes/trips) before being reported, so a failure
+//! report leads with the smallest reproducing spec.
+
+use crate::emit;
+use crate::oracle::{self, SiteTruth};
+use crate::spec::{generate, GenConfig, GenSpec};
+use stride_core::{
+    classify, parallel_map, run_profiling, PipelineConfig, PrefetchConfig, ProfilingVariant,
+    StrideClass,
+};
+
+/// The profiling variants a campaign may target: the four *unsampled*
+/// instrumentation methods. Sampling deliberately loses references, so a
+/// full-count oracle has nothing exact to say about it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CampaignVariant {
+    /// Guarded, edge-counter trip predicate (the paper's headline method).
+    EdgeCheck,
+    /// Guarded, block-counter trip predicate.
+    BlockCheck,
+    /// Unguarded, every in-loop load.
+    NaiveLoop,
+    /// Unguarded, every load.
+    NaiveAll,
+}
+
+impl CampaignVariant {
+    /// The pipeline variant to run.
+    pub fn variant(self) -> ProfilingVariant {
+        match self {
+            CampaignVariant::EdgeCheck => ProfilingVariant::EdgeCheck,
+            CampaignVariant::BlockCheck => ProfilingVariant::BlockCheck,
+            CampaignVariant::NaiveLoop => ProfilingVariant::NaiveLoop,
+            CampaignVariant::NaiveAll => ProfilingVariant::NaiveAll,
+        }
+    }
+
+    /// Whether the oracle must model the trip-count guard.
+    pub fn guarded(self) -> bool {
+        matches!(
+            self,
+            CampaignVariant::EdgeCheck | CampaignVariant::BlockCheck
+        )
+    }
+}
+
+impl std::str::FromStr for CampaignVariant {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "edge-check" => Ok(CampaignVariant::EdgeCheck),
+            "block-check" => Ok(CampaignVariant::BlockCheck),
+            "naive-loop" => Ok(CampaignVariant::NaiveLoop),
+            "naive-all" => Ok(CampaignVariant::NaiveAll),
+            _ => Err(format!(
+                "unknown campaign variant `{s}` (sampled variants have no exact oracle)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for CampaignVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CampaignVariant::EdgeCheck => "edge-check",
+            CampaignVariant::BlockCheck => "block-check",
+            CampaignVariant::NaiveLoop => "naive-loop",
+            CampaignVariant::NaiveAll => "naive-all",
+        })
+    }
+}
+
+/// Oracle-vs-pipeline result for one load site.
+#[derive(Clone, Debug)]
+pub struct SiteOutcome {
+    /// The oracle's view of the site.
+    pub truth: SiteTruth,
+    /// What the production classifier assigned (`None` = filtered or no
+    /// pattern).
+    pub got: Option<StrideClass>,
+    /// The classifier's dominant stride (0 when unclassified).
+    pub dominant_got: i64,
+}
+
+impl SiteOutcome {
+    /// True when pipeline and oracle agree. For SSST sites the dominant
+    /// stride must match too (generation margins make it unambiguous);
+    /// for PMST/WSST the top-1 among close peers may legitimately differ
+    /// under LFU merging, so only the class is binding.
+    pub fn agrees(&self) -> bool {
+        self.truth.expected == self.got
+            && (self.truth.expected != Some(StrideClass::Ssst)
+                || self.truth.dominant == self.dominant_got)
+    }
+}
+
+/// One evaluated workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Workload name (`gen-<seed>-<index>`).
+    pub name: String,
+    /// Campaign index.
+    pub index: u32,
+    /// Per-site outcomes in tracked order; empty when `error` is set.
+    pub sites: Vec<SiteOutcome>,
+    /// Pipeline failure (a campaign failure in itself).
+    pub error: Option<String>,
+}
+
+impl WorkloadResult {
+    /// True when the pipeline ran and every site agrees with the oracle.
+    pub fn agrees(&self) -> bool {
+        self.error.is_none() && self.sites.iter().all(SiteOutcome::agrees)
+    }
+}
+
+/// A disagreement minimized by the shrinker.
+#[derive(Clone, Debug)]
+pub struct Shrunk {
+    /// The original failing workload name.
+    pub name: String,
+    /// The minimized spec that still disagrees.
+    pub spec: GenSpec,
+    /// Its evaluation.
+    pub result: WorkloadResult,
+    /// Shrink steps that reduced the spec.
+    pub steps: u32,
+}
+
+/// Campaign parameters.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// Corpus seed.
+    pub seed: u64,
+    /// Number of generated workloads.
+    pub count: u32,
+    /// Worker threads for the evaluation fan-out.
+    pub jobs: usize,
+    /// Profiling variant under test.
+    pub variant: CampaignVariant,
+    /// Generation parameters (thresholds shared with the classifier).
+    pub gen: GenConfig,
+}
+
+impl CampaignConfig {
+    /// Default campaign: 200 workloads under the paper method.
+    pub fn new(seed: u64) -> Self {
+        CampaignConfig {
+            seed,
+            count: 200,
+            jobs: 1,
+            variant: CampaignVariant::EdgeCheck,
+            gen: GenConfig::campaign(),
+        }
+    }
+}
+
+/// Everything a campaign produced.
+#[derive(Clone, Debug)]
+pub struct CampaignOutcome {
+    /// Per-workload results in index order.
+    pub workloads: Vec<WorkloadResult>,
+    /// Minimized disagreements (empty on a clean campaign).
+    pub disagreements: Vec<Shrunk>,
+}
+
+impl CampaignOutcome {
+    /// True when every workload agreed with the oracle.
+    pub fn clean(&self) -> bool {
+        self.disagreements.is_empty()
+    }
+}
+
+/// The pipeline configuration the campaign classifies under: paper
+/// defaults with the generator's thresholds substituted.
+fn pipeline_config(gen: &GenConfig) -> PipelineConfig {
+    PipelineConfig {
+        prefetch: PrefetchConfig {
+            thresholds: gen.thresholds,
+            ..PrefetchConfig::paper()
+        },
+        ..PipelineConfig::default()
+    }
+}
+
+/// Evaluates one spec: emit, profile, classify, diff against the oracle.
+pub fn evaluate_spec(spec: &GenSpec, gen: &GenConfig, variant: CampaignVariant) -> WorkloadResult {
+    let name = spec.name();
+    let built = emit::build(spec);
+    let truths = oracle::ground_truth(spec, &gen.thresholds, variant.guarded());
+    debug_assert_eq!(built.sites.len(), truths.len());
+    let config = pipeline_config(gen);
+    let outcome = match run_profiling(&built.module, &[0], variant.variant(), &config) {
+        Ok(o) => o,
+        Err(e) => {
+            return WorkloadResult {
+                name,
+                index: spec.index,
+                sites: Vec::new(),
+                error: Some(e.to_string()),
+            }
+        }
+    };
+    let classification = classify(
+        &built.module,
+        &outcome.stride,
+        &outcome.edge,
+        outcome.source,
+        &config.prefetch,
+    );
+    let sites = built
+        .sites
+        .iter()
+        .zip(truths)
+        .map(|(tracked, truth)| {
+            let hit = classification
+                .loads
+                .iter()
+                .find(|l| l.func == tracked.func && l.site == tracked.site);
+            SiteOutcome {
+                truth,
+                got: hit.map(|l| l.class),
+                dominant_got: hit.map(|l| l.dominant_stride).unwrap_or(0),
+            }
+        })
+        .collect();
+    WorkloadResult {
+        name,
+        index: spec.index,
+        sites,
+        error: None,
+    }
+}
+
+/// Shrink-step budget: each step is one full pipeline run of an
+/// already-small module, so this bounds worst-case shrink time.
+const MAX_SHRINK_EVALS: u32 = 200;
+
+/// Greedy minimization of a disagreeing spec: first drop whole loop
+/// nests, then halve passes and trips, keeping any reduction that still
+/// disagrees.
+pub fn shrink(spec: &GenSpec, gen: &GenConfig, variant: CampaignVariant) -> Shrunk {
+    let mut cur = spec.clone();
+    let mut cur_res = evaluate_spec(&cur, gen, variant);
+    let mut steps = 0;
+    let mut evals = 0;
+    'outer: loop {
+        // 1. Drop a site.
+        if cur.sites.len() > 1 {
+            for i in 0..cur.sites.len() {
+                let mut cand = cur.clone();
+                cand.sites.remove(i);
+                evals += 1;
+                let res = evaluate_spec(&cand, gen, variant);
+                if !res.agrees() {
+                    cur = cand;
+                    cur_res = res;
+                    steps += 1;
+                    if evals >= MAX_SHRINK_EVALS {
+                        break 'outer;
+                    }
+                    continue 'outer;
+                }
+                if evals >= MAX_SHRINK_EVALS {
+                    break 'outer;
+                }
+            }
+        }
+        // 2. Halve a site's passes or trip.
+        for i in 0..cur.sites.len() {
+            let mut cands = Vec::new();
+            if cur.sites[i].passes >= 2 {
+                let mut c = cur.clone();
+                c.sites[i].passes /= 2;
+                cands.push(c);
+            }
+            if cur.sites[i].trip >= 16 {
+                let mut c = cur.clone();
+                c.sites[i].trip /= 2;
+                cands.push(c);
+            }
+            for cand in cands {
+                evals += 1;
+                let res = evaluate_spec(&cand, gen, variant);
+                if !res.agrees() {
+                    cur = cand;
+                    cur_res = res;
+                    steps += 1;
+                    if evals >= MAX_SHRINK_EVALS {
+                        break 'outer;
+                    }
+                    continue 'outer;
+                }
+                if evals >= MAX_SHRINK_EVALS {
+                    break 'outer;
+                }
+            }
+        }
+        break; // no reduction kept the disagreement
+    }
+    Shrunk {
+        name: spec.name(),
+        spec: cur,
+        result: cur_res,
+        steps,
+    }
+}
+
+/// Runs the full campaign: generate, evaluate in parallel, shrink any
+/// disagreements (serially, in index order, for determinism).
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignOutcome {
+    let indices: Vec<u32> = (0..cfg.count).collect();
+    let workloads = parallel_map(&indices, cfg.jobs, |_, &index| {
+        let spec = generate(cfg.seed, index, &cfg.gen);
+        evaluate_spec(&spec, &cfg.gen, cfg.variant)
+    });
+    let disagreements = workloads
+        .iter()
+        .filter(|r| !r.agrees())
+        .map(|r| {
+            shrink(
+                &generate(cfg.seed, r.index, &cfg.gen),
+                &cfg.gen,
+                cfg.variant,
+            )
+        })
+        .collect();
+    CampaignOutcome {
+        workloads,
+        disagreements,
+    }
+}
+
+/// Renders a class option the way reports spell it.
+fn class_str(c: Option<StrideClass>) -> &'static str {
+    SiteTruth::class_name(c)
+}
+
+/// Renders the deterministic campaign report. Identical for identical
+/// `(seed, count, variant, thresholds)` regardless of `--jobs`.
+pub fn render_report(cfg: &CampaignConfig, outcome: &CampaignOutcome) -> String {
+    use std::fmt::Write as _;
+    let t = &cfg.gen.thresholds;
+    let mut s = String::new();
+    let _ = writeln!(s, "# genwork campaign v1");
+    let _ = writeln!(s, "seed 0x{:016x}", cfg.seed);
+    let _ = writeln!(s, "count {}", cfg.count);
+    let _ = writeln!(s, "variant {}", cfg.variant);
+    let _ = writeln!(
+        s,
+        "thresholds ft={} tt={} ssst={:.3} pmst={:.3}/{:.3} wsst={:.3}/{:.3}",
+        t.frequency_threshold,
+        t.trip_count_threshold,
+        t.ssst_threshold,
+        t.pmst_threshold,
+        t.pmst_diff_threshold,
+        t.wsst_threshold,
+        t.wsst_diff_threshold
+    );
+    let mut by_class = [0usize; 4];
+    let mut sites_total = 0;
+    for w in &outcome.workloads {
+        for site in &w.sites {
+            sites_total += 1;
+            let slot = match site.truth.expected {
+                Some(StrideClass::Ssst) => 0,
+                Some(StrideClass::Pmst) => 1,
+                Some(StrideClass::Wsst) => 2,
+                None => 3,
+            };
+            by_class[slot] += 1;
+        }
+    }
+    let _ = writeln!(s, "sites {sites_total}");
+    let _ = writeln!(
+        s,
+        "expected ssst={} pmst={} wsst={} none={}",
+        by_class[0], by_class[1], by_class[2], by_class[3]
+    );
+    let _ = writeln!(s, "disagreements {}", outcome.disagreements.len());
+    let _ = writeln!(s);
+    for w in &outcome.workloads {
+        let mark = if w.agrees() { "ok" } else { "DISAGREE" };
+        let mut line = format!("workload {} {mark}", w.name);
+        if let Some(e) = &w.error {
+            let _ = write!(line, " error={e}");
+        }
+        for site in &w.sites {
+            let _ = write!(
+                line,
+                " {}:{}",
+                site.truth.label,
+                class_str(site.truth.expected)
+            );
+            if !site.agrees() {
+                let _ = write!(line, "!got={}", class_str(site.got));
+            }
+        }
+        let _ = writeln!(s, "{line}");
+    }
+    for d in &outcome.disagreements {
+        let _ = writeln!(s);
+        let _ = writeln!(s, "disagreement {} shrink-steps={}", d.name, d.steps);
+        for (i, site) in d.spec.sites.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  spec s{i} kind={:?} passes={} trip={}",
+                site.kind, site.passes, site.trip
+            );
+        }
+        if let Some(e) = &d.result.error {
+            let _ = writeln!(s, "  error {e}");
+        }
+        for site in &d.result.sites {
+            if !site.agrees() {
+                let _ = writeln!(
+                    s,
+                    "  site {} expected={} got={} dominant={}vs{} top1={:.6} top4={:.6} zero_diff={:.6} freq={} trip={:.2}",
+                    site.truth.label,
+                    class_str(site.truth.expected),
+                    class_str(site.got),
+                    site.truth.dominant,
+                    site.dominant_got,
+                    site.truth.top1,
+                    site.truth.top4,
+                    site.truth.zero_diff,
+                    site.truth.freq,
+                    site.truth.trip_est
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Renders the per-workload ground-truth sidecar written next to each
+/// corpus module.
+pub fn render_truth(spec: &GenSpec, truths: &[SiteTruth]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "# genwork truth v1");
+    let _ = writeln!(s, "name {}", spec.name());
+    let _ = writeln!(s, "sites {}", truths.len());
+    for t in truths {
+        let _ = writeln!(
+            s,
+            "site {} expected={} freq={} trip={:.2} total={} top1={:.6} top4={:.6} zero_diff={:.6} dominant={}",
+            t.label,
+            class_str(t.expected),
+            t.freq,
+            t.trip_est,
+            t.total,
+            t.top1,
+            t.top4,
+            t.zero_diff,
+            t.dominant
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Small but real: every workload through the full debug-build
+    /// pipeline. The release-mode 200-workload campaign runs in ci.sh.
+    fn small_config(jobs: usize) -> CampaignConfig {
+        CampaignConfig {
+            seed: 0x9e37,
+            count: 16,
+            jobs,
+            ..CampaignConfig::new(0x9e37)
+        }
+    }
+
+    #[test]
+    fn campaign_agrees_with_oracle() {
+        let cfg = small_config(2);
+        let out = run_campaign(&cfg);
+        let report = render_report(&cfg, &out);
+        assert!(out.clean(), "oracle disagreements:\n{report}");
+        // The corpus must exercise every class.
+        assert!(report.contains(":SSST"));
+        assert!(report.contains(":PMST"));
+        assert!(report.contains(":none"));
+    }
+
+    #[test]
+    fn report_is_identical_across_jobs() {
+        let c1 = small_config(1);
+        let c4 = small_config(4);
+        let r1 = render_report(&c1, &run_campaign(&c1));
+        let r4 = render_report(&c4, &run_campaign(&c4));
+        assert_eq!(r1, r4);
+    }
+
+    #[test]
+    fn naive_variants_agree_too() {
+        for variant in [CampaignVariant::NaiveLoop, CampaignVariant::BlockCheck] {
+            let cfg = CampaignConfig {
+                count: 6,
+                variant,
+                ..small_config(2)
+            };
+            let out = run_campaign(&cfg);
+            assert!(
+                out.clean(),
+                "{variant} disagreements:\n{}",
+                render_report(&cfg, &out)
+            );
+        }
+    }
+
+    #[test]
+    fn shrinker_minimizes_an_artificial_disagreement() {
+        // Force a disagreement by lying to the oracle: evaluate under
+        // edge-check but derive truth unguarded via a naive-variant
+        // mismatch is not expressible through the public API, so instead
+        // check the shrinker's contract on an agreeing spec: it must
+        // return the spec unchanged only for disagreeing inputs — here we
+        // verify it terminates and reports zero steps when the "failure"
+        // vanishes (the guard: shrink() is only called on disagreements
+        // in run_campaign).
+        let gen = GenConfig::campaign();
+        let spec = generate(1, 0, &gen);
+        let s = shrink(&spec, &gen, CampaignVariant::EdgeCheck);
+        assert_eq!(s.steps, 0);
+        assert!(s.result.agrees());
+    }
+}

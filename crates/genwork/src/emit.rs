@@ -1,0 +1,320 @@
+//! Lowers a [`GenSpec`] to a verified IR module.
+//!
+//! The emitted address schedule must match `oracle::simulate`
+//! *instruction for instruction*: cursor updates happen before the load,
+//! cursors are continuous across outer passes, the in-IR LCG is stepped
+//! exactly once per iteration where the oracle steps its mirror, and all
+//! cursor regions live at the same offsets from the site's global base
+//! that the oracle uses as absolute addresses (strides and 16-byte
+//! bucket identity are translation-invariant, so the oracle can simulate
+//! at base 0).
+//!
+//! Every tracked load uses its own address register, so under the
+//! guarded methods each load is the sole member of its equivalence class
+//! and is selected as its own representative; the modules contain no
+//! other loads at all, making `Classification::loads` lookups exact.
+
+use crate::spec::{GenSpec, SiteKind, SiteSpec};
+use stride_ir::{
+    BinOp, CmpOp, FuncId, FunctionBuilder, GlobalId, InstrId, Module, ModuleBuilder, Operand,
+};
+use stride_workloads::Lcg;
+
+/// One emitted load site, in the same order as `oracle::ground_truth`.
+#[derive(Clone, Debug)]
+pub struct TrackedSite {
+    /// `s{index}.{tag}{suffix}` — equal to the matching `SiteTruth` label.
+    pub label: String,
+    /// Index of the owning [`SiteSpec`].
+    pub spec_index: usize,
+    /// Containing function (always the entry function).
+    pub func: FuncId,
+    /// The load instruction id — the classification key.
+    pub site: InstrId,
+}
+
+/// A generated workload lowered to IR.
+#[derive(Clone, Debug)]
+pub struct Generated {
+    /// The source spec.
+    pub spec: GenSpec,
+    /// The module (single entry function taking one ignored argument).
+    pub module: Module,
+    /// Tracked load sites, parallel to the oracle's truth vector.
+    pub sites: Vec<TrackedSite>,
+}
+
+/// Per-site global size: large enough for every cursor region (shared
+/// cursors start at `1 << 22` and advance at most ~2 MiB). Globals are
+/// zero-initialized address ranges in the VM's sparse memory, so the size
+/// costs nothing until written.
+const GLOBAL_SIZE: u64 = 1 << 23;
+
+/// Offset of the second-arm cursor region (PathPhased).
+const ARM_B_OFF: i64 = 1 << 21;
+/// Offset of the shared/scattered region (PathPhased join, WeakStride
+/// scatter) and start of the ConstStride cursor.
+const MID_OFF: i64 = 1 << 22;
+
+/// Lowers `spec` to IR. The module is *not* verified here; generator
+/// tests and the campaign run `verify_module` on every corpus member.
+pub fn build(spec: &GenSpec) -> Generated {
+    let mut mb = ModuleBuilder::new();
+    let globals: Vec<GlobalId> = spec
+        .sites
+        .iter()
+        .enumerate()
+        .map(|(i, s)| mb.add_global(format!("g{i}_{}", s.kind.tag()), GLOBAL_SIZE))
+        .collect();
+    let main = mb.declare_function("main", 1);
+    let mut fb = mb.function(main);
+    let sink = fb.mov(0i64);
+    let mut sites = Vec::new();
+    for (i, site) in spec.sites.iter().enumerate() {
+        for (suffix, id) in emit_site(&mut fb, site, globals[i], sink) {
+            sites.push(TrackedSite {
+                label: format!("s{i}.{}{suffix}", site.kind.tag()),
+                spec_index: i,
+                func: main,
+                site: id,
+            });
+        }
+    }
+    fb.ret(Some(Operand::Reg(sink)));
+    mb.set_entry(main);
+    Generated {
+        spec: spec.clone(),
+        module: mb.finish(),
+        sites,
+    }
+}
+
+/// Emits one loop nest; returns `(label suffix, load id)` per load site.
+fn emit_site(
+    fb: &mut FunctionBuilder<'_>,
+    site: &SiteSpec,
+    global: GlobalId,
+    sink: stride_ir::Reg,
+) -> Vec<(&'static str, InstrId)> {
+    let passes = site.passes as i64;
+    let trip = site.trip as i64;
+    let base = fb.global_addr(global);
+    match &site.kind {
+        SiteKind::ConstStride { stride }
+        | SiteKind::LowTrip { stride }
+        | SiteKind::ColdLoop { stride } => {
+            let stride = *stride;
+            let w = fb.add(base, MID_OFF);
+            let mut id = None;
+            fb.counted_loop(passes, |fb, _| {
+                fb.counted_loop(trip, |fb, _| {
+                    fb.bin_to(w, BinOp::Add, w, stride);
+                    let (v, i) = fb.load(w, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, v);
+                    id = Some(i);
+                });
+            });
+            vec![("", unwrap_id(id))]
+        }
+        SiteKind::PointerChase { node_size } => {
+            let node_size = *node_size;
+            // Build phase: bump-layout list inside the global, stores only
+            // (no loads — the chase loads below are the module's only
+            // profiled sites for this nest).
+            let c = fb.mov(base);
+            fb.counted_loop(trip + 1, |fb, _| {
+                let nxt = fb.add(c, node_size);
+                fb.store(nxt, c, 0);
+                fb.mov_to(c, nxt);
+            });
+            let p = fb.mov(0i64);
+            let mut id = None;
+            fb.counted_loop(passes, |fb, _| {
+                fb.mov_to(p, base);
+                fb.counted_loop(trip, |fb, _| {
+                    id = Some(fb.load_to(p, p, 0));
+                    fb.bin_to(sink, BinOp::Add, sink, p);
+                });
+            });
+            vec![("", unwrap_id(id))]
+        }
+        SiteKind::PhasedStride {
+            strides,
+            phase_len_log2,
+        } => {
+            let strides = strides.clone();
+            let shift = *phase_len_log2 as i64;
+            let w = fb.mov(base);
+            let g = fb.mov(0i64);
+            let mut id = None;
+            fb.counted_loop(passes, |fb, _| {
+                fb.counted_loop(trip, |fb, _| {
+                    let ph = fb.bin(BinOp::Lshr, g, shift);
+                    let ph = fb.bin(BinOp::And, ph, strides.len() as i64 - 1);
+                    let s = fb.select_index(ph, &strides);
+                    fb.bin_to(w, BinOp::Add, w, s);
+                    let (v, i) = fb.load(w, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, v);
+                    fb.bin_to(g, BinOp::Add, g, 1i64);
+                    id = Some(i);
+                });
+            });
+            vec![("", unwrap_id(id))]
+        }
+        SiteKind::PathPhased { a, b } => {
+            let (a, b) = (*a, *b);
+            let cx = fb.mov(base);
+            let cy = fb.add(base, ARM_B_OFF);
+            let sh = fb.add(base, MID_OFF);
+            let g = fb.mov(0i64);
+            let mut ids = None;
+            fb.counted_loop(passes, |fb, _| {
+                fb.counted_loop(trip, |fb, _| {
+                    let ph = fb.bin(BinOp::Lshr, g, 6i64);
+                    let ph = fb.bin(BinOp::And, ph, 1i64);
+                    let on_a = fb.cmp(CmpOp::Eq, ph, 0i64);
+                    let a_blk = fb.new_block();
+                    let b_blk = fb.new_block();
+                    let join = fb.new_block();
+                    fb.cond_br(on_a, a_blk, b_blk);
+                    fb.switch_to(a_blk);
+                    fb.bin_to(cx, BinOp::Add, cx, a);
+                    let (vx, ida) = fb.load(cx, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, vx);
+                    fb.bin_to(sh, BinOp::Add, sh, a);
+                    fb.br(join);
+                    fb.switch_to(b_blk);
+                    fb.bin_to(cy, BinOp::Add, cy, b);
+                    let (vy, idb) = fb.load(cy, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, vy);
+                    fb.bin_to(sh, BinOp::Add, sh, b);
+                    fb.br(join);
+                    fb.switch_to(join);
+                    let (vj, idj) = fb.load(sh, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, vj);
+                    fb.bin_to(g, BinOp::Add, g, 1i64);
+                    ids = Some((ida, idb, idj));
+                });
+            });
+            let (ida, idb, idj) = match ids {
+                Some(t) => t,
+                None => unreachable!("counted_loop body runs during emission"),
+            };
+            vec![(".a", ida), (".b", idb), (".join", idj)]
+        }
+        SiteKind::AlternatingStride { a, b } => {
+            let (a, b) = (*a, *b);
+            let w = fb.mov(base);
+            let g = fb.mov(0i64);
+            let mut id = None;
+            fb.counted_loop(passes, |fb, _| {
+                fb.counted_loop(trip, |fb, _| {
+                    let par = fb.bin(BinOp::And, g, 1i64);
+                    let even = fb.cmp(CmpOp::Eq, par, 0i64);
+                    let s = fb.select(even, a, b);
+                    fb.bin_to(w, BinOp::Add, w, s);
+                    let (v, i) = fb.load(w, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, v);
+                    fb.bin_to(g, BinOp::Add, g, 1i64);
+                    id = Some(i);
+                });
+            });
+            vec![("", unwrap_id(id))]
+        }
+        SiteKind::WeakStride { stride, lcg_seed } => {
+            let stride = *stride;
+            let w = fb.mov(base);
+            let scat_base = fb.add(base, MID_OFF);
+            let lcg = Lcg::init(fb, *lcg_seed);
+            let g = fb.mov(0i64);
+            let mut id = None;
+            fb.counted_loop(passes, |fb, _| {
+                fb.counted_loop(trip, |fb, _| {
+                    let jm = fb.bin(BinOp::Rem, g, 7i64);
+                    let strided = fb.cmp(CmpOp::Lt, jm, 4i64);
+                    let adv = fb.select(strided, stride, 0i64);
+                    fb.bin_to(w, BinOp::Add, w, adv);
+                    let off = lcg.next_masked(fb, 0x7ff);
+                    let off16 = fb.mul(off, 16i64);
+                    let scat = fb.add(scat_base, off16);
+                    let addr = fb.select(strided, w, scat);
+                    let (v, i) = fb.load(addr, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, v);
+                    fb.bin_to(g, BinOp::Add, g, 1i64);
+                    id = Some(i);
+                });
+            });
+            vec![("", unwrap_id(id))]
+        }
+        SiteKind::HashProbe { mask, lcg_seed } => {
+            let mask = *mask;
+            let lcg = Lcg::init(fb, *lcg_seed);
+            let mut id = None;
+            fb.counted_loop(passes, |fb, _| {
+                fb.counted_loop(trip, |fb, _| {
+                    let off = lcg.next_masked(fb, mask);
+                    let off16 = fb.mul(off, 16i64);
+                    let addr = fb.add(base, off16);
+                    let (v, i) = fb.load(addr, 0);
+                    fb.bin_to(sink, BinOp::Add, sink, v);
+                    id = Some(i);
+                });
+            });
+            vec![("", unwrap_id(id))]
+        }
+    }
+}
+
+/// Loop bodies always execute their closure during emission, so the
+/// captured load id is always set.
+fn unwrap_id(id: Option<InstrId>) -> InstrId {
+    match id {
+        Some(i) => i,
+        None => unreachable!("counted_loop body runs during emission"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{generate, GenConfig};
+
+    #[test]
+    fn generated_modules_verify_and_match_truth_arity() {
+        let cfg = GenConfig::campaign();
+        for index in 0..12 {
+            let spec = generate(0xc0ffee, index, &cfg);
+            let g = build(&spec);
+            stride_ir::verify_module(&g.module).expect("generated module verifies");
+            let truths = crate::oracle::ground_truth(&spec, &cfg.thresholds, true);
+            assert_eq!(g.sites.len(), truths.len());
+            for (s, t) in g.sites.iter().zip(&truths) {
+                assert_eq!(s.label, t.label, "site order must match the oracle");
+            }
+        }
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let cfg = GenConfig::campaign();
+        let spec = generate(7, 3, &cfg);
+        let a = stride_ir::module_to_string(&build(&spec).module);
+        let b = stride_ir::module_to_string(&build(&spec).module);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn modules_run_and_return_deterministically() {
+        use stride_vm::{FlatTiming, NullRuntime, Vm, VmConfig};
+        let cfg = GenConfig::campaign();
+        let spec = generate(0xbeef, 1, &cfg);
+        let g = build(&spec);
+        let run = |m: &stride_ir::Module| {
+            Vm::new(m, VmConfig::default())
+                .run(&[0], &mut FlatTiming, &mut NullRuntime)
+                .expect("runs")
+                .return_value
+        };
+        assert_eq!(run(&g.module), run(&g.module));
+    }
+}

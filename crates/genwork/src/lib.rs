@@ -1,0 +1,48 @@
+//! genwork: a seeded generative workload subsystem with a constructive
+//! ground-truth oracle.
+//!
+//! The paper's evaluation (and this repo's reproduction of it) rests on
+//! twelve hand-built benchmarks whose expected per-site classes were
+//! derived by humans reading the loop nests. That validates the pipeline
+//! against a dozen fixed points. This crate turns the validation around:
+//! it *generates* workloads from a seed — loop nests composing constant
+//! strides, pointer chases, phased and path-sensitive stride mixes, hash
+//! probes, and filter-fodder low-trip/cold loops — and derives each load
+//! site's expected classification **constructively from the generator's
+//! own stride schedule** (see [`oracle`]), never from running the
+//! profiler. Disagreements between pipeline and oracle are minimized by
+//! a shrinker and reported ([`campaign`]).
+//!
+//! Layering:
+//!
+//! * [`rng`] — splitmix64 streams, one per `(seed, index)`;
+//! * [`spec`] — the archetype catalog and the seeded draw, with
+//!   margin-enforced parameters;
+//! * [`oracle`] — exact schedule simulation + full-count Fig. 7 mirror +
+//!   guard-activation model → expected class per site;
+//! * [`emit`] — lowers a spec to verified IR whose address trace matches
+//!   the oracle's simulation instruction for instruction;
+//! * [`campaign`] — parallel evaluate/diff/shrink with byte-stable
+//!   reports.
+//!
+//! The `genwork` binary drives offline campaigns and corpus generation;
+//! `stridectl replay` (crates/bench) streams generated corpora at a
+//! sharded profile-service cluster.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+#![deny(missing_docs)]
+
+pub mod campaign;
+pub mod emit;
+pub mod oracle;
+pub mod rng;
+pub mod spec;
+
+pub use campaign::{
+    evaluate_spec, render_report, render_truth, run_campaign, shrink, CampaignConfig,
+    CampaignOutcome, CampaignVariant, SiteOutcome, WorkloadResult,
+};
+pub use emit::{build, Generated, TrackedSite};
+pub use oracle::{ground_truth, margin_check, SiteTruth};
+pub use rng::Rng;
+pub use spec::{generate, GenConfig, GenSpec, SiteKind, SiteSpec};

@@ -1,0 +1,437 @@
+//! Generated-workload specifications: a seeded draw from a catalog of
+//! access-pattern archetypes, each with tightly controlled parameters so
+//! the constructive oracle's ratios sit a safe margin away from every
+//! Fig. 5 threshold.
+
+use crate::rng::Rng;
+use stride_core::{ClassifyThresholds, StrideClass};
+
+/// One access-pattern archetype. Every stride parameter is a multiple of
+/// 16 bytes: the enhanced Fig. 7 routine compares addresses and strides
+/// with the low 4 bits masked, so 16-aligned strides keep the profiled
+/// value space in one-to-one correspondence with the generated schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SiteKind {
+    /// Array sweep with one constant stride: the canonical SSST load.
+    ConstStride {
+        /// Byte stride per iteration (may be negative).
+        stride: i64,
+    },
+    /// Pointer chase over a bump-built list (constant node spacing):
+    /// address-dependent loads that still classify SSST, the paper's §1
+    /// motivating case.
+    PointerChase {
+        /// Node spacing in bytes.
+        node_size: i64,
+    },
+    /// One load whose stride switches among `strides` every
+    /// `1 << phase_len_log2` iterations: PMST (paper Fig. 2).
+    PhasedStride {
+        /// Distinct strides cycled through phase-by-phase (2 or 4).
+        strides: Vec<i64>,
+        /// log2 of the phase length in iterations.
+        phase_len_log2: u32,
+    },
+    /// Real control flow: the loop body branches on a phase bit (64-iter
+    /// phases); each arm advances its own cursor by its own stride and a
+    /// shared cursor by the arm's stride. Emits *three* load sites: the
+    /// per-arm loads (pure SSST — only visible as such across iterations
+    /// of the same path, the multi-iteration path-sensitive case of
+    /// D'Elia & Demetrescu) and a post-join load on the shared cursor
+    /// (PMST).
+    PathPhased {
+        /// Stride of the first arm.
+        a: i64,
+        /// Stride of the second arm.
+        b: i64,
+    },
+    /// Strides alternate `a, b, a, b` every iteration: top-2 covers 100%
+    /// of references but no stride ever repeats back-to-back, so
+    /// `zero_diff` is 0 and Fig. 5 classifies *nothing* — a documented
+    /// limit of the paper's phase model (multi-strided grouping, Blom et
+    /// al. 2024, would catch it).
+    AlternatingStride {
+        /// First stride.
+        a: i64,
+        /// Second stride (distinct from `a`).
+        b: i64,
+    },
+    /// Period-7 mix: 4 strided references then 3 hash-scattered ones.
+    /// The dominant stride covers ~43% of references with ~29% zero
+    /// diffs: WSST.
+    WeakStride {
+        /// The recurring stride.
+        stride: i64,
+        /// In-IR LCG seed for the scattered references.
+        lcg_seed: i64,
+    },
+    /// Uniform hash-table probing: no pattern at all.
+    HashProbe {
+        /// Slot-index mask (slots are 16 bytes apart).
+        mask: i64,
+        /// In-IR LCG seed.
+        lcg_seed: i64,
+    },
+    /// A hot (high-frequency) loop whose trip count sits under TT: the
+    /// trip-count filter must reject it even though its stride is
+    /// perfectly regular.
+    LowTrip {
+        /// Byte stride per iteration.
+        stride: i64,
+    },
+    /// A single-entry loop nest executed once: under FT *and* never
+    /// stride-profiled by the guarded methods (§3.2).
+    ColdLoop {
+        /// Byte stride per iteration.
+        stride: i64,
+    },
+}
+
+impl SiteKind {
+    /// Short kind tag used in site labels and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            SiteKind::ConstStride { .. } => "const",
+            SiteKind::PointerChase { .. } => "chase",
+            SiteKind::PhasedStride { .. } => "phased",
+            SiteKind::PathPhased { .. } => "path",
+            SiteKind::AlternatingStride { .. } => "alt",
+            SiteKind::WeakStride { .. } => "weak",
+            SiteKind::HashProbe { .. } => "hash",
+            SiteKind::LowTrip { .. } => "lowtrip",
+            SiteKind::ColdLoop { .. } => "cold",
+        }
+    }
+
+    /// The classes this kind is designed to produce, one per emitted load
+    /// site. The constructive oracle re-derives these from the schedule;
+    /// generator tests assert both agree.
+    pub fn intended(&self) -> Vec<Option<StrideClass>> {
+        match self {
+            SiteKind::ConstStride { .. } | SiteKind::PointerChase { .. } => {
+                vec![Some(StrideClass::Ssst)]
+            }
+            SiteKind::PhasedStride { .. } => vec![Some(StrideClass::Pmst)],
+            SiteKind::PathPhased { .. } => vec![
+                Some(StrideClass::Ssst),
+                Some(StrideClass::Ssst),
+                Some(StrideClass::Pmst),
+            ],
+            SiteKind::WeakStride { .. } => vec![Some(StrideClass::Wsst)],
+            SiteKind::AlternatingStride { .. }
+            | SiteKind::HashProbe { .. }
+            | SiteKind::LowTrip { .. }
+            | SiteKind::ColdLoop { .. } => vec![None],
+        }
+    }
+}
+
+/// Listing record for one generated-workload archetype — the generated
+/// suite's counterpart of `stride_workloads::WorkloadSpec`, so `genwork
+/// workloads` can enumerate both suites through one path.
+#[derive(Clone, Copy, Debug)]
+pub struct ArchetypeInfo {
+    /// The kind tag (`SiteKind::tag`).
+    pub tag: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Designed classes, one per emitted load site.
+    pub expected_classes: &'static [&'static str],
+}
+
+/// The archetype catalog, in `draw_site` order.
+pub const ARCHETYPES: &[ArchetypeInfo] = &[
+    ArchetypeInfo {
+        tag: "const",
+        description: "constant-stride array sweep",
+        expected_classes: &["SSST"],
+    },
+    ArchetypeInfo {
+        tag: "chase",
+        description: "pointer chase over a bump-built list",
+        expected_classes: &["SSST"],
+    },
+    ArchetypeInfo {
+        tag: "phased",
+        description: "phase-switching stride mix (2 or 4 strides)",
+        expected_classes: &["PMST"],
+    },
+    ArchetypeInfo {
+        tag: "path",
+        description: "branchy loop: per-arm cursors plus a shared post-join cursor",
+        expected_classes: &["SSST", "SSST", "PMST"],
+    },
+    ArchetypeInfo {
+        tag: "alt",
+        description: "per-iteration alternating strides (documented Fig. 5 blind spot)",
+        expected_classes: &["none"],
+    },
+    ArchetypeInfo {
+        tag: "weak",
+        description: "period-7 strided/scattered mix",
+        expected_classes: &["WSST"],
+    },
+    ArchetypeInfo {
+        tag: "hash",
+        description: "uniform hash-table probing",
+        expected_classes: &["none"],
+    },
+    ArchetypeInfo {
+        tag: "lowtrip",
+        description: "hot loop under the trip-count threshold",
+        expected_classes: &["none"],
+    },
+    ArchetypeInfo {
+        tag: "cold",
+        description: "single-pass cold loop under the frequency threshold",
+        expected_classes: &["none"],
+    },
+];
+
+/// One loop nest of a generated workload: `passes` outer iterations of a
+/// `trip`-iteration inner loop around the kind's load site(s). Cursors
+/// advance continuously across passes (never reset), so the guarded
+/// profile — which activates only once the trip-count predicate has seen
+/// a completed pass — observes a suffix of one homogeneous schedule.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SiteSpec {
+    /// The access pattern.
+    pub kind: SiteKind,
+    /// Outer (re-entry) passes.
+    pub passes: u64,
+    /// Inner trip count.
+    pub trip: u64,
+}
+
+/// A complete generated workload.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenSpec {
+    /// Campaign seed this spec was drawn from.
+    pub seed: u64,
+    /// Index within the campaign.
+    pub index: u32,
+    /// The loop nests, emitted in order into one entry function.
+    pub sites: Vec<SiteSpec>,
+}
+
+impl GenSpec {
+    /// Workload name, usable as a profdb key.
+    pub fn name(&self) -> String {
+        format!("gen-{:016x}-{:04}", self.seed, self.index)
+    }
+}
+
+/// Generation parameters. The thresholds are the ones the oracle (and the
+/// campaign's classifier run) evaluate; `FT` defaults to 500 so generated
+/// programs stay debug-build sized while still exercising the filter.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Thresholds shared by oracle and classifier.
+    pub thresholds: ClassifyThresholds,
+    /// Minimum loop nests per workload.
+    pub min_sites: usize,
+    /// Maximum loop nests per workload.
+    pub max_sites: usize,
+}
+
+impl GenConfig {
+    /// Default campaign configuration.
+    pub fn campaign() -> Self {
+        GenConfig {
+            thresholds: ClassifyThresholds {
+                frequency_threshold: 500,
+                ..ClassifyThresholds::paper()
+            },
+            min_sites: 2,
+            max_sites: 4,
+        }
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self::campaign()
+    }
+}
+
+/// Draws a 16-aligned stride magnitude in `[32, 512]`.
+fn draw_stride(rng: &mut Rng) -> i64 {
+    16 * rng.range(2, 32) as i64
+}
+
+/// Draws `n` pairwise-distinct 16-aligned strides.
+fn draw_distinct_strides(rng: &mut Rng, n: usize) -> Vec<i64> {
+    let mut out: Vec<i64> = Vec::with_capacity(n);
+    while out.len() < n {
+        let s = draw_stride(rng);
+        if !out.contains(&s) {
+            out.push(s);
+        }
+    }
+    out
+}
+
+/// Draws one site spec. Parameter ranges keep every oracle ratio a wide
+/// margin away from the Fig. 5 thresholds (see `oracle::margin_check`).
+pub fn draw_site(rng: &mut Rng) -> SiteSpec {
+    let passes = rng.range(4, 6);
+    let trip = rng.range(384, 640);
+    let kind = match rng.index(9) {
+        0 => {
+            let s = draw_stride(rng);
+            SiteKind::ConstStride {
+                stride: if rng.coin() { s } else { -s },
+            }
+        }
+        1 => SiteKind::PointerChase {
+            node_size: draw_stride(rng),
+        },
+        2 => {
+            let k = if rng.coin() { 2 } else { 4 };
+            SiteKind::PhasedStride {
+                strides: draw_distinct_strides(rng, k),
+                phase_len_log2: rng.range(5, 6) as u32,
+            }
+        }
+        3 => {
+            let s = draw_distinct_strides(rng, 2);
+            SiteKind::PathPhased { a: s[0], b: s[1] }
+        }
+        4 => {
+            let s = draw_distinct_strides(rng, 2);
+            SiteKind::AlternatingStride { a: s[0], b: s[1] }
+        }
+        5 => SiteKind::WeakStride {
+            stride: draw_stride(rng),
+            lcg_seed: rng.range(1, i32::MAX as u64) as i64,
+        },
+        6 => SiteKind::HashProbe {
+            mask: 0x3ff,
+            lcg_seed: rng.range(1, i32::MAX as u64) as i64,
+        },
+        7 => {
+            return SiteSpec {
+                kind: SiteKind::LowTrip {
+                    stride: draw_stride(rng),
+                },
+                passes: rng.range(24, 48),
+                trip: rng.range(16, 48),
+            }
+        }
+        _ => {
+            return SiteSpec {
+                kind: SiteKind::ColdLoop {
+                    stride: draw_stride(rng),
+                },
+                passes: 1,
+                trip: rng.range(48, 96),
+            }
+        }
+    };
+    SiteSpec { kind, passes, trip }
+}
+
+/// Draws the full spec of workload `index` under `seed`. Redraws any site
+/// whose constructive ratios land inside the oracle's safety margin
+/// around a threshold (bounded retries; see `oracle`).
+pub fn generate(seed: u64, index: u32, cfg: &GenConfig) -> GenSpec {
+    let mut rng = Rng::for_workload(seed, index);
+    let n = rng.range(cfg.min_sites as u64, cfg.max_sites as u64) as usize;
+    let mut sites = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut site = draw_site(&mut rng);
+        let mut tries = 0;
+        while !crate::oracle::margin_check(&site, &cfg.thresholds) {
+            site = draw_site(&mut rng);
+            tries += 1;
+            assert!(
+                tries < 64,
+                "margin redraw did not converge for {site:?} — parameter ranges too tight"
+            );
+        }
+        sites.push(site);
+    }
+    GenSpec { seed, index, sites }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig::campaign();
+        let a = generate(0xfeed, 3, &cfg);
+        let b = generate(0xfeed, 3, &cfg);
+        assert_eq!(a, b);
+        let c = generate(0xfeed, 4, &cfg);
+        assert_ne!(a.sites, c.sites);
+    }
+
+    #[test]
+    fn strides_are_16_aligned_and_distinct_where_required() {
+        let mut rng = Rng::new(9);
+        for _ in 0..200 {
+            let s = draw_site(&mut rng);
+            match &s.kind {
+                SiteKind::PhasedStride { strides, .. } => {
+                    for &x in strides {
+                        assert_eq!(x % 16, 0);
+                    }
+                    let mut d = strides.clone();
+                    d.dedup();
+                    assert_eq!(d.len(), strides.len());
+                }
+                SiteKind::AlternatingStride { a, b } | SiteKind::PathPhased { a, b } => {
+                    assert_ne!(a, b);
+                    assert_eq!(a % 16, 0);
+                    assert_eq!(b % 16, 0);
+                }
+                SiteKind::ConstStride { stride }
+                | SiteKind::LowTrip { stride }
+                | SiteKind::ColdLoop { stride }
+                | SiteKind::WeakStride { stride, .. } => assert_eq!(stride % 16, 0),
+                SiteKind::PointerChase { node_size } => assert_eq!(node_size % 16, 0),
+                SiteKind::HashProbe { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn archetype_catalog_matches_kind_intent() {
+        let mut rng = Rng::new(1);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let s = draw_site(&mut rng);
+            let tag = s.kind.tag();
+            seen.insert(tag);
+            let info = ARCHETYPES
+                .iter()
+                .find(|a| a.tag == tag)
+                .unwrap_or_else(|| panic!("archetype {tag} missing from catalog"));
+            let intended: Vec<&str> = s
+                .kind
+                .intended()
+                .iter()
+                .map(|c| match c {
+                    Some(StrideClass::Ssst) => "SSST",
+                    Some(StrideClass::Pmst) => "PMST",
+                    Some(StrideClass::Wsst) => "WSST",
+                    None => "none",
+                })
+                .collect();
+            assert_eq!(intended, info.expected_classes, "catalog drift for {tag}");
+        }
+        assert_eq!(
+            seen.len(),
+            ARCHETYPES.len(),
+            "500 draws must hit every kind"
+        );
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let cfg = GenConfig::campaign();
+        assert_eq!(generate(0xabc, 7, &cfg).name(), "gen-0000000000000abc-0007");
+    }
+}

@@ -1,0 +1,179 @@
+//! Cluster-facing properties of the generated corpus: the golden
+//! `ShardMap` spreads a 500-module corpus across shards within bounded
+//! imbalance, and a live cluster survives `route-update` with every
+//! generated workload still routed to its owning shard (no misrouting,
+//! no lost acked merges).
+
+use std::collections::HashMap;
+use stride_genwork::{build, generate, GenConfig};
+use stride_ir::module_to_string;
+use stride_profdb::{module_hash, ProfileEntry, ShardMap};
+use stride_server::{
+    Client, Request, Response, RouterConfig, RouterServer, Server, ServerConfig, ServiceConfig,
+};
+
+/// `(name, module text, module hash)` for the first `count` workloads of
+/// a campaign seed.
+fn corpus(seed: u64, count: u32) -> Vec<(String, String, u64)> {
+    let gen = GenConfig::campaign();
+    (0..count)
+        .map(|index| {
+            let spec = generate(seed, index, &gen);
+            let built = build(&spec);
+            let text = module_to_string(&built.module);
+            let hash = module_hash(&built.module);
+            (spec.name(), text, hash)
+        })
+        .collect()
+}
+
+#[test]
+fn generated_corpus_spreads_across_shards_within_bounded_imbalance() {
+    let corpus = corpus(0xfeed_beef, 500);
+    for shards in [3u32, 5, 8] {
+        let map = ShardMap::new(shards);
+        let mut per_shard = vec![0u64; shards as usize];
+        for (name, _, hash) in &corpus {
+            per_shard[map.shard_of(name, *hash) as usize] += 1;
+        }
+        let ideal = corpus.len() as f64 / f64::from(shards);
+        for (k, &n) in per_shard.iter().enumerate() {
+            assert!(
+                (n as f64) >= 0.5 * ideal && (n as f64) <= 1.5 * ideal,
+                "shard {k}/{shards} holds {n} of {} (ideal {ideal:.1}): {per_shard:?}",
+                corpus.len()
+            );
+        }
+    }
+}
+
+fn tmp_root(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("stride-genplace-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Submits + merges a generated corpus through a router, re-points one
+/// shard's replica at a restarted daemon (same database root), and
+/// verifies every workload's profile is still served with all acked
+/// merges present.
+#[test]
+fn placement_survives_route_update_without_misrouting() {
+    const SHARDS: usize = 3;
+    let corpus = corpus(0xace_0f5bade5, 18);
+    let map = ShardMap::new(SHARDS as u32);
+
+    // Boot SHARDS × 1 daemons and a router over them.
+    let mut backends = Vec::new();
+    let mut topology = Vec::new();
+    let mut roots = Vec::new();
+    for k in 0..SHARDS {
+        let root = tmp_root(&format!("s{k}"));
+        roots.push(root.clone());
+        let server =
+            Server::start(ServerConfig::loopback(ServiceConfig::new(root))).expect("start backend");
+        topology.push(vec![server.addr().to_string()]);
+        backends.push(server);
+    }
+    let router = RouterServer::start(RouterConfig::loopback(topology)).expect("start router");
+    let mut client = Client::connect(router.addr()).expect("connect");
+
+    let mut expected_shard = HashMap::new();
+    for (name, text, hash) in &corpus {
+        expected_shard.insert(name.clone(), map.shard_of(name, *hash));
+        let resp = client
+            .call(&Request::SubmitModule {
+                workload: name.clone(),
+                text: text.clone(),
+            })
+            .expect("submit");
+        assert!(matches!(resp, Response::Ok(_)), "{name}: {resp:?}");
+        let entry = ProfileEntry {
+            workload: name.clone(),
+            module_hash: *hash,
+            runs: 1,
+            edge_tables: vec![vec![1, 2, 3]],
+            stride: stride_profiling::StrideProfile::new(),
+        };
+        let resp = client
+            .call(&Request::MergeProfile {
+                entry_text: entry.to_text(),
+            })
+            .expect("merge");
+        assert!(matches!(resp, Response::Ok(_)), "{name}: {resp:?}");
+    }
+    let hit: std::collections::HashSet<u32> = expected_shard.values().copied().collect();
+    assert_eq!(
+        hit.len(),
+        SHARDS,
+        "corpus missed a shard: {expected_shard:?}"
+    );
+
+    // Restart shard 1's only replica on a fresh port over the same
+    // database root, then re-point the router at it. Trigger shutdown
+    // without joining: the old daemon's worker is parked on the router's
+    // cached connection and only exits when `route-update` drops it —
+    // joining here would deadlock. Dropping the handle detaches the
+    // threads; the un-checkpointed round-one merges come back via WAL
+    // replay, which is exactly what the test wants to exercise.
+    let moved = backends.remove(1);
+    moved.shutdown();
+    drop(moved);
+    let restarted = Server::start(ServerConfig::loopback(ServiceConfig::new(roots[1].clone())))
+        .expect("restart backend");
+    let resp = client
+        .call(&Request::RouteUpdate {
+            shard: 1,
+            replica: 0,
+            addr: restarted.addr().to_string(),
+        })
+        .expect("route-update");
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    backends.insert(1, restarted);
+
+    // Second merge round after the update: every ack must land on the
+    // owning shard's (possibly restarted) replica.
+    for (name, _, hash) in &corpus {
+        let entry = ProfileEntry {
+            workload: name.clone(),
+            module_hash: *hash,
+            runs: 1,
+            edge_tables: vec![vec![1, 2, 3]],
+            stride: stride_profiling::StrideProfile::new(),
+        };
+        let resp = client
+            .call(&Request::MergeProfile {
+                entry_text: entry.to_text(),
+            })
+            .expect("merge 2");
+        assert!(matches!(resp, Response::Ok(_)), "{name}: {resp:?}");
+    }
+
+    // No misrouting: every workload reads back from its owner with both
+    // acked merges accumulated (the restarted shard recovered round one
+    // from its WAL).
+    for (name, _, hash) in &corpus {
+        let resp = client
+            .call(&Request::GetProfile {
+                workload: name.clone(),
+            })
+            .expect("get-profile");
+        let Response::Ok(body) = resp else {
+            panic!("{name} (shard {}): {resp:?}", expected_shard[name]);
+        };
+        let entry = ProfileEntry::from_text(&body).expect("entry text");
+        assert_eq!(entry.workload, *name);
+        assert_eq!(entry.module_hash, *hash, "{name}: wrong module entry");
+        assert_eq!(entry.runs, 2, "{name}: lost an acked merge");
+    }
+
+    let resp = client.call(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    router.join();
+    for b in backends {
+        b.join();
+    }
+    for root in roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}

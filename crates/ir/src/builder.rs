@@ -235,6 +235,27 @@ impl<'a> FunctionBuilder<'a> {
         dst
     }
 
+    /// Branch-free table lookup `options[index]` as a cmp/select chain.
+    ///
+    /// Materialises `options[0]` and folds in each later entry with
+    /// `r = (index == i) ? options[i] : r`, so an out-of-range index
+    /// resolves to `options[0]`. Emits `2 * (len - 1) + 1` straight-line
+    /// instructions into the current block — no control flow, which keeps
+    /// the surrounding loop's trip count and block shape intact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select_index(&mut self, index: Reg, options: &[i64]) -> Reg {
+        assert!(!options.is_empty(), "select_index with no options");
+        let mut result = self.const_(options[0]);
+        for (i, &value) in options.iter().enumerate().skip(1) {
+            let hit = self.cmp(CmpOp::Eq, index, i as i64);
+            result = self.select(hit, value, result);
+        }
+        result
+    }
+
     /// 8-byte load of `addr + offset` into a fresh register; returns the
     /// destination register and the load's instruction id (the key under
     /// which its stride profile is recorded).
@@ -481,6 +502,42 @@ mod tests {
         assert_eq!(func.blocks.len(), 4);
         // body redefines p through a load
         assert_eq!(func.blocks[2].instrs.len(), 1);
+    }
+
+    #[test]
+    fn select_index_chain_shape() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("pick", 1);
+        let mut fb = mb.function(f);
+        let idx = fb.param(0);
+        let picked = fb.select_index(idx, &[16, 48, 96, 128]);
+        fb.ret(Some(Operand::Reg(picked)));
+        let m = mb.finish();
+        let block = &m.function(f).blocks[0];
+        // const + 3 × (cmp, select), all straight-line.
+        assert_eq!(block.instrs.len(), 7);
+        assert!(matches!(block.instrs[0].op, Op::Const { value: 16, .. }));
+        for pair in block.instrs[1..].chunks(2) {
+            assert!(matches!(pair[0].op, Op::Cmp { op: CmpOp::Eq, .. }));
+            assert!(matches!(pair[1].op, Op::Select { .. }));
+        }
+        match &block.instrs[6].op {
+            Op::Select { dst, on_true, .. } => {
+                assert_eq!(*dst, picked);
+                assert!(matches!(on_true, Operand::Imm(128)));
+            }
+            other => panic!("expected trailing select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no options")]
+    fn select_index_rejects_empty_options() {
+        let mut mb = ModuleBuilder::new();
+        let f = mb.declare_function("pick", 1);
+        let mut fb = mb.function(f);
+        let idx = fb.param(0);
+        let _ = fb.select_index(idx, &[]);
     }
 
     #[test]

@@ -50,4 +50,6 @@ pub mod vortex;
 pub mod vpr;
 
 pub use common::{emit_array_walk, emit_build_list, emit_list_walk, Lcg, Peripheral};
-pub use spec::{all_workloads, workload_by_name, Scale, Workload};
+pub use spec::{
+    all_workloads, spec_by_name, workload_by_name, Scale, Workload, WorkloadSpec, REGISTRY,
+};

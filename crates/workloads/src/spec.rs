@@ -1,5 +1,11 @@
-//! The benchmark catalog (Fig. 15 of the paper) and the scaling knobs that
-//! map SPEC's train/reference inputs onto simulator-sized runs.
+//! The benchmark catalog (Fig. 15 of the paper): a declarative registry
+//! of every hand-built workload — metadata, designed stride classes, and
+//! builder — plus the scaling knobs that map SPEC's train/reference
+//! inputs onto simulator-sized runs.
+//!
+//! The registry is the single enumeration path for the suite: figure
+//! generators, the profile daemon, and the `genwork workloads` listing
+//! all walk [`REGISTRY`] instead of hard-coding the twelve names.
 
 use stride_ir::Module;
 
@@ -31,45 +37,132 @@ pub struct Workload {
     pub ref_args: Vec<i64>,
 }
 
+/// Registry record: one Fig. 15 benchmark, declaratively.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadSpec {
+    /// SPEC-style name, e.g. `"181.mcf"`.
+    pub name: &'static str,
+    /// Source language of the original program (Fig. 15).
+    pub lang: &'static str,
+    /// The original program's description (Fig. 15).
+    pub description: &'static str,
+    /// Stride classes the benchmark's hot in-loop load sites are
+    /// *designed* to exhibit (`"SSST"`, `"PMST"`, `"WSST"`, `"none"`) —
+    /// the fidelity tests in `tests/workload_characteristics.rs` pin the
+    /// load-bearing ones. Spelled as strings so listings serialize
+    /// directly and this crate stays independent of the classifier.
+    pub expected_classes: &'static [&'static str],
+    /// Builds the benchmark at a given scale.
+    pub build: fn(Scale) -> Workload,
+}
+
+/// Every benchmark of Fig. 15, in the paper's order.
+pub const REGISTRY: &[WorkloadSpec] = &[
+    WorkloadSpec {
+        name: "164.gzip",
+        lang: "C",
+        description: "compression",
+        expected_classes: &["SSST", "none"],
+        build: crate::gzip::build,
+    },
+    WorkloadSpec {
+        name: "175.vpr",
+        lang: "C",
+        description: "FPGA circuit placement and routing",
+        expected_classes: &["SSST", "none"],
+        build: crate::vpr::build,
+    },
+    WorkloadSpec {
+        name: "176.gcc",
+        lang: "C",
+        description: "C compiler",
+        expected_classes: &["none"],
+        build: crate::gcc::build,
+    },
+    WorkloadSpec {
+        name: "181.mcf",
+        lang: "C",
+        description: "combinatorial optimization",
+        expected_classes: &["SSST", "none"],
+        build: crate::mcf::build,
+    },
+    WorkloadSpec {
+        name: "186.crafty",
+        lang: "C",
+        description: "chess",
+        expected_classes: &["none"],
+        build: crate::crafty::build,
+    },
+    WorkloadSpec {
+        name: "197.parser",
+        lang: "C",
+        description: "word processing",
+        expected_classes: &["SSST", "none"],
+        build: crate::parser::build,
+    },
+    WorkloadSpec {
+        name: "252.eon",
+        lang: "C++",
+        description: "computer visualization",
+        expected_classes: &["SSST", "none"],
+        build: crate::eon::build,
+    },
+    WorkloadSpec {
+        name: "253.perlbmk",
+        lang: "C",
+        description: "Perl interpreter",
+        expected_classes: &["WSST", "none"],
+        build: crate::perlbmk::build,
+    },
+    WorkloadSpec {
+        name: "254.gap",
+        lang: "C",
+        description: "group theory interpreter",
+        expected_classes: &["PMST", "none"],
+        build: crate::gap::build,
+    },
+    WorkloadSpec {
+        name: "255.vortex",
+        lang: "C",
+        description: "object-oriented database",
+        expected_classes: &["SSST", "none"],
+        build: crate::vortex::build,
+    },
+    WorkloadSpec {
+        name: "256.bzip2",
+        lang: "C",
+        description: "compression",
+        expected_classes: &["SSST", "none"],
+        build: crate::bzip2::build,
+    },
+    WorkloadSpec {
+        name: "300.twolf",
+        lang: "C",
+        description: "place and route simulator",
+        expected_classes: &["SSST", "none"],
+        build: crate::twolf::build,
+    },
+];
+
+/// Looks up a registry record by Fig. 15 name, with or without the
+/// numeric prefix; `None` for unknown names.
+pub fn spec_by_name(name: &str) -> Option<&'static WorkloadSpec> {
+    let short = name.rsplit('.').next().unwrap_or(name);
+    REGISTRY
+        .iter()
+        .find(|s| s.name == name || s.name.rsplit('.').next() == Some(short))
+}
+
 /// Builds every benchmark of Fig. 15 at the given scale, in the paper's
 /// order.
 pub fn all_workloads(scale: Scale) -> Vec<Workload> {
-    vec![
-        crate::gzip::build(scale),
-        crate::vpr::build(scale),
-        crate::gcc::build(scale),
-        crate::mcf::build(scale),
-        crate::crafty::build(scale),
-        crate::parser::build(scale),
-        crate::eon::build(scale),
-        crate::perlbmk::build(scale),
-        crate::gap::build(scale),
-        crate::vortex::build(scale),
-        crate::bzip2::build(scale),
-        crate::twolf::build(scale),
-    ]
+    REGISTRY.iter().map(|s| (s.build)(scale)).collect()
 }
 
 /// Builds one benchmark by its Fig. 15 name (with or without the numeric
 /// prefix); `None` for unknown names.
 pub fn workload_by_name(name: &str, scale: Scale) -> Option<Workload> {
-    let short = name.rsplit('.').next().unwrap_or(name);
-    let w = match short {
-        "gzip" => crate::gzip::build(scale),
-        "vpr" => crate::vpr::build(scale),
-        "gcc" => crate::gcc::build(scale),
-        "mcf" => crate::mcf::build(scale),
-        "crafty" => crate::crafty::build(scale),
-        "parser" => crate::parser::build(scale),
-        "eon" => crate::eon::build(scale),
-        "perlbmk" => crate::perlbmk::build(scale),
-        "gap" => crate::gap::build(scale),
-        "vortex" => crate::vortex::build(scale),
-        "bzip2" => crate::bzip2::build(scale),
-        "twolf" => crate::twolf::build(scale),
-        _ => return None,
-    };
-    Some(w)
+    spec_by_name(name).map(|s| (s.build)(scale))
 }
 
 #[cfg(test)]
@@ -103,6 +196,26 @@ mod tests {
     }
 
     #[test]
+    fn registry_metadata_matches_built_workloads() {
+        // The registry duplicates name/lang so listings don't have to
+        // build modules; this pins the two sources together.
+        for spec in REGISTRY {
+            let w = (spec.build)(Scale::Test);
+            assert_eq!(spec.name, w.name);
+            assert_eq!(spec.lang, w.lang);
+            assert!(!spec.description.is_empty());
+            assert!(!spec.expected_classes.is_empty());
+            for c in spec.expected_classes {
+                assert!(
+                    ["SSST", "PMST", "WSST", "none"].contains(c),
+                    "{}: unknown class {c}",
+                    spec.name
+                );
+            }
+        }
+    }
+
+    #[test]
     fn every_workload_verifies_and_runs_at_test_scale() {
         for w in all_workloads(Scale::Test) {
             stride_ir::verify_module(&w.module)
@@ -125,6 +238,7 @@ mod tests {
         assert!(workload_by_name("181.mcf", Scale::Test).is_some());
         assert!(workload_by_name("mcf", Scale::Test).is_some());
         assert!(workload_by_name("999.unknown", Scale::Test).is_none());
+        assert_eq!(spec_by_name("parser").map(|s| s.name), Some("197.parser"));
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //! ```
 
 use stride_prefetch::core::{
-    classify_profile, prefetch_with_profiles, run_profiling, run_uninstrumented, PipelineConfig,
-    PrefetchConfig, ProfilingVariant,
+    classify_profile, prefetch_with_profiles, run_profiling, run_uninstrumented,
+    ClassifyThresholds, PipelineConfig, ProfilingVariant,
 };
 use stride_prefetch::ir::{Module, ModuleBuilder, Operand};
 use stride_prefetch::workloads::{emit_build_list, emit_list_walk, Lcg};
@@ -56,7 +56,7 @@ fn main() {
             if profile.total_freq == 0 {
                 continue;
             }
-            let class = classify_profile(profile, &PrefetchConfig::paper());
+            let class = classify_profile(profile, &ClassifyThresholds::paper());
             let class = class.map_or("none".to_string(), |c| c.to_string());
             let (stride, freq) = profile.top1().unwrap_or((0, 0));
             println!(

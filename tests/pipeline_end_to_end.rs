@@ -2,8 +2,8 @@
 //! claims that must hold at any scale.
 
 use stride_prefetch::core::{
-    measure_overhead, measure_speedup, run_profiling, PipelineConfig, PrefetchConfig,
-    ProfilingVariant, StrideClass,
+    measure_overhead, measure_speedup, run_profiling, ClassifyThresholds, PipelineConfig,
+    PrefetchConfig, ProfilingVariant, StrideClass,
 };
 use stride_prefetch::ir::{BinOp, ModuleBuilder, Operand};
 use stride_prefetch::workloads::{workload_by_name, Scale};
@@ -11,7 +11,10 @@ use stride_prefetch::workloads::{workload_by_name, Scale};
 fn config() -> PipelineConfig {
     PipelineConfig {
         prefetch: PrefetchConfig {
-            frequency_threshold: 500, // test-scale inputs are small
+            thresholds: ClassifyThresholds {
+                frequency_threshold: 500, // test-scale inputs are small
+                ..ClassifyThresholds::paper()
+            },
             ..PrefetchConfig::paper()
         },
         ..PipelineConfig::default()
@@ -152,7 +155,7 @@ fn wsst_prefetching_can_be_enabled() {
     let w = workload_by_name("perlbmk", Scale::Test).unwrap();
     let mut cfg = config();
     cfg.prefetch.enable_wsst_prefetch = true;
-    cfg.prefetch.frequency_threshold = 100;
+    cfg.prefetch.thresholds.frequency_threshold = 100;
     let out = measure_speedup(
         &w.module,
         &w.train_args,

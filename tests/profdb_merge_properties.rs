@@ -5,7 +5,7 @@
 //! Inputs come from a deterministic splitmix64 PRNG (std-only — this
 //! container builds offline), so every run checks the same case set.
 
-use stride_prefetch::core::{classify, classify_profile, PipelineConfig, PrefetchConfig};
+use stride_prefetch::core::{classify, classify_profile, ClassifyThresholds, PipelineConfig};
 use stride_prefetch::core::{run_profiling, ProfilingVariant};
 use stride_prefetch::ir::{FuncId, InstrId};
 use stride_prefetch::profdb::{module_hash, ProfileDb, ProfileEntry};
@@ -257,7 +257,7 @@ fn counter_saturation_never_wraps() {
 fn self_merge_preserves_per_site_classification() {
     // Doubling every counter preserves the top1/top4/zero-diff ratios the
     // Fig. 5 classifier compares, so a site's class must not move.
-    let config = PrefetchConfig::default();
+    let config = ClassifyThresholds::default();
     let mut rng = Rng::new(0xF165);
     for case in 0..64 {
         let shape = random_shape(&mut rng);

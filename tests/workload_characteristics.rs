@@ -3,8 +3,8 @@
 //! tests that keep the workloads honest when they are tuned.
 
 use stride_prefetch::core::{
-    classify_profile, load_mix, run_profiling, run_uninstrumented, PipelineConfig, PrefetchConfig,
-    ProfilingVariant, StrideClass,
+    classify_profile, load_mix, run_profiling, run_uninstrumented, ClassifyThresholds,
+    PipelineConfig, ProfilingVariant, StrideClass,
 };
 use stride_prefetch::workloads::{workload_by_name, Scale};
 
@@ -60,7 +60,7 @@ fn gap_sweep_has_multiple_phased_strides() {
         .expect("gap sweep load with multiple dominant strides");
     assert!(sweep.zero_diff_ratio() > 0.6, "sweep must be phased");
     assert_eq!(
-        classify_profile(&sweep, &PrefetchConfig::paper()),
+        classify_profile(&sweep, &ClassifyThresholds::paper()),
         Some(StrideClass::Pmst)
     );
     // the three allocation size classes (rounded to 16/32/48)
@@ -90,7 +90,7 @@ fn crafty_probes_have_no_stride_pattern() {
     );
     for (_, site, p) in tt_loads {
         assert_eq!(
-            classify_profile(p, &PrefetchConfig::paper()),
+            classify_profile(p, &ClassifyThresholds::paper()),
             None,
             "site {site} should not classify"
         );
@@ -107,7 +107,7 @@ fn mcf_arc_scan_is_strongly_single_strided() {
         .filter(|(f, _, p)| *f == main_fn.id && p.total_freq > 1000)
         .filter(|(_, _, p)| {
             p.top1().map(|(s, _)| s) == Some(64)
-                && classify_profile(p, &PrefetchConfig::paper()) == Some(StrideClass::Ssst)
+                && classify_profile(p, &ClassifyThresholds::paper()) == Some(StrideClass::Ssst)
         })
         .count();
     assert!(ssst >= 1, "mcf arc scan must be SSST with stride 64");
@@ -144,7 +144,7 @@ fn peripheral_helper_loads_classify_as_the_paper_describes() {
         let class = outcome
             .stride
             .get(helper.id, site)
-            .and_then(|p| classify_profile(p, &PrefetchConfig::paper()));
+            .and_then(|p| classify_profile(p, &ClassifyThresholds::paper()));
         classes.push(class);
     }
     assert!(
