@@ -299,6 +299,110 @@ cargo run --release -q -p stride-profdb --bin profdb -- check --db "$cl_root/s1"
     | grep -q '^verdict: ok' || { echo "recovered shard store failed its audit" >&2; exit 1; }
 rm -rf "$cl_root" "$rt_out" "${shard_out[@]}"
 
+echo "== smoke: unattended failover — replica SIGKILL mid-traffic, self-announce revival, zero operator verbs =="
+uf_root=$(mktemp -d)
+# A scratch single daemon supplies a real profile entry for the merge traffic.
+scratch_out=$(mktemp)
+cargo run --release -q -p stride-server --bin strided -- \
+    serve --addr 127.0.0.1:0 --db "$uf_root/scratch" --workers 2 > "$scratch_out" &
+scratch_pid=$!
+saddr=""
+for _ in $(seq 1 100); do
+    saddr=$(sed -n 's/^listening on //p' "$scratch_out")
+    [ -n "$saddr" ] && break
+    sleep 0.1
+done
+[ -n "$saddr" ] || { echo "scratch daemon did not report its address" >&2; exit 1; }
+sctl() { cargo run --release -q -p stride-bench --bin stridectl -- --addr "$saddr" --retries 1 "$@"; }
+submit_out=$(sctl submit mcf --builtin mcf --scale test)
+train=$(echo "$submit_out" | sed -n 's/^built-in [^ ]* train=\([^ ]*\) .*/\1/p')
+sctl profile mcf --variant edge-check --args "$train" > /dev/null
+sctl get-profile mcf > "$uf_root/entry.mcf"
+sctl shutdown > /dev/null
+wait "$scratch_pid" || true
+# One shard, three replicas; the third is never touched by the fault and
+# doubles as the uninterrupted reference store for the byte-compare.
+declare -a uf_pid uf_out
+for r in 0 1 2; do
+    uf_out[$r]=$(mktemp)
+    cargo run --release -q -p stride-server --bin strided -- \
+        serve --addr 127.0.0.1:0 --db "$uf_root/r$r" --workers 2 > "${uf_out[$r]}" &
+    uf_pid[$r]=$!
+done
+replicas=""
+for r in 0 1 2; do
+    a=""
+    for _ in $(seq 1 100); do
+        a=$(sed -n 's/^listening on //p' "${uf_out[$r]}")
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    [ -n "$a" ] || { echo "failover replica $r did not report its address" >&2; exit 1; }
+    replicas="$replicas${replicas:+,}$a"
+done
+ufrt_out=$(mktemp)
+cargo run --release -q -p stride-server --bin strided-router -- \
+    serve --addr 127.0.0.1:0 --workers 2 --shard "$replicas" > "$ufrt_out" &
+ufrt_pid=$!
+ufaddr=""
+for _ in $(seq 1 100); do
+    ufaddr=$(sed -n 's/^listening on //p' "$ufrt_out")
+    [ -n "$ufaddr" ] && break
+    sleep 0.1
+done
+[ -n "$ufaddr" ] || { echo "failover router did not report its address" >&2; exit 1; }
+ufctl() { cargo run --release -q -p stride-bench --bin stridectl -- --addr "$ufaddr" --retries 1 "$@"; }
+for i in 0 1 2; do
+    sed "s/^workload .*/workload fo$i/" "$uf_root/entry.mcf" > "$uf_root/entry.fo$i"
+    ufctl merge-profile --file "$uf_root/entry.fo$i" > /dev/null \
+        || { echo "pre-fault merge fo$i failed" >&2; exit 1; }
+done
+# Mid-traffic SIGKILL of replica 0: its siblings keep acking while its
+# share spools as hints. Nobody runs route-update from here on.
+kill -9 "${uf_pid[0]}"
+wait "${uf_pid[0]}" 2>/dev/null || true
+for i in 0 1 2; do
+    ufctl merge-profile --file "$uf_root/entry.fo$i" > /dev/null \
+        || { echo "merge fo$i during replica outage failed (siblings must keep acking)" >&2; exit 1; }
+done
+# Restart the victim with --announce: it re-registers itself on a fresh
+# port; the router's revival drains hints and re-runs repair.
+uf_out[0]=$(mktemp)
+cargo run --release -q -p stride-server --bin strided -- \
+    serve --addr 127.0.0.1:0 --db "$uf_root/r0" --workers 2 \
+    --announce "$ufaddr/0/0" > "${uf_out[0]}" &
+uf_pid[0]=$!
+healed=""
+for _ in $(seq 1 100); do
+    st=$(ufctl stats || true)
+    if echo "$st" | grep -q 'lag shard=0 replica=0 queued=0' \
+        && echo "$st" | grep -q 'health shard=0 replica=0 state=alive'; then
+        healed=yes
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$healed" ] || { echo "cluster did not self-heal after --announce (no operator verbs issued)" >&2; exit 1; }
+ufctl health | grep -c ' alive$' | grep -qx 3 \
+    || { echo "not every replica reports alive after revival" >&2; exit 1; }
+ufctl repair | grep -q 'divergent=false' \
+    || { echo "post-revival repair round still reports divergence" >&2; exit 1; }
+ufctl shutdown | grep -q 'shutting down' || { echo "failover cluster shutdown failed" >&2; exit 1; }
+wait "$ufrt_pid" || { echo "failover router exited non-zero" >&2; exit 1; }
+for r in 0 1 2; do
+    wait "${uf_pid[$r]}" || { echo "failover replica $r exited non-zero" >&2; exit 1; }
+done
+# Every store byte-identical to the uninterrupted replica 2.
+n=$(ls "$uf_root"/r2/*.profdb 2>/dev/null | wc -l)
+[ "$n" -eq 3 ] || { echo "uninterrupted reference store has $n entries, want 3" >&2; exit 1; }
+for r in 0 1; do
+    for f in "$uf_root"/r2/*.profdb; do
+        cmp -s "$f" "$uf_root/r$r/$(basename "$f")" \
+            || { echo "replica $r store diverged from the uninterrupted reference: $(basename "$f")" >&2; exit 1; }
+    done
+done
+rm -rf "$uf_root" "$scratch_out" "$ufrt_out" "${uf_out[@]}"
+
 echo "== smoke: cluster chaos campaign (two seeds, jobs-invariant) =="
 cl_a=$(mktemp)
 cl_b=$(mktemp)

@@ -40,6 +40,18 @@
 //! edge-counter scaling, so any lost or double-applied delta produces a
 //! unique byte difference.
 //!
+//! Four of the cluster scenarios exercise the self-healing loop with
+//! **zero operator verbs**: a killed replica restarted with
+//! `--announce` re-registers itself and is revived by the router's
+//! probe clock (hints drained, modules re-taught, repair run);
+//! divergent deltas injected behind the router's back are reconverged
+//! by traffic-driven anti-entropy rounds alone; a `--hint-cap 2`
+//! router overflows its spool under a replica outage and must refuse
+//! the overflow whole with typed `handoff-full` until self-announce
+//! revival drains it; and 8 concurrent writers push ~2x the AIMD
+//! admission floor, where every shed must be a typed `busy` with a
+//! retry hint and every acked merge must survive byte-identically.
+//!
 //! Exit status: 0 when every scenario either completed with the
 //! invariant held or degraded to a structured diagnostic; 1 when any
 //! scenario panicked or violated the invariant.
@@ -317,6 +329,17 @@ fn spawn_daemon(
     db: &std::path::Path,
     inject: Option<&str>,
 ) -> Result<Daemon, String> {
+    spawn_daemon_with(bin, db, inject, &[])
+}
+
+/// [`spawn_daemon`] with extra CLI flags (e.g. `--announce` for a
+/// self-registering restart).
+fn spawn_daemon_with(
+    bin: &std::path::Path,
+    db: &std::path::Path,
+    inject: Option<&str>,
+    extra: &[String],
+) -> Result<Daemon, String> {
     let mut cmd = std::process::Command::new(bin);
     cmd.arg("serve")
         .arg("--addr")
@@ -330,12 +353,19 @@ fn spawn_daemon(
     if let Some(spec) = inject {
         cmd.arg("--inject").arg(spec);
     }
+    cmd.args(extra);
     wait_listening(cmd, "strided")
 }
 
 /// Spawns `strided-router serve` over the given shard topology (one
 /// comma-joined `--shard` flag per shard) and waits for its bind line.
-fn spawn_router(bin: &std::path::Path, shards: &[Vec<String>]) -> Result<Daemon, String> {
+/// Extra CLI flags are appended last, so a repeated flag (e.g.
+/// `--workers`) overrides the base value.
+fn spawn_router_with(
+    bin: &std::path::Path,
+    shards: &[Vec<String>],
+    extra: &[String],
+) -> Result<Daemon, String> {
     let mut cmd = std::process::Command::new(bin);
     cmd.arg("serve")
         .arg("--addr")
@@ -347,6 +377,7 @@ fn spawn_router(bin: &std::path::Path, shards: &[Vec<String>]) -> Result<Daemon,
     for row in shards {
         cmd.arg("--shard").arg(row.join(","));
     }
+    cmd.args(extra);
     wait_listening(cmd, "strided-router")
 }
 
@@ -649,6 +680,27 @@ const CLUSTER_KEYS: usize = 8;
 /// every applied-delta subset has a unique counter sum.
 const CLUSTER_ROUNDS: usize = 4;
 
+/// How a cluster scenario heals after its fault.
+#[derive(Clone, Copy, PartialEq)]
+enum Heal {
+    /// Legacy flow: the driver issues an operator `route-update` after
+    /// restarting the victims.
+    Operator,
+    /// Self-healing flow: the restarted victim is given `--announce` and
+    /// registers itself with the router — zero operator verbs.
+    Announce,
+    /// No kill: divergent deltas are injected behind the router's back
+    /// and only traffic-driven anti-entropy repair rounds reconverge.
+    AntiEntropy,
+    /// Tiny hint spool (`--hint-cap 2`): a replica outage overflows it,
+    /// merges are refused whole with typed `handoff-full`, revival
+    /// drains the spool, and resends land cleanly.
+    HintPressure,
+    /// 2x-capacity concurrent merge pressure against the router's AIMD
+    /// admission limiter: sheds must be typed, acked merges durable.
+    Overload,
+}
+
 /// One scenario of the `--cluster` chaos campaign.
 struct ClusterScenario {
     index: usize,
@@ -657,32 +709,65 @@ struct ClusterScenario {
     kill: Option<(usize, bool)>,
     /// Per-scenario salt folded into the seed.
     salt: u64,
+    /// Healing mechanism under test.
+    heal: Heal,
 }
 
-/// The built-in cluster campaign: a whole-shard outage (typed shedding),
-/// a single-replica outage (lag queue + redelivery), pure replication
-/// weather, and a second whole-shard outage on a different shard.
+/// The built-in cluster campaign: the four legacy operator-driven
+/// scenarios (whole-shard outage, single-replica outage, pure
+/// replication weather, second whole-shard outage), then the four
+/// self-healing scenarios (announce-based unattended failover,
+/// anti-entropy repair of divergent replicas, hint-spool overflow
+/// pressure, and 2x-capacity AIMD overload).
 fn cluster_campaign() -> Vec<ClusterScenario> {
     vec![
         ClusterScenario {
             index: 0,
             kill: Some((1, true)),
             salt: 1,
+            heal: Heal::Operator,
         },
         ClusterScenario {
             index: 1,
             kill: Some((2, false)),
             salt: 2,
+            heal: Heal::Operator,
         },
         ClusterScenario {
             index: 2,
             kill: None,
             salt: 3,
+            heal: Heal::Operator,
         },
         ClusterScenario {
             index: 3,
             kill: Some((0, true)),
             salt: 4,
+            heal: Heal::Operator,
+        },
+        ClusterScenario {
+            index: 4,
+            kill: Some((1, false)),
+            salt: 5,
+            heal: Heal::Announce,
+        },
+        ClusterScenario {
+            index: 5,
+            kill: None,
+            salt: 6,
+            heal: Heal::AntiEntropy,
+        },
+        ClusterScenario {
+            index: 6,
+            kill: None,
+            salt: 7,
+            heal: Heal::HintPressure,
+        },
+        ClusterScenario {
+            index: 7,
+            kill: None,
+            salt: 8,
+            heal: Heal::Overload,
         },
     ]
 }
@@ -739,16 +824,23 @@ impl Drop for Cluster {
     }
 }
 
-/// Runs one cluster chaos scenario; returns its deterministic verdict
-/// line. The kill point, victim, and chaos schedules are all functions
-/// of `(seed, salt)`, so the line is identical at any `--jobs` level.
-fn run_cluster_scenario(
-    strided: &std::path::Path,
-    router: &std::path::Path,
+/// Deterministic per-scenario traffic: the keys, their owning shards,
+/// every merge's wire text, and the exact delta record the router will
+/// fan out for it (req-ids predicted from the client id stream — only
+/// merges consume ids, so stats/health polls never shift the stream).
+struct TrafficPlan {
+    keys: Vec<(String, u64)>,
+    owner: Vec<usize>,
+    texts: Vec<String>,
+    records: Vec<DeltaRecord>,
+    id0: u64,
+}
+
+fn plan_traffic(
     bases: &[ProfileEntry],
     sc: &ClusterScenario,
     seed: u64,
-) -> Result<String, String> {
+) -> Result<TrafficPlan, String> {
     let map = ShardMap::new(CLUSTER_SHARDS as u32);
     let keys: Vec<(String, u64)> = (0..CLUSTER_KEYS)
         .map(|i| (format!("c{}k{i}", sc.index), 0x4100 + i as u64))
@@ -764,9 +856,6 @@ fn run_cluster_scenario(
             ));
         }
     }
-
-    // Every merge, its wire text, and the exact delta record the router
-    // will fan out for it (req-id predicted from the client id stream).
     let total = CLUSTER_KEYS * CLUSTER_ROUNDS;
     let texts: Vec<String> = (0..total)
         .map(|i| {
@@ -784,15 +873,30 @@ fn run_cluster_scenario(
             entry_text: t.clone(),
         })
         .collect();
+    Ok(TrafficPlan {
+        keys,
+        owner,
+        texts,
+        records,
+        id0,
+    })
+}
 
-    // Boot 3 shards × 2 replicas plus the router over them.
-    let root = std::env::temp_dir().join(format!(
-        "faultsim-cluster-{}-{}",
-        std::process::id(),
-        sc.index
-    ));
-    let _ = std::fs::remove_dir_all(&root);
-    let db_dir = |k: usize, r: usize| root.join(format!("s{k}r{r}"));
+/// Per-scenario scratch root for database directories.
+fn cluster_root(index: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("faultsim-cluster-{}-{index}", std::process::id()))
+}
+
+/// Boots 3 shards × 2 replicas plus a router over them (extra router
+/// flags let self-healing scenarios shrink the hint cap or widen the
+/// worker pool); returns the process set and the router's address.
+fn boot_cluster_3x2(
+    strided: &std::path::Path,
+    router: &std::path::Path,
+    root: &std::path::Path,
+    router_extra: &[String],
+) -> Result<(Cluster, String), String> {
+    let _ = std::fs::remove_dir_all(root);
     let mut cluster = Cluster {
         router: None,
         backends: Vec::new(),
@@ -802,21 +906,212 @@ fn run_cluster_scenario(
         let mut row = Vec::new();
         let mut addrs = Vec::new();
         for r in 0..CLUSTER_REPLICAS {
-            let d = spawn_daemon(strided, &db_dir(k, r), None)?;
+            let d = spawn_daemon(strided, &root.join(format!("s{k}r{r}")), None)?;
             addrs.push(d.addr.clone());
             row.push(Some(d));
         }
         cluster.backends.push(row);
         topology.push(addrs);
     }
-    cluster.router = Some(spawn_router(router, &topology)?);
-    let router_addr = match &cluster.router {
+    cluster.router = Some(spawn_router_with(router, &topology, router_extra)?);
+    let addr = match &cluster.router {
         Some(d) => d.addr.clone(),
         None => return Err("router vanished".to_string()),
     };
+    Ok((cluster, addr))
+}
+
+/// Replication weather: each shard's deltas delivered straight at its
+/// live replicas with seeded drops, duplicates, and a full shuffle — an
+/// adversarial at-least-once network. Request-id dedup plus the
+/// commutative merge must absorb all of it.
+fn chaos_weather(
+    cluster: &Cluster,
+    owner: &[usize],
+    records: &[DeltaRecord],
+    seed: u64,
+    salt: u64,
+) -> Result<(), String> {
+    let total = records.len();
+    let mut rng = Rng(mix64(seed ^ 0x51ab ^ salt));
+    for k in 0..CLUSTER_SHARDS {
+        let owned: Vec<&DeltaRecord> = (0..total)
+            .filter(|i| owner[i % CLUSTER_KEYS] == k)
+            .map(|i| &records[i])
+            .collect();
+        for r in 0..CLUSTER_REPLICAS {
+            let Some(d) = &cluster.backends[k][r] else {
+                continue;
+            };
+            let mut sched: Vec<&DeltaRecord> = Vec::new();
+            for rec in &owned {
+                if rng.below(3) != 0 {
+                    sched.push(rec); // dropped with probability 1/3
+                }
+                if rng.below(3) == 0 {
+                    sched.push(rec); // duplicated with probability 1/3
+                }
+            }
+            rng.shuffle(&mut sched);
+            let mut c = Client::connect_with(d.addr.as_str(), RetryPolicy::no_retries())
+                .map_err(|e| format!("chaos connect s{k}r{r}: {e}"))?;
+            for chunk in sched.chunks(3) {
+                let batch: Vec<DeltaRecord> = chunk.iter().map(|r| (*r).clone()).collect();
+                match c.call(&Request::SyncDelta {
+                    batch_text: encode_delta_batch(&batch),
+                }) {
+                    Ok(Response::Ok(_)) => {}
+                    other => return Err(format!("chaos sync-delta to s{k}r{r}: {other:?}")),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `db-entries` per `== shard K replica R ... ==` stats section.
+fn replica_entry_counts(body: &str) -> Vec<((usize, usize), u64)> {
+    let mut out = Vec::new();
+    let mut current: Option<(usize, usize)> = None;
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix("== shard ") {
+            let mut p = rest.split_whitespace();
+            let k = p.next().and_then(|s| s.parse().ok());
+            let tag = p.next();
+            let r = p.next().and_then(|s| s.parse().ok());
+            current = match (k, tag, r) {
+                (Some(k), Some("replica"), Some(r)) => Some((k, r)),
+                _ => None,
+            };
+            continue;
+        }
+        if line.starts_with("== ") {
+            current = None;
+            continue;
+        }
+        if let (Some(kr), Some(v)) = (current, line.strip_prefix("db-entries ")) {
+            if let Ok(n) = v.trim().parse() {
+                out.push((kr, n));
+                current = None;
+            }
+        }
+    }
+    out
+}
+
+/// Polls router stats until the cluster looks self-healed: every hint
+/// spool drained, every replica alive, and the replicas of each shard
+/// agreeing on entry count — then keeps polling until `extra_repair`
+/// more anti-entropy rounds have run on top of that quiet state. Every
+/// poll ticks the router's logical probe clock, so polling *drives*
+/// probing, revival, and repair; no operator verb is ever issued.
+fn settle_selfhealed(client: &mut Client, extra_repair: u64) -> Result<(), String> {
+    let want = CLUSTER_SHARDS * CLUSTER_REPLICAS;
+    let mut quiet_rounds: Option<u64> = None;
+    for _ in 0..800 {
+        let body = match client.call(&Request::Stats) {
+            Ok(Response::Ok(b)) => b,
+            other => return Err(format!("settle stats: {other:?}")),
+        };
+        let lag: Vec<&str> = body.lines().filter(|l| l.starts_with("lag ")).collect();
+        let lag_ok = lag.len() == want && lag.iter().all(|l| l.ends_with("queued=0"));
+        let health: Vec<&str> = body.lines().filter(|l| l.starts_with("health ")).collect();
+        let alive = health.len() == want && health.iter().all(|l| l.ends_with("state=alive"));
+        let counts = replica_entry_counts(&body);
+        let agree = counts.len() == want
+            && (0..CLUSTER_SHARDS).all(|k| {
+                let per: Vec<u64> = counts
+                    .iter()
+                    .filter(|((ck, _), _)| *ck == k)
+                    .map(|(_, n)| *n)
+                    .collect();
+                per.len() == CLUSTER_REPLICAS && per.windows(2).all(|w| w[0] == w[1])
+            });
+        let rounds = body
+            .lines()
+            .find_map(|l| l.strip_prefix("counter router.repair_rounds "))
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(0);
+        if lag_ok && alive && agree {
+            let base = *quiet_rounds.get_or_insert(rounds);
+            if rounds >= base + extra_repair {
+                return Ok(());
+            }
+        } else {
+            quiet_rounds = None;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(15));
+    }
+    Err("cluster did not self-heal within the settle budget".to_string())
+}
+
+/// Stops the whole cluster (router shutdown fans out), then holds every
+/// replica store byte-identical to an uninterrupted reference applying
+/// `reference[k]` once per shard. `allow_empty` permits a shard that
+/// legitimately ended with no applied merges (overload shedding).
+fn stop_and_compare(
+    client: &mut Client,
+    cluster: &mut Cluster,
+    root: &std::path::Path,
+    reference: &[Vec<DeltaRecord>],
+    allow_empty: bool,
+) -> Result<(), String> {
+    match client.call(&Request::Shutdown) {
+        Ok(Response::Ok(_)) => {}
+        other => return Err(format!("cluster shutdown: {other:?}")),
+    }
+    for d in cluster.backends.iter_mut().flatten().flatten() {
+        d.shutdown();
+    }
+    if let Some(mut d) = cluster.router.take() {
+        d.shutdown();
+    }
+    for (k, recs) in reference.iter().enumerate() {
+        let ref_dir = root.join(format!("ref{k}"));
+        let db = ProfileDb::open(&ref_dir).map_err(|e| format!("reference db: {e}"))?;
+        db.apply_deltas(recs)
+            .map_err(|e| format!("reference apply shard {k}: {e}"))?;
+        let want = entry_files(&ref_dir)?;
+        if want.is_empty() && !allow_empty {
+            return Err(format!("reference store for shard {k} is empty"));
+        }
+        for r in 0..CLUSTER_REPLICAS {
+            let got = entry_files(&root.join(format!("s{k}r{r}")))?;
+            if got != want {
+                return Err(format!(
+                    "DIVERGED: shard {k} replica {r} store differs from the uninterrupted \
+                     reference ({} vs {} entry file(s)) — an acked merge was lost, a \
+                     duplicate double-counted, or replicas split",
+                    got.len(),
+                    want.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one cluster chaos scenario; returns its deterministic verdict
+/// line. The kill point, victim, and chaos schedules are all functions
+/// of `(seed, salt)`, so the line is identical at any `--jobs` level.
+fn run_cluster_scenario(
+    strided: &std::path::Path,
+    router: &std::path::Path,
+    bases: &[ProfileEntry],
+    sc: &ClusterScenario,
+    seed: u64,
+) -> Result<String, String> {
+    let plan = plan_traffic(bases, sc, seed)?;
+    let (owner, texts, records) = (&plan.owner, &plan.texts, &plan.records);
+    let total = texts.len();
+
+    // Boot 3 shards × 2 replicas plus the router over them.
+    let root = cluster_root(sc.index);
+    let db_dir = |k: usize, r: usize| root.join(format!("s{k}r{r}"));
+    let (mut cluster, router_addr) = boot_cluster_3x2(strided, router, &root, &[])?;
     let mut client = Client::connect_with(router_addr.as_str(), RetryPolicy::no_retries())
         .map_err(|e| format!("connect to router: {e}"))?;
-    client.set_id_state(id0);
+    client.set_id_state(plan.id0);
 
     // Phase 1: merge traffic with a seeded mid-stream SIGKILL. A fully
     // dead shard must shed exactly its own key range with a typed
@@ -896,43 +1191,9 @@ fn run_cluster_scenario(
         }
     }
 
-    // Phase 3: replication weather. Deliver each shard's deltas straight
-    // at its replicas with seeded drops, duplicates, and a full shuffle —
-    // an adversarial at-least-once network. Request-id dedup plus the
-    // commutative merge must absorb all of it.
-    let mut rng = Rng(mix64(seed ^ 0x51ab ^ sc.salt));
-    for k in 0..CLUSTER_SHARDS {
-        let owned: Vec<&DeltaRecord> = (0..total)
-            .filter(|i| owner[i % CLUSTER_KEYS] == k)
-            .map(|i| &records[i])
-            .collect();
-        for r in 0..CLUSTER_REPLICAS {
-            let Some(d) = &cluster.backends[k][r] else {
-                continue;
-            };
-            let mut sched: Vec<&DeltaRecord> = Vec::new();
-            for rec in &owned {
-                if rng.below(3) != 0 {
-                    sched.push(rec); // dropped with probability 1/3
-                }
-                if rng.below(3) == 0 {
-                    sched.push(rec); // duplicated with probability 1/3
-                }
-            }
-            rng.shuffle(&mut sched);
-            let mut c = Client::connect_with(d.addr.as_str(), RetryPolicy::no_retries())
-                .map_err(|e| format!("chaos connect s{k}r{r}: {e}"))?;
-            for chunk in sched.chunks(3) {
-                let batch: Vec<DeltaRecord> = chunk.iter().map(|r| (*r).clone()).collect();
-                match c.call(&Request::SyncDelta {
-                    batch_text: encode_delta_batch(&batch),
-                }) {
-                    Ok(Response::Ok(_)) => {}
-                    other => return Err(format!("chaos sync-delta to s{k}r{r}: {other:?}")),
-                }
-            }
-        }
-    }
+    // Phase 3: replication weather — the adversarial at-least-once
+    // network the dedup + commutative merge must absorb.
+    chaos_weather(&cluster, owner, records, seed, sc.salt)?;
 
     // Phase 4: re-point the router at the restarted replicas; the lag
     // queues drain every delivery the outage deferred.
@@ -976,46 +1237,467 @@ fn run_cluster_scenario(
     // Phase 5: stop the whole cluster (router shutdown fans out), then
     // hold every replica store to byte identity with an uninterrupted
     // reference applying the same deltas once, in submission order.
-    match client.call(&Request::Shutdown) {
-        Ok(Response::Ok(_)) => {}
-        other => return Err(format!("cluster shutdown: {other:?}")),
-    }
-    for d in cluster.backends.iter_mut().flatten().flatten() {
-        d.shutdown();
-    }
-    if let Some(mut d) = cluster.router.take() {
-        d.shutdown();
-    }
-    for k in 0..CLUSTER_SHARDS {
-        let ref_dir = root.join(format!("ref{k}"));
-        let db = ProfileDb::open(&ref_dir).map_err(|e| format!("reference db: {e}"))?;
-        let owned: Vec<DeltaRecord> = (0..total)
-            .filter(|i| owner[i % CLUSTER_KEYS] == k)
-            .map(|i| records[i].clone())
-            .collect();
-        db.apply_deltas(&owned)
-            .map_err(|e| format!("reference apply shard {k}: {e}"))?;
-        let want = entry_files(&ref_dir)?;
-        if want.is_empty() {
-            return Err(format!("reference store for shard {k} is empty"));
-        }
-        for r in 0..CLUSTER_REPLICAS {
-            let got = entry_files(&db_dir(k, r))?;
-            if got != want {
-                return Err(format!(
-                    "DIVERGED: shard {k} replica {r} store differs from the uninterrupted \
-                     reference ({} vs {} entry file(s)) — an acked merge was lost, a \
-                     duplicate double-counted, or replicas split",
-                    got.len(),
-                    want.len()
-                ));
-            }
-        }
-    }
+    let reference: Vec<Vec<DeltaRecord>> = (0..CLUSTER_SHARDS)
+        .map(|k| {
+            (0..total)
+                .filter(|i| owner[i % CLUSTER_KEYS] == k)
+                .map(|i| records[i].clone())
+                .collect()
+        })
+        .collect();
+    stop_and_compare(&mut client, &mut cluster, &root, &reference, false)?;
     let _ = std::fs::remove_dir_all(&root);
     Ok(format!(
         "ok: {total} merges ({acked} acked, {shed} shed typed-unavailable), \
          drop/dup/reorder absorbed, {} replica stores byte-identical to reference",
+        CLUSTER_SHARDS * CLUSTER_REPLICAS
+    ))
+}
+
+/// Self-healing scenario #4: kill one replica mid-traffic, restart it
+/// with `--announce` on a fresh port, and let the router's probe loop
+/// plus revival routine (module re-teach, hint drain, anti-entropy)
+/// converge the cluster with zero operator verbs.
+fn run_announce_scenario(
+    strided: &std::path::Path,
+    router: &std::path::Path,
+    bases: &[ProfileEntry],
+    sc: &ClusterScenario,
+    seed: u64,
+) -> Result<String, String> {
+    let plan = plan_traffic(bases, sc, seed)?;
+    let total = plan.texts.len();
+    let (k_victim, _) = sc.kill.ok_or("announce scenario needs a victim")?;
+    let root = cluster_root(sc.index);
+    let (mut cluster, router_addr) = boot_cluster_3x2(strided, router, &root, &[])?;
+    let mut client = Client::connect_with(router_addr.as_str(), RetryPolicy::no_retries())
+        .map_err(|e| format!("connect to router: {e}"))?;
+    client.set_id_state(plan.id0);
+
+    // Merge traffic with a seeded mid-stream SIGKILL of one replica.
+    // The sibling keeps acking every merge; the victim's share spools
+    // as durable hints.
+    let kill_at = CLUSTER_KEYS + (mix64(seed ^ sc.salt) % (total as u64 / 2)) as usize;
+    for i in 0..total {
+        if i == kill_at {
+            if let Some(mut d) = cluster.backends[k_victim][0].take() {
+                d.kill();
+            }
+        }
+        match client.call(&Request::MergeProfile {
+            entry_text: plan.texts[i].clone(),
+        }) {
+            Ok(Response::Ok(_)) => {}
+            other => {
+                return Err(format!(
+                    "merge {i}: sibling must keep acking through a \
+                     single-replica outage: {other:?}"
+                ))
+            }
+        }
+    }
+
+    // Weather at the live replicas while the victim is still down.
+    chaos_weather(&cluster, &plan.owner, &plan.records, seed, sc.salt)?;
+
+    // Unattended failover: the replacement announces itself on a fresh
+    // port; nobody calls route-update.
+    cluster.backends[k_victim][0] = Some(spawn_daemon_with(
+        strided,
+        &root.join(format!("s{k_victim}r0")),
+        None,
+        &[
+            "--announce".to_string(),
+            format!("{router_addr}/{k_victim}/0"),
+        ],
+    )?);
+    settle_selfhealed(&mut client, CLUSTER_SHARDS as u64)?;
+
+    let reference: Vec<Vec<DeltaRecord>> = (0..CLUSTER_SHARDS)
+        .map(|k| {
+            (0..total)
+                .filter(|i| plan.owner[i % CLUSTER_KEYS] == k)
+                .map(|i| plan.records[i].clone())
+                .collect()
+        })
+        .collect();
+    stop_and_compare(&mut client, &mut cluster, &root, &reference, false)?;
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(format!(
+        "ok: {total} merges all acked through replica kill, restart self-announced \
+         (zero operator verbs), hints drained, {} stores byte-identical to reference",
+        CLUSTER_SHARDS * CLUSTER_REPLICAS
+    ))
+}
+
+/// Self-healing scenario #5: a healthy run, then one fresh delta per
+/// key injected behind the router's back into exactly one (seeded)
+/// replica of its owning shard — a stand-in for a healed partition that
+/// left replicas divergent. Only traffic-driven anti-entropy rounds may
+/// reconverge them; no kill, no restart, no operator verbs.
+fn run_antientropy_scenario(
+    strided: &std::path::Path,
+    router: &std::path::Path,
+    bases: &[ProfileEntry],
+    sc: &ClusterScenario,
+    seed: u64,
+) -> Result<String, String> {
+    let plan = plan_traffic(bases, sc, seed)?;
+    let total = plan.texts.len();
+    let root = cluster_root(sc.index);
+    let (mut cluster, router_addr) = boot_cluster_3x2(strided, router, &root, &[])?;
+    let mut client = Client::connect_with(router_addr.as_str(), RetryPolicy::no_retries())
+        .map_err(|e| format!("connect to router: {e}"))?;
+    client.set_id_state(plan.id0);
+    for i in 0..total {
+        match client.call(&Request::MergeProfile {
+            entry_text: plan.texts[i].clone(),
+        }) {
+            Ok(Response::Ok(_)) => {}
+            other => return Err(format!("merge {i} on healthy cluster: {other:?}")),
+        }
+    }
+
+    // Divergence injection: entry counts stay equal across replicas
+    // (every key already exists), so only the per-key digests — and the
+    // final byte-compare — can expose the drift.
+    let extra_ids = id_stream(mix64(plan.id0 ^ 0x0d1f), CLUSTER_KEYS);
+    let mut rng = Rng(mix64(seed ^ sc.salt ^ 0x9a97));
+    let mut extras: Vec<(usize, DeltaRecord)> = Vec::new();
+    for (i, (w, h)) in plan.keys.iter().enumerate() {
+        let rec = DeltaRecord {
+            req_id: extra_ids[i],
+            entry_text: cluster_entry(&bases[i % bases.len()], w, *h, CLUSTER_ROUNDS).to_text(),
+        };
+        let k = plan.owner[i];
+        let r = rng.below(CLUSTER_REPLICAS as u64) as usize;
+        let Some(d) = &cluster.backends[k][r] else {
+            return Err(format!("replica s{k}r{r} missing for divergence injection"));
+        };
+        let mut c = Client::connect_with(d.addr.as_str(), RetryPolicy::no_retries())
+            .map_err(|e| format!("divergence connect s{k}r{r}: {e}"))?;
+        match c.call(&Request::SyncDelta {
+            batch_text: encode_delta_batch(std::slice::from_ref(&rec)),
+        }) {
+            Ok(Response::Ok(_)) => {}
+            other => return Err(format!("divergence inject s{k}r{r}: {other:?}")),
+        }
+        extras.push((k, rec));
+    }
+
+    // Demand two full anti-entropy passes after the cluster looks quiet:
+    // the first detects the digest mismatch and cross-sends retained
+    // deltas, the second verifies convergence.
+    settle_selfhealed(&mut client, 2 * CLUSTER_SHARDS as u64)?;
+
+    let reference: Vec<Vec<DeltaRecord>> = (0..CLUSTER_SHARDS)
+        .map(|k| {
+            let mut v: Vec<DeltaRecord> = (0..total)
+                .filter(|i| plan.owner[i % CLUSTER_KEYS] == k)
+                .map(|i| plan.records[i].clone())
+                .collect();
+            v.extend(
+                extras
+                    .iter()
+                    .filter(|(ek, _)| *ek == k)
+                    .map(|(_, r)| r.clone()),
+            );
+            v
+        })
+        .collect();
+    stop_and_compare(&mut client, &mut cluster, &root, &reference, false)?;
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(format!(
+        "ok: {total} merges + {CLUSTER_KEYS} divergent deltas behind the router, \
+         anti-entropy reconverged (zero operator verbs), {} stores byte-identical",
+        CLUSTER_SHARDS * CLUSTER_REPLICAS
+    ))
+}
+
+/// Self-healing scenario #6: a replica dies before traffic and the
+/// router runs with `--hint-cap 2`, so its spool overflows. The first
+/// two merges for the victim's shard ack (sibling applies, hint
+/// spools); every later one must be refused whole — typed
+/// `handoff-full`, applied nowhere. Revival via `--announce` drains the
+/// spool, and resending the refused merges on the same client lands
+/// them cleanly.
+fn run_hint_pressure_scenario(
+    strided: &std::path::Path,
+    router: &std::path::Path,
+    bases: &[ProfileEntry],
+    sc: &ClusterScenario,
+    seed: u64,
+) -> Result<String, String> {
+    let plan = plan_traffic(bases, sc, seed)?;
+    let total = plan.texts.len();
+    let root = cluster_root(sc.index);
+    let (mut cluster, router_addr) = boot_cluster_3x2(
+        strided,
+        router,
+        &root,
+        &["--hint-cap".to_string(), "2".to_string()],
+    )?;
+    // Victim: replica 0 of the first key's shard, killed before any
+    // traffic so its spool fills while its sibling keeps acking.
+    let k_victim = plan.owner[0];
+    if let Some(mut d) = cluster.backends[k_victim][0].take() {
+        d.kill();
+    }
+    let owned: Vec<usize> = (0..total)
+        .filter(|i| plan.owner[i % CLUSTER_KEYS] == k_victim)
+        .collect();
+    let refused_expect: Vec<usize> = owned[2.min(owned.len())..].to_vec();
+
+    let mut client = Client::connect_with(router_addr.as_str(), RetryPolicy::no_retries())
+        .map_err(|e| format!("connect to router: {e}"))?;
+    client.set_id_state(plan.id0);
+    let mut acked: Vec<usize> = Vec::new();
+    let mut refused: Vec<usize> = Vec::new();
+    for i in 0..total {
+        let resp = client
+            .call(&Request::MergeProfile {
+                entry_text: plan.texts[i].clone(),
+            })
+            .map_err(|e| format!("merge {i} transport: {e}"))?;
+        match resp {
+            Response::Ok(_) => acked.push(i),
+            Response::Err {
+                kind: ErrorKind::HandoffFull,
+                shard,
+                retry_after_ms,
+                ..
+            } => {
+                if shard != Some(k_victim as u32) {
+                    return Err(format!(
+                        "merge {i}: handoff-full named shard {shard:?}, victim is {k_victim}"
+                    ));
+                }
+                if retry_after_ms.is_none() {
+                    return Err(format!("merge {i}: handoff-full without retry-after hint"));
+                }
+                refused.push(i);
+            }
+            other => {
+                return Err(format!(
+                    "merge {i}: {other:?} (expected ok or typed handoff-full)"
+                ))
+            }
+        }
+    }
+    if refused != refused_expect {
+        return Err(format!(
+            "refusal schedule diverged: got {refused:?}, want {refused_expect:?} — \
+             the overflowing spool must refuse exactly the overflow, applied nowhere"
+        ));
+    }
+
+    // Revive via self-announce; the router drains the two spooled hints.
+    cluster.backends[k_victim][0] = Some(spawn_daemon_with(
+        strided,
+        &root.join(format!("s{k_victim}r0")),
+        None,
+        &[
+            "--announce".to_string(),
+            format!("{router_addr}/{k_victim}/0"),
+        ],
+    )?);
+    settle_selfhealed(&mut client, CLUSTER_SHARDS as u64)?;
+
+    // The typed refusal invites a clean retry: resend every refused
+    // merge on the same client. Only merges consume req-ids, so the
+    // resends take exactly the next `refused.len()` ids of the stream.
+    let resend_ids = {
+        let all = id_stream(plan.id0, total + refused.len());
+        all[total..].to_vec()
+    };
+    let mut resent: Vec<DeltaRecord> = Vec::new();
+    for (j, &i) in refused.iter().enumerate() {
+        match client.call(&Request::MergeProfile {
+            entry_text: plan.texts[i].clone(),
+        }) {
+            Ok(Response::Ok(_)) => {}
+            other => return Err(format!("resend of refused merge {i}: {other:?}")),
+        }
+        resent.push(DeltaRecord {
+            req_id: resend_ids[j],
+            entry_text: plan.texts[i].clone(),
+        });
+    }
+    settle_selfhealed(&mut client, 0)?;
+
+    let reference: Vec<Vec<DeltaRecord>> = (0..CLUSTER_SHARDS)
+        .map(|k| {
+            let mut v: Vec<DeltaRecord> = acked
+                .iter()
+                .filter(|&&i| plan.owner[i % CLUSTER_KEYS] == k)
+                .map(|&i| plan.records[i].clone())
+                .collect();
+            if k == k_victim {
+                v.extend(resent.iter().cloned());
+            }
+            v
+        })
+        .collect();
+    let n_acked = acked.len();
+    let n_refused = refused.len();
+    stop_and_compare(&mut client, &mut cluster, &root, &reference, false)?;
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(format!(
+        "ok: {total} merges ({n_acked} acked, {n_refused} refused typed handoff-full \
+         applied-nowhere), self-announce drained the spool, resends acked, \
+         {} stores byte-identical",
+        CLUSTER_SHARDS * CLUSTER_REPLICAS
+    ))
+}
+
+/// Self-healing scenario #7: 8 writers hammer the router with heavy
+/// merges concurrently — about twice the AIMD admission floor — with a
+/// widened worker pool so concurrency is limited by the limiter, not
+/// the socket queue. Sheds must be typed `busy` with a retry hint, and
+/// every acked merge must survive to all replicas byte-identically.
+/// The ack/shed split is load-timing dependent (AIMD is explicitly
+/// outside the determinism contract), so the verdict reports only the
+/// deterministic facts.
+fn run_overload_scenario(
+    strided: &std::path::Path,
+    router: &std::path::Path,
+    bases: &[ProfileEntry],
+    sc: &ClusterScenario,
+    seed: u64,
+) -> Result<String, String> {
+    const WRITERS: usize = 8;
+    const MERGES_PER_WRITER: usize = 16;
+    const KEYS_PER_WRITER: usize = 4;
+    let root = cluster_root(sc.index);
+    let (mut cluster, router_addr) = boot_cluster_3x2(
+        strided,
+        router,
+        &root,
+        &["--workers".to_string(), "16".to_string()],
+    )?;
+
+    // Fully precompute each writer's keys, texts, and predicted delta
+    // records so its acked set maps to exact reference records.
+    struct WriterPlan {
+        texts: Vec<String>,
+        records: Vec<(usize, DeltaRecord)>,
+        id0: u64,
+    }
+    let map = ShardMap::new(CLUSTER_SHARDS as u32);
+    let plans: Vec<WriterPlan> = (0..WRITERS)
+        .map(|t| {
+            let keys: Vec<(String, u64)> = (0..KEYS_PER_WRITER)
+                .map(|j| {
+                    (
+                        format!("o{t}k{j}"),
+                        0x4800 + (t * KEYS_PER_WRITER + j) as u64,
+                    )
+                })
+                .collect();
+            let texts: Vec<String> = (0..MERGES_PER_WRITER)
+                .map(|i| {
+                    let (w, h) = &keys[i % KEYS_PER_WRITER];
+                    cluster_entry(&bases[(t + i) % bases.len()], w, *h, i / KEYS_PER_WRITER)
+                        .to_text()
+                })
+                .collect();
+            let id0 = mix64(seed ^ sc.salt ^ (t as u64).wrapping_mul(0x9e37_79b9));
+            let records = id_stream(id0, MERGES_PER_WRITER)
+                .into_iter()
+                .zip(&texts)
+                .enumerate()
+                .map(|(i, (req_id, txt))| {
+                    let (w, h) = &keys[i % KEYS_PER_WRITER];
+                    (
+                        map.shard_of(w, *h) as usize,
+                        DeltaRecord {
+                            req_id,
+                            entry_text: txt.clone(),
+                        },
+                    )
+                })
+                .collect();
+            WriterPlan {
+                texts,
+                records,
+                id0,
+            }
+        })
+        .collect();
+
+    // Per writer: (acked shard-tagged records, shed count) or violation.
+    type WriterOutcome = Result<(Vec<(usize, DeltaRecord)>, usize), String>;
+    let results: Vec<WriterOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = plans
+            .iter()
+            .map(|p| {
+                let addr = router_addr.clone();
+                scope.spawn(move || {
+                    let mut c = Client::connect_with(addr.as_str(), RetryPolicy::no_retries())
+                        .map_err(|e| format!("writer connect: {e}"))?;
+                    c.set_id_state(p.id0);
+                    let mut acked = Vec::new();
+                    let mut shed = 0usize;
+                    for i in 0..MERGES_PER_WRITER {
+                        let resp = c
+                            .call(&Request::MergeProfile {
+                                entry_text: p.texts[i].clone(),
+                            })
+                            .map_err(|e| format!("writer merge {i} transport: {e}"))?;
+                        match resp {
+                            Response::Ok(_) => acked.push(p.records[i].clone()),
+                            Response::Err {
+                                kind: ErrorKind::Busy,
+                                retry_after_ms: Some(_),
+                                ..
+                            } => shed += 1,
+                            other => {
+                                return Err(format!(
+                                    "writer merge {i}: untyped shed under overload: {other:?}"
+                                ))
+                            }
+                        }
+                    }
+                    Ok((acked, shed))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|_| Err("writer thread panicked".to_string()))
+            })
+            .collect()
+    });
+    let mut acked_all: Vec<(usize, DeltaRecord)> = Vec::new();
+    let mut shed_any = false;
+    for r in results {
+        let (a, s) = r?;
+        shed_any |= s > 0;
+        acked_all.extend(a);
+    }
+    let _ = shed_any; // informational only: light load may admit everything
+
+    let mut client = Client::connect_with(router_addr.as_str(), RetryPolicy::no_retries())
+        .map_err(|e| format!("connect to router: {e}"))?;
+    settle_selfhealed(&mut client, CLUSTER_SHARDS as u64)?;
+
+    let reference: Vec<Vec<DeltaRecord>> = (0..CLUSTER_SHARDS)
+        .map(|k| {
+            acked_all
+                .iter()
+                .filter(|(rk, _)| *rk == k)
+                .map(|(_, r)| r.clone())
+                .collect()
+        })
+        .collect();
+    stop_and_compare(&mut client, &mut cluster, &root, &reference, true)?;
+    let _ = std::fs::remove_dir_all(&root);
+    Ok(format!(
+        "ok: overload 2x admission floor ({WRITERS} writers x {MERGES_PER_WRITER} merges), \
+         every shed typed busy with retry hint, zero acked-merge loss, \
+         {} stores byte-identical to acked-set reference",
         CLUSTER_SHARDS * CLUSTER_REPLICAS
     ))
 }
@@ -1083,17 +1765,26 @@ fn cluster_main(jobs: usize, seed: u64) -> i32 {
         CLUSTER_SHARDS,
         CLUSTER_REPLICAS
     );
-    let results = parallel_map_isolated(&scenarios, jobs, |_, sc| {
-        run_cluster_scenario(&strided, &router, &bases, sc, seed)
+    let results = parallel_map_isolated(&scenarios, jobs, |_, sc| match sc.heal {
+        Heal::Operator => run_cluster_scenario(&strided, &router, &bases, sc, seed),
+        Heal::Announce => run_announce_scenario(&strided, &router, &bases, sc, seed),
+        Heal::AntiEntropy => run_antientropy_scenario(&strided, &router, &bases, sc, seed),
+        Heal::HintPressure => run_hint_pressure_scenario(&strided, &router, &bases, sc, seed),
+        Heal::Overload => run_overload_scenario(&strided, &router, &bases, sc, seed),
     });
 
     let mut panics = 0usize;
     let mut violations = 0usize;
     for (sc, result) in scenarios.iter().zip(results) {
-        let label = match sc.kill {
-            Some((k, true)) => format!("kill-shard={k}+chaos"),
-            Some((k, false)) => format!("kill-replica={k}.0+chaos"),
-            None => "no-kill+chaos".to_string(),
+        let label = match (sc.heal, sc.kill) {
+            (Heal::Operator, Some((k, true))) => format!("kill-shard={k}+chaos"),
+            (Heal::Operator, Some((k, false))) => format!("kill-replica={k}.0+chaos"),
+            (Heal::Operator, None) => "no-kill+chaos".to_string(),
+            (Heal::Announce, Some((k, _))) => format!("self-announce={k}.0"),
+            (Heal::Announce, None) => "self-announce".to_string(),
+            (Heal::AntiEntropy, _) => "anti-entropy".to_string(),
+            (Heal::HintPressure, _) => "hint-overflow".to_string(),
+            (Heal::Overload, _) => "overload-2x".to_string(),
         };
         match result {
             Ok(Ok(line)) => println!("  #{:<3} {label:<24} {line}", sc.index),
@@ -1243,8 +1934,10 @@ fn usage() -> ! {
          \x20 --service          crash-recovery campaign: SIGKILL and restart a real\n\
          \x20                    strided daemon mid-merge; no acked merge may be lost\n\
          \x20 --cluster          sharded chaos campaign: router + 3x2 strided cluster,\n\
-         \x20                    shard kills and delta drop/dup/reorder; replicas must\n\
-         \x20                    converge byte-identically with typed shedding only"
+         \x20                    shard kills, delta drop/dup/reorder, plus self-healing\n\
+         \x20                    scenarios (announce-based failover, anti-entropy\n\
+         \x20                    repair, hint-spool overflow, AIMD overload); replicas\n\
+         \x20                    must converge byte-identically, typed shedding only"
     );
     std::process::exit(2);
 }

@@ -72,6 +72,10 @@ fn usage() -> ExitCode {
          \x20 route-update --shard K --replica R --to HOST:PORT\n\
          \x20                                    re-point one shard replica (router only;\n\
          \x20                                    drains its queued replication deltas)\n\
+         \x20 health                             failure-detector states per replica\n\
+         \x20                                    (router only)\n\
+         \x20 repair                             run one anti-entropy round now and\n\
+         \x20                                    report per-shard divergence (router only)\n\
          \x20 top                                sorted live-metrics view (counters by\n\
          \x20                                    value, gauges, latency histograms)\n\
          \x20 shutdown\n\
@@ -666,6 +670,8 @@ fn main() -> ExitCode {
                 },
             )
         }
+        "health" => round_trip(&addr, &opts, &Request::Health),
+        "repair" => round_trip(&addr, &opts, &Request::Repair),
         "top" => top_view(&addr, &opts),
         "shutdown" => round_trip(&addr, &opts, &Request::Shutdown),
         "serve-bench" => serve_bench(rest),

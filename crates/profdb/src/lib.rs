@@ -40,7 +40,13 @@ pub mod wal;
 pub use entry::{DbError, ProfileEntry};
 pub use hash::{fnv1a64, module_hash};
 pub use recovery::{check, recover, RecoveryReport, QUARANTINE_DIR};
-pub use repl::{decode_delta_batch, encode_delta_batch, DeltaApplyReport, DeltaRecord};
+pub use repl::{
+    decode_delta_batch, decode_digest_table, encode_delta_batch, encode_digest_table,
+    DeltaApplyReport, DeltaRecord, DELTA_BATCH_HEADER, DIGEST_TABLE_HEADER,
+};
 pub use shard::{ShardMap, SHARD_MAP_VERSION};
-pub use store::{DbRecord, ProfileDb};
-pub use wal::{scan_wal, DiskFaults, SegmentConfig, Wal, WalRecord, WalScan, WalStats};
+pub use store::{DbRecord, DigestEntry, ProfileDb};
+pub use wal::{
+    encode_record, scan_chain, scan_wal, segment_file_name, DiskFaults, RecordKind, ScanItem,
+    SegmentConfig, SegmentScan, Wal, WalRecord, WalScan, WalStats, WAL_FILE,
+};

@@ -35,11 +35,14 @@
 
 use crate::entry::{DbError, ProfileEntry};
 use crate::hash::fnv1a64;
-use crate::store::ProfileDb;
+use crate::store::{DigestEntry, ProfileDb};
 use std::fmt::Write as _;
 
 /// Header line of the batch envelope.
 pub const DELTA_BATCH_HEADER: &str = "# profdb delta-batch v1";
+
+/// Header line of the digest-table envelope.
+pub const DIGEST_TABLE_HEADER: &str = "# profdb digest v1";
 
 /// One replicated merge: the client's incoming entry and its idempotency
 /// id (never zero — dedup is what makes redelivery safe).
@@ -179,11 +182,84 @@ pub fn decode_delta_batch(text: &str) -> Result<Vec<DeltaRecord>, DbError> {
     Ok(deltas)
 }
 
+/// Serializes a digest table into its text envelope (no checksum line —
+/// digests travel inside checksummed wire frames and are advisory: a
+/// corrupted digest at worst triggers one spurious repair round, which
+/// dedup makes harmless).
+pub fn encode_digest_table(entries: &[DigestEntry]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{DIGEST_TABLE_HEADER}");
+    let _ = writeln!(out, "count {}", entries.len());
+    for e in entries {
+        let _ = writeln!(
+            out,
+            "entry {} {:016x} {:016x}",
+            e.workload, e.module_hash, e.digest
+        );
+    }
+    out
+}
+
+/// Parses a digest-table envelope.
+///
+/// # Errors
+///
+/// Returns [`DbError::KeyMismatch`] for a bad header, count mismatch, or
+/// unparsable line.
+pub fn decode_digest_table(text: &str) -> Result<Vec<DigestEntry>, DbError> {
+    let err = |msg: String| DbError::KeyMismatch(format!("digest table: {msg}"));
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| err("empty".into()))?;
+    if header.trim() != DIGEST_TABLE_HEADER {
+        return Err(err(format!("bad header `{}`", header.trim())));
+    }
+    let count_line = lines.next().ok_or_else(|| err("missing count".into()))?;
+    let count: usize = count_line
+        .strip_prefix("count ")
+        .and_then(|n| n.trim().parse().ok())
+        .ok_or_else(|| err(format!("bad count line `{count_line}`")))?;
+    let mut entries = Vec::with_capacity(count);
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rest = line
+            .strip_prefix("entry ")
+            .ok_or_else(|| err(format!("bad line `{line}`")))?;
+        let mut parts = rest.split_whitespace();
+        let (Some(workload), Some(hash_s), Some(digest_s), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(err(format!("bad line `{line}`")));
+        };
+        let module_hash = u64::from_str_radix(hash_s, 16)
+            .map_err(|_| err(format!("bad module hash `{hash_s}`")))?;
+        let digest = u64::from_str_radix(digest_s, 16)
+            .map_err(|_| err(format!("bad digest `{digest_s}`")))?;
+        entries.push(DigestEntry {
+            workload: workload.to_string(),
+            module_hash,
+            digest,
+        });
+    }
+    if entries.len() != count {
+        return Err(err(format!(
+            "count says {count}, table holds {}",
+            entries.len()
+        )));
+    }
+    Ok(entries)
+}
+
 impl ProfileDb {
     /// Applies a replication delta batch, exactly-once per id: each
     /// delta's entry is parsed and merged through
     /// [`ProfileDb::merge_store_logged`] under its original request id,
-    /// so redelivered or overlapping batches never double-count.
+    /// so redelivered or overlapping batches never double-count. Every
+    /// delta that actually applied is also appended to the pre-merge
+    /// retention window, so anti-entropy can later re-send it verbatim
+    /// to a diverged sibling.
     ///
     /// # Errors
     ///
@@ -198,6 +274,7 @@ impl ProfileDb {
             if duplicate {
                 report.deduped += 1;
             } else {
+                self.retain_delta(d.req_id, &d.entry_text)?;
                 report.applied += 1;
             }
         }
@@ -254,6 +331,64 @@ mod tests {
         body.push_str(&format!("checksum {sum:016x}\n"));
         let err = decode_delta_batch(&body).unwrap_err();
         assert!(err.to_string().contains("id 0"), "{err}");
+    }
+
+    #[test]
+    fn digest_table_round_trips_and_rejects_garbage() {
+        let entries = vec![
+            DigestEntry {
+                workload: "gap".into(),
+                module_hash: 0x9,
+                digest: 0xdead_beef,
+            },
+            DigestEntry {
+                workload: "mcf".into(),
+                module_hash: 0x1234,
+                digest: 1,
+            },
+        ];
+        let text = encode_digest_table(&entries);
+        assert_eq!(decode_digest_table(&text).unwrap(), entries);
+        assert!(decode_digest_table(&encode_digest_table(&[]))
+            .unwrap()
+            .is_empty());
+        assert!(decode_digest_table("").is_err());
+        assert!(decode_digest_table("# wrong header\ncount 0\n").is_err());
+        let short = text.replace("count 2", "count 3");
+        assert!(decode_digest_table(&short).is_err());
+        let mangled = text.replace("entry mcf", "mcf entry");
+        assert!(decode_digest_table(&mangled).is_err());
+    }
+
+    #[test]
+    fn applied_deltas_are_retained_for_anti_entropy() {
+        let root = std::env::temp_dir().join(format!("repl-retain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let db = ProfileDb::open(&root).unwrap();
+        let text = ProfileEntry {
+            workload: "mcf".into(),
+            module_hash: 3,
+            runs: 1,
+            edge_tables: vec![vec![5, 0, 3]],
+            stride: stride_profiling::StrideProfile::new(),
+        }
+        .to_text();
+        let a = delta(0x11, &text);
+        let b = delta(0x22, &text);
+        db.apply_deltas(&[a.clone(), b.clone(), a.clone()]).unwrap();
+        // Two applied, the redelivered duplicate deduped — and only the
+        // applied ones retained, in order.
+        assert_eq!(db.retained_deltas(), vec![a.clone(), b.clone()]);
+        drop(db);
+        // The window is durable across a crash-reopen...
+        let db = ProfileDb::open(&root).unwrap();
+        assert_eq!(db.retained_deltas(), vec![a, b]);
+        // ...and cleared by a checkpoint (the repair-window bound).
+        db.checkpoint().unwrap();
+        drop(db);
+        let db = ProfileDb::open(&root).unwrap();
+        assert!(db.retained_deltas().is_empty());
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 use crate::entry::{DbError, ProfileEntry};
 use crate::hash::fnv1a64;
 use crate::recovery::{recover, RecoveryReport};
-use crate::wal::{scan_chain, write_atomic, DiskFaults, SegmentConfig, Wal, WalRecord};
+use crate::repl::DeltaRecord;
+use crate::wal::{
+    scan_chain, write_atomic, DiskFaults, RecordKind, ScanItem, SegmentConfig, Wal, WalRecord,
+};
 use std::collections::{HashSet, VecDeque};
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -30,9 +33,26 @@ pub struct DbRecord {
     pub runs: u64,
 }
 
+/// One line of the anti-entropy digest table: a key plus the fnv1a64 of
+/// its entry file's bytes. Two replicas that applied the same delta set
+/// have byte-identical entry files (the CRDT merge is canonical), so
+/// equal tables mean converged stores.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DigestEntry {
+    /// Workload name.
+    pub workload: String,
+    /// Module content hash.
+    pub module_hash: u64,
+    /// fnv1a64 over the entry file's bytes.
+    pub digest: u64,
+}
+
 /// Most-recent idempotency keys remembered for live dedup (and carried
 /// across checkpoints). Old ids age out FIFO.
 const APPLIED_IDS_CAP: usize = 4096;
+
+/// Subdirectory holding the pre-merge delta retention chain.
+const RETAIN_DIR: &str = "retain";
 
 #[derive(Debug)]
 struct DbState {
@@ -40,6 +60,16 @@ struct DbState {
     applied: HashSet<u64>,
     applied_order: VecDeque<u64>,
     dedup_hits: u64,
+    /// Pre-merge replication deltas kept for anti-entropy re-send. The
+    /// WAL proper logs *post-merge* redo states — absolute snapshots
+    /// that would double-count if merged into a diverged sibling — so
+    /// the exact incoming deltas are retained separately, in their own
+    /// segmented chain under [`RETAIN_DIR`]. The window is cleared by
+    /// [`ProfileDb::checkpoint`]; repair can only re-send deltas applied
+    /// since then (hinted handoff, not anti-entropy, is the primary
+    /// loss-prevention path).
+    retain_wal: Wal,
+    retained: Vec<DeltaRecord>,
 }
 
 impl DbState {
@@ -134,6 +164,40 @@ pub(crate) fn write_entry_file(root: &Path, entry: &ProfileEntry) -> Result<(), 
     write_atomic(&path, entry_text_checksummed(entry).as_bytes())
 }
 
+/// Opens (creating if needed) the retention chain under `root/retain`,
+/// replaying it into the in-memory window. A torn active-log tail is
+/// truncated (the merge it retained was never acknowledged as retained);
+/// checksum-corrupt records are skipped — a hole in the window only
+/// narrows what anti-entropy can re-send.
+fn open_retention(root: &Path) -> Result<(Wal, Vec<DeltaRecord>), DbError> {
+    let dir = root.join(RETAIN_DIR);
+    fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+    let chain = scan_chain(&dir, &DiskFaults::default())?;
+    let mut retained = Vec::new();
+    for seg in &chain {
+        for item in &seg.scan.items {
+            match item {
+                ScanItem::Record { record, .. } => {
+                    if record.kind == RecordKind::Entry {
+                        retained.push(DeltaRecord {
+                            req_id: record.req_id,
+                            entry_text: String::from_utf8_lossy(&record.payload).into_owned(),
+                        });
+                    }
+                }
+                ScanItem::Corrupt { .. } => {}
+                ScanItem::TornTail { offset } => {
+                    if seg.is_active() {
+                        Wal::truncate_to(&dir.join(&seg.name), *offset)?;
+                    }
+                }
+            }
+        }
+    }
+    let wal = Wal::open_append(&dir, retained.len() as u64, DiskFaults::default())?;
+    Ok((wal, retained))
+}
+
 /// Raw text of the entry file under a key (`Ok(None)` when absent). No
 /// checksum verification — recovery wants the raw bytes to judge.
 pub(crate) fn entry_file_text(
@@ -173,11 +237,14 @@ impl ProfileDb {
         let report = recover(&root, &faults)?;
         let pending = (report.replayed + report.already_applied) as u64;
         let wal = Wal::open_append(&root, pending, faults)?;
+        let (retain_wal, retained) = open_retention(&root)?;
         let mut state = DbState {
             wal,
             applied: HashSet::new(),
             applied_order: VecDeque::new(),
             dedup_hits: 0,
+            retain_wal,
+            retained,
         };
         for id in &report.applied_ids {
             state.remember(*id);
@@ -206,11 +273,14 @@ impl ProfileDb {
         let pending: usize = chain.iter().map(|s| s.scan.pending_entries()).sum();
         let known: Vec<u64> = chain.iter().flat_map(|s| s.scan.known_ids()).collect();
         let wal = Wal::open_append(&root, pending as u64, DiskFaults::default())?;
+        let (retain_wal, retained) = open_retention(&root)?;
         let mut state = DbState {
             wal,
             applied: HashSet::new(),
             applied_order: VecDeque::new(),
             dedup_hits: 0,
+            retain_wal,
+            retained,
         };
         for id in known {
             state.remember(id);
@@ -403,7 +473,12 @@ impl ProfileDb {
     pub fn checkpoint(&self) -> Result<(), DbError> {
         let mut st = self.lock();
         let ids: Vec<u64> = st.applied_order.iter().copied().collect();
-        st.wal.checkpoint(&ids)
+        st.wal.checkpoint(&ids)?;
+        // The retention window rides the checkpoint: everything before
+        // it is assumed replicated (graceful shutdown), so anti-entropy
+        // only ever needs the deltas applied since.
+        st.retained.clear();
+        st.retain_wal.checkpoint(&[])
     }
 
     /// Lists all keys, sorted by `(workload, module_hash)`.
@@ -450,6 +525,72 @@ impl ProfileDb {
         }
         out.sort();
         Ok((out, bad))
+    }
+
+    /// Durably appends one pre-merge replication delta to the retention
+    /// window (append + fsync, torn tails cut at reopen). Called by
+    /// [`ProfileDb::apply_deltas`] after a non-duplicate apply so
+    /// anti-entropy can re-send the exact delta later.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on disk trouble; the merge itself is
+    /// already durable, so the caller may treat this as best-effort.
+    pub(crate) fn retain_delta(&self, req_id: u64, entry_text: &str) -> Result<(), DbError> {
+        let mut st = self.lock();
+        st.retain_wal
+            .append(&WalRecord::entry(req_id, entry_text))?;
+        st.retain_wal.sync()?;
+        st.retained.push(DeltaRecord {
+            req_id,
+            entry_text: entry_text.to_string(),
+        });
+        if st.retain_wal.len() > self.segments.seal_bytes {
+            st.retain_wal.seal()?;
+        }
+        Ok(())
+    }
+
+    /// Snapshot of the retained pre-merge delta window, in apply order —
+    /// what anti-entropy re-sends to a diverged sibling. Empty after a
+    /// checkpoint (the documented repair-window bound).
+    pub fn retained_deltas(&self) -> Vec<DeltaRecord> {
+        self.lock().retained.clone()
+    }
+
+    /// Per-key digest table: the fnv1a64 of every entry file's bytes,
+    /// sorted by `(workload, module_hash)`. Cheap to diff across the
+    /// replicas of a shard — any differing or missing line localizes
+    /// divergence to one key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::Io`] on directory or file read trouble.
+    pub fn digest_table(&self) -> Result<Vec<DigestEntry>, DbError> {
+        let mut out = Vec::new();
+        let dir = fs::read_dir(&self.root).map_err(|e| io_err(&self.root, e))?;
+        for item in dir {
+            let item = item.map_err(|e| io_err(&self.root, e))?;
+            let name = item.file_name();
+            let Some(stem) = name.to_str().and_then(|n| n.strip_suffix(SUFFIX)) else {
+                continue;
+            };
+            let Some((workload, hash_s)) = stem.rsplit_once('@') else {
+                continue;
+            };
+            let Ok(module_hash) = u64::from_str_radix(hash_s, 16) else {
+                continue;
+            };
+            let path = item.path();
+            let bytes = fs::read(&path).map_err(|e| io_err(&path, e))?;
+            out.push(DigestEntry {
+                workload: workload.to_string(),
+                module_hash,
+                digest: fnv1a64(&bytes),
+            });
+        }
+        out.sort();
+        Ok(out)
     }
 
     /// Order-independent fingerprint of the store's *profile content*:

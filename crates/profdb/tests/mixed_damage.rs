@@ -1,0 +1,159 @@
+//! Mixed-damage recovery: one segment chain carrying *both* a
+//! checksum-corrupt record in sealed history and a torn tail on the
+//! active log, healed (where healing is allowed) in a single recovery
+//! pass. Also pins the `profdb` CLI exit-code contract around the same
+//! store: `check` is read-only and reports CORRUPT (exit 1) until an
+//! operator runs `recover` (exit 0), after which `check` passes.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use stride_profdb::{recover, DiskFaults, ProfileDb, ProfileEntry, SegmentConfig};
+use stride_profiling::StrideProfile;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("mixed-damage-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn entry(workload: &str, module_hash: u64) -> ProfileEntry {
+    ProfileEntry {
+        workload: workload.into(),
+        module_hash,
+        runs: 1,
+        edge_tables: vec![vec![5, 0, 3]],
+        stride: StrideProfile::new(),
+    }
+}
+
+fn entry_path(root: &Path, workload: &str, hash: u64) -> PathBuf {
+    root.join(format!("{workload}@{hash:016x}.profdb"))
+}
+
+fn profdb_cli(root: &Path, args: &[&str]) -> (String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_profdb"))
+        .args(args)
+        .arg("--db")
+        .arg(root)
+        .output()
+        .expect("run profdb");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn torn_active_tail_and_corrupt_sealed_segment_heal_in_one_pass() {
+    let root = tmpdir("chain");
+    let mut db = ProfileDb::open(&root).expect("open");
+    // Seal after every merge: four one-record sealed segments.
+    db.configure_segments(SegmentConfig {
+        seal_bytes: 1,
+        max_live_segments: 100,
+    });
+    for i in 0..4u64 {
+        db.merge_store_logged(&entry(&format!("wl{i}"), 0xa0 + i), i + 1)
+            .expect("sealed-era merge");
+    }
+    // Stop sealing: the last two merges stay in the active log.
+    db.configure_segments(SegmentConfig {
+        seal_bytes: 256 << 10,
+        max_live_segments: 100,
+    });
+    for i in 4..6u64 {
+        db.merge_store_logged(&entry(&format!("wl{i}"), 0xa0 + i), i + 1)
+            .expect("active-era merge");
+    }
+    drop(db);
+
+    let golden: Vec<Vec<u8>> = (0..6u64)
+        .map(|i| fs::read(entry_path(&root, &format!("wl{i}"), 0xa0 + i)).expect("golden entry"))
+        .collect();
+
+    // Damage, all in one chain:
+    // 1. flip a payload byte in sealed segment 1 (wl1's record) — a
+    //    checksum failure in immutable history;
+    let seg1 = root.join(stride_profdb::segment_file_name(1));
+    let mut bytes = fs::read(&seg1).expect("read sealed segment");
+    let n = bytes.len();
+    bytes[n - 10] ^= 0xff;
+    fs::write(&seg1, &bytes).expect("corrupt sealed segment");
+    // 2. tear the active tail mid-record (crash during wl5's append —
+    //    its entry write never happened either);
+    let wal = root.join(stride_profdb::WAL_FILE);
+    let bytes = fs::read(&wal).expect("read active log");
+    fs::write(&wal, &bytes[..bytes.len() - 7]).expect("tear active tail");
+    fs::remove_file(entry_path(&root, "wl5", 0xa5)).expect("drop wl5 entry");
+    // 3. lose wl3's entry file (crash between its sealed WAL append and
+    //    the entry write) so the same pass also has redo work.
+    fs::remove_file(entry_path(&root, "wl3", 0xa3)).expect("drop wl3 entry");
+
+    // `check` is read-only and must call the damage out, twice.
+    for _ in 0..2 {
+        let (report, healthy) = profdb_cli(&root, &["check"]);
+        assert!(!healthy, "damaged store passed check:\n{report}");
+        assert!(report.contains("verdict: CORRUPT"), "{report}");
+        assert!(report.contains("torn tail"), "{report}");
+        assert!(report.contains("1 corrupt"), "{report}");
+    }
+
+    // One library recovery pass heals everything healable.
+    let report = recover(&root, &DiskFaults::default()).expect("recover");
+    assert_eq!(
+        report.quarantined, 1,
+        "sealed corruption quarantined: {report}"
+    );
+    assert!(
+        report.torn_tail_bytes.is_some(),
+        "active tail truncated: {report}"
+    );
+    assert_eq!(report.torn_sealed_segments, 0, "{report}");
+    assert!(
+        report.replayed >= 1,
+        "wl3 redone from sealed history: {report}"
+    );
+
+    // Boundary state: wl0..wl4 byte-identical to the golden run, wl5
+    // (torn mid-append, never acknowledged durable) rolled away.
+    for i in 0..5u64 {
+        let got = fs::read(entry_path(&root, &format!("wl{i}"), 0xa0 + i)).expect("entry");
+        assert_eq!(got, golden[i as usize], "wl{i} diverged from golden");
+    }
+    assert!(
+        !entry_path(&root, "wl5", 0xa5).exists(),
+        "torn merge resurrected"
+    );
+
+    // A second pass is a no-op on entry state.
+    recover(&root, &DiskFaults::default()).expect("re-recover");
+    for i in 0..5u64 {
+        let got = fs::read(entry_path(&root, &format!("wl{i}"), 0xa0 + i)).expect("entry");
+        assert_eq!(got, golden[i as usize], "wl{i} changed on second pass");
+    }
+
+    // CLI contract: the sealed segment still carries the flipped byte
+    // (recovery preserves, never rewrites, immutable history), so
+    // `check` stays CORRUPT until `recover` checkpoints the chain away;
+    // then the store audits clean.
+    let (report, healthy) = profdb_cli(&root, &["check"]);
+    assert!(!healthy, "{report}");
+    let (report, healthy) = profdb_cli(&root, &["recover"]);
+    assert!(healthy, "recover failed:\n{report}");
+    let (report, healthy) = profdb_cli(&root, &["check"]);
+    assert!(healthy, "post-recover check failed:\n{report}");
+    assert!(report.contains("verdict: ok"), "{report}");
+    assert!(
+        report.contains("entries: 5 readable, 0 corrupt"),
+        "{report}"
+    );
+
+    // The quarantine kept evidence of both damage sites.
+    let quarantined = fs::read_dir(root.join(stride_profdb::QUARANTINE_DIR))
+        .expect("quarantine dir")
+        .count();
+    assert!(quarantined >= 1, "no quarantined bytes preserved");
+
+    let _ = fs::remove_dir_all(&root);
+}

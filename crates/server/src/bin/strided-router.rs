@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! strided-router serve [--addr HOST:PORT] [--workers N]
+//!                      [--hints DIR] [--hint-cap N] [--probe-every N]
 //!                      --shard ADDR[,ADDR...] [--shard ...]
 //! ```
 //!
 //! Each `--shard` flag declares one shard's replica addresses, in shard
 //! order (the first flag is shard 0). Prints `routing N shard(s)` and
 //! `listening on ADDR` once bound; scripts wait for the latter.
+//!
+//! `--hints` names the durable root for per-replica hint spools and the
+//! failure-detector snapshot; pointing a restarted router at the same
+//! directory resumes suspicion counts and undelivered hints. Without it
+//! the router uses a scratch directory (hints survive replica crashes
+//! but not router restarts).
 
 use std::process::ExitCode;
 use stride_server::{RouterConfig, RouterServer};
@@ -15,12 +22,17 @@ use stride_server::{RouterConfig, RouterServer};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: strided-router serve [--addr HOST:PORT] [--workers N]\n\
+         \x20                           [--hints DIR] [--hint-cap N] [--probe-every N]\n\
          \x20                           --shard ADDR[,ADDR...] [--shard ...]\n\
          \n\
-         \x20 --addr     listen address (default 127.0.0.1:7310; :0 = ephemeral)\n\
-         \x20 --workers  worker threads (default 4)\n\
-         \x20 --shard    one shard's replica addresses, comma-separated;\n\
-         \x20            repeat per shard (flag order = shard index)"
+         \x20 --addr        listen address (default 127.0.0.1:7310; :0 = ephemeral)\n\
+         \x20 --workers     worker threads (default 4)\n\
+         \x20 --hints       durable root for hint spools + detector snapshot\n\
+         \x20               (default: a scratch directory)\n\
+         \x20 --hint-cap    max spooled hints per replica (default 4096)\n\
+         \x20 --probe-every probe replicas every N handled requests (default 8)\n\
+         \x20 --shard       one shard's replica addresses, comma-separated;\n\
+         \x20               repeat per shard (flag order = shard index)"
     );
     ExitCode::from(2)
 }
@@ -34,6 +46,9 @@ fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7310".to_string();
     let mut workers = 4usize;
     let mut shards: Vec<Vec<String>> = Vec::new();
+    let mut hint_root: Option<std::path::PathBuf> = None;
+    let mut hint_cap: Option<usize> = None;
+    let mut probe_every: Option<u64> = None;
 
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -45,6 +60,15 @@ fn main() -> ExitCode {
             "--addr" => addr = value.clone(),
             "--workers" => match value.parse() {
                 Ok(n) => workers = n,
+                Err(_) => return usage(),
+            },
+            "--hints" => hint_root = Some(std::path::PathBuf::from(value)),
+            "--hint-cap" => match value.parse() {
+                Ok(n) => hint_cap = Some(n),
+                Err(_) => return usage(),
+            },
+            "--probe-every" => match value.parse() {
+                Ok(n) => probe_every = Some(n),
                 Err(_) => return usage(),
             },
             "--shard" => {
@@ -71,11 +95,18 @@ fn main() -> ExitCode {
         return usage();
     }
 
-    let config = RouterConfig {
+    let mut config = RouterConfig {
         addr,
         workers,
+        hint_root,
         ..RouterConfig::loopback(shards)
     };
+    if let Some(cap) = hint_cap {
+        config.hint_cap = cap;
+    }
+    if let Some(every) = probe_every {
+        config.probe_every = every;
+    }
     println!("routing {} shard(s)", config.shards.len());
     let server = match RouterServer::start(config) {
         Ok(s) => s,

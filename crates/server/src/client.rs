@@ -58,11 +58,21 @@ impl RetryPolicy {
 /// the schedule [`Client::call`] sleeps through, exposed so tests can
 /// assert determinism without a server.
 ///
-/// Wait `i` is `min(base << i, max)`, half fixed and half scaled by a
-/// `splitmix64(seed ^ (i+1))` fraction — jitter that decorrelates
-/// clients with different seeds while staying reproducible for equal
-/// ones.
+/// Equivalent to [`backoff_schedule_for`] with request id 0 (the
+/// id-less form every non-merge request uses).
 pub fn backoff_schedule(policy: &RetryPolicy) -> Vec<u64> {
+    backoff_schedule_for(policy, 0)
+}
+
+/// The backoff schedule for one specific request: wait `i` is
+/// `min(base << i, max)`, half fixed and half scaled by a
+/// `splitmix64(seed ^ req_id ^ (i+1))` fraction. Folding the request's
+/// idempotency id into the jitter decorrelates the retry herd a shed
+/// event creates — every client got the same `retry-after` hint, but
+/// each request re-arrives at its own offset instead of re-stampeding
+/// the limiter in lockstep. Pure and byte-identical at any `--jobs`
+/// for equal `(policy, req_id)`.
+pub fn backoff_schedule_for(policy: &RetryPolicy, req_id: u64) -> Vec<u64> {
     let retries = policy.max_attempts.saturating_sub(1);
     (0..retries)
         .map(|i| {
@@ -70,7 +80,7 @@ pub fn backoff_schedule(policy: &RetryPolicy) -> Vec<u64> {
                 .base_delay_ms
                 .saturating_mul(1u64 << i.min(32))
                 .min(policy.max_delay_ms);
-            let jitter = splitmix64_mix(policy.jitter_seed ^ (u64::from(i) + 1)) % 1_000;
+            let jitter = splitmix64_mix(policy.jitter_seed ^ req_id ^ (u64::from(i) + 1)) % 1_000;
             exp / 2 + exp / 2 * jitter / 1_000 + exp % 2
         })
         .collect()
@@ -215,7 +225,7 @@ impl Client {
         };
         let payload = encode_request(&meta, req);
         let duplicate = self.dup_request_nth == Some(self.calls);
-        let schedule = backoff_schedule(&self.policy);
+        let schedule = backoff_schedule_for(&self.policy, meta.req_id);
         let mut last_err: Option<io::Error> = None;
         for attempt in 0..self.policy.max_attempts {
             if attempt > 0 {
@@ -239,11 +249,13 @@ impl Client {
             }
             match self.attempt(&payload, duplicate) {
                 Ok(resp) => {
-                    // `busy` (shed load) and `unavailable` (dead shard,
-                    // may come back) are the transient server answers:
-                    // both retry with the server's hint honoured.
+                    // `busy` (shed load), `unavailable` (dead shard, may
+                    // come back), and `handoff-full` (hint log draining)
+                    // are the transient server answers: all retry with
+                    // the server's hint honoured.
                     if let Response::Err {
-                        kind: kind @ (ErrorKind::Busy | ErrorKind::Unavailable),
+                        kind:
+                            kind @ (ErrorKind::Busy | ErrorKind::Unavailable | ErrorKind::HandoffFull),
                         message,
                         retry_after_ms,
                         ..
@@ -367,6 +379,33 @@ mod tests {
     #[test]
     fn no_retries_schedule_is_empty() {
         assert!(backoff_schedule(&RetryPolicy::no_retries()).is_empty());
+    }
+
+    #[test]
+    fn per_request_jitter_decorrelates_but_stays_pure() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_delay_ms: 10,
+            max_delay_ms: 100,
+            jitter_seed: 42,
+        };
+        // Id 0 is exactly the legacy schedule.
+        assert_eq!(backoff_schedule_for(&policy, 0), backoff_schedule(&policy));
+        // Same (policy, req_id) is byte-identical across calls and
+        // across threads — pure, so trivially jobs-invariant.
+        let a = backoff_schedule_for(&policy, 0xfeed_beef);
+        let b = std::thread::spawn(move || backoff_schedule_for(&policy, 0xfeed_beef))
+            .join()
+            .unwrap();
+        assert_eq!(a, b);
+        // Different requests retry at different offsets (the anti-herd
+        // property), within the same bounds as the base schedule.
+        let c = backoff_schedule_for(&policy, 0xfeed_beef + 1);
+        assert_ne!(a, c);
+        for (i, &wait) in a.iter().enumerate() {
+            let exp = (10u64 << i).min(100);
+            assert!(wait >= exp / 2 && wait <= exp + 1, "wait {wait} vs {exp}");
+        }
     }
 
     #[test]

@@ -23,13 +23,19 @@
 //! byte identity with direct pipeline calls.
 
 pub mod client;
+pub mod detector;
+pub mod hints;
+pub mod limiter;
 pub mod proto;
 pub mod queue;
 pub mod router;
 pub mod server;
 pub mod service;
 
-pub use client::{backoff_schedule, Client, RetryPolicy};
+pub use client::{backoff_schedule, backoff_schedule_for, Client, RetryPolicy};
+pub use detector::{FailureDetector, HealthState, ProbeOutcome};
+pub use hints::{Hint, HintLog};
+pub use limiter::{cost_of, AimdLimiter, Completion};
 pub use proto::{
     decode_request, encode_frame, encode_request, read_frame, write_frame, ErrorKind, Request,
     RequestMeta, Response, MAX_FRAME, PROTO_VERSION,

@@ -267,6 +267,28 @@ pub enum Request {
     /// Garbage-collect database entries whose module is retired or
     /// stale (fanned out cluster-wide by the router).
     Gc,
+    /// Liveness probe: answers `pong` without touching the database.
+    /// The router's failure detector sends these on its logical-clock
+    /// schedule; any daemon answers them.
+    Ping,
+    /// Anti-entropy: report the store's per-`(workload, module-hash)`
+    /// content digest table (one sorted line per entry file), cheap to
+    /// diff across the replicas of a shard.
+    Digest,
+    /// Anti-entropy: export the store's retained *pre-merge* delta
+    /// window as a delta batch, so a diverged sibling can be re-sent
+    /// the exact deltas (WAL req-id dedup absorbs the duplicates). The
+    /// WAL proper holds post-merge redo states, which cannot be merged
+    /// into a sibling without double-counting — hence the separate
+    /// retention window.
+    PullDeltas,
+    /// Router-only: the failure detector's per-replica state table.
+    /// A plain daemon rejects this verb.
+    Health,
+    /// Router-only: run one anti-entropy repair round now (digest every
+    /// replica, re-send deltas across any divergence). A plain daemon
+    /// rejects this verb.
+    Repair,
     /// Router-only: re-point one replica of a shard at a new address
     /// (a crashed daemon restarts on a fresh port; the router re-learns
     /// it without a reboot). A plain daemon rejects this verb.
@@ -366,6 +388,11 @@ impl Request {
             Request::MergeProfile { entry_text } => format!("merge-profile\n{entry_text}"),
             Request::SyncDelta { batch_text } => format!("sync-delta\n{batch_text}"),
             Request::Gc => "gc".to_string(),
+            Request::Ping => "ping".to_string(),
+            Request::Digest => "digest".to_string(),
+            Request::PullDeltas => "pull-deltas".to_string(),
+            Request::Health => "health".to_string(),
+            Request::Repair => "repair".to_string(),
             Request::RouteUpdate {
                 shard,
                 replica,
@@ -424,6 +451,11 @@ impl Request {
                 batch_text: body.to_string(),
             }),
             "gc" => Ok(Request::Gc),
+            "ping" => Ok(Request::Ping),
+            "digest" => Ok(Request::Digest),
+            "pull-deltas" => Ok(Request::PullDeltas),
+            "health" => Ok(Request::Health),
+            "repair" => Ok(Request::Repair),
             "route-update" => Ok(Request::RouteUpdate {
                 shard: take(&kv, "shard")?
                     .parse()
@@ -465,6 +497,10 @@ pub enum ErrorKind {
     /// The shard owning the request's key range has no live replica —
     /// the rest of the cluster keeps serving; retry this key later.
     Unavailable,
+    /// A dead replica's durable hint log is at capacity: the router
+    /// refuses the merge whole rather than applying it partially, so
+    /// nothing it acknowledges can be silently dropped. Retry later.
+    HandoffFull,
 }
 
 impl ErrorKind {
@@ -481,6 +517,7 @@ impl ErrorKind {
             ErrorKind::NotFound => "not-found",
             ErrorKind::Stale => "stale",
             ErrorKind::Unavailable => "unavailable",
+            ErrorKind::HandoffFull => "handoff-full",
         }
     }
 
@@ -497,6 +534,7 @@ impl ErrorKind {
             "not-found" => ErrorKind::NotFound,
             "stale" => ErrorKind::Stale,
             "unavailable" => ErrorKind::Unavailable,
+            "handoff-full" => ErrorKind::HandoffFull,
             _ => return None,
         })
     }
@@ -580,6 +618,18 @@ impl Response {
     pub fn unavailable(shard: u32, retry_after_ms: u64, message: impl Into<String>) -> Response {
         Response::Err {
             kind: ErrorKind::Unavailable,
+            message: message.into(),
+            retry_after_ms: Some(retry_after_ms),
+            shard: Some(shard),
+        }
+    }
+
+    /// Builds the router's hint-log-at-capacity response: typed
+    /// `handoff-full`, scoped to the overloaded shard, with a retry
+    /// hint. The merge was NOT applied anywhere.
+    pub fn handoff_full(shard: u32, retry_after_ms: u64, message: impl Into<String>) -> Response {
+        Response::Err {
+            kind: ErrorKind::HandoffFull,
             message: message.into(),
             retry_after_ms: Some(retry_after_ms),
             shard: Some(shard),
@@ -716,6 +766,11 @@ mod tests {
                 batch_text: "# profdb delta-batch v1\ncount 0\nchecksum 0000000000000000\n".into(),
             },
             Request::Gc,
+            Request::Ping,
+            Request::Digest,
+            Request::PullDeltas,
+            Request::Health,
+            Request::Repair,
             Request::RouteUpdate {
                 shard: 2,
                 replica: 1,
@@ -749,6 +804,7 @@ mod tests {
             Response::err(ErrorKind::Busy, ""),
             Response::busy("queue full", 50),
             Response::unavailable(2, 250, "shard 2 has no live replica"),
+            Response::handoff_full(1, 200, "hint log for shard 1 replica 0 is full"),
         ];
         for resp in responses {
             let back = Response::from_bytes(&resp.to_bytes()).unwrap();
@@ -860,6 +916,7 @@ mod tests {
             ErrorKind::NotFound,
             ErrorKind::Stale,
             ErrorKind::Unavailable,
+            ErrorKind::HandoffFull,
         ] {
             assert_eq!(ErrorKind::parse(kind.as_str()), Some(kind));
         }

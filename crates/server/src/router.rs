@@ -10,44 +10,86 @@
 //! [`stride_profdb::repl`] delta — the *pre-merge* entry plus its
 //! idempotency id — and sent as a `sync-delta` batch to **every**
 //! replica of the owning shard. The merge is acknowledged once at least
-//! one replica applied it durably; replicas that missed the delivery get
-//! the batch queued in a per-replica *lag queue*, drained in order
-//! before that replica's next delivery. Delivery is therefore
-//! at-least-once in any order — exactly what the store's
-//! delivery-order-independent delta merge absorbs into byte-identical
-//! convergence.
+//! one replica applied it durably; replicas the delivery missed get the
+//! delta spooled to their durable hint log, drained in order before
+//! that replica's next delivery. Delivery is therefore at-least-once in
+//! any order — exactly what the store's delivery-order-independent
+//! delta merge absorbs into byte-identical convergence.
+//!
+//! # Self-healing
+//!
+//! The router heals the cluster without operator verbs, on a *logical*
+//! clock (handled-request seqnos — wall time never drives a decision):
+//!
+//! * **Failure detection** ([`crate::detector`]): every
+//!   [`RouterConfig::probe_every`]-th handled request runs a `ping`
+//!   pass over all replicas; seeded-deterministic miss thresholds walk
+//!   alive → suspect → dead. Transport failures during normal
+//!   forwarding count as misses too, so detection is no slower than
+//!   the probe cadence. The health table is persisted beside the hint
+//!   spool, so a router restart resumes mid-suspicion.
+//! * **Hinted handoff** ([`crate::hints`]): deltas owed to a dead (or
+//!   just-missed) replica are spooled to a checksummed per-replica WAL
+//!   chain and drained in order on revival. At capacity the merge is
+//!   refused *whole* with a typed `handoff-full` — before any replica
+//!   applies it — so an acknowledged merge can never lose a replica
+//!   silently (the old in-memory lag queue dropped its oldest entry).
+//! * **Anti-entropy repair**: replicas of a shard exchange per-key
+//!   digest tables; on divergence each live replica's retained
+//!   pre-merge delta window is cross-sent to its siblings (req-id
+//!   dedup absorbs the overlap). Runs periodically on the probe clock,
+//!   on every revival, and on the `repair` verb.
+//! * **Revival**: when a dead replica answers a probe again (a crashed
+//!   daemon restarted on its old port), the router re-teaches it every
+//!   module it owns, drains its hint log, and runs a repair round —
+//!   the exact routine `route-update` performs for an address move.
 //!
 //! # Degradation
 //!
 //! A shard with no reachable replica answers `err unavailable shard=K
 //! retry-after=MS` *for its key range only*; requests owned by live
-//! shards keep succeeding. A crashed replica that restarts on a new
-//! port is re-learned via the `route-update` verb, which also requeues
-//! every known module submission so the replica can serve staleness
-//! checks again.
+//! shards keep succeeding. Overload is shed at the door by an AIMD
+//! admission limiter ([`crate::limiter`]) with typed `busy` errors.
 
 use crate::client::{Client, RetryPolicy};
+use crate::hints::HintLog;
+use crate::limiter::{cost_of, AimdLimiter, Completion};
 use crate::proto::{
     decode_request, read_frame, write_frame, ErrorKind, Request, RequestMeta, Response,
 };
 use crate::queue::BoundedQueue;
-use std::collections::{HashMap, VecDeque};
+use crate::{detector::FailureDetector, detector::ProbeOutcome};
+use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use stride_core::{Counter, Registry};
-use stride_profdb::{encode_delta_batch, DeltaRecord, ProfileEntry, ShardMap, SHARD_MAP_VERSION};
+use stride_core::{Counter, Gauge, Registry};
+use stride_profdb::{
+    decode_delta_batch, decode_digest_table, encode_delta_batch, DeltaRecord, ProfileEntry,
+    ShardMap, SHARD_MAP_VERSION,
+};
 
 /// Retry-after hint on `unavailable` responses, in milliseconds.
 pub const UNAVAILABLE_RETRY_AFTER_MS: u64 = 200;
 
-/// Ceiling on one replica's lag queue; beyond it the oldest entries are
-/// dropped (counted — a replica that lags this far needs recovery-based
-/// catch-up anyway, which WAL replay plus client retries provide).
-const LAG_QUEUE_CAP: usize = 4096;
+/// Default ceiling on one replica's durable hint spool. Unlike the old
+/// in-memory lag queue, hitting it refuses new merges (`handoff-full`)
+/// instead of silently dropping the oldest delta.
+pub const HINT_CAP_DEFAULT: usize = 4096;
+
+/// Default probe cadence: one failure-detector pass per this many
+/// handled requests (a logical clock — wall time never drives it).
+pub const PROBE_EVERY_DEFAULT: u64 = 8;
+
+/// Anti-entropy cadence: one repair round per this many probe passes.
+const REPAIR_EVERY_PASSES: u64 = 4;
+
+/// Health-table snapshot file, beside the hint spool.
+const HEALTH_FILE: &str = "health.txt";
 
 /// Router configuration.
 #[derive(Clone, Debug)]
@@ -62,6 +104,17 @@ pub struct RouterConfig {
     /// Retry policy for backend calls (kept short: the router's own
     /// callers have retry loops too).
     pub backend_retry: RetryPolicy,
+    /// Root directory for the per-replica hint spools and the health
+    /// snapshot. `None` uses a fresh per-process temp directory (tests);
+    /// deployments pass a durable path so spooled deltas and suspicion
+    /// counts survive a router restart.
+    pub hint_root: Option<PathBuf>,
+    /// Per-replica hint-spool capacity, in hints.
+    pub hint_cap: usize,
+    /// Probe cadence in handled requests; 0 disables probing.
+    pub probe_every: u64,
+    /// Failure-detector seed (derives per-replica miss thresholds).
+    pub detector_seed: u64,
 }
 
 impl RouterConfig {
@@ -78,27 +131,23 @@ impl RouterConfig {
                 max_delay_ms: 100,
                 jitter_seed: 0,
             },
+            hint_root: None,
+            hint_cap: HINT_CAP_DEFAULT,
+            probe_every: PROBE_EVERY_DEFAULT,
+            detector_seed: 0x7007_c0de,
         }
     }
 }
 
 /// One backend replica: its (mutable — `route-update`) address, a lazy
-/// connection, and the lag queue of deliveries it has missed.
+/// connection, and the durable hint spool of deliveries it has missed.
 struct Replica {
     addr: Mutex<String>,
     client: Mutex<Option<Client>>,
-    lag: Mutex<VecDeque<Request>>,
+    hints: Mutex<HintLog>,
 }
 
 impl Replica {
-    fn new(addr: String) -> Replica {
-        Replica {
-            addr: Mutex::new(addr),
-            client: Mutex::new(None),
-            lag: Mutex::new(VecDeque::new()),
-        }
-    }
-
     fn addr(&self) -> String {
         self.addr
             .lock()
@@ -118,10 +167,29 @@ pub struct Router {
     forwarded: Counter,
     shed_unavailable: Counter,
     retries: Counter,
-    lag_dropped: Counter,
+    hints_spooled: Counter,
+    hints_drained: Counter,
+    handoff_refused: Counter,
+    probes: Counter,
+    failovers: Counter,
+    revivals: Counter,
+    repair_rounds: Counter,
+    repair_resent: Counter,
+    limiter_shed: Counter,
+    limiter_limit: Gauge,
     policy: RetryPolicy,
     /// Router-generated idempotency ids for merges arriving without one.
     id_seq: AtomicU64,
+    /// Handled-request seqno: the logical clock probing runs on.
+    req_seq: AtomicU64,
+    /// Completed probe passes (the repair clock).
+    probe_passes: AtomicU64,
+    /// Guards against overlapping probe passes from concurrent workers.
+    probing: AtomicBool,
+    detector: Mutex<FailureDetector>,
+    probe_every: u64,
+    health_path: PathBuf,
+    limiter: AimdLimiter,
     shutdown: AtomicBool,
 }
 
@@ -131,37 +199,102 @@ fn splitmix64_mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Distinct per-process hint roots for routers started without one
+/// (multiple in-process routers in one test binary must not collide).
+fn scratch_hint_root() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("strided-router-hints-{}-{n}", std::process::id()))
+}
+
 impl Router {
-    /// Builds the router over a shard topology.
-    pub fn new(shards: Vec<Vec<String>>, policy: RetryPolicy) -> Router {
+    /// Builds the router over a shard topology, opening (and replaying)
+    /// the per-replica hint spools and restoring the health table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`io::Error`] when a hint spool cannot be opened.
+    pub fn new(config: &RouterConfig) -> io::Result<Router> {
         let obs = Arc::new(Registry::new());
-        let forwarded = obs.counter("router.forwarded");
-        let shed_unavailable = obs.counter("router.shed_unavailable");
-        let retries = obs.counter("client.retries");
-        let lag_dropped = obs.counter("router.lag_dropped");
-        let map = ShardMap::new(shards.len() as u32);
-        let shards = shards
-            .into_iter()
-            .map(|replicas| replicas.into_iter().map(Replica::new).collect())
-            .collect();
-        Router {
+        let map = ShardMap::new(config.shards.len() as u32);
+        let hint_root = config.hint_root.clone().unwrap_or_else(scratch_hint_root);
+        let topo: Vec<usize> = config.shards.iter().map(Vec::len).collect();
+        let mut shards: Vec<Vec<Replica>> = Vec::with_capacity(config.shards.len());
+        for (k, replicas) in config.shards.iter().enumerate() {
+            let mut row = Vec::with_capacity(replicas.len());
+            for (r, addr) in replicas.iter().enumerate() {
+                let spool = HintLog::open(&hint_root.join(format!("s{k}r{r}")), config.hint_cap)
+                    .map_err(|e| io::Error::other(format!("hint spool s{k}r{r}: {e}")))?;
+                row.push(Replica {
+                    addr: Mutex::new(addr.clone()),
+                    client: Mutex::new(None),
+                    hints: Mutex::new(spool),
+                });
+            }
+            shards.push(row);
+        }
+        let health_path = hint_root.join(HEALTH_FILE);
+        // Resume mid-suspicion from the persisted health table; a
+        // missing or unparsable snapshot starts everyone alive.
+        let detector = std::fs::read_to_string(&health_path)
+            .ok()
+            .and_then(|text| FailureDetector::restore_text(config.detector_seed, &topo, &text).ok())
+            .unwrap_or_else(|| FailureDetector::new(config.detector_seed, &topo));
+        Ok(Router {
             map,
             shards,
             modules: Mutex::new(HashMap::new()),
+            forwarded: obs.counter("router.forwarded"),
+            shed_unavailable: obs.counter("router.shed_unavailable"),
+            retries: obs.counter("client.retries"),
+            hints_spooled: obs.counter("router.hints_spooled"),
+            hints_drained: obs.counter("router.hints_drained"),
+            handoff_refused: obs.counter("router.handoff_refused"),
+            probes: obs.counter("router.probes"),
+            failovers: obs.counter("router.failovers"),
+            revivals: obs.counter("router.revivals"),
+            repair_rounds: obs.counter("router.repair_rounds"),
+            repair_resent: obs.counter("router.repair_resent"),
+            limiter_shed: obs.counter("router.limiter.shed"),
+            limiter_limit: obs.gauge("router.limiter.limit"),
             obs,
-            forwarded,
-            shed_unavailable,
-            retries,
-            lag_dropped,
-            policy,
+            policy: config.backend_retry,
             id_seq: AtomicU64::new(0x7007_c0de),
+            req_seq: AtomicU64::new(0),
+            probe_passes: AtomicU64::new(0),
+            probing: AtomicBool::new(false),
+            detector: Mutex::new(detector),
+            probe_every: config.probe_every,
+            health_path,
+            limiter: AimdLimiter::default_sized(),
             shutdown: AtomicBool::new(false),
-        }
+        })
     }
 
     /// The router's metrics registry.
     pub fn obs(&self) -> &Arc<Registry> {
         &self.obs
+    }
+
+    /// The router's admission limiter (serve loop, tests).
+    pub fn limiter(&self) -> &AimdLimiter {
+        &self.limiter
+    }
+
+    fn detector(&self) -> std::sync::MutexGuard<'_, FailureDetector> {
+        self.detector.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn is_dead(&self, shard: usize, replica: usize) -> bool {
+        self.detector().is_dead(shard, replica)
+    }
+
+    /// Best-effort persist of the health table so a restarted router
+    /// resumes mid-suspicion. Corruption is tolerated: restore rejects
+    /// garbage and starts everyone alive.
+    fn persist_health(&self) {
+        let text = self.detector().snapshot_text();
+        let _ = std::fs::write(&self.health_path, text);
     }
 
     /// One call to one replica over its cached connection (connecting
@@ -193,56 +326,149 @@ impl Router {
         result
     }
 
-    /// Drains a replica's lag queue in order; stops (requeueing the
-    /// failed delivery at the front) on the first failure. Returns true
-    /// when the queue emptied.
-    fn drain_lag(&self, replica: &Replica) -> bool {
-        loop {
-            let Some(req) = replica
-                .lag
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .pop_front()
-            else {
-                return true;
-            };
-            match self.call_replica(replica, None, &req) {
-                Ok(Response::Ok(_)) => continue,
-                // A typed refusal (stale, malformed) cannot succeed
-                // later either: drop it rather than wedge the queue.
-                Ok(Response::Err { .. }) => continue,
-                Err(_) => {
-                    replica
-                        .lag
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner)
-                        .push_front(req);
-                    return false;
-                }
+    /// Feeds one transport failure to the failure detector and acts on
+    /// the resulting state edge (a miss observed during forwarding is
+    /// as good as a missed probe).
+    fn note_miss(&self, shard: usize, replica: usize) {
+        let outcome = self.detector().probe_missed(shard, replica);
+        self.act_on(shard, replica, outcome);
+    }
+
+    fn act_on(&self, shard: usize, replica: usize, outcome: ProbeOutcome) {
+        match outcome {
+            ProbeOutcome::Unchanged => {}
+            ProbeOutcome::Suspected => self.persist_health(),
+            ProbeOutcome::Died => {
+                self.failovers.inc();
+                self.persist_health();
+            }
+            ProbeOutcome::Revived => {
+                self.revivals.inc();
+                self.persist_health();
+                self.revive(shard, replica);
             }
         }
     }
 
-    fn enqueue_lag(&self, replica: &Replica, req: Request) {
-        let mut lag = replica.lag.lock().unwrap_or_else(PoisonError::into_inner);
-        while lag.len() >= LAG_QUEUE_CAP {
-            lag.pop_front();
-            self.lag_dropped.inc();
+    /// One failure-detector pass: ping every replica (dead ones too —
+    /// that is how revival is noticed), walk the state machine, and
+    /// every few passes run an anti-entropy repair round.
+    fn probe_all(&self) {
+        if self.probing.swap(true, Ordering::SeqCst) {
+            return; // a sibling worker is mid-pass
         }
-        lag.push_back(req);
+        for k in 0..self.shards.len() {
+            for r in 0..self.shards[k].len() {
+                self.probes.inc();
+                let up = matches!(
+                    self.call_replica(&self.shards[k][r], None, &Request::Ping),
+                    Ok(Response::Ok(_))
+                );
+                let outcome = if up {
+                    self.detector().probe_ok(k, r)
+                } else {
+                    self.detector().probe_missed(k, r)
+                };
+                self.act_on(k, r, outcome);
+            }
+        }
+        let pass = self.probe_passes.fetch_add(1, Ordering::Relaxed) + 1;
+        if pass.is_multiple_of(REPAIR_EVERY_PASSES) {
+            self.repair_all();
+        }
+        self.probing.store(false, Ordering::SeqCst);
     }
 
-    /// Total queued lag deliveries per shard/replica (quiesce probe).
+    /// The revival routine — also the `route-update` routine: re-teach
+    /// the replica every module its shard owns (a restarted daemon is
+    /// module-less), drain its hint spool in order, then run a repair
+    /// round so anything the hints could not carry re-converges.
+    fn revive(&self, shard: usize, replica_idx: usize) {
+        let replica = &self.shards[shard][replica_idx];
+        let modules = self.modules.lock().unwrap_or_else(PoisonError::into_inner);
+        let teach: Vec<Request> = modules
+            .iter()
+            .filter(|(w, (h, _))| self.map.shard_of(w, *h) as usize == shard)
+            .map(|(w, (_, text))| Request::SubmitModule {
+                workload: w.clone(),
+                text: text.clone(),
+            })
+            .collect();
+        drop(modules);
+        for req in &teach {
+            let _ = self.call_replica(replica, None, req);
+        }
+        self.drain_hints(replica);
+        let (_, resent) = self.repair_shard(shard);
+        self.repair_rounds.inc();
+        self.repair_resent.add(resent);
+    }
+
+    /// Drains a replica's hint spool in order; stops on the first
+    /// transport failure (the hint stays front-of-queue). Returns true
+    /// when the spool emptied. A typed refusal is popped too: it cannot
+    /// succeed later either, and anti-entropy re-converges the key.
+    fn drain_hints(&self, replica: &Replica) -> bool {
+        loop {
+            let hints = replica.hints.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(hint) = hints.front().cloned() else {
+                return true;
+            };
+            drop(hints);
+            let req = Request::SyncDelta {
+                batch_text: encode_delta_batch(&[DeltaRecord {
+                    req_id: hint.req_id,
+                    entry_text: hint.entry_text,
+                }]),
+            };
+            match self.call_replica(replica, None, &req) {
+                Ok(_) => {
+                    let mut hints = replica.hints.lock().unwrap_or_else(PoisonError::into_inner);
+                    let _ = hints.pop_delivered();
+                    self.hints_drained.inc();
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Durably spools one delta for a replica the delivery missed.
+    /// Capacity was pre-checked by the caller, so a refusal here (a
+    /// race) surfaces as `handoff-full` upstream.
+    fn spool_hint(&self, replica: &Replica, req_id: u64, entry_text: &str) -> bool {
+        let mut hints = replica.hints.lock().unwrap_or_else(PoisonError::into_inner);
+        match hints.spool(req_id, entry_text) {
+            Ok(()) => {
+                self.hints_spooled.inc();
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Per-replica spooled-hint depth plus health state (quiesce probe;
+    /// the `lag` line shape predates hinted handoff and is kept for its
+    /// scripted consumers).
     fn lag_lines(&self) -> String {
         let mut out = String::new();
         for (k, replicas) in self.shards.iter().enumerate() {
             for (r, replica) in replicas.iter().enumerate() {
                 let queued = replica
-                    .lag
+                    .hints
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .len();
                 let _ = writeln!(out, "lag shard={k} replica={r} queued={queued}");
+            }
+        }
+        let detector = self.detector();
+        for (k, replicas) in self.shards.iter().enumerate() {
+            for r in 0..replicas.len() {
+                let _ = writeln!(
+                    out,
+                    "health shard={k} replica={r} state={}",
+                    detector.state(k, r).label()
+                );
             }
         }
         out
@@ -252,8 +478,13 @@ impl Router {
         &self.shards[shard as usize]
     }
 
-    /// Handles one client request at the router.
+    /// Handles one client request at the router. Every handled request
+    /// ticks the logical probe clock.
     pub fn handle(&self, meta: &RequestMeta, req: &Request) -> Response {
+        let seq = self.req_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.probe_every > 0 && seq.is_multiple_of(self.probe_every) {
+            self.probe_all();
+        }
         match req {
             Request::SubmitModule { workload, text } => self.submit(workload, text),
             Request::MergeProfile { entry_text } => self.merge(meta, entry_text),
@@ -265,6 +496,13 @@ impl Router {
                 ErrorKind::Malformed,
                 "sync-delta is replica-to-replica; submit merges via merge-profile",
             ),
+            Request::Digest | Request::PullDeltas => Response::err(
+                ErrorKind::Malformed,
+                "digest/pull-deltas are shard-daemon verbs; ask the router for `repair`",
+            ),
+            Request::Ping => Response::Ok("pong\n".to_string()),
+            Request::Health => Response::Ok(self.health_body()),
+            Request::Repair => Response::Ok(self.repair_body()),
             Request::Stats => Response::Ok(self.fan_out_body(&Request::Stats)),
             Request::Gc => Response::Ok(self.fan_out_body(&Request::Gc)),
             Request::RouteUpdate {
@@ -278,7 +516,9 @@ impl Router {
     }
 
     /// Registers the module locally (learning the key hash) and forwards
-    /// the submission to every replica of the owning shard.
+    /// the submission to every live replica of the owning shard. Dead
+    /// replicas are skipped: the revival routine re-teaches every module
+    /// from the router's copy.
     fn submit(&self, workload: &str, text: &str) -> Response {
         let module = match stride_ir::module_from_string(text) {
             Ok(m) => m,
@@ -295,12 +535,15 @@ impl Router {
             text: text.to_string(),
         };
         let mut acked = None;
-        for replica in self.shard_replicas(shard) {
-            self.drain_lag(replica);
+        for (r, replica) in self.shard_replicas(shard).iter().enumerate() {
+            if self.is_dead(shard as usize, r) {
+                continue;
+            }
+            self.drain_hints(replica);
             match self.call_replica(replica, None, &req) {
                 Ok(Response::Ok(body)) => acked = acked.or(Some(body)),
                 Ok(resp @ Response::Err { .. }) => return resp,
-                Err(_) => self.enqueue_lag(replica, req.clone()),
+                Err(_) => self.note_miss(shard as usize, r),
             }
         }
         match acked {
@@ -314,13 +557,31 @@ impl Router {
 
     /// Converts a merge into a replication delta and delivers it to all
     /// replicas of the owning shard, acknowledging on the first durable
-    /// apply.
+    /// apply. Replicas the delivery misses get the delta spooled to
+    /// their hint log — but only if *every* replica's spool has room,
+    /// checked before any delivery, so a `handoff-full` refusal means
+    /// the merge was applied nowhere and the client's retry is clean.
     fn merge(&self, meta: &RequestMeta, entry_text: &str) -> Response {
         let entry = match ProfileEntry::from_text(entry_text) {
             Ok(e) => e,
             Err(e) => return Response::err(ErrorKind::from(&e), e.to_string()),
         };
         let shard = self.map.shard_of(&entry.workload, entry.module_hash);
+        for (r, replica) in self.shard_replicas(shard).iter().enumerate() {
+            let full = replica
+                .hints
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .is_full();
+            if full {
+                self.handoff_refused.inc();
+                return Response::handoff_full(
+                    shard,
+                    UNAVAILABLE_RETRY_AFTER_MS,
+                    format!("replica {r} hint spool at capacity; merge refused whole, retry later"),
+                );
+            }
+        }
         let req_id = if meta.req_id != 0 {
             meta.req_id
         } else {
@@ -340,18 +601,28 @@ impl Router {
             req_id,
             entry_text: entry_text.to_string(),
         }]);
-        let req = Request::SyncDelta { batch_text: batch };
+        let req = Request::SyncDelta {
+            batch_text: batch.clone(),
+        };
         let mut acked = None;
-        for replica in self.shard_replicas(shard) {
+        for (r, replica) in self.shard_replicas(shard).iter().enumerate() {
+            if self.is_dead(shard as usize, r) {
+                self.spool_hint(replica, req_id, entry_text);
+                continue;
+            }
             // Ordered delivery per replica: missed deliveries go first.
-            if !self.drain_lag(replica) {
-                self.enqueue_lag(replica, req.clone());
+            if !self.drain_hints(replica) {
+                self.spool_hint(replica, req_id, entry_text);
+                self.note_miss(shard as usize, r);
                 continue;
             }
             match self.call_replica(replica, None, &req) {
                 Ok(Response::Ok(body)) => acked = acked.or(Some(body)),
                 Ok(resp @ Response::Err { .. }) => return resp,
-                Err(_) => self.enqueue_lag(replica, req.clone()),
+                Err(_) => {
+                    self.spool_hint(replica, req_id, entry_text);
+                    self.note_miss(shard as usize, r);
+                }
             }
         }
         match acked {
@@ -379,23 +650,111 @@ impl Router {
             }
         };
         let shard = self.map.shard_of(workload, hash);
-        for replica in self.shard_replicas(shard) {
-            self.drain_lag(replica);
+        for (r, replica) in self.shard_replicas(shard).iter().enumerate() {
+            if self.is_dead(shard as usize, r) {
+                continue;
+            }
+            self.drain_hints(replica);
             match self.call_replica(replica, meta.deadline_fuel, req) {
                 Ok(resp) => {
                     self.forwarded.inc();
                     return resp;
                 }
-                Err(_) => continue,
+                Err(_) => {
+                    self.note_miss(shard as usize, r);
+                    continue;
+                }
             }
         }
         self.unavailable(shard, format!("no live replica for `{workload}`"))
     }
 
+    /// The failure detector's table, for operators and tests.
+    fn health_body(&self) -> String {
+        let mut out = format!(
+            "# router health v1\nprobe-every {}\nhandled {}\n",
+            self.probe_every,
+            self.req_seq.load(Ordering::Relaxed)
+        );
+        out.push_str(&self.detector().snapshot_text());
+        out
+    }
+
+    /// One explicit anti-entropy round across every shard.
+    fn repair_body(&self) -> String {
+        let mut out = String::new();
+        for k in 0..self.shards.len() {
+            let (divergent, resent) = self.repair_shard(k);
+            self.repair_rounds.inc();
+            self.repair_resent.add(resent);
+            let _ = writeln!(
+                out,
+                "repair shard={k} divergent={divergent} resent={resent}"
+            );
+        }
+        out
+    }
+
+    fn repair_all(&self) {
+        for k in 0..self.shards.len() {
+            let (_, resent) = self.repair_shard(k);
+            self.repair_rounds.inc();
+            self.repair_resent.add(resent);
+        }
+    }
+
+    /// One anti-entropy round for one shard: diff the live replicas'
+    /// per-key digest tables; on divergence cross-send every live
+    /// replica's retained pre-merge delta window to its siblings
+    /// (req-id dedup absorbs the overlap, CRDT merge makes the union
+    /// byte-identical). Returns `(divergent, deltas re-sent)`.
+    fn repair_shard(&self, shard: usize) -> (bool, u64) {
+        let replicas = &self.shards[shard];
+        let mut tables = Vec::new();
+        for (r, replica) in replicas.iter().enumerate() {
+            if self.is_dead(shard, r) {
+                continue;
+            }
+            if let Ok(Response::Ok(body)) = self.call_replica(replica, None, &Request::Digest) {
+                if let Ok(table) = decode_digest_table(&body) {
+                    tables.push((r, table));
+                }
+            }
+        }
+        let divergent = tables.windows(2).any(|w| w[0].1 != w[1].1);
+        if !divergent {
+            return (false, 0);
+        }
+        let mut resent = 0u64;
+        for &(r, _) in &tables {
+            let Ok(Response::Ok(batch)) =
+                self.call_replica(&replicas[r], None, &Request::PullDeltas)
+            else {
+                continue;
+            };
+            let Ok(deltas) = decode_delta_batch(&batch) else {
+                continue;
+            };
+            if deltas.is_empty() {
+                continue;
+            }
+            let req = Request::SyncDelta { batch_text: batch };
+            for &(r2, _) in &tables {
+                if r2 == r {
+                    continue;
+                }
+                if let Ok(Response::Ok(_)) = self.call_replica(&replicas[r2], None, &req) {
+                    resent += deltas.len() as u64;
+                }
+            }
+        }
+        (true, resent)
+    }
+
     /// Fans a verb out to every replica of every shard, composing the
     /// bodies under `== shard K replica R addr A ==` section headers.
     /// The leading `== router ==` section carries the router's own
-    /// counters and per-replica lag depths.
+    /// counters, per-replica hint depths, and health states.
     fn fan_out_body(&self, req: &Request) -> String {
         let mut out = format!(
             "== router ==\nshards {}\nshard-map-version {SHARD_MAP_VERSION}\n",
@@ -405,7 +764,9 @@ impl Router {
         out.push_str(&self.obs.snapshot_text());
         for (k, replicas) in self.shards.iter().enumerate() {
             for (r, replica) in replicas.iter().enumerate() {
-                self.drain_lag(replica);
+                if !self.is_dead(k, r) {
+                    self.drain_hints(replica);
+                }
                 let addr = replica.addr();
                 let _ = writeln!(out, "== shard {k} replica {r} addr {addr} ==");
                 match self.call_replica(replica, None, req) {
@@ -422,9 +783,9 @@ impl Router {
         out
     }
 
-    /// Re-points a replica at a new address and requeues every known
-    /// module submission so the (freshly restarted, module-less) daemon
-    /// can serve staleness checks and reads again.
+    /// Re-points a replica at a new address (a genuine move — same-port
+    /// restarts heal without this verb) and runs the revival routine:
+    /// re-teach modules, drain hints, repair.
     fn route_update(&self, shard: u32, replica_idx: u32, addr: &str) -> Response {
         let Some(replica) = self
             .shards
@@ -441,23 +802,16 @@ impl Router {
             .client
             .lock()
             .unwrap_or_else(PoisonError::into_inner) = None;
-        let modules = self.modules.lock().unwrap_or_else(PoisonError::into_inner);
-        // Re-teach modules ahead of any queued deltas? No — submissions
-        // go to the *front* so staleness checks see the module before
-        // replayed merges, preserving per-replica delivery order for the
-        // deltas themselves.
-        let mut lag = replica.lag.lock().unwrap_or_else(PoisonError::into_inner);
-        for (workload, (hash, text)) in modules.iter() {
-            if self.map.shard_of(workload, *hash) == shard {
-                lag.push_front(Request::SubmitModule {
-                    workload: workload.clone(),
-                    text: text.clone(),
-                });
-            }
+        // The operator asserts the replica is reachable there; the next
+        // probe pass corrects the table if not.
+        let outcome = self
+            .detector()
+            .probe_ok(shard as usize, replica_idx as usize);
+        if outcome == ProbeOutcome::Revived {
+            self.revivals.inc();
         }
-        drop(lag);
-        drop(modules);
-        self.drain_lag(replica);
+        self.persist_health();
+        self.revive(shard as usize, replica_idx as usize);
         Response::Ok(format!(
             "routed shard={shard} replica={replica_idx} addr={addr}\n"
         ))
@@ -496,11 +850,11 @@ impl RouterServer {
     ///
     /// # Errors
     ///
-    /// Socket failures.
+    /// Socket or hint-spool failures.
     pub fn start(config: RouterConfig) -> io::Result<RouterServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let router = Router::new(config.shards, config.backend_retry);
+        let router = Router::new(&config)?;
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(64),
             router,
@@ -619,7 +973,38 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             }
             return;
         }
-        let resp = shared.router.handle(&meta, &req);
+        // Adaptive admission: shed over-ceiling work at the door with a
+        // typed busy instead of letting backend queues collapse.
+        let router = &shared.router;
+        let cost = cost_of(&req);
+        if !router.limiter.try_acquire(cost) {
+            router.limiter_shed.inc();
+            let resp = Response::busy(
+                "router admission limit reached, retry later",
+                crate::server::BUSY_RETRY_AFTER_MS,
+            );
+            if write_frame(&mut stream, &resp.to_bytes()).is_err() {
+                return;
+            }
+            continue;
+        }
+        let resp = router.handle(&meta, &req);
+        // Load signals cut the ceiling: a backend busy, a hint spool at
+        // capacity, or a deadline-missed VM abort. Everything else —
+        // including unavailable (a liveness problem, not load) — raises.
+        let completion = match &resp {
+            Response::Err {
+                kind: ErrorKind::Busy | ErrorKind::HandoffFull,
+                ..
+            } => Completion::Overload,
+            Response::Err {
+                kind: ErrorKind::Vm,
+                ..
+            } if meta.deadline_fuel.is_some() => Completion::Overload,
+            _ => Completion::Done,
+        };
+        router.limiter.release(cost, completion);
+        router.limiter_limit.set(router.limiter.limit());
         if write_frame(&mut stream, &resp.to_bytes()).is_err() {
             return;
         }

@@ -1,6 +1,7 @@
 //! The daemon: acceptor thread, bounded connection queue, worker pool,
 //! graceful drain-then-shutdown.
 
+use crate::limiter::{cost_of, AimdLimiter, Completion};
 use crate::proto::{
     decode_request, encode_frame, read_frame, write_frame, ErrorKind, Request, Response,
 };
@@ -88,6 +89,15 @@ struct Shared {
     /// Connection-queue depth; its high-water mark survives in the
     /// gauge's max.
     queue_depth: stride_core::Gauge,
+    /// AIMD admission control: requests over the adaptive in-flight
+    /// cost ceiling are shed with `busy` at the door.
+    limiter: AimdLimiter,
+    /// Requests shed by the limiter (as opposed to the connection
+    /// queue's `server.shed`).
+    limiter_shed: stride_core::Counter,
+    /// Mirrors of the limiter's ceiling and admitted cost.
+    limiter_limit: stride_core::Gauge,
+    limiter_in_flight: stride_core::Gauge,
 }
 
 /// A running daemon; dropping the handle does *not* stop it — send a
@@ -113,6 +123,11 @@ impl Server {
             .map_err(|e| io::Error::other(format!("profile db: {e}")))?;
         let shed = service.obs().counter("server.shed");
         let queue_depth = service.obs().gauge("server.queue_depth");
+        let limiter_shed = service.obs().counter("server.limiter.shed");
+        let limiter_limit = service.obs().gauge("server.limiter.limit");
+        let limiter_in_flight = service.obs().gauge("server.limiter.in_flight");
+        let limiter = AimdLimiter::default_sized();
+        limiter_limit.set(limiter.limit());
         let shared = Arc::new(Shared {
             queue: BoundedQueue::new(config.queue_cap.max(1)),
             service,
@@ -121,6 +136,10 @@ impl Server {
             responses: AtomicU64::new(0),
             shed,
             queue_depth,
+            limiter,
+            limiter_shed,
+            limiter_limit,
+            limiter_in_flight,
         });
 
         let mut threads = Vec::new();
@@ -251,6 +270,19 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             }
             return;
         }
+        // AIMD admission: a request over the adaptive in-flight cost
+        // ceiling is shed here — a cheap typed refusal at the door
+        // instead of a queue-then-timeout collapse.
+        let cost = cost_of(&req);
+        if !shared.limiter.try_acquire(cost) {
+            shared.limiter_shed.inc();
+            let resp = Response::busy("admission limit reached, retry later", BUSY_RETRY_AFTER_MS);
+            if !send_response(&mut stream, shared, &resp) {
+                return;
+            }
+            continue;
+        }
+        shared.limiter_in_flight.set(shared.limiter.in_flight());
         let mut results = parallel_map_isolated(std::slice::from_ref(&req), 1, |_, r| {
             shared.service.handle_meta(&meta, r)
         });
@@ -262,6 +294,19 @@ fn serve_connection(mut stream: TcpStream, shared: &Shared) {
             ),
             None => Response::err(ErrorKind::Panic, "request handler vanished"),
         };
+        // A VM abort under an explicit deadline is a deadline miss —
+        // the overload signal that cuts the ceiling multiplicatively.
+        // Everything else (ok or an unrelated typed error) raises it
+        // additively.
+        let completion = match &resp {
+            Response::Err {
+                kind: ErrorKind::Vm,
+                ..
+            } if meta.deadline_fuel.is_some() => Completion::Overload,
+            _ => Completion::Done,
+        };
+        shared.limiter.release(cost, completion);
+        shared.limiter_limit.set(shared.limiter.limit());
         if !send_response(&mut stream, shared, &resp) {
             return;
         }

@@ -15,7 +15,8 @@ use stride_core::{
 };
 use stride_ir::{module_from_string, module_to_string, Module};
 use stride_profdb::{
-    decode_delta_batch, module_hash, DbError, DiskFaults, ProfileDb, ProfileEntry,
+    decode_delta_batch, encode_delta_batch, encode_digest_table, module_hash, DbError, DiskFaults,
+    ProfileDb, ProfileEntry,
 };
 use stride_profiling::{EdgeProfile, StrideProfile};
 
@@ -112,6 +113,11 @@ fn verb_of(req: &Request) -> &'static str {
         Request::MergeProfile { .. } => "merge-profile",
         Request::SyncDelta { .. } => "sync-delta",
         Request::Gc => "gc",
+        Request::Ping => "ping",
+        Request::Digest => "digest",
+        Request::PullDeltas => "pull-deltas",
+        Request::Health => "health",
+        Request::Repair => "repair",
         Request::RouteUpdate { .. } => "route-update",
         Request::Stats => "stats",
         Request::Shutdown => "shutdown",
@@ -300,6 +306,19 @@ impl Service {
             Request::MergeProfile { entry_text } => self.merge_profile(entry_text, meta.req_id),
             Request::SyncDelta { batch_text } => self.sync_delta(batch_text),
             Request::Gc => self.gc_req(),
+            // Liveness probe: answer without touching the database, so a
+            // probe succeeds even while the store is busy or degraded.
+            Request::Ping => Response::Ok("pong\n".to_string()),
+            Request::Digest => self.digest_req(),
+            Request::PullDeltas => self.pull_deltas_req(),
+            Request::Health => Response::err(
+                ErrorKind::Malformed,
+                "health is a router verb; this is a shard daemon",
+            ),
+            Request::Repair => Response::err(
+                ErrorKind::Malformed,
+                "repair is a router verb; this is a shard daemon",
+            ),
             Request::RouteUpdate { .. } => Response::err(
                 ErrorKind::Malformed,
                 "route-update is a router verb; this is a shard daemon",
@@ -502,6 +521,23 @@ impl Service {
             }
             Err(e) => db_err(&e),
         }
+    }
+
+    /// Reports the per-key digest table (anti-entropy's cheap diff).
+    fn digest_req(&self) -> Response {
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        match db.digest_table() {
+            Ok(table) => Response::Ok(encode_digest_table(&table)),
+            Err(e) => db_err(&e),
+        }
+    }
+
+    /// Exports the retained pre-merge delta window as a delta batch for
+    /// anti-entropy re-send to a diverged sibling.
+    fn pull_deltas_req(&self) -> Response {
+        let db = self.db.lock().unwrap_or_else(PoisonError::into_inner);
+        let deltas = db.retained_deltas();
+        Response::Ok(encode_delta_batch(&deltas))
     }
 
     /// Garbage-collects entries whose workload has no registered module

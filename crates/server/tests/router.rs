@@ -139,6 +139,177 @@ fn merges_replicate_to_every_replica_of_the_owning_shard() {
     }
 }
 
+/// Satellite: a replica outage spools merges as durable hints; when the
+/// spool fills, the router refuses the merge *whole* with a typed
+/// `handoff-full` instead of silently dropping, and a revived replica
+/// drains the spool in order and converges.
+#[test]
+fn full_hint_spool_refuses_merges_typed_and_drains_on_revival() {
+    let hint_root = tmp_root("hints-full");
+    let root0 = tmp_root("hints-full-s0r0");
+    let backend = Server::start(ServerConfig::loopback(ServiceConfig::new(root0.clone())))
+        .expect("start backend");
+    let topology = vec![vec![backend.addr().to_string()]];
+    let router = RouterServer::start(RouterConfig {
+        hint_root: Some(hint_root.clone()),
+        hint_cap: 2,
+        ..RouterConfig::loopback(topology)
+    })
+    .expect("start router");
+    let mut client = Client::connect_with(router.addr(), RetryPolicy::no_retries()).unwrap();
+
+    // Take the only replica down; merges can no longer be applied live.
+    backend.shutdown_and_join();
+
+    // The first two merges fit the spool: refused as unavailable (no
+    // live apply) but kept as durable hints, not dropped.
+    for i in 0..2u64 {
+        let resp = client
+            .call(&Request::MergeProfile {
+                entry_text: entry_text(&format!("wl{i}"), 0x3000 + i),
+            })
+            .unwrap();
+        let Response::Err { kind, .. } = resp else {
+            panic!("dead replica acked a merge: {resp:?}")
+        };
+        assert_eq!(kind, ErrorKind::Unavailable);
+    }
+
+    // The third finds the spool at capacity: typed refusal, applied
+    // nowhere, with the shard named and a retry hint.
+    let overflow = entry_text("wl-overflow", 0x3abc);
+    let resp = client
+        .call(&Request::MergeProfile {
+            entry_text: overflow.clone(),
+        })
+        .unwrap();
+    let Response::Err {
+        kind,
+        shard,
+        retry_after_ms,
+        ..
+    } = resp
+    else {
+        panic!("overflow merge not refused: {resp:?}")
+    };
+    assert_eq!(kind, ErrorKind::HandoffFull);
+    assert_eq!(shard, Some(0), "handoff-full must name the shard");
+    assert!(retry_after_ms.is_some(), "handoff-full must hint a retry");
+
+    let Response::Ok(body) = client.call(&Request::Stats).unwrap() else {
+        panic!("stats failed")
+    };
+    assert!(body.contains("lag shard=0 replica=0 queued=2"), "{body}");
+    assert!(body.contains("counter router.handoff_refused 1"), "{body}");
+
+    // Revival: a replacement daemon on a fresh port self-announces via
+    // route-update (what `strided --announce` sends). The router drains
+    // the spool in order; the replacement converges on the spooled
+    // merges and the once-refused merge now applies cleanly.
+    let replacement = Server::start(ServerConfig::loopback(ServiceConfig::new(root0.clone())))
+        .expect("start replacement");
+    let resp = client
+        .call(&Request::RouteUpdate {
+            shard: 0,
+            replica: 0,
+            addr: replacement.addr().to_string(),
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    let resp = client
+        .call(&Request::MergeProfile {
+            entry_text: overflow,
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+
+    let Response::Ok(body) = client.call(&Request::Stats).unwrap() else {
+        panic!("stats failed")
+    };
+    assert!(body.contains("lag shard=0 replica=0 queued=0"), "{body}");
+    let sections = stats_sections(&body);
+    assert_eq!(
+        sections[&(0, 0)]["db-entries"],
+        3,
+        "spooled + retried merges all landed: {body}"
+    );
+
+    let resp = client.call(&Request::Shutdown).unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    router.join();
+    replacement.join();
+    let _ = std::fs::remove_dir_all(hint_root);
+    let _ = std::fs::remove_dir_all(root0);
+}
+
+/// Tentpole: divergent replicas (one missed a delta the other holds in
+/// its retention window) converge byte-identically after a `repair`
+/// round, with no operator involvement beyond asking for the round.
+#[test]
+fn repair_round_heals_divergent_replicas() {
+    let (router, backends, roots) = boot_cluster("repair", 1, 2);
+    let mut client = Client::connect(router.addr()).unwrap();
+
+    // Seed both replicas through the router so their stores agree.
+    let resp = client
+        .call(&Request::MergeProfile {
+            entry_text: entry_text("base", 0x4000),
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+
+    // Diverge replica 0 behind the router's back: a delta applied only
+    // there (as if replica 1 missed a replication delivery).
+    let batch = stride_profdb::encode_delta_batch(&[stride_profdb::DeltaRecord {
+        req_id: 0xd1ff,
+        entry_text: entry_text("drifted", 0x4001),
+    }]);
+    let mut direct = Client::connect(backends[0][0].addr()).unwrap();
+    let resp = direct
+        .call(&Request::SyncDelta { batch_text: batch })
+        .unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    // Release the direct connection: a held-open socket would pin a
+    // backend worker past shutdown.
+    drop(direct);
+
+    // One repair round detects the digest mismatch and cross-sends the
+    // retained window; dedup absorbs the overlap.
+    let Response::Ok(body) = client.call(&Request::Repair).unwrap() else {
+        panic!("repair failed")
+    };
+    assert!(
+        body.contains("repair shard=0 divergent=true"),
+        "divergence missed: {body}"
+    );
+    let Response::Ok(body) = client.call(&Request::Repair).unwrap() else {
+        panic!("repair failed")
+    };
+    assert!(
+        body.contains("repair shard=0 divergent=false"),
+        "repair did not converge: {body}"
+    );
+
+    let Response::Ok(body) = client.call(&Request::Stats).unwrap() else {
+        panic!("stats failed")
+    };
+    let sections = stats_sections(&body);
+    assert_eq!(sections[&(0, 0)]["db-entries"], 2, "{body}");
+    assert_eq!(sections[&(0, 1)]["db-entries"], 2, "{body}");
+
+    let resp = client.call(&Request::Shutdown).unwrap();
+    assert!(matches!(resp, Response::Ok(_)), "{resp:?}");
+    router.join();
+    for row in backends {
+        for b in row {
+            b.join();
+        }
+    }
+    for root in roots {
+        let _ = std::fs::remove_dir_all(root);
+    }
+}
+
 #[test]
 fn dead_shard_sheds_its_key_range_only() {
     let (router, backends, roots) = boot_cluster("dead", 3, 1);
